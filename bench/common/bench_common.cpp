@@ -1,0 +1,103 @@
+#include "bench_common.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+#include <map>
+
+#include "image/pgm_io.hpp"
+#include "image/synthetic.hpp"
+
+namespace swc::benchx {
+namespace {
+
+std::filesystem::path cache_dir() {
+  if (const char* env = std::getenv("SWC_BENCH_CACHE")) return env;
+  return std::filesystem::temp_directory_path() / "swc_bench_cache";
+}
+
+std::vector<image::ImageU8> load_or_generate(std::size_t size, const std::string& tag,
+                                              bool upscaled) {
+  const auto dir = cache_dir();
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+
+  auto file = [&](std::size_t i) {
+    return dir / ("eval_" + tag + "_" + std::to_string(size) + "_" + std::to_string(i) + ".pgm");
+  };
+
+  std::vector<image::ImageU8> set;
+  set.reserve(kEvalImages);
+  bool all_cached = true;
+  for (std::size_t i = 0; i < kEvalImages && all_cached; ++i) {
+    const auto path = file(i);
+    if (!std::filesystem::exists(path)) {
+      all_cached = false;
+      break;
+    }
+    try {
+      set.push_back(image::read_pgm(path));
+      if (set.back().width() != size || set.back().height() != size) all_cached = false;
+    } catch (const std::exception&) {
+      all_cached = false;
+    }
+  }
+  if (all_cached && set.size() == kEvalImages) return set;
+
+  std::fprintf(stderr, "[bench] generating %zu %s evaluation images at %zux%zu (cached in %s)\n",
+               kEvalImages, upscaled ? "upscaled-protocol" : "resolution-true", size, size,
+               dir.string().c_str());
+  set = upscaled ? image::make_places_like_set_upscaled(size, size, kEvalImages)
+                 : image::make_places_like_set(size, size, kEvalImages);
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    try {
+      image::write_pgm(set[i], file(i));
+    } catch (const std::exception&) {
+      // Cache is best-effort; the bench still runs from memory.
+    }
+  }
+  return set;
+}
+
+}  // namespace
+
+const std::vector<image::ImageU8>& eval_set(std::size_t size) {
+  static std::map<std::size_t, std::vector<image::ImageU8>> cache;
+  auto it = cache.find(size);
+  if (it == cache.end()) {
+    it = cache.emplace(size, load_or_generate(size, "v2", /*upscaled=*/false)).first;
+  }
+  return it->second;
+}
+
+const std::vector<image::ImageU8>& eval_set_upscaled(std::size_t size) {
+  static std::map<std::size_t, std::vector<image::ImageU8>> cache;
+  auto it = cache.find(size);
+  if (it == cache.end()) {
+    it = cache.emplace(size, load_or_generate(size, "up2", /*upscaled=*/true)).first;
+  }
+  return it->second;
+}
+
+std::size_t worst_stream_bits_over_set(const std::vector<image::ImageU8>& images,
+                                       const core::EngineConfig& config) {
+  std::size_t worst = 0;
+  for (const auto& img : images) {
+    worst = std::max(worst, core::compute_frame_cost(img, config).worst_stream_bits);
+  }
+  return worst;
+}
+
+core::EngineConfig make_config(std::size_t size, std::size_t window, int threshold) {
+  core::EngineConfig config;
+  config.spec = {size, size, window};
+  config.codec.threshold = threshold;
+  return config;
+}
+
+void print_header(const std::string& experiment, const std::string& description) {
+  std::printf("================================================================\n");
+  std::printf("%s\n%s\n", experiment.c_str(), description.c_str());
+  std::printf("================================================================\n");
+}
+
+}  // namespace swc::benchx

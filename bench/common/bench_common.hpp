@@ -1,0 +1,43 @@
+#pragma once
+// Shared infrastructure for the reproduction benches: the paper's parameter
+// space, the cached 10-image evaluation set (synthetic stand-in for the MIT
+// Places images — see DESIGN.md), and table printing helpers.
+
+#include <cstddef>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/accounting.hpp"
+#include "core/config.hpp"
+#include "image/image.hpp"
+
+namespace swc::benchx {
+
+// Paper Section VI parameter space.
+inline constexpr std::size_t kWindows[] = {8, 16, 32, 64, 128};
+inline constexpr int kThresholds[] = {0, 2, 4, 6};
+inline constexpr std::size_t kWidths[] = {512, 1024, 2048, 3840};
+inline constexpr std::size_t kEvalImages = 10;
+
+// The 10-image evaluation set at a given square resolution. Images are
+// deterministic; generated once and cached as PGM files (SWC_BENCH_CACHE or
+// /tmp/swc_bench_cache) so repeated bench runs start instantly.
+[[nodiscard]] const std::vector<image::ImageU8>& eval_set(std::size_t size);
+
+// Evaluation set matching the paper's data protocol: MIT Places images are
+// 256x256 natively, so the published high-resolution results ran on heavily
+// upscaled (near-zero-detail) content. This set reproduces that.
+[[nodiscard]] const std::vector<image::ImageU8>& eval_set_upscaled(std::size_t size);
+
+// Worst-case packed stream size (bits) over the whole set for one
+// configuration — the quantity that drives design-time BRAM provisioning.
+[[nodiscard]] std::size_t worst_stream_bits_over_set(const std::vector<image::ImageU8>& images,
+                                                     const core::EngineConfig& config);
+
+[[nodiscard]] core::EngineConfig make_config(std::size_t size, std::size_t window, int threshold);
+
+// Prints the standard bench header with the experiment identity.
+void print_header(const std::string& experiment, const std::string& description);
+
+}  // namespace swc::benchx

@@ -1,0 +1,44 @@
+#include "resource_table.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "bench_common.hpp"
+#include "resources/device.hpp"
+
+namespace swc::benchx {
+namespace {
+
+double pct_err(std::size_t model, std::size_t paper) {
+  if (paper == 0) return 0.0;
+  return 100.0 * (static_cast<double>(model) - static_cast<double>(paper)) /
+         static_cast<double>(paper);
+}
+
+}  // namespace
+
+void run_resource_table(const char* table_name, const char* block_name,
+                        const std::function<resources::ResourceEstimate(std::size_t)>& estimate,
+                        const resources::PaperRow* rows, std::size_t count,
+                        bool check_device_fit) {
+  print_header(table_name, std::string(block_name) +
+                               ": structural model vs Vivado 2015.3 post-synthesis (XC7Z020)");
+  std::printf("%-8s | %9s %9s %7s | %9s %9s %7s | %9s\n", "window", "LUTs", "paper", "err%",
+              "FFs", "paper", "err%", "Fmax MHz");
+  std::printf("---------+-----------------------------+-----------------------------+----------\n");
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto est = estimate(rows[i].window);
+    if (check_device_fit && !est.fits(resources::kXC7Z020)) {
+      std::printf("%-8zu | %9zu %9s %7s | %9zu %9s %7s | %9s  (exceeds XC7Z020 — paper prints \"-\")\n",
+                  rows[i].window, est.luts, "-", "-", est.registers, "-", "-", "-");
+      continue;
+    }
+    std::printf("%-8zu | %9zu %9zu %+6.1f%% | %9zu %9zu %+6.1f%% | %9.1f\n", rows[i].window,
+                est.luts, rows[i].luts, pct_err(est.luts, rows[i].luts), est.registers,
+                rows[i].registers, pct_err(est.registers, rows[i].registers), est.fmax_mhz);
+  }
+  std::printf("\n");
+}
+
+}  // namespace swc::benchx

@@ -1,0 +1,18 @@
+#pragma once
+// Shared runner for the hardware resource tables (Tables VI-X): prints the
+// structural model's LUT/FF/Fmax per window size next to the published
+// post-synthesis numbers with percentage error.
+
+#include <cstddef>
+#include <functional>
+
+#include "resources/estimator.hpp"
+
+namespace swc::benchx {
+
+void run_resource_table(const char* table_name, const char* block_name,
+                        const std::function<resources::ResourceEstimate(std::size_t)>& estimate,
+                        const resources::PaperRow* rows, std::size_t count,
+                        bool check_device_fit = false);
+
+}  // namespace swc::benchx

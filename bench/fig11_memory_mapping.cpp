@@ -1,0 +1,57 @@
+// Reproduces paper Fig. 11: the four options for mapping packed-bit streams
+// onto 18 Kb BRAM FIFO lines (1, 2, 4 or 8 image rows per BRAM, i.e. 0%,
+// ~50%, ~75%, ~87.5% nominal savings). For each option this bench reports
+// whether the measured worst-case streams fit the capacity, whether the
+// shared write port sustains the group's bandwidth, and the resulting BRAM
+// count — showing which option the design can actually select per threshold.
+
+#include <cstdio>
+
+#include "bram/allocator.hpp"
+#include "bram/bram18k.hpp"
+#include "common/bench_common.hpp"
+
+int main() {
+  using namespace swc;
+  benchx::print_header("Fig. 11 — memory mapping options (rows per BRAM)",
+                       "512x512, window 32; capacity and port-bandwidth feasibility per option");
+
+  const std::size_t size = 512, n = 32;
+  const auto& images = benchx::eval_set(size);
+
+  for (const int t : benchx::kThresholds) {
+    const auto config = benchx::make_config(size, n, t);
+    std::size_t worst_stream = 0;
+    double mean_stream = 0.0;
+    for (const auto& img : images) {
+      const auto cost = core::compute_frame_cost(img, config);
+      worst_stream = std::max(worst_stream, cost.worst_stream_bits);
+      double streams = 0.0;
+      for (const auto bits : cost.worst_band.stream_bits) streams += static_cast<double>(bits);
+      mean_stream += streams / static_cast<double>(cost.worst_band.stream_bits.size());
+    }
+    mean_stream /= static_cast<double>(images.size());
+
+    std::printf("T=%d: worst stream %zu bits, mean %0.f bits\n", t, worst_stream, mean_stream);
+    std::printf("  %-14s %-14s %-12s %-20s %-10s\n", "rows/BRAM", "capacity", "BRAMs",
+                "port demand (b/cyc)", "feasible");
+    for (const std::size_t r : {std::size_t{1}, std::size_t{2}, std::size_t{4}, std::size_t{8}}) {
+      const bool fits = r * worst_stream <= bram::kBram18kBits;
+      const auto port = bram::check_port_bandwidth(config.spec, r, mean_stream);
+      char brams[16];
+      if (fits) {
+        std::snprintf(brams, sizeof brams, "%zu", n / r);
+      } else {
+        std::snprintf(brams, sizeof brams, "-");
+      }
+      std::printf("  %-14zu %-14s %-12s %-20.1f %-10s\n", r, fits ? "fits" : "OVERFLOWS", brams,
+                  port.sustained_bits_per_cycle,
+                  fits && port.feasible ? "yes" : (fits ? "no (port)" : "no (capacity)"));
+    }
+    std::printf("\n");
+  }
+  std::printf("Reading: the selected option is the largest rows/BRAM that both fits the\n");
+  std::printf("worst-case stream and keeps the shared 36-bit write port under its budget —\n");
+  std::printf("which is how Tables II-V's row-packing bands (and their colours) arise.\n");
+  return 0;
+}

@@ -1,0 +1,21 @@
+// Reproduces paper Table II: proposed-architecture BRAM usage at 512x512.
+// Packed-bit BRAM counts come from the measured worst-case compressed stream
+// of the evaluation set (design-time provisioning); management counts use
+// both counting policies (see DESIGN.md on the paper's mixed rules).
+
+#include "common/bench_common.hpp"
+#include "common/bram_table.hpp"
+
+int main() {
+  using swc::benchx::PaperBramRow;
+  static const PaperBramRow kPaper[] = {
+      {8, {2, 2, 2, 1}, 2},
+      {16, {4, 4, 2, 2}, 2},
+      {32, {8, 8, 4, 4}, 2},
+      {64, {16, 16, 16, 8}, 3},
+      {128, {32, 32, 32, 16}, 5},
+  };
+  swc::benchx::run_bram_table("Table II — proposed BRAM usage (512x512)",
+                              512, kPaper, 5);
+  return 0;
+}

@@ -1,0 +1,21 @@
+// Reproduces paper Table III: proposed-architecture BRAM usage at 1024x1024.
+// Packed-bit BRAM counts come from the measured worst-case compressed stream
+// of the evaluation set (design-time provisioning); management counts use
+// both counting policies (see DESIGN.md on the paper's mixed rules).
+
+#include "common/bench_common.hpp"
+#include "common/bram_table.hpp"
+
+int main() {
+  using swc::benchx::PaperBramRow;
+  static const PaperBramRow kPaper[] = {
+      {8, {4, 4, 2, 2}, 2},
+      {16, {8, 8, 4, 4}, 2},
+      {32, {16, 16, 8, 8}, 3},
+      {64, {32, 32, 16, 16}, 5},
+      {128, {64, 64, 32, 32}, 9},
+  };
+  swc::benchx::run_bram_table("Table III — proposed BRAM usage (1024x1024)",
+                              1024, kPaper, 5);
+  return 0;
+}

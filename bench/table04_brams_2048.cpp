@@ -1,0 +1,21 @@
+// Reproduces paper Table IV: proposed-architecture BRAM usage at 2048x2048.
+// Packed-bit BRAM counts come from the measured worst-case compressed stream
+// of the evaluation set (design-time provisioning); management counts use
+// both counting policies (see DESIGN.md on the paper's mixed rules).
+
+#include "common/bench_common.hpp"
+#include "common/bram_table.hpp"
+
+int main() {
+  using swc::benchx::PaperBramRow;
+  static const PaperBramRow kPaper[] = {
+      {8, {4, 4, 4, 4}, 2},
+      {16, {8, 8, 8, 8}, 3},
+      {32, {16, 16, 16, 16}, 5},
+      {64, {32, 32, 32, 32}, 9},
+      {128, {64, 64, 64, 64}, 16},
+  };
+  swc::benchx::run_bram_table("Table IV — proposed BRAM usage (2048x2048)",
+                              2048, kPaper, 5);
+  return 0;
+}

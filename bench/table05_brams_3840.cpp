@@ -1,0 +1,21 @@
+// Reproduces paper Table V: proposed-architecture BRAM usage at 3840x3840.
+// Packed-bit BRAM counts come from the measured worst-case compressed stream
+// of the evaluation set (design-time provisioning); management counts use
+// both counting policies (see DESIGN.md on the paper's mixed rules).
+
+#include "common/bench_common.hpp"
+#include "common/bram_table.hpp"
+
+int main() {
+  using swc::benchx::PaperBramRow;
+  static const PaperBramRow kPaper[] = {
+      {8, {8, 8, 8, 8}, 4},
+      {16, {16, 16, 16, 16}, 6},
+      {32, {32, 32, 32, 32}, 9},
+      {64, {64, 64, 64, 64}, 16},
+      {128, {128, 128, 128, 128}, 28},
+  };
+  swc::benchx::run_bram_table("Table V — proposed BRAM usage (3840x3840)",
+                              3840, kPaper, 5);
+  return 0;
+}

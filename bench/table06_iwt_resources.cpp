@@ -1,0 +1,12 @@
+// Reproduces paper Table VI: IWT LUT/FF/Fmax across window sizes.
+
+#include "common/resource_table.hpp"
+
+int main() {
+  std::size_t count = 0;
+  const swc::resources::PaperRow* rows = swc::resources::paper_iwt_table(count);
+  swc::benchx::run_resource_table("Table VI — forward integer wavelet transform resources", "IWT",
+                                  [](std::size_t n) { return swc::resources::estimate_iwt(n); }, rows,
+                                  count, false);
+  return 0;
+}

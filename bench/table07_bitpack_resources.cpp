@@ -1,0 +1,12 @@
+// Reproduces paper Table VII: Bit Packing LUT/FF/Fmax across window sizes.
+
+#include "common/resource_table.hpp"
+
+int main() {
+  std::size_t count = 0;
+  const swc::resources::PaperRow* rows = swc::resources::paper_bitpack_table(count);
+  swc::benchx::run_resource_table("Table VII — Bit Packing unit resources", "Bit Packing",
+                                  [](std::size_t n) { return swc::resources::estimate_bitpack(n); }, rows,
+                                  count, false);
+  return 0;
+}

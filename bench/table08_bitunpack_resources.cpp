@@ -1,0 +1,12 @@
+// Reproduces paper Table VIII: Bit Unpacking LUT/FF/Fmax across window sizes.
+
+#include "common/resource_table.hpp"
+
+int main() {
+  std::size_t count = 0;
+  const swc::resources::PaperRow* rows = swc::resources::paper_bitunpack_table(count);
+  swc::benchx::run_resource_table("Table VIII — Bit Unpacking unit resources", "Bit Unpacking",
+                                  [](std::size_t n) { return swc::resources::estimate_bitunpack(n); }, rows,
+                                  count, false);
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Reproduces paper Table IX: Inverse IWT LUT/FF/Fmax across window sizes.
+
+#include "common/resource_table.hpp"
+
+int main() {
+  std::size_t count = 0;
+  const swc::resources::PaperRow* rows = swc::resources::paper_iiwt_table(count);
+  swc::benchx::run_resource_table("Table IX — inverse integer wavelet transform resources", "Inverse IWT",
+                                  [](std::size_t n) { return swc::resources::estimate_iiwt(n); }, rows,
+                                  count, false);
+  return 0;
+}

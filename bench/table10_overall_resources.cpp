@@ -1,0 +1,12 @@
+// Reproduces paper Table X: Overall architecture LUT/FF/Fmax across window sizes.
+
+#include "common/resource_table.hpp"
+
+int main() {
+  std::size_t count = 0;
+  const swc::resources::PaperRow* rows = swc::resources::paper_overall_table(count);
+  swc::benchx::run_resource_table("Table X — whole-architecture resources", "Overall architecture",
+                                  [](std::size_t n) { return swc::resources::estimate_overall(n); }, rows,
+                                  count, true);
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Throughput of the cycle-accurate pipelines (google-benchmark): verifies
+// the paper's "fully pipelined, no degradation in computing throughput"
+// claim — both architectures consume exactly one pixel per clock — and
+// measures the simulator's wall-clock speed per modelled cycle.
+
+#include <benchmark/benchmark.h>
+
+#include "core/accounting.hpp"
+#include "core/config.hpp"
+#include "hw/compressed_pipeline.hpp"
+#include "hw/traditional_pipeline.hpp"
+#include "image/synthetic.hpp"
+
+namespace {
+
+using namespace swc;
+
+const image::ImageU8& bench_image() {
+  static const image::ImageU8 img = image::make_natural_image(256, 128, {.seed = 1});
+  return img;
+}
+
+core::EngineConfig make_config(std::size_t n, int threshold) {
+  core::EngineConfig config;
+  config.spec = {bench_image().width(), bench_image().height(), n};
+  config.codec.threshold = threshold;
+  return config;
+}
+
+void BM_TraditionalPipeline(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto& img = bench_image();
+  for (auto _ : state) {
+    hw::TraditionalPipeline pipe({img.width(), img.height(), n});
+    std::size_t windows = 0;
+    for (const std::uint8_t px : img.pixels()) windows += pipe.step(px);
+    benchmark::DoNotOptimize(windows);
+    if (pipe.cycles() != img.size()) state.SkipWithError("not 1 pixel/cycle");
+  }
+  state.counters["px_per_cycle"] = 1.0;
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * img.size()));
+}
+BENCHMARK(BM_TraditionalPipeline)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_CompressedPipeline(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const int threshold = static_cast<int>(state.range(1));
+  const auto& img = bench_image();
+  for (auto _ : state) {
+    hw::CompressedPipeline pipe(make_config(n, threshold));
+    std::size_t windows = 0;
+    for (const std::uint8_t px : img.pixels()) windows += pipe.step(px);
+    benchmark::DoNotOptimize(windows);
+    if (pipe.cycles() != img.size()) state.SkipWithError("not 1 pixel/cycle");
+  }
+  state.counters["px_per_cycle"] = 1.0;
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * img.size()));
+}
+BENCHMARK(BM_CompressedPipeline)
+    ->Args({8, 0})
+    ->Args({8, 4})
+    ->Args({16, 0})
+    ->Args({16, 4})
+    ->Args({32, 0});
+
+// Functional (golden) engine speed for comparison: the fast path used by the
+// table sweeps.
+void BM_FunctionalAccounting(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto& img = bench_image();
+  const auto config = make_config(n, 0);
+  for (auto _ : state) {
+    const auto cost = core::compute_frame_cost(img, config);
+    benchmark::DoNotOptimize(cost.worst_stream_bits);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * img.size()));
+}
+BENCHMARK(BM_FunctionalAccounting)->Arg(8)->Arg(32);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,64 @@
+// The paper's first motivating workload (Section I): accurate Gaussian
+// smoothing needs a window of at least 5 sigma, so large-sigma filters are
+// exactly where the traditional architecture runs out of BRAMs. This example
+// sweeps sigma, shows the trimming error of undersized windows, and compares
+// BRAM provisioning for the window each sigma actually needs.
+
+#include <cstdio>
+
+#include "bram/allocator.hpp"
+#include "core/accounting.hpp"
+#include "image/metrics.hpp"
+#include "image/synthetic.hpp"
+#include "kernels/kernels.hpp"
+#include "window/apply.hpp"
+
+int main() {
+  using namespace swc;
+  const image::ImageU8 img = image::make_natural_image(512, 512, {.seed = 7});
+
+  std::printf("Gaussian window sizing (the '>= 5 sigma' rule) and its BRAM cost\n");
+  std::printf("%-8s %-8s %-14s %-12s %-12s %-12s\n", "sigma", "window", "1-D coverage",
+              "trad BRAM", "prop BRAM", "saving");
+
+  for (const double sigma : {1.5, 3.0, 6.0, 12.0}) {
+    // Smallest even window satisfying the 5-sigma rule.
+    auto window = static_cast<std::size_t>(5.0 * sigma + 1.0);
+    window += window % 2;
+    const kernels::GaussianKernel kernel(window, sigma);
+
+    core::EngineConfig config;
+    config.spec = {img.width(), img.height(), window};
+    config.codec.threshold = 0;
+    const auto cost = core::compute_frame_cost(img, config);
+    const auto trad = bram::allocate_traditional(config.spec);
+    const auto prop = bram::allocate_proposed(config.spec, cost.worst_stream_bits);
+    std::printf("%-8.1f %-8zu %-14.6f %-12zu %-12zu %5.1f%%\n", sigma, window,
+                kernel.coverage_1d(), trad.total_brams, prop.total_brams(),
+                bram::bram_saving_percent(trad, prop));
+  }
+
+  // Demonstrate the accuracy loss of trimming: sigma = 6 smoothed with an
+  // 8-pixel window vs the properly sized 32-pixel window.
+  const double sigma = 6.0;
+  const kernels::GaussianKernel trimmed(8, sigma);
+  const kernels::GaussianKernel full(32, sigma);
+  const auto small = window::apply_traditional(img, 8, trimmed);
+  const auto large = window::apply_traditional(img, 32, full);
+  // Compare on the overlapping region (offset so centres align).
+  double dev = 0.0;
+  std::size_t count = 0;
+  for (std::size_t y = 0; y < large.height(); ++y) {
+    for (std::size_t x = 0; x < large.width(); ++x) {
+      const double a = large.at(x, y);
+      const double b = small.at(x + 12, y + 12);
+      dev += (a - b) * (a - b);
+      ++count;
+    }
+  }
+  std::printf("\nsigma=6: trimming to an 8-pixel window deviates from the full 32-pixel\n");
+  std::printf("window by RMS %.2f gray levels — the accuracy the extra BRAMs buy.\n",
+              std::sqrt(dev / static_cast<double>(count)));
+  std::printf("With compression, the 32-pixel window costs as few BRAMs as a trimmed one.\n");
+  return 0;
+}

@@ -1,0 +1,99 @@
+// The paper's fourth motivating case (Section I): "most image processing
+// algorithms consist of 2-5 sequential sliding window operations, where the
+// output of one operation is fed via line buffers to the following
+// operation" — so the BRAM cost multiplies per stage. This example chains
+// Gaussian denoise -> Sobel edges -> box smoothing, each stage buffered with
+// the compressed architecture, and totals the savings across the chain.
+
+#include <cstdio>
+#include <vector>
+
+#include "core/accounting.hpp"
+#include "core/streaming_engine.hpp"
+#include "image/synthetic.hpp"
+#include "kernels/kernels.hpp"
+#include "window/apply.hpp"
+
+namespace {
+
+using namespace swc;
+
+struct StageReport {
+  const char* name;
+  std::size_t raw_bits;
+  std::size_t compressed_bits;
+};
+
+// Runs one stage through the compressed engine and returns its 8-bit output
+// plane (trimmed to even width so the next stage can consume it).
+template <typename Kernel>
+image::ImageU8 run_stage(const image::ImageU8& in, std::size_t window, Kernel kernel,
+                         const char* name, std::vector<StageReport>& reports) {
+  core::EngineConfig config;
+  config.spec = {in.width(), in.height(), window};
+  config.codec.threshold = 0;
+  core::CompressedEngine engine(config);
+
+  image::ImageU8 out(in.width() - window + 1, in.height() - window + 1);
+  engine.run(in, [&](std::size_t r, std::size_t c, const core::WindowView& win) {
+    out.at(c, r) = kernel(r, c, win);
+  });
+  reports.push_back({name, config.spec.traditional_bits(), engine.stats().max_row_bits});
+
+  const std::size_t even_w = out.width() - out.width() % 2;
+  image::ImageU8 trimmed(even_w, out.height());
+  for (std::size_t y = 0; y < out.height(); ++y) {
+    for (std::size_t x = 0; x < even_w; ++x) trimmed.at(x, y) = out.at(x, y);
+  }
+  return trimmed;
+}
+
+// Adapters producing 8-bit outputs for chaining.
+struct GaussU8 {
+  kernels::GaussianKernel g;
+  template <typename Win>
+  std::uint8_t operator()(std::size_t r, std::size_t c, const Win& w) const {
+    return static_cast<std::uint8_t>(std::clamp(g(r, c, w), 0.0f, 255.0f));
+  }
+};
+
+struct SobelU8 {
+  kernels::SobelKernel s;
+  template <typename Win>
+  std::uint8_t operator()(std::size_t r, std::size_t c, const Win& w) const {
+    return static_cast<std::uint8_t>(std::min<std::uint16_t>(s(r, c, w), 255));
+  }
+};
+
+}  // namespace
+
+int main() {
+  const image::ImageU8 input = image::make_natural_image(512, 512, {.seed = 31});
+  std::vector<StageReport> reports;
+
+  const auto denoised =
+      run_stage(input, 8, GaussU8{kernels::GaussianKernel(8, 1.5)}, "gaussian 8x8", reports);
+  const auto edges = run_stage(denoised, 4, SobelU8{}, "sobel 4x4", reports);
+  const auto smoothed = run_stage(edges, 8, kernels::BoxMeanKernel{}, "box 8x8", reports);
+
+  std::printf("3-stage pipeline: %zux%zu -> %zux%zu\n\n", input.width(), input.height(),
+              smoothed.width(), smoothed.height());
+  std::printf("%-14s %-16s %-18s %-10s\n", "stage", "raw buffer (Kb)", "compressed (Kb)",
+              "saving");
+  std::size_t total_raw = 0, total_comp = 0;
+  for (const auto& r : reports) {
+    total_raw += r.raw_bits;
+    total_comp += r.compressed_bits;
+    std::printf("%-14s %-16.1f %-18.1f %5.1f%%\n", r.name,
+                static_cast<double>(r.raw_bits) / 1024.0,
+                static_cast<double>(r.compressed_bits) / 1024.0,
+                100.0 * (1.0 - static_cast<double>(r.compressed_bits) /
+                                   static_cast<double>(r.raw_bits)));
+  }
+  std::printf("%-14s %-16.1f %-18.1f %5.1f%%\n", "TOTAL",
+              static_cast<double>(total_raw) / 1024.0, static_cast<double>(total_comp) / 1024.0,
+              100.0 * (1.0 - static_cast<double>(total_comp) / static_cast<double>(total_raw)));
+  std::printf("\nEvery stage keeps its own line buffers, so the savings compound across the\n");
+  std::printf("chain — the multi-kernel case the paper's introduction highlights.\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// The paper's second motivating workload (Section I): sliding-window object
+// detection, where "the maximum detectable size is limited by the window
+// size supported in hardware". This example plants a known pattern in a
+// scene, detects it with NCC template matching at the window size the
+// pattern needs, and shows how compression keeps the BRAM budget flat as the
+// detectable object size grows.
+
+#include <cstdio>
+
+#include "bram/allocator.hpp"
+#include "core/accounting.hpp"
+#include "image/synthetic.hpp"
+#include "kernels/kernels.hpp"
+#include "window/apply.hpp"
+
+int main() {
+  using namespace swc;
+  const std::size_t scene_size = 256;
+  const std::size_t object_size = 32;
+
+  // Scene with a planted object at a known position.
+  image::ImageU8 scene = image::make_natural_image(scene_size, scene_size, {.seed = 11});
+  const image::ImageU8 object = image::make_checkerboard_image(object_size, object_size, 4, 40, 210);
+  const std::size_t ox = 147, oy = 85;
+  for (std::size_t y = 0; y < object_size; ++y) {
+    for (std::size_t x = 0; x < object_size; ++x) {
+      scene.at(ox + x, oy + y) = object.at(x, y);
+    }
+  }
+
+  // NCC detector through the compressed architecture (lossless).
+  std::vector<std::uint8_t> tmpl(object.pixels().begin(), object.pixels().end());
+  const kernels::NccTemplateKernel detector(tmpl, object_size);
+  core::EngineConfig config;
+  config.spec = {scene_size, scene_size, object_size};
+  config.codec.threshold = 0;
+  const auto response = window::apply_compressed(scene, config, detector);
+
+  float best = -2.0f;
+  std::size_t bx = 0, by = 0;
+  for (std::size_t y = 0; y < response.output.height(); ++y) {
+    for (std::size_t x = 0; x < response.output.width(); ++x) {
+      if (response.output.at(x, y) > best) {
+        best = response.output.at(x, y);
+        bx = x;
+        by = y;
+      }
+    }
+  }
+  std::printf("planted object at (%zu, %zu); detector peak %.3f at (%zu, %zu) -> %s\n", ox, oy,
+              best, bx, by, (bx == ox && by == oy) ? "FOUND" : "missed");
+
+  // Scaling story: BRAMs needed per detectable object size.
+  std::printf("\n%-14s %-12s %-14s %-10s\n", "object size", "trad BRAM", "proposed BRAM",
+              "saving");
+  for (const std::size_t n : {std::size_t{16}, std::size_t{32}, std::size_t{64}, std::size_t{128}}) {
+    core::EngineConfig c;
+    c.spec = {scene_size, scene_size, n};
+    c.codec.threshold = 4;  // detection tolerates mild lossiness
+    const auto cost = core::compute_frame_cost(scene, c);
+    const auto trad = bram::allocate_traditional(c.spec);
+    const auto prop = bram::allocate_proposed(c.spec, cost.worst_stream_bits);
+    std::printf("%-14zu %-12zu %-14zu %5.1f%%\n", n, trad.total_brams, prop.total_brams(),
+                bram::bram_saving_percent(trad, prop));
+  }
+  std::printf("\nLarger windows detect larger objects; compression buys the headroom the\n");
+  std::printf("paper's intro asks for without rescanning a downscaled image.\n");
+  return 0;
+}

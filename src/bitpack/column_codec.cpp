@@ -1,0 +1,114 @@
+#include "bitpack/column_codec.hpp"
+
+#include <stdexcept>
+
+#include "bitpack/nbits.hpp"
+
+namespace swc::bitpack {
+namespace {
+
+void check_count(std::size_t n) {
+  if (n == 0 || n % 2 != 0) {
+    throw std::invalid_argument("column codec: coefficient count must be even and non-zero");
+  }
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> apply_threshold(std::span<const std::uint8_t> coeffs,
+                                          const ColumnCodecConfig& config, bool column_is_even) {
+  check_count(coeffs.size());
+  std::vector<std::uint8_t> out(coeffs.begin(), coeffs.end());
+  const std::size_t half = coeffs.size() / 2;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const bool is_ll = column_is_even && i < half;
+    if (is_ll && !config.threshold_ll) continue;
+    if (!is_significant(out[i], config.threshold)) out[i] = 0;
+  }
+  return out;
+}
+
+EncodedColumn encode_column(std::span<const std::uint8_t> coeffs, const ColumnCodecConfig& config,
+                            bool column_is_even) {
+  check_count(coeffs.size());
+  const std::size_t n = coeffs.size();
+  const std::size_t half = n / 2;
+  const std::vector<std::uint8_t> kept = apply_threshold(coeffs, config, column_is_even);
+
+  // Values NBits is measured over, per policy. PreThreshold mirrors the
+  // Section V-B hardware which sizes fields from the raw coefficients.
+  const std::span<const std::uint8_t> basis =
+      config.nbits_policy == NBitsPolicy::PreThreshold ? coeffs : std::span<const std::uint8_t>(kept);
+
+  EncodedColumn enc;
+  enc.bitmap.resize(n);
+  for (std::size_t i = 0; i < n; ++i) enc.bitmap[i] = kept[i] != 0 ? 1 : 0;
+
+  // Per-coefficient widths resolved up front so the payload loop is uniform.
+  std::vector<int> width(n, 0);
+  switch (config.granularity) {
+    case NBitsGranularity::PerSubBandColumn: {
+      const int top = group_nbits(basis.subspan(0, half));
+      const int bot = group_nbits(basis.subspan(half, half));
+      enc.nbits = {static_cast<std::uint8_t>(top), static_cast<std::uint8_t>(bot)};
+      for (std::size_t i = 0; i < n; ++i) width[i] = i < half ? top : bot;
+      break;
+    }
+    case NBitsGranularity::PerColumn: {
+      const int all = group_nbits(basis);
+      enc.nbits = {static_cast<std::uint8_t>(all)};
+      for (std::size_t i = 0; i < n; ++i) width[i] = all;
+      break;
+    }
+    case NBitsGranularity::PerCoefficient: {
+      for (std::size_t i = 0; i < n; ++i) {
+        if (enc.bitmap[i]) {
+          const int b = min_bits_u8(kept[i]);
+          enc.nbits.push_back(static_cast<std::uint8_t>(b));
+          width[i] = b;
+        }
+      }
+      break;
+    }
+  }
+
+  BitWriter writer;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (enc.bitmap[i]) writer.put(kept[i], width[i]);
+  }
+  enc.payload_bit_count = writer.bit_count();
+  enc.payload = writer.finish();
+  return enc;
+}
+
+std::vector<std::uint8_t> decode_column(const EncodedColumn& enc, std::size_t coeff_count,
+                                        const ColumnCodecConfig& config) {
+  check_count(coeff_count);
+  if (enc.bitmap.size() != coeff_count) {
+    throw std::invalid_argument("decode_column: bitmap size mismatch");
+  }
+  const std::size_t half = coeff_count / 2;
+  std::vector<std::uint8_t> out(coeff_count, 0);
+  BitReader reader(enc.payload);
+  std::size_t nz_index = 0;
+  for (std::size_t i = 0; i < coeff_count; ++i) {
+    if (!enc.bitmap[i]) continue;
+    int nbits = 0;
+    switch (config.granularity) {
+      case NBitsGranularity::PerSubBandColumn:
+        nbits = enc.nbits.at(i < half ? 0 : 1);
+        break;
+      case NBitsGranularity::PerColumn:
+        nbits = enc.nbits.at(0);
+        break;
+      case NBitsGranularity::PerCoefficient:
+        nbits = enc.nbits.at(nz_index);
+        break;
+    }
+    out[i] = sign_extend_u8(reader.get(nbits), nbits);
+    ++nz_index;
+  }
+  return out;
+}
+
+}  // namespace swc::bitpack

@@ -1,0 +1,81 @@
+#pragma once
+// Functional (golden-model) codec for one compressed window column.
+//
+// A compressed column carries N coefficients split into two sub-band halves
+// (top/bottom, see wavelet/column_decomposer.hpp). Its serialized form is:
+//   * NBits fields  : 4 bits per sub-band half (2 per column),
+//   * BitMap        : 1 bit per coefficient (zero / non-zero),
+//   * payload       : NBits least-significant bits of each non-zero
+//                     coefficient, in row order, LSB-first.
+// which is exactly the management-bit arithmetic of the paper (Section IV-C:
+// NBits = 2x4x(W-N) bits, BitMap = (W-N)xN bits for the whole buffer).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bitpack/bitstream.hpp"
+
+namespace swc::bitpack {
+
+// Where the Bit Packing unit computes NBits relative to thresholding.
+// Section IV (algorithm) thresholds first; Section V-B (hardware) computes
+// NBits from the raw inputs. PostThreshold is never larger.
+enum class NBitsPolicy : std::uint8_t { PostThreshold, PreThreshold };
+
+// Granularity of the NBits field — the Section IV-C design-space ablation.
+enum class NBitsGranularity : std::uint8_t {
+  PerSubBandColumn,  // paper's choice: one field per column per sub-band
+  PerColumn,         // one field for the whole column (fewer mgmt bits)
+  PerCoefficient,    // one field per non-zero coefficient (densest payload)
+};
+
+struct ColumnCodecConfig {
+  int threshold = 0;  // |coef| < threshold => insignificant (0 = lossless)
+  NBitsPolicy nbits_policy = NBitsPolicy::PostThreshold;
+  NBitsGranularity granularity = NBitsGranularity::PerSubBandColumn;
+  // The paper's hardware thresholds every row uniformly, including the LL
+  // half of even columns. Setting this false protects LL (ablation knob).
+  bool threshold_ll = true;
+};
+
+struct EncodedColumn {
+  // NBits fields in layout order (1, 2, or #nonzero entries depending on
+  // granularity); each value in [1, 8].
+  std::vector<std::uint8_t> nbits;
+  // One significance bit per coefficient, row order.
+  std::vector<std::uint8_t> bitmap;
+  // Packed payload bytes (LSB-first) and the exact number of valid bits.
+  std::vector<std::uint8_t> payload;
+  std::size_t payload_bit_count = 0;
+
+  [[nodiscard]] std::size_t nbits_field_bits() const noexcept { return nbits.size() * 4; }
+  [[nodiscard]] std::size_t bitmap_bits() const noexcept { return bitmap.size(); }
+  [[nodiscard]] std::size_t management_bits() const noexcept {
+    return nbits_field_bits() + bitmap_bits();
+  }
+  [[nodiscard]] std::size_t total_bits() const noexcept {
+    return management_bits() + payload_bit_count;
+  }
+};
+
+// Encodes one coefficient column. `column_is_even` selects the sub-band pair
+// (even columns hold LL+LH and are affected by threshold_ll=false).
+// Coefficient count must be even and non-zero.
+[[nodiscard]] EncodedColumn encode_column(std::span<const std::uint8_t> coeffs,
+                                          const ColumnCodecConfig& config,
+                                          bool column_is_even = true);
+
+// Reconstructs the (thresholded) coefficient column. With threshold 0 this
+// is the exact inverse of encode_column.
+[[nodiscard]] std::vector<std::uint8_t> decode_column(const EncodedColumn& enc,
+                                                      std::size_t coeff_count,
+                                                      const ColumnCodecConfig& config);
+
+// The thresholded coefficients themselves (what a decoder will see); useful
+// for computing reconstruction error without a full decode.
+[[nodiscard]] std::vector<std::uint8_t> apply_threshold(std::span<const std::uint8_t> coeffs,
+                                                        const ColumnCodecConfig& config,
+                                                        bool column_is_even = true);
+
+}  // namespace swc::bitpack

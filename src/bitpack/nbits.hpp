@@ -1,0 +1,68 @@
+#pragma once
+// Minimum-bit-width ("NBits") computation for two's-complement coefficients.
+//
+// Two equivalent implementations are provided:
+//  * min_bits_u8 / column_nbits: arithmetic reference.
+//  * nbits_gate_tree: a literal emulation of the paper's Fig. 7 circuit
+//    (sign XOR bits 0..6, OR across coefficients, priority encode). Tests
+//    assert the two agree on every input, which validates the circuit.
+
+#include <cstdint>
+#include <span>
+
+namespace swc::bitpack {
+
+// Minimum number of two's-complement bits needed to represent the stored
+// byte's signed value. Range [1, 8]; 0 and -1 need 1 bit.
+[[nodiscard]] constexpr int min_bits_u8(std::uint8_t stored) noexcept {
+  const auto v = static_cast<std::int8_t>(stored);
+  const std::uint8_t sign = static_cast<std::uint8_t>(stored >> 7);
+  int run = 0;  // leading bits equal to the sign bit, starting at bit 6
+  for (int bit = 6; bit >= 0; --bit) {
+    if (((stored >> bit) & 1u) == sign) {
+      ++run;
+    } else {
+      break;
+    }
+  }
+  (void)v;
+  return 8 - run;
+}
+
+// Fig. 7 circuit: for each coefficient XOR the sign bit with bits 0..6, OR
+// the 7-bit vectors across all coefficients, then the highest set position p
+// gives NBits = p + 2 (no set bit => 1 bit suffices for every value).
+[[nodiscard]] constexpr int nbits_gate_tree(std::span<const std::uint8_t> coeffs) noexcept {
+  std::uint8_t or_bus = 0;
+  for (const std::uint8_t c : coeffs) {
+    const std::uint8_t sign_mask = (c & 0x80u) ? 0x7Fu : 0x00u;
+    or_bus |= static_cast<std::uint8_t>((c ^ sign_mask) & 0x7Fu);
+  }
+  for (int p = 6; p >= 0; --p) {
+    if ((or_bus >> p) & 1u) return p + 2;
+  }
+  return 1;
+}
+
+// NBits governing a group of coefficients = max of the per-value widths.
+// Empty groups (or all-zero after thresholding) cost the minimum 1 bit.
+[[nodiscard]] constexpr int group_nbits(std::span<const std::uint8_t> coeffs) noexcept {
+  int n = 1;
+  for (const std::uint8_t c : coeffs) {
+    const int b = min_bits_u8(c);
+    if (b > n) n = b;
+  }
+  return n;
+}
+
+// Significance test used by the Bit Packing comparator: a coefficient whose
+// magnitude is below the threshold is replaced by zero (BitMap = 0). With
+// threshold 0 only exact zeros are insignificant (lossless).
+[[nodiscard]] constexpr bool is_significant(std::uint8_t stored, int threshold) noexcept {
+  const int v = static_cast<std::int8_t>(stored);
+  const int mag = v < 0 ? -v : v;
+  if (threshold <= 0) return stored != 0;
+  return mag >= threshold && stored != 0;
+}
+
+}  // namespace swc::bitpack

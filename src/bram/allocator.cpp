@@ -1,0 +1,79 @@
+#include "bram/allocator.hpp"
+
+#include <stdexcept>
+
+#include "bram/bram18k.hpp"
+
+namespace swc::bram {
+
+TraditionalAllocation allocate_traditional(const core::SlidingWindowSpec& spec) {
+  spec.validate();
+  TraditionalAllocation alloc;
+  alloc.lines = spec.window;
+  // 8-bit pixels in 2kx9 mode: 2048 pixels per BRAM per line.
+  alloc.brams_per_line = (spec.buffered_columns() + 2047) / 2048;
+  if (alloc.brams_per_line == 0) alloc.brams_per_line = 1;
+  alloc.total_brams = alloc.lines * alloc.brams_per_line;
+  return alloc;
+}
+
+ProposedAllocation allocate_proposed(const core::SlidingWindowSpec& spec,
+                                     std::size_t worst_stream_bits, AllocPolicy policy) {
+  spec.validate();
+  if (worst_stream_bits == 0) {
+    throw std::invalid_argument("allocate_proposed: worst_stream_bits must be non-zero");
+  }
+  ProposedAllocation alloc;
+
+  // Packing factor: largest r in {8,4,2,1} whose r worst-case streams share
+  // one 18 Kb BRAM. Capped by the window size (cannot pack more streams than
+  // exist).
+  std::size_t r = 1;
+  for (const std::size_t candidate : {std::size_t{8}, std::size_t{4}, std::size_t{2}}) {
+    if (candidate <= spec.window && candidate * worst_stream_bits <= kBram18kBits) {
+      r = candidate;
+      break;
+    }
+  }
+  alloc.rows_per_bram = r;
+  if (r == 1 && worst_stream_bits > kBram18kBits) {
+    alloc.cascade_per_group = brams_for_bits(worst_stream_bits);
+  }
+  alloc.packed_brams = (spec.window / r) * alloc.cascade_per_group;
+
+  const std::size_t columns = spec.buffered_columns();
+  switch (policy) {
+    case AllocPolicy::PortAware:
+      // NBits: one 8-bit record (2 x 4 bits) per column, stored 2kx9.
+      alloc.nbits_brams = brams_for_table(BramConfig{9, 2048}, columns, 8);
+      // BitMap: one window-sized record per column, best configuration.
+      alloc.bitmap_brams = best_brams_for_table(columns, spec.window);
+      break;
+    case AllocPolicy::BitExact:
+      alloc.nbits_brams = brams_for_bits(spec.nbits_management_bits());
+      alloc.bitmap_brams = brams_for_bits(spec.bitmap_management_bits());
+      break;
+  }
+  return alloc;
+}
+
+PortFeasibility check_port_bandwidth(const core::SlidingWindowSpec& spec,
+                                     std::size_t rows_per_bram, double mean_stream_bits) {
+  spec.validate();
+  PortFeasibility f;
+  f.rows_per_bram = rows_per_bram;
+  f.port_width_bits = 36;  // 512x36 simple-dual-port mode
+  f.sustained_bits_per_cycle = static_cast<double>(rows_per_bram) * mean_stream_bits /
+                               static_cast<double>(spec.buffered_columns());
+  f.feasible = f.sustained_bits_per_cycle <= static_cast<double>(f.port_width_bits);
+  return f;
+}
+
+double bram_saving_percent(const TraditionalAllocation& trad, const ProposedAllocation& prop) {
+  if (trad.total_brams == 0) return 0.0;
+  return (1.0 -
+          static_cast<double>(prop.total_brams()) / static_cast<double>(trad.total_brams)) *
+         100.0;
+}
+
+}  // namespace swc::bram

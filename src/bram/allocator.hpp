@@ -1,0 +1,81 @@
+#pragma once
+// BRAM provisioning for both architectures (paper Tables I-V).
+//
+// Traditional (Table I): one FIFO line per buffered window row; each line
+// needs ceil(row_pixels / 2048) cascaded 2kx9 BRAMs for 8-bit pixels. The
+// paper counts `window` lines (matching the compressed design, which buffers
+// full N-pixel columns), not window-1; we follow the table.
+//
+// Proposed (Tables II-V): the Bit Packing streams (one per window row) are
+// packed 1/2/4/8-rows-per-BRAM (Fig. 11). The packing factor is the largest
+// power of two r <= 8 such that r worst-case streams fit one 18 Kb BRAM;
+// this is a design-time choice driven by the measured worst-case compressed
+// row size of the expected scene class — exactly the paper's "compression
+// ratio known at design time" limitation. Management (NBits + BitMap)
+// tables are mapped with either counting policy:
+//  * PortAware : real configurations (parallel x cascade), Section V-E rule;
+//  * BitExact  : ceil(total_bits / 18Kb), the looser rule some published
+//                cells use. EXPERIMENTS.md compares both against the paper.
+
+#include <cstdint>
+
+#include "core/config.hpp"
+
+namespace swc::bram {
+
+enum class AllocPolicy : std::uint8_t { PortAware, BitExact };
+
+struct TraditionalAllocation {
+  std::size_t lines = 0;             // buffered rows (window)
+  std::size_t brams_per_line = 0;    // cascade factor for wide images
+  std::size_t total_brams = 0;
+};
+
+[[nodiscard]] TraditionalAllocation allocate_traditional(const core::SlidingWindowSpec& spec);
+
+struct ProposedAllocation {
+  std::size_t rows_per_bram = 1;     // packing option r in {1,2,4,8} (Fig. 11)
+  std::size_t cascade_per_group = 1; // >1 when even a single stream overflows one BRAM
+  std::size_t packed_brams = 0;
+  std::size_t nbits_brams = 0;
+  std::size_t bitmap_brams = 0;
+
+  [[nodiscard]] std::size_t management_brams() const noexcept {
+    return nbits_brams + bitmap_brams;
+  }
+  [[nodiscard]] std::size_t total_brams() const noexcept {
+    return packed_brams + management_brams();
+  }
+};
+
+// `worst_stream_bits` is the measured worst-case packed size of one window-row
+// stream (from core::compute_frame_cost over the design's image class).
+[[nodiscard]] ProposedAllocation allocate_proposed(const core::SlidingWindowSpec& spec,
+                                                   std::size_t worst_stream_bits,
+                                                   AllocPolicy policy = AllocPolicy::PortAware);
+
+// Eq. (5) at BRAM granularity: 1 - proposed/traditional, in percent.
+[[nodiscard]] double bram_saving_percent(const TraditionalAllocation& trad,
+                                         const ProposedAllocation& prop);
+
+// Port-bandwidth feasibility of a Fig. 11 mapping option: `rows_per_bram`
+// streams share one physical BRAM write port. The sustained demand is the
+// group's mean compressed bits per column cycle; it must not exceed the
+// widest port configuration (36 bits for an 18 Kb BRAM in 512x36 mode).
+// Short bursts (a stream can emit a full byte in one cycle) are absorbed by
+// the per-stream skid registers the Bit Packing units already contain.
+struct PortFeasibility {
+  std::size_t rows_per_bram = 1;
+  double sustained_bits_per_cycle = 0.0;  // mean across the group
+  std::size_t port_width_bits = 36;       // widest SDP configuration
+  bool feasible = false;
+};
+
+// `mean_stream_bits` is the average packed stream size (bits per image row
+// per window row); demand per cycle = rows_per_bram x mean_stream_bits /
+// buffered columns.
+[[nodiscard]] PortFeasibility check_port_bandwidth(const core::SlidingWindowSpec& spec,
+                                                   std::size_t rows_per_bram,
+                                                   double mean_stream_bits);
+
+}  // namespace swc::bram

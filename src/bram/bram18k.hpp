@@ -1,0 +1,54 @@
+#pragma once
+// Model of a Xilinx 7-series 18 Kb block RAM in simple-dual-port mode, with
+// the three aspect-ratio configurations the paper uses (Section V-E):
+// 2kx9, 1kx18, 512x36.
+
+#include <array>
+#include <cstdint>
+
+namespace swc::bram {
+
+inline constexpr std::size_t kBram18kBits = 18 * 1024;  // 18,432 bits
+
+struct BramConfig {
+  std::size_t width = 9;    // port width in bits (includes parity bits)
+  std::size_t depth = 2048;  // addressable entries
+
+  [[nodiscard]] constexpr std::size_t capacity_bits() const noexcept { return width * depth; }
+};
+
+inline constexpr std::array<BramConfig, 3> kSdpConfigs{{
+    {9, 2048},   // "2k x 9"
+    {18, 1024},  // "1k x 18"
+    {36, 512},   // "512 x 36"
+}};
+
+// BRAMs needed to store `entries` records of `entry_bits` each under a given
+// configuration: wide records tile across parallel BRAMs, deep tables
+// cascade. This is the paper's mapping rule for BitMap (Section V-E: window
+// 8/16/32/64/128 at width 512 -> 2kx9, 1kx18, 512x36, 2x(512x36), 4x(512x36)).
+[[nodiscard]] constexpr std::size_t brams_for_table(const BramConfig& cfg, std::size_t entries,
+                                                    std::size_t entry_bits) noexcept {
+  const std::size_t parallel = (entry_bits + cfg.width - 1) / cfg.width;
+  const std::size_t cascade = (entries + cfg.depth - 1) / cfg.depth;
+  return parallel * cascade;
+}
+
+// Best (fewest-BRAM) configuration for a table of `entries` x `entry_bits`.
+[[nodiscard]] constexpr std::size_t best_brams_for_table(std::size_t entries,
+                                                         std::size_t entry_bits) noexcept {
+  std::size_t best = ~std::size_t{0};
+  for (const auto& cfg : kSdpConfigs) {
+    const std::size_t n = brams_for_table(cfg, entries, entry_bits);
+    if (n < best) best = n;
+  }
+  return best;
+}
+
+// Pure bit-count ceiling (the paper's alternative counting rule in some
+// Table IV/V cells).
+[[nodiscard]] constexpr std::size_t brams_for_bits(std::size_t bits) noexcept {
+  return (bits + kBram18kBits - 1) / kBram18kBits;
+}
+
+}  // namespace swc::bram

@@ -1,0 +1,262 @@
+#include "core/accounting.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "bitpack/column_codec.hpp"
+#include "bitpack/nbits.hpp"
+#include "wavelet/haar.hpp"
+
+namespace swc::core {
+namespace {
+
+using wavelet::SubBand;
+
+// Student-t 0.95 quantile (two-sided 90% CI) for small sample sizes; the
+// evaluation uses n = 10 images, so df = 9 -> 1.833.
+double t95(std::size_t df) {
+  static constexpr double table[] = {0.0,   6.314, 2.920, 2.353, 2.132, 2.015,
+                                     1.943, 1.895, 1.860, 1.833, 1.812};
+  if (df == 0) return 0.0;
+  if (df <= 10) return table[df];
+  return 1.645 + 2.0 / static_cast<double>(df);  // asymptotic with small correction
+}
+
+std::size_t resolve_stride(const EngineConfig& config, std::size_t requested) {
+  if (requested != 0) return requested;
+  return std::max<std::size_t>(1, config.spec.window / 2);
+}
+
+// Accumulates one encoded column into a BandCost. `even` tells which
+// sub-band pair the column carries.
+void accumulate_column(BandCost& cost, const bitpack::EncodedColumn& enc,
+                       std::span<const std::uint8_t> kept, bool even,
+                       const bitpack::ColumnCodecConfig& codec) {
+  const std::size_t n = enc.bitmap.size();
+  const std::size_t half = n / 2;
+  cost.bitmap_bits += enc.bitmap_bits();
+  cost.nbits_bits += enc.nbits_field_bits();
+
+  // Payload split per sub-band and per stream. Re-derive each coefficient's
+  // width the same way the codec did, so the split sums to payload_bit_count.
+  std::size_t nz_index = 0;
+  std::size_t check_total = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!enc.bitmap[i]) continue;
+    int width = 0;
+    switch (codec.granularity) {
+      case bitpack::NBitsGranularity::PerSubBandColumn:
+        width = enc.nbits.at(i < half ? 0 : 1);
+        break;
+      case bitpack::NBitsGranularity::PerColumn:
+        width = enc.nbits.at(0);
+        break;
+      case bitpack::NBitsGranularity::PerCoefficient:
+        width = enc.nbits.at(nz_index);
+        break;
+    }
+    ++nz_index;
+    const SubBand band = (i < half) ? wavelet::top_band(!even) : wavelet::bottom_band(!even);
+    cost.payload_bits[static_cast<std::size_t>(band)] += static_cast<std::size_t>(width);
+    cost.stream_bits[i] += static_cast<std::size_t>(width);
+    check_total += static_cast<std::size_t>(width);
+  }
+  (void)kept;
+  if (check_total != enc.payload_bit_count) {
+    throw std::logic_error("accounting: payload split does not sum to payload size");
+  }
+}
+
+// Zero-allocation fast path for the default (PerSubBandColumn) granularity:
+// identical results to the generic codec path (asserted by tests), but
+// computes coefficient widths inline so the full-resolution table sweeps run
+// in seconds. Handles both NBits policies and the threshold_ll knob.
+BandCost band_cost_fast(const image::ImageU8& img, std::size_t band_row,
+                        const EngineConfig& config) {
+  const auto& spec = config.spec;
+  const auto& codec = config.codec;
+  const std::size_t n = spec.window;
+  const std::size_t half = n / 2;
+  const std::size_t cols = spec.buffered_columns();
+  const int threshold = codec.threshold;
+  const bool pre = codec.nbits_policy == bitpack::NBitsPolicy::PreThreshold;
+
+  BandCost cost;
+  cost.band_row = band_row;
+  cost.stream_bits.assign(n, 0);
+  cost.bitmap_bits = cols * n;
+  cost.nbits_bits = cols * 8;
+
+  // Per-half working state: raw/kept widths and significance, in row order.
+  std::vector<std::uint8_t> even_col(n);
+  std::vector<std::uint8_t> odd_col(n);
+  std::vector<std::uint8_t> kept_even(n);
+  std::vector<std::uint8_t> kept_odd(n);
+
+  for (std::size_t x = 0; x + 1 < cols; x += 2) {
+    for (std::size_t k = 0; k < half; ++k) {
+      const std::size_t r = band_row + 2 * k;
+      const wavelet::HaarBlockU8 c = wavelet::haar2d_forward_u8(
+          img.at(x, r), img.at(x + 1, r), img.at(x, r + 1), img.at(x + 1, r + 1));
+      even_col[k] = c.ll;
+      even_col[half + k] = c.lh;
+      odd_col[k] = c.hl;
+      odd_col[half + k] = c.hh;
+    }
+    // Threshold (LL half of the even column may be exempt).
+    for (std::size_t i = 0; i < n; ++i) {
+      const bool ll = i < half;
+      const bool keep_even = (ll && !codec.threshold_ll)
+                                 ? even_col[i] != 0
+                                 : bitpack::is_significant(even_col[i], threshold);
+      kept_even[i] = keep_even ? even_col[i] : 0;
+      kept_odd[i] = bitpack::is_significant(odd_col[i], threshold) ? odd_col[i] : 0;
+    }
+    auto accumulate_half = [&](const std::vector<std::uint8_t>& raw,
+                               const std::vector<std::uint8_t>& kept, std::size_t begin,
+                               SubBand band) {
+      int nbits = 1;
+      std::size_t nonzero = 0;
+      for (std::size_t i = begin; i < begin + half; ++i) {
+        const std::uint8_t basis = pre ? raw[i] : kept[i];
+        const int b = bitpack::min_bits_u8(basis);
+        if (b > nbits) nbits = b;
+        nonzero += kept[i] != 0;
+      }
+      std::size_t payload = 0;
+      for (std::size_t i = begin; i < begin + half; ++i) {
+        if (kept[i] != 0) {
+          cost.stream_bits[i] += static_cast<std::size_t>(nbits);
+          payload += static_cast<std::size_t>(nbits);
+        }
+      }
+      cost.payload_bits[static_cast<std::size_t>(band)] += payload;
+    };
+    accumulate_half(even_col, kept_even, 0, SubBand::LL);
+    accumulate_half(even_col, kept_even, half, SubBand::LH);
+    accumulate_half(odd_col, kept_odd, 0, SubBand::HL);
+    accumulate_half(odd_col, kept_odd, half, SubBand::HH);
+  }
+  return cost;
+}
+
+}  // namespace
+
+std::size_t BandCost::max_stream_bits() const noexcept {
+  std::size_t worst = 0;
+  for (const auto bits : stream_bits) worst = std::max(worst, bits);
+  return worst;
+}
+
+BandCost compute_band_cost(const image::ImageU8& img, std::size_t band_row,
+                           const EngineConfig& config) {
+  config.validate();
+  const auto& spec = config.spec;
+  if (band_row + spec.window > img.height()) {
+    throw std::invalid_argument("compute_band_cost: band does not fit in image");
+  }
+  if (config.codec.granularity == bitpack::NBitsGranularity::PerSubBandColumn) {
+    return band_cost_fast(img, band_row, config);
+  }
+  const std::size_t n = spec.window;
+  const std::size_t cols = spec.buffered_columns();
+
+  BandCost cost;
+  cost.band_row = band_row;
+  cost.stream_bits.assign(n, 0);
+
+  std::vector<std::uint8_t> c0(n);
+  std::vector<std::uint8_t> c1(n);
+  for (std::size_t x = 0; x + 1 < cols; x += 2) {
+    for (std::size_t y = 0; y < n; ++y) {
+      c0[y] = img.at(x, band_row + y);
+      c1[y] = img.at(x + 1, band_row + y);
+    }
+    const wavelet::CoeffColumnPair pair = wavelet::decompose_column_pair(c0, c1);
+    const auto enc_even = bitpack::encode_column(pair.even, config.codec, /*column_is_even=*/true);
+    const auto enc_odd = bitpack::encode_column(pair.odd, config.codec, /*column_is_even=*/false);
+    accumulate_column(cost, enc_even, pair.even, /*even=*/true, config.codec);
+    accumulate_column(cost, enc_odd, pair.odd, /*even=*/false, config.codec);
+  }
+  return cost;
+}
+
+FrameCost compute_frame_cost(const image::ImageU8& img, const EngineConfig& config,
+                             std::size_t row_stride) {
+  config.validate();
+  const std::size_t stride = resolve_stride(config, row_stride);
+  const std::size_t last_band = img.height() - config.spec.window;
+
+  FrameCost frame;
+  double total = 0.0;
+  std::size_t worst_total = 0;
+  for (std::size_t r = 0;; r += stride) {
+    const std::size_t band = std::min(r, last_band);
+    BandCost cost = compute_band_cost(img, band, config);
+    total += static_cast<double>(cost.total_bits());
+    frame.worst_stream_bits = std::max(frame.worst_stream_bits, cost.max_stream_bits());
+    if (cost.total_bits() > worst_total || frame.bands_evaluated == 0) {
+      worst_total = cost.total_bits();
+      frame.worst_band = std::move(cost);
+    }
+    ++frame.bands_evaluated;
+    if (band == last_band) break;
+  }
+  frame.mean_total_bits = total / static_cast<double>(frame.bands_evaluated);
+  return frame;
+}
+
+double memory_saving_percent(const FrameCost& cost, const SlidingWindowSpec& spec) {
+  const auto uncompressed = static_cast<double>(spec.traditional_bits());
+  const auto compressed = static_cast<double>(cost.worst_band.total_bits());
+  return (1.0 - compressed / uncompressed) * 100.0;
+}
+
+SavingsSummary summarize_savings(std::span<const image::ImageU8> images,
+                                 const EngineConfig& config, std::size_t row_stride) {
+  if (images.empty()) throw std::invalid_argument("summarize_savings: empty image set");
+  SavingsSummary s;
+  s.per_image.reserve(images.size());
+  for (const auto& img : images) {
+    const FrameCost cost = compute_frame_cost(img, config, row_stride);
+    s.per_image.push_back(memory_saving_percent(cost, config.spec));
+  }
+  s.min = *std::min_element(s.per_image.begin(), s.per_image.end());
+  s.max = *std::max_element(s.per_image.begin(), s.per_image.end());
+  double sum = 0.0;
+  for (const double v : s.per_image) sum += v;
+  s.mean = sum / static_cast<double>(s.per_image.size());
+  double var = 0.0;
+  for (const double v : s.per_image) var += (v - s.mean) * (v - s.mean);
+  const std::size_t df = s.per_image.size() - 1;
+  if (df > 0) {
+    var /= static_cast<double>(df);
+    const double sem = std::sqrt(var / static_cast<double>(s.per_image.size()));
+    s.ci90_halfwidth = t95(df) * sem;
+  }
+  return s;
+}
+
+std::vector<BufferTracePoint> trace_buffer_occupancy(const image::ImageU8& img,
+                                                     const EngineConfig& config,
+                                                     std::size_t row_stride) {
+  config.validate();
+  if (row_stride == 0) row_stride = 1;
+  std::vector<BufferTracePoint> trace;
+  const std::size_t last_band = img.height() - config.spec.window;
+  for (std::size_t r = 0;; r += row_stride) {
+    const std::size_t band = std::min(r, last_band);
+    const BandCost cost = compute_band_cost(img, band, config);
+    BufferTracePoint pt;
+    pt.band_row = band;
+    pt.band_bits = cost.payload_bits;
+    pt.management_bits = cost.management_total();
+    pt.total_bits = cost.total_bits();
+    trace.push_back(pt);
+    if (band == last_band) break;
+  }
+  return trace;
+}
+
+}  // namespace swc::core

@@ -1,0 +1,49 @@
+#include "core/adaptive_threshold.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace swc::core {
+
+void AdaptiveThresholdConfig::validate() const {
+  if (budget_bits == 0) throw std::invalid_argument("adaptive threshold: budget_bits required");
+  if (min_threshold < 0 || max_threshold < min_threshold) {
+    throw std::invalid_argument("adaptive threshold: bad threshold range");
+  }
+  if (!(low_water > 0.0) || !(low_water < high_water) || !(high_water <= 1.0)) {
+    throw std::invalid_argument("adaptive threshold: need 0 < low_water < high_water <= 1");
+  }
+}
+
+AdaptiveThresholdController::AdaptiveThresholdController(AdaptiveThresholdConfig config)
+    : config_(config), threshold_(config.min_threshold) {
+  config_.validate();
+}
+
+int AdaptiveThresholdController::observe(std::size_t occupancy_bits) {
+  ++observations_;
+  const auto budget = static_cast<double>(config_.budget_bits);
+  const auto occ = static_cast<double>(occupancy_bits);
+
+  last_overflowed_ = occupancy_bits > config_.budget_bits;
+  if (last_overflowed_) ++overflow_count_;
+
+  if (occ > config_.high_water * budget) {
+    threshold_ = std::min(config_.max_threshold, threshold_ + step_);
+    step_ = std::min(step_ * 2, 16);  // escalate while still over the mark
+  } else if (occ < config_.low_water * budget && threshold_ > config_.min_threshold) {
+    // Relax with growing steps on consecutive under-budget frames (the
+    // mirror of the overflow escalation), so quality recovers in a few
+    // frames after a hard scene instead of one threshold unit per frame.
+    threshold_ = std::max(config_.min_threshold, threshold_ - relax_step_);
+    relax_step_ = std::min(relax_step_ * 2, 16);
+    step_ = 1;
+  } else {
+    step_ = 1;
+    relax_step_ = 1;
+  }
+  if (occ > config_.high_water * budget) relax_step_ = 1;
+  return threshold_;
+}
+
+}  // namespace swc::core

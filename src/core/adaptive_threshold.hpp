@@ -1,0 +1,59 @@
+#pragma once
+// Runtime threshold adaptation — the paper's stated future work (Sections
+// V-E and VII): "making threshold values automatically adjustable based on
+// the available memory and the current frame compression ratio".
+//
+// The controller watches the buffer occupancy produced by each processed
+// band/frame and steers the threshold so the worst case stays inside a fixed
+// BRAM budget: the compression ratio is no longer a design-time constant,
+// which fixes the paper's "bad frames or random images" overflow limitation.
+
+#include <cstdint>
+
+#include "core/config.hpp"
+
+namespace swc::core {
+
+struct AdaptiveThresholdConfig {
+  std::size_t budget_bits = 0;   // provisioned buffer capacity (required)
+  int min_threshold = 0;         // lossless floor
+  int max_threshold = 64;        // quality floor / compression ceiling
+  // Occupancy below low_water * budget allows relaxing (lowering) the
+  // threshold; above high_water * budget forces tightening. The gap between
+  // the two is the hysteresis band that prevents oscillation.
+  double low_water = 0.70;
+  double high_water = 0.95;
+
+  void validate() const;
+};
+
+class AdaptiveThresholdController {
+ public:
+  explicit AdaptiveThresholdController(AdaptiveThresholdConfig config);
+
+  [[nodiscard]] int threshold() const noexcept { return threshold_; }
+
+  // Reports the observed occupancy (bits) of the most recent band or frame
+  // compressed at the current threshold. Returns the threshold selected for
+  // the next one. Overflowing observations escalate multiplicatively so a
+  // sudden scene change converges in a few steps rather than one per unit.
+  int observe(std::size_t occupancy_bits);
+
+  // True if the most recent observation exceeded the hard budget (hardware
+  // would have had to stall or drop precision for that band).
+  [[nodiscard]] bool last_overflowed() const noexcept { return last_overflowed_; }
+
+  [[nodiscard]] std::size_t overflow_count() const noexcept { return overflow_count_; }
+  [[nodiscard]] std::size_t observations() const noexcept { return observations_; }
+
+ private:
+  AdaptiveThresholdConfig config_;
+  int threshold_;
+  int step_ = 1;        // grows on consecutive overflows, resets inside budget
+  int relax_step_ = 1;  // grows on consecutive under-budget frames
+  bool last_overflowed_ = false;
+  std::size_t overflow_count_ = 0;
+  std::size_t observations_ = 0;
+};
+
+}  // namespace swc::core

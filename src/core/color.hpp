@@ -1,0 +1,52 @@
+#pragma once
+// 24-bit colour support for the compressed sliding-window buffer: three
+// parallel per-channel instances (the paper's Section III sizes its
+// motivating example with 24-bit pixels), plus the reversible-colour-
+// transform decorrelation ablation.
+
+#include <algorithm>
+
+#include "core/accounting.hpp"
+#include "core/config.hpp"
+#include "image/rgb.hpp"
+
+namespace swc::core {
+
+struct RgbFrameCost {
+  FrameCost r, g, b;
+
+  [[nodiscard]] std::size_t worst_total_bits() const noexcept {
+    return r.worst_band.total_bits() + g.worst_band.total_bits() + b.worst_band.total_bits();
+  }
+  [[nodiscard]] std::size_t worst_stream_bits() const noexcept {
+    return std::max({r.worst_stream_bits, g.worst_stream_bits, b.worst_stream_bits});
+  }
+};
+
+// Per-channel compressed buffer cost (one architecture instance per channel).
+[[nodiscard]] RgbFrameCost compute_rgb_frame_cost(const image::RgbImage& rgb,
+                                                  const EngineConfig& config,
+                                                  std::size_t row_stride = 0);
+
+// Raw 24-bit line-buffer bits (the paper's Section III formula:
+// (W - N) x N x 24).
+[[nodiscard]] std::size_t traditional_rgb_bits(const SlidingWindowSpec& spec);
+
+// Eq. (5) for the colour pipeline.
+[[nodiscard]] double rgb_memory_saving_percent(const RgbFrameCost& cost,
+                                               const SlidingWindowSpec& spec);
+
+// RCT decorrelation ablation: buffer cost when compressing Y / Cb / Cr
+// instead of R / G / B. Chroma coefficients need one extra bit of datapath
+// (9-bit planes), which the estimate accounts for by costing chroma columns
+// with the wide NBits model. Returns total worst-case bits for the band.
+struct RctCost {
+  std::size_t total_bits = 0;       // Y (8-bit codec) + chroma (9-bit model)
+  std::size_t luma_bits = 0;
+  std::size_t chroma_bits = 0;
+};
+
+[[nodiscard]] RctCost compute_rct_cost(const image::RgbImage& rgb, const EngineConfig& config,
+                                       std::size_t row_stride = 0);
+
+}  // namespace swc::core

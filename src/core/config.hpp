@@ -1,0 +1,62 @@
+#pragma once
+// Top-level configuration for both sliding-window architectures.
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "bitpack/column_codec.hpp"
+
+namespace swc::core {
+
+// Geometry of one sliding-window instantiation: an (width x height) image
+// scanned by an (window x window) kernel, 8-bit pixels, exactly the paper's
+// parameter space (width in {512,1024,2048,3840}, window in {8..128}).
+struct SlidingWindowSpec {
+  std::size_t image_width = 512;
+  std::size_t image_height = 512;
+  std::size_t window = 8;
+
+  void validate() const {
+    if (window < 2 || window % 2 != 0) {
+      throw std::invalid_argument("window size must be even and >= 2 (2x2 Haar blocks)");
+    }
+    if (image_width < window || image_height < window) {
+      throw std::invalid_argument("image must be at least window-sized");
+    }
+    if (image_width % 2 != 0) {
+      throw std::invalid_argument("image width must be even (column-pair streaming)");
+    }
+  }
+
+  // Columns resident in the buffering system at steady state (paper: W - N).
+  [[nodiscard]] std::size_t buffered_columns() const noexcept { return image_width - window; }
+
+  // Raw line-buffer bits the traditional architecture provisions. The paper's
+  // Table I counts N buffered rows (the compressed architecture stores full
+  // N-pixel columns, and Table I matches that for comparability).
+  [[nodiscard]] std::size_t traditional_bits() const noexcept {
+    return buffered_columns() * window * 8;
+  }
+
+  // Management-bit totals from Section IV-C:
+  //   NBits : 2 fields x 4 bits per buffered column,
+  //   BitMap: 1 bit per buffered coefficient.
+  [[nodiscard]] std::size_t nbits_management_bits() const noexcept {
+    return 2 * 4 * buffered_columns();
+  }
+  [[nodiscard]] std::size_t bitmap_management_bits() const noexcept {
+    return buffered_columns() * window;
+  }
+  [[nodiscard]] std::size_t management_bits() const noexcept {
+    return nbits_management_bits() + bitmap_management_bits();
+  }
+};
+
+struct EngineConfig {
+  SlidingWindowSpec spec;
+  bitpack::ColumnCodecConfig codec;
+
+  void validate() const { spec.validate(); }
+};
+
+}  // namespace swc::core

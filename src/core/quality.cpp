@@ -1,0 +1,27 @@
+#include "core/quality.hpp"
+
+#include <vector>
+
+#include "image/metrics.hpp"
+#include "wavelet/column_decomposer.hpp"
+
+namespace swc::core {
+
+image::ImageU8 single_pass_roundtrip(const image::ImageU8& img,
+                                     const bitpack::ColumnCodecConfig& codec) {
+  const image::ImageU8 coeffs = wavelet::decompose_region(img);
+  image::ImageU8 kept(coeffs.width(), coeffs.height());
+  std::vector<std::uint8_t> column(coeffs.height());
+  for (std::size_t x = 0; x < coeffs.width(); ++x) {
+    for (std::size_t y = 0; y < coeffs.height(); ++y) column[y] = coeffs.at(x, y);
+    const auto thresholded = bitpack::apply_threshold(column, codec, /*column_is_even=*/x % 2 == 0);
+    for (std::size_t y = 0; y < coeffs.height(); ++y) kept.at(x, y) = thresholded[y];
+  }
+  return wavelet::recompose_region(kept);
+}
+
+double single_pass_mse(const image::ImageU8& img, const bitpack::ColumnCodecConfig& codec) {
+  return image::mse(img, single_pass_roundtrip(img, codec));
+}
+
+}  // namespace swc::core

@@ -1,0 +1,26 @@
+#pragma once
+// Reconstruction-quality evaluation for the lossy modes.
+//
+// Two views exist:
+//  * single_pass_roundtrip: decompose -> threshold -> reconstruct, once.
+//    This is how the paper evaluated MSE (Section VI-A: MSE 0.59 / 3.2 / 4.8
+//    at T = 2 / 4 / 6).
+//  * core::roundtrip_image (streaming_engine.hpp): the architecture's true
+//    end-to-end output, where each row is recompressed up to N times during
+//    its buffer lifetime. EXPERIMENTS.md reports both.
+
+#include "bitpack/column_codec.hpp"
+#include "image/image.hpp"
+
+namespace swc::core {
+
+// One forward transform + threshold + inverse over the whole image,
+// column-pair aligned exactly like the streaming architecture.
+[[nodiscard]] image::ImageU8 single_pass_roundtrip(const image::ImageU8& img,
+                                                   const bitpack::ColumnCodecConfig& codec);
+
+// MSE of single_pass_roundtrip against the original.
+[[nodiscard]] double single_pass_mse(const image::ImageU8& img,
+                                     const bitpack::ColumnCodecConfig& codec);
+
+}  // namespace swc::core

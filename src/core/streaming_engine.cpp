@@ -1,0 +1,130 @@
+#include "core/streaming_engine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "bitpack/column_codec.hpp"
+#include "bitpack/nbits.hpp"
+#include "wavelet/column_decomposer.hpp"
+
+namespace swc::core {
+namespace {
+
+void check_dims(const image::ImageU8& img, const SlidingWindowSpec& spec, const char* who) {
+  if (img.width() != spec.image_width || img.height() != spec.image_height) {
+    throw std::invalid_argument(std::string(who) + ": image does not match spec dimensions");
+  }
+}
+
+}  // namespace
+
+void TraditionalEngine::check_image(const image::ImageU8& img) const {
+  check_dims(img, spec_, "TraditionalEngine");
+}
+
+void CompressedEngine::begin_run(const image::ImageU8& img) {
+  check_dims(img, config_.spec, "CompressedEngine");
+  const std::size_t n = config_.spec.window;
+  const std::size_t w = config_.spec.image_width;
+  band_.assign(n * w, 0);
+  for (std::size_t y = 0; y < n; ++y) {
+    const auto row = img.row(y);
+    std::copy(row.begin(), row.end(), band_.begin() + static_cast<std::ptrdiff_t>(y * w));
+  }
+  reconstructed_ = image::ImageU8(img.width(), img.height());
+  stats_ = RunStats{};
+}
+
+void CompressedEngine::commit_exiting_row(std::size_t r) {
+  const std::size_t w = config_.spec.image_width;
+  std::copy(band_.begin(), band_.begin() + static_cast<std::ptrdiff_t>(w),
+            reconstructed_.row(r).begin());
+}
+
+void CompressedEngine::flush_tail(std::size_t last_r) {
+  const std::size_t n = config_.spec.window;
+  const std::size_t w = config_.spec.image_width;
+  for (std::size_t y = 1; y < n; ++y) {
+    std::copy(band_.begin() + static_cast<std::ptrdiff_t>(y * w),
+              band_.begin() + static_cast<std::ptrdiff_t>((y + 1) * w),
+              reconstructed_.row(last_r + y).begin());
+  }
+}
+
+void CompressedEngine::recompress_and_shift(const image::ImageU8& img, std::size_t r) {
+  const std::size_t n = config_.spec.window;
+  const std::size_t w = config_.spec.image_width;
+  const auto& codec = config_.codec;
+
+  RowTransitionStats row_stats;
+  std::vector<std::size_t> stream_bits(n, 0);
+  std::vector<std::uint8_t> c0(n);
+  std::vector<std::uint8_t> c1(n);
+  std::vector<std::uint8_t> next(n * w);
+
+  for (std::size_t x = 0; x + 1 < w; x += 2) {
+    for (std::size_t y = 0; y < n; ++y) {
+      c0[y] = band_[y * w + x];
+      c1[y] = band_[y * w + x + 1];
+    }
+    const wavelet::CoeffColumnPair coeffs = wavelet::decompose_column_pair(c0, c1);
+    const auto enc_even = bitpack::encode_column(coeffs.even, codec, /*column_is_even=*/true);
+    const auto enc_odd = bitpack::encode_column(coeffs.odd, codec, /*column_is_even=*/false);
+    row_stats.payload_bits += enc_even.payload_bit_count + enc_odd.payload_bit_count;
+    row_stats.management_bits += enc_even.management_bits() + enc_odd.management_bits();
+
+    const auto dec_even = bitpack::decode_column(enc_even, n, codec);
+    const auto dec_odd = bitpack::decode_column(enc_odd, n, codec);
+    const wavelet::PixelColumnPair pixels = wavelet::recompose_column_pair(dec_even, dec_odd);
+
+    // Per-stream (window row) occupancy for the FIFO-provisioning metric.
+    const std::size_t half = n / 2;
+    auto add_stream = [&](const bitpack::EncodedColumn& enc,
+                          const std::vector<std::uint8_t>& decoded) {
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!enc.bitmap[i]) continue;
+        std::size_t width = 0;
+        switch (codec.granularity) {
+          case bitpack::NBitsGranularity::PerSubBandColumn:
+            width = enc.nbits.at(i < half ? 0 : 1);
+            break;
+          case bitpack::NBitsGranularity::PerColumn:
+            width = enc.nbits.at(0);
+            break;
+          case bitpack::NBitsGranularity::PerCoefficient:
+            // Per-coefficient mode sizes each value by its own width; the
+            // decoded value reproduces that width exactly.
+            width = static_cast<std::size_t>(bitpack::min_bits_u8(decoded[i]));
+            break;
+        }
+        stream_bits[i] += width;
+      }
+    };
+    add_stream(enc_even, dec_even);
+    add_stream(enc_odd, dec_odd);
+
+    // Shift up one row while writing back the reconstructed columns.
+    for (std::size_t y = 1; y < n; ++y) {
+      next[(y - 1) * w + x] = pixels.col0[y];
+      next[(y - 1) * w + x + 1] = pixels.col1[y];
+    }
+  }
+
+  const auto input = img.row(r + n);
+  std::copy(input.begin(), input.end(), next.begin() + static_cast<std::ptrdiff_t>((n - 1) * w));
+  band_ = std::move(next);
+
+  stats_.note_row(row_stats);
+  for (const auto bits : stream_bits) {
+    stats_.max_stream_bits = std::max(stats_.max_stream_bits, bits);
+  }
+}
+
+image::ImageU8 roundtrip_image(const image::ImageU8& img, const EngineConfig& config) {
+  CompressedEngine engine(config);
+  engine.run(img, [](std::size_t, std::size_t, const WindowView&) {});
+  return engine.reconstructed();
+}
+
+}  // namespace swc::core

@@ -1,0 +1,156 @@
+#pragma once
+// Functional (golden-model) streaming engines for both architectures.
+//
+// TraditionalEngine models Fig. 1: line buffers hold raw rows, every window
+// position sees pristine pixels.
+//
+// CompressedEngine models Fig. 4's dataflow: while the window scans output
+// row r, each N-pixel column leaving the window is wavelet-decomposed,
+// thresholded, bit-packed into the memory unit, and unpacked + inverse-
+// transformed when it re-enters the window one image-width later for output
+// row r+1. With threshold 0 the codec is exactly lossless, so the two
+// engines produce identical windows (verified by tests). With threshold > 0
+// the recycled rows accumulate recompression error over their N-row lifetime
+// ("drift"); reconstructed() exposes each row as it finally exits, which is
+// the architecture's true output-side image, and stats() records the real
+// buffer occupancy per row transition.
+//
+// Both engines invoke sink(row, col, WindowView) for every valid window
+// position, left-to-right, top-to-bottom, matching the raster streaming
+// order of the hardware.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/config.hpp"
+#include "image/image.hpp"
+
+namespace swc::core {
+
+// Read-only view of the active N x N window inside a band buffer.
+class WindowView {
+ public:
+  WindowView(const std::uint8_t* band, std::size_t band_width, std::size_t window,
+             std::size_t col) noexcept
+      : band_(band), band_width_(band_width), window_(window), col_(col) {}
+
+  // wx, wy in [0, window); wy = 0 is the top (oldest) row.
+  [[nodiscard]] std::uint8_t at(std::size_t wx, std::size_t wy) const noexcept {
+    return band_[wy * band_width_ + col_ + wx];
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return window_; }
+
+ private:
+  const std::uint8_t* band_;
+  std::size_t band_width_;
+  std::size_t window_;
+  std::size_t col_;
+};
+
+struct RowTransitionStats {
+  std::size_t payload_bits = 0;
+  std::size_t management_bits = 0;
+  [[nodiscard]] std::size_t total_bits() const noexcept { return payload_bits + management_bits; }
+};
+
+struct RunStats {
+  std::vector<RowTransitionStats> per_row;
+  std::size_t max_stream_bits = 0;   // worst single window-row FIFO stream
+  std::size_t max_row_bits = 0;      // worst whole-buffer occupancy
+  std::size_t windows_emitted = 0;
+
+  void note_row(const RowTransitionStats& row) {
+    per_row.push_back(row);
+    max_row_bits = std::max(max_row_bits, row.total_bits());
+  }
+};
+
+class TraditionalEngine {
+ public:
+  explicit TraditionalEngine(SlidingWindowSpec spec) : spec_(spec) { spec_.validate(); }
+
+  template <typename Sink>
+  void run(const image::ImageU8& img, Sink&& sink) {
+    check_image(img);
+    const std::size_t n = spec_.window;
+    const std::size_t w = spec_.image_width;
+    // Rolling band buffer, kept explicitly so both engines share the same
+    // access pattern (and so tests can compare window-by-window).
+    std::vector<std::uint8_t> band(n * w);
+    for (std::size_t y = 0; y < n; ++y) {
+      const auto row = img.row(y);
+      std::copy(row.begin(), row.end(), band.begin() + static_cast<std::ptrdiff_t>(y * w));
+    }
+    windows_emitted_ = 0;
+    for (std::size_t r = 0;; ++r) {
+      for (std::size_t c = 0; c + n <= w; ++c) {
+        sink(r, c, WindowView(band.data(), w, n, c));
+        ++windows_emitted_;
+      }
+      if (r + n >= img.height()) break;
+      // Shift the band up one row and append the next input row.
+      std::copy(band.begin() + static_cast<std::ptrdiff_t>(w), band.end(), band.begin());
+      const auto next = img.row(r + n);
+      std::copy(next.begin(), next.end(), band.end() - static_cast<std::ptrdiff_t>(w));
+    }
+  }
+
+  [[nodiscard]] std::size_t windows_emitted() const noexcept { return windows_emitted_; }
+  [[nodiscard]] const SlidingWindowSpec& spec() const noexcept { return spec_; }
+
+ private:
+  void check_image(const image::ImageU8& img) const;
+
+  SlidingWindowSpec spec_;
+  std::size_t windows_emitted_ = 0;
+};
+
+class CompressedEngine {
+ public:
+  explicit CompressedEngine(EngineConfig config) : config_(config) { config_.validate(); }
+
+  template <typename Sink>
+  void run(const image::ImageU8& img, Sink&& sink) {
+    begin_run(img);
+    const std::size_t n = config_.spec.window;
+    const std::size_t w = config_.spec.image_width;
+    for (std::size_t r = 0;; ++r) {
+      for (std::size_t c = 0; c + n <= w; ++c) {
+        sink(r, c, WindowView(band_.data(), w, n, c));
+        ++stats_.windows_emitted;
+      }
+      // Row 0 of the band exits the architecture now; it is the final,
+      // possibly drift-affected value of image row r.
+      commit_exiting_row(r);
+      if (r + n >= img.height()) {
+        flush_tail(r);
+        break;
+      }
+      recompress_and_shift(img, r);
+    }
+  }
+
+  [[nodiscard]] const RunStats& stats() const noexcept { return stats_; }
+  // Rows as they exited the buffer after their full recompression lifetime.
+  [[nodiscard]] const image::ImageU8& reconstructed() const { return reconstructed_; }
+  [[nodiscard]] const EngineConfig& config() const noexcept { return config_; }
+
+ private:
+  void begin_run(const image::ImageU8& img);
+  void commit_exiting_row(std::size_t r);
+  void flush_tail(std::size_t last_r);
+  // Compress/decompress every band column with the configured codec, shift
+  // the band up one row, and append input row (r + window).
+  void recompress_and_shift(const image::ImageU8& img, std::size_t r);
+
+  EngineConfig config_;
+  std::vector<std::uint8_t> band_;
+  image::ImageU8 reconstructed_;
+  RunStats stats_;
+};
+
+// Convenience: run the compressed engine with a no-op sink and return the
+// reconstructed image (the codec's end-to-end output view).
+[[nodiscard]] image::ImageU8 roundtrip_image(const image::ImageU8& img, const EngineConfig& config);
+
+}  // namespace swc::core

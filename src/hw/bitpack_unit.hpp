@@ -1,0 +1,55 @@
+#pragma once
+// Register-accurate model of the Bit Packing unit (Fig. 6).
+//
+// One unit serves one window row. Per clock it receives one coefficient,
+// the column's NBits (from the Fig. 7 finder), and the significance decision
+// from the threshold comparator; it accumulates the coefficient's NBits
+// least-significant bits and emits a byte to the Memory Unit whenever
+// BitMax = 8 bits are ready. The accumulator pair (Yout_Current + carry into
+// Yout_Reg) is modelled as one 16-bit register: CBits <= 7 residual bits plus
+// at most 8 incoming bits never exceeds 15.
+
+#include <cassert>
+#include <cstdint>
+#include <optional>
+
+namespace swc::hw {
+
+class BitPackUnit {
+ public:
+  // Clocks one coefficient. Returns the output byte when WEN fires.
+  std::optional<std::uint8_t> step(std::uint8_t coeff, int nbits, bool significant) {
+    assert(nbits >= 1 && nbits <= 8);
+    if (significant) {
+      const std::uint16_t mask = static_cast<std::uint16_t>((1u << nbits) - 1u);
+      acc_ = static_cast<std::uint16_t>(acc_ | static_cast<std::uint16_t>((coeff & mask) << cbits_));
+      cbits_ += nbits;
+    }
+    if (cbits_ >= 8) {
+      const auto byte = static_cast<std::uint8_t>(acc_ & 0xFFu);
+      acc_ = static_cast<std::uint16_t>(acc_ >> 8);
+      cbits_ -= 8;
+      return byte;
+    }
+    return std::nullopt;
+  }
+
+  // Row-boundary flush: pads the residual bits to a byte (zeros) so each
+  // image row's packed stream is byte-aligned and self-contained. Returns
+  // the padded byte if any bits were pending.
+  std::optional<std::uint8_t> flush() {
+    if (cbits_ == 0) return std::nullopt;
+    const auto byte = static_cast<std::uint8_t>(acc_ & 0xFFu);
+    acc_ = 0;
+    cbits_ = 0;
+    return byte;
+  }
+
+  [[nodiscard]] int pending_bits() const noexcept { return cbits_; }
+
+ private:
+  std::uint16_t acc_ = 0;  // Yout_Current + Yout_Reg datapath
+  int cbits_ = 0;          // CBits register
+};
+
+}  // namespace swc::hw

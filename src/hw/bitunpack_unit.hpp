@@ -1,0 +1,52 @@
+#pragma once
+// Register-accurate model of the Bit Unpacking unit (Figs. 8-9).
+//
+// One unit serves one window row. Per clock it reconstructs one coefficient:
+// if the BitMap bit is 0 it outputs zero; otherwise it extracts NBits bits
+// from the residual register (Yout_rem), fetching at most one byte from the
+// Pixel FIFO per clock when fewer than NBits remain — exactly the paper's
+// worst case that sizes Yout_rem at 16 bits (7 residual + 8 fetched = 15).
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+
+#include "bitpack/bitstream.hpp"
+
+namespace swc::hw {
+
+class BitUnpackUnit {
+ public:
+  // FetchByte pops one byte from this unit's Pixel FIFO.
+  using FetchByte = std::function<std::uint8_t()>;
+
+  // Clocks one coefficient out. `fetch` is invoked at most once.
+  std::uint8_t step(int nbits, bool significant, const FetchByte& fetch) {
+    assert(nbits >= 1 && nbits <= 8);
+    if (!significant) return 0;
+    if (cbits_ < nbits) {
+      rem_ = static_cast<std::uint16_t>(rem_ | static_cast<std::uint16_t>(fetch()) << cbits_);
+      cbits_ += 8;
+      assert(cbits_ <= 15);
+    }
+    const auto mask = static_cast<std::uint16_t>((1u << nbits) - 1u);
+    const std::uint8_t value = bitpack::sign_extend_u8(rem_ & mask, nbits);
+    rem_ = static_cast<std::uint16_t>(rem_ >> nbits);
+    cbits_ -= nbits;
+    return value;
+  }
+
+  // Row boundary: discard padding bits left over from the flushed byte.
+  void reset_row() {
+    rem_ = 0;
+    cbits_ = 0;
+  }
+
+  [[nodiscard]] int pending_bits() const noexcept { return cbits_; }
+
+ private:
+  std::uint16_t rem_ = 0;  // Yout_rem register
+  int cbits_ = 0;          // CBits register
+};
+
+}  // namespace swc::hw

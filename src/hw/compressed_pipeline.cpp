@@ -1,0 +1,148 @@
+#include "hw/compressed_pipeline.hpp"
+
+#include <algorithm>
+#include <span>
+#include <stdexcept>
+
+#include "bitpack/column_codec.hpp"
+#include "bitpack/nbits.hpp"
+#include "wavelet/column_decomposer.hpp"
+
+namespace swc::hw {
+
+CompressedPipeline::CompressedPipeline(core::EngineConfig config,
+                                       std::size_t payload_capacity_bits_per_stream)
+    : config_(config),
+      window_(config.spec.window),
+      iwt_(config.spec.window),
+      memory_(config.spec.window, payload_capacity_bits_per_stream == 0
+                                      ? 0
+                                      : (payload_capacity_bits_per_stream + 7) / 8),
+      packers_(config.spec.window),
+      unpackers_(config.spec.window),
+      coeff_out_(config.spec.window),
+      recon_(config.spec.window, 0),
+      recon_next_(config.spec.window, 0),
+      new_column_(config.spec.window) {
+  config_.validate();
+  if (config_.codec.granularity != bitpack::NBitsGranularity::PerSubBandColumn) {
+    throw std::invalid_argument(
+        "CompressedPipeline: hardware model implements PerSubBandColumn NBits only");
+  }
+}
+
+void CompressedPipeline::compress_entering_column(const std::vector<std::uint8_t>& coeffs,
+                                                  std::size_t k) {
+  const std::size_t n = config_.spec.window;
+  const std::size_t half = n / 2;
+  const bool column_is_even = (k % 2) == 0;
+
+  // Threshold + NBits exactly as bitpack::encode_column (golden model).
+  const std::vector<std::uint8_t> kept =
+      bitpack::apply_threshold(coeffs, config_.codec, column_is_even);
+  const std::span<const std::uint8_t> basis =
+      config_.codec.nbits_policy == bitpack::NBitsPolicy::PreThreshold
+          ? std::span<const std::uint8_t>(coeffs)
+          : std::span<const std::uint8_t>(kept);
+
+  NBitsEntry nb;
+  nb.top = static_cast<std::uint8_t>(bitpack::group_nbits(basis.subspan(0, half)));
+  nb.bottom = static_cast<std::uint8_t>(bitpack::group_nbits(basis.subspan(half, half)));
+
+  BitmapWord bm;
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool significant = kept[i] != 0;
+    bm.set(i, significant);
+    const int width = i < half ? nb.top : nb.bottom;
+    if (const auto byte = packers_[i].step(kept[i], width, significant)) {
+      memory_.push_byte(i, *byte);
+    }
+  }
+  memory_.push_management(nb, bm);
+
+  // Row boundary: flush every packer so the row's byte stream is closed.
+  if (k % config_.spec.image_width == config_.spec.image_width - 1) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (const auto byte = packers_[i].flush()) memory_.push_byte(i, *byte);
+    }
+    memory_.end_pack_row();
+  }
+}
+
+void CompressedPipeline::decompress_for_cycle(std::size_t t) {
+  const std::size_t n = config_.spec.window;
+  const std::size_t w = config_.spec.image_width;
+  const std::size_t half = n / 2;
+
+  if (t < w) {
+    std::fill(recon_.begin(), recon_.end(), std::uint8_t{0});
+    return;
+  }
+  const std::size_t g = t - w;
+  if (g % 2 != 0) {
+    // Odd pair member was reconstructed last cycle and held in the output
+    // register.
+    recon_ = recon_next_;
+    return;
+  }
+
+  if (g % w == 0) {
+    memory_.begin_unpack_row();
+    for (auto& unit : unpackers_) unit.reset_row();
+  }
+
+  // Unpack the coefficient column pair (g, g+1) and run the inverse 2-D
+  // transform; the even pixel column is needed this cycle.
+  std::vector<std::uint8_t> coeff_even(n);
+  std::vector<std::uint8_t> coeff_odd(n);
+  for (const bool odd_member : {false, true}) {
+    const NBitsEntry nb = memory_.pop_nbits();
+    const BitmapWord bm = memory_.pop_bitmap();
+    auto& out = odd_member ? coeff_odd : coeff_even;
+    for (std::size_t i = 0; i < n; ++i) {
+      const int width = i < half ? nb.top : nb.bottom;
+      out[i] = unpackers_[i].step(width, bm.get(i),
+                                  [this, i] { return memory_.pop_byte(i); });
+    }
+  }
+  const wavelet::PixelColumnPair pixels = wavelet::recompose_column_pair(coeff_even, coeff_odd);
+  recon_ = pixels.col0;
+  recon_next_ = pixels.col1;
+}
+
+bool CompressedPipeline::step(std::uint8_t pixel) {
+  const std::size_t n = config_.spec.window;
+  const std::size_t w = config_.spec.image_width;
+  const std::size_t t = cycles_++;
+  const std::size_t row = t / w;
+  const std::size_t col = t % w;
+
+  // 1. If the IWT holds a buffered (odd) coefficient column, pack it first:
+  //    this is what closes an image row (flush) before any same-cycle pop.
+  if (iwt_.collect_buffered(coeff_out_)) compress_entering_column(coeff_out_, t - 1);
+
+  // 2. Reconstruct the pixel column recycled from one image row ago.
+  decompress_for_cycle(t);
+
+  // 3. Form and shift in the new window column: recycled rows (dropping the
+  //    oldest) above the fresh input pixel.
+  for (std::size_t i = 0; i + 1 < n; ++i) new_column_[i] = recon_[i + 1];
+  new_column_[n - 1] = pixel;
+  window_.shift_in(new_column_);
+
+  // 4. Feed the IWT; when this completes a column pair it emits the even
+  //    coefficient column immediately.
+  if (iwt_.feed(new_column_, coeff_out_)) compress_entering_column(coeff_out_, t - 1);
+
+  peak_buffer_bits_ = std::max(peak_buffer_bits_, memory_.total_bits_stored());
+
+  const bool valid = row + 1 >= n && col + 1 >= n;
+  if (valid) {
+    out_row_ = row + 1 - n;
+    out_col_ = col + 1 - n;
+    ++windows_emitted_;
+  }
+  return valid;
+}
+
+}  // namespace swc::hw

@@ -1,0 +1,90 @@
+#pragma once
+// Cycle-accurate model of the proposed compressed sliding-window
+// architecture (Fig. 4): IWT -> Bit Packing -> Memory Unit -> Bit Unpacking
+// -> IIWT wrapped around the active shift-register window.
+//
+// Scheduling (one pixel per clock, t = R * W + c):
+//  * Entry: the new window column for stream position t is formed from the
+//    reconstructed column of the same image position one row earlier
+//    (stream position t - W; zeros while priming) plus the new input pixel,
+//    and shifts into the window.
+//  * Compression: the entering column feeds the IWT (one-column pairing
+//    latency), its coefficient column is thresholded, bit-packed by the N
+//    BitPackUnits and stored with its NBits/BitMap management words. At each
+//    image-row boundary the packers flush so every row's byte stream is
+//    self-contained. Columns are compressed at window entry rather than
+//    exit; the buffered content is identical (window contents never change
+//    while resident) and entry-side compression makes the W-cycle recycle
+//    loop provably free of FIFO underflow with row-aligned flushing (see
+//    DESIGN.md).
+//  * Decompression: pixel column g is needed at cycle g + W. Column pairs
+//    (g even) are unpacked and inverse-transformed together at that cycle;
+//    the odd member is held one cycle in the output register.
+//
+// With threshold 0 the pipeline's window contents are bit-identical to the
+// traditional pipeline at every cycle (verified by tests); throughput is
+// exactly one pixel per cycle in both (the paper's "no degradation" claim).
+
+#include <cstdint>
+#include <vector>
+
+#include "core/config.hpp"
+#include "hw/bitpack_unit.hpp"
+#include "hw/bitunpack_unit.hpp"
+#include "hw/iwt_module.hpp"
+#include "hw/memory_unit.hpp"
+#include "hw/shift_window.hpp"
+
+namespace swc::hw {
+
+class CompressedPipeline {
+ public:
+  // `payload_capacity_bits_per_stream` (0 = unbounded) models the BRAM
+  // capacity provisioned per window-row FIFO; overflow is recorded.
+  explicit CompressedPipeline(core::EngineConfig config,
+                              std::size_t payload_capacity_bits_per_stream = 0);
+
+  // One clock cycle. Returns true when the active window is a valid window
+  // position (same contract as TraditionalPipeline).
+  bool step(std::uint8_t pixel);
+
+  [[nodiscard]] const ShiftWindow& window() const noexcept { return window_; }
+  [[nodiscard]] std::size_t out_row() const noexcept { return out_row_; }
+  [[nodiscard]] std::size_t out_col() const noexcept { return out_col_; }
+
+  [[nodiscard]] std::size_t cycles() const noexcept { return cycles_; }
+  [[nodiscard]] std::size_t windows_emitted() const noexcept { return windows_emitted_; }
+
+  [[nodiscard]] const MemoryUnit& memory() const noexcept { return memory_; }
+  [[nodiscard]] const core::EngineConfig& config() const noexcept { return config_; }
+
+  // Peak total buffered bits observed (payload + management), the quantity
+  // BRAM provisioning must cover.
+  [[nodiscard]] std::size_t peak_buffer_bits() const noexcept { return peak_buffer_bits_; }
+
+ private:
+  void compress_entering_column(const std::vector<std::uint8_t>& column, std::size_t t);
+  // Produces the reconstructed pixel column for stream position g = t - W
+  // into recon_; valid from t >= W.
+  void decompress_for_cycle(std::size_t t);
+
+  core::EngineConfig config_;
+  ShiftWindow window_;
+  IwtModule iwt_;
+  MemoryUnit memory_;
+  std::vector<BitPackUnit> packers_;
+  std::vector<BitUnpackUnit> unpackers_;
+
+  std::vector<std::uint8_t> coeff_out_;    // IWT output column staging
+  std::vector<std::uint8_t> recon_;        // reconstructed column for this cycle
+  std::vector<std::uint8_t> recon_next_;   // odd pair member for the next cycle
+  std::vector<std::uint8_t> new_column_;
+
+  std::size_t cycles_ = 0;
+  std::size_t windows_emitted_ = 0;
+  std::size_t out_row_ = 0;
+  std::size_t out_col_ = 0;
+  std::size_t peak_buffer_bits_ = 0;
+};
+
+}  // namespace swc::hw

@@ -1,0 +1,57 @@
+#pragma once
+// Hardware FIFO model with occupancy statistics.
+//
+// The cycle-accurate pipelines use these for the line buffers (traditional
+// architecture) and the memory-unit buffers (compressed architecture). A
+// FIFO never throws on overflow: like provisioning errors in real hardware,
+// overflow is recorded (overflowed()) so experiments can detect when a
+// design-time capacity choice was violated (the paper's "bad frames" case).
+
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <stdexcept>
+
+namespace swc::hw {
+
+template <typename T>
+class Fifo {
+ public:
+  explicit Fifo(std::size_t capacity = std::numeric_limits<std::size_t>::max())
+      : capacity_(capacity) {}
+
+  void push(const T& value) {
+    if (data_.size() >= capacity_) {
+      overflowed_ = true;  // element is still modelled so the run can finish
+    }
+    data_.push_back(value);
+    high_water_ = std::max(high_water_, data_.size());
+    ++pushes_;
+  }
+
+  [[nodiscard]] T pop() {
+    if (data_.empty()) throw std::runtime_error("Fifo::pop on empty FIFO (underflow)");
+    T v = std::move(data_.front());
+    data_.pop_front();
+    ++pops_;
+    return v;
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t high_water() const noexcept { return high_water_; }
+  [[nodiscard]] bool overflowed() const noexcept { return overflowed_; }
+  [[nodiscard]] std::size_t pushes() const noexcept { return pushes_; }
+  [[nodiscard]] std::size_t pops() const noexcept { return pops_; }
+
+ private:
+  std::deque<T> data_;
+  std::size_t capacity_;
+  std::size_t high_water_ = 0;
+  std::size_t pushes_ = 0;
+  std::size_t pops_ = 0;
+  bool overflowed_ = false;
+};
+
+}  // namespace swc::hw

@@ -1,0 +1,113 @@
+#include "hw/iwt_module.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <string>
+
+#include "wavelet/haar.hpp"
+
+namespace swc::hw {
+namespace {
+
+void check_column(std::size_t have, std::size_t want, const char* who) {
+  if (have != want) throw std::invalid_argument(std::string(who) + ": bad column size");
+}
+
+}  // namespace
+
+IwtModule::IwtModule(std::size_t n) : n_(n), even_col_(n), odd_out_(n), scratch_(n) {
+  if (n < 2 || n % 2 != 0) throw std::invalid_argument("IwtModule: window must be even");
+}
+
+void IwtModule::reset() {
+  have_even_ = false;
+  emit_buffered_ = false;
+}
+
+bool IwtModule::collect_buffered(std::span<std::uint8_t> out) {
+  check_column(out.size(), n_, "IwtModule");
+  if (!emit_buffered_) return false;
+  std::copy(odd_out_.begin(), odd_out_.end(), out.begin());
+  emit_buffered_ = false;
+  return true;
+}
+
+bool IwtModule::feed(std::span<const std::uint8_t> column, std::span<std::uint8_t> out) {
+  check_column(column.size(), n_, "IwtModule");
+  check_column(out.size(), n_, "IwtModule");
+  const std::size_t half = n_ / 2;
+
+  if (!have_even_) {
+    // Even column of the pair: latch it in the column delay registers.
+    std::copy(column.begin(), column.end(), even_col_.begin());
+    have_even_ = true;
+    return false;
+  }
+
+  // Odd column: the 2x2 blocks of the pair are complete; run the full 2-D
+  // transform (identical composition to wavelet::decompose_column_pair).
+  assert(!emit_buffered_ && "odd coefficient column was never collected");
+  for (std::size_t k = 0; k < half; ++k) {
+    const wavelet::HaarBlockU8 c = wavelet::haar2d_forward_u8(
+        even_col_[2 * k], column[2 * k], even_col_[2 * k + 1], column[2 * k + 1]);
+    out[k] = c.ll;             // LL -> even coefficient column, top half
+    out[half + k] = c.lh;      // LH -> even coefficient column, bottom half
+    odd_out_[k] = c.hl;        // HL -> odd coefficient column, top half
+    odd_out_[half + k] = c.hh; // HH -> odd coefficient column, bottom half
+  }
+  have_even_ = false;
+  emit_buffered_ = true;
+  return true;
+}
+
+bool IwtModule::step(std::span<const std::uint8_t> column, std::span<std::uint8_t> out) {
+  const bool had_buffered = collect_buffered(out);
+  const bool fed = feed(column, had_buffered ? std::span<std::uint8_t>(scratch_) : out);
+  assert(!(had_buffered && fed) && "IWT schedule out of phase");
+  return had_buffered || fed;
+}
+
+IiwtModule::IiwtModule(std::size_t n) : n_(n), even_coeff_(n), odd_pixels_(n) {
+  if (n < 2 || n % 2 != 0) throw std::invalid_argument("IiwtModule: window must be even");
+}
+
+void IiwtModule::reset() {
+  have_even_ = false;
+  emit_buffered_ = false;
+}
+
+bool IiwtModule::step(std::span<const std::uint8_t> coeff_column, std::span<std::uint8_t> out) {
+  check_column(coeff_column.size(), n_, "IiwtModule");
+  check_column(out.size(), n_, "IiwtModule");
+  const std::size_t half = n_ / 2;
+
+  if (!have_even_) {
+    // Even coefficient column (LL+LH): buffer it; meanwhile the odd pixel
+    // column reconstructed last cycle (if any) leaves the module.
+    const bool produced = emit_buffered_;
+    if (emit_buffered_) {
+      std::copy(odd_pixels_.begin(), odd_pixels_.end(), out.begin());
+      emit_buffered_ = false;
+    }
+    std::copy(coeff_column.begin(), coeff_column.end(), even_coeff_.begin());
+    have_even_ = true;
+    return produced;
+  }
+
+  // Odd coefficient column (HL+HH): full 2-D inverse of the pair.
+  for (std::size_t k = 0; k < half; ++k) {
+    const wavelet::HaarBlockU8 c{even_coeff_[k], even_coeff_[half + k], coeff_column[k],
+                                 coeff_column[half + k]};
+    const wavelet::PixelBlockU8 p = wavelet::haar2d_inverse_u8(c);
+    out[2 * k] = p.x00;            // even pixel column leaves now
+    out[2 * k + 1] = p.x10;
+    odd_pixels_[2 * k] = p.x01;    // odd pixel column leaves next cycle
+    odd_pixels_[2 * k + 1] = p.x11;
+  }
+  have_even_ = false;
+  emit_buffered_ = true;
+  return true;
+}
+
+}  // namespace swc::hw

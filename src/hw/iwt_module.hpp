@@ -1,0 +1,82 @@
+#pragma once
+// Streaming forward / inverse 2-D Haar IWT modules (Figs. 5 and 10).
+//
+// The 2-D transform consumes 2x2 pixel blocks, but the architecture delivers
+// one window column per clock. Each module therefore keeps a one-column
+// delay register:
+//
+//  IwtModule   : pixel column x in at cycle t  ->  coefficient column x-1
+//                out at cycle t (1-column latency, 1 column/cycle sustained).
+//                On odd x the module computes the 2-D transform of the pair
+//                (x-1, x), emits the even coefficient column (LL+LH) and
+//                buffers the odd one (HL+HH) for the next cycle.
+//  IiwtModule  : coefficient column u in at cycle t -> pixel column u-1 out
+//                at cycle t, by the mirrored schedule.
+//
+// Column pairing is by absolute column parity; since the image width is
+// even, pairs never straddle a row boundary and the schedule is uniform
+// across the whole frame.
+//
+// IwtModule exposes the two halves of a cycle separately (collect_buffered,
+// then feed) so the enclosing pipeline can order the buffered emission —
+// which does not depend on this cycle's input — before events that do
+// (row-boundary flushing must precede same-cycle memory pops). step() is the
+// atomic per-clock convenience combining both.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace swc::hw {
+
+class IwtModule {
+ public:
+  explicit IwtModule(std::size_t n);
+
+  // True when the odd coefficient column computed last cycle is pending.
+  [[nodiscard]] bool has_buffered_output() const noexcept { return emit_buffered_; }
+
+  // Emits the pending odd coefficient column, if any.
+  bool collect_buffered(std::span<std::uint8_t> out);
+
+  // Clocks one pixel column in (top row first). When this completes a column
+  // pair (odd position) the even coefficient column is written to `out` and
+  // the odd one is buffered; returns whether `out` was written.
+  bool feed(std::span<const std::uint8_t> column, std::span<std::uint8_t> out);
+
+  // Atomic per-clock operation: emits the buffered column or the fed pair's
+  // even column — exactly one output per cycle after the first.
+  bool step(std::span<const std::uint8_t> column, std::span<std::uint8_t> out);
+
+  void reset();
+  [[nodiscard]] std::size_t window() const noexcept { return n_; }
+
+ private:
+  std::size_t n_;
+  bool have_even_ = false;      // the even column of the pair is buffered
+  bool emit_buffered_ = false;  // odd coefficient column pending for this cycle
+  std::vector<std::uint8_t> even_col_;  // raw pixels of the buffered even column
+  std::vector<std::uint8_t> odd_out_;   // HL+HH column awaiting emission
+  std::vector<std::uint8_t> scratch_;
+};
+
+class IiwtModule {
+ public:
+  explicit IiwtModule(std::size_t n);
+
+  // Clocks one coefficient column in. Returns true when `out` holds the
+  // reconstructed pixel column for the previous input position.
+  bool step(std::span<const std::uint8_t> coeff_column, std::span<std::uint8_t> out);
+
+  void reset();
+  [[nodiscard]] std::size_t window() const noexcept { return n_; }
+
+ private:
+  std::size_t n_;
+  bool have_even_ = false;
+  bool emit_buffered_ = false;
+  std::vector<std::uint8_t> even_coeff_;  // buffered LL+LH column
+  std::vector<std::uint8_t> odd_pixels_;  // reconstructed odd pixel column pending
+};
+
+}  // namespace swc::hw

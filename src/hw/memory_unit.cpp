@@ -1,0 +1,95 @@
+#include "hw/memory_unit.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace swc::hw {
+
+MemoryUnit::MemoryUnit(std::size_t window, std::size_t payload_capacity_bytes)
+    : window_(window),
+      payload_(window, Fifo<std::uint8_t>(payload_capacity_bytes == 0
+                                              ? std::numeric_limits<std::size_t>::max()
+                                              : payload_capacity_bytes)),
+      pushed_this_row_(window, 0),
+      consumed_this_row_(window, 0) {
+  if (window == 0 || window > 128) {
+    throw std::invalid_argument("MemoryUnit: window must be in [1, 128]");
+  }
+}
+
+void MemoryUnit::push_byte(std::size_t stream, std::uint8_t byte) {
+  payload_.at(stream).push(byte);
+  ++pushed_this_row_.at(stream);
+}
+
+void MemoryUnit::push_management(const NBitsEntry& nbits, const BitmapWord& bitmap) {
+  nbits_.push(nbits);
+  bitmap_.push(bitmap);
+}
+
+void MemoryUnit::end_pack_row() {
+  row_byte_counts_.push(pushed_this_row_);
+  for (auto& c : pushed_this_row_) c = 0;
+}
+
+std::uint8_t MemoryUnit::pop_byte(std::size_t stream) {
+  ++consumed_this_row_.at(stream);
+  return payload_.at(stream).pop();
+}
+
+NBitsEntry MemoryUnit::pop_nbits() { return nbits_.pop(); }
+
+BitmapWord MemoryUnit::pop_bitmap() { return bitmap_.pop(); }
+
+void MemoryUnit::begin_unpack_row() {
+  if (unpack_row_open_) {
+    // Drop the finished row's padding / never-needed bytes so the next row's
+    // stream starts at a byte the packer actually produced for it.
+    const std::vector<std::uint32_t> counts = row_byte_counts_.pop();
+    for (std::size_t s = 0; s < window_; ++s) {
+      if (counts[s] < consumed_this_row_[s]) {
+        throw std::logic_error("MemoryUnit: unpacker consumed past the row boundary");
+      }
+      for (std::uint32_t k = consumed_this_row_[s]; k < counts[s]; ++k) {
+        (void)payload_[s].pop();
+      }
+      consumed_this_row_[s] = 0;
+    }
+  }
+  unpack_row_open_ = true;
+}
+
+std::size_t MemoryUnit::payload_bits_stored() const noexcept {
+  std::size_t bits = 0;
+  for (const auto& fifo : payload_) bits += fifo.size() * 8;
+  return bits;
+}
+
+std::size_t MemoryUnit::management_bits_stored() const noexcept {
+  return nbits_.size() * 8 + bitmap_.size() * window_;
+}
+
+std::size_t MemoryUnit::total_bits_stored() const noexcept {
+  return payload_bits_stored() + management_bits_stored();
+}
+
+std::size_t MemoryUnit::payload_high_water_bits() const noexcept {
+  std::size_t bits = 0;
+  for (const auto& fifo : payload_) bits += fifo.high_water() * 8;
+  return bits;
+}
+
+std::size_t MemoryUnit::max_stream_high_water_bits() const noexcept {
+  std::size_t worst = 0;
+  for (const auto& fifo : payload_) worst = std::max(worst, fifo.high_water() * 8);
+  return worst;
+}
+
+bool MemoryUnit::overflowed() const noexcept {
+  for (const auto& fifo : payload_) {
+    if (fifo.overflowed()) return true;
+  }
+  return false;
+}
+
+}  // namespace swc::hw

@@ -1,0 +1,81 @@
+#pragma once
+// The Memory Unit (Fig. 4 / Fig. 11): per-window-row Pixel FIFOs for the
+// packed bits plus the NBits and BitMap management FIFOs.
+//
+// Packed streams are byte-granular (BitMax = 8). Each image row's stream is
+// byte-aligned by a row-boundary flush on the packing side; the per-row byte
+// counts recorded here let the unpacking side discard padding bytes that it
+// never needed (all-zero tail columns). Occupancy statistics feed the BRAM
+// provisioning experiments and overflow detection models the paper's "bad
+// frame" failure case.
+
+#include <cstdint>
+#include <vector>
+
+#include "hw/fifo.hpp"
+
+namespace swc::hw {
+
+// One significance bit per window row; supports windows up to 128 (the
+// paper's largest configuration).
+struct BitmapWord {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+
+  [[nodiscard]] bool get(std::size_t i) const noexcept {
+    return ((i < 64 ? lo >> i : hi >> (i - 64)) & 1u) != 0;
+  }
+  void set(std::size_t i, bool v) noexcept {
+    std::uint64_t& word = i < 64 ? lo : hi;
+    const std::uint64_t mask = std::uint64_t{1} << (i < 64 ? i : i - 64);
+    word = v ? (word | mask) : (word & ~mask);
+  }
+};
+
+// NBits management record for one coefficient column: two 4-bit fields.
+struct NBitsEntry {
+  std::uint8_t top = 1;
+  std::uint8_t bottom = 1;
+};
+
+class MemoryUnit {
+ public:
+  // `payload_capacity_bytes` bounds each per-row Pixel FIFO (0 = unbounded);
+  // exceeding it is recorded, not fatal, mirroring hardware misprovisioning.
+  MemoryUnit(std::size_t window, std::size_t payload_capacity_bytes = 0);
+
+  // --- packing side -------------------------------------------------------
+  void push_byte(std::size_t stream, std::uint8_t byte);
+  void push_management(const NBitsEntry& nbits, const BitmapWord& bitmap);
+  // Closes the current image row on the packing side (after flush bytes).
+  void end_pack_row();
+
+  // --- unpacking side -----------------------------------------------------
+  [[nodiscard]] std::uint8_t pop_byte(std::size_t stream);
+  [[nodiscard]] NBitsEntry pop_nbits();
+  [[nodiscard]] BitmapWord pop_bitmap();
+  // Opens the next image row on the unpacking side: discards padding bytes
+  // of the finished row that were never consumed.
+  void begin_unpack_row();
+
+  // --- statistics ---------------------------------------------------------
+  [[nodiscard]] std::size_t window() const noexcept { return window_; }
+  [[nodiscard]] std::size_t payload_bits_stored() const noexcept;
+  [[nodiscard]] std::size_t management_bits_stored() const noexcept;
+  [[nodiscard]] std::size_t total_bits_stored() const noexcept;
+  [[nodiscard]] std::size_t payload_high_water_bits() const noexcept;
+  [[nodiscard]] std::size_t max_stream_high_water_bits() const noexcept;
+  [[nodiscard]] bool overflowed() const noexcept;
+
+ private:
+  std::size_t window_;
+  std::vector<Fifo<std::uint8_t>> payload_;       // one per window row
+  Fifo<NBitsEntry> nbits_;
+  Fifo<BitmapWord> bitmap_;
+  Fifo<std::vector<std::uint32_t>> row_byte_counts_;  // per stream, per image row
+  std::vector<std::uint32_t> pushed_this_row_;
+  std::vector<std::uint32_t> consumed_this_row_;
+  bool unpack_row_open_ = false;
+};
+
+}  // namespace swc::hw

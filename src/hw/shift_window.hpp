@@ -1,0 +1,49 @@
+#pragma once
+// The active N x N shift-register window. One column shifts in per clock;
+// a processing kernel can read every register combinationally (paper
+// Section V: "shift registers so that a processing kernel can directly
+// access all pixels of the active window each clock cycle").
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace swc::hw {
+
+class ShiftWindow {
+ public:
+  explicit ShiftWindow(std::size_t n) : n_(n), regs_(n * n, 0) {
+    if (n == 0) throw std::invalid_argument("ShiftWindow: size must be non-zero");
+  }
+
+  // Shifts all columns one position left (oldest column falls out) and loads
+  // `column` (top row first) as the new rightmost column.
+  void shift_in(std::span<const std::uint8_t> column) {
+    if (column.size() != n_) throw std::invalid_argument("ShiftWindow: bad column height");
+    for (std::size_t y = 0; y < n_; ++y) {
+      std::uint8_t* row = regs_.data() + y * n_;
+      for (std::size_t x = 0; x + 1 < n_; ++x) row[x] = row[x + 1];
+      row[n_ - 1] = column[y];
+    }
+  }
+
+  // wx = 0 is the oldest (leftmost) column, wy = 0 the oldest (top) row.
+  [[nodiscard]] std::uint8_t at(std::size_t wx, std::size_t wy) const {
+    return regs_[wy * n_ + wx];
+  }
+
+  // Copies the rightmost (newest) column, top row first.
+  void read_rightmost(std::span<std::uint8_t> out) const {
+    if (out.size() != n_) throw std::invalid_argument("ShiftWindow: bad output size");
+    for (std::size_t y = 0; y < n_; ++y) out[y] = regs_[y * n_ + n_ - 1];
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return n_; }
+
+ private:
+  std::size_t n_;
+  std::vector<std::uint8_t> regs_;
+};
+
+}  // namespace swc::hw

@@ -1,0 +1,49 @@
+#include "hw/traditional_pipeline.hpp"
+
+namespace swc::hw {
+
+TraditionalPipeline::TraditionalPipeline(core::SlidingWindowSpec spec)
+    : spec_(spec), window_(spec.window) {
+  spec_.validate();
+  const std::size_t n = spec_.window;
+  const std::size_t w = spec_.image_width;
+  lines_.reserve(n - 1);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    lines_.emplace_back(w);
+    // Pre-fill with zeros so every cycle is a uniform pop/push pair: a line
+    // FIFO of depth W delays its input by exactly one image row.
+    for (std::size_t k = 0; k < w; ++k) lines_.back().push(0);
+  }
+}
+
+bool TraditionalPipeline::step(std::uint8_t pixel) {
+  const std::size_t n = spec_.window;
+  const std::size_t w = spec_.image_width;
+  const std::size_t t = cycles_++;
+  const std::size_t row = t / w;
+  const std::size_t col = t % w;
+
+  // Assemble the entering column: the new pixel is the newest (bottom) row;
+  // row i receives what row i+1 carried one image row ago.
+  std::vector<std::uint8_t> column(n);
+  column[n - 1] = pixel;
+  for (std::size_t i = 0; i + 1 < n; ++i) column[i] = lines_[i].pop();
+  for (std::size_t i = 0; i + 1 < n; ++i) lines_[i].push(column[i + 1]);
+  window_.shift_in(column);
+
+  const bool valid = row + 1 >= n && col + 1 >= n;
+  if (valid) {
+    out_row_ = row + 1 - n;
+    out_col_ = col + 1 - n;
+    ++windows_emitted_;
+  }
+  return valid;
+}
+
+std::size_t TraditionalPipeline::buffer_bits() const noexcept {
+  std::size_t bits = 0;
+  for (const auto& line : lines_) bits += line.size() * 8;
+  return bits;
+}
+
+}  // namespace swc::hw

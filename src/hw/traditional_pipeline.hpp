@@ -1,0 +1,45 @@
+#pragma once
+// Cycle-accurate model of the traditional line-buffering sliding-window
+// architecture (Fig. 1): N-1 line FIFOs feeding an N x N shift-register
+// window, one pixel in per clock, one window position out per clock once
+// the buffers are primed.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/config.hpp"
+#include "hw/fifo.hpp"
+#include "hw/shift_window.hpp"
+
+namespace swc::hw {
+
+class TraditionalPipeline {
+ public:
+  explicit TraditionalPipeline(core::SlidingWindowSpec spec);
+
+  // One clock cycle: consumes the next raster-order pixel. Returns true when
+  // the active window is a valid window position (fill complete and the
+  // window fully inside the row); out_row()/out_col() give its position.
+  bool step(std::uint8_t pixel);
+
+  [[nodiscard]] const ShiftWindow& window() const noexcept { return window_; }
+  [[nodiscard]] std::size_t out_row() const noexcept { return out_row_; }
+  [[nodiscard]] std::size_t out_col() const noexcept { return out_col_; }
+
+  [[nodiscard]] std::size_t cycles() const noexcept { return cycles_; }
+  [[nodiscard]] std::size_t windows_emitted() const noexcept { return windows_emitted_; }
+
+  // Raw line-buffer occupancy in bits (constant once primed).
+  [[nodiscard]] std::size_t buffer_bits() const noexcept;
+
+ private:
+  core::SlidingWindowSpec spec_;
+  std::vector<Fifo<std::uint8_t>> lines_;  // lines_[i] delays window row i+1 -> row i
+  ShiftWindow window_;
+  std::size_t cycles_ = 0;
+  std::size_t windows_emitted_ = 0;
+  std::size_t out_row_ = 0;
+  std::size_t out_col_ = 0;
+};
+
+}  // namespace swc::hw

@@ -1,0 +1,42 @@
+#include "hw/video_pipeline.hpp"
+
+#include "hw/compressed_pipeline.hpp"
+
+namespace swc::hw {
+
+VideoPipeline::VideoPipeline(core::EngineConfig base, core::AdaptiveThresholdConfig adaptive,
+                             std::size_t capacity_bits_per_stream)
+    : base_(base), controller_(adaptive), capacity_bits_(capacity_bits_per_stream) {
+  base_.validate();
+}
+
+FrameReport VideoPipeline::process_frame(const image::ImageU8& frame) {
+  core::EngineConfig config = base_;
+  config.codec.threshold = controller_.threshold();
+
+  CompressedPipeline pipe(config, capacity_bits_);
+  std::size_t windows = 0;
+  for (const std::uint8_t px : frame.pixels()) windows += pipe.step(px) ? 1u : 0u;
+
+  FrameReport report;
+  report.frame_index = history_.size();
+  report.threshold = config.codec.threshold;
+  report.peak_buffer_bits = pipe.peak_buffer_bits();
+  report.overflowed = pipe.memory().overflowed();
+  report.windows = windows;
+  report.cycles = pipe.cycles();
+
+  // The controller steers on what provisioning must cover: the worst single
+  // stream scaled to the whole memory unit, approximated by the peak total.
+  (void)controller_.observe(report.peak_buffer_bits);
+  history_.push_back(report);
+  return report;
+}
+
+std::size_t VideoPipeline::total_overflow_frames() const noexcept {
+  std::size_t count = 0;
+  for (const auto& r : history_) count += r.overflowed ? 1 : 0;
+  return count;
+}
+
+}  // namespace swc::hw

@@ -1,0 +1,53 @@
+#pragma once
+// Multi-frame video driver for the cycle-accurate compressed pipeline with
+// per-frame threshold adaptation — the paper's future work ("automatically
+// adjustable at runtime based on the previous frame compression ratio")
+// realised at the register level.
+//
+// Hardware reality this models: the threshold is a register that can only
+// change between frames (mid-frame changes would desynchronise packer and
+// unpacker); the line buffers refill at each frame start (the paper's fill
+// state); the controller observes the finished frame's peak occupancy and
+// programs the next frame's threshold.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/adaptive_threshold.hpp"
+#include "core/config.hpp"
+#include "image/image.hpp"
+
+namespace swc::hw {
+
+struct FrameReport {
+  std::size_t frame_index = 0;
+  int threshold = 0;            // threshold this frame ran with
+  std::size_t peak_buffer_bits = 0;
+  bool overflowed = false;      // exceeded the provisioned per-stream capacity
+  std::size_t windows = 0;
+  std::size_t cycles = 0;
+};
+
+class VideoPipeline {
+ public:
+  // `capacity_bits_per_stream` is the provisioned FIFO size each window-row
+  // stream must fit (0 = unbounded, overflow never fires).
+  VideoPipeline(core::EngineConfig base, core::AdaptiveThresholdConfig adaptive,
+                std::size_t capacity_bits_per_stream = 0);
+
+  // Runs one frame through a fresh cycle-accurate pipeline at the current
+  // threshold, reports it to the controller, and returns the frame record.
+  FrameReport process_frame(const image::ImageU8& frame);
+
+  [[nodiscard]] int current_threshold() const noexcept { return controller_.threshold(); }
+  [[nodiscard]] const std::vector<FrameReport>& history() const noexcept { return history_; }
+  [[nodiscard]] std::size_t total_overflow_frames() const noexcept;
+
+ private:
+  core::EngineConfig base_;
+  core::AdaptiveThresholdController controller_;
+  std::size_t capacity_bits_;
+  std::vector<FrameReport> history_;
+};
+
+}  // namespace swc::hw

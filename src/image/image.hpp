@@ -1,0 +1,92 @@
+#pragma once
+// Minimal dense 2-D image container used throughout the library.
+//
+// The sliding-window engines consume 8-bit grayscale images (the paper's pixel
+// format), but the container is generic so wavelet coefficients (signed, wider
+// than 8 bits) and kernel outputs (float) reuse the same type.
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace swc::image {
+
+template <typename T>
+class Image {
+ public:
+  Image() = default;
+
+  Image(std::size_t width, std::size_t height, T fill = T{})
+      : width_(width), height_(height), data_(width * height, fill) {
+    if (width == 0 || height == 0) {
+      throw std::invalid_argument("Image dimensions must be non-zero");
+    }
+  }
+
+  Image(std::size_t width, std::size_t height, std::vector<T> data)
+      : width_(width), height_(height), data_(std::move(data)) {
+    if (data_.size() != width_ * height_) {
+      throw std::invalid_argument("Image data size does not match dimensions");
+    }
+  }
+
+  [[nodiscard]] std::size_t width() const noexcept { return width_; }
+  [[nodiscard]] std::size_t height() const noexcept { return height_; }
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+  [[nodiscard]] T& at(std::size_t x, std::size_t y) {
+    assert(x < width_ && y < height_);
+    return data_[y * width_ + x];
+  }
+  [[nodiscard]] const T& at(std::size_t x, std::size_t y) const {
+    assert(x < width_ && y < height_);
+    return data_[y * width_ + x];
+  }
+
+  // Bounds-checked access; throws on out-of-range (used by I/O paths).
+  [[nodiscard]] T& checked(std::size_t x, std::size_t y) {
+    if (x >= width_ || y >= height_) throw std::out_of_range("Image::checked");
+    return data_[y * width_ + x];
+  }
+
+  // Clamp-to-edge sampling, the border policy hardware windows use once the
+  // line buffers are primed.
+  [[nodiscard]] T clamped(std::ptrdiff_t x, std::ptrdiff_t y) const {
+    const auto cx = static_cast<std::size_t>(
+        std::max<std::ptrdiff_t>(0, std::min<std::ptrdiff_t>(x, static_cast<std::ptrdiff_t>(width_) - 1)));
+    const auto cy = static_cast<std::size_t>(
+        std::max<std::ptrdiff_t>(0, std::min<std::ptrdiff_t>(y, static_cast<std::ptrdiff_t>(height_) - 1)));
+    return data_[cy * width_ + cx];
+  }
+
+  [[nodiscard]] std::span<T> row(std::size_t y) {
+    assert(y < height_);
+    return {data_.data() + y * width_, width_};
+  }
+  [[nodiscard]] std::span<const T> row(std::size_t y) const {
+    assert(y < height_);
+    return {data_.data() + y * width_, width_};
+  }
+
+  [[nodiscard]] std::span<T> pixels() noexcept { return data_; }
+  [[nodiscard]] std::span<const T> pixels() const noexcept { return data_; }
+
+  friend bool operator==(const Image& a, const Image& b) {
+    return a.width_ == b.width_ && a.height_ == b.height_ && a.data_ == b.data_;
+  }
+
+ private:
+  std::size_t width_ = 0;
+  std::size_t height_ = 0;
+  std::vector<T> data_;
+};
+
+using ImageU8 = Image<std::uint8_t>;
+using ImageI16 = Image<std::int16_t>;
+using ImageF32 = Image<float>;
+
+}  // namespace swc::image

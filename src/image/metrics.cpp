@@ -1,0 +1,77 @@
+#include "image/metrics.hpp"
+
+#include <array>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace swc::image {
+
+double mse(const ImageU8& a, const ImageU8& b) {
+  if (a.width() != b.width() || a.height() != b.height()) {
+    throw std::invalid_argument("mse: image size mismatch");
+  }
+  if (a.empty()) return 0.0;
+  double acc = 0.0;
+  const auto pa = a.pixels();
+  const auto pb = b.pixels();
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    const double d = static_cast<double>(pa[i]) - static_cast<double>(pb[i]);
+    acc += d * d;
+  }
+  return acc / static_cast<double>(pa.size());
+}
+
+double psnr(const ImageU8& a, const ImageU8& b) {
+  const double e = mse(a, b);
+  if (e == 0.0) return std::numeric_limits<double>::infinity();
+  return 10.0 * std::log10(255.0 * 255.0 / e);
+}
+
+int max_abs_error(const ImageU8& a, const ImageU8& b) {
+  if (a.width() != b.width() || a.height() != b.height()) {
+    throw std::invalid_argument("max_abs_error: image size mismatch");
+  }
+  int worst = 0;
+  const auto pa = a.pixels();
+  const auto pb = b.pixels();
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    worst = std::max(worst, std::abs(static_cast<int>(pa[i]) - static_cast<int>(pb[i])));
+  }
+  return worst;
+}
+
+double entropy_bits(const ImageU8& img) {
+  std::array<std::size_t, 256> hist{};
+  for (const auto px : img.pixels()) ++hist[px];
+  const double n = static_cast<double>(img.size());
+  double h = 0.0;
+  for (const auto count : hist) {
+    if (count == 0) continue;
+    const double p = static_cast<double>(count) / n;
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+ImageStats compute_stats(const ImageU8& img) {
+  ImageStats s;
+  if (img.empty()) return s;
+  s.min = 255;
+  s.max = 0;
+  double sum = 0.0;
+  double sum2 = 0.0;
+  for (const auto px : img.pixels()) {
+    sum += px;
+    sum2 += static_cast<double>(px) * px;
+    s.min = std::min(s.min, px);
+    s.max = std::max(s.max, px);
+  }
+  const double n = static_cast<double>(img.size());
+  s.mean = sum / n;
+  const double var = std::max(0.0, sum2 / n - s.mean * s.mean);
+  s.stddev = std::sqrt(var);
+  return s;
+}
+
+}  // namespace swc::image

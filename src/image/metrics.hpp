@@ -1,0 +1,33 @@
+#pragma once
+// Image quality and statistics metrics used by the evaluation harness:
+// MSE/PSNR for the lossy-threshold experiments (paper Section VI-A reports
+// MSE 0.59/3.2/4.8 for T=2/4/6) and entropy as a compressibility reference.
+
+#include <cstdint>
+
+#include "image/image.hpp"
+
+namespace swc::image {
+
+// Mean squared error between two equally-sized images. Throws on size mismatch.
+[[nodiscard]] double mse(const ImageU8& a, const ImageU8& b);
+
+// Peak signal-to-noise ratio in dB for 8-bit images; +inf when mse == 0.
+[[nodiscard]] double psnr(const ImageU8& a, const ImageU8& b);
+
+// Maximum absolute pixel difference.
+[[nodiscard]] int max_abs_error(const ImageU8& a, const ImageU8& b);
+
+// Shannon entropy of the pixel histogram, bits/pixel.
+[[nodiscard]] double entropy_bits(const ImageU8& img);
+
+struct ImageStats {
+  double mean = 0.0;
+  double stddev = 0.0;
+  std::uint8_t min = 0;
+  std::uint8_t max = 0;
+};
+
+[[nodiscard]] ImageStats compute_stats(const ImageU8& img);
+
+}  // namespace swc::image

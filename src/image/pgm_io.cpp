@@ -1,0 +1,82 @@
+#include "image/pgm_io.hpp"
+
+#include <fstream>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <string>
+
+namespace swc::image {
+namespace {
+
+// PGM headers allow '#' comments between tokens; whitespace separates tokens.
+std::string next_token(std::istream& in) {
+  std::string tok;
+  char c;
+  while (in.get(c)) {
+    if (c == '#') {
+      in.ignore(std::numeric_limits<std::streamsize>::max(), '\n');
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      if (!tok.empty()) return tok;
+      continue;
+    }
+    tok.push_back(c);
+  }
+  if (tok.empty()) throw std::runtime_error("PGM: unexpected end of header");
+  return tok;
+}
+
+std::size_t parse_dim(const std::string& tok, const char* what) {
+  std::size_t pos = 0;
+  unsigned long long v = 0;
+  try {
+    v = std::stoull(tok, &pos);
+  } catch (const std::exception&) {
+    throw std::runtime_error(std::string("PGM: bad ") + what);
+  }
+  if (pos != tok.size() || v == 0 || v > (1u << 20)) {
+    throw std::runtime_error(std::string("PGM: bad ") + what);
+  }
+  return static_cast<std::size_t>(v);
+}
+
+}  // namespace
+
+ImageU8 read_pgm(std::istream& in) {
+  if (next_token(in) != "P5") throw std::runtime_error("PGM: expected magic P5");
+  const std::size_t width = parse_dim(next_token(in), "width");
+  const std::size_t height = parse_dim(next_token(in), "height");
+  const std::size_t maxval = parse_dim(next_token(in), "maxval");
+  if (maxval > 255) throw std::runtime_error("PGM: only 8-bit maxval supported");
+
+  ImageU8 img(width, height);
+  in.read(reinterpret_cast<char*>(img.pixels().data()),
+          static_cast<std::streamsize>(img.size()));
+  if (in.gcount() != static_cast<std::streamsize>(img.size())) {
+    throw std::runtime_error("PGM: truncated pixel data");
+  }
+  return img;
+}
+
+ImageU8 read_pgm(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("PGM: cannot open " + path.string());
+  return read_pgm(in);
+}
+
+void write_pgm(const ImageU8& img, std::ostream& out) {
+  out << "P5\n" << img.width() << ' ' << img.height() << "\n255\n";
+  out.write(reinterpret_cast<const char*>(img.pixels().data()),
+            static_cast<std::streamsize>(img.size()));
+  if (!out) throw std::runtime_error("PGM: write failed");
+}
+
+void write_pgm(const ImageU8& img, const std::filesystem::path& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("PGM: cannot open " + path.string());
+  write_pgm(img, out);
+}
+
+}  // namespace swc::image

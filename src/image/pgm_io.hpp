@@ -1,0 +1,21 @@
+#pragma once
+// Binary PGM (P5) reader/writer so real photographs can replace the synthetic
+// evaluation set without recompiling anything.
+
+#include <filesystem>
+#include <iosfwd>
+
+#include "image/image.hpp"
+
+namespace swc::image {
+
+// Reads an 8-bit binary PGM (magic "P5", maxval <= 255). Throws
+// std::runtime_error on malformed input.
+[[nodiscard]] ImageU8 read_pgm(std::istream& in);
+[[nodiscard]] ImageU8 read_pgm(const std::filesystem::path& path);
+
+// Writes an 8-bit binary PGM.
+void write_pgm(const ImageU8& img, std::ostream& out);
+void write_pgm(const ImageU8& img, const std::filesystem::path& path);
+
+}  // namespace swc::image

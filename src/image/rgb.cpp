@@ -1,0 +1,163 @@
+#include "image/rgb.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+
+#include "image/metrics.hpp"
+#include "image/rng.hpp"
+#include "image/synthetic.hpp"
+
+namespace swc::image {
+namespace {
+
+std::string next_token(std::istream& in) {
+  std::string tok;
+  char c;
+  while (in.get(c)) {
+    if (c == '#') {
+      in.ignore(std::numeric_limits<std::streamsize>::max(), '\n');
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      if (!tok.empty()) return tok;
+      continue;
+    }
+    tok.push_back(c);
+  }
+  if (tok.empty()) throw std::runtime_error("PPM: unexpected end of header");
+  return tok;
+}
+
+std::size_t parse_dim(const std::string& tok, const char* what) {
+  std::size_t pos = 0;
+  unsigned long long v = 0;
+  try {
+    v = std::stoull(tok, &pos);
+  } catch (const std::exception&) {
+    throw std::runtime_error(std::string("PPM: bad ") + what);
+  }
+  if (pos != tok.size() || v == 0 || v > (1u << 20)) {
+    throw std::runtime_error(std::string("PPM: bad ") + what);
+  }
+  return static_cast<std::size_t>(v);
+}
+
+}  // namespace
+
+RgbImage make_natural_rgb(std::size_t width, std::size_t height, std::uint64_t seed) {
+  // Shared structure: a luminance field plus low-frequency per-channel tint
+  // fields and independent grain.
+  NaturalImageParams luma;
+  luma.seed = seed;
+  luma.grain = 0.0;
+  const ImageU8 base = make_natural_image(width, height, luma);
+
+  RgbImage out{ImageU8(width, height), ImageU8(width, height), ImageU8(width, height)};
+  ImageU8* channels[3] = {&out.r, &out.g, &out.b};
+  for (int c = 0; c < 3; ++c) {
+    NaturalImageParams tint;
+    tint.seed = seed * 31 + static_cast<std::uint64_t>(c) + 1;
+    tint.octaves = 3;  // tints vary slowly: channels stay correlated
+    tint.base_scale = 3.0;
+    const ImageU8 t = make_natural_image(width, height, tint);
+    SplitMix64 grain(seed ^ (std::uint64_t{0xABCD0000} + static_cast<std::uint64_t>(c)));
+    for (std::size_t i = 0; i < base.size(); ++i) {
+      const double v = 0.75 * base.pixels()[i] + 0.25 * t.pixels()[i] +
+                       (grain.next_unit() * 2.0 - 1.0) * 1.5;
+      channels[c]->pixels()[i] =
+          static_cast<std::uint8_t>(std::lround(std::clamp(v, 0.0, 255.0)));
+    }
+  }
+  return out;
+}
+
+RgbImage read_ppm(std::istream& in) {
+  if (next_token(in) != "P6") throw std::runtime_error("PPM: expected magic P6");
+  const std::size_t width = parse_dim(next_token(in), "width");
+  const std::size_t height = parse_dim(next_token(in), "height");
+  const std::size_t maxval = parse_dim(next_token(in), "maxval");
+  if (maxval > 255) throw std::runtime_error("PPM: only 8-bit maxval supported");
+
+  RgbImage img{ImageU8(width, height), ImageU8(width, height), ImageU8(width, height)};
+  std::vector<char> row(width * 3);
+  for (std::size_t y = 0; y < height; ++y) {
+    in.read(row.data(), static_cast<std::streamsize>(row.size()));
+    if (in.gcount() != static_cast<std::streamsize>(row.size())) {
+      throw std::runtime_error("PPM: truncated pixel data");
+    }
+    for (std::size_t x = 0; x < width; ++x) {
+      img.r.at(x, y) = static_cast<std::uint8_t>(row[3 * x]);
+      img.g.at(x, y) = static_cast<std::uint8_t>(row[3 * x + 1]);
+      img.b.at(x, y) = static_cast<std::uint8_t>(row[3 * x + 2]);
+    }
+  }
+  return img;
+}
+
+RgbImage read_ppm(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("PPM: cannot open " + path.string());
+  return read_ppm(in);
+}
+
+void write_ppm(const RgbImage& img, std::ostream& out) {
+  out << "P6\n" << img.width() << ' ' << img.height() << "\n255\n";
+  std::vector<char> row(img.width() * 3);
+  for (std::size_t y = 0; y < img.height(); ++y) {
+    for (std::size_t x = 0; x < img.width(); ++x) {
+      row[3 * x] = static_cast<char>(img.r.at(x, y));
+      row[3 * x + 1] = static_cast<char>(img.g.at(x, y));
+      row[3 * x + 2] = static_cast<char>(img.b.at(x, y));
+    }
+    out.write(row.data(), static_cast<std::streamsize>(row.size()));
+  }
+  if (!out) throw std::runtime_error("PPM: write failed");
+}
+
+void write_ppm(const RgbImage& img, const std::filesystem::path& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("PPM: cannot open " + path.string());
+  write_ppm(img, out);
+}
+
+double rgb_mse(const RgbImage& a, const RgbImage& b) {
+  return (mse(a.r, b.r) + mse(a.g, b.g) + mse(a.b, b.b)) / 3.0;
+}
+
+RctImage rct_forward(const RgbImage& rgb) {
+  RctImage out{ImageU8(rgb.width(), rgb.height()),
+               Image<std::int16_t>(rgb.width(), rgb.height()),
+               Image<std::int16_t>(rgb.width(), rgb.height())};
+  for (std::size_t i = 0; i < rgb.r.size(); ++i) {
+    const int r = rgb.r.pixels()[i];
+    const int g = rgb.g.pixels()[i];
+    const int b = rgb.b.pixels()[i];
+    out.y.pixels()[i] = static_cast<std::uint8_t>((r + 2 * g + b) >> 2);
+    out.cb.pixels()[i] = static_cast<std::int16_t>(b - g);
+    out.cr.pixels()[i] = static_cast<std::int16_t>(r - g);
+  }
+  return out;
+}
+
+RgbImage rct_inverse(const RctImage& rct) {
+  RgbImage out{ImageU8(rct.y.width(), rct.y.height()), ImageU8(rct.y.width(), rct.y.height()),
+               ImageU8(rct.y.width(), rct.y.height())};
+  for (std::size_t i = 0; i < rct.y.size(); ++i) {
+    const int y = rct.y.pixels()[i];
+    const int cb = rct.cb.pixels()[i];
+    const int cr = rct.cr.pixels()[i];
+    const int g = y - ((cb + cr) >> 2);
+    out.g.pixels()[i] = static_cast<std::uint8_t>(g);
+    out.r.pixels()[i] = static_cast<std::uint8_t>(cr + g);
+    out.b.pixels()[i] = static_cast<std::uint8_t>(cb + g);
+  }
+  return out;
+}
+
+}  // namespace swc::image

@@ -1,0 +1,53 @@
+#pragma once
+// Deterministic, seedable PRNG used by the synthetic image generator and the
+// property tests. std::mt19937_64 would work but is heavyweight to seed per
+// lattice point; SplitMix64 gives a well-mixed 64-bit stream from any seed and
+// doubles as a stateless hash (hash2d/hash3d) for lattice noise.
+
+#include <cstdint>
+
+namespace swc::image {
+
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform double in [0, 1).
+  constexpr double next_unit() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform integer in [0, bound) without modulo bias for small bounds used here.
+  constexpr std::uint64_t next_below(std::uint64_t bound) noexcept {
+    return next() % bound;  // bias < 2^-40 for bound <= 2^24; fine for images
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+// Stateless mixing of a seed with lattice coordinates; the core of the value
+// noise generator. Same mixing constants as SplitMix64's finalizer.
+constexpr std::uint64_t mix64(std::uint64_t z) noexcept {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+constexpr std::uint64_t hash2d(std::uint64_t seed, std::uint64_t x, std::uint64_t y) noexcept {
+  return mix64(seed ^ mix64(x * 0xA24BAED4963EE407ull + y * 0x9FB21C651E98DF25ull + 0x2545F4914F6CDD1Dull));
+}
+
+// Uniform double in [0,1) from a 2-D lattice point.
+constexpr double lattice_unit(std::uint64_t seed, std::uint64_t x, std::uint64_t y) noexcept {
+  return static_cast<double>(hash2d(seed, x, y) >> 11) * 0x1.0p-53;
+}
+
+}  // namespace swc::image

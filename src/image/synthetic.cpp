@@ -1,0 +1,173 @@
+#include "image/synthetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <limits>
+
+#include "image/rng.hpp"
+
+namespace swc::image {
+namespace {
+
+// Quintic fade (Perlin's) keeps second derivatives continuous, which keeps
+// the low octaves genuinely smooth — important because the compression ratio
+// under test is driven by smoothness.
+constexpr double fade(double t) noexcept { return t * t * t * (t * (t * 6.0 - 15.0) + 10.0); }
+
+constexpr double lerp(double a, double b, double t) noexcept { return a + (b - a) * t; }
+
+// Value noise at a point: bilinear blend of hashed lattice corners.
+double value_noise(std::uint64_t seed, double x, double y) noexcept {
+  const double fx = std::floor(x);
+  const double fy = std::floor(y);
+  const auto ix = static_cast<std::int64_t>(fx);
+  const auto iy = static_cast<std::int64_t>(fy);
+  const double tx = fade(x - fx);
+  const double ty = fade(y - fy);
+  const auto u = [&](std::int64_t cx, std::int64_t cy) {
+    return lattice_unit(seed, static_cast<std::uint64_t>(cx), static_cast<std::uint64_t>(cy));
+  };
+  const double top = lerp(u(ix, iy), u(ix + 1, iy), tx);
+  const double bot = lerp(u(ix, iy + 1), u(ix + 1, iy + 1), tx);
+  return lerp(top, bot, ty);  // in [0,1)
+}
+
+}  // namespace
+
+ImageU8 make_natural_image(std::size_t width, std::size_t height, const NaturalImageParams& params) {
+  Image<double> acc(width, height, 0.0);
+  double amplitude = 1.0;
+  double total_amplitude = 0.0;
+  for (int oct = 0; oct < params.octaves; ++oct) {
+    const double cells = params.base_scale * static_cast<double>(1 << oct);
+    const double sx = cells / static_cast<double>(width);
+    const double sy = cells / static_cast<double>(height);
+    const double amp = (oct == params.octaves - 1) ? amplitude * params.detail_energy : amplitude;
+    const std::uint64_t octave_seed =
+        params.seed * std::uint64_t{1315423911} + static_cast<std::uint64_t>(oct);
+    for (std::size_t y = 0; y < height; ++y) {
+      for (std::size_t x = 0; x < width; ++x) {
+        acc.at(x, y) += amp * value_noise(octave_seed, static_cast<double>(x) * sx,
+                                          static_cast<double>(y) * sy);
+      }
+    }
+    total_amplitude += amp;
+    amplitude *= params.persistence;
+  }
+
+  ImageU8 out(width, height);
+  SplitMix64 grain_rng(params.seed ^ 0xC0FFEE5EEDull);
+  for (std::size_t i = 0; i < acc.size(); ++i) {
+    double v = acc.pixels()[i] / total_amplitude;        // [0,1)
+    v = 0.5 + (v - 0.5) * params.contrast;               // contrast about mid-gray
+    double q = std::clamp(v, 0.0, 1.0) * 255.0;
+    if (params.grain > 0.0) {
+      // Sensor noise: uniform in [-grain, +grain], deterministic per seed.
+      q += (grain_rng.next_unit() * 2.0 - 1.0) * params.grain;
+    }
+    out.pixels()[i] = static_cast<std::uint8_t>(std::lround(std::clamp(q, 0.0, 255.0)));
+  }
+  return out;
+}
+
+std::vector<ImageU8> make_places_like_set(std::size_t width, std::size_t height,
+                                          std::size_t count, std::uint64_t base_seed) {
+  std::vector<ImageU8> set;
+  set.reserve(count);
+  // Octave count scales with resolution so the finest texture stays at the
+  // 1-3 pixel scale regardless of image size — real photographs keep
+  // per-pixel detail at any resolution, and the compression experiments
+  // depend on that statistic.
+  int res_octaves = 1;
+  for (std::size_t s = std::max(width, height); s > 2; s /= 2) ++res_octaves;
+  for (std::size_t i = 0; i < count; ++i) {
+    NaturalImageParams p;
+    p.seed = base_seed + i * 7919;
+    // Alternate "indoor" (smoother, less grain) and "outdoor" (more fine
+    // texture) statistics, mirroring the paper's mixed scene set.
+    const bool outdoor = (i % 2) == 0;
+    p.octaves = std::max(3, res_octaves - (outdoor ? 2 : 4));
+    p.base_scale = outdoor ? 6.0 : 4.0;
+    p.persistence = outdoor ? 0.6 : 0.5;
+    p.detail_energy = outdoor ? 1.2 : 0.6;
+    p.contrast = 0.9 + 0.05 * static_cast<double>(i % 4);
+    p.grain = outdoor ? 2.5 : 1.5;
+    set.push_back(make_natural_image(width, height, p));
+  }
+  return set;
+}
+
+ImageU8 resize_bilinear(const ImageU8& src, std::size_t width, std::size_t height) {
+  if (width == 0 || height == 0) throw std::invalid_argument("resize_bilinear: empty target");
+  ImageU8 out(width, height);
+  const double sx = static_cast<double>(src.width()) / static_cast<double>(width);
+  const double sy = static_cast<double>(src.height()) / static_cast<double>(height);
+  for (std::size_t y = 0; y < height; ++y) {
+    for (std::size_t x = 0; x < width; ++x) {
+      const double fx = (static_cast<double>(x) + 0.5) * sx - 0.5;
+      const double fy = (static_cast<double>(y) + 0.5) * sy - 0.5;
+      const double cx = std::max(0.0, fx);
+      const double cy = std::max(0.0, fy);
+      const auto x0 = std::min(static_cast<std::size_t>(cx), src.width() - 1);
+      const auto y0 = std::min(static_cast<std::size_t>(cy), src.height() - 1);
+      const std::size_t x1 = std::min(x0 + 1, src.width() - 1);
+      const std::size_t y1 = std::min(y0 + 1, src.height() - 1);
+      const double tx = cx - static_cast<double>(x0);
+      const double ty = cy - static_cast<double>(y0);
+      const double v = (1 - tx) * (1 - ty) * src.at(x0, y0) + tx * (1 - ty) * src.at(x1, y0) +
+                       (1 - tx) * ty * src.at(x0, y1) + tx * ty * src.at(x1, y1);
+      out.at(x, y) = static_cast<std::uint8_t>(std::lround(std::clamp(v, 0.0, 255.0)));
+    }
+  }
+  return out;
+}
+
+std::vector<ImageU8> make_places_like_set_upscaled(std::size_t width, std::size_t height,
+                                                   std::size_t count, std::uint64_t base_seed,
+                                                   std::size_t native) {
+  std::vector<ImageU8> low = make_places_like_set(native, native, count, base_seed);
+  std::vector<ImageU8> out;
+  out.reserve(count);
+  for (const auto& img : low) {
+    out.push_back(img.width() == width && img.height() == height
+                      ? img
+                      : resize_bilinear(img, width, height));
+  }
+  return out;
+}
+
+ImageU8 make_random_image(std::size_t width, std::size_t height, std::uint64_t seed) {
+  ImageU8 out(width, height);
+  SplitMix64 rng(seed);
+  for (auto& px : out.pixels()) px = static_cast<std::uint8_t>(rng.next() & 0xFF);
+  return out;
+}
+
+ImageU8 make_flat_image(std::size_t width, std::size_t height, std::uint8_t value) {
+  return ImageU8(width, height, value);
+}
+
+ImageU8 make_gradient_image(std::size_t width, std::size_t height) {
+  ImageU8 out(width, height);
+  for (std::size_t y = 0; y < height; ++y) {
+    for (std::size_t x = 0; x < width; ++x) {
+      out.at(x, y) = static_cast<std::uint8_t>((x * 255) / std::max<std::size_t>(1, width - 1));
+    }
+  }
+  return out;
+}
+
+ImageU8 make_checkerboard_image(std::size_t width, std::size_t height, std::size_t cell,
+                                std::uint8_t lo, std::uint8_t hi) {
+  if (cell == 0) cell = 1;
+  ImageU8 out(width, height);
+  for (std::size_t y = 0; y < height; ++y) {
+    for (std::size_t x = 0; x < width; ++x) {
+      out.at(x, y) = (((x / cell) + (y / cell)) % 2 == 0) ? lo : hi;
+    }
+  }
+  return out;
+}
+
+}  // namespace swc::image

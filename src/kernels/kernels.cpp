@@ -1,0 +1,57 @@
+#include "kernels/kernels.hpp"
+
+namespace swc::kernels {
+
+GaussianKernel::GaussianKernel(std::size_t window, double sigma)
+    : n_(window), sigma_(sigma), coverage_(0.0), weights_(window * window) {
+  if (window == 0) throw std::invalid_argument("GaussianKernel: window must be non-zero");
+  if (!(sigma > 0.0)) throw std::invalid_argument("GaussianKernel: sigma must be positive");
+  const double half = static_cast<double>(window - 1) / 2.0;
+  double total = 0.0;
+  for (std::size_t y = 0; y < window; ++y) {
+    for (std::size_t x = 0; x < window; ++x) {
+      const double dx = static_cast<double>(x) - half;
+      const double dy = static_cast<double>(y) - half;
+      const double w = std::exp(-(dx * dx + dy * dy) / (2.0 * sigma * sigma));
+      weights_[y * window + x] = w;
+      total += w;
+    }
+  }
+  for (auto& w : weights_) w /= total;
+  // 1-D mass inside [-half-0.5, half+0.5] of a full Gaussian: erf-based.
+  const double z = (half + 0.5) / (sigma * std::sqrt(2.0));
+  coverage_ = std::erf(z);
+}
+
+NccTemplateKernel::NccTemplateKernel(std::vector<std::uint8_t> tmpl, std::size_t window)
+    : n_(window), tmpl_centered_(window * window) {
+  if (tmpl.size() != window * window) {
+    throw std::invalid_argument("NccTemplateKernel: template size must be window^2");
+  }
+  double mean = 0.0;
+  for (const auto v : tmpl) mean += v;
+  mean /= static_cast<double>(tmpl.size());
+  for (std::size_t i = 0; i < tmpl.size(); ++i) {
+    tmpl_centered_[i] = static_cast<double>(tmpl[i]) - mean;
+    tmpl_norm_ += tmpl_centered_[i] * tmpl_centered_[i];
+  }
+}
+
+LensDistortionKernel::LensDistortionKernel(std::size_t image_width, std::size_t image_height,
+                                           std::size_t window, double k1)
+    : cx0_(static_cast<double>(image_width - 1) / 2.0),
+      cy0_(static_cast<double>(image_height - 1) / 2.0),
+      rmax_(0.0),
+      k1_(k1) {
+  if (window < 2) throw std::invalid_argument("LensDistortionKernel: window too small");
+  rmax_ = std::sqrt(cx0_ * cx0_ + cy0_ * cy0_);
+  if (rmax_ <= 0.0) throw std::invalid_argument("LensDistortionKernel: degenerate image");
+}
+
+double LensDistortionKernel::max_displacement() const noexcept {
+  // Displacement = |dx,dy| * k1 * r^2 with r normalised; maximal at the
+  // image corner where r = 1 and |dx,dy| = rmax.
+  return std::abs(k1_) * rmax_;
+}
+
+}  // namespace swc::kernels

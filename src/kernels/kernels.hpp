@@ -1,0 +1,246 @@
+#pragma once
+// Window kernels: the workloads the paper's introduction motivates
+// (large-window Gaussian filtering, object detection, lens distortion
+// correction) plus standard small kernels. Every kernel is callable as
+// kernel(row, col, win) where `win` is any window type exposing
+// at(wx, wy) -> uint8_t and size().
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace swc::kernels {
+
+// Mean of the window, rounded to the nearest integer.
+struct BoxMeanKernel {
+  template <typename Win>
+  std::uint8_t operator()(std::size_t, std::size_t, const Win& win) const {
+    const std::size_t n = win.size();
+    std::uint64_t sum = 0;
+    for (std::size_t y = 0; y < n; ++y) {
+      for (std::size_t x = 0; x < n; ++x) sum += win.at(x, y);
+    }
+    return static_cast<std::uint8_t>((sum + n * n / 2) / (n * n));
+  }
+};
+
+// Separable Gaussian weights over the full window. The paper's intro point:
+// a Gaussian needs window >= 5 sigma to avoid trimming the kernel tails, so
+// accurate large-sigma smoothing is exactly the BRAM-hungry case.
+class GaussianKernel {
+ public:
+  GaussianKernel(std::size_t window, double sigma);
+
+  template <typename Win>
+  float operator()(std::size_t, std::size_t, const Win& win) const {
+    const std::size_t n = win.size();
+    if (n != n_) throw std::invalid_argument("GaussianKernel: window size mismatch");
+    double acc = 0.0;
+    for (std::size_t y = 0; y < n; ++y) {
+      for (std::size_t x = 0; x < n; ++x) {
+        acc += weights_[y * n + x] * static_cast<double>(win.at(x, y));
+      }
+    }
+    return static_cast<float>(acc);
+  }
+
+  [[nodiscard]] std::size_t window() const noexcept { return n_; }
+  [[nodiscard]] double sigma() const noexcept { return sigma_; }
+  // Fraction of a full (untruncated) Gaussian's mass inside the window in 1-D;
+  // quantifies the trimming error the intro warns about.
+  [[nodiscard]] double coverage_1d() const noexcept { return coverage_; }
+
+ private:
+  std::size_t n_;
+  double sigma_;
+  double coverage_;
+  std::vector<double> weights_;  // normalised NxN
+};
+
+// Sobel gradient magnitude on the 3x3 neighbourhood at the window centre.
+struct SobelKernel {
+  template <typename Win>
+  std::uint16_t operator()(std::size_t, std::size_t, const Win& win) const {
+    const std::size_t n = win.size();
+    const std::size_t cx = n / 2;
+    const std::size_t cy = n / 2;
+    if (cx == 0 || cx + 1 >= n) throw std::invalid_argument("SobelKernel: window too small");
+    auto p = [&](int dx, int dy) {
+      return static_cast<int>(win.at(cx + static_cast<std::size_t>(dx + 1) - 1,
+                                     cy + static_cast<std::size_t>(dy + 1) - 1));
+    };
+    const int gx = -p(-1, -1) - 2 * p(-1, 0) - p(-1, 1) + p(1, -1) + 2 * p(1, 0) + p(1, 1);
+    const int gy = -p(-1, -1) - 2 * p(0, -1) - p(1, -1) + p(-1, 1) + 2 * p(0, 1) + p(1, 1);
+    return static_cast<std::uint16_t>(std::min(65535, std::abs(gx) + std::abs(gy)));
+  }
+};
+
+// Median of the window (the classic non-linear denoiser).
+struct MedianKernel {
+  template <typename Win>
+  std::uint8_t operator()(std::size_t, std::size_t, const Win& win) const {
+    const std::size_t n = win.size();
+    std::vector<std::uint8_t> vals;
+    vals.reserve(n * n);
+    for (std::size_t y = 0; y < n; ++y) {
+      for (std::size_t x = 0; x < n; ++x) vals.push_back(win.at(x, y));
+    }
+    auto mid = vals.begin() + static_cast<std::ptrdiff_t>(vals.size() / 2);
+    std::nth_element(vals.begin(), mid, vals.end());
+    return *mid;
+  }
+};
+
+// Harris corner response over the whole window (gradients via central
+// differences, uniform weighting).
+struct HarrisKernel {
+  double k = 0.04;
+
+  template <typename Win>
+  float operator()(std::size_t, std::size_t, const Win& win) const {
+    const std::size_t n = win.size();
+    double sxx = 0.0, syy = 0.0, sxy = 0.0;
+    for (std::size_t y = 1; y + 1 < n; ++y) {
+      for (std::size_t x = 1; x + 1 < n; ++x) {
+        const double ix = (static_cast<double>(win.at(x + 1, y)) - win.at(x - 1, y)) / 2.0;
+        const double iy = (static_cast<double>(win.at(x, y + 1)) - win.at(x, y - 1)) / 2.0;
+        sxx += ix * ix;
+        syy += iy * iy;
+        sxy += ix * iy;
+      }
+    }
+    const double det = sxx * syy - sxy * sxy;
+    const double trace = sxx + syy;
+    return static_cast<float>(det - k * trace * trace);
+  }
+};
+
+// Normalised cross-correlation against a stored template of the window size:
+// the object-detection workload (response ~1 at a match). Larger windows
+// detect larger objects — the intro's scaling argument.
+class NccTemplateKernel {
+ public:
+  explicit NccTemplateKernel(std::vector<std::uint8_t> tmpl, std::size_t window);
+
+  template <typename Win>
+  float operator()(std::size_t, std::size_t, const Win& win) const {
+    const std::size_t n = win.size();
+    if (n != n_) throw std::invalid_argument("NccTemplateKernel: window size mismatch");
+    double sum = 0.0, sum2 = 0.0, cross = 0.0;
+    for (std::size_t y = 0; y < n; ++y) {
+      for (std::size_t x = 0; x < n; ++x) {
+        const double v = win.at(x, y);
+        sum += v;
+        sum2 += v * v;
+        cross += v * tmpl_centered_[y * n + x];
+      }
+    }
+    const double count = static_cast<double>(n * n);
+    const double var = sum2 - sum * sum / count;
+    if (var <= 1e-9 || tmpl_norm_ <= 1e-9) return 0.0f;
+    return static_cast<float>(cross / std::sqrt(var * tmpl_norm_));
+  }
+
+ private:
+  std::size_t n_;
+  std::vector<double> tmpl_centered_;  // template minus its mean
+  double tmpl_norm_ = 0.0;             // sum of squared centred template
+};
+
+// Grayscale erosion: minimum over the window (morphological building block;
+// dilation is its dual).
+struct ErodeKernel {
+  template <typename Win>
+  std::uint8_t operator()(std::size_t, std::size_t, const Win& win) const {
+    const std::size_t n = win.size();
+    std::uint8_t best = 255;
+    for (std::size_t y = 0; y < n; ++y) {
+      for (std::size_t x = 0; x < n; ++x) best = std::min(best, win.at(x, y));
+    }
+    return best;
+  }
+};
+
+// Grayscale dilation: maximum over the window.
+struct DilateKernel {
+  template <typename Win>
+  std::uint8_t operator()(std::size_t, std::size_t, const Win& win) const {
+    const std::size_t n = win.size();
+    std::uint8_t best = 0;
+    for (std::size_t y = 0; y < n; ++y) {
+      for (std::size_t x = 0; x < n; ++x) best = std::max(best, win.at(x, y));
+    }
+    return best;
+  }
+};
+
+// Census transform: one bit per neighbour comparing against the window
+// centre, packed row-major (up to 8x8 = 63 neighbour bits). A staple of
+// FPGA stereo-matching pipelines — a further large-window workload.
+struct CensusKernel {
+  template <typename Win>
+  std::uint64_t operator()(std::size_t, std::size_t, const Win& win) const {
+    const std::size_t n = win.size();
+    if (n * n - 1 > 64) throw std::invalid_argument("CensusKernel: window larger than 8x8");
+    const std::uint8_t centre = win.at(n / 2, n / 2);
+    std::uint64_t code = 0;
+    int bit = 0;
+    for (std::size_t y = 0; y < n; ++y) {
+      for (std::size_t x = 0; x < n; ++x) {
+        if (x == n / 2 && y == n / 2) continue;
+        code |= static_cast<std::uint64_t>(win.at(x, y) < centre ? 1 : 0) << bit;
+        ++bit;
+      }
+    }
+    return code;
+  }
+};
+
+// Barrel lens-distortion correction: each output pixel samples the window at
+// a radially displaced position (bilinear). The supported distortion
+// coefficient is bounded by the window size — the intro's third motivating
+// workload. Displacements that fall outside the window are clamped to its
+// edge (the hardware's achievable behaviour).
+class LensDistortionKernel {
+ public:
+  // k1 > 0 corrects barrel distortion of strength k1 (normalised radius^2
+  // model: r_src = r * (1 + k1 * r^2), r normalised to half-diagonal).
+  LensDistortionKernel(std::size_t image_width, std::size_t image_height, std::size_t window,
+                       double k1);
+
+  template <typename Win>
+  std::uint8_t operator()(std::size_t row, std::size_t col, const Win& win) const {
+    const std::size_t n = win.size();
+    const double half = static_cast<double>(n - 1) / 2.0;
+    // Output pixel = window centre position in image coordinates.
+    const double cy = static_cast<double>(row) + half;
+    const double cx = static_cast<double>(col) + half;
+    const double dx = cx - cx0_;
+    const double dy = cy - cy0_;
+    const double r2 = (dx * dx + dy * dy) / (rmax_ * rmax_);
+    const double scale = 1.0 + k1_ * r2;
+    // Source position relative to the window origin, clamped inside it.
+    const double sx = std::clamp(half + dx * scale - dx, 0.0, static_cast<double>(n - 1));
+    const double sy = std::clamp(half + dy * scale - dy, 0.0, static_cast<double>(n - 1));
+    const auto x0 = static_cast<std::size_t>(sx);
+    const auto y0 = static_cast<std::size_t>(sy);
+    const std::size_t x1 = std::min(x0 + 1, n - 1);
+    const std::size_t y1 = std::min(y0 + 1, n - 1);
+    const double fx = sx - static_cast<double>(x0);
+    const double fy = sy - static_cast<double>(y0);
+    const double v = (1 - fx) * (1 - fy) * win.at(x0, y0) + fx * (1 - fy) * win.at(x1, y0) +
+                     (1 - fx) * fy * win.at(x0, y1) + fx * fy * win.at(x1, y1);
+    return static_cast<std::uint8_t>(std::lround(std::clamp(v, 0.0, 255.0)));
+  }
+
+  // Largest radial displacement (pixels) this configuration produces; must
+  // stay below window/2 for the correction to be exact (not clamped).
+  [[nodiscard]] double max_displacement() const noexcept;
+
+ private:
+  double cx0_, cy0_, rmax_, k1_;
+};
+
+}  // namespace swc::kernels

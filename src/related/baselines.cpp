@@ -1,0 +1,106 @@
+#include "related/baselines.hpp"
+
+#include <stdexcept>
+
+#include "bram/allocator.hpp"
+#include "bram/bram18k.hpp"
+
+namespace swc::related {
+namespace {
+
+double windows_total(const core::SlidingWindowSpec& spec) {
+  return static_cast<double>((spec.image_width - spec.window + 1) *
+                             (spec.image_height - spec.window + 1));
+}
+
+std::size_t ceil_div(std::size_t a, std::size_t b) { return (a + b - 1) / b; }
+
+}  // namespace
+
+BaselineFigures line_buffer_figures(const core::SlidingWindowSpec& spec) {
+  spec.validate();
+  BaselineFigures f;
+  f.onchip_bits = spec.traditional_bits();
+  f.brams = bram::allocate_traditional(spec).total_brams;
+  f.offchip_per_window = 1.0;
+  f.camera_streamable = true;
+  return f;
+}
+
+BaselineFigures compressed_figures(const core::SlidingWindowSpec& spec,
+                                   std::size_t worst_stream_bits) {
+  spec.validate();
+  BaselineFigures f;
+  f.onchip_bits = worst_stream_bits * spec.window + spec.management_bits();
+  f.brams = bram::allocate_proposed(spec, worst_stream_bits).total_brams();
+  f.offchip_per_window = 1.0;  // identical access pattern to line buffering
+  f.camera_streamable = true;
+  return f;
+}
+
+BaselineFigures block_buffer_figures(const core::SlidingWindowSpec& spec, std::size_t block) {
+  spec.validate();
+  if (block <= spec.window) {
+    throw std::invalid_argument("block buffer: block size must exceed the window");
+  }
+  const std::size_t stride = block - spec.window + 1;  // windows per block side
+  const std::size_t blocks_x = ceil_div(spec.image_width - spec.window + 1, stride);
+  const std::size_t blocks_y = ceil_div(spec.image_height - spec.window + 1, stride);
+
+  BaselineFigures f;
+  f.onchip_bits = 2 * block * block * 8;  // double buffer: process one, load one
+  // Block storage is not line-organised; count the bit-ceiling of 18 Kb
+  // blocks (shallow/wide configurations).
+  f.brams = bram::brams_for_bits(f.onchip_bits);
+  const double fetches = static_cast<double>(blocks_x) * static_cast<double>(blocks_y) *
+                         static_cast<double>(block * block);
+  f.offchip_per_window = fetches / windows_total(spec);
+  f.camera_streamable = false;  // needs random re-reads of the halo rows
+  return f;
+}
+
+std::size_t best_block_under_budget(const core::SlidingWindowSpec& spec,
+                                    std::size_t bram_budget) {
+  spec.validate();
+  std::size_t best = 0;
+  const std::size_t limit = std::min(spec.image_width, spec.image_height);
+  for (std::size_t block = spec.window + 1; block <= limit; ++block) {
+    if (bram::brams_for_bits(2 * block * block * 8) <= bram_budget) {
+      best = block;  // larger blocks amortise the halo better
+    } else {
+      break;  // cost is monotone in block size
+    }
+  }
+  return best;
+}
+
+BaselineFigures segmentation_figures(const core::SlidingWindowSpec& spec,
+                                     std::size_t segment_width) {
+  spec.validate();
+  if (segment_width < spec.window || segment_width > spec.image_width) {
+    throw std::invalid_argument("segmentation: segment width out of range");
+  }
+  const std::size_t stride = segment_width - spec.window + 1;
+  const std::size_t segments = ceil_div(spec.image_width - spec.window + 1, stride);
+
+  BaselineFigures f;
+  f.onchip_bits = spec.window * segment_width * 8;  // N line buffers, one segment wide
+  f.brams = spec.window * ceil_div(segment_width, 2048);
+  const double fetches = static_cast<double>(segments) * static_cast<double>(segment_width) *
+                         static_cast<double>(spec.image_height);
+  f.offchip_per_window = fetches / windows_total(spec);
+  f.camera_streamable = false;  // pixels must already reside off-chip
+  return f;
+}
+
+std::size_t best_segment_under_budget(const core::SlidingWindowSpec& spec,
+                                      std::size_t bram_budget) {
+  spec.validate();
+  std::size_t best = 0;
+  for (std::size_t s = spec.window; s <= spec.image_width; ++s) {
+    if (spec.window * ceil_div(s, 2048) <= bram_budget) best = s;
+  }
+  return best;
+}
+
+}  // namespace swc::related

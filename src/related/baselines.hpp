@@ -1,0 +1,59 @@
+#pragma once
+// Quantitative models of the competing BRAM-reduction approaches discussed
+// in the paper's Section II, so the comparison the paper makes qualitatively
+// can be reproduced with numbers (bench/related_work_comparison):
+//
+//  * Block buffering (Yu & Leeser [5][6]): fetch a BxB pixel block (B > N),
+//    process every window inside it while double-buffering the next block.
+//    Saves line buffers but refetches the N-1 pixel halo of every block, so
+//    its average off-chip traffic exceeds one access per window.
+//  * Row segmentation (Dong et al. [7]): split the image into vertical
+//    segments processed independently with short line buffers. Saves BRAMs
+//    proportionally but refetches the inter-segment halo and requires the
+//    frame to reside off-chip (not camera-streamable).
+//  * The traditional line buffer and this paper's compressed line buffer
+//    both touch each pixel exactly once (streamable); they differ only in
+//    on-chip bits.
+
+#include <cstdint>
+
+#include "core/config.hpp"
+
+namespace swc::related {
+
+struct BaselineFigures {
+  std::size_t onchip_bits = 0;     // buffer provisioning
+  std::size_t brams = 0;           // 18 Kb blocks (8-bit pixels, 2kx9 lines)
+  double offchip_per_window = 0;   // average off-chip pixel fetches per output
+  bool camera_streamable = true;   // works on a raw sensor stream
+};
+
+// Traditional line buffering (Fig. 1): N rows on chip, 1 fetch per pixel.
+[[nodiscard]] BaselineFigures line_buffer_figures(const core::SlidingWindowSpec& spec);
+
+// The proposed compressed line buffer; `worst_stream_bits` comes from
+// core::compute_frame_cost over the target image class.
+[[nodiscard]] BaselineFigures compressed_figures(const core::SlidingWindowSpec& spec,
+                                                 std::size_t worst_stream_bits);
+
+// Block buffering with block size `block` (> window). Uses a double buffer
+// of two BxB blocks.
+[[nodiscard]] BaselineFigures block_buffer_figures(const core::SlidingWindowSpec& spec,
+                                                   std::size_t block);
+
+// Smallest block size whose double buffer fits `bram_budget` 18 Kb blocks...
+// i.e. the best (lowest-traffic) block-buffer design under a BRAM budget.
+// Returns block = 0 when even the minimum (window + 1) does not fit.
+[[nodiscard]] std::size_t best_block_under_budget(const core::SlidingWindowSpec& spec,
+                                                  std::size_t bram_budget);
+
+// Row segmentation with `segment_width` (>= window). Line buffers span one
+// segment; the N-1 halo columns between segments are fetched twice.
+[[nodiscard]] BaselineFigures segmentation_figures(const core::SlidingWindowSpec& spec,
+                                                   std::size_t segment_width);
+
+// Widest segment whose line buffers fit the budget (0 if none fits).
+[[nodiscard]] std::size_t best_segment_under_budget(const core::SlidingWindowSpec& spec,
+                                                    std::size_t bram_budget);
+
+}  // namespace swc::related

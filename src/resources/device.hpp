@@ -1,0 +1,25 @@
+#pragma once
+// Target device capacities: Xilinx Zynq-7020 (XC7Z020), the paper's part.
+
+#include <cstdint>
+
+namespace swc::resources {
+
+struct Device {
+  const char* name;
+  std::size_t luts;
+  std::size_t registers;
+  std::size_t bram18k;  // 18 Kb blocks (140 x 36 Kb = 280 x 18 Kb)
+};
+
+inline constexpr Device kXC7Z020{"XC7Z020", 53'200, 106'400, 280};
+
+// Utilisation in percent of device capacity.
+[[nodiscard]] constexpr double lut_percent(const Device& dev, std::size_t luts) noexcept {
+  return 100.0 * static_cast<double>(luts) / static_cast<double>(dev.luts);
+}
+[[nodiscard]] constexpr double register_percent(const Device& dev, std::size_t regs) noexcept {
+  return 100.0 * static_cast<double>(regs) / static_cast<double>(dev.registers);
+}
+
+}  // namespace swc::resources

@@ -1,0 +1,162 @@
+#include "resources/estimator.hpp"
+
+#include <array>
+#include <stdexcept>
+
+namespace swc::resources {
+namespace {
+
+void check_window(std::size_t n) {
+  if (n < 2 || n % 2 != 0) throw std::invalid_argument("estimator: window must be even and >= 2");
+}
+
+// Calibrated block-level critical paths (Vivado 2015.3, XC7Z020, from the
+// paper's tables; constant in N because every block is fully pipelined).
+constexpr double kFmaxIwtMHz = 592.1;       // two 9-bit add/sub levels
+constexpr double kFmaxBitPackMHz = 538.6;   // compare + 4-bit add + insert mux
+constexpr double kFmaxBitUnpackMHz = 343.1; // 24-source bit-selection mux cone
+constexpr double kFmaxOverallMHz = 230.3;   // cross-block routing at system level
+
+}  // namespace
+
+ResourceEstimate estimate_iwt(std::size_t window) {
+  check_window(window);
+  // N/2 two-dimensional blocks; each contains four 1-D lifting blocks of one
+  // 9-bit adder (9 LUTs) + one 9-bit subtractor (9 LUTs) + ~6 LUTs of
+  // valid/clock-enable fabric: 4 x 24 = 96 LUTs per 2-D block. Plus 2 LUTs
+  // of module control. Registers: four 9-bit coefficient output registers +
+  // 4 stage-valid bits per 2-D block (40 FF) + a 6-bit module FSM.
+  ResourceEstimate est;
+  est.luts = (window / 2) * 96 + 2;          // = 48N + 2 (matches paper exactly)
+  est.registers = (window / 2) * 40 + 6;     // = 20N + 6
+  est.fmax_mhz = kFmaxIwtMHz;
+  return est;
+}
+
+ResourceEstimate estimate_bitpack(std::size_t window) {
+  check_window(window);
+  // One packing unit per window row. Per unit (Fig. 6):
+  //   threshold magnitude comparator (abs + cmp)        ~12 LUTs
+  //   CBits 4-bit adder + CBits-vs-BitMax comparator     ~6
+  //   8-bit-into-16-bit insertion crossbar (~5 LUT/bit)  ~80
+  //   accumulator update masking / WEN control           ~28
+  //                                              total  ~126 LUTs
+  // plus the two NBits finder trees (Fig. 7, ~5 LUT/row amortised) and
+  // ~13 LUTs of shared control => 131 N + 13.
+  // Registers per unit: CBits(4) + Yout_Current(8) + Yout_Reg(8) + WEN,
+  // BitMap and valid flags (5) => 25 N. (The paper's N >= 64 rows show ~16%
+  // more FFs from synthesis fanout replication; see EXPERIMENTS.md.)
+  ResourceEstimate est;
+  est.luts = 131 * window + 13;
+  est.registers = 25 * window;
+  est.fmax_mhz = kFmaxBitPackMHz;
+  return est;
+}
+
+ResourceEstimate estimate_bitunpack(std::size_t window) {
+  check_window(window);
+  // One unpacking unit per window row. Per unit (Figs. 8-9), dominated by
+  // the bit-selection multiplexer the paper names as the LUT hotspot:
+  //   Yout_reg 8 bits x 24-source select           ~64 LUTs
+  //   Yout_rem 16-bit realignment (16:1 per bit)    ~80
+  //   sign-extension mux + output stage             ~16
+  //   CBits adder/comparators + BitMap gate          ~7
+  //   byte-fetch + alignment control                ~79
+  //                                         total  ~246 LUTs
+  // plus ~162 LUTs of shared FIFO read arbitration.
+  // Registers per unit: CBits(4) + Yout_rem(16) + Yout_Reg(8), ~3 merged by
+  // SRL extraction => ~25 N + 3.
+  ResourceEstimate est;
+  est.luts = 246 * window + 162;
+  est.registers = 25 * window + 3;
+  est.fmax_mhz = kFmaxBitUnpackMHz;
+  return est;
+}
+
+ResourceEstimate estimate_iiwt(std::size_t window) {
+  check_window(window);
+  // Mirror of the forward block: identical arithmetic => identical LUTs.
+  // Output registers are 8-bit pixels (vs 9-bit coefficients), so 33 FF per
+  // 2-D block (4 x 8 + valid).
+  ResourceEstimate est;
+  est.luts = (window / 2) * 96 + 2;
+  est.registers = (window / 2) * 33;
+  est.fmax_mhz = kFmaxIwtMHz;
+  return est;
+}
+
+ResourceEstimate estimate_overall(std::size_t window) {
+  check_window(window);
+  const ResourceEstimate iwt = estimate_iwt(window);
+  const ResourceEstimate pack = estimate_bitpack(window);
+  const ResourceEstimate unpack = estimate_bitunpack(window);
+  const ResourceEstimate iiwt = estimate_iiwt(window);
+  // Glue: active-window column multiplexing, memory-unit address generation
+  // and the fill/process/drain FSM: ~70 LUT + 52 FF per window row plus a
+  // fixed ~500 LUT / ~560 FF core (calibrated against Table X; <3% error on
+  // every published cell).
+  ResourceEstimate est;
+  est.luts = iwt.luts + pack.luts + unpack.luts + iiwt.luts + 70 * window + 500;
+  est.registers =
+      iwt.registers + pack.registers + unpack.registers + iiwt.registers + 52 * window + 560;
+  est.fmax_mhz = kFmaxOverallMHz;
+  return est;
+}
+
+namespace {
+
+constexpr std::array<PaperRow, 5> kPaperIwt{{{8, 386, 166, 592.1},
+                                             {16, 770, 326, 592.1},
+                                             {32, 1538, 646, 592.1},
+                                             {64, 3074, 1276, 592.1},
+                                             {128, 6146, 2566, 592.1}}};
+
+constexpr std::array<PaperRow, 5> kPaperBitPack{{{8, 1061, 200, 538.6},
+                                                 {16, 2083, 400, 538.6},
+                                                 {32, 4047, 801, 538.6},
+                                                 {64, 8598, 1856, 538.6},
+                                                 {128, 17179, 3712, 538.6}}};
+
+constexpr std::array<PaperRow, 5> kPaperBitUnpack{{{8, 2130, 203, 343.1},
+                                                   {16, 4246, 387, 343.1},
+                                                   {32, 8039, 817, 343.1},
+                                                   {64, 15660, 1637, 343.1},
+                                                   {128, 31660, 3237, 343.1}}};
+
+constexpr std::array<PaperRow, 5> kPaperIiwt{{{8, 386, 130, 592.1},
+                                              {16, 770, 258, 592.1},
+                                              {32, 1538, 529, 592.1},
+                                              {64, 3074, 1055, 592.1},
+                                              {128, 6146, 2108, 592.1}}};
+
+// Window 128 exceeds the XC7Z020; the paper prints "-".
+constexpr std::array<PaperRow, 5> kPaperOverall{{{8, 4994, 1643, 230.3},
+                                                 {16, 9432, 2792, 230.3},
+                                                 {32, 17773, 5091, 230.3},
+                                                 {64, 35751, 9680, 230.3},
+                                                 {128, 0, 0, 0.0}}};
+
+}  // namespace
+
+const PaperRow* paper_iwt_table(std::size_t& count) {
+  count = kPaperIwt.size();
+  return kPaperIwt.data();
+}
+const PaperRow* paper_bitpack_table(std::size_t& count) {
+  count = kPaperBitPack.size();
+  return kPaperBitPack.data();
+}
+const PaperRow* paper_bitunpack_table(std::size_t& count) {
+  count = kPaperBitUnpack.size();
+  return kPaperBitUnpack.data();
+}
+const PaperRow* paper_iiwt_table(std::size_t& count) {
+  count = kPaperIiwt.size();
+  return kPaperIiwt.data();
+}
+const PaperRow* paper_overall_table(std::size_t& count) {
+  count = kPaperOverall.size();
+  return kPaperOverall.data();
+}
+
+}  // namespace swc::resources

@@ -1,0 +1,71 @@
+#pragma once
+// Structural FPGA resource estimator for every block of the architecture
+// (paper Tables VI-X, Vivado 2015.3 post-synthesis on XC7Z020).
+//
+// Each block's LUT/FF count is derived from its datapath structure (Figs.
+// 5-10): counts of adders, subtractors, comparators, multiplexers, shift
+// networks and registers per instance, times the number of instances (which
+// scales with the window size N), plus a fixed control term. Primitive costs
+// are 7-series LUT6 figures; per-block technology factors are calibrated
+// against the paper's published synthesis results and the bench prints
+// model-vs-paper error for every cell (within a few percent; the published
+// tables are themselves linear in N).
+//
+// Fmax is constant per block (the designs are fully pipelined, so the
+// critical path does not grow with N); values are the calibrated critical
+// path of each block's deepest logic cone.
+
+#include <cstdint>
+
+#include "resources/device.hpp"
+
+namespace swc::resources {
+
+struct ResourceEstimate {
+  std::size_t luts = 0;
+  std::size_t registers = 0;
+  double fmax_mhz = 0.0;
+
+  [[nodiscard]] bool fits(const Device& dev) const noexcept {
+    return luts <= dev.luts && registers <= dev.registers;
+  }
+};
+
+// Forward 2-D integer wavelet transform (Fig. 5): N/2 two-dimensional blocks,
+// each four 1-D lifting blocks of one 9-bit adder + one 9-bit subtractor.
+[[nodiscard]] ResourceEstimate estimate_iwt(std::size_t window);
+
+// Bit Packing (Fig. 6): one unit per window row (N units: registers CBits /
+// Yout_Current / Yout_Reg, threshold comparator, bit-insertion network) plus
+// two NBits finder trees (Fig. 7).
+[[nodiscard]] ResourceEstimate estimate_bitpack(std::size_t window);
+
+// Bit Unpacking (Figs. 8-9): one unit per window row; dominated by the large
+// bit-selection multiplexer out of Yout_rem/Xin (the paper's stated LUT
+// hotspot).
+[[nodiscard]] ResourceEstimate estimate_bitunpack(std::size_t window);
+
+// Inverse 2-D IWT (Fig. 10): mirror of the forward block.
+[[nodiscard]] ResourceEstimate estimate_iiwt(std::size_t window);
+
+// Whole architecture (Table X): the four blocks plus window/memory glue
+// (active-window control, FIFO addressing). Fmax drops to the system-level
+// value the paper reports (routing across blocks).
+[[nodiscard]] ResourceEstimate estimate_overall(std::size_t window);
+
+// Published values from the paper for comparison (0 where the paper prints
+// "-" because the design exceeds the device).
+struct PaperRow {
+  std::size_t window;
+  std::size_t luts;
+  std::size_t registers;
+  double fmax_mhz;
+};
+
+[[nodiscard]] const PaperRow* paper_iwt_table(std::size_t& count);
+[[nodiscard]] const PaperRow* paper_bitpack_table(std::size_t& count);
+[[nodiscard]] const PaperRow* paper_bitunpack_table(std::size_t& count);
+[[nodiscard]] const PaperRow* paper_iiwt_table(std::size_t& count);
+[[nodiscard]] const PaperRow* paper_overall_table(std::size_t& count);
+
+}  // namespace swc::resources

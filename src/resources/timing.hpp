@@ -1,0 +1,38 @@
+#pragma once
+// System-level timing derived from the resource model: with a fully
+// pipelined one-pixel-per-clock architecture, frame rate is Fmax divided by
+// the pixel count, and the fill latency (the paper's state 1) is the time
+// until the first valid window.
+
+#include "core/config.hpp"
+#include "resources/estimator.hpp"
+
+namespace swc::resources {
+
+struct FrameTiming {
+  double fmax_mhz = 0.0;
+  std::size_t cycles_per_frame = 0;  // one per pixel
+  std::size_t fill_cycles = 0;       // until the first valid window
+  double fps = 0.0;
+  double fill_latency_us = 0.0;
+};
+
+[[nodiscard]] inline FrameTiming frame_timing(const core::SlidingWindowSpec& spec,
+                                              double fmax_mhz) {
+  FrameTiming t;
+  t.fmax_mhz = fmax_mhz;
+  t.cycles_per_frame = spec.image_width * spec.image_height;
+  // First valid window completes when pixel (N-1, N-1) arrives.
+  t.fill_cycles = (spec.window - 1) * spec.image_width + spec.window;
+  t.fps = fmax_mhz * 1e6 / static_cast<double>(t.cycles_per_frame);
+  t.fill_latency_us = static_cast<double>(t.fill_cycles) / fmax_mhz;
+  return t;
+}
+
+// Convenience: timing of the whole proposed architecture at a window size
+// (Fmax from the calibrated overall estimate, Table X).
+[[nodiscard]] inline FrameTiming proposed_frame_timing(const core::SlidingWindowSpec& spec) {
+  return frame_timing(spec, estimate_overall(spec.window).fmax_mhz);
+}
+
+}  // namespace swc::resources

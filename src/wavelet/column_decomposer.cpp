@@ -1,0 +1,97 @@
+#include "wavelet/column_decomposer.hpp"
+
+#include <stdexcept>
+
+namespace swc::wavelet {
+namespace {
+
+void check_columns(std::size_t n0, std::size_t n1) {
+  if (n0 != n1) throw std::invalid_argument("column lengths differ");
+  if (n0 == 0 || n0 % 2 != 0) throw std::invalid_argument("column length must be even and non-zero");
+}
+
+}  // namespace
+
+CoeffColumnPair decompose_column_pair(std::span<const std::uint8_t> col0,
+                                      std::span<const std::uint8_t> col1) {
+  check_columns(col0.size(), col1.size());
+  const std::size_t n = col0.size();
+  const std::size_t half = n / 2;
+  CoeffColumnPair out;
+  out.even.resize(n);
+  out.odd.resize(n);
+  for (std::size_t k = 0; k < half; ++k) {
+    const HaarBlockU8 c =
+        haar2d_forward_u8(col0[2 * k], col1[2 * k], col0[2 * k + 1], col1[2 * k + 1]);
+    out.even[k] = c.ll;
+    out.even[half + k] = c.lh;
+    out.odd[k] = c.hl;
+    out.odd[half + k] = c.hh;
+  }
+  return out;
+}
+
+PixelColumnPair recompose_column_pair(std::span<const std::uint8_t> even,
+                                      std::span<const std::uint8_t> odd) {
+  check_columns(even.size(), odd.size());
+  const std::size_t n = even.size();
+  const std::size_t half = n / 2;
+  PixelColumnPair out;
+  out.col0.resize(n);
+  out.col1.resize(n);
+  for (std::size_t k = 0; k < half; ++k) {
+    const HaarBlockU8 c{even[k], even[half + k], odd[k], odd[half + k]};
+    const PixelBlockU8 p = haar2d_inverse_u8(c);
+    out.col0[2 * k] = p.x00;
+    out.col1[2 * k] = p.x01;
+    out.col0[2 * k + 1] = p.x10;
+    out.col1[2 * k + 1] = p.x11;
+  }
+  return out;
+}
+
+image::ImageU8 decompose_region(const image::ImageU8& region) {
+  if (region.width() % 2 != 0 || region.height() % 2 != 0) {
+    throw std::invalid_argument("decompose_region: dimensions must be even");
+  }
+  const std::size_t n = region.height();
+  image::ImageU8 out(region.width(), n);
+  std::vector<std::uint8_t> c0(n);
+  std::vector<std::uint8_t> c1(n);
+  for (std::size_t x = 0; x + 1 < region.width(); x += 2) {
+    for (std::size_t y = 0; y < n; ++y) {
+      c0[y] = region.at(x, y);
+      c1[y] = region.at(x + 1, y);
+    }
+    const CoeffColumnPair pair = decompose_column_pair(c0, c1);
+    for (std::size_t y = 0; y < n; ++y) {
+      out.at(x, y) = pair.even[y];
+      out.at(x + 1, y) = pair.odd[y];
+    }
+  }
+  return out;
+}
+
+image::ImageU8 recompose_region(const image::ImageU8& coeffs) {
+  if (coeffs.width() % 2 != 0 || coeffs.height() % 2 != 0) {
+    throw std::invalid_argument("recompose_region: dimensions must be even");
+  }
+  const std::size_t n = coeffs.height();
+  image::ImageU8 out(coeffs.width(), n);
+  std::vector<std::uint8_t> even(n);
+  std::vector<std::uint8_t> odd(n);
+  for (std::size_t x = 0; x + 1 < coeffs.width(); x += 2) {
+    for (std::size_t y = 0; y < n; ++y) {
+      even[y] = coeffs.at(x, y);
+      odd[y] = coeffs.at(x + 1, y);
+    }
+    const PixelColumnPair pair = recompose_column_pair(even, odd);
+    for (std::size_t y = 0; y < n; ++y) {
+      out.at(x, y) = pair.col0[y];
+      out.at(x + 1, y) = pair.col1[y];
+    }
+  }
+  return out;
+}
+
+}  // namespace swc::wavelet

@@ -1,0 +1,65 @@
+#pragma once
+// Streaming column-pair decomposition.
+//
+// The architecture feeds one window column (N pixels, N even) into the IWT
+// module per clock cycle. Column pairs form 2x2 blocks with adjacent rows.
+// Each compressed column carries exactly two sub-bands (paper Fig. 11:
+// "each column in the decomposed image has two sub-bands (LL and LH or HL
+// and HH)"), which is what makes the management-bit cost 2x4 bits of NBits
+// per column:
+//   even column  -> top half LL, bottom half LH
+//   odd  column  -> top half HL, bottom half HH
+// laid out like the sub-band quadrants of paper Fig. 2.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "image/image.hpp"
+#include "wavelet/haar.hpp"
+
+namespace swc::wavelet {
+
+enum class SubBand : std::uint8_t { LL, LH, HL, HH };
+
+// Which two sub-bands a compressed column holds, by column parity.
+[[nodiscard]] constexpr SubBand top_band(bool odd_column) noexcept {
+  return odd_column ? SubBand::HL : SubBand::LL;
+}
+[[nodiscard]] constexpr SubBand bottom_band(bool odd_column) noexcept {
+  return odd_column ? SubBand::HH : SubBand::LH;
+}
+
+struct CoeffColumnPair {
+  std::vector<std::uint8_t> even;  // LL (rows 0..N/2-1) then LH (rows N/2..N-1)
+  std::vector<std::uint8_t> odd;   // HL then HH
+};
+
+// Forward transform of two adjacent pixel columns of equal, even length.
+// Throws std::invalid_argument on length mismatch or odd length.
+[[nodiscard]] CoeffColumnPair decompose_column_pair(std::span<const std::uint8_t> col0,
+                                                    std::span<const std::uint8_t> col1);
+
+struct PixelColumnPair {
+  std::vector<std::uint8_t> col0;
+  std::vector<std::uint8_t> col1;
+};
+
+// Exact inverse of decompose_column_pair (threshold 0).
+[[nodiscard]] PixelColumnPair recompose_column_pair(std::span<const std::uint8_t> even,
+                                                    std::span<const std::uint8_t> odd);
+
+// Decomposes a whole window/image region column-pair by column-pair; the
+// result has the same dimensions with coefficient columns in place. Width and
+// height must be even. Used for the Fig. 2 worked example and the analytic
+// memory accounting.
+[[nodiscard]] image::ImageU8 decompose_region(const image::ImageU8& region);
+[[nodiscard]] image::ImageU8 recompose_region(const image::ImageU8& coeffs);
+
+// Sub-band of a coefficient at (x, y) in a decomposed region of height n.
+[[nodiscard]] constexpr SubBand band_at(std::size_t x, std::size_t y, std::size_t n) noexcept {
+  const bool odd = (x % 2) != 0;
+  return (y < n / 2) ? top_band(odd) : bottom_band(odd);
+}
+
+}  // namespace swc::wavelet

@@ -1,0 +1,122 @@
+#include "wavelet/legall53.hpp"
+
+#include <stdexcept>
+
+namespace swc::wavelet {
+namespace {
+
+void check_signal(std::size_t n_in, std::size_t n_out) {
+  if (n_in != n_out) throw std::invalid_argument("legall53: size mismatch");
+  if (n_in < 2 || n_in % 2 != 0) {
+    throw std::invalid_argument("legall53: signal length must be even and >= 2");
+  }
+}
+
+// Floor division by a power of two for possibly negative values.
+constexpr std::int32_t floor_div(std::int32_t v, int shift) noexcept { return v >> shift; }
+
+// Symmetric (whole-sample) extension: index -1 -> 1, n -> n-2.
+constexpr std::size_t reflect(std::ptrdiff_t i, std::size_t n) noexcept {
+  if (i < 0) return static_cast<std::size_t>(-i);
+  if (i >= static_cast<std::ptrdiff_t>(n)) return 2 * n - 2 - static_cast<std::size_t>(i);
+  return static_cast<std::size_t>(i);
+}
+
+}  // namespace
+
+void legall53_forward_1d(std::span<const std::int32_t> in, std::span<std::int32_t> out) {
+  check_signal(in.size(), out.size());
+  const std::size_t n = in.size();
+  const std::size_t half = n / 2;
+  // Predict: high-pass (detail) coefficients.
+  std::vector<std::int32_t> d(half);
+  for (std::size_t i = 0; i < half; ++i) {
+    const std::int32_t left = in[2 * i];
+    const std::int32_t right = in[reflect(static_cast<std::ptrdiff_t>(2 * i + 2), n)];
+    d[i] = in[2 * i + 1] - floor_div(left + right, 1);
+  }
+  // Update: low-pass coefficients.
+  for (std::size_t i = 0; i < half; ++i) {
+    const std::int32_t d_prev = d[i == 0 ? 0 : i - 1];  // symmetric extension of d
+    out[i] = in[2 * i] + floor_div(d_prev + d[i] + 2, 2);
+  }
+  for (std::size_t i = 0; i < half; ++i) out[half + i] = d[i];
+}
+
+void legall53_inverse_1d(std::span<const std::int32_t> in, std::span<std::int32_t> out) {
+  check_signal(in.size(), out.size());
+  const std::size_t n = in.size();
+  const std::size_t half = n / 2;
+  const auto s = in.subspan(0, half);
+  const auto d = in.subspan(half, half);
+  // Undo update: even samples.
+  for (std::size_t i = 0; i < half; ++i) {
+    const std::int32_t d_prev = d[i == 0 ? 0 : i - 1];
+    out[2 * i] = s[i] - floor_div(d_prev + d[i] + 2, 2);
+  }
+  // Undo predict: odd samples.
+  for (std::size_t i = 0; i < half; ++i) {
+    const std::int32_t left = out[2 * i];
+    const std::int32_t right =
+        out[reflect(static_cast<std::ptrdiff_t>(2 * i + 2), n) / 2 * 2];  // even sample
+    out[2 * i + 1] = d[i] + floor_div(left + right, 1);
+  }
+}
+
+ImageI32 legall53_forward_2d(const image::ImageU8& img) {
+  if (img.width() % 2 != 0 || img.height() % 2 != 0) {
+    throw std::invalid_argument("legall53_forward_2d: dimensions must be even");
+  }
+  ImageI32 plane(img.width(), img.height());
+  for (std::size_t i = 0; i < img.size(); ++i) {
+    plane.pixels()[i] = static_cast<std::int32_t>(img.pixels()[i]);
+  }
+  std::vector<std::int32_t> line(std::max(img.width(), img.height()));
+  std::vector<std::int32_t> coeff(line.size());
+  // Horizontal pass.
+  for (std::size_t y = 0; y < plane.height(); ++y) {
+    for (std::size_t x = 0; x < plane.width(); ++x) line[x] = plane.at(x, y);
+    legall53_forward_1d(std::span(line).subspan(0, plane.width()),
+                        std::span(coeff).subspan(0, plane.width()));
+    for (std::size_t x = 0; x < plane.width(); ++x) plane.at(x, y) = coeff[x];
+  }
+  // Vertical pass.
+  for (std::size_t x = 0; x < plane.width(); ++x) {
+    for (std::size_t y = 0; y < plane.height(); ++y) line[y] = plane.at(x, y);
+    legall53_forward_1d(std::span(line).subspan(0, plane.height()),
+                        std::span(coeff).subspan(0, plane.height()));
+    for (std::size_t y = 0; y < plane.height(); ++y) plane.at(x, y) = coeff[y];
+  }
+  return plane;
+}
+
+image::ImageU8 legall53_inverse_2d(const ImageI32& coeffs) {
+  if (coeffs.width() % 2 != 0 || coeffs.height() % 2 != 0) {
+    throw std::invalid_argument("legall53_inverse_2d: dimensions must be even");
+  }
+  ImageI32 plane = coeffs;
+  std::vector<std::int32_t> line(std::max(plane.width(), plane.height()));
+  std::vector<std::int32_t> out(line.size());
+  // Undo vertical pass first (reverse of forward order).
+  for (std::size_t x = 0; x < plane.width(); ++x) {
+    for (std::size_t y = 0; y < plane.height(); ++y) line[y] = plane.at(x, y);
+    legall53_inverse_1d(std::span(line).subspan(0, plane.height()),
+                        std::span(out).subspan(0, plane.height()));
+    for (std::size_t y = 0; y < plane.height(); ++y) plane.at(x, y) = out[y];
+  }
+  for (std::size_t y = 0; y < plane.height(); ++y) {
+    for (std::size_t x = 0; x < plane.width(); ++x) line[x] = plane.at(x, y);
+    legall53_inverse_1d(std::span(line).subspan(0, plane.width()),
+                        std::span(out).subspan(0, plane.width()));
+    for (std::size_t x = 0; x < plane.width(); ++x) plane.at(x, y) = out[x];
+  }
+  image::ImageU8 result(coeffs.width(), coeffs.height());
+  for (std::size_t i = 0; i < result.size(); ++i) {
+    const std::int32_t v = plane.pixels()[i];
+    if (v < 0 || v > 255) throw std::runtime_error("legall53_inverse_2d: value out of range");
+    result.pixels()[i] = static_cast<std::uint8_t>(v);
+  }
+  return result;
+}
+
+}  // namespace swc::wavelet

@@ -1,0 +1,45 @@
+#pragma once
+// Integer 5/3 (LeGall / CDF 5/3) wavelet transform, the JPEG 2000 lossless
+// filter. Section IV-C of the paper says Haar was chosen over the 5/3 and
+// 9/7 transforms because the alternatives complicate the hardware without a
+// commensurate compression gain; this implementation exists to test that
+// claim quantitatively (bench/ablation_wavelet_choice).
+//
+// Lifting steps (symmetric boundary extension, exact integer inverse):
+//   d[i] = x[2i+1] - floor((x[2i] + x[2i+2]) / 2)        (predict)
+//   s[i] = x[2i]   + floor((d[i-1] + d[i] + 2) / 4)      (update)
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "image/image.hpp"
+
+namespace swc::wavelet {
+
+using ImageI32 = image::Image<std::int32_t>;
+
+// 1-D forward transform of an even-length signal: low-pass coefficients in
+// out[0 .. n/2), high-pass in out[n/2 .. n).
+void legall53_forward_1d(std::span<const std::int32_t> in, std::span<std::int32_t> out);
+
+// Exact inverse of legall53_forward_1d.
+void legall53_inverse_1d(std::span<const std::int32_t> in, std::span<std::int32_t> out);
+
+// Separable single-level 2-D transform (Mallat quadrant layout) and its
+// exact inverse. Width and height must be even.
+[[nodiscard]] ImageI32 legall53_forward_2d(const image::ImageU8& img);
+[[nodiscard]] image::ImageU8 legall53_inverse_2d(const ImageI32& coeffs);
+
+// Structural hardware-cost comparison used by the ablation: per processed
+// sample, how many adders / shift stages / line taps each filter needs.
+struct FilterHardwareCost {
+  int adders_per_sample;
+  int pipeline_stages;
+  int column_taps;  // columns of state a streaming implementation must hold
+};
+
+[[nodiscard]] constexpr FilterHardwareCost haar_cost() noexcept { return {2, 1, 2}; }
+[[nodiscard]] constexpr FilterHardwareCost legall53_cost() noexcept { return {6, 2, 5}; }
+
+}  // namespace swc::wavelet

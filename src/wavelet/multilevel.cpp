@@ -1,0 +1,99 @@
+#include "wavelet/multilevel.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "wavelet/haar.hpp"
+
+namespace swc::wavelet {
+namespace {
+
+void check_divisible(std::size_t w, std::size_t h, int levels) {
+  if (levels < 1) throw std::invalid_argument("levels must be >= 1");
+  const std::size_t div = std::size_t{1} << levels;
+  if (w % div != 0 || h % div != 0) {
+    throw std::invalid_argument("dimensions must be divisible by 2^levels");
+  }
+}
+
+}  // namespace
+
+void forward_level_inplace(ImageI32& plane, std::size_t w, std::size_t h) {
+  std::vector<std::int32_t> tmp(std::max(w, h));
+  // Horizontal pass: L into the left half, H into the right half.
+  for (std::size_t y = 0; y < h; ++y) {
+    for (std::size_t x = 0; x < w; x += 2) {
+      const HaarPair p = haar_forward(plane.at(x, y), plane.at(x + 1, y));
+      tmp[x / 2] = p.l;
+      tmp[w / 2 + x / 2] = p.h;
+    }
+    for (std::size_t x = 0; x < w; ++x) plane.at(x, y) = tmp[x];
+  }
+  // Vertical pass: L into the top half, H into the bottom half.
+  for (std::size_t x = 0; x < w; ++x) {
+    for (std::size_t y = 0; y < h; y += 2) {
+      const HaarPair p = haar_forward(plane.at(x, y), plane.at(x, y + 1));
+      tmp[y / 2] = p.l;
+      tmp[h / 2 + y / 2] = p.h;
+    }
+    for (std::size_t y = 0; y < h; ++y) plane.at(x, y) = tmp[y];
+  }
+}
+
+void inverse_level_inplace(ImageI32& plane, std::size_t w, std::size_t h) {
+  std::vector<std::int32_t> tmp(std::max(w, h));
+  // Reverse of forward: undo the vertical pass first, then the horizontal.
+  for (std::size_t x = 0; x < w; ++x) {
+    for (std::size_t y = 0; y < h; y += 2) {
+      const auto [x0, x1] = haar_inverse(plane.at(x, y / 2), plane.at(x, h / 2 + y / 2));
+      tmp[y] = x0;
+      tmp[y + 1] = x1;
+    }
+    for (std::size_t y = 0; y < h; ++y) plane.at(x, y) = tmp[y];
+  }
+  for (std::size_t y = 0; y < h; ++y) {
+    for (std::size_t x = 0; x < w; x += 2) {
+      const auto [x0, x1] = haar_inverse(plane.at(x / 2, y), plane.at(w / 2 + x / 2, y));
+      tmp[x] = x0;
+      tmp[x + 1] = x1;
+    }
+    for (std::size_t x = 0; x < w; ++x) plane.at(x, y) = tmp[x];
+  }
+}
+
+ImageI32 forward_multilevel(const image::ImageU8& img, int levels) {
+  check_divisible(img.width(), img.height(), levels);
+  ImageI32 plane(img.width(), img.height());
+  for (std::size_t i = 0; i < img.size(); ++i) {
+    plane.pixels()[i] = static_cast<std::int32_t>(img.pixels()[i]);
+  }
+  std::size_t w = img.width();
+  std::size_t h = img.height();
+  for (int level = 0; level < levels; ++level) {
+    forward_level_inplace(plane, w, h);
+    w /= 2;
+    h /= 2;
+  }
+  return plane;
+}
+
+image::ImageU8 inverse_multilevel(const ImageI32& coeffs, int levels) {
+  check_divisible(coeffs.width(), coeffs.height(), levels);
+  ImageI32 plane = coeffs;
+  std::size_t w = coeffs.width() >> levels;
+  std::size_t h = coeffs.height() >> levels;
+  for (int level = 0; level < levels; ++level) {
+    w *= 2;
+    h *= 2;
+    inverse_level_inplace(plane, w, h);
+  }
+  image::ImageU8 out(coeffs.width(), coeffs.height());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const std::int32_t v = plane.pixels()[i];
+    if (v < 0 || v > 255) throw std::runtime_error("inverse_multilevel: value out of pixel range");
+    out.pixels()[i] = static_cast<std::uint8_t>(v);
+  }
+  return out;
+}
+
+}  // namespace swc::wavelet

@@ -1,0 +1,30 @@
+#pragma once
+// Multi-level 2-D integer Haar transform (wide arithmetic, Mallat layout).
+//
+// The paper's Section IV-C states that 2 or 3 decomposition levels "did not
+// increase the compression ratio significantly" while complicating the
+// hardware; bench/ablation_wavelet_levels quantifies that claim with this
+// reference implementation.
+
+#include <cstdint>
+
+#include "image/image.hpp"
+
+namespace swc::wavelet {
+
+using ImageI32 = image::Image<std::int32_t>;
+
+// Forward transform with `levels` >= 1 recursive applications on the LL
+// quadrant. Width and height must be divisible by 2^levels. Output uses the
+// standard Mallat quadrant layout (LL in the top-left at the deepest level).
+[[nodiscard]] ImageI32 forward_multilevel(const image::ImageU8& img, int levels);
+
+// Exact inverse; reconstructs the original 8-bit image bit-for-bit.
+[[nodiscard]] image::ImageU8 inverse_multilevel(const ImageI32& coeffs, int levels);
+
+// In-place single level over the top-left region [0,w) x [0,h) of a wide
+// coefficient plane. Exposed for tests.
+void forward_level_inplace(ImageI32& plane, std::size_t w, std::size_t h);
+void inverse_level_inplace(ImageI32& plane, std::size_t w, std::size_t h);
+
+}  // namespace swc::wavelet

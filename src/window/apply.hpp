@@ -1,0 +1,116 @@
+#pragma once
+// Generic application of a window kernel over an image with either engine.
+//
+// A kernel is any callable `out = kernel(row, col, win)` where `win` exposes
+// `at(wx, wy)` (uint8_t) and `size()` — satisfied by both the functional
+// engines' core::WindowView and the cycle-accurate hw::ShiftWindow, so the
+// same kernel code runs on all four engines.
+
+#include <type_traits>
+#include <utility>
+
+#include "core/config.hpp"
+#include "core/streaming_engine.hpp"
+#include "hw/compressed_pipeline.hpp"
+#include "hw/traditional_pipeline.hpp"
+#include "image/image.hpp"
+
+namespace swc::window {
+
+template <typename Kernel>
+using KernelOutput =
+    std::decay_t<std::invoke_result_t<Kernel&, std::size_t, std::size_t, const core::WindowView&>>;
+
+// Output plane geometry: one value per valid window position.
+[[nodiscard]] inline std::pair<std::size_t, std::size_t> output_dims(
+    const core::SlidingWindowSpec& spec) {
+  return {spec.image_width - spec.window + 1, spec.image_height - spec.window + 1};
+}
+
+// Baseline: raw line buffers (Fig. 1 dataflow, functional model).
+template <typename Kernel>
+[[nodiscard]] image::Image<KernelOutput<Kernel>> apply_traditional(const image::ImageU8& img,
+                                                                   std::size_t window_size,
+                                                                   Kernel kernel) {
+  core::SlidingWindowSpec spec{img.width(), img.height(), window_size};
+  core::TraditionalEngine engine(spec);
+  const auto [ow, oh] = output_dims(spec);
+  image::Image<KernelOutput<Kernel>> out(ow, oh);
+  engine.run(img, [&](std::size_t r, std::size_t c, const core::WindowView& win) {
+    out.at(c, r) = kernel(r, c, win);
+  });
+  return out;
+}
+
+template <typename Kernel>
+struct CompressedApplyResult {
+  image::Image<KernelOutput<Kernel>> output;
+  image::ImageU8 reconstructed;  // rows as they exited the compressed buffer
+  core::RunStats stats;
+};
+
+// The proposed architecture (Fig. 4 dataflow, functional model).
+template <typename Kernel>
+[[nodiscard]] CompressedApplyResult<Kernel> apply_compressed(const image::ImageU8& img,
+                                                             const core::EngineConfig& config,
+                                                             Kernel kernel) {
+  core::CompressedEngine engine(config);
+  const auto [ow, oh] = output_dims(config.spec);
+  image::Image<KernelOutput<Kernel>> out(ow, oh);
+  engine.run(img, [&](std::size_t r, std::size_t c, const core::WindowView& win) {
+    out.at(c, r) = kernel(r, c, win);
+  });
+  return {std::move(out), engine.reconstructed(), engine.stats()};
+}
+
+// Cycle-accurate variants: drive the hw pipelines pixel by pixel. These also
+// return the cycle count so callers can check the 1-pixel/cycle property.
+template <typename Kernel>
+struct CycleApplyResult {
+  image::Image<KernelOutput<Kernel>> output;
+  std::size_t cycles = 0;
+  std::size_t windows = 0;
+};
+
+template <typename Kernel>
+[[nodiscard]] CycleApplyResult<Kernel> apply_cycle_traditional(const image::ImageU8& img,
+                                                               std::size_t window_size,
+                                                               Kernel kernel) {
+  core::SlidingWindowSpec spec{img.width(), img.height(), window_size};
+  hw::TraditionalPipeline pipe(spec);
+  const auto [ow, oh] = output_dims(spec);
+  image::Image<KernelOutput<Kernel>> out(ow, oh);
+  for (const std::uint8_t px : img.pixels()) {
+    if (pipe.step(px)) {
+      out.at(pipe.out_col(), pipe.out_row()) = kernel(pipe.out_row(), pipe.out_col(), pipe.window());
+    }
+  }
+  return {std::move(out), pipe.cycles(), pipe.windows_emitted()};
+}
+
+template <typename Kernel>
+struct CycleCompressedApplyResult {
+  image::Image<KernelOutput<Kernel>> output;
+  std::size_t cycles = 0;
+  std::size_t windows = 0;
+  std::size_t peak_buffer_bits = 0;
+  bool memory_overflowed = false;
+};
+
+template <typename Kernel>
+[[nodiscard]] CycleCompressedApplyResult<Kernel> apply_cycle_compressed(
+    const image::ImageU8& img, const core::EngineConfig& config, Kernel kernel,
+    std::size_t payload_capacity_bits_per_stream = 0) {
+  hw::CompressedPipeline pipe(config, payload_capacity_bits_per_stream);
+  const auto [ow, oh] = output_dims(config.spec);
+  image::Image<KernelOutput<Kernel>> out(ow, oh);
+  for (const std::uint8_t px : img.pixels()) {
+    if (pipe.step(px)) {
+      out.at(pipe.out_col(), pipe.out_row()) = kernel(pipe.out_row(), pipe.out_col(), pipe.window());
+    }
+  }
+  return {std::move(out), pipe.cycles(), pipe.windows_emitted(), pipe.peak_buffer_bits(),
+          pipe.memory().overflowed()};
+}
+
+}  // namespace swc::window

@@ -1,0 +1,122 @@
+#include "bitpack/bitstream.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace swc::bitpack {
+namespace {
+
+TEST(BitStream, RoundTripsMixedWidthValues) {
+  BitWriter writer;
+  const std::vector<std::pair<std::uint32_t, int>> fields{
+      {0b1, 1}, {0b101, 3}, {0xFF, 8}, {0, 5}, {0b1101101, 7}, {0xABCD & 0xFFF, 12}};
+  for (const auto& [value, nbits] : fields) writer.put(value, nbits);
+  const std::size_t total_bits = writer.bit_count();
+  const auto bytes = writer.finish();
+  EXPECT_EQ(total_bits, 36u);
+  EXPECT_EQ(bytes.size(), 5u);  // ceil(36 / 8)
+
+  BitReader reader(bytes);
+  for (const auto& [value, nbits] : fields) {
+    EXPECT_EQ(reader.get(nbits), value & ((nbits == 32 ? 0 : (1u << nbits)) - 1u));
+  }
+  EXPECT_EQ(reader.bits_consumed(), 36u);
+}
+
+TEST(BitStream, RandomisedRoundTrip) {
+  std::uint64_t state = 777;
+  auto next = [&] {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<std::uint32_t>(state >> 32);
+  };
+  std::vector<std::pair<std::uint32_t, int>> fields;
+  BitWriter writer;
+  for (int i = 0; i < 2000; ++i) {
+    const int nbits = 1 + static_cast<int>(next() % 16);
+    const std::uint32_t value = next() & ((1u << nbits) - 1u);
+    fields.emplace_back(value, nbits);
+    writer.put(value, nbits);
+  }
+  const auto bytes = writer.finish();
+  BitReader reader(bytes);
+  for (const auto& [value, nbits] : fields) ASSERT_EQ(reader.get(nbits), value);
+}
+
+TEST(BitStream, LsbFirstLayout) {
+  BitWriter writer;
+  writer.put(0b1, 1);
+  writer.put(0b01, 2);   // bits 1..2
+  writer.put(0b11111, 5);  // bits 3..7
+  const auto bytes = writer.finish();
+  ASSERT_EQ(bytes.size(), 1u);
+  EXPECT_EQ(bytes[0], 0b11111011);
+}
+
+TEST(BitStream, FinishPadsWithZeros) {
+  BitWriter writer;
+  writer.put(0b11, 2);
+  const auto bytes = writer.finish();
+  ASSERT_EQ(bytes.size(), 1u);
+  EXPECT_EQ(bytes[0], 0b00000011);
+}
+
+TEST(BitStream, ZeroBitPutIsNoOp) {
+  BitWriter writer;
+  writer.put(0xFFFF, 0);
+  EXPECT_EQ(writer.bit_count(), 0u);
+  EXPECT_TRUE(writer.finish().empty());
+}
+
+TEST(BitStream, WriterRejectsBadWidth) {
+  BitWriter writer;
+  EXPECT_THROW(writer.put(0, -1), std::invalid_argument);
+  EXPECT_THROW(writer.put(0, 33), std::invalid_argument);
+}
+
+TEST(BitStream, ReaderThrowsOnExhaustion) {
+  BitWriter writer;
+  writer.put(0b1010, 4);
+  const auto bytes = writer.finish();
+  BitReader reader(bytes);
+  EXPECT_EQ(reader.get(8), 0b1010u);  // padding zeros readable
+  EXPECT_THROW((void)reader.get(1), std::out_of_range);
+}
+
+TEST(BitStream, BitsRemainingTracksPosition) {
+  const std::vector<std::uint8_t> bytes{0xFF, 0x00};
+  BitReader reader(bytes);
+  EXPECT_EQ(reader.bits_remaining(), 16u);
+  (void)reader.get(5);
+  EXPECT_EQ(reader.bits_remaining(), 11u);
+}
+
+TEST(SignExtend, MatchesInt8Semantics) {
+  for (int v = 0; v < 256; ++v) {
+    const auto stored = static_cast<std::uint8_t>(v);
+    const int nbits = [&] {
+      // use the value's own minimal width
+      int n = 8;
+      const int sv = static_cast<std::int8_t>(stored);
+      for (int k = 1; k <= 8; ++k) {
+        if (sv >= -(1 << (k - 1)) && sv <= (1 << (k - 1)) - 1) {
+          n = k;
+          break;
+        }
+      }
+      return n;
+    }();
+    const std::uint32_t raw = stored & ((nbits >= 8) ? 0xFFu : ((1u << nbits) - 1u));
+    EXPECT_EQ(sign_extend_u8(raw, nbits), stored) << v << " nbits=" << nbits;
+  }
+}
+
+TEST(SignExtend, KnownValues) {
+  EXPECT_EQ(sign_extend_u8(0b111, 3), static_cast<std::uint8_t>(-1));
+  EXPECT_EQ(sign_extend_u8(0b011, 3), 3);
+  EXPECT_EQ(sign_extend_u8(0b10111, 5), static_cast<std::uint8_t>(-9));  // paper Fig. 2
+  EXPECT_EQ(sign_extend_u8(0b01101, 5), 13);
+}
+
+}  // namespace
+}  // namespace swc::bitpack

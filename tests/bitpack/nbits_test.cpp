@@ -1,0 +1,98 @@
+#include "bitpack/nbits.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace swc::bitpack {
+namespace {
+
+// Brute-force reference: smallest n such that the signed value of `stored`
+// lies in [-2^(n-1), 2^(n-1) - 1].
+int min_bits_reference(std::uint8_t stored) {
+  const int v = static_cast<std::int8_t>(stored);
+  for (int n = 1; n <= 8; ++n) {
+    const int lo = -(1 << (n - 1));
+    const int hi = (1 << (n - 1)) - 1;
+    if (v >= lo && v <= hi) return n;
+  }
+  return 8;
+}
+
+TEST(NBits, MatchesBruteForceExhaustively) {
+  for (int v = 0; v < 256; ++v) {
+    const auto stored = static_cast<std::uint8_t>(v);
+    EXPECT_EQ(min_bits_u8(stored), min_bits_reference(stored)) << "stored=" << v;
+  }
+}
+
+TEST(NBits, KnownValues) {
+  EXPECT_EQ(min_bits_u8(0), 1);
+  EXPECT_EQ(min_bits_u8(static_cast<std::uint8_t>(-1)), 1);
+  EXPECT_EQ(min_bits_u8(1), 2);
+  EXPECT_EQ(min_bits_u8(static_cast<std::uint8_t>(-2)), 2);
+  EXPECT_EQ(min_bits_u8(127), 8);
+  EXPECT_EQ(min_bits_u8(static_cast<std::uint8_t>(-128)), 8);
+}
+
+TEST(NBits, PaperFig7Example) {
+  // X1 = -6, X2 = -2, X3 = 6 -> OR bus 0000111 -> 4 bits.
+  const std::vector<std::uint8_t> coeffs{static_cast<std::uint8_t>(-6),
+                                         static_cast<std::uint8_t>(-2), 6};
+  EXPECT_EQ(nbits_gate_tree(coeffs), 4);
+  EXPECT_EQ(group_nbits(coeffs), 4);
+}
+
+TEST(NBits, PaperFig2Example) {
+  // HL first column: 13, 12, -9, 7 -> 5 bits.
+  const std::vector<std::uint8_t> coeffs{13, 12, static_cast<std::uint8_t>(-9), 7};
+  EXPECT_EQ(group_nbits(coeffs), 5);
+  EXPECT_EQ(nbits_gate_tree(coeffs), 5);
+}
+
+TEST(NBits, GateTreeEqualsArithmeticOnSingletonsExhaustively) {
+  for (int v = 0; v < 256; ++v) {
+    const std::uint8_t stored[] = {static_cast<std::uint8_t>(v)};
+    EXPECT_EQ(nbits_gate_tree(stored), min_bits_u8(stored[0])) << v;
+  }
+}
+
+TEST(NBits, GateTreeEqualsGroupMaxOnRandomSets) {
+  std::uint64_t state = 12345;
+  auto next = [&] {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<std::uint8_t>(state >> 33);
+  };
+  for (int trial = 0; trial < 500; ++trial) {
+    std::vector<std::uint8_t> coeffs(static_cast<std::size_t>(1 + trial % 16));
+    for (auto& c : coeffs) c = next();
+    EXPECT_EQ(nbits_gate_tree(coeffs), group_nbits(coeffs));
+  }
+}
+
+TEST(NBits, EmptyGroupCostsOneBit) {
+  EXPECT_EQ(group_nbits({}), 1);
+  EXPECT_EQ(nbits_gate_tree({}), 1);
+}
+
+TEST(Significance, ThresholdZeroKeepsAllNonZero) {
+  EXPECT_FALSE(is_significant(0, 0));
+  EXPECT_TRUE(is_significant(1, 0));
+  EXPECT_TRUE(is_significant(static_cast<std::uint8_t>(-1), 0));
+  EXPECT_TRUE(is_significant(static_cast<std::uint8_t>(-128), 0));
+}
+
+TEST(Significance, MagnitudeBelowThresholdIsInsignificant) {
+  EXPECT_FALSE(is_significant(3, 4));
+  EXPECT_FALSE(is_significant(static_cast<std::uint8_t>(-3), 4));
+  EXPECT_TRUE(is_significant(4, 4));
+  EXPECT_TRUE(is_significant(static_cast<std::uint8_t>(-4), 4));
+  EXPECT_TRUE(is_significant(static_cast<std::uint8_t>(-128), 64));
+}
+
+TEST(Significance, ZeroIsNeverSignificant) {
+  for (int t = 0; t < 10; ++t) EXPECT_FALSE(is_significant(0, t));
+}
+
+}  // namespace
+}  // namespace swc::bitpack

@@ -1,0 +1,138 @@
+#include "bram/allocator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bram/bram18k.hpp"
+
+namespace swc::bram {
+namespace {
+
+core::SlidingWindowSpec spec_of(std::size_t width, std::size_t window) {
+  return {width, width, window};
+}
+
+TEST(Allocator, TraditionalReproducesTableIExactly) {
+  // Paper Table I: rows are window sizes {8,16,32,64,128}, columns image
+  // widths {512, 1024, 2048, 3840}.
+  const std::size_t windows[] = {8, 16, 32, 64, 128};
+  const std::size_t widths[] = {512, 1024, 2048, 3840};
+  const std::size_t expected[5][4] = {{8, 8, 8, 16},
+                                      {16, 16, 16, 32},
+                                      {32, 32, 32, 64},
+                                      {64, 64, 64, 128},
+                                      {128, 128, 128, 256}};
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      const auto alloc = allocate_traditional(spec_of(widths[j], windows[i]));
+      EXPECT_EQ(alloc.total_brams, expected[i][j])
+          << "window=" << windows[i] << " width=" << widths[j];
+    }
+  }
+}
+
+TEST(Allocator, TraditionalCascadesOnWideImages) {
+  const auto alloc = allocate_traditional(spec_of(3840, 8));
+  EXPECT_EQ(alloc.lines, 8u);
+  EXPECT_EQ(alloc.brams_per_line, 2u);
+}
+
+TEST(Allocator, RowPackingPicksLargestFittingFactor) {
+  const auto spec = spec_of(512, 8);
+  // Stream fits 8x in one BRAM -> pack 8 rows per BRAM -> 1 BRAM.
+  auto alloc = allocate_proposed(spec, kBram18kBits / 8);
+  EXPECT_EQ(alloc.rows_per_bram, 8u);
+  EXPECT_EQ(alloc.packed_brams, 1u);
+  // Slightly too big for 8x -> 4 rows per BRAM -> 2 BRAMs.
+  alloc = allocate_proposed(spec, kBram18kBits / 8 + 1);
+  EXPECT_EQ(alloc.rows_per_bram, 4u);
+  EXPECT_EQ(alloc.packed_brams, 2u);
+  // Only 1x fits -> one BRAM per window row.
+  alloc = allocate_proposed(spec, kBram18kBits);
+  EXPECT_EQ(alloc.rows_per_bram, 1u);
+  EXPECT_EQ(alloc.packed_brams, 8u);
+}
+
+TEST(Allocator, OversizedStreamsCascade) {
+  const auto spec = spec_of(3840, 8);
+  const auto alloc = allocate_proposed(spec, kBram18kBits + 100);
+  EXPECT_EQ(alloc.rows_per_bram, 1u);
+  EXPECT_EQ(alloc.cascade_per_group, 2u);
+  EXPECT_EQ(alloc.packed_brams, 16u);
+}
+
+TEST(Allocator, PackingFactorCappedByWindow) {
+  // A window of 4 rows cannot pack 8 streams into one BRAM.
+  const auto spec = spec_of(512, 4);
+  const auto alloc = allocate_proposed(spec, 10);
+  EXPECT_LE(alloc.rows_per_bram, 4u);
+  EXPECT_EQ(alloc.packed_brams, 1u);
+}
+
+TEST(Allocator, ManagementPortAwareMatchesPaper512Column) {
+  // Paper Table II management column: window 8,16,32 -> 2; 64 -> 3; 128 -> 5.
+  const std::size_t expected[][2] = {{8, 2}, {16, 2}, {32, 2}, {64, 3}, {128, 5}};
+  for (const auto& [window, mgmt] : expected) {
+    const auto alloc = allocate_proposed(spec_of(512, window), 1000, AllocPolicy::PortAware);
+    EXPECT_EQ(alloc.management_brams(), mgmt) << "window=" << window;
+  }
+}
+
+TEST(Allocator, ManagementPortAwareMatchesPaper1024Column) {
+  // Paper Table III management: 8,16 -> 2; 32 -> 3; 64 -> 5; 128 -> 9.
+  const std::size_t expected[][2] = {{8, 2}, {16, 2}, {32, 3}, {64, 5}, {128, 9}};
+  for (const auto& [window, mgmt] : expected) {
+    const auto alloc = allocate_proposed(spec_of(1024, window), 1000, AllocPolicy::PortAware);
+    EXPECT_EQ(alloc.management_brams(), mgmt) << "window=" << window;
+  }
+}
+
+TEST(Allocator, ManagementBitExactNeverExceedsPortAware) {
+  for (const std::size_t width : {512u, 1024u, 2048u, 3840u}) {
+    for (const std::size_t window : {8u, 16u, 32u, 64u, 128u}) {
+      const auto pa = allocate_proposed(spec_of(width, window), 1000, AllocPolicy::PortAware);
+      const auto be = allocate_proposed(spec_of(width, window), 1000, AllocPolicy::BitExact);
+      EXPECT_LE(be.management_brams(), pa.management_brams())
+          << "width=" << width << " window=" << window;
+    }
+  }
+}
+
+TEST(Allocator, SavingPercentMatchesPaperExample) {
+  // Paper Section VI-A: window 8 at 512x512 lossless: 2 packed + 2 mgmt vs 8
+  // traditional = 50% saving.
+  const auto spec = spec_of(512, 8);
+  const auto trad = allocate_traditional(spec);
+  // Worst stream sized so 4 rows pack per BRAM (the paper's blue cells).
+  const auto prop = allocate_proposed(spec, kBram18kBits / 4 - 10);
+  EXPECT_EQ(prop.packed_brams, 2u);
+  EXPECT_EQ(prop.management_brams(), 2u);
+  EXPECT_DOUBLE_EQ(bram_saving_percent(trad, prop), 50.0);
+}
+
+TEST(Allocator, PortBandwidthScalesWithPacking) {
+  const auto spec = spec_of(512, 32);
+  // Mean stream of 5 bits/column over 480 columns = 2400 bits.
+  const double mean_stream = 5.0 * 480.0;
+  const auto one = check_port_bandwidth(spec, 1, mean_stream);
+  const auto eight = check_port_bandwidth(spec, 8, mean_stream);
+  EXPECT_NEAR(one.sustained_bits_per_cycle, 5.0, 1e-9);
+  EXPECT_NEAR(eight.sustained_bits_per_cycle, 40.0, 1e-9);
+  EXPECT_TRUE(one.feasible);
+  EXPECT_FALSE(eight.feasible);  // 40 > the 36-bit port
+}
+
+TEST(Allocator, PortBandwidthBoundaryIsInclusive) {
+  const auto spec = spec_of(512, 8);
+  const double mean_stream = 36.0 * static_cast<double>(spec.buffered_columns());
+  const auto f = check_port_bandwidth(spec, 1, mean_stream);
+  EXPECT_TRUE(f.feasible);
+  const auto g = check_port_bandwidth(spec, 2, mean_stream);
+  EXPECT_FALSE(g.feasible);
+}
+
+TEST(Allocator, RejectsZeroStream) {
+  EXPECT_THROW((void)allocate_proposed(spec_of(512, 8), 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace swc::bram

@@ -1,0 +1,58 @@
+#include "bram/bram18k.hpp"
+
+#include <gtest/gtest.h>
+
+namespace swc::bram {
+namespace {
+
+TEST(Bram18k, ConfigCapacitiesAreAll18Kb) {
+  for (const auto& cfg : kSdpConfigs) {
+    EXPECT_EQ(cfg.capacity_bits(), kBram18kBits);
+  }
+}
+
+TEST(Bram18k, TableMappingMatchesPaperBitMapRule) {
+  // Section V-E: window 8/16/32/64/128 with image width 512 maps BitMap to
+  // 2kx9, 1kx18, 512x36, 2x(512x36), 4x(512x36) respectively.
+  const std::size_t columns = 512 - 8;
+  EXPECT_EQ(best_brams_for_table(columns, 8), 1u);
+  EXPECT_EQ(best_brams_for_table(512 - 16, 16), 1u);
+  EXPECT_EQ(best_brams_for_table(512 - 32, 32), 1u);
+  EXPECT_EQ(best_brams_for_table(512 - 64, 64), 2u);
+  EXPECT_EQ(best_brams_for_table(512 - 128, 128), 4u);
+}
+
+TEST(Bram18k, WideRecordsTileInParallel) {
+  const BramConfig cfg{36, 512};
+  EXPECT_EQ(brams_for_table(cfg, 100, 36), 1u);
+  EXPECT_EQ(brams_for_table(cfg, 100, 37), 2u);
+  EXPECT_EQ(brams_for_table(cfg, 100, 72), 2u);
+}
+
+TEST(Bram18k, DeepTablesCascade) {
+  const BramConfig cfg{9, 2048};
+  EXPECT_EQ(brams_for_table(cfg, 2048, 8), 1u);
+  EXPECT_EQ(brams_for_table(cfg, 2049, 8), 2u);
+  EXPECT_EQ(brams_for_table(cfg, 4096, 8), 2u);
+}
+
+TEST(Bram18k, BitCountCeiling) {
+  EXPECT_EQ(brams_for_bits(1), 1u);
+  EXPECT_EQ(brams_for_bits(kBram18kBits), 1u);
+  EXPECT_EQ(brams_for_bits(kBram18kBits + 1), 2u);
+  EXPECT_EQ(brams_for_bits(10 * kBram18kBits), 10u);
+}
+
+TEST(Bram18k, BestChoiceNeverWorseThanAnyFixedConfig) {
+  for (std::size_t entries : {100u, 500u, 2000u, 4000u}) {
+    for (std::size_t bits : {4u, 8u, 16u, 32u, 64u, 128u}) {
+      const std::size_t best = best_brams_for_table(entries, bits);
+      for (const auto& cfg : kSdpConfigs) {
+        EXPECT_LE(best, brams_for_table(cfg, entries, bits));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace swc::bram

@@ -1,0 +1,135 @@
+#include "core/adaptive_threshold.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/accounting.hpp"
+#include "image/synthetic.hpp"
+
+namespace swc::core {
+namespace {
+
+AdaptiveThresholdConfig basic_config() {
+  AdaptiveThresholdConfig c;
+  c.budget_bits = 10'000;
+  return c;
+}
+
+TEST(AdaptiveThreshold, ValidatesConfig) {
+  AdaptiveThresholdConfig c = basic_config();
+  c.budget_bits = 0;
+  EXPECT_THROW(AdaptiveThresholdController{c}, std::invalid_argument);
+  c = basic_config();
+  c.max_threshold = -1;
+  EXPECT_THROW(AdaptiveThresholdController{c}, std::invalid_argument);
+  c = basic_config();
+  c.low_water = 0.9;
+  c.high_water = 0.8;
+  EXPECT_THROW(AdaptiveThresholdController{c}, std::invalid_argument);
+  EXPECT_NO_THROW(AdaptiveThresholdController{basic_config()});
+}
+
+TEST(AdaptiveThreshold, StartsAtMinimum) {
+  AdaptiveThresholdController ctrl(basic_config());
+  EXPECT_EQ(ctrl.threshold(), 0);
+  EXPECT_EQ(ctrl.observations(), 0u);
+}
+
+TEST(AdaptiveThreshold, TightensOnOverflow) {
+  AdaptiveThresholdController ctrl(basic_config());
+  const int t1 = ctrl.observe(12'000);
+  EXPECT_GT(t1, 0);
+  EXPECT_TRUE(ctrl.last_overflowed());
+  EXPECT_EQ(ctrl.overflow_count(), 1u);
+}
+
+TEST(AdaptiveThreshold, EscalatesOnRepeatedOverflow) {
+  AdaptiveThresholdController ctrl(basic_config());
+  int prev = 0;
+  int prev_step = 0;
+  for (int i = 0; i < 5; ++i) {
+    const int t = ctrl.observe(50'000);
+    const int step = t - prev;
+    EXPECT_GE(step, prev_step);  // multiplicative escalation
+    prev_step = step;
+    prev = t;
+  }
+  EXPECT_GE(prev, 1 + 2 + 4 + 8 + 16 - 1);
+}
+
+TEST(AdaptiveThreshold, RespectsMaxThreshold) {
+  AdaptiveThresholdConfig c = basic_config();
+  c.max_threshold = 5;
+  AdaptiveThresholdController ctrl(c);
+  for (int i = 0; i < 20; ++i) (void)ctrl.observe(1'000'000);
+  EXPECT_EQ(ctrl.threshold(), 5);
+}
+
+TEST(AdaptiveThreshold, RelaxesWhenWellUnderBudget) {
+  AdaptiveThresholdController ctrl(basic_config());
+  (void)ctrl.observe(20'000);  // -> 1
+  (void)ctrl.observe(20'000);  // -> 3
+  const int high = ctrl.threshold();
+  (void)ctrl.observe(1'000);  // far below low water -> relax by one
+  EXPECT_EQ(ctrl.threshold(), high - 1);
+}
+
+TEST(AdaptiveThreshold, NeverGoesBelowMinimum) {
+  AdaptiveThresholdConfig c = basic_config();
+  c.min_threshold = 2;
+  AdaptiveThresholdController ctrl(c);
+  for (int i = 0; i < 10; ++i) (void)ctrl.observe(100);
+  EXPECT_EQ(ctrl.threshold(), 2);
+}
+
+TEST(AdaptiveThreshold, HoldsInsideHysteresisBand) {
+  AdaptiveThresholdController ctrl(basic_config());
+  (void)ctrl.observe(12'000);
+  const int t = ctrl.threshold();
+  // 80% of budget: between low (70%) and high (95%) water marks.
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(ctrl.observe(8'000), t);
+}
+
+TEST(AdaptiveThreshold, ConvergesOnSceneChange) {
+  // Drive the controller with real occupancy numbers: a smooth scene, then a
+  // hard random frame (the paper's "bad frame"), then smooth again.
+  const std::size_t w = 64, h = 64, n = 8;
+  EngineConfig config;
+  config.spec = {w, h, n};
+  // A deliberately smooth scene and a hostile random frame; the budget is
+  // placed between their measured lossless costs: 90% of the random frame's
+  // cost (so it overflows at T = 0) and comfortably above the smooth
+  // scene's (so lossless operation can resume below the low-water mark —
+  // otherwise the hysteresis band correctly parks at a non-zero threshold).
+  const auto smooth = image::make_natural_image(
+      w, h, {.seed = 3, .octaves = 3, .base_scale = 2.0, .detail_energy = 0.1});
+  const auto noisy = image::make_random_image(w, h, 4);
+  config.codec.threshold = 0;
+  const std::size_t smooth_bits = compute_frame_cost(smooth, config).worst_band.total_bits();
+  const std::size_t noisy_bits = compute_frame_cost(noisy, config).worst_band.total_bits();
+
+  AdaptiveThresholdConfig ac;
+  ac.budget_bits = noisy_bits - noisy_bits / 10;
+  ac.max_threshold = 64;
+  ASSERT_LT(static_cast<double>(smooth_bits),
+            ac.low_water * static_cast<double>(ac.budget_bits));
+  AdaptiveThresholdController ctrl(ac);
+
+  auto run_frame = [&](const image::ImageU8& frame) {
+    config.codec.threshold = ctrl.threshold();
+    const std::size_t bits = compute_frame_cost(frame, config).worst_band.total_bits();
+    return ctrl.observe(bits);
+  };
+
+  for (int i = 0; i < 3; ++i) (void)run_frame(smooth);
+  EXPECT_EQ(ctrl.threshold(), 0);  // smooth scene fits losslessly
+
+  int last = 0;
+  for (int i = 0; i < 24; ++i) last = run_frame(noisy);
+  EXPECT_GT(last, 0);  // had to go lossy to chase the budget
+
+  for (int i = 0; i < 64; ++i) last = run_frame(smooth);
+  EXPECT_EQ(last, 0);  // recovers lossless operation afterwards
+}
+
+}  // namespace
+}  // namespace swc::core

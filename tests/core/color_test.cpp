@@ -1,0 +1,72 @@
+#include "core/color.hpp"
+
+#include <gtest/gtest.h>
+
+namespace swc::core {
+namespace {
+
+EngineConfig make_config(std::size_t w, std::size_t h, std::size_t n, int threshold = 0) {
+  EngineConfig config;
+  config.spec = {w, h, n};
+  config.codec.threshold = threshold;
+  return config;
+}
+
+TEST(Color, TraditionalRgbBitsMatchPaperFormula) {
+  // Section III: (W - N) x N x 24 bits; the paper's HD example
+  // (2048, window 120) needs 5,422 Kb.
+  const SlidingWindowSpec hd{2048, 2048, 120};
+  EXPECT_EQ(traditional_rgb_bits(hd), (2048u - 120u) * 120u * 24u);
+  EXPECT_NEAR(static_cast<double>(traditional_rgb_bits(hd)) / 1024.0, 5422.0, 130.0);
+}
+
+TEST(Color, RgbFrameCostSumsChannels) {
+  const auto rgb = image::make_natural_rgb(64, 64, 7);
+  const auto config = make_config(64, 64, 8);
+  const RgbFrameCost cost = compute_rgb_frame_cost(rgb, config);
+  EXPECT_EQ(cost.worst_total_bits(), cost.r.worst_band.total_bits() +
+                                         cost.g.worst_band.total_bits() +
+                                         cost.b.worst_band.total_bits());
+  EXPECT_GE(cost.worst_stream_bits(), cost.g.worst_stream_bits);
+}
+
+TEST(Color, NaturalRgbSavesMemoryLosslessly) {
+  const auto rgb = image::make_natural_rgb(128, 128, 11);
+  const auto config = make_config(128, 128, 16);
+  const RgbFrameCost cost = compute_rgb_frame_cost(rgb, config);
+  const double saving = rgb_memory_saving_percent(cost, config.spec);
+  EXPECT_GT(saving, 10.0);
+  EXPECT_LT(saving, 90.0);
+}
+
+TEST(Color, RctCostDecomposes) {
+  const auto rgb = image::make_natural_rgb(64, 64, 13);
+  const auto config = make_config(64, 64, 8);
+  const RctCost cost = compute_rct_cost(rgb, config);
+  EXPECT_EQ(cost.total_bits, cost.luma_bits + cost.chroma_bits);
+  EXPECT_GT(cost.luma_bits, 0u);
+  EXPECT_GT(cost.chroma_bits, 0u);
+}
+
+TEST(Color, RctBeatsPerChannelOnCorrelatedContent) {
+  // The decorrelation ablation's headline: for correlated channels the
+  // Y/Cb/Cr split stores fewer bits than three independent R/G/B codecs.
+  const auto rgb = image::make_natural_rgb(128, 128, 17);
+  const auto config = make_config(128, 128, 16);
+  const RgbFrameCost per_channel = compute_rgb_frame_cost(rgb, config);
+  const RctCost rct = compute_rct_cost(rgb, config);
+  EXPECT_LT(rct.total_bits, per_channel.worst_total_bits());
+}
+
+TEST(Color, HigherThresholdShrinksRgbCost) {
+  const auto rgb = image::make_natural_rgb(64, 64, 19);
+  std::size_t prev = ~std::size_t{0};
+  for (const int t : {0, 4}) {
+    const auto cost = compute_rgb_frame_cost(rgb, make_config(64, 64, 8, t));
+    EXPECT_LE(cost.worst_total_bits(), prev);
+    prev = cost.worst_total_bits();
+  }
+}
+
+}  // namespace
+}  // namespace swc::core

@@ -1,0 +1,83 @@
+#include "core/quality.hpp"
+
+#include <gtest/gtest.h>
+
+#include "image/metrics.hpp"
+#include "image/synthetic.hpp"
+
+namespace swc::core {
+namespace {
+
+TEST(Quality, SinglePassLosslessIsIdentity) {
+  const auto img = image::make_natural_image(64, 48);
+  bitpack::ColumnCodecConfig codec;
+  codec.threshold = 0;
+  EXPECT_EQ(single_pass_roundtrip(img, codec), img);
+  EXPECT_EQ(single_pass_mse(img, codec), 0.0);
+}
+
+TEST(Quality, SinglePassLosslessOnRandomImage) {
+  const auto img = image::make_random_image(32, 32, 5);
+  bitpack::ColumnCodecConfig codec;
+  EXPECT_EQ(single_pass_mse(img, codec), 0.0);
+}
+
+TEST(Quality, MseGrowsWithThreshold) {
+  const auto img = image::make_natural_image(128, 128);
+  double prev = -1.0;
+  for (const int t : {2, 4, 6}) {
+    bitpack::ColumnCodecConfig codec;
+    codec.threshold = t;
+    const double err = single_pass_mse(img, codec);
+    EXPECT_GT(err, prev) << "t=" << t;
+    prev = err;
+  }
+}
+
+TEST(Quality, MseIsInPaperRegime) {
+  // Paper Section VI-A: MSE 0.59 / 3.2 / 4.8 at T = 2 / 4 / 6 on the Places
+  // set. Our synthetic set should land in the same order of magnitude.
+  const auto images = image::make_places_like_set(128, 128, 4);
+  for (const int t : {2, 4, 6}) {
+    double total = 0.0;
+    bitpack::ColumnCodecConfig codec;
+    codec.threshold = t;
+    for (const auto& img : images) total += single_pass_mse(img, codec);
+    const double mean = total / static_cast<double>(images.size());
+    EXPECT_GT(mean, 0.01) << "t=" << t;
+    EXPECT_LT(mean, 25.0) << "t=" << t;
+  }
+}
+
+TEST(Quality, MaxErrorBoundedByThresholdScale) {
+  // Zeroing a coefficient of magnitude < T perturbs each reconstructed pixel
+  // by at most ~2T across the two inverse lifting stages.
+  const auto img = image::make_natural_image(64, 64);
+  for (const int t : {2, 4, 6}) {
+    bitpack::ColumnCodecConfig codec;
+    codec.threshold = t;
+    const auto out = single_pass_roundtrip(img, codec);
+    EXPECT_LE(image::max_abs_error(img, out), 4 * t) << "t=" << t;
+  }
+}
+
+TEST(Quality, FlatImageSurvivesAnyThreshold) {
+  // All detail coefficients are zero, and LL values are far from the
+  // threshold, so even aggressive thresholds change nothing.
+  const auto img = image::make_flat_image(32, 32, 200);
+  bitpack::ColumnCodecConfig codec;
+  codec.threshold = 6;
+  EXPECT_EQ(single_pass_roundtrip(img, codec), img);
+}
+
+TEST(Quality, ProtectingLLReducesError) {
+  const auto img = image::make_natural_image(64, 64, {.seed = 9, .contrast = 0.3});
+  bitpack::ColumnCodecConfig uniform;
+  uniform.threshold = 12;
+  bitpack::ColumnCodecConfig protect = uniform;
+  protect.threshold_ll = false;
+  EXPECT_LE(single_pass_mse(img, protect), single_pass_mse(img, uniform));
+}
+
+}  // namespace
+}  // namespace swc::core

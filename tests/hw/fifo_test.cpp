@@ -1,0 +1,56 @@
+#include "hw/fifo.hpp"
+
+#include <gtest/gtest.h>
+
+namespace swc::hw {
+namespace {
+
+TEST(Fifo, PreservesOrder) {
+  Fifo<int> f;
+  for (int i = 0; i < 10; ++i) f.push(i);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(f.pop(), i);
+  EXPECT_TRUE(f.empty());
+}
+
+TEST(Fifo, UnderflowThrows) {
+  Fifo<int> f;
+  EXPECT_THROW((void)f.pop(), std::runtime_error);
+  f.push(1);
+  (void)f.pop();
+  EXPECT_THROW((void)f.pop(), std::runtime_error);
+}
+
+TEST(Fifo, TracksHighWater) {
+  Fifo<int> f;
+  f.push(1);
+  f.push(2);
+  f.push(3);
+  (void)f.pop();
+  (void)f.pop();
+  f.push(4);
+  EXPECT_EQ(f.high_water(), 3u);
+  EXPECT_EQ(f.size(), 2u);
+}
+
+TEST(Fifo, RecordsOverflowWithoutLosingData) {
+  Fifo<int> f(2);
+  f.push(1);
+  f.push(2);
+  EXPECT_FALSE(f.overflowed());
+  f.push(3);
+  EXPECT_TRUE(f.overflowed());
+  EXPECT_EQ(f.pop(), 1);
+  EXPECT_EQ(f.pop(), 2);
+  EXPECT_EQ(f.pop(), 3);  // data preserved so the experiment can complete
+}
+
+TEST(Fifo, CountsPushesAndPops) {
+  Fifo<int> f;
+  for (int i = 0; i < 5; ++i) f.push(i);
+  (void)f.pop();
+  EXPECT_EQ(f.pushes(), 5u);
+  EXPECT_EQ(f.pops(), 1u);
+}
+
+}  // namespace
+}  // namespace swc::hw

@@ -1,0 +1,107 @@
+#include "hw/iwt_module.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "image/rng.hpp"
+#include "wavelet/column_decomposer.hpp"
+
+namespace swc::hw {
+namespace {
+
+std::vector<std::vector<std::uint8_t>> random_columns(std::size_t n, std::size_t count,
+                                                      std::uint64_t seed) {
+  image::SplitMix64 rng(seed);
+  std::vector<std::vector<std::uint8_t>> cols(count, std::vector<std::uint8_t>(n));
+  for (auto& col : cols) {
+    for (auto& v : col) v = static_cast<std::uint8_t>(rng.next() & 0xFF);
+  }
+  return cols;
+}
+
+class IwtStreaming : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(IwtStreaming, MatchesGoldenDecompositionWithOneColumnLatency) {
+  const std::size_t n = GetParam();
+  const auto cols = random_columns(n, 12, n);
+  IwtModule iwt(n);
+  std::vector<std::uint8_t> out(n);
+  std::vector<std::vector<std::uint8_t>> emitted;
+  for (const auto& col : cols) {
+    if (iwt.step(col, out)) emitted.push_back(out);
+  }
+  ASSERT_EQ(emitted.size(), cols.size() - 1);  // one column latency
+  for (std::size_t pair = 0; pair + 1 < cols.size(); pair += 2) {
+    const wavelet::CoeffColumnPair golden =
+        wavelet::decompose_column_pair(cols[pair], cols[pair + 1]);
+    ASSERT_EQ(emitted[pair], golden.even) << "pair " << pair;
+    if (pair + 1 < emitted.size()) {
+      ASSERT_EQ(emitted[pair + 1], golden.odd);
+    }
+  }
+}
+
+TEST_P(IwtStreaming, InverseModuleReconstructsPixelStream) {
+  const std::size_t n = GetParam();
+  const auto cols = random_columns(n, 10, n * 7 + 1);
+  IwtModule iwt(n);
+  IiwtModule iiwt(n);
+  std::vector<std::uint8_t> coeff(n), pixel(n);
+  std::vector<std::vector<std::uint8_t>> reconstructed;
+  for (const auto& col : cols) {
+    if (iwt.step(col, coeff)) {
+      if (iiwt.step(coeff, pixel)) reconstructed.push_back(pixel);
+    }
+  }
+  // Forward + inverse each cost one column of latency.
+  ASSERT_EQ(reconstructed.size(), cols.size() - 2);
+  for (std::size_t i = 0; i < reconstructed.size(); ++i) {
+    ASSERT_EQ(reconstructed[i], cols[i]) << "column " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(WindowSizes, IwtStreaming, ::testing::Values(2, 4, 8, 16, 64));
+
+TEST(IwtModule, FeedCollectSplitProtocol) {
+  const std::size_t n = 4;
+  const auto cols = random_columns(n, 4, 5);
+  IwtModule iwt(n);
+  std::vector<std::uint8_t> out(n);
+
+  EXPECT_FALSE(iwt.collect_buffered(out));          // nothing buffered yet
+  EXPECT_FALSE(iwt.feed(cols[0], out));             // even column latches only
+  EXPECT_FALSE(iwt.has_buffered_output());
+  EXPECT_TRUE(iwt.feed(cols[1], out));              // pair completes: even coeff col
+  const wavelet::CoeffColumnPair golden = wavelet::decompose_column_pair(cols[0], cols[1]);
+  EXPECT_EQ(out, golden.even);
+  EXPECT_TRUE(iwt.has_buffered_output());
+  EXPECT_TRUE(iwt.collect_buffered(out));           // odd coeff col next cycle
+  EXPECT_EQ(out, golden.odd);
+  EXPECT_FALSE(iwt.has_buffered_output());
+}
+
+TEST(IwtModule, ResetClearsState) {
+  const std::size_t n = 4;
+  const auto cols = random_columns(n, 3, 6);
+  IwtModule iwt(n);
+  std::vector<std::uint8_t> out(n);
+  (void)iwt.step(cols[0], out);
+  iwt.reset();
+  EXPECT_FALSE(iwt.step(cols[1], out));  // treated as a fresh even column
+  EXPECT_TRUE(iwt.step(cols[2], out));
+  EXPECT_EQ(out, wavelet::decompose_column_pair(cols[1], cols[2]).even);
+}
+
+TEST(IwtModule, RejectsBadSizes) {
+  EXPECT_THROW(IwtModule(3), std::invalid_argument);
+  EXPECT_THROW(IwtModule(0), std::invalid_argument);
+  IwtModule iwt(4);
+  std::vector<std::uint8_t> bad(3), good(4);
+  EXPECT_THROW((void)iwt.step(bad, good), std::invalid_argument);
+  EXPECT_THROW((void)iwt.step(good, bad), std::invalid_argument);
+  EXPECT_THROW(IiwtModule(5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace swc::hw

@@ -1,0 +1,120 @@
+#include "hw/memory_unit.hpp"
+
+#include <gtest/gtest.h>
+
+namespace swc::hw {
+namespace {
+
+TEST(BitmapWord, SetGetAcrossBothWords) {
+  BitmapWord bm;
+  bm.set(0, true);
+  bm.set(63, true);
+  bm.set(64, true);
+  bm.set(127, true);
+  EXPECT_TRUE(bm.get(0));
+  EXPECT_TRUE(bm.get(63));
+  EXPECT_TRUE(bm.get(64));
+  EXPECT_TRUE(bm.get(127));
+  EXPECT_FALSE(bm.get(1));
+  EXPECT_FALSE(bm.get(100));
+  bm.set(64, false);
+  EXPECT_FALSE(bm.get(64));
+}
+
+TEST(MemoryUnit, RejectsBadWindow) {
+  EXPECT_THROW(MemoryUnit(0), std::invalid_argument);
+  EXPECT_THROW(MemoryUnit(129), std::invalid_argument);
+  EXPECT_NO_THROW(MemoryUnit(128));
+}
+
+TEST(MemoryUnit, ByteStreamsAreIndependentAndOrdered) {
+  MemoryUnit mem(2);
+  mem.push_byte(0, 10);
+  mem.push_byte(1, 20);
+  mem.push_byte(0, 11);
+  EXPECT_EQ(mem.pop_byte(0), 10);
+  EXPECT_EQ(mem.pop_byte(1), 20);
+  EXPECT_EQ(mem.pop_byte(0), 11);
+}
+
+TEST(MemoryUnit, ManagementFifosPreserveOrder) {
+  MemoryUnit mem(4);
+  BitmapWord bm1;
+  bm1.set(2, true);
+  mem.push_management(NBitsEntry{3, 5}, bm1);
+  mem.push_management(NBitsEntry{1, 8}, BitmapWord{});
+  const NBitsEntry n1 = mem.pop_nbits();
+  EXPECT_EQ(n1.top, 3);
+  EXPECT_EQ(n1.bottom, 5);
+  EXPECT_TRUE(mem.pop_bitmap().get(2));
+  EXPECT_EQ(mem.pop_nbits().bottom, 8);
+  EXPECT_FALSE(mem.pop_bitmap().get(2));
+}
+
+TEST(MemoryUnit, OccupancyAccounting) {
+  MemoryUnit mem(4);
+  mem.push_byte(0, 1);
+  mem.push_byte(0, 2);
+  mem.push_byte(3, 3);
+  mem.push_management(NBitsEntry{}, BitmapWord{});
+  EXPECT_EQ(mem.payload_bits_stored(), 24u);
+  EXPECT_EQ(mem.management_bits_stored(), 8u + 4u);  // 8-bit NBits + N-bit bitmap
+  EXPECT_EQ(mem.total_bits_stored(), 36u);
+  (void)mem.pop_byte(0);
+  EXPECT_EQ(mem.payload_bits_stored(), 16u);
+  EXPECT_EQ(mem.payload_high_water_bits(), 24u);
+  EXPECT_EQ(mem.max_stream_high_water_bits(), 16u);
+}
+
+TEST(MemoryUnit, RowBoundaryDiscardsUnconsumedBytes) {
+  MemoryUnit mem(1);
+  // Row 0: three bytes pushed, unpacker consumes only one.
+  mem.push_byte(0, 0xA0);
+  mem.push_byte(0, 0xA1);
+  mem.push_byte(0, 0xA2);
+  mem.end_pack_row();
+  // Row 1: one byte.
+  mem.push_byte(0, 0xB0);
+  mem.end_pack_row();
+
+  mem.begin_unpack_row();           // opens row 0 (nothing to discard yet)
+  EXPECT_EQ(mem.pop_byte(0), 0xA0);
+  mem.begin_unpack_row();           // discards 0xA1, 0xA2
+  EXPECT_EQ(mem.pop_byte(0), 0xB0);
+}
+
+TEST(MemoryUnit, RowBoundaryWithFullConsumptionDiscardsNothing) {
+  MemoryUnit mem(1);
+  mem.push_byte(0, 1);
+  mem.end_pack_row();
+  mem.push_byte(0, 2);
+  mem.end_pack_row();
+  mem.begin_unpack_row();
+  EXPECT_EQ(mem.pop_byte(0), 1);
+  mem.begin_unpack_row();
+  EXPECT_EQ(mem.pop_byte(0), 2);
+}
+
+TEST(MemoryUnit, OverconsumptionAcrossRowIsDetected) {
+  MemoryUnit mem(1);
+  mem.push_byte(0, 1);
+  mem.end_pack_row();
+  mem.push_byte(0, 2);
+  mem.end_pack_row();
+  mem.begin_unpack_row();
+  (void)mem.pop_byte(0);
+  (void)mem.pop_byte(0);  // illegally eats into row 1
+  EXPECT_THROW(mem.begin_unpack_row(), std::logic_error);
+}
+
+TEST(MemoryUnit, CapacityOverflowIsRecorded) {
+  MemoryUnit mem(1, /*payload_capacity_bytes=*/2);
+  mem.push_byte(0, 1);
+  mem.push_byte(0, 2);
+  EXPECT_FALSE(mem.overflowed());
+  mem.push_byte(0, 3);
+  EXPECT_TRUE(mem.overflowed());
+}
+
+}  // namespace
+}  // namespace swc::hw

@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "bitpack/bitstream.hpp"
+#include "bitpack/nbits.hpp"
+#include "hw/bitpack_unit.hpp"
+#include "hw/bitunpack_unit.hpp"
+#include "hw/fifo.hpp"
+#include "image/rng.hpp"
+
+namespace swc::hw {
+namespace {
+
+struct Event {
+  std::uint8_t coeff;
+  int nbits;
+  bool significant;
+};
+
+std::vector<Event> random_events(std::size_t count, std::uint64_t seed) {
+  image::SplitMix64 rng(seed);
+  std::vector<Event> events(count);
+  for (auto& e : events) {
+    e.coeff = static_cast<std::uint8_t>(rng.next() & 0xFF);
+    e.nbits = std::max(1, bitpack::min_bits_u8(e.coeff));
+    e.significant = (rng.next() & 3) != 0;  // 75% significant
+    if (!e.significant) e.coeff = 0;
+  }
+  return events;
+}
+
+TEST(BitPackUnit, MatchesGoldenBitWriter) {
+  const auto events = random_events(500, 42);
+  BitPackUnit unit;
+  std::vector<std::uint8_t> hw_bytes;
+  bitpack::BitWriter golden;
+  for (const auto& e : events) {
+    if (const auto byte = unit.step(e.coeff, e.nbits, e.significant)) hw_bytes.push_back(*byte);
+    if (e.significant) golden.put(e.coeff, e.nbits);
+  }
+  if (const auto byte = unit.flush()) hw_bytes.push_back(*byte);
+  EXPECT_EQ(hw_bytes, golden.finish());
+}
+
+TEST(BitPackUnit, EmitsAtMostOneBytePerCycle) {
+  BitPackUnit unit;
+  for (int i = 0; i < 100; ++i) {
+    (void)unit.step(0x7F, 8, true);
+    EXPECT_LE(unit.pending_bits(), 7);
+  }
+}
+
+TEST(BitPackUnit, FlushOnEmptyIsNoOp) {
+  BitPackUnit unit;
+  EXPECT_EQ(unit.flush(), std::nullopt);
+  (void)unit.step(1, 2, true);
+  ASSERT_NE(unit.flush(), std::nullopt);
+  EXPECT_EQ(unit.flush(), std::nullopt);
+  EXPECT_EQ(unit.pending_bits(), 0);
+}
+
+TEST(BitPackUnit, InsignificantCoefficientsCostNothing) {
+  BitPackUnit unit;
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(unit.step(123, 8, false), std::nullopt);
+  EXPECT_EQ(unit.pending_bits(), 0);
+}
+
+TEST(BitUnpackUnit, InvertsBitPackUnitExactly) {
+  const auto events = random_events(800, 7);
+  BitPackUnit packer;
+  Fifo<std::uint8_t> fifo;
+  for (const auto& e : events) {
+    if (const auto byte = packer.step(e.coeff, e.nbits, e.significant)) fifo.push(*byte);
+  }
+  if (const auto byte = packer.flush()) fifo.push(*byte);
+
+  BitUnpackUnit unpacker;
+  for (const auto& e : events) {
+    const std::uint8_t value =
+        unpacker.step(e.nbits, e.significant, [&] { return fifo.pop(); });
+    ASSERT_EQ(value, e.coeff);
+  }
+}
+
+TEST(BitUnpackUnit, InsignificantProducesZeroWithoutFetching) {
+  BitUnpackUnit unit;
+  bool fetched = false;
+  const std::uint8_t v = unit.step(8, false, [&] {
+    fetched = true;
+    return std::uint8_t{0xAB};
+  });
+  EXPECT_EQ(v, 0);
+  EXPECT_FALSE(fetched);
+}
+
+TEST(BitUnpackUnit, FetchesAtMostOneBytePerCoefficient) {
+  // Worst case from the paper: 1 residual bit followed by an 8-bit read
+  // fits the 16-bit Yout_rem with a single fetch.
+  BitPackUnit packer;
+  Fifo<std::uint8_t> fifo;
+  auto push = [&](std::optional<std::uint8_t> byte) {
+    if (byte) fifo.push(*byte);
+  };
+  push(packer.step(1, 1, true));                                  // 1 bit
+  push(packer.step(static_cast<std::uint8_t>(-100), 8, true));    // 8 bits
+  push(packer.step(5, 4, true));
+  push(packer.flush());
+
+  BitUnpackUnit unpacker;
+  int fetches = 0;
+  auto fetch = [&] {
+    ++fetches;
+    return fifo.pop();
+  };
+  int before = fetches;
+  EXPECT_EQ(unpacker.step(1, true, fetch), static_cast<std::uint8_t>(-1));
+  EXPECT_LE(fetches - before, 1);
+  before = fetches;
+  EXPECT_EQ(unpacker.step(8, true, fetch), static_cast<std::uint8_t>(-100));
+  EXPECT_LE(fetches - before, 1);
+  before = fetches;
+  EXPECT_EQ(unpacker.step(4, true, fetch), 5);
+  EXPECT_LE(fetches - before, 1);
+}
+
+TEST(BitUnpackUnit, ResetRowDiscardsResidualBits) {
+  BitPackUnit packer;
+  Fifo<std::uint8_t> fifo;
+  if (const auto b = packer.step(3, 3, true)) fifo.push(*b);
+  if (const auto b = packer.flush()) fifo.push(*b);  // byte = 3 bits + padding
+
+  BitUnpackUnit unpacker;
+  EXPECT_EQ(unpacker.step(3, true, [&] { return fifo.pop(); }), 3);
+  EXPECT_GT(unpacker.pending_bits(), 0);  // padding residue
+  unpacker.reset_row();
+  EXPECT_EQ(unpacker.pending_bits(), 0);
+}
+
+TEST(PackUnpackPair, RowBoundaryProtocolRoundTrips) {
+  // Two independent "rows" with flush + reset between them.
+  image::SplitMix64 rng(99);
+  BitPackUnit packer;
+  BitUnpackUnit unpacker;
+  Fifo<std::uint8_t> fifo;
+  for (int row = 0; row < 5; ++row) {
+    std::vector<Event> events = random_events(64, 1000 + static_cast<std::uint64_t>(row));
+    for (const auto& e : events) {
+      if (const auto byte = packer.step(e.coeff, e.nbits, e.significant)) fifo.push(*byte);
+    }
+    if (const auto byte = packer.flush()) fifo.push(*byte);
+
+    for (const auto& e : events) {
+      ASSERT_EQ(unpacker.step(e.nbits, e.significant, [&] { return fifo.pop(); }), e.coeff);
+    }
+    // Discard any padding byte the unpacker never touched.
+    while (!fifo.empty()) (void)fifo.pop();
+    unpacker.reset_row();
+  }
+}
+
+}  // namespace
+}  // namespace swc::hw

@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "core/streaming_engine.hpp"
+#include "hw/compressed_pipeline.hpp"
+#include "hw/traditional_pipeline.hpp"
+#include "image/metrics.hpp"
+#include "image/synthetic.hpp"
+
+namespace swc::hw {
+namespace {
+
+core::EngineConfig make_config(std::size_t w, std::size_t h, std::size_t n, int threshold = 0) {
+  core::EngineConfig config;
+  config.spec = {w, h, n};
+  config.codec.threshold = threshold;
+  return config;
+}
+
+template <typename Pipeline>
+std::vector<std::vector<std::uint8_t>> run_pipeline(Pipeline& pipe, const image::ImageU8& img,
+                                                    std::size_t n) {
+  std::vector<std::vector<std::uint8_t>> windows;
+  for (const std::uint8_t px : img.pixels()) {
+    if (pipe.step(px)) {
+      std::vector<std::uint8_t> flat;
+      flat.reserve(n * n);
+      for (std::size_t y = 0; y < n; ++y) {
+        for (std::size_t x = 0; x < n; ++x) flat.push_back(pipe.window().at(x, y));
+      }
+      windows.push_back(std::move(flat));
+    }
+  }
+  return windows;
+}
+
+class PipelineGeometry
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t, std::size_t>> {};
+
+TEST_P(PipelineGeometry, TraditionalPipelineMatchesGoldenEngine) {
+  const auto [w, h, n] = GetParam();
+  const auto img = image::make_natural_image(w, h, {.seed = w + h + n});
+  TraditionalPipeline pipe({w, h, n});
+  const auto cycle_windows = run_pipeline(pipe, img, n);
+
+  core::TraditionalEngine golden({w, h, n});
+  std::vector<std::vector<std::uint8_t>> golden_windows;
+  golden.run(img, [&](std::size_t, std::size_t, const core::WindowView& win) {
+    std::vector<std::uint8_t> flat;
+    for (std::size_t y = 0; y < n; ++y) {
+      for (std::size_t x = 0; x < n; ++x) flat.push_back(win.at(x, y));
+    }
+    golden_windows.push_back(std::move(flat));
+  });
+  ASSERT_EQ(cycle_windows.size(), golden_windows.size());
+  for (std::size_t i = 0; i < cycle_windows.size(); ++i) {
+    ASSERT_EQ(cycle_windows[i], golden_windows[i]) << "window #" << i;
+  }
+  EXPECT_EQ(pipe.cycles(), w * h);  // exactly one pixel per cycle
+}
+
+TEST_P(PipelineGeometry, CompressedPipelineLosslessMatchesTraditional) {
+  const auto [w, h, n] = GetParam();
+  const auto img = image::make_natural_image(w, h, {.seed = 3 * w + h + n});
+  TraditionalPipeline trad({w, h, n});
+  CompressedPipeline comp(make_config(w, h, n, 0));
+  const auto wt = run_pipeline(trad, img, n);
+  const auto wc = run_pipeline(comp, img, n);
+  ASSERT_EQ(wt.size(), wc.size());
+  for (std::size_t i = 0; i < wt.size(); ++i) {
+    ASSERT_EQ(wt[i], wc[i]) << "window #" << i;
+  }
+  // The headline throughput claim: both are fully pipelined at 1 px/cycle.
+  EXPECT_EQ(comp.cycles(), trad.cycles());
+  EXPECT_EQ(comp.windows_emitted(), trad.windows_emitted());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, PipelineGeometry,
+    ::testing::Values(std::make_tuple(16, 12, 2), std::make_tuple(16, 12, 4),
+                      std::make_tuple(32, 20, 8), std::make_tuple(48, 48, 8),
+                      std::make_tuple(24, 40, 16), std::make_tuple(64, 16, 4)));
+
+TEST(CompressedPipeline, LosslessOnRandomImage) {
+  const auto img = image::make_random_image(32, 16, 77);
+  TraditionalPipeline trad({32, 16, 4});
+  CompressedPipeline comp(make_config(32, 16, 4, 0));
+  EXPECT_EQ(run_pipeline(trad, img, 4), run_pipeline(comp, img, 4));
+}
+
+TEST(CompressedPipeline, WindowCountMatchesValidPositions) {
+  const auto img = image::make_natural_image(40, 24);
+  CompressedPipeline pipe(make_config(40, 24, 8));
+  for (const std::uint8_t px : img.pixels()) (void)pipe.step(px);
+  EXPECT_EQ(pipe.windows_emitted(), (40u - 8u + 1u) * (24u - 8u + 1u));
+  EXPECT_EQ(pipe.cycles(), 40u * 24u);
+}
+
+TEST(CompressedPipeline, LossyOutputsStayCloseToPristine) {
+  const std::size_t w = 64, h = 48, n = 8;
+  const auto img = image::make_natural_image(w, h);
+  for (const int t : {2, 6}) {
+    TraditionalPipeline trad({w, h, n});
+    CompressedPipeline comp(make_config(w, h, n, t));
+    const auto wt = run_pipeline(trad, img, n);
+    const auto wc = run_pipeline(comp, img, n);
+    ASSERT_EQ(wt.size(), wc.size());
+    double err = 0.0;
+    std::size_t count = 0;
+    int max_err = 0;
+    for (std::size_t i = 0; i < wt.size(); ++i) {
+      for (std::size_t j = 0; j < wt[i].size(); ++j) {
+        const int d = static_cast<int>(wt[i][j]) - static_cast<int>(wc[i][j]);
+        err += d * d;
+        max_err = std::max(max_err, std::abs(d));
+        ++count;
+      }
+    }
+    const double mse = err / static_cast<double>(count);
+    EXPECT_GT(mse, 0.0) << "t=" << t;
+    EXPECT_LT(mse, 20.0 * t * t) << "t=" << t;
+  }
+}
+
+TEST(CompressedPipeline, PeakBufferBelowTraditionalOnNaturalImage) {
+  // Window 16: management overhead is 1.5 bits/coefficient, so a ~6 bpp
+  // lossless payload clears the 8 bpp raw baseline with margin. (At window
+  // 8 the overhead is 2 bits/coefficient and the margin can vanish — the
+  // same effect that caps the paper's Fig. 13 savings for small windows.)
+  const std::size_t w = 128, h = 48, n = 16;
+  image::NaturalImageParams params;
+  params.octaves = 5;
+  params.detail_energy = 0.5;
+  const auto img = image::make_natural_image(w, h, params);
+  CompressedPipeline pipe(make_config(w, h, n, 0));
+  for (const std::uint8_t px : img.pixels()) (void)pipe.step(px);
+  // Traditional provisioning for the same loop: W columns of N pixels.
+  const std::size_t traditional_bits = w * n * 8;
+  EXPECT_LT(pipe.peak_buffer_bits(), traditional_bits);
+  EXPECT_GT(pipe.peak_buffer_bits(), 0u);
+  EXPECT_FALSE(pipe.memory().overflowed());
+}
+
+TEST(CompressedPipeline, TinyCapacityRecordsOverflow) {
+  const auto img = image::make_random_image(32, 16, 9);
+  CompressedPipeline pipe(make_config(32, 16, 4, 0), /*payload_capacity_bits_per_stream=*/64);
+  for (const std::uint8_t px : img.pixels()) (void)pipe.step(px);
+  EXPECT_TRUE(pipe.memory().overflowed());
+}
+
+TEST(CompressedPipeline, RejectsUnsupportedGranularity) {
+  auto config = make_config(32, 16, 4);
+  config.codec.granularity = bitpack::NBitsGranularity::PerCoefficient;
+  EXPECT_THROW(CompressedPipeline{config}, std::invalid_argument);
+}
+
+TEST(CompressedPipeline, MemoryHoldsRoughlyOneRowOfColumns) {
+  // Steady-state backlog is ~W column records in the management FIFOs.
+  const std::size_t w = 64, h = 24, n = 4;
+  const auto img = image::make_natural_image(w, h);
+  CompressedPipeline pipe(make_config(w, h, n, 0));
+  std::size_t i = 0;
+  for (const std::uint8_t px : img.pixels()) {
+    (void)pipe.step(px);
+    if (++i == w * (h / 2)) {
+      const std::size_t mgmt = pipe.memory().management_bits_stored();
+      // W columns x (8 NBits + N bitmap) bits, +/- the pipeline latency.
+      const std::size_t expected = w * (8 + n);
+      EXPECT_NEAR(static_cast<double>(mgmt), static_cast<double>(expected),
+                  static_cast<double>(3 * (8 + n)));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace swc::hw

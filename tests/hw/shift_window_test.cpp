@@ -1,0 +1,61 @@
+#include "hw/shift_window.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace swc::hw {
+namespace {
+
+TEST(ShiftWindow, StartsZeroed) {
+  ShiftWindow win(3);
+  for (std::size_t y = 0; y < 3; ++y) {
+    for (std::size_t x = 0; x < 3; ++x) EXPECT_EQ(win.at(x, y), 0);
+  }
+}
+
+TEST(ShiftWindow, ColumnsShiftLeft) {
+  ShiftWindow win(2);
+  win.shift_in(std::vector<std::uint8_t>{1, 2});
+  win.shift_in(std::vector<std::uint8_t>{3, 4});
+  EXPECT_EQ(win.at(0, 0), 1);
+  EXPECT_EQ(win.at(0, 1), 2);
+  EXPECT_EQ(win.at(1, 0), 3);
+  EXPECT_EQ(win.at(1, 1), 4);
+  win.shift_in(std::vector<std::uint8_t>{5, 6});
+  EXPECT_EQ(win.at(0, 0), 3);  // oldest column dropped
+  EXPECT_EQ(win.at(1, 0), 5);
+}
+
+TEST(ShiftWindow, ReadRightmostReturnsNewestColumn) {
+  ShiftWindow win(3);
+  win.shift_in(std::vector<std::uint8_t>{1, 2, 3});
+  win.shift_in(std::vector<std::uint8_t>{4, 5, 6});
+  std::vector<std::uint8_t> col(3);
+  win.read_rightmost(col);
+  EXPECT_EQ(col, (std::vector<std::uint8_t>{4, 5, 6}));
+}
+
+TEST(ShiftWindow, RejectsBadColumnSizes) {
+  ShiftWindow win(4);
+  EXPECT_THROW(win.shift_in(std::vector<std::uint8_t>{1, 2}), std::invalid_argument);
+  std::vector<std::uint8_t> small(2);
+  EXPECT_THROW(win.read_rightmost(small), std::invalid_argument);
+  EXPECT_THROW(ShiftWindow(0), std::invalid_argument);
+}
+
+TEST(ShiftWindow, FullRotationReplacesAllContent) {
+  ShiftWindow win(3);
+  for (std::uint8_t k = 0; k < 3; ++k) {
+    win.shift_in(std::vector<std::uint8_t>{k, k, k});
+  }
+  for (std::uint8_t k = 10; k < 13; ++k) {
+    win.shift_in(std::vector<std::uint8_t>{k, k, k});
+  }
+  for (std::size_t x = 0; x < 3; ++x) {
+    for (std::size_t y = 0; y < 3; ++y) EXPECT_EQ(win.at(x, y), 10 + x);
+  }
+}
+
+}  // namespace
+}  // namespace swc::hw

@@ -1,0 +1,77 @@
+#include "hw/video_pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "image/synthetic.hpp"
+
+namespace swc::hw {
+namespace {
+
+core::EngineConfig base_config(std::size_t w, std::size_t h, std::size_t n) {
+  core::EngineConfig config;
+  config.spec = {w, h, n};
+  return config;
+}
+
+TEST(VideoPipeline, ProcessesFramesAndRecordsHistory) {
+  core::AdaptiveThresholdConfig ac;
+  ac.budget_bits = 1 << 20;  // generous: never adapts
+  VideoPipeline video(base_config(32, 24, 4), ac);
+  const auto frame = image::make_natural_image(32, 24, {.seed = 1});
+  for (int i = 0; i < 3; ++i) {
+    const FrameReport r = video.process_frame(frame);
+    EXPECT_EQ(r.frame_index, static_cast<std::size_t>(i));
+    EXPECT_EQ(r.threshold, 0);
+    EXPECT_EQ(r.cycles, 32u * 24u);
+    EXPECT_EQ(r.windows, 29u * 21u);
+    EXPECT_FALSE(r.overflowed);
+  }
+  EXPECT_EQ(video.history().size(), 3u);
+  EXPECT_EQ(video.total_overflow_frames(), 0u);
+}
+
+TEST(VideoPipeline, AdaptsThresholdAcrossSceneChange) {
+  const std::size_t w = 64, h = 48, n = 8;
+  // A flat scene (only LL coefficients survive) guarantees a wide peak gap
+  // against the random frame even at this small test geometry.
+  const auto smooth = image::make_flat_image(w, h, 150);
+  const auto noisy = image::make_random_image(w, h, 3);
+
+  // Budget: measure the smooth frame's peak first, then set the budget
+  // between smooth and noisy.
+  core::AdaptiveThresholdConfig probe;
+  probe.budget_bits = 1 << 24;
+  VideoPipeline probe_video(base_config(w, h, n), probe);
+  const std::size_t smooth_peak = probe_video.process_frame(smooth).peak_buffer_bits;
+  const std::size_t noisy_peak = probe_video.process_frame(noisy).peak_buffer_bits;
+  ASSERT_LT(smooth_peak, noisy_peak);
+
+  core::AdaptiveThresholdConfig ac;
+  ac.budget_bits = noisy_peak - noisy_peak / 10;
+  ASSERT_LT(static_cast<double>(smooth_peak), ac.low_water * static_cast<double>(ac.budget_bits));
+  VideoPipeline video(base_config(w, h, n), ac);
+
+  for (int i = 0; i < 3; ++i) (void)video.process_frame(smooth);
+  EXPECT_EQ(video.current_threshold(), 0);
+
+  int last = 0;
+  for (int i = 0; i < 20; ++i) last = video.process_frame(noisy).threshold;
+  EXPECT_GT(video.current_threshold(), 0);
+  (void)last;
+
+  for (int i = 0; i < 20; ++i) (void)video.process_frame(smooth);
+  EXPECT_EQ(video.current_threshold(), 0);  // recovered lossless operation
+}
+
+TEST(VideoPipeline, OverflowFlagTracksProvisionedCapacity) {
+  core::AdaptiveThresholdConfig ac;
+  ac.budget_bits = 1 << 20;
+  VideoPipeline video(base_config(32, 16, 4), ac, /*capacity_bits_per_stream=*/64);
+  const auto noisy = image::make_random_image(32, 16, 5);
+  const FrameReport r = video.process_frame(noisy);
+  EXPECT_TRUE(r.overflowed);
+  EXPECT_EQ(video.total_overflow_frames(), 1u);
+}
+
+}  // namespace
+}  // namespace swc::hw

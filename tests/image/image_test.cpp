@@ -1,0 +1,86 @@
+#include "image/image.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace swc::image {
+namespace {
+
+TEST(Image, ConstructsWithFill) {
+  ImageU8 img(4, 3, 7);
+  EXPECT_EQ(img.width(), 4u);
+  EXPECT_EQ(img.height(), 3u);
+  EXPECT_EQ(img.size(), 12u);
+  for (std::size_t y = 0; y < 3; ++y) {
+    for (std::size_t x = 0; x < 4; ++x) EXPECT_EQ(img.at(x, y), 7);
+  }
+}
+
+TEST(Image, DefaultIsEmpty) {
+  ImageU8 img;
+  EXPECT_TRUE(img.empty());
+  EXPECT_EQ(img.size(), 0u);
+}
+
+TEST(Image, RejectsZeroDimensions) {
+  EXPECT_THROW(ImageU8(0, 3), std::invalid_argument);
+  EXPECT_THROW(ImageU8(3, 0), std::invalid_argument);
+}
+
+TEST(Image, RejectsMismatchedDataVector) {
+  EXPECT_THROW(ImageU8(2, 2, std::vector<std::uint8_t>{1, 2, 3}), std::invalid_argument);
+}
+
+TEST(Image, AcceptsMatchingDataVector) {
+  ImageU8 img(2, 2, std::vector<std::uint8_t>{1, 2, 3, 4});
+  EXPECT_EQ(img.at(0, 0), 1);
+  EXPECT_EQ(img.at(1, 0), 2);
+  EXPECT_EQ(img.at(0, 1), 3);
+  EXPECT_EQ(img.at(1, 1), 4);
+}
+
+TEST(Image, RowSpanIsContiguousRow) {
+  ImageU8 img(3, 2);
+  img.at(0, 1) = 10;
+  img.at(2, 1) = 30;
+  const auto row = img.row(1);
+  ASSERT_EQ(row.size(), 3u);
+  EXPECT_EQ(row[0], 10);
+  EXPECT_EQ(row[2], 30);
+}
+
+TEST(Image, CheckedThrowsOutOfRange) {
+  ImageU8 img(2, 2);
+  EXPECT_THROW((void)img.checked(2, 0), std::out_of_range);
+  EXPECT_THROW((void)img.checked(0, 2), std::out_of_range);
+  EXPECT_NO_THROW((void)img.checked(1, 1));
+}
+
+TEST(Image, ClampedSamplesEdges) {
+  ImageU8 img(2, 2, std::vector<std::uint8_t>{1, 2, 3, 4});
+  EXPECT_EQ(img.clamped(-5, -5), 1);
+  EXPECT_EQ(img.clamped(10, 0), 2);
+  EXPECT_EQ(img.clamped(0, 10), 3);
+  EXPECT_EQ(img.clamped(10, 10), 4);
+}
+
+TEST(Image, EqualityComparesContentAndShape) {
+  ImageU8 a(2, 2, 5);
+  ImageU8 b(2, 2, 5);
+  EXPECT_EQ(a, b);
+  b.at(1, 1) = 6;
+  EXPECT_FALSE(a == b);
+  ImageU8 c(4, 1, 5);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(Image, WorksWithWideTypes) {
+  Image<std::int32_t> img(2, 2, -1000);
+  EXPECT_EQ(img.at(1, 1), -1000);
+  img.at(0, 0) = 70000;
+  EXPECT_EQ(img.at(0, 0), 70000);
+}
+
+}  // namespace
+}  // namespace swc::image

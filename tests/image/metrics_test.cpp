@@ -1,0 +1,69 @@
+#include "image/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "image/synthetic.hpp"
+
+namespace swc::image {
+namespace {
+
+TEST(Metrics, MseOfIdenticalImagesIsZero) {
+  const ImageU8 img = make_natural_image(32, 32);
+  EXPECT_EQ(mse(img, img), 0.0);
+}
+
+TEST(Metrics, MseKnownValue) {
+  ImageU8 a(2, 2, 10);
+  ImageU8 b(2, 2, 10);
+  b.at(0, 0) = 14;  // one pixel off by 4 -> MSE = 16/4
+  EXPECT_DOUBLE_EQ(mse(a, b), 4.0);
+}
+
+TEST(Metrics, MseThrowsOnSizeMismatch) {
+  ImageU8 a(2, 2);
+  ImageU8 b(4, 2);
+  EXPECT_THROW((void)mse(a, b), std::invalid_argument);
+}
+
+TEST(Metrics, PsnrInfiniteWhenIdentical) {
+  const ImageU8 img = make_flat_image(8, 8, 3);
+  EXPECT_TRUE(std::isinf(psnr(img, img)));
+}
+
+TEST(Metrics, PsnrKnownValue) {
+  ImageU8 a(1, 1, 0);
+  ImageU8 b(1, 1, 255);
+  // MSE = 255^2 -> PSNR = 0 dB.
+  EXPECT_NEAR(psnr(a, b), 0.0, 1e-9);
+}
+
+TEST(Metrics, MaxAbsError) {
+  ImageU8 a(2, 2, 100);
+  ImageU8 b(2, 2, 100);
+  b.at(1, 0) = 90;
+  b.at(0, 1) = 117;
+  EXPECT_EQ(max_abs_error(a, b), 17);
+}
+
+TEST(Metrics, EntropyOfFlatImageIsZero) {
+  EXPECT_DOUBLE_EQ(entropy_bits(make_flat_image(16, 16, 123)), 0.0);
+}
+
+TEST(Metrics, EntropyOfTwoValueImageIsOneBit) {
+  const ImageU8 img = make_checkerboard_image(16, 16, 1, 0, 255);
+  EXPECT_NEAR(entropy_bits(img), 1.0, 1e-9);
+}
+
+TEST(Metrics, StatsOfKnownImage) {
+  ImageU8 img(2, 2, std::vector<std::uint8_t>{0, 100, 200, 100});
+  const ImageStats s = compute_stats(img);
+  EXPECT_DOUBLE_EQ(s.mean, 100.0);
+  EXPECT_EQ(s.min, 0);
+  EXPECT_EQ(s.max, 200);
+  EXPECT_NEAR(s.stddev, std::sqrt(5000.0), 1e-9);
+}
+
+}  // namespace
+}  // namespace swc::image

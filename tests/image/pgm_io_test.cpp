@@ -1,0 +1,70 @@
+#include "image/pgm_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "image/synthetic.hpp"
+
+namespace swc::image {
+namespace {
+
+TEST(PgmIo, RoundTripsThroughStream) {
+  const ImageU8 original = make_natural_image(37, 23);
+  std::stringstream ss;
+  write_pgm(original, ss);
+  const ImageU8 restored = read_pgm(ss);
+  EXPECT_EQ(original, restored);
+}
+
+TEST(PgmIo, ParsesHeaderWithComments) {
+  std::stringstream ss;
+  ss << "P5\n# a comment line\n2 # inline\n2\n255\n";
+  ss.write("\x01\x02\x03\x04", 4);
+  const ImageU8 img = read_pgm(ss);
+  EXPECT_EQ(img.width(), 2u);
+  EXPECT_EQ(img.at(1, 1), 4);
+}
+
+TEST(PgmIo, RejectsWrongMagic) {
+  std::stringstream ss("P2\n2 2\n255\n");
+  EXPECT_THROW((void)read_pgm(ss), std::runtime_error);
+}
+
+TEST(PgmIo, RejectsTruncatedPixelData) {
+  std::stringstream ss;
+  ss << "P5\n4 4\n255\n";
+  ss.write("\x01\x02", 2);
+  EXPECT_THROW((void)read_pgm(ss), std::runtime_error);
+}
+
+TEST(PgmIo, RejectsWideMaxval) {
+  std::stringstream ss("P5\n2 2\n65535\n");
+  EXPECT_THROW((void)read_pgm(ss), std::runtime_error);
+}
+
+TEST(PgmIo, RejectsGarbageDimensions) {
+  std::stringstream ss("P5\nfoo 2\n255\n");
+  EXPECT_THROW((void)read_pgm(ss), std::runtime_error);
+}
+
+TEST(PgmIo, RejectsMissingHeaderFields) {
+  std::stringstream ss("P5\n2");
+  EXPECT_THROW((void)read_pgm(ss), std::runtime_error);
+}
+
+TEST(PgmIo, RoundTripsThroughFile) {
+  const ImageU8 original = make_gradient_image(16, 8);
+  const auto path = std::filesystem::temp_directory_path() / "swc_pgm_io_test.pgm";
+  write_pgm(original, path);
+  const ImageU8 restored = read_pgm(path);
+  std::filesystem::remove(path);
+  EXPECT_EQ(original, restored);
+}
+
+TEST(PgmIo, ReadMissingFileThrows) {
+  EXPECT_THROW((void)read_pgm(std::filesystem::path("/nonexistent/no.pgm")), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace swc::image

@@ -1,0 +1,100 @@
+#include "image/rgb.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "image/metrics.hpp"
+#include "image/rng.hpp"
+
+namespace swc::image {
+namespace {
+
+RgbImage random_rgb(std::size_t w, std::size_t h, std::uint64_t seed) {
+  RgbImage img{ImageU8(w, h), ImageU8(w, h), ImageU8(w, h)};
+  SplitMix64 rng(seed);
+  for (std::size_t i = 0; i < img.r.size(); ++i) {
+    img.r.pixels()[i] = static_cast<std::uint8_t>(rng.next() & 0xFF);
+    img.g.pixels()[i] = static_cast<std::uint8_t>(rng.next() & 0xFF);
+    img.b.pixels()[i] = static_cast<std::uint8_t>(rng.next() & 0xFF);
+  }
+  return img;
+}
+
+TEST(Rgb, NaturalRgbIsDeterministicAndCorrelated) {
+  const RgbImage a = make_natural_rgb(64, 64, 5);
+  const RgbImage b = make_natural_rgb(64, 64, 5);
+  EXPECT_EQ(a, b);
+  // Channels share structure: R-G differences are much smaller than the
+  // channel dynamic range.
+  double diff = 0.0;
+  for (std::size_t i = 0; i < a.r.size(); ++i) {
+    diff += std::abs(static_cast<int>(a.r.pixels()[i]) - static_cast<int>(a.g.pixels()[i]));
+  }
+  EXPECT_LT(diff / static_cast<double>(a.r.size()), 30.0);
+  EXPECT_GT(compute_stats(a.r).stddev, 10.0);
+}
+
+TEST(Rgb, PpmRoundTrip) {
+  const RgbImage img = make_natural_rgb(33, 17, 9);
+  std::stringstream ss;
+  write_ppm(img, ss);
+  EXPECT_EQ(read_ppm(ss), img);
+}
+
+TEST(Rgb, PpmRejectsBadMagicAndTruncation) {
+  std::stringstream bad("P5\n2 2\n255\n");
+  EXPECT_THROW((void)read_ppm(bad), std::runtime_error);
+  std::stringstream trunc;
+  trunc << "P6\n4 4\n255\nxy";
+  EXPECT_THROW((void)read_ppm(trunc), std::runtime_error);
+}
+
+TEST(Rgb, MseAveragesChannels) {
+  RgbImage a{ImageU8(2, 2, 10), ImageU8(2, 2, 10), ImageU8(2, 2, 10)};
+  RgbImage b = a;
+  b.r = ImageU8(2, 2, 16);  // per-channel MSE: 36, 0, 0
+  EXPECT_DOUBLE_EQ(rgb_mse(a, b), 12.0);
+}
+
+TEST(Rct, RoundTripsRandomImagesExactly) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const RgbImage img = random_rgb(16, 16, seed);
+    EXPECT_EQ(rct_inverse(rct_forward(img)), img) << "seed=" << seed;
+  }
+}
+
+TEST(Rct, RoundTripsExtremeCorners) {
+  for (const int ri : {0, 255}) {
+    const auto r = static_cast<std::uint8_t>(ri);
+    for (const int gi : {0, 255}) {
+      const auto g = static_cast<std::uint8_t>(gi);
+      for (const int bi : {0, 255}) {
+        const auto b = static_cast<std::uint8_t>(bi);
+        RgbImage img{ImageU8(1, 1, r), ImageU8(1, 1, g), ImageU8(1, 1, b)};
+        EXPECT_EQ(rct_inverse(rct_forward(img)), img);
+      }
+    }
+  }
+}
+
+TEST(Rct, GrayPixelsHaveZeroChroma) {
+  RgbImage gray{ImageU8(4, 4, 77), ImageU8(4, 4, 77), ImageU8(4, 4, 77)};
+  const RctImage rct = rct_forward(gray);
+  for (const auto v : rct.cb.pixels()) EXPECT_EQ(v, 0);
+  for (const auto v : rct.cr.pixels()) EXPECT_EQ(v, 0);
+  for (const auto v : rct.y.pixels()) EXPECT_EQ(v, 77);
+}
+
+TEST(Rct, DecorrelatesNaturalImages) {
+  // Chroma energy should be far below channel energy for correlated content.
+  const RgbImage img = make_natural_rgb(64, 64, 3);
+  const RctImage rct = rct_forward(img);
+  double chroma = 0.0;
+  for (const auto v : rct.cb.pixels()) chroma += std::abs(v);
+  chroma /= static_cast<double>(rct.cb.size());
+  EXPECT_LT(chroma, compute_stats(img.g).stddev);
+}
+
+}  // namespace
+}  // namespace swc::image

@@ -1,0 +1,144 @@
+#include "image/synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "image/metrics.hpp"
+
+namespace swc::image {
+namespace {
+
+// Mean absolute difference between horizontal neighbours: a direct proxy for
+// the "smooth colour variations" statistic the compression exploits.
+double neighbour_roughness(const ImageU8& img) {
+  double acc = 0.0;
+  std::size_t count = 0;
+  for (std::size_t y = 0; y < img.height(); ++y) {
+    for (std::size_t x = 0; x + 1 < img.width(); ++x) {
+      acc += std::abs(static_cast<int>(img.at(x + 1, y)) - static_cast<int>(img.at(x, y)));
+      ++count;
+    }
+  }
+  return acc / static_cast<double>(count);
+}
+
+TEST(Synthetic, NaturalImageIsDeterministicPerSeed) {
+  NaturalImageParams p;
+  p.seed = 42;
+  const ImageU8 a = make_natural_image(64, 64, p);
+  const ImageU8 b = make_natural_image(64, 64, p);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Synthetic, DifferentSeedsGiveDifferentImages) {
+  NaturalImageParams a;
+  a.seed = 1;
+  NaturalImageParams b;
+  b.seed = 2;
+  EXPECT_FALSE(make_natural_image(64, 64, a) == make_natural_image(64, 64, b));
+}
+
+TEST(Synthetic, NaturalImageIsSmootherThanRandom) {
+  const ImageU8 natural = make_natural_image(128, 128);
+  const ImageU8 random = make_random_image(128, 128, 99);
+  EXPECT_LT(neighbour_roughness(natural), neighbour_roughness(random) / 4.0);
+}
+
+TEST(Synthetic, NaturalImageUsesDynamicRange) {
+  const ImageStats s = compute_stats(make_natural_image(256, 256));
+  EXPECT_GT(s.stddev, 10.0);   // not flat
+  EXPECT_GT(s.max - s.min, 80);  // meaningful contrast
+}
+
+TEST(Synthetic, DetailEnergyIncreasesRoughness) {
+  NaturalImageParams smooth;
+  smooth.detail_energy = 0.1;
+  NaturalImageParams rough = smooth;
+  rough.detail_energy = 3.0;
+  EXPECT_LT(neighbour_roughness(make_natural_image(128, 128, smooth)),
+            neighbour_roughness(make_natural_image(128, 128, rough)));
+}
+
+TEST(Synthetic, PlacesLikeSetHasRequestedCountAndVariety) {
+  const auto set = make_places_like_set(64, 64, 10);
+  ASSERT_EQ(set.size(), 10u);
+  for (const auto& img : set) {
+    EXPECT_EQ(img.width(), 64u);
+    EXPECT_EQ(img.height(), 64u);
+  }
+  for (std::size_t i = 1; i < set.size(); ++i) EXPECT_FALSE(set[0] == set[i]);
+}
+
+TEST(Synthetic, RandomImageIsNearUniform) {
+  const ImageU8 img = make_random_image(256, 256, 7);
+  EXPECT_GT(entropy_bits(img), 7.9);  // uniform bytes ~ 8 bits/pixel
+}
+
+TEST(Synthetic, FlatImageIsConstant) {
+  const ImageU8 img = make_flat_image(16, 16, 200);
+  for (const auto px : img.pixels()) EXPECT_EQ(px, 200);
+}
+
+TEST(Synthetic, GradientIsMonotonicAcrossRow) {
+  const ImageU8 img = make_gradient_image(32, 4);
+  for (std::size_t x = 0; x + 1 < 32; ++x) EXPECT_LE(img.at(x, 0), img.at(x + 1, 0));
+  EXPECT_EQ(img.at(0, 0), 0);
+  EXPECT_EQ(img.at(31, 0), 255);
+}
+
+TEST(Synthetic, GrainAddsBoundedNoise) {
+  NaturalImageParams clean;
+  clean.seed = 5;
+  NaturalImageParams grainy = clean;
+  grainy.grain = 3.0;
+  const ImageU8 a = make_natural_image(64, 64, clean);
+  const ImageU8 b = make_natural_image(64, 64, grainy);
+  EXPECT_LE(max_abs_error(a, b), 4);  // |grain| + rounding
+  EXPECT_GT(mse(a, b), 0.5);          // but it is actually there
+}
+
+TEST(Synthetic, ResizeBilinearPreservesFlatImages) {
+  const ImageU8 img = make_flat_image(16, 16, 137);
+  const ImageU8 up = resize_bilinear(img, 64, 48);
+  EXPECT_EQ(up.width(), 64u);
+  EXPECT_EQ(up.height(), 48u);
+  for (const auto px : up.pixels()) EXPECT_EQ(px, 137);
+}
+
+TEST(Synthetic, ResizeBilinearIdentityAtSameSize) {
+  const ImageU8 img = make_natural_image(32, 32);
+  EXPECT_EQ(resize_bilinear(img, 32, 32), img);
+}
+
+TEST(Synthetic, ResizeBilinearInterpolatesMonotonically) {
+  const ImageU8 ramp = make_gradient_image(8, 4);
+  const ImageU8 up = resize_bilinear(ramp, 32, 16);
+  for (std::size_t x = 0; x + 1 < up.width(); ++x) {
+    EXPECT_LE(up.at(x, 8), up.at(x + 1, 8));
+  }
+}
+
+TEST(Synthetic, ResizeRejectsEmptyTarget) {
+  const ImageU8 img(4, 4);
+  EXPECT_THROW((void)resize_bilinear(img, 0, 4), std::invalid_argument);
+}
+
+TEST(Synthetic, UpscaledSetIsSmootherThanResolutionTrue) {
+  const auto upscaled = make_places_like_set_upscaled(256, 256, 2, 2017, 32);
+  const auto native = make_places_like_set(256, 256, 2);
+  ASSERT_EQ(upscaled.size(), 2u);
+  EXPECT_EQ(upscaled[0].width(), 256u);
+  // Upscaling kills per-pixel detail: the statistic behind the paper's
+  // favourable high-resolution compression results.
+  EXPECT_LT(neighbour_roughness(upscaled[0]), neighbour_roughness(native[0]) / 2.0);
+}
+
+TEST(Synthetic, CheckerboardAlternates) {
+  const ImageU8 img = make_checkerboard_image(8, 8, 2, 10, 240);
+  EXPECT_EQ(img.at(0, 0), 10);
+  EXPECT_EQ(img.at(2, 0), 240);
+  EXPECT_EQ(img.at(0, 2), 240);
+  EXPECT_EQ(img.at(2, 2), 10);
+}
+
+}  // namespace
+}  // namespace swc::image

@@ -1,0 +1,154 @@
+// End-to-end scenarios tying the whole stack together: measured compression
+// feeding BRAM provisioning, lossy processing quality, capacity planning
+// with the adaptive-threshold controller, and the multi-stage pipelines the
+// paper's introduction motivates.
+
+#include <gtest/gtest.h>
+
+#include "bram/allocator.hpp"
+#include "core/accounting.hpp"
+#include "core/adaptive_threshold.hpp"
+#include "core/quality.hpp"
+#include "core/streaming_engine.hpp"
+#include "image/metrics.hpp"
+#include "image/synthetic.hpp"
+#include "kernels/kernels.hpp"
+#include "window/apply.hpp"
+
+namespace swc {
+namespace {
+
+core::EngineConfig make_config(std::size_t w, std::size_t h, std::size_t n, int threshold = 0) {
+  core::EngineConfig config;
+  config.spec = {w, h, n};
+  config.codec.threshold = threshold;
+  return config;
+}
+
+TEST(EndToEnd, MeasuredCompressionDrivesBramSaving) {
+  // The full design flow: measure the image class, provision BRAMs, and
+  // check the proposed architecture undercuts the traditional one.
+  const std::size_t w = 256, h = 128, n = 16;
+  const auto images = image::make_places_like_set(w, h, 4);
+  const auto config = make_config(w, h, n, 0);
+
+  std::size_t worst_stream = 0;
+  for (const auto& img : images) {
+    worst_stream = std::max(worst_stream,
+                            core::compute_frame_cost(img, config).worst_stream_bits);
+  }
+  const auto trad = bram::allocate_traditional(config.spec);
+  const auto prop = bram::allocate_proposed(config.spec, worst_stream);
+  EXPECT_LT(prop.total_brams(), trad.total_brams);
+  EXPECT_GT(bram::bram_saving_percent(trad, prop), 0.0);
+}
+
+TEST(EndToEnd, ProvisionedCapacityHoldsInCycleAccurateRun) {
+  // Provision per-stream capacity from the functional accounting, then run
+  // the cycle-accurate pipeline and verify no overflow was recorded.
+  const std::size_t w = 96, h = 48, n = 8;
+  const auto img = image::make_natural_image(w, h, {.seed = 8});
+  const auto config = make_config(w, h, n, 0);
+  const auto cost = core::compute_frame_cost(img, config, 1);
+  // Headroom: the cycle model buffers W columns (vs W - N in the analytic
+  // model) plus byte-alignment padding.
+  const std::size_t capacity = cost.worst_stream_bits * (w + n) / (w - n) + 2 * 8 * 8;
+  const auto result = window::apply_cycle_compressed(img, config, kernels::BoxMeanKernel{},
+                                                     capacity);
+  EXPECT_FALSE(result.memory_overflowed);
+  EXPECT_EQ(result.output, window::apply_traditional(img, n, kernels::BoxMeanKernel{}));
+}
+
+TEST(EndToEnd, LossyGaussianStaysCloseToLosslessResult) {
+  const std::size_t w = 64, h = 48, n = 8;
+  const auto img = image::make_natural_image(w, h, {.seed = 14});
+  const kernels::GaussianKernel kernel(n, 1.5);
+  const auto exact = window::apply_traditional(img, n, kernel);
+  const auto lossy = window::apply_compressed(img, make_config(w, h, n, 4), kernel);
+  double max_dev = 0.0;
+  for (std::size_t i = 0; i < exact.size(); ++i) {
+    max_dev = std::max(max_dev, static_cast<double>(std::abs(
+                                    exact.pixels()[i] - lossy.output.pixels()[i])));
+  }
+  EXPECT_GT(max_dev, 0.0);
+  EXPECT_LT(max_dev, 16.0);  // smoothing kernel absorbs threshold-4 noise
+}
+
+TEST(EndToEnd, MultiStagePipelineSavesPerStage) {
+  // The intro's "2-5 sequential sliding window operations" case: run a
+  // 2-stage pipeline (Gaussian then box) where each stage uses a compressed
+  // buffer, and verify both stages individually beat traditional memory.
+  const std::size_t w = 128, h = 64, n = 8;
+  const auto img = image::make_natural_image(w, h, {.seed = 30});
+  const auto config1 = make_config(w, h, n, 0);
+
+  core::CompressedEngine stage1(config1);
+  image::ImageU8 intermediate(w - n + 1, h - n + 1);
+  const kernels::BoxMeanKernel box;
+  stage1.run(img, [&](std::size_t r, std::size_t c, const core::WindowView& win) {
+    intermediate.at(c, r) = box(r, c, win);
+  });
+  EXPECT_LT(stage1.stats().max_row_bits, config1.spec.traditional_bits() * (w) / (w - n));
+
+  // Stage 2 consumes stage 1's stream; pad to even width for the codec.
+  const std::size_t w2 = intermediate.width() - (intermediate.width() % 2);
+  image::ImageU8 stage2_in(w2, intermediate.height());
+  for (std::size_t y = 0; y < stage2_in.height(); ++y) {
+    for (std::size_t x = 0; x < w2; ++x) stage2_in.at(x, y) = intermediate.at(x, y);
+  }
+  const auto config2 = make_config(w2, stage2_in.height(), n, 0);
+  core::CompressedEngine stage2(config2);
+  std::size_t windows = 0;
+  stage2.run(stage2_in, [&](std::size_t, std::size_t, const core::WindowView&) { ++windows; });
+  EXPECT_EQ(windows, (w2 - n + 1) * (stage2_in.height() - n + 1));
+  EXPECT_EQ(stage2.reconstructed(), stage2_in);  // lossless through stage 2
+}
+
+TEST(EndToEnd, AdaptiveControllerPreventsOverflowOnSceneChange) {
+  const std::size_t w = 64, h = 64, n = 8;
+  core::EngineConfig config = make_config(w, h, n, 0);
+  const auto smooth = image::make_natural_image(w, h, {.seed = 40});
+  const std::size_t budget =
+      core::compute_frame_cost(smooth, config).worst_band.total_bits() * 11 / 10;
+
+  core::AdaptiveThresholdConfig ac;
+  ac.budget_bits = budget;
+  core::AdaptiveThresholdController ctrl(ac);
+
+  // A hostile random frame arrives repeatedly; after a few frames the
+  // controller's threshold must bring occupancy inside the budget.
+  const auto noisy = image::make_random_image(w, h, 41);
+  bool fitted = false;
+  for (int frame = 0; frame < 30 && !fitted; ++frame) {
+    config.codec.threshold = ctrl.threshold();
+    const std::size_t bits = core::compute_frame_cost(noisy, config).worst_band.total_bits();
+    (void)ctrl.observe(bits);
+    fitted = bits <= budget;
+  }
+  EXPECT_TRUE(fitted);
+  EXPECT_GT(ctrl.threshold(), 0);
+}
+
+TEST(EndToEnd, SinglePassAndStreamingMseOrdering) {
+  // The streaming architecture recompresses rows up to N times, so its MSE
+  // is at least the single-pass MSE (equal at T = 0).
+  const std::size_t w = 64, h = 64, n = 8;
+  const auto img = image::make_natural_image(w, h, {.seed = 50});
+  for (const int t : {0, 4}) {
+    bitpack::ColumnCodecConfig codec;
+    codec.threshold = t;
+    const double single = core::single_pass_mse(img, codec);
+    const auto streamed = core::roundtrip_image(img, make_config(w, h, n, t));
+    const double streaming = image::mse(img, streamed);
+    if (t == 0) {
+      EXPECT_EQ(single, 0.0);
+      EXPECT_EQ(streaming, 0.0);
+    } else {
+      EXPECT_GE(streaming, single * 0.5);  // same order; drift adds on top
+      EXPECT_GT(streaming, 0.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace swc

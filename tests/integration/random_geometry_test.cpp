@@ -1,0 +1,138 @@
+// Fuzz-style hardening: random geometries, contents, and thresholds through
+// the full stack. The invariants under test are the strongest ones the
+// architecture offers: exact T = 0 equivalence of all engines at arbitrary
+// (width, height, window) combinations, and bounded lossy deviation.
+
+#include <gtest/gtest.h>
+
+#include "core/streaming_engine.hpp"
+#include "hw/compressed_pipeline.hpp"
+#include "hw/traditional_pipeline.hpp"
+#include "image/metrics.hpp"
+#include "image/rng.hpp"
+#include "image/synthetic.hpp"
+
+namespace swc {
+namespace {
+
+struct Geometry {
+  std::size_t w, h, n;
+};
+
+Geometry random_geometry(image::SplitMix64& rng) {
+  // Even widths, windows >= 2 and <= min(w, h), everything even.
+  const std::size_t n = 2 * (1 + rng.next_below(8));               // 2..16
+  const std::size_t w = n + 2 * (2 + rng.next_below(30));          // n+4 .. n+62, even
+  const std::size_t h = n + 1 + rng.next_below(40);                // any >= n+1
+  return {w, h, n};
+}
+
+image::ImageU8 random_content(std::size_t w, std::size_t h, image::SplitMix64& rng) {
+  switch (rng.next_below(4)) {
+    case 0:
+      return image::make_random_image(w, h, rng.next());
+    case 1:
+      return image::make_natural_image(w, h, {.seed = rng.next(), .grain = 2.0});
+    case 2:
+      return image::make_checkerboard_image(w, h, 1 + rng.next_below(4));
+    default:
+      return image::make_flat_image(w, h, static_cast<std::uint8_t>(rng.next() & 0xFF));
+  }
+}
+
+TEST(RandomGeometry, LosslessPipelineEquivalenceSweep) {
+  image::SplitMix64 rng(20250707);
+  for (int trial = 0; trial < 25; ++trial) {
+    const Geometry g = random_geometry(rng);
+    const auto img = random_content(g.w, g.h, rng);
+
+    core::EngineConfig config;
+    config.spec = {g.w, g.h, g.n};
+    config.codec.threshold = 0;
+
+    hw::TraditionalPipeline trad(config.spec);
+    hw::CompressedPipeline comp(config);
+    for (const std::uint8_t px : img.pixels()) {
+      const bool vt = trad.step(px);
+      const bool vc = comp.step(px);
+      ASSERT_EQ(vt, vc) << "trial " << trial << " geometry " << g.w << "x" << g.h << "/" << g.n;
+      if (!vt) continue;
+      for (std::size_t y = 0; y < g.n; ++y) {
+        for (std::size_t x = 0; x < g.n; ++x) {
+          ASSERT_EQ(trad.window().at(x, y), comp.window().at(x, y))
+              << "trial " << trial << " at window (" << trad.out_row() << "," << trad.out_col()
+              << ") cell (" << x << "," << y << ")";
+        }
+      }
+    }
+    ASSERT_EQ(comp.cycles(), img.size());
+  }
+}
+
+TEST(RandomGeometry, LossyRoundTripStaysBoundedOnNaturalContentSweep) {
+  image::SplitMix64 rng(42424242);
+  for (int trial = 0; trial < 15; ++trial) {
+    const Geometry g = random_geometry(rng);
+    const auto img = image::make_natural_image(g.w, g.h, {.seed = rng.next(), .grain = 2.0});
+    const int threshold = 1 + static_cast<int>(rng.next_below(8));
+
+    core::EngineConfig config;
+    config.spec = {g.w, g.h, g.n};
+    config.codec.threshold = threshold;
+
+    const auto out = core::roundtrip_image(img, config);
+    EXPECT_LE(image::mse(img, out), 16.0 * threshold * threshold)
+        << "trial " << trial << " T=" << threshold;
+  }
+}
+
+TEST(RandomGeometry, LossyWrapAliasingOnExtremeEdgesIsReal) {
+  // A property of the paper's 8-bit datapath the paper does not discuss:
+  // thresholding happens on the *wrapped* coefficient, so a true detail of
+  // +-255 (a 0<->255 edge) wraps to -+1 and is zeroed by any threshold >= 2,
+  // producing a full-scale reconstruction error. Lossless mode (T = 0) is
+  // immune because modular lifting is exactly invertible. Documented in
+  // EXPERIMENTS.md; this test pins the behaviour so it stays visible.
+  const auto img = image::make_checkerboard_image(32, 16, 1);  // 0/255 everywhere
+  core::EngineConfig config;
+  config.spec = {32, 16, 4};
+
+  config.codec.threshold = 0;
+  EXPECT_EQ(image::max_abs_error(img, core::roundtrip_image(img, config)), 0);
+
+  config.codec.threshold = 2;
+  EXPECT_GT(image::max_abs_error(img, core::roundtrip_image(img, config)), 200);
+}
+
+TEST(RandomGeometry, GoldenEnginesAgreeSweep) {
+  image::SplitMix64 rng(777);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Geometry g = random_geometry(rng);
+    const auto img = random_content(g.w, g.h, rng);
+
+    core::EngineConfig config;
+    config.spec = {g.w, g.h, g.n};
+    config.codec.threshold = 0;
+
+    core::TraditionalEngine trad(config.spec);
+    core::CompressedEngine comp(config);
+    std::vector<std::uint64_t> ht, hc;
+    auto hasher = [](std::vector<std::uint64_t>& sink) {
+      return [&sink](std::size_t r, std::size_t c, const core::WindowView& win) {
+        std::uint64_t h = r * 1315423911u + c;
+        for (std::size_t y = 0; y < win.size(); ++y) {
+          for (std::size_t x = 0; x < win.size(); ++x) {
+            h = h * 1099511628211ull + win.at(x, y);
+          }
+        }
+        sink.push_back(h);
+      };
+    };
+    trad.run(img, hasher(ht));
+    comp.run(img, hasher(hc));
+    ASSERT_EQ(ht, hc) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace swc

@@ -1,0 +1,250 @@
+#include "kernels/kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/streaming_engine.hpp"
+#include "image/synthetic.hpp"
+#include "window/apply.hpp"
+
+namespace swc::kernels {
+namespace {
+
+// Simple standalone window for direct kernel tests.
+struct TestWindow {
+  image::ImageU8 data;
+  [[nodiscard]] std::uint8_t at(std::size_t x, std::size_t y) const { return data.at(x, y); }
+  [[nodiscard]] std::size_t size() const { return data.width(); }
+};
+
+TestWindow flat_window(std::size_t n, std::uint8_t v) { return {image::ImageU8(n, n, v)}; }
+
+TEST(BoxMean, FlatWindowReturnsValue) {
+  EXPECT_EQ(BoxMeanKernel{}(0, 0, flat_window(8, 99)), 99);
+}
+
+TEST(BoxMean, AveragesCorrectly) {
+  TestWindow win{image::ImageU8(2, 2, std::vector<std::uint8_t>{0, 0, 100, 100})};
+  EXPECT_EQ(BoxMeanKernel{}(0, 0, win), 50);
+}
+
+TEST(Gaussian, WeightsAreNormalised) {
+  const GaussianKernel k(8, 1.5);
+  EXPECT_NEAR(k(0, 0, flat_window(8, 200)), 200.0f, 1e-3f);
+}
+
+TEST(Gaussian, CoverageImprovesWithWindowSize) {
+  const double sigma = 4.0;
+  const GaussianKernel small(8, sigma);    // 8 = 2 sigma: heavy trimming
+  const GaussianKernel large(32, sigma);   // 32 = 8 sigma: > 5 sigma rule
+  EXPECT_LT(small.coverage_1d(), large.coverage_1d());
+  EXPECT_GT(large.coverage_1d(), 0.999);  // the intro's ">= 5 sigma" criterion
+  EXPECT_LT(small.coverage_1d(), 0.70);
+}
+
+TEST(Gaussian, RejectsBadParameters) {
+  EXPECT_THROW(GaussianKernel(0, 1.0), std::invalid_argument);
+  EXPECT_THROW(GaussianKernel(8, 0.0), std::invalid_argument);
+  const GaussianKernel k(8, 1.0);
+  EXPECT_THROW((void)k(0, 0, flat_window(4, 1)), std::invalid_argument);
+}
+
+TEST(Sobel, FlatWindowHasZeroGradient) {
+  EXPECT_EQ(SobelKernel{}(0, 0, flat_window(4, 128)), 0);
+}
+
+TEST(Sobel, VerticalEdgeDetected) {
+  image::ImageU8 img(4, 4, 0);
+  for (std::size_t y = 0; y < 4; ++y) {
+    img.at(2, y) = 255;
+    img.at(3, y) = 255;
+  }
+  EXPECT_GT(SobelKernel{}(0, 0, TestWindow{img}), 500);
+}
+
+TEST(Median, FlatWindow) { EXPECT_EQ(MedianKernel{}(0, 0, flat_window(4, 42)), 42); }
+
+TEST(Median, RejectsSaltNoise) {
+  image::ImageU8 img(4, 4, 100);
+  img.at(0, 0) = 255;
+  img.at(3, 3) = 0;
+  EXPECT_EQ(MedianKernel{}(0, 0, TestWindow{img}), 100);
+}
+
+TEST(Harris, FlatWindowScoresZero) {
+  EXPECT_FLOAT_EQ(HarrisKernel{}(0, 0, flat_window(8, 77)), 0.0f);
+}
+
+TEST(Harris, CornerScoresAboveEdge) {
+  const std::size_t n = 8;
+  image::ImageU8 corner(n, n, 0);
+  image::ImageU8 edge(n, n, 0);
+  for (std::size_t y = 0; y < n; ++y) {
+    for (std::size_t x = 0; x < n; ++x) {
+      if (x >= n / 2 && y >= n / 2) corner.at(x, y) = 255;  // quarter-plane corner
+      if (x >= n / 2) edge.at(x, y) = 255;                  // straight edge
+    }
+  }
+  const HarrisKernel k;
+  EXPECT_GT(k(0, 0, TestWindow{corner}), k(0, 0, TestWindow{edge}));
+  EXPECT_GT(k(0, 0, TestWindow{corner}), 0.0f);
+}
+
+TEST(Ncc, PerfectMatchScoresNearOne) {
+  const std::size_t n = 8;
+  const image::ImageU8 pattern = image::make_natural_image(n, n, {.seed = 5});
+  std::vector<std::uint8_t> tmpl(pattern.pixels().begin(), pattern.pixels().end());
+  const NccTemplateKernel k(tmpl, n);
+  EXPECT_NEAR(k(0, 0, TestWindow{pattern}), 1.0f, 1e-4f);
+}
+
+TEST(Ncc, FlatWindowScoresZero) {
+  const std::size_t n = 4;
+  std::vector<std::uint8_t> tmpl(n * n);
+  for (std::size_t i = 0; i < tmpl.size(); ++i) tmpl[i] = static_cast<std::uint8_t>(i * 16);
+  const NccTemplateKernel k(tmpl, n);
+  EXPECT_FLOAT_EQ(k(0, 0, flat_window(n, 50)), 0.0f);
+}
+
+TEST(Ncc, MismatchScoresBelowMatch) {
+  const std::size_t n = 8;
+  const image::ImageU8 pattern = image::make_natural_image(n, n, {.seed = 6});
+  const image::ImageU8 other = image::make_natural_image(n, n, {.seed = 777});
+  std::vector<std::uint8_t> tmpl(pattern.pixels().begin(), pattern.pixels().end());
+  const NccTemplateKernel k(tmpl, n);
+  EXPECT_GT(k(0, 0, TestWindow{pattern}), k(0, 0, TestWindow{other}));
+}
+
+TEST(Ncc, RejectsWrongTemplateSize) {
+  EXPECT_THROW(NccTemplateKernel(std::vector<std::uint8_t>(10), 4), std::invalid_argument);
+}
+
+TEST(Morphology, ErodeDilateOnFlatWindow) {
+  EXPECT_EQ(ErodeKernel{}(0, 0, flat_window(4, 99)), 99);
+  EXPECT_EQ(DilateKernel{}(0, 0, flat_window(4, 99)), 99);
+}
+
+TEST(Morphology, ErodeTakesMinDilateTakesMax) {
+  image::ImageU8 img(4, 4, 100);
+  img.at(1, 2) = 3;
+  img.at(3, 0) = 250;
+  EXPECT_EQ(ErodeKernel{}(0, 0, TestWindow{img}), 3);
+  EXPECT_EQ(DilateKernel{}(0, 0, TestWindow{img}), 250);
+}
+
+TEST(Morphology, DualityUnderComplement) {
+  // erode(img) == 255 - dilate(255 - img) on every window.
+  const auto img = image::make_natural_image(16, 16, {.seed = 3});
+  image::ImageU8 inv(16, 16);
+  for (std::size_t i = 0; i < img.size(); ++i) {
+    inv.pixels()[i] = static_cast<std::uint8_t>(255 - img.pixels()[i]);
+  }
+  const auto eroded = window::apply_traditional(img, 4, ErodeKernel{});
+  const auto dilated_inv = window::apply_traditional(inv, 4, DilateKernel{});
+  for (std::size_t i = 0; i < eroded.size(); ++i) {
+    ASSERT_EQ(eroded.pixels()[i], 255 - dilated_inv.pixels()[i]);
+  }
+}
+
+TEST(Census, FlatWindowCodesZero) {
+  EXPECT_EQ(CensusKernel{}(0, 0, flat_window(4, 50)), 0u);
+}
+
+TEST(Census, CodesNeighboursBelowCentre) {
+  image::ImageU8 img(4, 4, 200);
+  img.at(0, 0) = 10;  // below the centre at (2,2)
+  const std::uint64_t code = CensusKernel{}(0, 0, TestWindow{img});
+  EXPECT_EQ(code, 1u);  // first neighbour bit only
+}
+
+TEST(Census, InvariantToMonotoneBrightnessShift) {
+  const auto img = image::make_natural_image(8, 8, {.seed = 6, .contrast = 0.5});
+  image::ImageU8 brighter(8, 8);
+  for (std::size_t i = 0; i < img.size(); ++i) {
+    brighter.pixels()[i] = static_cast<std::uint8_t>(
+        std::min(255, static_cast<int>(img.pixels()[i]) + 30));
+  }
+  const CensusKernel k;
+  EXPECT_EQ(k(0, 0, TestWindow{img}), k(0, 0, TestWindow{brighter}));
+}
+
+TEST(Census, RejectsOversizedWindow) {
+  EXPECT_THROW((void)CensusKernel{}(0, 0, flat_window(10, 1)), std::invalid_argument);
+}
+
+TEST(LensDistortion, ZeroCoefficientIsIdentityAtWindowCentreOddOffset) {
+  const LensDistortionKernel k(64, 64, 8, 0.0);
+  image::ImageU8 img(8, 8);
+  for (std::size_t y = 0; y < 8; ++y) {
+    for (std::size_t x = 0; x < 8; ++x) {
+      img.at(x, y) = static_cast<std::uint8_t>(x * 10 + y);
+    }
+  }
+  // With k1 = 0 the sample point is the window centre (3.5, 3.5): the
+  // bilinear blend of the four central pixels.
+  const double expected = (img.at(3, 3) + img.at(4, 3) + img.at(3, 4) + img.at(4, 4)) / 4.0;
+  EXPECT_NEAR(k(10, 10, TestWindow{img}), expected, 1.0);
+}
+
+TEST(LensDistortion, MaxDisplacementScalesWithK1) {
+  const LensDistortionKernel weak(256, 256, 16, 0.01);
+  const LensDistortionKernel strong(256, 256, 16, 0.05);
+  EXPECT_LT(weak.max_displacement(), strong.max_displacement());
+  EXPECT_GT(strong.max_displacement(), 0.0);
+}
+
+TEST(LensDistortion, CorrectsKnownDistortionBetterThanIdentity) {
+  // Distort a natural image with the inverse model, then check the kernel
+  // restores it closer to the original than doing nothing.
+  const std::size_t size = 64;
+  const double k1 = 0.1;  // ~4.5 px peak displacement: well above rounding noise
+  const image::ImageU8 original = image::make_natural_image(size, size, {.seed = 12});
+  image::ImageU8 distorted(size, size);
+  const double cx = (size - 1) / 2.0, cy = (size - 1) / 2.0;
+  const double rmax = std::sqrt(cx * cx + cy * cy);
+  for (std::size_t y = 0; y < size; ++y) {
+    for (std::size_t x = 0; x < size; ++x) {
+      // The corrected image samples source at p + d(p); build `distorted`
+      // so that sampling it at p + d(p) returns original(p).
+      const double dx = static_cast<double>(x) - cx;
+      const double dy = static_cast<double>(y) - cy;
+      const double r2 = (dx * dx + dy * dy) / (rmax * rmax);
+      const double sx = cx + dx / (1.0 + k1 * r2);
+      const double sy = cy + dy / (1.0 + k1 * r2);
+      distorted.at(x, y) = original.clamped(static_cast<std::ptrdiff_t>(std::lround(sx)),
+                                            static_cast<std::ptrdiff_t>(std::lround(sy)));
+    }
+  }
+  const std::size_t n = 16;
+  const LensDistortionKernel kernel(size, size, n, k1);
+  const auto corrected = window::apply_traditional(distorted, n, kernel);
+  // Even windows centre on a half-pixel (x + 7.5 for n = 16), so ground
+  // truth and the identity baseline must be sampled bilinearly at the same
+  // sub-pixel position the kernel outputs for.
+  auto bilin = [](const image::ImageU8& img, double x, double y) {
+    const auto x0 = static_cast<std::size_t>(x);
+    const auto y0 = static_cast<std::size_t>(y);
+    const double fx = x - static_cast<double>(x0);
+    const double fy = y - static_cast<double>(y0);
+    return (1 - fx) * (1 - fy) * img.at(x0, y0) + fx * (1 - fy) * img.at(x0 + 1, y0) +
+           (1 - fx) * fy * img.at(x0, y0 + 1) + fx * fy * img.at(x0 + 1, y0 + 1);
+  };
+  const double half = (n - 1) / 2.0;
+  double err_corrected = 0.0, err_identity = 0.0;
+  std::size_t count = 0;
+  for (std::size_t y = 0; y < corrected.height(); ++y) {
+    for (std::size_t x = 0; x < corrected.width(); ++x) {
+      const double cxp = static_cast<double>(x) + half;
+      const double cyp = static_cast<double>(y) + half;
+      const double truth = bilin(original, cxp, cyp);
+      const double ident = bilin(distorted, cxp, cyp);
+      const double corr = corrected.at(x, y);
+      err_corrected += (corr - truth) * (corr - truth);
+      err_identity += (ident - truth) * (ident - truth);
+      ++count;
+    }
+  }
+  EXPECT_LT(err_corrected / static_cast<double>(count), err_identity / static_cast<double>(count));
+}
+
+}  // namespace
+}  // namespace swc::kernels

@@ -1,0 +1,102 @@
+#include "related/baselines.hpp"
+
+#include <gtest/gtest.h>
+
+namespace swc::related {
+namespace {
+
+core::SlidingWindowSpec spec512(std::size_t window = 8) { return {512, 512, window}; }
+
+TEST(LineBuffer, OneAccessPerWindowAndStreamable) {
+  const auto f = line_buffer_figures(spec512());
+  EXPECT_DOUBLE_EQ(f.offchip_per_window, 1.0);
+  EXPECT_TRUE(f.camera_streamable);
+  EXPECT_EQ(f.brams, 8u);
+  EXPECT_EQ(f.onchip_bits, (512u - 8u) * 8u * 8u);
+}
+
+TEST(Compressed, SameTrafficFewerBrams) {
+  const auto spec = spec512(16);
+  const auto raw = line_buffer_figures(spec);
+  // A measured stream of ~5 bits/pixel (typical lossless natural image).
+  const auto comp = compressed_figures(spec, (512 - 16) * 5);
+  EXPECT_DOUBLE_EQ(comp.offchip_per_window, 1.0);
+  EXPECT_TRUE(comp.camera_streamable);
+  EXPECT_LT(comp.brams, raw.brams);
+  EXPECT_LT(comp.onchip_bits, raw.onchip_bits);
+}
+
+TEST(BlockBuffer, TrafficExceedsOneAccessPerWindow) {
+  // Section II: block buffering's "average number of off-chip accesses is
+  // greater than 1 pixel per window operation".
+  for (const std::size_t block : {16u, 32u, 64u}) {
+    const auto f = block_buffer_figures(spec512(8), block);
+    EXPECT_GT(f.offchip_per_window, 1.0) << "block=" << block;
+    EXPECT_FALSE(f.camera_streamable);
+  }
+}
+
+TEST(BlockBuffer, LargerBlocksReduceTraffic) {
+  const auto small = block_buffer_figures(spec512(8), 16);
+  const auto large = block_buffer_figures(spec512(8), 64);
+  EXPECT_GT(small.offchip_per_window, large.offchip_per_window);
+  EXPECT_LT(small.onchip_bits, large.onchip_bits);  // the trade-off
+}
+
+TEST(BlockBuffer, TrafficFormulaSanity) {
+  // Block 64, window 8: stride 57; fetches/window -> B^2 / stride^2 in the
+  // interior ~ 1.26.
+  const auto f = block_buffer_figures(spec512(8), 64);
+  EXPECT_NEAR(f.offchip_per_window, 64.0 * 64.0 / (57.0 * 57.0), 0.1);
+}
+
+TEST(BlockBuffer, RejectsBlockNotExceedingWindow) {
+  EXPECT_THROW((void)block_buffer_figures(spec512(8), 8), std::invalid_argument);
+}
+
+TEST(BlockBuffer, BudgetSearchMonotone) {
+  const auto spec = spec512(8);
+  const std::size_t small = best_block_under_budget(spec, 2);
+  const std::size_t large = best_block_under_budget(spec, 8);
+  EXPECT_GT(small, 8u);
+  EXPECT_GE(large, small);
+  // 2 BRAMs = 36,864 bits -> 2*B^2*8 <= 36864 -> B <= 48.
+  EXPECT_EQ(small, 48u);
+}
+
+TEST(BlockBuffer, BudgetSearchReturnsZeroWhenNothingFits) {
+  EXPECT_EQ(best_block_under_budget(spec512(120), 0), 0u);
+}
+
+TEST(Segmentation, SavesBramsButRefetchesHalo) {
+  // BRAM granularity only shows the saving once a full line spans multiple
+  // BRAMs (width > 2048), which is exactly the regime ref [7] targets.
+  const auto spec = core::SlidingWindowSpec{4096, 4096, 8};
+  const auto full = line_buffer_figures(spec);
+  const auto seg = segmentation_figures(spec, 2048);
+  EXPECT_LT(seg.brams, full.brams);
+  EXPECT_GT(seg.offchip_per_window, 1.0);
+  EXPECT_FALSE(seg.camera_streamable);
+}
+
+TEST(Segmentation, FullWidthSegmentApproachesOneAccess) {
+  const auto spec = spec512(8);
+  const auto f = segmentation_figures(spec, 512);
+  EXPECT_NEAR(f.offchip_per_window, 1.0, 0.05);
+}
+
+TEST(Segmentation, RejectsBadSegmentWidths) {
+  EXPECT_THROW((void)segmentation_figures(spec512(8), 4), std::invalid_argument);
+  EXPECT_THROW((void)segmentation_figures(spec512(8), 1024), std::invalid_argument);
+}
+
+TEST(Segmentation, BudgetSearchFindsWidestFit) {
+  const auto spec = core::SlidingWindowSpec{4096, 4096, 8};
+  // 8 BRAMs budget: 8 lines x ceil(S/2048) <= 8 -> S <= 2048.
+  EXPECT_EQ(best_segment_under_budget(spec, 8), 2048u);
+  EXPECT_EQ(best_segment_under_budget(spec, 16), 4096u);
+  EXPECT_EQ(best_segment_under_budget(spec, 4), 0u);
+}
+
+}  // namespace
+}  // namespace swc::related

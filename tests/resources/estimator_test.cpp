@@ -1,0 +1,132 @@
+#include "resources/estimator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+namespace swc::resources {
+namespace {
+
+using Estimator = std::function<ResourceEstimate(std::size_t)>;
+
+double pct_error(std::size_t model, std::size_t paper) {
+  return 100.0 * std::abs(static_cast<double>(model) - static_cast<double>(paper)) /
+         static_cast<double>(paper);
+}
+
+void expect_table_within(const Estimator& estimate, const PaperRow* rows, std::size_t count,
+                         double lut_tol, double ff_tol) {
+  for (std::size_t i = 0; i < count; ++i) {
+    if (rows[i].luts == 0) continue;  // "-" rows (exceeds device)
+    const ResourceEstimate est = estimate(rows[i].window);
+    EXPECT_LE(pct_error(est.luts, rows[i].luts), lut_tol)
+        << "window " << rows[i].window << ": model " << est.luts << " vs paper " << rows[i].luts;
+    EXPECT_LE(pct_error(est.registers, rows[i].registers), ff_tol)
+        << "window " << rows[i].window << ": model " << est.registers << " vs paper "
+        << rows[i].registers;
+    EXPECT_DOUBLE_EQ(est.fmax_mhz, rows[i].fmax_mhz);
+  }
+}
+
+TEST(Estimator, IwtLutsMatchPaperExactly) {
+  std::size_t count = 0;
+  const PaperRow* rows = paper_iwt_table(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    EXPECT_EQ(estimate_iwt(rows[i].window).luts, rows[i].luts);
+  }
+}
+
+TEST(Estimator, IwtRegistersWithinOnePercent) {
+  std::size_t count = 0;
+  const PaperRow* rows = paper_iwt_table(count);
+  expect_table_within(estimate_iwt, rows, count, 0.0, 1.0);
+}
+
+TEST(Estimator, IiwtLutsMatchPaperExactly) {
+  std::size_t count = 0;
+  const PaperRow* rows = paper_iiwt_table(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    EXPECT_EQ(estimate_iiwt(rows[i].window).luts, rows[i].luts);
+  }
+}
+
+TEST(Estimator, IiwtRegistersWithinThreePercent) {
+  std::size_t count = 0;
+  const PaperRow* rows = paper_iiwt_table(count);
+  expect_table_within(estimate_iiwt, rows, count, 0.0, 3.0);
+}
+
+TEST(Estimator, BitPackWithinTolerance) {
+  std::size_t count = 0;
+  const PaperRow* rows = paper_bitpack_table(count);
+  expect_table_within(estimate_bitpack, rows, count, 5.0, 16.0);
+}
+
+TEST(Estimator, BitUnpackWithinTolerance) {
+  std::size_t count = 0;
+  const PaperRow* rows = paper_bitunpack_table(count);
+  expect_table_within(estimate_bitunpack, rows, count, 4.0, 5.0);
+}
+
+TEST(Estimator, OverallWithinTolerance) {
+  std::size_t count = 0;
+  const PaperRow* rows = paper_overall_table(count);
+  expect_table_within(estimate_overall, rows, count, 3.0, 4.0);
+}
+
+TEST(Estimator, BitUnpackIsTheLutHotspot) {
+  // Paper Section V-E: Bit Unpacking dominates LUTs at every window size.
+  for (const std::size_t n : {8u, 16u, 32u, 64u, 128u}) {
+    const auto unpack = estimate_bitunpack(n).luts;
+    EXPECT_GT(unpack, estimate_bitpack(n).luts);
+    EXPECT_GT(unpack, estimate_iwt(n).luts);
+    EXPECT_GT(unpack, estimate_iiwt(n).luts);
+  }
+}
+
+TEST(Estimator, Window128ExceedsDeviceWindow64Fits) {
+  // Table X: window 64 is 67% of the XC7Z020; window 128 prints "-".
+  EXPECT_TRUE(estimate_overall(64).fits(kXC7Z020));
+  EXPECT_FALSE(estimate_overall(128).fits(kXC7Z020));
+}
+
+TEST(Estimator, LutGrowthIsLinearInWindow) {
+  for (const auto& estimate :
+       {Estimator(estimate_iwt), Estimator(estimate_bitpack), Estimator(estimate_bitunpack),
+        Estimator(estimate_iiwt), Estimator(estimate_overall)}) {
+    const auto a = estimate(16);
+    const auto b = estimate(32);
+    const auto c = estimate(64);
+    // Second difference of a linear function is zero.
+    EXPECT_EQ((c.luts - b.luts), 2 * (b.luts - a.luts) - (b.luts - a.luts) * 0)
+        << "not linear";
+    EXPECT_EQ(c.luts - b.luts, 2 * (b.luts - a.luts));
+  }
+}
+
+TEST(Estimator, FmaxHierarchyMatchesPaper) {
+  // IWT/IIWT fastest, BitUnpack slowest block, system slower still.
+  const double iwt = estimate_iwt(8).fmax_mhz;
+  const double pack = estimate_bitpack(8).fmax_mhz;
+  const double unpack = estimate_bitunpack(8).fmax_mhz;
+  const double overall = estimate_overall(8).fmax_mhz;
+  EXPECT_GT(iwt, pack);
+  EXPECT_GT(pack, unpack);
+  EXPECT_GT(unpack, overall);
+}
+
+TEST(Estimator, RejectsBadWindows) {
+  EXPECT_THROW((void)estimate_iwt(7), std::invalid_argument);
+  EXPECT_THROW((void)estimate_overall(0), std::invalid_argument);
+}
+
+TEST(Device, UtilisationPercentages) {
+  EXPECT_NEAR(lut_percent(kXC7Z020, 53'200), 100.0, 1e-9);
+  EXPECT_NEAR(register_percent(kXC7Z020, 53'200), 50.0, 1e-9);
+  // Paper Table X: window 64 overall = 67% of LUTs.
+  EXPECT_NEAR(lut_percent(kXC7Z020, estimate_overall(64).luts), 67.0, 2.0);
+}
+
+}  // namespace
+}  // namespace swc::resources

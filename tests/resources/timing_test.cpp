@@ -1,0 +1,42 @@
+#include "resources/timing.hpp"
+
+#include <gtest/gtest.h>
+
+namespace swc::resources {
+namespace {
+
+TEST(Timing, FrameRateIsFmaxOverPixels) {
+  const core::SlidingWindowSpec spec{512, 512, 8};
+  const FrameTiming t = frame_timing(spec, 230.3);
+  EXPECT_EQ(t.cycles_per_frame, 512u * 512u);
+  EXPECT_NEAR(t.fps, 230.3e6 / (512.0 * 512.0), 1e-6);
+  EXPECT_GT(t.fps, 800.0);  // 512p is easily real-time at 230 MHz
+}
+
+TEST(Timing, FillLatencyMatchesFirstValidWindow) {
+  const core::SlidingWindowSpec spec{512, 512, 8};
+  const FrameTiming t = frame_timing(spec, 100.0);
+  EXPECT_EQ(t.fill_cycles, 7u * 512u + 8u);
+  EXPECT_NEAR(t.fill_latency_us, static_cast<double>(7 * 512 + 8) / 100.0, 1e-9);
+}
+
+TEST(Timing, ProposedArchitectureIsRealTimeAtHd) {
+  // 2048x2048 at the Table X system Fmax (230.3 MHz): ~55 fps.
+  const core::SlidingWindowSpec spec{2048, 2048, 64};
+  const FrameTiming t = proposed_frame_timing(spec);
+  EXPECT_NEAR(t.fmax_mhz, 230.3, 1e-9);
+  EXPECT_GT(t.fps, 30.0);
+  EXPECT_LT(t.fps, 120.0);
+}
+
+TEST(Timing, LargerWindowsOnlyAffectLatencyNotRate) {
+  const core::SlidingWindowSpec small{1024, 1024, 8};
+  const core::SlidingWindowSpec large{1024, 1024, 64};
+  const FrameTiming a = frame_timing(small, 230.3);
+  const FrameTiming b = frame_timing(large, 230.3);
+  EXPECT_DOUBLE_EQ(a.fps, b.fps);          // fully pipelined: rate is per pixel
+  EXPECT_LT(a.fill_cycles, b.fill_cycles);  // only the fill latency grows
+}
+
+}  // namespace
+}  // namespace swc::resources

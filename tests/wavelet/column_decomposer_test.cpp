@@ -1,0 +1,110 @@
+#include "wavelet/column_decomposer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "image/rng.hpp"
+#include "image/synthetic.hpp"
+
+namespace swc::wavelet {
+namespace {
+
+std::vector<std::uint8_t> random_column(std::size_t n, std::uint64_t seed) {
+  image::SplitMix64 rng(seed);
+  std::vector<std::uint8_t> col(n);
+  for (auto& v : col) v = static_cast<std::uint8_t>(rng.next() & 0xFF);
+  return col;
+}
+
+class ColumnPairRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ColumnPairRoundTrip, LosslessForRandomColumns) {
+  const std::size_t n = GetParam();
+  for (std::uint64_t seed = 0; seed < 25; ++seed) {
+    const auto c0 = random_column(n, seed * 2);
+    const auto c1 = random_column(n, seed * 2 + 1);
+    const CoeffColumnPair coeffs = decompose_column_pair(c0, c1);
+    const PixelColumnPair pixels = recompose_column_pair(coeffs.even, coeffs.odd);
+    EXPECT_EQ(pixels.col0, c0) << "n=" << n << " seed=" << seed;
+    EXPECT_EQ(pixels.col1, c1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(WindowSizes, ColumnPairRoundTrip,
+                         ::testing::Values(2, 4, 8, 16, 32, 64, 128));
+
+TEST(ColumnDecomposer, RejectsMismatchedLengths) {
+  const std::vector<std::uint8_t> a(4), b(6);
+  EXPECT_THROW((void)decompose_column_pair(a, b), std::invalid_argument);
+}
+
+TEST(ColumnDecomposer, RejectsOddLength) {
+  const std::vector<std::uint8_t> a(3), b(3);
+  EXPECT_THROW((void)decompose_column_pair(a, b), std::invalid_argument);
+}
+
+TEST(ColumnDecomposer, RejectsEmpty) {
+  const std::vector<std::uint8_t> a, b;
+  EXPECT_THROW((void)decompose_column_pair(a, b), std::invalid_argument);
+}
+
+TEST(ColumnDecomposer, SubBandLayoutMatchesQuadrants) {
+  // Flat columns: everything lands in LL (top half of the even column).
+  const std::vector<std::uint8_t> c0(8, 100), c1(8, 100);
+  const CoeffColumnPair coeffs = decompose_column_pair(c0, c1);
+  for (std::size_t k = 0; k < 4; ++k) {
+    EXPECT_EQ(coeffs.even[k], 100);     // LL
+    EXPECT_EQ(coeffs.even[4 + k], 0);   // LH
+    EXPECT_EQ(coeffs.odd[k], 0);        // HL
+    EXPECT_EQ(coeffs.odd[4 + k], 0);    // HH
+  }
+}
+
+TEST(ColumnDecomposer, BandAtMapsQuadrants) {
+  EXPECT_EQ(band_at(0, 0, 8), SubBand::LL);
+  EXPECT_EQ(band_at(0, 4, 8), SubBand::LH);
+  EXPECT_EQ(band_at(1, 0, 8), SubBand::HL);
+  EXPECT_EQ(band_at(1, 4, 8), SubBand::HH);
+  EXPECT_EQ(top_band(false), SubBand::LL);
+  EXPECT_EQ(bottom_band(true), SubBand::HH);
+}
+
+TEST(ColumnDecomposer, RegionRoundTripsNaturalImage) {
+  const image::ImageU8 img = image::make_natural_image(32, 16);
+  const image::ImageU8 coeffs = decompose_region(img);
+  EXPECT_EQ(recompose_region(coeffs), img);
+}
+
+TEST(ColumnDecomposer, RegionRoundTripsRandomImage) {
+  const image::ImageU8 img = image::make_random_image(24, 12, 5);
+  EXPECT_EQ(recompose_region(decompose_region(img)), img);
+}
+
+TEST(ColumnDecomposer, RegionRejectsOddDimensions) {
+  EXPECT_THROW((void)decompose_region(image::ImageU8(5, 4)), std::invalid_argument);
+  EXPECT_THROW((void)decompose_region(image::ImageU8(4, 5)), std::invalid_argument);
+}
+
+TEST(ColumnDecomposer, SmoothImageConcentratesEnergyInLL) {
+  const image::ImageU8 img = image::make_natural_image(64, 64);
+  const image::ImageU8 coeffs = decompose_region(img);
+  std::size_t ll_nonzero = 0, detail_nonzero = 0, ll_count = 0, detail_count = 0;
+  for (std::size_t y = 0; y < coeffs.height(); ++y) {
+    for (std::size_t x = 0; x < coeffs.width(); ++x) {
+      const bool is_ll = band_at(x, y, coeffs.height()) == SubBand::LL;
+      const bool nz = coeffs.at(x, y) != 0;
+      if (is_ll) {
+        ++ll_count;
+        ll_nonzero += nz;
+      } else {
+        ++detail_count;
+        detail_nonzero += nz;
+      }
+    }
+  }
+  const double ll_rate = static_cast<double>(ll_nonzero) / static_cast<double>(ll_count);
+  const double detail_rate = static_cast<double>(detail_nonzero) / static_cast<double>(detail_count);
+  EXPECT_GT(ll_rate, detail_rate);  // "most information in the approximation sub-band"
+}
+
+}  // namespace
+}  // namespace swc::wavelet

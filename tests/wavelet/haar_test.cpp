@@ -1,0 +1,103 @@
+#include "wavelet/haar.hpp"
+
+#include <gtest/gtest.h>
+
+namespace swc::wavelet {
+namespace {
+
+TEST(HaarWide, ForwardMatchesPaperEquations) {
+  // H = X0 - X1; L = X1 + H/2 (arithmetic shift) = floor((X0 + X1) / 2).
+  const HaarPair p = haar_forward(13, 7);
+  EXPECT_EQ(p.h, 6);
+  EXPECT_EQ(p.l, 10);
+}
+
+TEST(HaarWide, LowPassIsFlooredAverage) {
+  for (int a = 0; a < 256; a += 7) {
+    for (int b = 0; b < 256; b += 5) {
+      const HaarPair p = haar_forward(a, b);
+      // x1 + ((x0 - x1) >> 1) = floor((x0 + x1) / 2) for integers.
+      EXPECT_EQ(p.l, (a + b) >> 1) << a << "," << b;
+    }
+  }
+}
+
+TEST(HaarWide, RoundTripExhaustive8Bit) {
+  for (int a = 0; a < 256; ++a) {
+    for (int b = 0; b < 256; ++b) {
+      const HaarPair p = haar_forward(a, b);
+      const auto [x0, x1] = haar_inverse(p.l, p.h);
+      ASSERT_EQ(x0, a);
+      ASSERT_EQ(x1, b);
+    }
+  }
+}
+
+TEST(HaarWide, RoundTripNegativeInputs) {
+  for (int a = -300; a <= 300; a += 13) {
+    for (int b = -300; b <= 300; b += 11) {
+      const HaarPair p = haar_forward(a, b);
+      const auto [x0, x1] = haar_inverse(p.l, p.h);
+      ASSERT_EQ(x0, a);
+      ASSERT_EQ(x1, b);
+    }
+  }
+}
+
+TEST(Haar2dWide, RoundTripSampledBlocks) {
+  for (int a = 0; a < 256; a += 51) {
+    for (int b = 0; b < 256; b += 37) {
+      for (int c = 0; c < 256; c += 43) {
+        for (int d = 0; d < 256; d += 29) {
+          const HaarBlock coeffs = haar2d_forward(a, b, c, d);
+          const PixelBlock p = haar2d_inverse(coeffs);
+          ASSERT_EQ(p.x00, a);
+          ASSERT_EQ(p.x01, b);
+          ASSERT_EQ(p.x10, c);
+          ASSERT_EQ(p.x11, d);
+        }
+      }
+    }
+  }
+}
+
+TEST(Haar2dWide, FlatBlockHasOnlyApproximation) {
+  const HaarBlock c = haar2d_forward(90, 90, 90, 90);
+  EXPECT_EQ(c.ll, 90);
+  EXPECT_EQ(c.lh, 0);
+  EXPECT_EQ(c.hl, 0);
+  EXPECT_EQ(c.hh, 0);
+}
+
+TEST(Haar2dWide, HorizontalEdgeActivatesLh) {
+  // Rows differ, columns within a row equal: detail lands in the pair of the
+  // two low-pass values (LH in our naming).
+  const HaarBlock c = haar2d_forward(100, 100, 20, 20);
+  EXPECT_NE(c.lh, 0);
+  EXPECT_EQ(c.hl, 0);
+  EXPECT_EQ(c.hh, 0);
+}
+
+TEST(Haar2dWide, VerticalEdgeActivatesHl) {
+  const HaarBlock c = haar2d_forward(100, 20, 100, 20);
+  EXPECT_EQ(c.lh, 0);
+  EXPECT_NE(c.hl, 0);
+  EXPECT_EQ(c.hh, 0);
+}
+
+TEST(HaarStoredInterpretation, SignHelpersRoundTrip) {
+  for (int v = 0; v < 256; ++v) {
+    const auto stored = static_cast<std::uint8_t>(v);
+    EXPECT_EQ(as_stored(as_signed(stored)), stored);
+  }
+}
+
+TEST(HaarStoredInterpretation, Asr1MatchesSignedShift) {
+  EXPECT_EQ(asr1_u8(as_stored(std::int8_t{-6})), as_stored(std::int8_t{-3}));
+  EXPECT_EQ(asr1_u8(as_stored(std::int8_t{-1})), as_stored(std::int8_t{-1}));
+  EXPECT_EQ(asr1_u8(6), 3);
+  EXPECT_EQ(asr1_u8(7), 3);
+}
+
+}  // namespace
+}  // namespace swc::wavelet

@@ -1,0 +1,88 @@
+#include "wavelet/legall53.hpp"
+
+#include <gtest/gtest.h>
+
+#include "image/rng.hpp"
+#include "image/synthetic.hpp"
+
+namespace swc::wavelet {
+namespace {
+
+std::vector<std::int32_t> random_signal(std::size_t n, std::uint64_t seed, int lo, int hi) {
+  image::SplitMix64 rng(seed);
+  std::vector<std::int32_t> s(n);
+  for (auto& v : s) {
+    v = lo + static_cast<std::int32_t>(rng.next_below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+  return s;
+}
+
+class Legall1d : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(Legall1d, RoundTripsRandomSignals) {
+  const std::size_t n = GetParam();
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    const auto x = random_signal(n, seed, -300, 300);
+    std::vector<std::int32_t> coeffs(n), back(n);
+    legall53_forward_1d(x, coeffs);
+    legall53_inverse_1d(coeffs, back);
+    ASSERT_EQ(back, x) << "n=" << n << " seed=" << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, Legall1d, ::testing::Values(2, 4, 6, 8, 16, 64, 128));
+
+TEST(Legall53, ConstantSignalHasZeroDetails) {
+  const std::vector<std::int32_t> x(16, 77);
+  std::vector<std::int32_t> coeffs(16);
+  legall53_forward_1d(x, coeffs);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(coeffs[i], 77);      // low-pass preserves DC exactly
+    EXPECT_EQ(coeffs[8 + i], 0);   // high-pass vanishes
+  }
+}
+
+TEST(Legall53, LinearRampHasZeroInteriorDetails) {
+  // The 5/3 predict is exact for linear signals (unlike Haar) — the reason
+  // it compresses smooth gradients better.
+  std::vector<std::int32_t> x(16);
+  for (std::size_t i = 0; i < 16; ++i) x[i] = static_cast<std::int32_t>(10 * i);
+  std::vector<std::int32_t> coeffs(16);
+  legall53_forward_1d(x, coeffs);
+  for (std::size_t i = 8; i + 1 < 16; ++i) EXPECT_EQ(coeffs[i], 0) << i;
+}
+
+TEST(Legall53, RejectsBadLengths) {
+  std::vector<std::int32_t> odd(5), out5(5), two(2);
+  EXPECT_THROW(legall53_forward_1d(odd, out5), std::invalid_argument);
+  EXPECT_THROW(legall53_forward_1d(two, out5), std::invalid_argument);
+}
+
+TEST(Legall53, TwoDimensionalRoundTripNatural) {
+  const auto img = image::make_natural_image(64, 32, {.seed = 4});
+  EXPECT_EQ(legall53_inverse_2d(legall53_forward_2d(img)), img);
+}
+
+TEST(Legall53, TwoDimensionalRoundTripRandom) {
+  const auto img = image::make_random_image(32, 32, 9);
+  EXPECT_EQ(legall53_inverse_2d(legall53_forward_2d(img)), img);
+}
+
+TEST(Legall53, TwoDimensionalRoundTripExtremes) {
+  const auto img = image::make_checkerboard_image(16, 16, 1);
+  EXPECT_EQ(legall53_inverse_2d(legall53_forward_2d(img)), img);
+}
+
+TEST(Legall53, RejectsOddDimensions) {
+  EXPECT_THROW((void)legall53_forward_2d(image::ImageU8(5, 4)), std::invalid_argument);
+}
+
+TEST(Legall53, HardwareCostExceedsHaar) {
+  // The quantitative form of the paper's Section IV-C argument.
+  EXPECT_GT(legall53_cost().adders_per_sample, haar_cost().adders_per_sample);
+  EXPECT_GT(legall53_cost().column_taps, haar_cost().column_taps);
+  EXPECT_GE(legall53_cost().pipeline_stages, haar_cost().pipeline_stages);
+}
+
+}  // namespace
+}  // namespace swc::wavelet

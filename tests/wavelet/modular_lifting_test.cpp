@@ -1,0 +1,101 @@
+// Property tests for the key fact DESIGN.md relies on: Haar lifting is
+// exactly invertible in 8-bit registers with mod-256 wraparound, because
+// every lifting step has the form a' = a +/- f(b) with b stored unmodified.
+// This is what makes the paper's 8-bit datapath lossless at threshold 0 even
+// though H = x0 - x1 does not fit 8 bits in general.
+
+#include <gtest/gtest.h>
+
+#include "wavelet/haar.hpp"
+
+namespace swc::wavelet {
+namespace {
+
+TEST(ModularLifting, RoundTripExhaustiveAllPairs) {
+  for (int a = 0; a < 256; ++a) {
+    for (int b = 0; b < 256; ++b) {
+      const HaarPairU8 p =
+          haar_forward_u8(static_cast<std::uint8_t>(a), static_cast<std::uint8_t>(b));
+      const auto [x0, x1] = haar_inverse_u8(p.l, p.h);
+      ASSERT_EQ(static_cast<int>(x0), a);
+      ASSERT_EQ(static_cast<int>(x1), b);
+    }
+  }
+}
+
+TEST(ModularLifting, AgreesWithWideMathWhenInRange) {
+  // Wherever the wide-arithmetic coefficients fit in signed 8 bits, the
+  // wrapped datapath produces the same stored values.
+  for (int a = 0; a < 256; a += 3) {
+    for (int b = 0; b < 256; b += 5) {
+      const HaarPair wide = haar_forward(a, b);
+      const HaarPairU8 wrapped =
+          haar_forward_u8(static_cast<std::uint8_t>(a), static_cast<std::uint8_t>(b));
+      if (wide.h >= -128 && wide.h <= 127) {
+        EXPECT_EQ(as_signed(wrapped.h), wide.h) << a << "," << b;
+      }
+      // The wrapped pair always reconstructs regardless.
+      const auto [x0, x1] = haar_inverse_u8(wrapped.l, wrapped.h);
+      EXPECT_EQ(x0, a);
+      EXPECT_EQ(x1, b);
+    }
+  }
+}
+
+TEST(ModularLifting, DetailWrapsExactlyWhereExpected) {
+  // 255 - 0 = 255 wraps to -1 in two's complement; inversion still exact.
+  const HaarPairU8 p = haar_forward_u8(255, 0);
+  EXPECT_EQ(as_signed(p.h), -1);
+  const auto [x0, x1] = haar_inverse_u8(p.l, p.h);
+  EXPECT_EQ(x0, 255);
+  EXPECT_EQ(x1, 0);
+}
+
+TEST(ModularLifting2d, RoundTripExhaustiveSampledBlocks) {
+  for (int a = 0; a < 256; a += 17) {
+    for (int b = 0; b < 256; b += 13) {
+      for (int c = 0; c < 256; c += 19) {
+        for (int d = 0; d < 256; d += 23) {
+          const HaarBlockU8 coeffs = haar2d_forward_u8(
+              static_cast<std::uint8_t>(a), static_cast<std::uint8_t>(b),
+              static_cast<std::uint8_t>(c), static_cast<std::uint8_t>(d));
+          const PixelBlockU8 p = haar2d_inverse_u8(coeffs);
+          ASSERT_EQ(static_cast<int>(p.x00), a);
+          ASSERT_EQ(static_cast<int>(p.x01), b);
+          ASSERT_EQ(static_cast<int>(p.x10), c);
+          ASSERT_EQ(static_cast<int>(p.x11), d);
+        }
+      }
+    }
+  }
+}
+
+TEST(ModularLifting2d, ExtremeCornersRoundTrip) {
+  for (const int a : {0, 255}) {
+    for (const int b : {0, 255}) {
+      for (const int c : {0, 255}) {
+        for (const int d : {0, 255}) {
+          const HaarBlockU8 coeffs = haar2d_forward_u8(
+              static_cast<std::uint8_t>(a), static_cast<std::uint8_t>(b),
+              static_cast<std::uint8_t>(c), static_cast<std::uint8_t>(d));
+          const PixelBlockU8 p = haar2d_inverse_u8(coeffs);
+          EXPECT_EQ(static_cast<int>(p.x00), a);
+          EXPECT_EQ(static_cast<int>(p.x01), b);
+          EXPECT_EQ(static_cast<int>(p.x10), c);
+          EXPECT_EQ(static_cast<int>(p.x11), d);
+        }
+      }
+    }
+  }
+}
+
+TEST(ModularLifting2d, FlatBlockKeepsZeroDetails) {
+  const HaarBlockU8 c = haar2d_forward_u8(200, 200, 200, 200);
+  EXPECT_EQ(c.ll, 200);  // stored 200 reads as -56 signed; value preserved mod 256
+  EXPECT_EQ(c.lh, 0);
+  EXPECT_EQ(c.hl, 0);
+  EXPECT_EQ(c.hh, 0);
+}
+
+}  // namespace
+}  // namespace swc::wavelet

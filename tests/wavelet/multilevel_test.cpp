@@ -1,0 +1,83 @@
+#include "wavelet/multilevel.hpp"
+
+#include <gtest/gtest.h>
+
+#include "image/synthetic.hpp"
+
+namespace swc::wavelet {
+namespace {
+
+class MultilevelRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(MultilevelRoundTrip, LosslessOnNaturalImage) {
+  const int levels = GetParam();
+  const image::ImageU8 img = image::make_natural_image(64, 32);
+  const ImageI32 coeffs = forward_multilevel(img, levels);
+  EXPECT_EQ(inverse_multilevel(coeffs, levels), img);
+}
+
+TEST_P(MultilevelRoundTrip, LosslessOnRandomImage) {
+  const int levels = GetParam();
+  const image::ImageU8 img = image::make_random_image(32, 32, 11);
+  EXPECT_EQ(inverse_multilevel(forward_multilevel(img, levels), levels), img);
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, MultilevelRoundTrip, ::testing::Values(1, 2, 3));
+
+TEST(Multilevel, RejectsBadLevelCount) {
+  const image::ImageU8 img(8, 8);
+  EXPECT_THROW((void)forward_multilevel(img, 0), std::invalid_argument);
+}
+
+TEST(Multilevel, RejectsIndivisibleDimensions) {
+  const image::ImageU8 img(12, 12);  // 12 % 8 != 0
+  EXPECT_THROW((void)forward_multilevel(img, 3), std::invalid_argument);
+}
+
+TEST(Multilevel, FlatImageConcentratesInSinglePixel) {
+  const image::ImageU8 img = image::make_flat_image(16, 16, 77);
+  const ImageI32 coeffs = forward_multilevel(img, 4);
+  EXPECT_EQ(coeffs.at(0, 0), 77);
+  std::size_t nonzero = 0;
+  for (const auto v : coeffs.pixels()) nonzero += (v != 0);
+  EXPECT_EQ(nonzero, 1u);
+}
+
+TEST(Multilevel, SecondLevelOnlyTouchesLLQuadrant) {
+  const image::ImageU8 img = image::make_natural_image(32, 32);
+  const ImageI32 one = forward_multilevel(img, 1);
+  const ImageI32 two = forward_multilevel(img, 2);
+  // Everything outside the 16x16 LL quadrant is untouched by level 2.
+  for (std::size_t y = 0; y < 32; ++y) {
+    for (std::size_t x = 0; x < 32; ++x) {
+      if (x >= 16 || y >= 16) {
+        ASSERT_EQ(one.at(x, y), two.at(x, y)) << x << "," << y;
+      }
+    }
+  }
+}
+
+TEST(Multilevel, DetailCoefficientsAreSmallOnSmoothImage) {
+  auto mean_detail_abs = [](const image::ImageU8& img) {
+    const ImageI32 coeffs = forward_multilevel(img, 1);
+    double detail_abs = 0.0;
+    std::size_t count = 0;
+    for (std::size_t y = 0; y < img.height(); ++y) {
+      for (std::size_t x = img.width() / 2; x < img.width(); ++x) {  // HL/HH half
+        detail_abs += std::abs(coeffs.at(x, y));
+        ++count;
+      }
+    }
+    return detail_abs / static_cast<double>(count);
+  };
+  image::NaturalImageParams p;
+  p.detail_energy = 0.2;
+  p.octaves = 3;
+  const double smooth = mean_detail_abs(image::make_natural_image(64, 64, p));
+  const double random = mean_detail_abs(image::make_random_image(64, 64, 2));
+  EXPECT_LT(smooth, 10.0);
+  EXPECT_LT(smooth, random / 5.0);  // random bytes: mean |detail| ~ 60
+}
+
+}  // namespace
+}  // namespace swc::wavelet
