@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_wavelet_choice.dir/ablation_wavelet_choice.cpp.o"
+  "CMakeFiles/ablation_wavelet_choice.dir/ablation_wavelet_choice.cpp.o.d"
+  "ablation_wavelet_choice"
+  "ablation_wavelet_choice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_wavelet_choice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_wavelet_levels.dir/ablation_wavelet_levels.cpp.o"
+  "CMakeFiles/ablation_wavelet_levels.dir/ablation_wavelet_levels.cpp.o.d"
+  "ablation_wavelet_levels"
+  "ablation_wavelet_levels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_wavelet_levels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

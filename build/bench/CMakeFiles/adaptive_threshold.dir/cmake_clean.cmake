@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_threshold.dir/adaptive_threshold.cpp.o"
+  "CMakeFiles/adaptive_threshold.dir/adaptive_threshold.cpp.o.d"
+  "adaptive_threshold"
+  "adaptive_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_memory_mapping.dir/fig11_memory_mapping.cpp.o"
+  "CMakeFiles/fig11_memory_mapping.dir/fig11_memory_mapping.cpp.o.d"
+  "fig11_memory_mapping"
+  "fig11_memory_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_memory_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

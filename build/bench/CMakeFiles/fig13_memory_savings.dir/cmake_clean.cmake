@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_memory_savings.dir/fig13_memory_savings.cpp.o"
+  "CMakeFiles/fig13_memory_savings.dir/fig13_memory_savings.cpp.o.d"
+  "fig13_memory_savings"
+  "fig13_memory_savings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_memory_savings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

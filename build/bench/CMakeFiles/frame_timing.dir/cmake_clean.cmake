@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frame_timing.dir/frame_timing.cpp.o"
+  "CMakeFiles/frame_timing.dir/frame_timing.cpp.o.d"
+  "frame_timing"
+  "frame_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frame_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intro_example_hd.dir/intro_example_hd.cpp.o"
+  "CMakeFiles/intro_example_hd.dir/intro_example_hd.cpp.o.d"
+  "intro_example_hd"
+  "intro_example_hd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intro_example_hd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for intro_example_hd.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mse_vs_threshold.dir/mse_vs_threshold.cpp.o"
+  "CMakeFiles/mse_vs_threshold.dir/mse_vs_threshold.cpp.o.d"
+  "mse_vs_threshold"
+  "mse_vs_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mse_vs_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

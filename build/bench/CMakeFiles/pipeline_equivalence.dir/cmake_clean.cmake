@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_equivalence.dir/pipeline_equivalence.cpp.o"
+  "CMakeFiles/pipeline_equivalence.dir/pipeline_equivalence.cpp.o.d"
+  "pipeline_equivalence"
+  "pipeline_equivalence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_equivalence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/related_work_comparison.dir/related_work_comparison.cpp.o"
+  "CMakeFiles/related_work_comparison.dir/related_work_comparison.cpp.o.d"
+  "related_work_comparison"
+  "related_work_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/related_work_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

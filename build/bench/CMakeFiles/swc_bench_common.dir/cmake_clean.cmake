@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swc_bench_common.dir/common/bench_common.cpp.o"
+  "CMakeFiles/swc_bench_common.dir/common/bench_common.cpp.o.d"
+  "CMakeFiles/swc_bench_common.dir/common/bram_table.cpp.o"
+  "CMakeFiles/swc_bench_common.dir/common/bram_table.cpp.o.d"
+  "CMakeFiles/swc_bench_common.dir/common/resource_table.cpp.o"
+  "CMakeFiles/swc_bench_common.dir/common/resource_table.cpp.o.d"
+  "libswc_bench_common.a"
+  "libswc_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swc_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table01_traditional_brams.dir/table01_traditional_brams.cpp.o"
+  "CMakeFiles/table01_traditional_brams.dir/table01_traditional_brams.cpp.o.d"
+  "table01_traditional_brams"
+  "table01_traditional_brams.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table01_traditional_brams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

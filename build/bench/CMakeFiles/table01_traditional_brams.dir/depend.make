@@ -1,0 +1,2 @@
+# Empty dependencies file for table01_traditional_brams.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table02_brams_512.dir/table02_brams_512.cpp.o"
+  "CMakeFiles/table02_brams_512.dir/table02_brams_512.cpp.o.d"
+  "table02_brams_512"
+  "table02_brams_512.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table02_brams_512.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

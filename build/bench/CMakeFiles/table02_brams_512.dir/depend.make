@@ -1,0 +1,2 @@
+# Empty dependencies file for table02_brams_512.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table03_brams_1024.dir/table03_brams_1024.cpp.o"
+  "CMakeFiles/table03_brams_1024.dir/table03_brams_1024.cpp.o.d"
+  "table03_brams_1024"
+  "table03_brams_1024.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table03_brams_1024.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table03_brams_1024.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table04_brams_2048.dir/table04_brams_2048.cpp.o"
+  "CMakeFiles/table04_brams_2048.dir/table04_brams_2048.cpp.o.d"
+  "table04_brams_2048"
+  "table04_brams_2048.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table04_brams_2048.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table04_brams_2048.
+# This may be replaced when dependencies are built.

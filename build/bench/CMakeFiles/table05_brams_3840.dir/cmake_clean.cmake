@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table05_brams_3840.dir/table05_brams_3840.cpp.o"
+  "CMakeFiles/table05_brams_3840.dir/table05_brams_3840.cpp.o.d"
+  "table05_brams_3840"
+  "table05_brams_3840.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table05_brams_3840.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

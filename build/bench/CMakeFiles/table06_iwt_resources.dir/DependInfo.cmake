@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table06_iwt_resources.cpp" "bench/CMakeFiles/table06_iwt_resources.dir/table06_iwt_resources.cpp.o" "gcc" "bench/CMakeFiles/table06_iwt_resources.dir/table06_iwt_resources.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/swc_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/resources/CMakeFiles/swc_resources.dir/DependInfo.cmake"
+  "/root/repo/build/src/related/CMakeFiles/swc_related.dir/DependInfo.cmake"
+  "/root/repo/build/src/bram/CMakeFiles/swc_bram.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/swc_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/swc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/wavelet/CMakeFiles/swc_wavelet.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/swc_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/bitpack/CMakeFiles/swc_bitpack.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/swc_kernels.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table06_iwt_resources.dir/table06_iwt_resources.cpp.o"
+  "CMakeFiles/table06_iwt_resources.dir/table06_iwt_resources.cpp.o.d"
+  "table06_iwt_resources"
+  "table06_iwt_resources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table06_iwt_resources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table07_bitpack_resources.dir/table07_bitpack_resources.cpp.o"
+  "CMakeFiles/table07_bitpack_resources.dir/table07_bitpack_resources.cpp.o.d"
+  "table07_bitpack_resources"
+  "table07_bitpack_resources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table07_bitpack_resources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table08_bitunpack_resources.dir/table08_bitunpack_resources.cpp.o"
+  "CMakeFiles/table08_bitunpack_resources.dir/table08_bitunpack_resources.cpp.o.d"
+  "table08_bitunpack_resources"
+  "table08_bitunpack_resources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table08_bitunpack_resources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table09_iiwt_resources.dir/table09_iiwt_resources.cpp.o"
+  "CMakeFiles/table09_iiwt_resources.dir/table09_iiwt_resources.cpp.o.d"
+  "table09_iiwt_resources"
+  "table09_iiwt_resources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table09_iiwt_resources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

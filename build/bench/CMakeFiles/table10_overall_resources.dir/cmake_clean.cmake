@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table10_overall_resources.dir/table10_overall_resources.cpp.o"
+  "CMakeFiles/table10_overall_resources.dir/table10_overall_resources.cpp.o.d"
+  "table10_overall_resources"
+  "table10_overall_resources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table10_overall_resources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/throughput_cycles.dir/throughput_cycles.cpp.o"
+  "CMakeFiles/throughput_cycles.dir/throughput_cycles.cpp.o.d"
+  "throughput_cycles"
+  "throughput_cycles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/throughput_cycles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_video.dir/adaptive_video.cpp.o"
+  "CMakeFiles/adaptive_video.dir/adaptive_video.cpp.o.d"
+  "adaptive_video"
+  "adaptive_video.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_video.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

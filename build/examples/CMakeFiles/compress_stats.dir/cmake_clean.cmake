@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compress_stats.dir/compress_stats.cpp.o"
+  "CMakeFiles/compress_stats.dir/compress_stats.cpp.o.d"
+  "compress_stats"
+  "compress_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compress_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gaussian_large_window.dir/gaussian_large_window.cpp.o"
+  "CMakeFiles/gaussian_large_window.dir/gaussian_large_window.cpp.o.d"
+  "gaussian_large_window"
+  "gaussian_large_window.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gaussian_large_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lens_distortion.dir/lens_distortion.cpp.o"
+  "CMakeFiles/lens_distortion.dir/lens_distortion.cpp.o.d"
+  "lens_distortion"
+  "lens_distortion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lens_distortion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

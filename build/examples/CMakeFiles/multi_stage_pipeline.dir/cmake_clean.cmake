@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_stage_pipeline.dir/multi_stage_pipeline.cpp.o"
+  "CMakeFiles/multi_stage_pipeline.dir/multi_stage_pipeline.cpp.o.d"
+  "multi_stage_pipeline"
+  "multi_stage_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_stage_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

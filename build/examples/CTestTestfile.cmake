@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;9;swc_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_gaussian_large_window "/root/repo/build/examples/gaussian_large_window")
+set_tests_properties(example_gaussian_large_window PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;10;swc_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_object_detection "/root/repo/build/examples/object_detection")
+set_tests_properties(example_object_detection PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;11;swc_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_lens_distortion "/root/repo/build/examples/lens_distortion")
+set_tests_properties(example_lens_distortion PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;12;swc_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_multi_stage_pipeline "/root/repo/build/examples/multi_stage_pipeline")
+set_tests_properties(example_multi_stage_pipeline PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;13;swc_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_adaptive_video "/root/repo/build/examples/adaptive_video")
+set_tests_properties(example_adaptive_video PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;14;swc_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_compress_stats "/root/repo/build/examples/compress_stats")
+set_tests_properties(example_compress_stats PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;15;swc_add_example;/root/repo/examples/CMakeLists.txt;0;")

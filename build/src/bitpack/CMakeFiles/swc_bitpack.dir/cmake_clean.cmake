@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swc_bitpack.dir/column_codec.cpp.o"
+  "CMakeFiles/swc_bitpack.dir/column_codec.cpp.o.d"
+  "libswc_bitpack.a"
+  "libswc_bitpack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swc_bitpack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

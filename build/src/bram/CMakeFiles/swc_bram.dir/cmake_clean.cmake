@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swc_bram.dir/allocator.cpp.o"
+  "CMakeFiles/swc_bram.dir/allocator.cpp.o.d"
+  "libswc_bram.a"
+  "libswc_bram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swc_bram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/accounting.cpp" "src/core/CMakeFiles/swc_core.dir/accounting.cpp.o" "gcc" "src/core/CMakeFiles/swc_core.dir/accounting.cpp.o.d"
+  "/root/repo/src/core/adaptive_threshold.cpp" "src/core/CMakeFiles/swc_core.dir/adaptive_threshold.cpp.o" "gcc" "src/core/CMakeFiles/swc_core.dir/adaptive_threshold.cpp.o.d"
+  "/root/repo/src/core/color.cpp" "src/core/CMakeFiles/swc_core.dir/color.cpp.o" "gcc" "src/core/CMakeFiles/swc_core.dir/color.cpp.o.d"
+  "/root/repo/src/core/quality.cpp" "src/core/CMakeFiles/swc_core.dir/quality.cpp.o" "gcc" "src/core/CMakeFiles/swc_core.dir/quality.cpp.o.d"
+  "/root/repo/src/core/streaming_engine.cpp" "src/core/CMakeFiles/swc_core.dir/streaming_engine.cpp.o" "gcc" "src/core/CMakeFiles/swc_core.dir/streaming_engine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/image/CMakeFiles/swc_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/wavelet/CMakeFiles/swc_wavelet.dir/DependInfo.cmake"
+  "/root/repo/build/src/bitpack/CMakeFiles/swc_bitpack.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swc_core.dir/accounting.cpp.o"
+  "CMakeFiles/swc_core.dir/accounting.cpp.o.d"
+  "CMakeFiles/swc_core.dir/adaptive_threshold.cpp.o"
+  "CMakeFiles/swc_core.dir/adaptive_threshold.cpp.o.d"
+  "CMakeFiles/swc_core.dir/color.cpp.o"
+  "CMakeFiles/swc_core.dir/color.cpp.o.d"
+  "CMakeFiles/swc_core.dir/quality.cpp.o"
+  "CMakeFiles/swc_core.dir/quality.cpp.o.d"
+  "CMakeFiles/swc_core.dir/streaming_engine.cpp.o"
+  "CMakeFiles/swc_core.dir/streaming_engine.cpp.o.d"
+  "libswc_core.a"
+  "libswc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libswc_core.a"
+)

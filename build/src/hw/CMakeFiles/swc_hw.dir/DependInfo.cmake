@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/compressed_pipeline.cpp" "src/hw/CMakeFiles/swc_hw.dir/compressed_pipeline.cpp.o" "gcc" "src/hw/CMakeFiles/swc_hw.dir/compressed_pipeline.cpp.o.d"
+  "/root/repo/src/hw/iwt_module.cpp" "src/hw/CMakeFiles/swc_hw.dir/iwt_module.cpp.o" "gcc" "src/hw/CMakeFiles/swc_hw.dir/iwt_module.cpp.o.d"
+  "/root/repo/src/hw/memory_unit.cpp" "src/hw/CMakeFiles/swc_hw.dir/memory_unit.cpp.o" "gcc" "src/hw/CMakeFiles/swc_hw.dir/memory_unit.cpp.o.d"
+  "/root/repo/src/hw/traditional_pipeline.cpp" "src/hw/CMakeFiles/swc_hw.dir/traditional_pipeline.cpp.o" "gcc" "src/hw/CMakeFiles/swc_hw.dir/traditional_pipeline.cpp.o.d"
+  "/root/repo/src/hw/video_pipeline.cpp" "src/hw/CMakeFiles/swc_hw.dir/video_pipeline.cpp.o" "gcc" "src/hw/CMakeFiles/swc_hw.dir/video_pipeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/swc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/wavelet/CMakeFiles/swc_wavelet.dir/DependInfo.cmake"
+  "/root/repo/build/src/bitpack/CMakeFiles/swc_bitpack.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/swc_image.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

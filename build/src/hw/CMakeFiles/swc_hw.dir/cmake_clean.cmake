@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swc_hw.dir/compressed_pipeline.cpp.o"
+  "CMakeFiles/swc_hw.dir/compressed_pipeline.cpp.o.d"
+  "CMakeFiles/swc_hw.dir/iwt_module.cpp.o"
+  "CMakeFiles/swc_hw.dir/iwt_module.cpp.o.d"
+  "CMakeFiles/swc_hw.dir/memory_unit.cpp.o"
+  "CMakeFiles/swc_hw.dir/memory_unit.cpp.o.d"
+  "CMakeFiles/swc_hw.dir/traditional_pipeline.cpp.o"
+  "CMakeFiles/swc_hw.dir/traditional_pipeline.cpp.o.d"
+  "CMakeFiles/swc_hw.dir/video_pipeline.cpp.o"
+  "CMakeFiles/swc_hw.dir/video_pipeline.cpp.o.d"
+  "libswc_hw.a"
+  "libswc_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swc_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/image/metrics.cpp" "src/image/CMakeFiles/swc_image.dir/metrics.cpp.o" "gcc" "src/image/CMakeFiles/swc_image.dir/metrics.cpp.o.d"
+  "/root/repo/src/image/pgm_io.cpp" "src/image/CMakeFiles/swc_image.dir/pgm_io.cpp.o" "gcc" "src/image/CMakeFiles/swc_image.dir/pgm_io.cpp.o.d"
+  "/root/repo/src/image/rgb.cpp" "src/image/CMakeFiles/swc_image.dir/rgb.cpp.o" "gcc" "src/image/CMakeFiles/swc_image.dir/rgb.cpp.o.d"
+  "/root/repo/src/image/synthetic.cpp" "src/image/CMakeFiles/swc_image.dir/synthetic.cpp.o" "gcc" "src/image/CMakeFiles/swc_image.dir/synthetic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swc_image.dir/metrics.cpp.o"
+  "CMakeFiles/swc_image.dir/metrics.cpp.o.d"
+  "CMakeFiles/swc_image.dir/pgm_io.cpp.o"
+  "CMakeFiles/swc_image.dir/pgm_io.cpp.o.d"
+  "CMakeFiles/swc_image.dir/rgb.cpp.o"
+  "CMakeFiles/swc_image.dir/rgb.cpp.o.d"
+  "CMakeFiles/swc_image.dir/synthetic.cpp.o"
+  "CMakeFiles/swc_image.dir/synthetic.cpp.o.d"
+  "libswc_image.a"
+  "libswc_image.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swc_image.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swc_kernels.dir/kernels.cpp.o"
+  "CMakeFiles/swc_kernels.dir/kernels.cpp.o.d"
+  "libswc_kernels.a"
+  "libswc_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swc_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/related/baselines.cpp" "src/related/CMakeFiles/swc_related.dir/baselines.cpp.o" "gcc" "src/related/CMakeFiles/swc_related.dir/baselines.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/swc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/bram/CMakeFiles/swc_bram.dir/DependInfo.cmake"
+  "/root/repo/build/src/wavelet/CMakeFiles/swc_wavelet.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/swc_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/bitpack/CMakeFiles/swc_bitpack.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swc_related.dir/baselines.cpp.o"
+  "CMakeFiles/swc_related.dir/baselines.cpp.o.d"
+  "libswc_related.a"
+  "libswc_related.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swc_related.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

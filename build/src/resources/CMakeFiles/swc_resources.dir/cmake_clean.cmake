@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swc_resources.dir/estimator.cpp.o"
+  "CMakeFiles/swc_resources.dir/estimator.cpp.o.d"
+  "libswc_resources.a"
+  "libswc_resources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swc_resources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

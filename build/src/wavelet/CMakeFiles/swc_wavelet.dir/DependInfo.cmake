@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wavelet/column_decomposer.cpp" "src/wavelet/CMakeFiles/swc_wavelet.dir/column_decomposer.cpp.o" "gcc" "src/wavelet/CMakeFiles/swc_wavelet.dir/column_decomposer.cpp.o.d"
+  "/root/repo/src/wavelet/legall53.cpp" "src/wavelet/CMakeFiles/swc_wavelet.dir/legall53.cpp.o" "gcc" "src/wavelet/CMakeFiles/swc_wavelet.dir/legall53.cpp.o.d"
+  "/root/repo/src/wavelet/multilevel.cpp" "src/wavelet/CMakeFiles/swc_wavelet.dir/multilevel.cpp.o" "gcc" "src/wavelet/CMakeFiles/swc_wavelet.dir/multilevel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/image/CMakeFiles/swc_image.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swc_wavelet.dir/column_decomposer.cpp.o"
+  "CMakeFiles/swc_wavelet.dir/column_decomposer.cpp.o.d"
+  "CMakeFiles/swc_wavelet.dir/legall53.cpp.o"
+  "CMakeFiles/swc_wavelet.dir/legall53.cpp.o.d"
+  "CMakeFiles/swc_wavelet.dir/multilevel.cpp.o"
+  "CMakeFiles/swc_wavelet.dir/multilevel.cpp.o.d"
+  "libswc_wavelet.a"
+  "libswc_wavelet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swc_wavelet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

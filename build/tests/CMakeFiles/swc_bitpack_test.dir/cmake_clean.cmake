@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swc_bitpack_test.dir/bitpack/bitstream_test.cpp.o"
+  "CMakeFiles/swc_bitpack_test.dir/bitpack/bitstream_test.cpp.o.d"
+  "CMakeFiles/swc_bitpack_test.dir/bitpack/column_codec_test.cpp.o"
+  "CMakeFiles/swc_bitpack_test.dir/bitpack/column_codec_test.cpp.o.d"
+  "CMakeFiles/swc_bitpack_test.dir/bitpack/nbits_test.cpp.o"
+  "CMakeFiles/swc_bitpack_test.dir/bitpack/nbits_test.cpp.o.d"
+  "swc_bitpack_test"
+  "swc_bitpack_test.pdb"
+  "swc_bitpack_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swc_bitpack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

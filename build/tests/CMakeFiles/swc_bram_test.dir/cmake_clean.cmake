@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swc_bram_test.dir/bram/allocator_test.cpp.o"
+  "CMakeFiles/swc_bram_test.dir/bram/allocator_test.cpp.o.d"
+  "CMakeFiles/swc_bram_test.dir/bram/bram18k_test.cpp.o"
+  "CMakeFiles/swc_bram_test.dir/bram/bram18k_test.cpp.o.d"
+  "swc_bram_test"
+  "swc_bram_test.pdb"
+  "swc_bram_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swc_bram_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swc_core_test.dir/core/accounting_test.cpp.o"
+  "CMakeFiles/swc_core_test.dir/core/accounting_test.cpp.o.d"
+  "CMakeFiles/swc_core_test.dir/core/adaptive_threshold_test.cpp.o"
+  "CMakeFiles/swc_core_test.dir/core/adaptive_threshold_test.cpp.o.d"
+  "CMakeFiles/swc_core_test.dir/core/color_test.cpp.o"
+  "CMakeFiles/swc_core_test.dir/core/color_test.cpp.o.d"
+  "CMakeFiles/swc_core_test.dir/core/quality_test.cpp.o"
+  "CMakeFiles/swc_core_test.dir/core/quality_test.cpp.o.d"
+  "CMakeFiles/swc_core_test.dir/core/streaming_engine_test.cpp.o"
+  "CMakeFiles/swc_core_test.dir/core/streaming_engine_test.cpp.o.d"
+  "swc_core_test"
+  "swc_core_test.pdb"
+  "swc_core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swc_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swc_hw_test.dir/hw/fifo_test.cpp.o"
+  "CMakeFiles/swc_hw_test.dir/hw/fifo_test.cpp.o.d"
+  "CMakeFiles/swc_hw_test.dir/hw/iwt_module_test.cpp.o"
+  "CMakeFiles/swc_hw_test.dir/hw/iwt_module_test.cpp.o.d"
+  "CMakeFiles/swc_hw_test.dir/hw/memory_unit_test.cpp.o"
+  "CMakeFiles/swc_hw_test.dir/hw/memory_unit_test.cpp.o.d"
+  "CMakeFiles/swc_hw_test.dir/hw/pack_unit_test.cpp.o"
+  "CMakeFiles/swc_hw_test.dir/hw/pack_unit_test.cpp.o.d"
+  "CMakeFiles/swc_hw_test.dir/hw/pipeline_test.cpp.o"
+  "CMakeFiles/swc_hw_test.dir/hw/pipeline_test.cpp.o.d"
+  "CMakeFiles/swc_hw_test.dir/hw/shift_window_test.cpp.o"
+  "CMakeFiles/swc_hw_test.dir/hw/shift_window_test.cpp.o.d"
+  "CMakeFiles/swc_hw_test.dir/hw/video_pipeline_test.cpp.o"
+  "CMakeFiles/swc_hw_test.dir/hw/video_pipeline_test.cpp.o.d"
+  "swc_hw_test"
+  "swc_hw_test.pdb"
+  "swc_hw_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swc_hw_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swc_image_test.dir/image/image_test.cpp.o"
+  "CMakeFiles/swc_image_test.dir/image/image_test.cpp.o.d"
+  "CMakeFiles/swc_image_test.dir/image/metrics_test.cpp.o"
+  "CMakeFiles/swc_image_test.dir/image/metrics_test.cpp.o.d"
+  "CMakeFiles/swc_image_test.dir/image/pgm_io_test.cpp.o"
+  "CMakeFiles/swc_image_test.dir/image/pgm_io_test.cpp.o.d"
+  "CMakeFiles/swc_image_test.dir/image/rgb_test.cpp.o"
+  "CMakeFiles/swc_image_test.dir/image/rgb_test.cpp.o.d"
+  "CMakeFiles/swc_image_test.dir/image/synthetic_test.cpp.o"
+  "CMakeFiles/swc_image_test.dir/image/synthetic_test.cpp.o.d"
+  "swc_image_test"
+  "swc_image_test.pdb"
+  "swc_image_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swc_image_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

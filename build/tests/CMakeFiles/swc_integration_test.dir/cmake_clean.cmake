@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swc_integration_test.dir/integration/end_to_end_test.cpp.o"
+  "CMakeFiles/swc_integration_test.dir/integration/end_to_end_test.cpp.o.d"
+  "CMakeFiles/swc_integration_test.dir/integration/engine_equivalence_test.cpp.o"
+  "CMakeFiles/swc_integration_test.dir/integration/engine_equivalence_test.cpp.o.d"
+  "CMakeFiles/swc_integration_test.dir/integration/random_geometry_test.cpp.o"
+  "CMakeFiles/swc_integration_test.dir/integration/random_geometry_test.cpp.o.d"
+  "swc_integration_test"
+  "swc_integration_test.pdb"
+  "swc_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swc_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swc_kernels_test.dir/kernels/kernels_test.cpp.o"
+  "CMakeFiles/swc_kernels_test.dir/kernels/kernels_test.cpp.o.d"
+  "swc_kernels_test"
+  "swc_kernels_test.pdb"
+  "swc_kernels_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swc_kernels_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

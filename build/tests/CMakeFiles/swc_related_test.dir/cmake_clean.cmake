@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swc_related_test.dir/related/baselines_test.cpp.o"
+  "CMakeFiles/swc_related_test.dir/related/baselines_test.cpp.o.d"
+  "swc_related_test"
+  "swc_related_test.pdb"
+  "swc_related_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swc_related_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

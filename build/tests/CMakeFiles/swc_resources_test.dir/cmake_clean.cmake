@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swc_resources_test.dir/resources/estimator_test.cpp.o"
+  "CMakeFiles/swc_resources_test.dir/resources/estimator_test.cpp.o.d"
+  "CMakeFiles/swc_resources_test.dir/resources/timing_test.cpp.o"
+  "CMakeFiles/swc_resources_test.dir/resources/timing_test.cpp.o.d"
+  "swc_resources_test"
+  "swc_resources_test.pdb"
+  "swc_resources_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swc_resources_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

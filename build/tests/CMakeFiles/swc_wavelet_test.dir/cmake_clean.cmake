@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swc_wavelet_test.dir/wavelet/column_decomposer_test.cpp.o"
+  "CMakeFiles/swc_wavelet_test.dir/wavelet/column_decomposer_test.cpp.o.d"
+  "CMakeFiles/swc_wavelet_test.dir/wavelet/haar_test.cpp.o"
+  "CMakeFiles/swc_wavelet_test.dir/wavelet/haar_test.cpp.o.d"
+  "CMakeFiles/swc_wavelet_test.dir/wavelet/legall53_test.cpp.o"
+  "CMakeFiles/swc_wavelet_test.dir/wavelet/legall53_test.cpp.o.d"
+  "CMakeFiles/swc_wavelet_test.dir/wavelet/modular_lifting_test.cpp.o"
+  "CMakeFiles/swc_wavelet_test.dir/wavelet/modular_lifting_test.cpp.o.d"
+  "CMakeFiles/swc_wavelet_test.dir/wavelet/multilevel_test.cpp.o"
+  "CMakeFiles/swc_wavelet_test.dir/wavelet/multilevel_test.cpp.o.d"
+  "swc_wavelet_test"
+  "swc_wavelet_test.pdb"
+  "swc_wavelet_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swc_wavelet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swc_window_test.dir/window/apply_test.cpp.o"
+  "CMakeFiles/swc_window_test.dir/window/apply_test.cpp.o.d"
+  "swc_window_test"
+  "swc_window_test.pdb"
+  "swc_window_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swc_window_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/swc_image_test[1]_include.cmake")
+include("/root/repo/build/tests/swc_wavelet_test[1]_include.cmake")
+include("/root/repo/build/tests/swc_bitpack_test[1]_include.cmake")
+include("/root/repo/build/tests/swc_core_test[1]_include.cmake")
+include("/root/repo/build/tests/swc_hw_test[1]_include.cmake")
+include("/root/repo/build/tests/swc_bram_test[1]_include.cmake")
+include("/root/repo/build/tests/swc_resources_test[1]_include.cmake")
+include("/root/repo/build/tests/swc_related_test[1]_include.cmake")
+include("/root/repo/build/tests/swc_kernels_test[1]_include.cmake")
+include("/root/repo/build/tests/swc_window_test[1]_include.cmake")
+include("/root/repo/build/tests/swc_integration_test[1]_include.cmake")
