@@ -1,0 +1,178 @@
+// Multi-stream runtime throughput: aggregate frames/sec and MPixels/sec of
+// the FrameServer at 1/2/4/8 workers, for both engine kinds, on a synthetic
+// multi-stream workload (8 independent streams), plus the stripe-parallel
+// latency of a single large frame. Results are printed as a table and also
+// written as runtime_throughput.json next to the other bench outputs so the
+// scaling claim is machine-checkable.
+//
+// SWC_BENCH_FRAMES scales the per-stream frame count (default 3).
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/bench_common.hpp"
+#include "image/synthetic.hpp"
+#include "runtime/frame_server.hpp"
+#include "runtime/stripe.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct MeasuredPoint {
+  std::string engine;
+  std::size_t workers = 0;
+  double seconds = 0.0;
+  double fps = 0.0;
+  double mpixels_per_sec = 0.0;
+  double mean_latency_ms = 0.0;
+  double utilization = 0.0;
+};
+
+struct StripePoint {
+  std::size_t stripes = 0;
+  double ms_per_frame = 0.0;
+};
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+}  // namespace
+
+int main() {
+  using namespace swc;
+  benchx::print_header("Multi-stream runtime throughput",
+                       "FrameServer aggregate rate vs worker count; stripe-parallel latency");
+
+  constexpr std::size_t kStreams = 8;
+  constexpr std::size_t kSize = 256;
+  constexpr std::size_t kWindow = 8;
+  std::size_t frames_per_stream = 3;
+  if (const char* env = std::getenv("SWC_BENCH_FRAMES")) {
+    frames_per_stream = static_cast<std::size_t>(std::strtoul(env, nullptr, 10));
+    if (frames_per_stream == 0) frames_per_stream = 3;
+  }
+
+  core::EngineConfig config;
+  config.spec = {kSize, kSize, kWindow};
+  config.codec.threshold = 0;
+
+  // One deterministic frame per stream, generated once up front so frame
+  // synthesis never pollutes the timed region.
+  std::vector<image::ImageU8> frames;
+  frames.reserve(kStreams);
+  for (std::size_t i = 0; i < kStreams; ++i) {
+    frames.push_back(image::make_natural_image(kSize, kSize, {.seed = 1000 + i}));
+  }
+
+  const std::size_t worker_counts[] = {1, 2, 4, 8};
+  const std::size_t total_frames = kStreams * frames_per_stream;
+  const double total_mpixels =
+      static_cast<double>(total_frames * kSize * kSize) / 1e6;
+
+  std::vector<MeasuredPoint> points;
+  for (const char* engine_name : {"traditional", "compressed"}) {
+    const bool compressed = std::string(engine_name) == "compressed";
+    std::printf("engine=%s  streams=%zu  frames/stream=%zu  %zux%zu  window=%zu\n", engine_name,
+                kStreams, frames_per_stream, kSize, kSize, kWindow);
+    std::printf("  %-8s %10s %12s %14s %16s %12s\n", "workers", "sec", "frames/s", "MPixels/s",
+                "mean lat (ms)", "util");
+    double base_fps = 0.0;
+    for (const std::size_t workers : worker_counts) {
+      runtime::FrameServer server({.workers = workers, .queue_capacity = 2 * total_frames});
+      std::vector<std::uint32_t> ids;
+      for (std::size_t i = 0; i < kStreams; ++i) {
+        ids.push_back(server.open_stream(
+            {.name = "s" + std::to_string(i),
+             .kind = compressed ? runtime::EngineKind::Compressed
+                                : runtime::EngineKind::Traditional,
+             .engine = config,
+             .keep_output = false}));
+      }
+      const auto t0 = Clock::now();
+      for (std::size_t f = 0; f < frames_per_stream; ++f) {
+        for (std::size_t i = 0; i < kStreams; ++i) {
+          (void)server.submit(ids[i], frames[i], runtime::SubmitPolicy::Block);
+        }
+      }
+      server.wait_idle();
+      const double sec = seconds_since(t0);
+      const auto stats = server.stats();
+
+      double mean_lat = 0.0;
+      for (const auto& s : stats.streams) mean_lat += s.latency.mean_ms();
+      mean_lat /= static_cast<double>(stats.streams.size());
+
+      MeasuredPoint p;
+      p.engine = engine_name;
+      p.workers = workers;
+      p.seconds = sec;
+      p.fps = static_cast<double>(total_frames) / sec;
+      p.mpixels_per_sec = total_mpixels / sec;
+      p.mean_latency_ms = mean_lat;
+      p.utilization = stats.mean_worker_utilization();
+      points.push_back(p);
+      if (workers == 1) base_fps = p.fps;
+
+      std::printf("  %-8zu %10.3f %12.1f %14.2f %16.2f %11.0f%%   (%.2fx vs 1 worker)\n",
+                  workers, sec, p.fps, p.mpixels_per_sec, mean_lat, 100.0 * p.utilization,
+                  base_fps > 0.0 ? p.fps / base_fps : 1.0);
+    }
+    std::printf("\n");
+  }
+
+  // Stripe-parallel latency of one large frame on an 8-worker pool.
+  constexpr std::size_t kBigSize = 512;
+  core::EngineConfig big = config;
+  big.spec = {kBigSize, kBigSize, kWindow};
+  const auto big_frame = image::make_natural_image(kBigSize, kBigSize, {.seed = 9});
+  std::printf("stripe-parallel single frame  %zux%zu  window=%zu  (8-worker pool)\n", kBigSize,
+              kBigSize, kWindow);
+  std::printf("  %-8s %14s\n", "stripes", "ms/frame");
+  std::vector<StripePoint> stripe_points;
+  {
+    runtime::ThreadPool pool(8, 16);
+    for (const std::size_t stripes : worker_counts) {
+      const auto t0 = Clock::now();
+      const auto result = runtime::run_compressed_striped(big, big_frame, stripes, &pool);
+      const double ms = 1e3 * seconds_since(t0);
+      if (result.reconstructed == big_frame) {
+        stripe_points.push_back({stripes, ms});
+        std::printf("  %-8zu %14.2f\n", stripes, ms);
+      } else {
+        std::printf("  %-8zu %14s\n", stripes, "MISMATCH");
+      }
+    }
+  }
+
+  // JSON artifact for machine consumption.
+  const char* json_path = "runtime_throughput.json";
+  std::ofstream json(json_path);
+  json << "{\n  \"workload\": {\"streams\": " << kStreams
+       << ", \"frames_per_stream\": " << frames_per_stream << ", \"width\": " << kSize
+       << ", \"height\": " << kSize << ", \"window\": " << kWindow << "},\n  \"points\": [\n";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto& p = points[i];
+    json << "    {\"engine\": \"" << p.engine << "\", \"workers\": " << p.workers
+         << ", \"seconds\": " << p.seconds << ", \"fps\": " << p.fps
+         << ", \"mpixels_per_sec\": " << p.mpixels_per_sec
+         << ", \"mean_latency_ms\": " << p.mean_latency_ms
+         << ", \"worker_utilization\": " << p.utilization << "}"
+         << (i + 1 < points.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n  \"stripe_single_frame\": [\n";
+  for (std::size_t i = 0; i < stripe_points.size(); ++i) {
+    json << "    {\"stripes\": " << stripe_points[i].stripes
+         << ", \"ms_per_frame\": " << stripe_points[i].ms_per_frame << "}"
+         << (i + 1 < stripe_points.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  json.close();
+  std::printf("\nwrote %s\n", json_path);
+  return 0;
+}

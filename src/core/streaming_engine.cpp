@@ -23,36 +23,37 @@ void TraditionalEngine::check_image(const image::ImageU8& img) const {
   check_dims(img, spec_, "TraditionalEngine");
 }
 
-void CompressedEngine::begin_run(const image::ImageU8& img) {
+void CompressedEngine::begin_run(const image::ImageU8& img, RunState& st) const {
   check_dims(img, config_.spec, "CompressedEngine");
   const std::size_t n = config_.spec.window;
   const std::size_t w = config_.spec.image_width;
-  band_.assign(n * w, 0);
+  st.band.assign(n * w, 0);
   for (std::size_t y = 0; y < n; ++y) {
     const auto row = img.row(y);
-    std::copy(row.begin(), row.end(), band_.begin() + static_cast<std::ptrdiff_t>(y * w));
+    std::copy(row.begin(), row.end(), st.band.begin() + static_cast<std::ptrdiff_t>(y * w));
   }
-  reconstructed_ = image::ImageU8(img.width(), img.height());
-  stats_ = RunStats{};
+  st.reconstructed = image::ImageU8(img.width(), img.height());
+  st.stats = RunStats{};
 }
 
-void CompressedEngine::commit_exiting_row(std::size_t r) {
+void CompressedEngine::commit_exiting_row(std::size_t r, RunState& st) const {
   const std::size_t w = config_.spec.image_width;
-  std::copy(band_.begin(), band_.begin() + static_cast<std::ptrdiff_t>(w),
-            reconstructed_.row(r).begin());
+  std::copy(st.band.begin(), st.band.begin() + static_cast<std::ptrdiff_t>(w),
+            st.reconstructed.row(r).begin());
 }
 
-void CompressedEngine::flush_tail(std::size_t last_r) {
+void CompressedEngine::flush_tail(std::size_t last_r, RunState& st) const {
   const std::size_t n = config_.spec.window;
   const std::size_t w = config_.spec.image_width;
   for (std::size_t y = 1; y < n; ++y) {
-    std::copy(band_.begin() + static_cast<std::ptrdiff_t>(y * w),
-              band_.begin() + static_cast<std::ptrdiff_t>((y + 1) * w),
-              reconstructed_.row(last_r + y).begin());
+    std::copy(st.band.begin() + static_cast<std::ptrdiff_t>(y * w),
+              st.band.begin() + static_cast<std::ptrdiff_t>((y + 1) * w),
+              st.reconstructed.row(last_r + y).begin());
   }
 }
 
-void CompressedEngine::recompress_and_shift(const image::ImageU8& img, std::size_t r) {
+void CompressedEngine::recompress_and_shift(const image::ImageU8& img, std::size_t r,
+                                            RunState& st) const {
   const std::size_t n = config_.spec.window;
   const std::size_t w = config_.spec.image_width;
   const auto& codec = config_.codec;
@@ -65,8 +66,8 @@ void CompressedEngine::recompress_and_shift(const image::ImageU8& img, std::size
 
   for (std::size_t x = 0; x + 1 < w; x += 2) {
     for (std::size_t y = 0; y < n; ++y) {
-      c0[y] = band_[y * w + x];
-      c1[y] = band_[y * w + x + 1];
+      c0[y] = st.band[y * w + x];
+      c1[y] = st.band[y * w + x + 1];
     }
     const wavelet::CoeffColumnPair coeffs = wavelet::decompose_column_pair(c0, c1);
     const auto enc_even = bitpack::encode_column(coeffs.even, codec, /*column_is_even=*/true);
@@ -113,18 +114,18 @@ void CompressedEngine::recompress_and_shift(const image::ImageU8& img, std::size
 
   const auto input = img.row(r + n);
   std::copy(input.begin(), input.end(), next.begin() + static_cast<std::ptrdiff_t>((n - 1) * w));
-  band_ = std::move(next);
+  st.band = std::move(next);
 
-  stats_.note_row(row_stats);
+  st.stats.note_row(row_stats);
   for (const auto bits : stream_bits) {
-    stats_.max_stream_bits = std::max(stats_.max_stream_bits, bits);
+    st.stats.max_stream_bits = std::max(st.stats.max_stream_bits, bits);
   }
 }
 
 image::ImageU8 roundtrip_image(const image::ImageU8& img, const EngineConfig& config) {
-  CompressedEngine engine(config);
-  engine.run(img, [](std::size_t, std::size_t, const WindowView&) {});
-  return engine.reconstructed();
+  const CompressedEngine engine(config);
+  auto result = engine.run_reentrant(img, [](std::size_t, std::size_t, const WindowView&) {});
+  return std::move(result.reconstructed);
 }
 
 }  // namespace swc::core

@@ -18,6 +18,12 @@
 // Both engines invoke sink(row, col, WindowView) for every valid window
 // position, left-to-right, top-to-bottom, matching the raster streaming
 // order of the hardware.
+//
+// Reentrancy: run_reentrant() is const and keeps all per-run state on the
+// caller's stack, so one engine instance can process many frames from many
+// threads concurrently (the runtime layer depends on this). The mutating
+// run()/stats()/reconstructed() API is a convenience wrapper for
+// single-threaded callers.
 
 #include <cstdint>
 #include <vector>
@@ -63,14 +69,37 @@ struct RunStats {
     per_row.push_back(row);
     max_row_bits = std::max(max_row_bits, row.total_bits());
   }
+
+  [[nodiscard]] std::size_t total_payload_bits() const noexcept {
+    std::size_t bits = 0;
+    for (const auto& row : per_row) bits += row.payload_bits;
+    return bits;
+  }
+  [[nodiscard]] std::size_t total_management_bits() const noexcept {
+    std::size_t bits = 0;
+    for (const auto& row : per_row) bits += row.management_bits;
+    return bits;
+  }
+
+  // Fold another run's stats into this one (stripe merging, multi-frame
+  // accumulation). Row records are concatenated in call order; the peaks are
+  // the max over both runs.
+  void merge(const RunStats& other) {
+    per_row.insert(per_row.end(), other.per_row.begin(), other.per_row.end());
+    max_stream_bits = std::max(max_stream_bits, other.max_stream_bits);
+    max_row_bits = std::max(max_row_bits, other.max_row_bits);
+    windows_emitted += other.windows_emitted;
+  }
 };
 
 class TraditionalEngine {
  public:
   explicit TraditionalEngine(SlidingWindowSpec spec) : spec_(spec) { spec_.validate(); }
 
+  // Const, reentrant scan: safe to call concurrently on one engine instance.
+  // Returns the number of windows emitted.
   template <typename Sink>
-  void run(const image::ImageU8& img, Sink&& sink) {
+  std::size_t run_reentrant(const image::ImageU8& img, Sink&& sink) const {
     check_image(img);
     const std::size_t n = spec_.window;
     const std::size_t w = spec_.image_width;
@@ -81,11 +110,11 @@ class TraditionalEngine {
       const auto row = img.row(y);
       std::copy(row.begin(), row.end(), band.begin() + static_cast<std::ptrdiff_t>(y * w));
     }
-    windows_emitted_ = 0;
+    std::size_t windows = 0;
     for (std::size_t r = 0;; ++r) {
       for (std::size_t c = 0; c + n <= w; ++c) {
         sink(r, c, WindowView(band.data(), w, n, c));
-        ++windows_emitted_;
+        ++windows;
       }
       if (r + n >= img.height()) break;
       // Shift the band up one row and append the next input row.
@@ -93,6 +122,12 @@ class TraditionalEngine {
       const auto next = img.row(r + n);
       std::copy(next.begin(), next.end(), band.end() - static_cast<std::ptrdiff_t>(w));
     }
+    return windows;
+  }
+
+  template <typename Sink>
+  void run(const image::ImageU8& img, Sink&& sink) {
+    windows_emitted_ = run_reentrant(img, std::forward<Sink>(sink));
   }
 
   [[nodiscard]] std::size_t windows_emitted() const noexcept { return windows_emitted_; }
@@ -105,29 +140,46 @@ class TraditionalEngine {
   std::size_t windows_emitted_ = 0;
 };
 
+// Everything a compressed-engine pass produces besides the sink callbacks.
+struct CompressedRunResult {
+  image::ImageU8 reconstructed;  // rows as they exited the buffer
+  RunStats stats;
+};
+
 class CompressedEngine {
  public:
   explicit CompressedEngine(EngineConfig config) : config_(config) { config_.validate(); }
 
+  // Const, reentrant pass: all per-run state lives in a local RunState, so
+  // one engine instance can serve concurrent frames from a thread pool.
   template <typename Sink>
-  void run(const image::ImageU8& img, Sink&& sink) {
-    begin_run(img);
+  CompressedRunResult run_reentrant(const image::ImageU8& img, Sink&& sink) const {
+    RunState st;
+    begin_run(img, st);
     const std::size_t n = config_.spec.window;
     const std::size_t w = config_.spec.image_width;
     for (std::size_t r = 0;; ++r) {
       for (std::size_t c = 0; c + n <= w; ++c) {
-        sink(r, c, WindowView(band_.data(), w, n, c));
-        ++stats_.windows_emitted;
+        sink(r, c, WindowView(st.band.data(), w, n, c));
+        ++st.stats.windows_emitted;
       }
       // Row 0 of the band exits the architecture now; it is the final,
       // possibly drift-affected value of image row r.
-      commit_exiting_row(r);
+      commit_exiting_row(r, st);
       if (r + n >= img.height()) {
-        flush_tail(r);
+        flush_tail(r, st);
         break;
       }
-      recompress_and_shift(img, r);
+      recompress_and_shift(img, r, st);
     }
+    return {std::move(st.reconstructed), std::move(st.stats)};
+  }
+
+  template <typename Sink>
+  void run(const image::ImageU8& img, Sink&& sink) {
+    auto result = run_reentrant(img, std::forward<Sink>(sink));
+    reconstructed_ = std::move(result.reconstructed);
+    stats_ = std::move(result.stats);
   }
 
   [[nodiscard]] const RunStats& stats() const noexcept { return stats_; }
@@ -136,15 +188,21 @@ class CompressedEngine {
   [[nodiscard]] const EngineConfig& config() const noexcept { return config_; }
 
  private:
-  void begin_run(const image::ImageU8& img);
-  void commit_exiting_row(std::size_t r);
-  void flush_tail(std::size_t last_r);
+  // Per-run state; every pass owns one on its own stack.
+  struct RunState {
+    std::vector<std::uint8_t> band;
+    image::ImageU8 reconstructed;
+    RunStats stats;
+  };
+
+  void begin_run(const image::ImageU8& img, RunState& st) const;
+  void commit_exiting_row(std::size_t r, RunState& st) const;
+  void flush_tail(std::size_t last_r, RunState& st) const;
   // Compress/decompress every band column with the configured codec, shift
   // the band up one row, and append input row (r + window).
-  void recompress_and_shift(const image::ImageU8& img, std::size_t r);
+  void recompress_and_shift(const image::ImageU8& img, std::size_t r, RunState& st) const;
 
   EngineConfig config_;
-  std::vector<std::uint8_t> band_;
   image::ImageU8 reconstructed_;
   RunStats stats_;
 };

@@ -49,13 +49,27 @@ ImageU8 read_pgm(std::istream& in) {
   const std::size_t width = parse_dim(next_token(in), "width");
   const std::size_t height = parse_dim(next_token(in), "height");
   const std::size_t maxval = parse_dim(next_token(in), "maxval");
-  if (maxval > 255) throw std::runtime_error("PGM: only 8-bit maxval supported");
+  if (maxval > 255) {
+    throw std::runtime_error("PGM: only 8-bit maxval supported (got " + std::to_string(maxval) +
+                             ")");
+  }
 
   ImageU8 img(width, height);
   in.read(reinterpret_cast<char*>(img.pixels().data()),
           static_cast<std::streamsize>(img.size()));
-  if (in.gcount() != static_cast<std::streamsize>(img.size())) {
-    throw std::runtime_error("PGM: truncated pixel data");
+  const auto got = in.gcount();
+  if (got != static_cast<std::streamsize>(img.size())) {
+    throw std::runtime_error("PGM: payload does not match header dimensions " +
+                             std::to_string(width) + "x" + std::to_string(height) + ": expected " +
+                             std::to_string(img.size()) + " bytes, got " + std::to_string(got));
+  }
+  // A conforming P5 file ends exactly after width*height samples; trailing
+  // bytes mean the header dimensions do not describe the payload (a silent
+  // crop of whatever the producer actually wrote).
+  if (in.peek() != std::istream::traits_type::eof()) {
+    throw std::runtime_error("PGM: payload larger than header dimensions " +
+                             std::to_string(width) + "x" + std::to_string(height) +
+                             " (trailing bytes after " + std::to_string(img.size()) + ")");
   }
   return img;
 }

@@ -9,8 +9,11 @@
 
 namespace swc::image {
 
-// Reads an 8-bit binary PGM (magic "P5", maxval <= 255). Throws
-// std::runtime_error on malformed input.
+// Reads an 8-bit binary PGM (magic "P5", maxval <= 255). Header comments
+// ('#' to end of line) are allowed between tokens. The payload must match
+// the header dimensions exactly — both truncated and oversized payloads are
+// rejected. Throws std::runtime_error with a descriptive message on any
+// malformed input.
 [[nodiscard]] ImageU8 read_pgm(std::istream& in);
 [[nodiscard]] ImageU8 read_pgm(const std::filesystem::path& path);
 

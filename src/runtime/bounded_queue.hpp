@@ -1,0 +1,110 @@
+#pragma once
+// Bounded MPMC queue with backpressure, the spine of the runtime layer.
+//
+// Producers choose their overload behavior per call: push() blocks until
+// space frees up (backpressure propagates to the caller), try_push() returns
+// false immediately when the queue is full (caller counts a rejection).
+// Consumers block in pop() until an item or close() arrives. close() wakes
+// everyone: pending pops drain the remaining items and then return nullopt,
+// later pushes fail.
+//
+// The queue records its depth high-water mark so RuntimeStats can report how
+// close the system came to its provisioned capacity — the software analogue
+// of the paper's worst-case BRAM occupancy metric.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace swc::runtime {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  // Blocks until the item is enqueued or the queue is closed.
+  // Returns false only if the queue was closed before space appeared.
+  bool push(T item) {
+    std::unique_lock lock(mutex_);
+    not_full_.wait(lock, [&] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    enqueue_locked(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  // Non-blocking: returns false when full or closed (item is left intact in
+  // neither case — it is moved only on success).
+  bool try_push(T& item) {
+    {
+      std::unique_lock lock(mutex_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      enqueue_locked(std::move(item));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  // Blocks until an item is available; returns nullopt once the queue is
+  // closed and drained.
+  std::optional<T> pop() {
+    std::unique_lock lock(mutex_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  void close() {
+    {
+      std::unique_lock lock(mutex_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  [[nodiscard]] std::size_t size() const {
+    std::unique_lock lock(mutex_);
+    return items_.size();
+  }
+
+  [[nodiscard]] std::size_t high_water() const {
+    std::unique_lock lock(mutex_);
+    return high_water_;
+  }
+
+  [[nodiscard]] bool closed() const {
+    std::unique_lock lock(mutex_);
+    return closed_;
+  }
+
+ private:
+  void enqueue_locked(T&& item) {
+    items_.push_back(std::move(item));
+    if (items_.size() > high_water_) high_water_ = items_.size();
+  }
+
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  std::size_t high_water_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace swc::runtime

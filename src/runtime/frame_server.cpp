@@ -1,0 +1,126 @@
+#include "runtime/frame_server.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace swc::runtime {
+namespace {
+
+std::uint64_t elapsed_ns(std::chrono::steady_clock::time_point t0) {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                        std::chrono::steady_clock::now() - t0)
+                                        .count());
+}
+
+void check_frame(const StreamContext& ctx, const image::ImageU8& frame) {
+  const auto& spec = ctx.config().engine.spec;
+  if (frame.width() != spec.image_width || frame.height() != spec.image_height) {
+    throw std::invalid_argument("FrameServer: frame does not match stream " +
+                                ctx.config().name + " geometry");
+  }
+}
+
+}  // namespace
+
+FrameServer::FrameServer(Options options)
+    : pool_(options.workers, options.queue_capacity), start_(std::chrono::steady_clock::now()) {}
+
+FrameServer::~FrameServer() { pool_.shutdown(); }
+
+std::uint32_t FrameServer::open_stream(StreamConfig config) {
+  config.engine.validate();
+  std::lock_guard lock(streams_mutex_);
+  const auto id = static_cast<std::uint32_t>(streams_.size());
+  streams_.push_back(std::make_shared<StreamContext>(id, std::move(config)));
+  return id;
+}
+
+std::shared_ptr<StreamContext> FrameServer::find_stream(std::uint32_t id) const {
+  std::lock_guard lock(streams_mutex_);
+  if (id >= streams_.size()) {
+    throw std::invalid_argument("FrameServer: unknown stream id " + std::to_string(id));
+  }
+  return streams_[id];
+}
+
+bool FrameServer::submit(std::uint32_t stream_id, image::ImageU8 frame, SubmitPolicy policy,
+                         Callback on_done) {
+  auto ctx = find_stream(stream_id);
+  check_frame(*ctx, frame);
+
+  const auto submitted_at = std::chrono::steady_clock::now();
+  const std::uint64_t seq = ctx->note_submitted();
+
+  auto payload = std::make_shared<image::ImageU8>(std::move(frame));
+  auto job = [ctx, payload, submitted_at, seq, on_done = std::move(on_done)] {
+    auto run = ctx->process(*payload);
+    const std::uint64_t latency = elapsed_ns(submitted_at);
+    ctx->note_completed(run.stats, payload->size(), latency);
+    if (on_done) {
+      FrameResult result;
+      result.stream_id = ctx->id();
+      result.frame_seq = seq;
+      result.reconstructed = std::move(run.reconstructed);
+      result.stats = std::move(run.stats);
+      result.latency_ns = latency;
+      on_done(std::move(result));
+    }
+  };
+
+  if (!pool_.submit(std::move(job), policy)) {
+    ctx->note_submit_failed();
+    return false;
+  }
+  return true;
+}
+
+FrameResult FrameServer::submit_striped(std::uint32_t stream_id, const image::ImageU8& frame,
+                                        std::size_t max_stripes) {
+  auto ctx = find_stream(stream_id);
+  check_frame(*ctx, frame);
+  if (ctx->config().kind != EngineKind::Compressed) {
+    throw std::invalid_argument("FrameServer: striped submission requires a compressed stream");
+  }
+
+  const auto submitted_at = std::chrono::steady_clock::now();
+  const std::uint64_t seq = ctx->note_submitted();
+
+  auto run = run_compressed_striped(ctx->config().engine, frame, max_stripes, &pool_);
+  const std::uint64_t latency = elapsed_ns(submitted_at);
+  ctx->note_completed(run.stats, frame.size(), latency);
+
+  FrameResult result;
+  result.stream_id = ctx->id();
+  result.frame_seq = seq;
+  if (ctx->config().keep_output) result.reconstructed = std::move(run.reconstructed);
+  result.stats = std::move(run.stats);
+  result.latency_ns = latency;
+  return result;
+}
+
+void FrameServer::wait_idle() { pool_.wait_idle(); }
+
+RuntimeStatsSnapshot FrameServer::stats() const {
+  RuntimeStatsSnapshot snap;
+  snap.workers = pool_.worker_count();
+  snap.queue_capacity = pool_.queue_capacity();
+  snap.queue_depth = pool_.queue_depth();
+  snap.queue_high_water = pool_.queue_high_water();
+  snap.worker_utilization = pool_.worker_utilization();
+  snap.wall_seconds =
+      static_cast<double>(elapsed_ns(start_)) / 1e9;
+  {
+    std::lock_guard lock(streams_mutex_);
+    snap.streams.reserve(streams_.size());
+    for (const auto& stream : streams_) snap.streams.push_back(stream->snapshot());
+  }
+  for (const auto& s : snap.streams) {
+    snap.frames_submitted += s.frames_submitted;
+    snap.frames_completed += s.frames_completed;
+    snap.frames_rejected += s.frames_rejected;
+  }
+  return snap;
+}
+
+}  // namespace swc::runtime

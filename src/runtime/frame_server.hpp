@@ -1,0 +1,96 @@
+#pragma once
+// FrameServer: the multi-stream serving front end of the runtime layer.
+//
+// Callers open independent streams (each with its own engine kind, geometry,
+// codec threshold, and accumulated stats) and submit frames. Frames are
+// dispatched to a fixed worker pool over a bounded queue: SubmitPolicy::Block
+// applies backpressure to the producer, SubmitPolicy::Reject fails fast and
+// counts the drop per stream. Completed frames optionally invoke a caller
+// callback (from the worker thread) with the reconstructed image, codec run
+// stats, and measured latency.
+//
+// Two parallelism axes compose:
+//  * stream-parallel — independent streams' frames run concurrently on the
+//    pool (the engines are const/reentrant, so one stream may even have
+//    several frames in flight);
+//  * stripe-parallel — submit_striped() splits one large frame into
+//    horizontal halo-overlapped stripes (see runtime/stripe.hpp) so a single
+//    frame can occupy every worker; exact at threshold 0.
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/streaming_engine.hpp"
+#include "image/image.hpp"
+#include "runtime/stats.hpp"
+#include "runtime/stream_context.hpp"
+#include "runtime/stripe.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace swc::runtime {
+
+struct FrameResult {
+  std::uint32_t stream_id = 0;
+  std::uint64_t frame_seq = 0;  // per-stream submission sequence number
+  image::ImageU8 reconstructed;  // empty for Traditional / keep_output=false
+  core::RunStats stats;
+  std::uint64_t latency_ns = 0;  // submit-to-completion, includes queueing
+};
+
+struct FrameServerOptions {
+  std::size_t workers = 4;
+  std::size_t queue_capacity = 64;
+};
+
+class FrameServer {
+ public:
+  // GCC rejects NSDMI defaults of a nested struct used as a default argument
+  // of its enclosing class, hence the top-level options type.
+  using Options = FrameServerOptions;
+
+  using Callback = std::function<void(FrameResult)>;
+
+  explicit FrameServer(Options options = Options());
+  ~FrameServer();
+
+  FrameServer(const FrameServer&) = delete;
+  FrameServer& operator=(const FrameServer&) = delete;
+
+  // Registers a stream and returns its id. Thread-safe.
+  std::uint32_t open_stream(StreamConfig config);
+
+  // Enqueue one frame. Returns false when rejected (Reject policy with a
+  // full queue, or server shutting down); the rejection is counted against
+  // the stream. Throws std::invalid_argument for unknown streams or frames
+  // that do not match the stream's configured geometry.
+  bool submit(std::uint32_t stream_id, image::ImageU8 frame,
+              SubmitPolicy policy = SubmitPolicy::Block, Callback on_done = {});
+
+  // Process one frame stripe-parallel across up to `max_stripes` stripes on
+  // the server's pool, blocking the caller until the frame completes.
+  // Compressed streams only. Counts as one frame in the stream's stats.
+  FrameResult submit_striped(std::uint32_t stream_id, const image::ImageU8& frame,
+                             std::size_t max_stripes);
+
+  // Barrier: returns once every accepted frame has completed.
+  void wait_idle();
+
+  [[nodiscard]] RuntimeStatsSnapshot stats() const;
+
+  [[nodiscard]] std::size_t worker_count() const noexcept { return pool_.worker_count(); }
+
+ private:
+  [[nodiscard]] std::shared_ptr<StreamContext> find_stream(std::uint32_t id) const;
+
+  ThreadPool pool_;
+  std::chrono::steady_clock::time_point start_;
+
+  mutable std::mutex streams_mutex_;
+  std::vector<std::shared_ptr<StreamContext>> streams_;  // index == id
+};
+
+}  // namespace swc::runtime

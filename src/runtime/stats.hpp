@@ -1,0 +1,80 @@
+#pragma once
+// Observability types for the runtime layer. Everything a throughput claim
+// needs to be checkable: per-stream latency distribution summaries, frame
+// counters, queue pressure, and worker utilization — snapshotted atomically
+// so a monitoring thread can read while workers run.
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace swc::runtime {
+
+// Streaming min/mean/max accumulator (nanosecond samples). Not thread-safe
+// on its own; owners serialize access.
+struct LatencyAccumulator {
+  std::uint64_t count = 0;
+  std::uint64_t sum_ns = 0;
+  std::uint64_t min_ns = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t max_ns = 0;
+
+  void note(std::uint64_t ns) noexcept {
+    ++count;
+    sum_ns += ns;
+    if (ns < min_ns) min_ns = ns;
+    if (ns > max_ns) max_ns = ns;
+  }
+
+  [[nodiscard]] double min_ms() const noexcept {
+    return count == 0 ? 0.0 : static_cast<double>(min_ns) / 1e6;
+  }
+  [[nodiscard]] double mean_ms() const noexcept {
+    return count == 0 ? 0.0 : static_cast<double>(sum_ns) / static_cast<double>(count) / 1e6;
+  }
+  [[nodiscard]] double max_ms() const noexcept { return static_cast<double>(max_ns) / 1e6; }
+};
+
+// Point-in-time view of one stream's counters.
+struct StreamStatsSnapshot {
+  std::uint32_t id = 0;
+  std::string name;
+  std::uint64_t frames_submitted = 0;
+  std::uint64_t frames_completed = 0;
+  std::uint64_t frames_rejected = 0;
+  std::uint64_t pixels_processed = 0;
+  std::uint64_t windows_emitted = 0;
+  // Accumulated codec traffic (compressed engine only; zero for traditional).
+  std::uint64_t payload_bits = 0;
+  std::uint64_t management_bits = 0;
+  std::size_t max_row_bits = 0;  // worst buffer occupancy seen on any frame
+  LatencyAccumulator latency;
+};
+
+// Point-in-time view of the whole server.
+struct RuntimeStatsSnapshot {
+  std::size_t workers = 0;
+  std::uint64_t frames_submitted = 0;
+  std::uint64_t frames_completed = 0;
+  std::uint64_t frames_rejected = 0;
+  std::size_t queue_capacity = 0;
+  std::size_t queue_depth = 0;
+  std::size_t queue_high_water = 0;
+  double wall_seconds = 0.0;  // since server start
+  // Fraction of wall time each worker spent executing jobs, in worker order.
+  std::vector<double> worker_utilization;
+  std::vector<StreamStatsSnapshot> streams;
+
+  [[nodiscard]] double aggregate_fps() const noexcept {
+    return wall_seconds > 0.0 ? static_cast<double>(frames_completed) / wall_seconds : 0.0;
+  }
+  [[nodiscard]] double mean_worker_utilization() const noexcept {
+    if (worker_utilization.empty()) return 0.0;
+    double sum = 0.0;
+    for (const double u : worker_utilization) sum += u;
+    return sum / static_cast<double>(worker_utilization.size());
+  }
+};
+
+}  // namespace swc::runtime

@@ -1,0 +1,127 @@
+#pragma once
+// Per-stream state for the multi-stream runtime. Each open stream owns its
+// engine configuration, a const (reentrant) engine instance, and its
+// accumulated counters. Counter updates are mutex-serialized per stream;
+// frames of one stream may be in flight on several workers at once, which
+// is safe because the engines' run_reentrant() keeps all scan state local.
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "core/config.hpp"
+#include "core/streaming_engine.hpp"
+#include "image/image.hpp"
+#include "runtime/stats.hpp"
+
+namespace swc::runtime {
+
+enum class EngineKind : std::uint8_t {
+  Traditional,  // raw line buffers (Fig. 1) — no codec, no reconstructed image
+  Compressed,   // the paper's compressed architecture (Fig. 4)
+};
+
+struct StreamConfig {
+  std::string name;
+  EngineKind kind = EngineKind::Compressed;
+  core::EngineConfig engine;
+  // When false, the reconstructed frame is dropped after stats are taken
+  // (saves a copy per frame in pure-throughput serving).
+  bool keep_output = true;
+};
+
+class StreamContext {
+ public:
+  StreamContext(std::uint32_t id, StreamConfig config)
+      : id_(id),
+        config_(std::move(config)),
+        traditional_(config_.engine.spec),
+        compressed_(config_.engine) {}
+
+  [[nodiscard]] std::uint32_t id() const noexcept { return id_; }
+  [[nodiscard]] const StreamConfig& config() const noexcept { return config_; }
+
+  // Process one frame; returns the reconstructed image (empty for the
+  // traditional engine or keep_output = false) and the run stats. Const and
+  // reentrant: any number of frames may run concurrently.
+  [[nodiscard]] core::CompressedRunResult process(const image::ImageU8& frame) const {
+    if (config_.kind == EngineKind::Traditional) {
+      core::CompressedRunResult result;
+      result.stats.windows_emitted = traditional_.run_reentrant(
+          frame, [](std::size_t, std::size_t, const core::WindowView&) {});
+      return result;
+    }
+    auto result = compressed_.run_reentrant(
+        frame, [](std::size_t, std::size_t, const core::WindowView&) {});
+    if (!config_.keep_output) result.reconstructed = image::ImageU8();
+    return result;
+  }
+
+  // Returns this frame's per-stream sequence number.
+  std::uint64_t note_submitted() {
+    std::lock_guard lock(mutex_);
+    return frames_submitted_++;
+  }
+
+  void note_rejected() {
+    std::lock_guard lock(mutex_);
+    ++frames_rejected_;
+  }
+
+  // Converts an optimistic note_submitted() into a rejection when the queue
+  // refused the frame.
+  void note_submit_failed() {
+    std::lock_guard lock(mutex_);
+    --frames_submitted_;
+    ++frames_rejected_;
+  }
+
+  void note_completed(const core::RunStats& stats, std::size_t pixels,
+                      std::uint64_t latency_ns) {
+    std::lock_guard lock(mutex_);
+    ++frames_completed_;
+    pixels_processed_ += pixels;
+    windows_emitted_ += stats.windows_emitted;
+    payload_bits_ += stats.total_payload_bits();
+    management_bits_ += stats.total_management_bits();
+    if (stats.max_row_bits > max_row_bits_) max_row_bits_ = stats.max_row_bits;
+    latency_.note(latency_ns);
+  }
+
+  [[nodiscard]] StreamStatsSnapshot snapshot() const {
+    std::lock_guard lock(mutex_);
+    StreamStatsSnapshot snap;
+    snap.id = id_;
+    snap.name = config_.name;
+    snap.frames_submitted = frames_submitted_;
+    snap.frames_completed = frames_completed_;
+    snap.frames_rejected = frames_rejected_;
+    snap.pixels_processed = pixels_processed_;
+    snap.windows_emitted = windows_emitted_;
+    snap.payload_bits = payload_bits_;
+    snap.management_bits = management_bits_;
+    snap.max_row_bits = max_row_bits_;
+    snap.latency = latency_;
+    return snap;
+  }
+
+ private:
+  const std::uint32_t id_;
+  const StreamConfig config_;
+  const core::TraditionalEngine traditional_;
+  const core::CompressedEngine compressed_;
+
+  mutable std::mutex mutex_;
+  std::uint64_t frames_submitted_ = 0;
+  std::uint64_t frames_completed_ = 0;
+  std::uint64_t frames_rejected_ = 0;
+  std::uint64_t pixels_processed_ = 0;
+  std::uint64_t windows_emitted_ = 0;
+  std::uint64_t payload_bits_ = 0;
+  std::uint64_t management_bits_ = 0;
+  std::size_t max_row_bits_ = 0;
+  LatencyAccumulator latency_;
+};
+
+}  // namespace swc::runtime

@@ -1,0 +1,77 @@
+#include "runtime/thread_pool.hpp"
+
+namespace swc::runtime {
+
+ThreadPool::ThreadPool(std::size_t workers, std::size_t queue_capacity)
+    : queue_(queue_capacity),
+      busy_ns_(workers == 0 ? 1 : workers),
+      start_(std::chrono::steady_clock::now()) {
+  const std::size_t count = workers == 0 ? 1 : workers;
+  threads_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() { shutdown(); }
+
+bool ThreadPool::submit(Job job, SubmitPolicy policy) {
+  {
+    std::unique_lock lock(idle_mutex_);
+    if (shut_down_) return false;
+    ++in_flight_;
+  }
+  const bool accepted =
+      policy == SubmitPolicy::Block ? queue_.push(std::move(job)) : queue_.try_push(job);
+  if (!accepted) {
+    std::unique_lock lock(idle_mutex_);
+    if (--in_flight_ == 0) idle_cv_.notify_all();
+  }
+  return accepted;
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(idle_mutex_);
+  idle_cv_.wait(lock, [&] { return in_flight_ == 0; });
+}
+
+void ThreadPool::shutdown() {
+  {
+    std::unique_lock lock(idle_mutex_);
+    if (shut_down_) return;
+    shut_down_ = true;
+  }
+  queue_.close();
+  for (auto& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+std::vector<double> ThreadPool::worker_utilization() const {
+  const auto wall = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - start_)
+                        .count();
+  std::vector<double> utilization(threads_.size(), 0.0);
+  if (wall <= 0) return utilization;
+  for (std::size_t i = 0; i < threads_.size(); ++i) {
+    utilization[i] = static_cast<double>(busy_ns_[i].load(std::memory_order_relaxed)) /
+                     static_cast<double>(wall);
+  }
+  return utilization;
+}
+
+void ThreadPool::worker_loop(std::size_t index) {
+  while (auto job = queue_.pop()) {
+    const auto t0 = std::chrono::steady_clock::now();
+    (*job)();
+    const auto t1 = std::chrono::steady_clock::now();
+    busy_ns_[index].fetch_add(
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count()),
+        std::memory_order_relaxed);
+    std::unique_lock lock(idle_mutex_);
+    if (--in_flight_ == 0) idle_cv_.notify_all();
+  }
+}
+
+}  // namespace swc::runtime

@@ -1,0 +1,71 @@
+#pragma once
+// Fixed-size worker pool over a BoundedQueue of jobs.
+//
+// Submission policies map directly onto the queue's two push flavors:
+// Block applies backpressure to the producer, Reject drops and reports.
+// The pool tracks per-worker busy time so RuntimeStats can report
+// utilization, and counts in-flight jobs so wait_idle() can provide a
+// completion barrier without destroying the pool.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "runtime/bounded_queue.hpp"
+
+namespace swc::runtime {
+
+enum class SubmitPolicy : std::uint8_t {
+  Block,   // wait for queue space (backpressure)
+  Reject,  // fail fast when the queue is full
+};
+
+class ThreadPool {
+ public:
+  using Job = std::function<void()>;
+
+  explicit ThreadPool(std::size_t workers, std::size_t queue_capacity = 64);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Returns false when the job was not accepted (queue full under Reject, or
+  // the pool is shutting down).
+  bool submit(Job job, SubmitPolicy policy = SubmitPolicy::Block);
+
+  // Blocks until every accepted job has finished executing.
+  void wait_idle();
+
+  // Stops accepting jobs, drains the queue, joins all workers. Idempotent.
+  void shutdown();
+
+  [[nodiscard]] std::size_t worker_count() const noexcept { return threads_.size(); }
+  [[nodiscard]] std::size_t queue_capacity() const noexcept { return queue_.capacity(); }
+  [[nodiscard]] std::size_t queue_depth() const { return queue_.size(); }
+  [[nodiscard]] std::size_t queue_high_water() const { return queue_.high_water(); }
+
+  // Busy-fraction per worker since construction, in [0, 1].
+  [[nodiscard]] std::vector<double> worker_utilization() const;
+
+ private:
+  void worker_loop(std::size_t index);
+
+  BoundedQueue<Job> queue_;
+  std::vector<std::thread> threads_;
+  std::vector<std::atomic<std::uint64_t>> busy_ns_;  // one slot per worker
+  std::chrono::steady_clock::time_point start_;
+
+  mutable std::mutex idle_mutex_;
+  std::condition_variable idle_cv_;
+  std::size_t in_flight_ = 0;  // accepted but not yet finished
+  bool shut_down_ = false;
+};
+
+}  // namespace swc::runtime

@@ -38,6 +38,28 @@ TEST(PgmIo, RejectsTruncatedPixelData) {
   EXPECT_THROW((void)read_pgm(ss), std::runtime_error);
 }
 
+TEST(PgmIo, TruncationErrorNamesExpectedAndActualSizes) {
+  std::stringstream ss;
+  ss << "P5\n4 4\n255\n";
+  ss.write("\x01\x02\x03", 3);
+  try {
+    (void)read_pgm(ss);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("4x4"), std::string::npos) << what;
+    EXPECT_NE(what.find("expected 16"), std::string::npos) << what;
+    EXPECT_NE(what.find("got 3"), std::string::npos) << what;
+  }
+}
+
+TEST(PgmIo, RejectsPayloadLargerThanHeaderDimensions) {
+  std::stringstream ss;
+  ss << "P5\n2 2\n255\n";
+  ss.write("\x01\x02\x03\x04\x05", 5);  // one byte too many
+  EXPECT_THROW((void)read_pgm(ss), std::runtime_error);
+}
+
 TEST(PgmIo, RejectsWideMaxval) {
   std::stringstream ss("P5\n2 2\n65535\n");
   EXPECT_THROW((void)read_pgm(ss), std::runtime_error);

@@ -1,0 +1,149 @@
+// Backpressure semantics of the runtime's bounded MPMC queue and the thread
+// pool built on it: Reject fails fast at capacity, Block parks the producer
+// until a consumer frees space, close() drains and wakes everyone.
+
+#include "runtime/bounded_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <thread>
+
+#include "runtime/thread_pool.hpp"
+
+namespace swc::runtime {
+namespace {
+
+TEST(BoundedQueue, TryPushRejectsAtCapacity) {
+  BoundedQueue<int> q(2);
+  int a = 1, b = 2, c = 3;
+  EXPECT_TRUE(q.try_push(a));
+  EXPECT_TRUE(q.try_push(b));
+  EXPECT_FALSE(q.try_push(c));
+  EXPECT_EQ(c, 3);  // rejected item is left intact
+  EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(BoundedQueue, PopReturnsFifoOrder) {
+  BoundedQueue<int> q(4);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(q.push(i));
+  for (int i = 0; i < 4; ++i) {
+    const auto item = q.pop();
+    ASSERT_TRUE(item.has_value());
+    EXPECT_EQ(*item, i);
+  }
+}
+
+TEST(BoundedQueue, PushBlocksUntilSpaceFrees) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.push(1));
+  std::atomic<bool> second_pushed{false};
+  std::thread producer([&] {
+    ASSERT_TRUE(q.push(2));  // must block: queue is full
+    second_pushed = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(second_pushed.load());
+  EXPECT_EQ(q.pop().value(), 1);  // frees the slot
+  producer.join();
+  EXPECT_TRUE(second_pushed.load());
+  EXPECT_EQ(q.pop().value(), 2);
+}
+
+TEST(BoundedQueue, CloseDrainsThenReturnsNullopt) {
+  BoundedQueue<int> q(4);
+  ASSERT_TRUE(q.push(7));
+  q.close();
+  EXPECT_FALSE(q.push(8));  // closed: push fails
+  EXPECT_EQ(q.pop().value(), 7);  // pending item still drains
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(BoundedQueue, RecordsHighWaterMark) {
+  BoundedQueue<int> q(8);
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(q.push(i));
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(q.pop().has_value());
+  ASSERT_TRUE(q.push(99));
+  EXPECT_EQ(q.high_water(), 5u);
+}
+
+// Deterministic pool backpressure: one worker parked on a gate job, queue of
+// capacity 2 filled, third submission must behave per policy.
+TEST(ThreadPool, RejectPolicyFailsFastWhenSaturated) {
+  ThreadPool pool(1, 2);
+  std::promise<void> gate;
+  std::shared_future<void> opened = gate.get_future().share();
+  std::atomic<bool> started{false};
+  ASSERT_TRUE(pool.submit([&, opened] {
+    started = true;
+    opened.wait();
+  }));
+  while (!started) std::this_thread::yield();  // worker now holds the gate job
+
+  ASSERT_TRUE(pool.submit([] {}, SubmitPolicy::Reject));
+  ASSERT_TRUE(pool.submit([] {}, SubmitPolicy::Reject));
+  // Queue full, worker busy: Reject must fail without blocking.
+  EXPECT_FALSE(pool.submit([] {}, SubmitPolicy::Reject));
+
+  gate.set_value();
+  pool.wait_idle();
+  // After draining, submissions are accepted again.
+  EXPECT_TRUE(pool.submit([] {}, SubmitPolicy::Reject));
+  pool.wait_idle();
+}
+
+TEST(ThreadPool, BlockPolicyWaitsForSpace) {
+  ThreadPool pool(1, 1);
+  std::promise<void> gate;
+  std::shared_future<void> opened = gate.get_future().share();
+  std::atomic<bool> started{false};
+  std::atomic<int> ran{0};
+  ASSERT_TRUE(pool.submit([&, opened] {
+    started = true;
+    opened.wait();
+  }));
+  while (!started) std::this_thread::yield();
+  ASSERT_TRUE(pool.submit([&] { ++ran; }));  // fills the queue
+
+  std::atomic<bool> blocked_submit_returned{false};
+  std::thread producer([&] {
+    EXPECT_TRUE(pool.submit([&] { ++ran; }, SubmitPolicy::Block));
+    blocked_submit_returned = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(blocked_submit_returned.load());  // backpressure is holding it
+
+  gate.set_value();
+  producer.join();
+  pool.wait_idle();
+  EXPECT_TRUE(blocked_submit_returned.load());
+  EXPECT_EQ(ran.load(), 2);
+  EXPECT_GE(pool.queue_high_water(), 1u);
+}
+
+TEST(ThreadPool, WaitIdleIsACompletionBarrier) {
+  ThreadPool pool(4, 16);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 32; ++i) {
+    ASSERT_TRUE(pool.submit([&] { ++done; }));
+  }
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 32);
+  const auto util = pool.worker_utilization();
+  EXPECT_EQ(util.size(), 4u);
+  for (const double u : util) {
+    EXPECT_GE(u, 0.0);
+    EXPECT_LE(u, 1.0);
+  }
+}
+
+TEST(ThreadPool, SubmitAfterShutdownFails) {
+  ThreadPool pool(2, 4);
+  pool.shutdown();
+  EXPECT_FALSE(pool.submit([] {}));
+}
+
+}  // namespace
+}  // namespace swc::runtime
