@@ -1,0 +1,230 @@
+// Codec hot-path throughput: MB/s of the word-parallel BitWriter/BitReader
+// against the retained bit-serial reference (bitstream_ref.hpp), and MB/s of
+// the full column encode/decode at each NBits granularity using the reusable
+// ColumnEncoder/ColumnDecoder. Results are printed as a table and written as
+// codec_throughput.json next to the other bench artifacts so the speedup
+// claim (>= 3x pack/unpack over bit-serial) is machine-checkable.
+//
+// SWC_BENCH_SECONDS scales the per-measurement time budget (default 0.2 s).
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/bench_common.hpp"
+#include "bitpack/bitstream.hpp"
+#include "bitpack/bitstream_ref.hpp"
+#include "bitpack/column_codec.hpp"
+#include "image/rng.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+struct Field {
+  std::uint32_t value;
+  int nbits;
+};
+
+// Codec-realistic field mix: widths 1..8 (the hardware coefficient range).
+std::vector<Field> make_fields(std::size_t count, std::uint64_t seed) {
+  swc::image::SplitMix64 rng(seed);
+  std::vector<Field> fields(count);
+  std::size_t total_bits = 0;
+  for (auto& f : fields) {
+    f.nbits = 1 + static_cast<int>(rng.next_below(8));
+    f.value = static_cast<std::uint32_t>(rng.next()) & ((1u << f.nbits) - 1u);
+    total_bits += static_cast<std::size_t>(f.nbits);
+  }
+  (void)total_bits;
+  return fields;
+}
+
+double time_budget_seconds() {
+  if (const char* env = std::getenv("SWC_BENCH_SECONDS")) {
+    const double s = std::strtod(env, nullptr);
+    if (s > 0.0) return s;
+  }
+  return 0.2;
+}
+
+// Runs `body` (which processes `bytes_per_rep` bytes) repeatedly until the
+// time budget is spent; returns MB/s.
+template <typename Body>
+double measure_mb_s(std::size_t bytes_per_rep, const Body& body) {
+  const double budget = time_budget_seconds();
+  // Warm up once (also primes allocator/caches).
+  body();
+  std::size_t reps = 0;
+  const auto t0 = Clock::now();
+  double elapsed = 0.0;
+  do {
+    body();
+    ++reps;
+    elapsed = seconds_since(t0);
+  } while (elapsed < budget);
+  return static_cast<double>(reps * bytes_per_rep) / 1e6 / elapsed;
+}
+
+std::vector<std::uint8_t> random_coeffs(std::size_t n, std::uint64_t seed, int spread) {
+  swc::image::SplitMix64 rng(seed);
+  std::vector<std::uint8_t> out(n);
+  for (auto& v : out) {
+    v = static_cast<std::uint8_t>(
+        static_cast<int>(rng.next_below(static_cast<std::uint64_t>(2 * spread + 1))) - spread);
+  }
+  return out;
+}
+
+const char* granularity_name(swc::bitpack::NBitsGranularity g) {
+  switch (g) {
+    case swc::bitpack::NBitsGranularity::PerSubBandColumn:
+      return "per_subband_column";
+    case swc::bitpack::NBitsGranularity::PerColumn:
+      return "per_column";
+    case swc::bitpack::NBitsGranularity::PerCoefficient:
+      return "per_coefficient";
+  }
+  return "?";
+}
+
+struct CodecPoint {
+  std::string granularity;
+  double encode_mb_s = 0.0;
+  double decode_mb_s = 0.0;
+};
+
+}  // namespace
+
+int main() {
+  using namespace swc;
+  benchx::print_header("Codec throughput",
+                       "word-parallel bitstream vs bit-serial reference; column codec MB/s");
+
+  // --- Raw bitstream pack/unpack -----------------------------------------
+  constexpr std::size_t kFields = 1u << 16;
+  const auto fields = make_fields(kFields, 12345);
+  std::size_t stream_bits = 0;
+  for (const auto& f : fields) stream_bits += static_cast<std::size_t>(f.nbits);
+  const std::size_t stream_bytes = (stream_bits + 7) / 8;
+
+  bitpack::BitWriter word_writer;
+  const double pack_word = measure_mb_s(stream_bytes, [&] {
+    for (const auto& f : fields) word_writer.put(f.value, f.nbits);
+    word_writer.reset();
+  });
+  const double pack_ref = measure_mb_s(stream_bytes, [&] {
+    bitpack::ref::BitWriter writer;
+    for (const auto& f : fields) writer.put(f.value, f.nbits);
+    (void)writer.finish();
+  });
+
+  // Shared input stream for the unpack measurements (identical bytes from
+  // either writer — asserted by the differential fuzz tests).
+  for (const auto& f : fields) word_writer.put(f.value, f.nbits);
+  const auto stream = word_writer.finish();
+
+  volatile std::uint32_t sink = 0;  // keep the read loops observable
+  const double unpack_word = measure_mb_s(stream_bytes, [&] {
+    bitpack::BitReader reader(stream);
+    std::uint32_t acc = 0;
+    for (const auto& f : fields) acc ^= reader.get(f.nbits);
+    sink = acc;
+  });
+  const double unpack_ref = measure_mb_s(stream_bytes, [&] {
+    bitpack::ref::BitReader reader(stream);
+    std::uint32_t acc = 0;
+    for (const auto& f : fields) acc ^= reader.get(f.nbits);
+    sink = acc;
+  });
+  (void)sink;
+
+  const double pack_speedup = pack_word / pack_ref;
+  const double unpack_speedup = unpack_word / unpack_ref;
+  std::printf("bitstream (%zu fields, widths 1..8, %zu bytes/stream)\n", kFields, stream_bytes);
+  std::printf("  %-8s %14s %14s %10s\n", "path", "word MB/s", "serial MB/s", "speedup");
+  std::printf("  %-8s %14.1f %14.1f %9.2fx\n", "pack", pack_word, pack_ref, pack_speedup);
+  std::printf("  %-8s %14.1f %14.1f %9.2fx\n", "unpack", unpack_word, unpack_ref, unpack_speedup);
+
+  // --- Full column encode/decode per granularity -------------------------
+  constexpr std::size_t kColumnLen = 16;
+  constexpr std::size_t kColumns = 2048;
+  std::vector<std::vector<std::uint8_t>> columns;
+  columns.reserve(kColumns);
+  for (std::size_t i = 0; i < kColumns; ++i) {
+    columns.push_back(random_coeffs(kColumnLen, 900 + i, 24));
+  }
+  const std::size_t coeff_bytes = kColumns * kColumnLen;
+
+  std::printf("\ncolumn codec (%zu columns x %zu coefficients, threshold 2)\n", kColumns,
+              kColumnLen);
+  std::printf("  %-20s %14s %14s\n", "granularity", "encode MB/s", "decode MB/s");
+  std::vector<CodecPoint> codec_points;
+  for (const auto granularity :
+       {bitpack::NBitsGranularity::PerSubBandColumn, bitpack::NBitsGranularity::PerColumn,
+        bitpack::NBitsGranularity::PerCoefficient}) {
+    bitpack::ColumnCodecConfig config;
+    config.granularity = granularity;
+    config.threshold = 2;
+
+    bitpack::ColumnEncoder encoder;
+    bitpack::ColumnDecoder decoder;
+    bitpack::EncodedColumn enc;
+    std::vector<std::uint8_t> decoded;
+
+    CodecPoint point;
+    point.granularity = granularity_name(granularity);
+    point.encode_mb_s = measure_mb_s(coeff_bytes, [&] {
+      for (std::size_t i = 0; i < kColumns; ++i) {
+        encoder.encode(columns[i], config, (i % 2) == 0, enc);
+      }
+    });
+
+    // Pre-encode every column once for the decode measurement.
+    std::vector<bitpack::EncodedColumn> encoded(kColumns);
+    for (std::size_t i = 0; i < kColumns; ++i) {
+      encoder.encode(columns[i], config, (i % 2) == 0, encoded[i]);
+    }
+    point.decode_mb_s = measure_mb_s(coeff_bytes, [&] {
+      for (std::size_t i = 0; i < kColumns; ++i) {
+        decoder.decode(encoded[i], kColumnLen, config, decoded);
+      }
+    });
+    std::printf("  %-20s %14.1f %14.1f\n", point.granularity.c_str(), point.encode_mb_s,
+                point.decode_mb_s);
+    codec_points.push_back(point);
+  }
+
+  // --- JSON artifact ------------------------------------------------------
+  const char* json_path = "codec_throughput.json";
+  std::ofstream json(json_path);
+  json << "{\n  \"workload\": {\"fields\": " << kFields << ", \"stream_bytes\": " << stream_bytes
+       << ", \"columns\": " << kColumns << ", \"column_len\": " << kColumnLen << "},\n"
+       << "  \"pack\": {\"word_mb_s\": " << pack_word << ", \"bit_serial_mb_s\": " << pack_ref
+       << ", \"speedup\": " << pack_speedup << "},\n"
+       << "  \"unpack\": {\"word_mb_s\": " << unpack_word
+       << ", \"bit_serial_mb_s\": " << unpack_ref << ", \"speedup\": " << unpack_speedup
+       << "},\n  \"column_codec\": [\n";
+  for (std::size_t i = 0; i < codec_points.size(); ++i) {
+    const auto& p = codec_points[i];
+    json << "    {\"granularity\": \"" << p.granularity << "\", \"encode_mb_s\": " << p.encode_mb_s
+         << ", \"decode_mb_s\": " << p.decode_mb_s << "}"
+         << (i + 1 < codec_points.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  json.close();
+  std::printf("\nwrote %s\n", json_path);
+
+  if (pack_speedup < 3.0 || unpack_speedup < 3.0) {
+    std::printf("WARNING: speedup below the 3x acceptance threshold\n");
+    return 1;
+  }
+  return 0;
+}

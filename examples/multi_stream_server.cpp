@@ -79,16 +79,16 @@ int main() {
   server.wait_idle();
   const auto stats = server.stats();
 
-  std::printf("%-10s %6s %6s %6s %10s %12s %26s\n", "stream", "in", "out", "drop", "windows",
-              "payload-KB", "latency min/mean/max (ms)");
+  std::printf("%-10s %6s %6s %6s %10s %12s %26s %12s\n", "stream", "in", "out", "drop",
+              "windows", "payload-KB", "latency min/mean/max (ms)", "codec ns/col");
   for (const auto& s : stats.streams) {
-    std::printf("%-10s %6llu %6llu %6llu %10llu %12.1f %8.2f /%8.2f /%8.2f\n", s.name.c_str(),
-                static_cast<unsigned long long>(s.frames_submitted),
+    std::printf("%-10s %6llu %6llu %6llu %10llu %12.1f %8.2f /%8.2f /%8.2f %12.0f\n",
+                s.name.c_str(), static_cast<unsigned long long>(s.frames_submitted),
                 static_cast<unsigned long long>(s.frames_completed),
                 static_cast<unsigned long long>(s.frames_rejected),
                 static_cast<unsigned long long>(s.windows_emitted),
                 static_cast<double>(s.payload_bits) / 8.0 / 1024.0, s.latency.min_ms(),
-                s.latency.mean_ms(), s.latency.max_ms());
+                s.latency.mean_ms(), s.latency.max_ms(), s.codec_ns_per_column());
   }
   std::printf("\nframes: submitted %llu, completed %llu, rejected %llu\n",
               static_cast<unsigned long long>(stats.frames_submitted),

@@ -1,5 +1,5 @@
 #pragma once
-// LSB-first bit stream writer/reader.
+// LSB-first bit stream writer/reader, word-parallel implementation.
 //
 // The hardware Bit Packing unit (Fig. 6) shifts coefficient bits into an
 // 8-bit accumulation register (Yout_Current) and emits a byte whenever
@@ -7,8 +7,20 @@
 // up to 16 residual bits (Yout_rem) across reads. LSB-first packing matches
 // that datapath, so the functional codec here produces the exact byte stream
 // the cycle-accurate model produces.
+//
+// Unlike the hardware (and the retained bit-serial oracle in
+// bitstream_ref.hpp), this implementation accumulates into a 64-bit register
+// and emits/consumes whole little-endian words: a put/get costs O(1) shifts
+// instead of O(nbits) single-bit iterations. Because the stream is LSB-first,
+// bit k of the stream lives at bit (k mod 8) of byte (k / 8) — exactly the
+// little-endian layout of a 64-bit word — so whole words can be moved with
+// memcpy while the byte stream stays bit-identical to the hardware model
+// (asserted by the differential fuzz tests against bitstream_ref.hpp).
 
+#include <algorithm>
+#include <bit>
 #include <cstdint>
+#include <cstring>
 #include <span>
 #include <stdexcept>
 #include <vector>
@@ -20,14 +32,15 @@ class BitWriter {
   // Appends the low `nbits` bits of `value`, LSB first. nbits in [0, 32].
   void put(std::uint32_t value, int nbits) {
     if (nbits < 0 || nbits > 32) throw std::invalid_argument("BitWriter::put: bad nbits");
-    for (int i = 0; i < nbits; ++i) {
-      const std::uint32_t bit = (value >> i) & 1u;
-      acc_ |= bit << nacc_;
-      if (++nacc_ == 8) {
-        bytes_.push_back(static_cast<std::uint8_t>(acc_));
-        acc_ = 0;
-        nacc_ = 0;
-      }
+    const std::uint64_t v = static_cast<std::uint64_t>(value) & low_mask(nbits);
+    acc_ |= v << nacc_;
+    nacc_ += nbits;
+    if (nacc_ >= 64) {
+      append_le(acc_, 8);
+      nacc_ -= 64;
+      // Bits of v that did not fit in the emitted word. The emit condition
+      // implies the old fill was >= 32, so the shift is in [1, 32].
+      acc_ = v >> (nbits - nacc_);
     }
     bit_count_ += static_cast<std::size_t>(nbits);
   }
@@ -38,19 +51,63 @@ class BitWriter {
   [[nodiscard]] std::size_t bit_count() const noexcept { return bit_count_; }
 
   // Pads the final partial byte with zeros and returns the byte stream.
+  // Fully resets the writer (including bit_count()), so one instance can be
+  // reused for many streams.
   [[nodiscard]] std::vector<std::uint8_t> finish() {
-    if (nacc_ != 0) {
-      bytes_.push_back(static_cast<std::uint8_t>(acc_));
-      acc_ = 0;
-      nacc_ = 0;
-    }
-    return std::move(bytes_);
+    flush_tail();
+    std::vector<std::uint8_t> out = std::move(bytes_);
+    reset();
+    return out;
+  }
+
+  // finish() variant for reusable callers: pads the tail, copies the stream
+  // into `out` (reusing its capacity), and resets the writer. Allocation-free
+  // once `out` has grown to the steady-state stream size.
+  void finish_into(std::vector<std::uint8_t>& out) {
+    flush_tail();
+    out.assign(bytes_.begin(), bytes_.end());
+    reset();
+  }
+
+  // Drops any buffered bits and zeroes bit_count(); keeps byte capacity.
+  void reset() noexcept {
+    bytes_.clear();
+    acc_ = 0;
+    nacc_ = 0;
+    bit_count_ = 0;
   }
 
  private:
+  // Valid for nbits in [0, 63].
+  [[nodiscard]] static constexpr std::uint64_t low_mask(int nbits) noexcept {
+    return (std::uint64_t{1} << nbits) - 1u;
+  }
+
+  void flush_tail() {
+    if (nacc_ != 0) {
+      append_le(acc_, static_cast<std::size_t>((nacc_ + 7) / 8));
+      acc_ = 0;
+      nacc_ = 0;
+    }
+  }
+
+  // Appends the low `nbytes` bytes of `word` in little-endian order (stream
+  // order for an LSB-first stream).
+  void append_le(std::uint64_t word, std::size_t nbytes) {
+    const std::size_t off = bytes_.size();
+    bytes_.resize(off + nbytes);
+    if constexpr (std::endian::native == std::endian::little) {
+      std::memcpy(bytes_.data() + off, &word, nbytes);
+    } else {
+      for (std::size_t k = 0; k < nbytes; ++k) {
+        bytes_[off + k] = static_cast<std::uint8_t>(word >> (8 * k));
+      }
+    }
+  }
+
   std::vector<std::uint8_t> bytes_;
-  std::uint32_t acc_ = 0;
-  int nacc_ = 0;
+  std::uint64_t acc_ = 0;  // stream bits [8*bytes_.size(), ...), LSB first
+  int nacc_ = 0;           // valid bits in acc_, always < 64
   std::size_t bit_count_ = 0;
 };
 
@@ -58,30 +115,59 @@ class BitReader {
  public:
   explicit BitReader(std::span<const std::uint8_t> bytes) noexcept : bytes_(bytes) {}
 
-  // Reads `nbits` bits LSB-first. Throws if the stream is exhausted.
+  // Reads `nbits` bits LSB-first. Throws std::out_of_range if fewer than
+  // `nbits` bits remain, in which case nothing is consumed (the bit-serial
+  // oracle consumed the partial prefix before throwing; no caller depends on
+  // post-throw position).
   [[nodiscard]] std::uint32_t get(int nbits) {
     if (nbits < 0 || nbits > 32) throw std::invalid_argument("BitReader::get: bad nbits");
-    std::uint32_t value = 0;
-    for (int i = 0; i < nbits; ++i) {
-      const std::size_t byte = pos_ / 8;
-      if (byte >= bytes_.size()) throw std::out_of_range("BitReader: stream exhausted");
-      const std::uint32_t bit = (bytes_[byte] >> (pos_ % 8)) & 1u;
-      value |= bit << i;
-      ++pos_;
+    if (static_cast<std::size_t>(nbits) > bits_remaining()) {
+      throw std::out_of_range("BitReader: stream exhausted");
     }
+    if (nbuf_ < nbits) refill();
+    const auto value = static_cast<std::uint32_t>(buf_ & low_mask(nbits));
+    buf_ >>= nbits;
+    nbuf_ -= nbits;
     return value;
   }
 
   [[nodiscard]] bool get_bit() { return get(1) != 0; }
 
-  [[nodiscard]] std::size_t bits_consumed() const noexcept { return pos_; }
+  [[nodiscard]] std::size_t bits_consumed() const noexcept {
+    return 8 * byte_pos_ - static_cast<std::size_t>(nbuf_);
+  }
   [[nodiscard]] std::size_t bits_remaining() const noexcept {
-    return bytes_.size() * 8 - pos_;
+    return 8 * (bytes_.size() - byte_pos_) + static_cast<std::size_t>(nbuf_);
   }
 
  private:
+  [[nodiscard]] static constexpr std::uint64_t low_mask(int nbits) noexcept {
+    return (std::uint64_t{1} << nbits) - 1u;
+  }
+
+  // Tops the 64-bit buffer up with whole bytes. Only called when fewer than
+  // 32 bits are buffered and at least one unfetched byte exists, so at least
+  // 4 bytes fit and the shift below never overflows.
+  void refill() noexcept {
+    const auto take = std::min<std::size_t>(static_cast<std::size_t>((64 - nbuf_) / 8),
+                                            bytes_.size() - byte_pos_);
+    std::uint64_t w = 0;
+    if constexpr (std::endian::native == std::endian::little) {
+      std::memcpy(&w, bytes_.data() + byte_pos_, take);
+    } else {
+      for (std::size_t k = 0; k < take; ++k) {
+        w |= static_cast<std::uint64_t>(bytes_[byte_pos_ + k]) << (8 * k);
+      }
+    }
+    buf_ |= w << nbuf_;
+    nbuf_ += static_cast<int>(8 * take);
+    byte_pos_ += take;
+  }
+
   std::span<const std::uint8_t> bytes_;
-  std::size_t pos_ = 0;
+  std::size_t byte_pos_ = 0;  // next unfetched byte
+  std::uint64_t buf_ = 0;     // prefetched, not-yet-consumed bits, LSB first
+  int nbuf_ = 0;              // valid bits in buf_
 };
 
 // Sign-extends the low `nbits` bits of `raw` to a full byte (the Bit

@@ -1,0 +1,91 @@
+#pragma once
+// Bit-serial reference implementation of the LSB-first bit stream.
+//
+// This is the original one-bit-per-iteration BitWriter/BitReader, retained
+// verbatim as the differential-testing oracle for the word-parallel
+// implementation in bitstream.hpp: the fuzz tests assert that both produce
+// byte-identical streams (and read back identical values) over randomized
+// value/width sequences, which pins the optimized datapath to the
+// cycle-accurate hardware model's layout. It is also the baseline that
+// bench/codec_throughput measures the word-parallel speedup against.
+//
+// Do not use outside tests/benches — swc::bitpack::BitWriter/BitReader are
+// the production classes.
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace swc::bitpack::ref {
+
+class BitWriter {
+ public:
+  // Appends the low `nbits` bits of `value`, LSB first. nbits in [0, 32].
+  void put(std::uint32_t value, int nbits) {
+    if (nbits < 0 || nbits > 32) throw std::invalid_argument("BitWriter::put: bad nbits");
+    for (int i = 0; i < nbits; ++i) {
+      const std::uint32_t bit = (value >> i) & 1u;
+      acc_ |= bit << nacc_;
+      if (++nacc_ == 8) {
+        bytes_.push_back(static_cast<std::uint8_t>(acc_));
+        acc_ = 0;
+        nacc_ = 0;
+      }
+    }
+    bit_count_ += static_cast<std::size_t>(nbits);
+  }
+
+  void put_bit(bool bit) { put(bit ? 1u : 0u, 1); }
+
+  // Number of bits written so far (excludes flush padding).
+  [[nodiscard]] std::size_t bit_count() const noexcept { return bit_count_; }
+
+  // Pads the final partial byte with zeros and returns the byte stream.
+  [[nodiscard]] std::vector<std::uint8_t> finish() {
+    if (nacc_ != 0) {
+      bytes_.push_back(static_cast<std::uint8_t>(acc_));
+      acc_ = 0;
+      nacc_ = 0;
+    }
+    return std::move(bytes_);
+  }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+  std::uint32_t acc_ = 0;
+  int nacc_ = 0;
+  std::size_t bit_count_ = 0;
+};
+
+class BitReader {
+ public:
+  explicit BitReader(std::span<const std::uint8_t> bytes) noexcept : bytes_(bytes) {}
+
+  // Reads `nbits` bits LSB-first. Throws if the stream is exhausted.
+  [[nodiscard]] std::uint32_t get(int nbits) {
+    if (nbits < 0 || nbits > 32) throw std::invalid_argument("BitReader::get: bad nbits");
+    std::uint32_t value = 0;
+    for (int i = 0; i < nbits; ++i) {
+      const std::size_t byte = pos_ / 8;
+      if (byte >= bytes_.size()) throw std::out_of_range("BitReader: stream exhausted");
+      const std::uint32_t bit = (static_cast<std::uint32_t>(bytes_[byte]) >> (pos_ % 8)) & 1u;
+      value |= bit << i;
+      ++pos_;
+    }
+    return value;
+  }
+
+  [[nodiscard]] bool get_bit() { return get(1) != 0; }
+
+  [[nodiscard]] std::size_t bits_consumed() const noexcept { return pos_; }
+  [[nodiscard]] std::size_t bits_remaining() const noexcept {
+    return bytes_.size() * 8 - pos_;
+  }
+
+ private:
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace swc::bitpack::ref

@@ -15,80 +15,101 @@ void check_count(std::size_t n) {
 
 }  // namespace
 
-std::vector<std::uint8_t> apply_threshold(std::span<const std::uint8_t> coeffs,
-                                          const ColumnCodecConfig& config, bool column_is_even) {
+void apply_threshold_into(std::span<const std::uint8_t> coeffs, const ColumnCodecConfig& config,
+                          bool column_is_even, std::vector<std::uint8_t>& out) {
   check_count(coeffs.size());
-  std::vector<std::uint8_t> out(coeffs.begin(), coeffs.end());
+  out.assign(coeffs.begin(), coeffs.end());
   const std::size_t half = coeffs.size() / 2;
   for (std::size_t i = 0; i < out.size(); ++i) {
     const bool is_ll = column_is_even && i < half;
     if (is_ll && !config.threshold_ll) continue;
     if (!is_significant(out[i], config.threshold)) out[i] = 0;
   }
+}
+
+std::vector<std::uint8_t> apply_threshold(std::span<const std::uint8_t> coeffs,
+                                          const ColumnCodecConfig& config, bool column_is_even) {
+  std::vector<std::uint8_t> out;
+  apply_threshold_into(coeffs, config, column_is_even, out);
   return out;
 }
 
-EncodedColumn encode_column(std::span<const std::uint8_t> coeffs, const ColumnCodecConfig& config,
-                            bool column_is_even) {
+void ColumnEncoder::encode(std::span<const std::uint8_t> coeffs, const ColumnCodecConfig& config,
+                           bool column_is_even, EncodedColumn& out) {
   check_count(coeffs.size());
   const std::size_t n = coeffs.size();
   const std::size_t half = n / 2;
-  const std::vector<std::uint8_t> kept = apply_threshold(coeffs, config, column_is_even);
+  apply_threshold_into(coeffs, config, column_is_even, kept_);
 
   // Values NBits is measured over, per policy. PreThreshold mirrors the
   // Section V-B hardware which sizes fields from the raw coefficients.
   const std::span<const std::uint8_t> basis =
-      config.nbits_policy == NBitsPolicy::PreThreshold ? coeffs : std::span<const std::uint8_t>(kept);
+      config.nbits_policy == NBitsPolicy::PreThreshold ? coeffs
+                                                       : std::span<const std::uint8_t>(kept_);
 
-  EncodedColumn enc;
-  enc.bitmap.resize(n);
-  for (std::size_t i = 0; i < n; ++i) enc.bitmap[i] = kept[i] != 0 ? 1 : 0;
+  out.nbits.clear();
+  out.bitmap.assign(n, 0);
+  for (std::size_t i = 0; i < n; ++i) out.bitmap[i] = kept_[i] != 0 ? 1 : 0;
 
   // Per-coefficient widths resolved up front so the payload loop is uniform.
-  std::vector<int> width(n, 0);
+  width_.assign(n, 0);
   switch (config.granularity) {
     case NBitsGranularity::PerSubBandColumn: {
       const int top = group_nbits(basis.subspan(0, half));
       const int bot = group_nbits(basis.subspan(half, half));
-      enc.nbits = {static_cast<std::uint8_t>(top), static_cast<std::uint8_t>(bot)};
-      for (std::size_t i = 0; i < n; ++i) width[i] = i < half ? top : bot;
+      out.nbits.push_back(static_cast<std::uint8_t>(top));
+      out.nbits.push_back(static_cast<std::uint8_t>(bot));
+      for (std::size_t i = 0; i < n; ++i) {
+        width_[i] = static_cast<std::uint8_t>(i < half ? top : bot);
+      }
       break;
     }
     case NBitsGranularity::PerColumn: {
       const int all = group_nbits(basis);
-      enc.nbits = {static_cast<std::uint8_t>(all)};
-      for (std::size_t i = 0; i < n; ++i) width[i] = all;
+      out.nbits.push_back(static_cast<std::uint8_t>(all));
+      for (std::size_t i = 0; i < n; ++i) width_[i] = static_cast<std::uint8_t>(all);
       break;
     }
     case NBitsGranularity::PerCoefficient: {
-      for (std::size_t i = 0; i < n; ++i) {
-        if (enc.bitmap[i]) {
-          const int b = min_bits_u8(kept[i]);
-          enc.nbits.push_back(static_cast<std::uint8_t>(b));
-          width[i] = b;
+      if (config.nbits_policy == NBitsPolicy::PreThreshold) {
+        // The hardware's Fig. 7 finder runs before the threshold comparator,
+        // so every coefficient carries a field sized from the raw basis —
+        // including coefficients the comparator later zeroes.
+        for (std::size_t i = 0; i < n; ++i) {
+          const int b = min_bits_u8(basis[i]);
+          out.nbits.push_back(static_cast<std::uint8_t>(b));
+          width_[i] = static_cast<std::uint8_t>(b);
+        }
+      } else {
+        for (std::size_t i = 0; i < n; ++i) {
+          if (out.bitmap[i]) {
+            const int b = min_bits_u8(basis[i]);
+            out.nbits.push_back(static_cast<std::uint8_t>(b));
+            width_[i] = static_cast<std::uint8_t>(b);
+          }
         }
       }
       break;
     }
   }
 
-  BitWriter writer;
   for (std::size_t i = 0; i < n; ++i) {
-    if (enc.bitmap[i]) writer.put(kept[i], width[i]);
+    if (out.bitmap[i]) writer_.put(kept_[i], width_[i]);
   }
-  enc.payload_bit_count = writer.bit_count();
-  enc.payload = writer.finish();
-  return enc;
+  out.payload_bit_count = writer_.bit_count();
+  writer_.finish_into(out.payload);
 }
 
-std::vector<std::uint8_t> decode_column(const EncodedColumn& enc, std::size_t coeff_count,
-                                        const ColumnCodecConfig& config) {
+void ColumnDecoder::decode(const EncodedColumn& enc, std::size_t coeff_count,
+                           const ColumnCodecConfig& config, std::vector<std::uint8_t>& out) {
   check_count(coeff_count);
   if (enc.bitmap.size() != coeff_count) {
     throw std::invalid_argument("decode_column: bitmap size mismatch");
   }
   const std::size_t half = coeff_count / 2;
-  std::vector<std::uint8_t> out(coeff_count, 0);
+  const bool per_coeff_pre = config.granularity == NBitsGranularity::PerCoefficient &&
+                             config.nbits_policy == NBitsPolicy::PreThreshold;
+  out.assign(coeff_count, 0);
   BitReader reader(enc.payload);
   std::size_t nz_index = 0;
   for (std::size_t i = 0; i < coeff_count; ++i) {
@@ -102,12 +123,29 @@ std::vector<std::uint8_t> decode_column(const EncodedColumn& enc, std::size_t co
         nbits = enc.nbits.at(0);
         break;
       case NBitsGranularity::PerCoefficient:
-        nbits = enc.nbits.at(nz_index);
+        // PreThreshold carries one field per coefficient (row-indexed);
+        // PostThreshold packs fields densely over the non-zero ones.
+        nbits = enc.nbits.at(per_coeff_pre ? i : nz_index);
         break;
     }
     out[i] = sign_extend_u8(reader.get(nbits), nbits);
     ++nz_index;
   }
+}
+
+EncodedColumn encode_column(std::span<const std::uint8_t> coeffs, const ColumnCodecConfig& config,
+                            bool column_is_even) {
+  ColumnEncoder encoder;
+  EncodedColumn enc;
+  encoder.encode(coeffs, config, column_is_even, enc);
+  return enc;
+}
+
+std::vector<std::uint8_t> decode_column(const EncodedColumn& enc, std::size_t coeff_count,
+                                        const ColumnCodecConfig& config) {
+  ColumnDecoder decoder;
+  std::vector<std::uint8_t> out;
+  decoder.decode(enc, coeff_count, config, out);
   return out;
 }
 

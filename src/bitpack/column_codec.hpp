@@ -40,8 +40,13 @@ struct ColumnCodecConfig {
 };
 
 struct EncodedColumn {
-  // NBits fields in layout order (1, 2, or #nonzero entries depending on
-  // granularity); each value in [1, 8].
+  // NBits fields in layout order; each value in [1, 8]. Field count by
+  // granularity: PerSubBandColumn = 2, PerColumn = 1, PerCoefficient = one
+  // per non-zero coefficient under PostThreshold, or one per coefficient
+  // (indexed by row) under PreThreshold — the Section V-B hardware computes
+  // NBits from the raw inputs before the threshold comparator resolves
+  // significance, so at per-coefficient granularity every coefficient
+  // carries a width field sized from the raw value.
   std::vector<std::uint8_t> nbits;
   // One significance bit per coefficient, row order.
   std::vector<std::uint8_t> bitmap;
@@ -59,21 +64,49 @@ struct EncodedColumn {
   }
 };
 
-// Encodes one coefficient column. `column_is_even` selects the sub-band pair
-// (even columns hold LL+LH and are affected by threshold_ll=false).
-// Coefficient count must be even and non-zero.
+// Reusable encoder: owns the per-column scratch (thresholded values, width
+// table, bit writer) so the steady-state encode loop performs no heap
+// allocation. One instance per thread/run; not thread-safe.
+class ColumnEncoder {
+ public:
+  // Encodes one coefficient column into `out`, reusing `out`'s buffers.
+  // `column_is_even` selects the sub-band pair (even columns hold LL+LH and
+  // are affected by threshold_ll = false). Count must be even and non-zero.
+  void encode(std::span<const std::uint8_t> coeffs, const ColumnCodecConfig& config,
+              bool column_is_even, EncodedColumn& out);
+
+ private:
+  std::vector<std::uint8_t> kept_;
+  std::vector<std::uint8_t> width_;  // resolved payload width per coefficient
+  BitWriter writer_;
+};
+
+// Reusable decoder: decodes into a caller-owned output buffer (reusing its
+// capacity). Stateless today; kept as a class so decode scratch can grow
+// without touching call sites.
+class ColumnDecoder {
+ public:
+  // Reconstructs the (thresholded) coefficient column into `out`. With
+  // threshold 0 this is the exact inverse of ColumnEncoder::encode.
+  void decode(const EncodedColumn& enc, std::size_t coeff_count,
+              const ColumnCodecConfig& config, std::vector<std::uint8_t>& out);
+};
+
+// One-shot conveniences wrapping ColumnEncoder/ColumnDecoder (allocate per
+// call; use the classes directly on hot paths).
 [[nodiscard]] EncodedColumn encode_column(std::span<const std::uint8_t> coeffs,
                                           const ColumnCodecConfig& config,
                                           bool column_is_even = true);
 
-// Reconstructs the (thresholded) coefficient column. With threshold 0 this
-// is the exact inverse of encode_column.
 [[nodiscard]] std::vector<std::uint8_t> decode_column(const EncodedColumn& enc,
                                                       std::size_t coeff_count,
                                                       const ColumnCodecConfig& config);
 
 // The thresholded coefficients themselves (what a decoder will see); useful
-// for computing reconstruction error without a full decode.
+// for computing reconstruction error without a full decode. The _into form
+// reuses `out`'s capacity.
+void apply_threshold_into(std::span<const std::uint8_t> coeffs, const ColumnCodecConfig& config,
+                          bool column_is_even, std::vector<std::uint8_t>& out);
 [[nodiscard]] std::vector<std::uint8_t> apply_threshold(std::span<const std::uint8_t> coeffs,
                                                         const ColumnCodecConfig& config,
                                                         bool column_is_even = true);

@@ -40,6 +40,8 @@ void accumulate_column(BandCost& cost, const bitpack::EncodedColumn& enc,
 
   // Payload split per sub-band and per stream. Re-derive each coefficient's
   // width the same way the codec did, so the split sums to payload_bit_count.
+  const bool per_coeff_pre = codec.granularity == bitpack::NBitsGranularity::PerCoefficient &&
+                             codec.nbits_policy == bitpack::NBitsPolicy::PreThreshold;
   std::size_t nz_index = 0;
   std::size_t check_total = 0;
   for (std::size_t i = 0; i < n; ++i) {
@@ -53,7 +55,8 @@ void accumulate_column(BandCost& cost, const bitpack::EncodedColumn& enc,
         width = enc.nbits.at(0);
         break;
       case bitpack::NBitsGranularity::PerCoefficient:
-        width = enc.nbits.at(nz_index);
+        // PreThreshold carries one row-indexed field per coefficient.
+        width = enc.nbits.at(per_coeff_pre ? i : nz_index);
         break;
     }
     ++nz_index;

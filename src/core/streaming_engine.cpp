@@ -1,12 +1,11 @@
 #include "core/streaming_engine.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
 #include <string>
 
-#include "bitpack/column_codec.hpp"
 #include "bitpack/nbits.hpp"
-#include "wavelet/column_decomposer.hpp"
 
 namespace swc::core {
 namespace {
@@ -54,30 +53,39 @@ void CompressedEngine::flush_tail(std::size_t last_r, RunState& st) const {
 
 void CompressedEngine::recompress_and_shift(const image::ImageU8& img, std::size_t r,
                                             RunState& st) const {
+  using Clock = std::chrono::steady_clock;
   const std::size_t n = config_.spec.window;
   const std::size_t w = config_.spec.image_width;
   const auto& codec = config_.codec;
 
   RowTransitionStats row_stats;
-  std::vector<std::size_t> stream_bits(n, 0);
-  std::vector<std::uint8_t> c0(n);
-  std::vector<std::uint8_t> c1(n);
-  std::vector<std::uint8_t> next(n * w);
+  st.stream_bits.assign(n, 0);
+  st.c0.resize(n);
+  st.c1.resize(n);
+  // Every cell of `next` is overwritten below (rows 0..n-2 per column pair,
+  // row n-1 from the input row), so stale content is never read.
+  st.next.resize(n * w);
 
   for (std::size_t x = 0; x + 1 < w; x += 2) {
     for (std::size_t y = 0; y < n; ++y) {
-      c0[y] = st.band[y * w + x];
-      c1[y] = st.band[y * w + x + 1];
+      st.c0[y] = st.band[y * w + x];
+      st.c1[y] = st.band[y * w + x + 1];
     }
-    const wavelet::CoeffColumnPair coeffs = wavelet::decompose_column_pair(c0, c1);
-    const auto enc_even = bitpack::encode_column(coeffs.even, codec, /*column_is_even=*/true);
-    const auto enc_odd = bitpack::encode_column(coeffs.odd, codec, /*column_is_even=*/false);
-    row_stats.payload_bits += enc_even.payload_bit_count + enc_odd.payload_bit_count;
-    row_stats.management_bits += enc_even.management_bits() + enc_odd.management_bits();
+    wavelet::decompose_column_pair_into(st.c0, st.c1, st.coeffs);
 
-    const auto dec_even = bitpack::decode_column(enc_even, n, codec);
-    const auto dec_odd = bitpack::decode_column(enc_odd, n, codec);
-    const wavelet::PixelColumnPair pixels = wavelet::recompose_column_pair(dec_even, dec_odd);
+    const auto codec_t0 = Clock::now();
+    st.encoder.encode(st.coeffs.even, codec, /*column_is_even=*/true, st.enc_even);
+    st.encoder.encode(st.coeffs.odd, codec, /*column_is_even=*/false, st.enc_odd);
+    st.decoder.decode(st.enc_even, n, codec, st.dec_even);
+    st.decoder.decode(st.enc_odd, n, codec, st.dec_odd);
+    st.stats.codec_ns += static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - codec_t0).count());
+    st.stats.codec_columns += 2;
+
+    row_stats.payload_bits += st.enc_even.payload_bit_count + st.enc_odd.payload_bit_count;
+    row_stats.management_bits += st.enc_even.management_bits() + st.enc_odd.management_bits();
+
+    wavelet::recompose_column_pair_into(st.dec_even, st.dec_odd, st.pixels);
 
     // Per-stream (window row) occupancy for the FIFO-provisioning metric.
     const std::size_t half = n / 2;
@@ -95,29 +103,32 @@ void CompressedEngine::recompress_and_shift(const image::ImageU8& img, std::size
             break;
           case bitpack::NBitsGranularity::PerCoefficient:
             // Per-coefficient mode sizes each value by its own width; the
-            // decoded value reproduces that width exactly.
+            // decoded value reproduces that width exactly (under either
+            // NBits policy the payload field of a significant coefficient is
+            // its own minimal width).
             width = static_cast<std::size_t>(bitpack::min_bits_u8(decoded[i]));
             break;
         }
-        stream_bits[i] += width;
+        st.stream_bits[i] += width;
       }
     };
-    add_stream(enc_even, dec_even);
-    add_stream(enc_odd, dec_odd);
+    add_stream(st.enc_even, st.dec_even);
+    add_stream(st.enc_odd, st.dec_odd);
 
     // Shift up one row while writing back the reconstructed columns.
     for (std::size_t y = 1; y < n; ++y) {
-      next[(y - 1) * w + x] = pixels.col0[y];
-      next[(y - 1) * w + x + 1] = pixels.col1[y];
+      st.next[(y - 1) * w + x] = st.pixels.col0[y];
+      st.next[(y - 1) * w + x + 1] = st.pixels.col1[y];
     }
   }
 
   const auto input = img.row(r + n);
-  std::copy(input.begin(), input.end(), next.begin() + static_cast<std::ptrdiff_t>((n - 1) * w));
-  st.band = std::move(next);
+  std::copy(input.begin(), input.end(),
+            st.next.begin() + static_cast<std::ptrdiff_t>((n - 1) * w));
+  std::swap(st.band, st.next);
 
   st.stats.note_row(row_stats);
-  for (const auto bits : stream_bits) {
+  for (const auto bits : st.stream_bits) {
     st.stats.max_stream_bits = std::max(st.stats.max_stream_bits, bits);
   }
 }

@@ -28,8 +28,10 @@
 #include <cstdint>
 #include <vector>
 
+#include "bitpack/column_codec.hpp"
 #include "core/config.hpp"
 #include "image/image.hpp"
+#include "wavelet/column_decomposer.hpp"
 
 namespace swc::core {
 
@@ -64,10 +66,20 @@ struct RunStats {
   std::size_t max_stream_bits = 0;   // worst single window-row FIFO stream
   std::size_t max_row_bits = 0;      // worst whole-buffer occupancy
   std::size_t windows_emitted = 0;
+  // Wall time spent in the column codec (encode + decode) and the number of
+  // columns it processed, for ns/column observability in the runtime layer.
+  std::uint64_t codec_ns = 0;
+  std::uint64_t codec_columns = 0;
 
   void note_row(const RowTransitionStats& row) {
     per_row.push_back(row);
     max_row_bits = std::max(max_row_bits, row.total_bits());
+  }
+
+  [[nodiscard]] double codec_ns_per_column() const noexcept {
+    return codec_columns == 0
+               ? 0.0
+               : static_cast<double>(codec_ns) / static_cast<double>(codec_columns);
   }
 
   [[nodiscard]] std::size_t total_payload_bits() const noexcept {
@@ -89,6 +101,8 @@ struct RunStats {
     max_stream_bits = std::max(max_stream_bits, other.max_stream_bits);
     max_row_bits = std::max(max_row_bits, other.max_row_bits);
     windows_emitted += other.windows_emitted;
+    codec_ns += other.codec_ns;
+    codec_columns += other.codec_columns;
   }
 };
 
@@ -188,11 +202,23 @@ class CompressedEngine {
   [[nodiscard]] const EngineConfig& config() const noexcept { return config_; }
 
  private:
-  // Per-run state; every pass owns one on its own stack.
+  // Per-run state; every pass owns one on its own stack. Besides the band
+  // buffer it carries the codec/wavelet scratch reused across every column
+  // of every row transition, so the steady-state hot loop is allocation-free.
   struct RunState {
     std::vector<std::uint8_t> band;
     image::ImageU8 reconstructed;
     RunStats stats;
+
+    bitpack::ColumnEncoder encoder;
+    bitpack::ColumnDecoder decoder;
+    bitpack::EncodedColumn enc_even, enc_odd;
+    std::vector<std::uint8_t> dec_even, dec_odd;
+    std::vector<std::uint8_t> c0, c1;
+    wavelet::CoeffColumnPair coeffs;
+    wavelet::PixelColumnPair pixels;
+    std::vector<std::size_t> stream_bits;
+    std::vector<std::uint8_t> next;
   };
 
   void begin_run(const image::ImageU8& img, RunState& st) const;

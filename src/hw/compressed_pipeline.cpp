@@ -37,9 +37,9 @@ void CompressedPipeline::compress_entering_column(const std::vector<std::uint8_t
   const std::size_t half = n / 2;
   const bool column_is_even = (k % 2) == 0;
 
-  // Threshold + NBits exactly as bitpack::encode_column (golden model).
-  const std::vector<std::uint8_t> kept =
-      bitpack::apply_threshold(coeffs, config_.codec, column_is_even);
+  // Threshold + NBits exactly as bitpack::ColumnEncoder (golden model).
+  bitpack::apply_threshold_into(coeffs, config_.codec, column_is_even, kept_);
+  const std::vector<std::uint8_t>& kept = kept_;
   const std::span<const std::uint8_t> basis =
       config_.codec.nbits_policy == bitpack::NBitsPolicy::PreThreshold
           ? std::span<const std::uint8_t>(coeffs)
@@ -93,21 +93,21 @@ void CompressedPipeline::decompress_for_cycle(std::size_t t) {
 
   // Unpack the coefficient column pair (g, g+1) and run the inverse 2-D
   // transform; the even pixel column is needed this cycle.
-  std::vector<std::uint8_t> coeff_even(n);
-  std::vector<std::uint8_t> coeff_odd(n);
+  coeff_even_.resize(n);
+  coeff_odd_.resize(n);
   for (const bool odd_member : {false, true}) {
     const NBitsEntry nb = memory_.pop_nbits();
     const BitmapWord bm = memory_.pop_bitmap();
-    auto& out = odd_member ? coeff_odd : coeff_even;
+    auto& out = odd_member ? coeff_odd_ : coeff_even_;
     for (std::size_t i = 0; i < n; ++i) {
       const int width = i < half ? nb.top : nb.bottom;
       out[i] = unpackers_[i].step(width, bm.get(i),
                                   [this, i] { return memory_.pop_byte(i); });
     }
   }
-  const wavelet::PixelColumnPair pixels = wavelet::recompose_column_pair(coeff_even, coeff_odd);
-  recon_ = pixels.col0;
-  recon_next_ = pixels.col1;
+  wavelet::recompose_column_pair_into(coeff_even_, coeff_odd_, pixels_);
+  recon_ = pixels_.col0;
+  recon_next_ = pixels_.col1;
 }
 
 bool CompressedPipeline::step(std::uint8_t pixel) {

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "core/config.hpp"
+#include "wavelet/column_decomposer.hpp"
 #include "hw/bitpack_unit.hpp"
 #include "hw/bitunpack_unit.hpp"
 #include "hw/iwt_module.hpp"
@@ -79,6 +80,10 @@ class CompressedPipeline {
   std::vector<std::uint8_t> recon_;        // reconstructed column for this cycle
   std::vector<std::uint8_t> recon_next_;   // odd pair member for the next cycle
   std::vector<std::uint8_t> new_column_;
+  std::vector<std::uint8_t> kept_;         // threshold scratch (per entering column)
+  std::vector<std::uint8_t> coeff_even_;   // unpack staging for the column pair
+  std::vector<std::uint8_t> coeff_odd_;
+  wavelet::PixelColumnPair pixels_;        // IIWT output scratch
 
   std::size_t cycles_ = 0;
   std::size_t windows_emitted_ = 0;

@@ -1,5 +1,6 @@
 #include "image/pgm_io.hpp"
 
+#include <cctype>
 #include <fstream>
 #include <istream>
 #include <limits>

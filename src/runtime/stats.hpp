@@ -49,7 +49,17 @@ struct StreamStatsSnapshot {
   std::uint64_t payload_bits = 0;
   std::uint64_t management_bits = 0;
   std::size_t max_row_bits = 0;  // worst buffer occupancy seen on any frame
+  // Time spent inside the column codec (encode + decode) and columns coded,
+  // so per-column codec cost is observable per stream.
+  std::uint64_t codec_ns = 0;
+  std::uint64_t codec_columns = 0;
   LatencyAccumulator latency;
+
+  [[nodiscard]] double codec_ns_per_column() const noexcept {
+    return codec_columns == 0
+               ? 0.0
+               : static_cast<double>(codec_ns) / static_cast<double>(codec_columns);
+  }
 };
 
 // Point-in-time view of the whole server.

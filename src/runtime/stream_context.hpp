@@ -86,6 +86,8 @@ class StreamContext {
     payload_bits_ += stats.total_payload_bits();
     management_bits_ += stats.total_management_bits();
     if (stats.max_row_bits > max_row_bits_) max_row_bits_ = stats.max_row_bits;
+    codec_ns_ += stats.codec_ns;
+    codec_columns_ += stats.codec_columns;
     latency_.note(latency_ns);
   }
 
@@ -102,6 +104,8 @@ class StreamContext {
     snap.payload_bits = payload_bits_;
     snap.management_bits = management_bits_;
     snap.max_row_bits = max_row_bits_;
+    snap.codec_ns = codec_ns_;
+    snap.codec_columns = codec_columns_;
     snap.latency = latency_;
     return snap;
   }
@@ -121,6 +125,8 @@ class StreamContext {
   std::uint64_t payload_bits_ = 0;
   std::uint64_t management_bits_ = 0;
   std::size_t max_row_bits_ = 0;
+  std::uint64_t codec_ns_ = 0;
+  std::uint64_t codec_columns_ = 0;
   LatencyAccumulator latency_;
 };
 

@@ -12,12 +12,11 @@ void check_columns(std::size_t n0, std::size_t n1) {
 
 }  // namespace
 
-CoeffColumnPair decompose_column_pair(std::span<const std::uint8_t> col0,
-                                      std::span<const std::uint8_t> col1) {
+void decompose_column_pair_into(std::span<const std::uint8_t> col0,
+                                std::span<const std::uint8_t> col1, CoeffColumnPair& out) {
   check_columns(col0.size(), col1.size());
   const std::size_t n = col0.size();
   const std::size_t half = n / 2;
-  CoeffColumnPair out;
   out.even.resize(n);
   out.odd.resize(n);
   for (std::size_t k = 0; k < half; ++k) {
@@ -28,15 +27,20 @@ CoeffColumnPair decompose_column_pair(std::span<const std::uint8_t> col0,
     out.odd[k] = c.hl;
     out.odd[half + k] = c.hh;
   }
+}
+
+CoeffColumnPair decompose_column_pair(std::span<const std::uint8_t> col0,
+                                      std::span<const std::uint8_t> col1) {
+  CoeffColumnPair out;
+  decompose_column_pair_into(col0, col1, out);
   return out;
 }
 
-PixelColumnPair recompose_column_pair(std::span<const std::uint8_t> even,
-                                      std::span<const std::uint8_t> odd) {
+void recompose_column_pair_into(std::span<const std::uint8_t> even,
+                                std::span<const std::uint8_t> odd, PixelColumnPair& out) {
   check_columns(even.size(), odd.size());
   const std::size_t n = even.size();
   const std::size_t half = n / 2;
-  PixelColumnPair out;
   out.col0.resize(n);
   out.col1.resize(n);
   for (std::size_t k = 0; k < half; ++k) {
@@ -47,6 +51,12 @@ PixelColumnPair recompose_column_pair(std::span<const std::uint8_t> even,
     out.col0[2 * k + 1] = p.x10;
     out.col1[2 * k + 1] = p.x11;
   }
+}
+
+PixelColumnPair recompose_column_pair(std::span<const std::uint8_t> even,
+                                      std::span<const std::uint8_t> odd) {
+  PixelColumnPair out;
+  recompose_column_pair_into(even, odd, out);
   return out;
 }
 

@@ -36,7 +36,10 @@ struct CoeffColumnPair {
 };
 
 // Forward transform of two adjacent pixel columns of equal, even length.
-// Throws std::invalid_argument on length mismatch or odd length.
+// Throws std::invalid_argument on length mismatch or odd length. The _into
+// form reuses `out`'s buffers (allocation-free at steady state).
+void decompose_column_pair_into(std::span<const std::uint8_t> col0,
+                                std::span<const std::uint8_t> col1, CoeffColumnPair& out);
 [[nodiscard]] CoeffColumnPair decompose_column_pair(std::span<const std::uint8_t> col0,
                                                     std::span<const std::uint8_t> col1);
 
@@ -46,6 +49,8 @@ struct PixelColumnPair {
 };
 
 // Exact inverse of decompose_column_pair (threshold 0).
+void recompose_column_pair_into(std::span<const std::uint8_t> even,
+                                std::span<const std::uint8_t> odd, PixelColumnPair& out);
 [[nodiscard]] PixelColumnPair recompose_column_pair(std::span<const std::uint8_t> even,
                                                     std::span<const std::uint8_t> odd);
 

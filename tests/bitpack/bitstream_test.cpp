@@ -61,6 +61,53 @@ TEST(BitStream, FinishPadsWithZeros) {
   EXPECT_EQ(bytes[0], 0b00000011);
 }
 
+TEST(BitStream, WriterReuseAfterFinishStartsClean) {
+  // Regression: finish() used to leave bit_count_ stale, so a reused writer
+  // reported inflated bit counts and corrupted payload_bit_count accounting.
+  BitWriter writer;
+  writer.put(0b10110, 5);
+  writer.put(0xAB, 8);
+  EXPECT_EQ(writer.bit_count(), 13u);
+  const auto first = writer.finish();
+  EXPECT_EQ(writer.bit_count(), 0u);
+
+  writer.put(0b101, 3);
+  EXPECT_EQ(writer.bit_count(), 3u);
+  const auto second = writer.finish();
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_EQ(second[0], 0b101);
+
+  // The first stream is unaffected by the reuse.
+  ASSERT_EQ(first.size(), 2u);
+  EXPECT_EQ(first[0], 0b01110110);
+  EXPECT_EQ(first[1], 0b00010101);
+}
+
+TEST(BitStream, FinishIntoReusesOutputBuffer) {
+  BitWriter writer;
+  std::vector<std::uint8_t> out{9, 9, 9, 9};  // stale content must be replaced
+  writer.put(0xF0F, 12);
+  EXPECT_EQ(writer.bit_count(), 12u);
+  writer.finish_into(out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], 0x0F);
+  EXPECT_EQ(out[1], 0x0F);
+  EXPECT_EQ(writer.bit_count(), 0u);
+
+  writer.put(0x3, 2);
+  writer.finish_into(out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 0x3);
+}
+
+TEST(BitStream, ResetDropsBufferedBits) {
+  BitWriter writer;
+  writer.put(0xFFFF, 16);
+  writer.reset();
+  EXPECT_EQ(writer.bit_count(), 0u);
+  EXPECT_TRUE(writer.finish().empty());
+}
+
 TEST(BitStream, ZeroBitPutIsNoOp) {
   BitWriter writer;
   writer.put(0xFFFF, 0);

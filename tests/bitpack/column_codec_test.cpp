@@ -163,6 +163,115 @@ TEST(ColumnCodec, HigherThresholdNeverIncreasesTotalBits) {
   }
 }
 
+TEST(ColumnCodec, PerCoefficientHonoursPreThresholdPolicy) {
+  // Regression: the PerCoefficient branch used to size widths from the
+  // thresholded values regardless of NBitsPolicy. Under PreThreshold the
+  // Section V-B hardware computes NBits from the raw inputs before the
+  // comparator resolves significance, so every coefficient carries a
+  // row-indexed width field sized from the raw value — including the
+  // sub-threshold ones the comparator zeroes.
+  ColumnCodecConfig post;
+  post.threshold = 4;
+  post.granularity = NBitsGranularity::PerCoefficient;
+  post.nbits_policy = NBitsPolicy::PostThreshold;
+  ColumnCodecConfig pre = post;
+  pre.nbits_policy = NBitsPolicy::PreThreshold;
+
+  // -3 and 2 are sub-threshold (zeroed); 13 and -9 survive.
+  const std::vector<std::uint8_t> coeffs{13, static_cast<std::uint8_t>(-3), 2,
+                                         static_cast<std::uint8_t>(-9)};
+  const EncodedColumn enc_post = encode_column(coeffs, post, /*column_is_even=*/false);
+  const EncodedColumn enc_pre = encode_column(coeffs, pre, /*column_is_even=*/false);
+
+  // Post: one field per non-zero (13 -> 5 bits, -9 -> 5 bits).
+  ASSERT_EQ(enc_post.nbits.size(), 2u);
+  EXPECT_EQ(enc_post.nbits[0], 5);
+  EXPECT_EQ(enc_post.nbits[1], 5);
+
+  // Pre: one field per coefficient, from the raw basis — the zeroed -3 and 2
+  // keep their raw widths (3), which differ from their post-threshold width.
+  ASSERT_EQ(enc_pre.nbits.size(), 4u);
+  EXPECT_EQ(enc_pre.nbits[0], 5);
+  EXPECT_EQ(enc_pre.nbits[1], 3);
+  EXPECT_EQ(enc_pre.nbits[2], 3);
+  EXPECT_EQ(enc_pre.nbits[3], 5);
+
+  // Payload covers only the significant coefficients under both policies,
+  // and both decode to the same thresholded column.
+  EXPECT_EQ(enc_post.payload_bit_count, 10u);
+  EXPECT_EQ(enc_pre.payload_bit_count, 10u);
+  const auto expect = apply_threshold(coeffs, post, /*column_is_even=*/false);
+  EXPECT_EQ(decode_column(enc_post, 4, post), expect);
+  EXPECT_EQ(decode_column(enc_pre, 4, pre), expect);
+}
+
+TEST(ColumnCodec, FullGranularityPolicyThresholdMatrixRoundTrips) {
+  // Every granularity x NBits policy x threshold x threshold_ll combination
+  // must decode to exactly the thresholded input (and the original input at
+  // threshold 0), on seeded random columns of several sizes.
+  for (const auto granularity :
+       {NBitsGranularity::PerSubBandColumn, NBitsGranularity::PerColumn,
+        NBitsGranularity::PerCoefficient}) {
+    for (const auto policy : {NBitsPolicy::PostThreshold, NBitsPolicy::PreThreshold}) {
+      for (const int threshold : {0, 1, 3, 7, 16}) {
+        for (const bool threshold_ll : {true, false}) {
+          ColumnCodecConfig config;
+          config.granularity = granularity;
+          config.nbits_policy = policy;
+          config.threshold = threshold;
+          config.threshold_ll = threshold_ll;
+          for (const std::size_t n : {std::size_t{4}, std::size_t{16}, std::size_t{64}}) {
+            for (std::uint64_t seed = 0; seed < 5; ++seed) {
+              const auto coeffs = random_coeffs(n, seed * 131 + n, 24);
+              for (const bool even : {true, false}) {
+                const EncodedColumn enc = encode_column(coeffs, config, even);
+                const auto decoded = decode_column(enc, n, config);
+                ASSERT_EQ(decoded, apply_threshold(coeffs, config, even))
+                    << "g=" << static_cast<int>(granularity)
+                    << " p=" << static_cast<int>(policy) << " t=" << threshold
+                    << " ll=" << threshold_ll << " n=" << n << " seed=" << seed;
+                if (threshold == 0) {
+                  ASSERT_EQ(decoded, coeffs);
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(ColumnCodec, ReusedEncoderDecoderMatchesOneShotFunctions) {
+  // One ColumnEncoder/ColumnDecoder instance recycled across many columns
+  // and configs must produce streams identical to the one-shot wrappers.
+  ColumnEncoder encoder;
+  ColumnDecoder decoder;
+  EncodedColumn enc;
+  std::vector<std::uint8_t> decoded;
+  for (const auto granularity :
+       {NBitsGranularity::PerSubBandColumn, NBitsGranularity::PerColumn,
+        NBitsGranularity::PerCoefficient}) {
+    for (std::uint64_t seed = 0; seed < 25; ++seed) {
+      ColumnCodecConfig config;
+      config.granularity = granularity;
+      config.threshold = static_cast<int>(seed % 5);
+      const auto coeffs = random_coeffs(16, seed, 30);
+      const bool even = seed % 2 == 0;
+
+      encoder.encode(coeffs, config, even, enc);
+      const EncodedColumn expected = encode_column(coeffs, config, even);
+      ASSERT_EQ(enc.nbits, expected.nbits) << "seed=" << seed;
+      ASSERT_EQ(enc.bitmap, expected.bitmap) << "seed=" << seed;
+      ASSERT_EQ(enc.payload, expected.payload) << "seed=" << seed;
+      ASSERT_EQ(enc.payload_bit_count, expected.payload_bit_count) << "seed=" << seed;
+
+      decoder.decode(enc, 16, config, decoded);
+      ASSERT_EQ(decoded, decode_column(expected, 16, config)) << "seed=" << seed;
+    }
+  }
+}
+
 TEST(ColumnCodec, RejectsOddOrEmptyColumns) {
   ColumnCodecConfig config;
   EXPECT_THROW((void)encode_column(std::vector<std::uint8_t>{1, 2, 3}, config),
