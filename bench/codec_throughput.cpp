@@ -1,16 +1,20 @@
 // Codec hot-path throughput: MB/s of the word-parallel BitWriter/BitReader
-// against the retained bit-serial reference (bitstream_ref.hpp), and MB/s of
-// the full column encode/decode at each NBits granularity using the reusable
-// ColumnEncoder/ColumnDecoder. Results are printed as a table and written as
-// codec_throughput.json next to the other bench artifacts so the speedup
-// claim (>= 3x pack/unpack over bit-serial) is machine-checkable.
+// against the retained bit-serial reference (bitstream_ref.hpp), MB/s of the
+// full column encode/decode at each NBits granularity using the reusable
+// ColumnEncoder/ColumnDecoder, and MB/s of the wavelet+threshold+NBits stage
+// on the per-pair scalar baseline vs the row-blocked batch-kernel path for
+// every SIMD table the CPU supports. Results are printed as tables and
+// written as the standardized BENCH_codec.json artifact so the speedup
+// claims (>= 3x pack/unpack over bit-serial, >= 2x batched wavelet stage)
+// are machine-checkable.
 //
 // SWC_BENCH_SECONDS scales the per-measurement time budget (default 0.2 s).
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
-#include <fstream>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -18,7 +22,11 @@
 #include "bitpack/bitstream.hpp"
 #include "bitpack/bitstream_ref.hpp"
 #include "bitpack/column_codec.hpp"
+#include "bitpack/nbits.hpp"
 #include "image/rng.hpp"
+#include "simd/batch_kernels.hpp"
+#include "wavelet/band_transform.hpp"
+#include "wavelet/haar.hpp"
 
 namespace {
 
@@ -100,6 +108,78 @@ struct CodecPoint {
   double encode_mb_s = 0.0;
   double decode_mb_s = 0.0;
 };
+
+// The PR-2-era wavelet+threshold+NBits stage: per column pair, strided
+// gathers and one 2x2 HaarBlockU8 lifting per block, then scalar threshold
+// and group_nbits per column. Kept inline here as the speedup baseline.
+std::uint32_t wavelet_stage_per_pair_scalar(const std::vector<std::uint8_t>& band, std::size_t n,
+                                            std::size_t w, int threshold,
+                                            std::vector<std::uint8_t>& even,
+                                            std::vector<std::uint8_t>& odd,
+                                            std::vector<std::uint8_t>& kept) {
+  const std::size_t half = n / 2;
+  std::uint32_t sink = 0;
+  even.resize(n);
+  odd.resize(n);
+  kept.resize(n);
+  for (std::size_t x = 0; x + 1 < w; x += 2) {
+    for (std::size_t i = 0; i < half; ++i) {
+      const auto block = swc::wavelet::haar2d_forward_u8(
+          band[(2 * i) * w + x], band[(2 * i) * w + x + 1], band[(2 * i + 1) * w + x],
+          band[(2 * i + 1) * w + x + 1]);
+      even[i] = block.ll;
+      even[half + i] = block.lh;
+      odd[i] = block.hl;
+      odd[half + i] = block.hh;
+    }
+    for (const bool is_even : {true, false}) {
+      const auto& col = is_even ? even : odd;
+      const std::size_t start = is_even ? half : 0;  // LL protected on even columns
+      for (std::size_t i = 0; i < start; ++i) kept[i] = col[i];
+      for (std::size_t i = start; i < n; ++i) {
+        kept[i] = swc::bitpack::is_significant(col[i], threshold) ? col[i] : std::uint8_t{0};
+      }
+      sink += static_cast<std::uint32_t>(
+          swc::bitpack::group_nbits(std::span(kept).subspan(0, half)) +
+          swc::bitpack::group_nbits(std::span(kept).subspan(half, half)));
+    }
+  }
+  return sink;
+}
+
+// The same stage on the batch path: one row-blocked band decomposition, then
+// per column pair a plane gather, batched threshold, and the Fig. 7 OR-bus
+// NBits kernel.
+std::uint32_t wavelet_stage_batch(const std::vector<std::uint8_t>& band, std::size_t n,
+                                  std::size_t w, int threshold,
+                                  const swc::simd::BatchKernelTable& table,
+                                  swc::wavelet::BandPlanes& planes,
+                                  swc::wavelet::BandScratch& scratch,
+                                  std::vector<std::uint8_t>& even, std::vector<std::uint8_t>& odd,
+                                  std::vector<std::uint8_t>& kept) {
+  const std::size_t half = n / 2;
+  std::uint32_t sink = 0;
+  even.resize(n);
+  odd.resize(n);
+  kept.resize(n);
+  swc::wavelet::decompose_band_into(band.data(), n, w, planes, scratch, table);
+  for (std::size_t j = 0; 2 * j + 1 < w; ++j) {
+    swc::wavelet::gather_column_pair(planes, j, even.data(), odd.data());
+    for (const bool is_even : {true, false}) {
+      const auto& col = is_even ? even : odd;
+      if (is_even) {
+        std::copy_n(col.data(), half, kept.data());  // LL protected
+        table.threshold(col.data() + half, kept.data() + half, half, threshold);
+      } else {
+        table.threshold(col.data(), kept.data(), n, threshold);
+      }
+      sink += static_cast<std::uint32_t>(
+          swc::bitpack::nbits_from_or_bus(table.nbits_or_bus(kept.data(), half)) +
+          swc::bitpack::nbits_from_or_bus(table.nbits_or_bus(kept.data() + half, half)));
+    }
+  }
+  return sink;
+}
 
 }  // namespace
 
@@ -202,28 +282,91 @@ int main() {
     codec_points.push_back(point);
   }
 
-  // --- JSON artifact ------------------------------------------------------
-  const char* json_path = "codec_throughput.json";
-  std::ofstream json(json_path);
-  json << "{\n  \"workload\": {\"fields\": " << kFields << ", \"stream_bytes\": " << stream_bytes
-       << ", \"columns\": " << kColumns << ", \"column_len\": " << kColumnLen << "},\n"
-       << "  \"pack\": {\"word_mb_s\": " << pack_word << ", \"bit_serial_mb_s\": " << pack_ref
-       << ", \"speedup\": " << pack_speedup << "},\n"
-       << "  \"unpack\": {\"word_mb_s\": " << unpack_word
-       << ", \"bit_serial_mb_s\": " << unpack_ref << ", \"speedup\": " << unpack_speedup
-       << "},\n  \"column_codec\": [\n";
-  for (std::size_t i = 0; i < codec_points.size(); ++i) {
-    const auto& p = codec_points[i];
-    json << "    {\"granularity\": \"" << p.granularity << "\", \"encode_mb_s\": " << p.encode_mb_s
-         << ", \"decode_mb_s\": " << p.decode_mb_s << "}"
-         << (i + 1 < codec_points.size() ? "," : "") << "\n";
+  // --- Wavelet + threshold + NBits stage: per-pair scalar baseline vs the
+  // --- batched band path on every table this CPU supports ------------------
+  constexpr std::size_t kBandRows = 16;   // window height N
+  constexpr std::size_t kBandWidth = 512;
+  constexpr int kStageThreshold = 2;
+  const std::size_t band_bytes = kBandRows * kBandWidth;
+  std::vector<std::uint8_t> band(band_bytes);
+  {
+    image::SplitMix64 rng(4242);
+    for (auto& v : band) v = static_cast<std::uint8_t>(rng.next());
   }
-  json << "  ]\n}\n";
-  json.close();
-  std::printf("\nwrote %s\n", json_path);
+  std::vector<std::uint8_t> col_even, col_odd, kept;
+  volatile std::uint32_t stage_sink = 0;
+
+  std::printf("\nwavelet+threshold+NBits stage (band %zux%zu, threshold %d)\n", kBandRows,
+              kBandWidth, kStageThreshold);
+  std::printf("  %-18s %14s %10s\n", "path", "MB/s", "speedup");
+  const double stage_baseline = measure_mb_s(band_bytes, [&] {
+    stage_sink = wavelet_stage_per_pair_scalar(band, kBandRows, kBandWidth, kStageThreshold,
+                                               col_even, col_odd, kept);
+  });
+  std::printf("  %-18s %14.1f %9s\n", "per_pair_scalar", stage_baseline, "1.00x");
+
+  struct StagePoint {
+    const char* table;
+    double mb_s;
+  };
+  std::vector<StagePoint> stage_points;
+  wavelet::BandPlanes planes;
+  wavelet::BandScratch band_scratch;
+  for (const auto* table : simd::available_tables()) {
+    const double mb_s = measure_mb_s(band_bytes, [&] {
+      stage_sink = wavelet_stage_batch(band, kBandRows, kBandWidth, kStageThreshold, *table,
+                                       planes, band_scratch, col_even, col_odd, kept);
+    });
+    stage_points.push_back({table->name, mb_s});
+    std::printf("  batch_%-12s %14.1f %9.2fx\n", table->name, mb_s, mb_s / stage_baseline);
+  }
+  (void)stage_sink;
+  const double stage_best = stage_points.empty() ? 0.0 : stage_points.back().mb_s;
+  const double stage_speedup = stage_best / stage_baseline;
+
+  // --- Standardized JSON artifact -----------------------------------------
+  std::vector<benchx::BenchRecord> records;
+  const std::string bitstream_cfg =
+      "fields=" + std::to_string(kFields) + " widths=1..8";
+  records.push_back({"bitstream_pack", bitstream_cfg + " path=word", "throughput", pack_word,
+                     "MB/s"});
+  records.push_back({"bitstream_pack", bitstream_cfg + " path=bit_serial", "throughput", pack_ref,
+                     "MB/s"});
+  records.push_back({"bitstream_pack", bitstream_cfg, "speedup", pack_speedup, "x"});
+  records.push_back({"bitstream_unpack", bitstream_cfg + " path=word", "throughput", unpack_word,
+                     "MB/s"});
+  records.push_back({"bitstream_unpack", bitstream_cfg + " path=bit_serial", "throughput",
+                     unpack_ref, "MB/s"});
+  records.push_back({"bitstream_unpack", bitstream_cfg, "speedup", unpack_speedup, "x"});
+  const std::string codec_cfg = "columns=" + std::to_string(kColumns) +
+                                " column_len=" + std::to_string(kColumnLen) + " threshold=2";
+  for (const auto& p : codec_points) {
+    records.push_back({"column_encode", codec_cfg + " granularity=" + p.granularity, "throughput",
+                       p.encode_mb_s, "MB/s"});
+    records.push_back({"column_decode", codec_cfg + " granularity=" + p.granularity, "throughput",
+                       p.decode_mb_s, "MB/s"});
+  }
+  const std::string stage_cfg = "n=" + std::to_string(kBandRows) +
+                                " w=" + std::to_string(kBandWidth) +
+                                " threshold=" + std::to_string(kStageThreshold);
+  records.push_back({"wavelet_stage", stage_cfg + " path=per_pair_scalar", "throughput",
+                     stage_baseline, "MB/s"});
+  for (const auto& p : stage_points) {
+    records.push_back({"wavelet_stage", stage_cfg + " path=batch_" + p.table, "throughput",
+                       p.mb_s, "MB/s"});
+  }
+  records.push_back({"wavelet_stage",
+                     stage_cfg + " best=batch_" +
+                         (stage_points.empty() ? "none" : std::string(stage_points.back().table)),
+                     "speedup_vs_per_pair_scalar", stage_speedup, "x"});
+  benchx::write_bench_json("BENCH_codec.json", "codec_throughput", records);
 
   if (pack_speedup < 3.0 || unpack_speedup < 3.0) {
-    std::printf("WARNING: speedup below the 3x acceptance threshold\n");
+    std::printf("WARNING: pack/unpack speedup below the 3x acceptance threshold\n");
+    return 1;
+  }
+  if (stage_speedup < 2.0) {
+    std::printf("WARNING: wavelet stage speedup below the 2x acceptance threshold\n");
     return 1;
   }
   return 0;

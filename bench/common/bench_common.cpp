@@ -1,7 +1,9 @@
 #include "bench_common.hpp"
 
+#include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <map>
 
 #include "image/pgm_io.hpp"
@@ -98,6 +100,49 @@ void print_header(const std::string& experiment, const std::string& description)
   std::printf("================================================================\n");
   std::printf("%s\n%s\n", experiment.c_str(), description.c_str());
   std::printf("================================================================\n");
+}
+
+std::string git_rev() {
+  std::FILE* pipe = ::popen("git rev-parse --short HEAD 2>/dev/null", "r");
+  if (pipe == nullptr) return "unknown";
+  char buf[64] = {};
+  std::string rev;
+  if (std::fgets(buf, sizeof(buf), pipe) != nullptr) rev = buf;
+  ::pclose(pipe);
+  while (!rev.empty() && (rev.back() == '\n' || rev.back() == '\r')) rev.pop_back();
+  return rev.empty() ? "unknown" : rev;
+}
+
+namespace {
+
+// The strings we emit are identifiers and "k=v" configs; escape the two JSON
+// specials anyway so the artifact can never be malformed.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+void write_bench_json(const std::string& path, const std::string& bench,
+                      const std::vector<BenchRecord>& records) {
+  std::ofstream json(path);
+  json << "{\n  \"bench\": \"" << json_escape(bench) << "\",\n  \"git_rev\": \""
+       << json_escape(git_rev()) << "\",\n  \"records\": [\n";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const auto& r = records[i];
+    json << "    {\"name\": \"" << json_escape(r.name) << "\", \"config\": \""
+         << json_escape(r.config) << "\", \"metric\": \"" << json_escape(r.metric)
+         << "\", \"value\": " << r.value << ", \"unit\": \"" << json_escape(r.unit) << "\"}"
+         << (i + 1 < records.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  std::printf("wrote %s (git %s)\n", path.c_str(), git_rev().c_str());
 }
 
 }  // namespace swc::benchx

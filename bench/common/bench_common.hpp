@@ -40,4 +40,24 @@ inline constexpr std::size_t kEvalImages = 10;
 // Prints the standard bench header with the experiment identity.
 void print_header(const std::string& experiment, const std::string& description);
 
+// One measurement in the standardized BENCH_*.json artifact schema shared by
+// every throughput bench: what was measured (name), under which parameters
+// (config, a flat "k=v k=v" string), which quantity (metric), and its value.
+struct BenchRecord {
+  std::string name;
+  std::string config;
+  std::string metric;
+  double value = 0.0;
+  std::string unit;
+};
+
+// Short git revision of the working tree, or "unknown" outside a checkout.
+[[nodiscard]] std::string git_rev();
+
+// Writes `records` to `path` as the standardized artifact:
+//   {"bench": <bench>, "git_rev": <rev>, "records": [{name, config, metric,
+//    value, unit}, ...]}
+void write_bench_json(const std::string& path, const std::string& bench,
+                      const std::vector<BenchRecord>& records);
+
 }  // namespace swc::benchx

@@ -1,0 +1,127 @@
+// Window-kernel throughput: MWindows/s of the full-window kernels through
+// core::WindowView (which exposes contiguous rows, so the kernels take the
+// flat row-span fast path) against the same kernels forced onto the generic
+// at(wx, wy) accessor. Written as the standardized BENCH_kernels.json.
+//
+// SWC_BENCH_SECONDS scales the per-measurement time budget (default 0.2 s).
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/bench_common.hpp"
+#include "core/streaming_engine.hpp"
+#include "image/rng.hpp"
+#include "kernels/kernels.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double time_budget_seconds() {
+  if (const char* env = std::getenv("SWC_BENCH_SECONDS")) {
+    const double s = std::strtod(env, nullptr);
+    if (s > 0.0) return s;
+  }
+  return 0.2;
+}
+
+// Adapter hiding WindowView's row() so the kernels fall back to at(): the
+// exact code path every kernel ran before the row-span fast path existed.
+class ElementOnlyView {
+ public:
+  explicit ElementOnlyView(const swc::core::WindowView& view) noexcept : view_(view) {}
+  [[nodiscard]] std::uint8_t at(std::size_t wx, std::size_t wy) const noexcept {
+    return view_.at(wx, wy);
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return view_.size(); }
+
+ private:
+  const swc::core::WindowView& view_;
+};
+
+static_assert(swc::kernels::RowSpanWindow<swc::core::WindowView>);
+static_assert(!swc::kernels::RowSpanWindow<ElementOnlyView>);
+
+// One full sweep of the band through either accessor. noinline keeps every
+// kernel/accessor combination in its own optimization context — inlining all
+// ten loops into one frame makes GCC's -O3 vectorizer miss some of them.
+template <bool kRowSpan, typename Kernel>
+[[gnu::noinline]] std::uint64_t sweep_band(const Kernel& kernel, const std::uint8_t* band,
+                                           std::size_t width, std::size_t window,
+                                           std::size_t positions) {
+  std::uint64_t acc = 0;
+  for (std::size_t c = 0; c < positions; ++c) {
+    const swc::core::WindowView view(band, width, window, c);
+    if constexpr (kRowSpan) {
+      acc += static_cast<std::uint64_t>(kernel(0, c, view));
+    } else {
+      acc += static_cast<std::uint64_t>(kernel(0, c, ElementOnlyView(view)));
+    }
+  }
+  return acc;
+}
+
+// Runs `body` (which evaluates the kernel at every window position of the
+// band) until the budget is spent; returns million window evaluations/s.
+template <typename Body>
+double measure_mwindows_s(std::size_t windows_per_rep, const Body& body) {
+  const double budget = time_budget_seconds();
+  body();  // warm-up
+  std::size_t reps = 0;
+  const auto t0 = Clock::now();
+  double elapsed = 0.0;
+  do {
+    body();
+    ++reps;
+    elapsed = std::chrono::duration<double>(Clock::now() - t0).count();
+  } while (elapsed < budget);
+  return static_cast<double>(reps * windows_per_rep) / 1e6 / elapsed;
+}
+
+}  // namespace
+
+int main() {
+  using namespace swc;
+  benchx::print_header("Window-kernel throughput",
+                       "row-span fast path vs generic at() accessor, per kernel");
+
+  constexpr std::size_t kWindow = 16;
+  constexpr std::size_t kWidth = 512;
+  std::vector<std::uint8_t> band(kWindow * kWidth);
+  image::SplitMix64 rng(777);
+  for (auto& v : band) v = static_cast<std::uint8_t>(rng.next());
+  const std::size_t positions = kWidth - kWindow + 1;
+
+  std::vector<benchx::BenchRecord> records;
+  const std::string cfg = "window=" + std::to_string(kWindow) + " width=" + std::to_string(kWidth);
+  std::printf("band row of %zu window positions, window %zu\n", positions, kWindow);
+  std::printf("  %-10s %16s %16s %10s\n", "kernel", "row-span MW/s", "at() MW/s", "speedup");
+
+  const auto run_kernel = [&](const char* name, const auto& kernel) {
+    volatile std::uint64_t sink = 0;
+    const double fast = measure_mwindows_s(positions, [&] {
+      sink = sweep_band<true>(kernel, band.data(), kWidth, kWindow, positions);
+    });
+    const double generic = measure_mwindows_s(positions, [&] {
+      sink = sweep_band<false>(kernel, band.data(), kWidth, kWindow, positions);
+    });
+    (void)sink;
+    std::printf("  %-10s %16.2f %16.2f %9.2fx\n", name, fast, generic, fast / generic);
+    records.push_back({name, cfg + " path=row_span", "throughput", fast, "MWindows/s"});
+    records.push_back({name, cfg + " path=at", "throughput", generic, "MWindows/s"});
+    records.push_back({name, cfg, "speedup_row_span_vs_at", fast / generic, "x"});
+  };
+
+  run_kernel("box_mean", kernels::BoxMeanKernel{});
+  run_kernel("erode", kernels::ErodeKernel{});
+  run_kernel("dilate", kernels::DilateKernel{});
+  run_kernel("gaussian", kernels::GaussianKernel(kWindow, 3.0));
+  run_kernel("median", kernels::MedianKernel{});
+
+  std::printf("\n");
+  benchx::write_bench_json("BENCH_kernels.json", "kernel_throughput", records);
+  return 0;
+}

@@ -2,15 +2,14 @@
 // the FrameServer at 1/2/4/8 workers, for both engine kinds, on a synthetic
 // multi-stream workload (8 independent streams), plus the stripe-parallel
 // latency of a single large frame. Results are printed as a table and also
-// written as runtime_throughput.json next to the other bench outputs so the
-// scaling claim is machine-checkable.
+// written as the standardized BENCH_runtime.json artifact so the scaling
+// claim is machine-checkable.
 //
 // SWC_BENCH_FRAMES scales the per-stream frame count (default 3).
 
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
-#include <fstream>
 #include <string>
 #include <vector>
 
@@ -150,29 +149,26 @@ int main() {
     }
   }
 
-  // JSON artifact for machine consumption.
-  const char* json_path = "runtime_throughput.json";
-  std::ofstream json(json_path);
-  json << "{\n  \"workload\": {\"streams\": " << kStreams
-       << ", \"frames_per_stream\": " << frames_per_stream << ", \"width\": " << kSize
-       << ", \"height\": " << kSize << ", \"window\": " << kWindow << "},\n  \"points\": [\n";
-  for (std::size_t i = 0; i < points.size(); ++i) {
-    const auto& p = points[i];
-    json << "    {\"engine\": \"" << p.engine << "\", \"workers\": " << p.workers
-         << ", \"seconds\": " << p.seconds << ", \"fps\": " << p.fps
-         << ", \"mpixels_per_sec\": " << p.mpixels_per_sec
-         << ", \"mean_latency_ms\": " << p.mean_latency_ms
-         << ", \"worker_utilization\": " << p.utilization << "}"
-         << (i + 1 < points.size() ? "," : "") << "\n";
+  // Standardized JSON artifact for machine consumption.
+  std::vector<benchx::BenchRecord> records;
+  const std::string base_cfg = "streams=" + std::to_string(kStreams) +
+                               " frames_per_stream=" + std::to_string(frames_per_stream) +
+                               " size=" + std::to_string(kSize) +
+                               " window=" + std::to_string(kWindow);
+  for (const auto& p : points) {
+    const std::string cfg =
+        base_cfg + " engine=" + p.engine + " workers=" + std::to_string(p.workers);
+    records.push_back({"frame_server", cfg, "frames_per_sec", p.fps, "frames/s"});
+    records.push_back({"frame_server", cfg, "throughput", p.mpixels_per_sec, "MPixels/s"});
+    records.push_back({"frame_server", cfg, "mean_latency", p.mean_latency_ms, "ms"});
+    records.push_back({"frame_server", cfg, "worker_utilization", p.utilization, "fraction"});
   }
-  json << "  ],\n  \"stripe_single_frame\": [\n";
-  for (std::size_t i = 0; i < stripe_points.size(); ++i) {
-    json << "    {\"stripes\": " << stripe_points[i].stripes
-         << ", \"ms_per_frame\": " << stripe_points[i].ms_per_frame << "}"
-         << (i + 1 < stripe_points.size() ? "," : "") << "\n";
+  for (const auto& sp : stripe_points) {
+    records.push_back({"stripe_single_frame",
+                       "size=" + std::to_string(kBigSize) + " window=" + std::to_string(kWindow) +
+                           " stripes=" + std::to_string(sp.stripes),
+                       "frame_latency", sp.ms_per_frame, "ms"});
   }
-  json << "  ]\n}\n";
-  json.close();
-  std::printf("\nwrote %s\n", json_path);
+  benchx::write_bench_json("BENCH_runtime.json", "runtime_throughput", records);
   return 0;
 }

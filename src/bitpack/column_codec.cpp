@@ -1,8 +1,10 @@
 #include "bitpack/column_codec.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "bitpack/nbits.hpp"
+#include "simd/batch_kernels.hpp"
 
 namespace swc::bitpack {
 namespace {
@@ -18,12 +20,17 @@ void check_count(std::size_t n) {
 void apply_threshold_into(std::span<const std::uint8_t> coeffs, const ColumnCodecConfig& config,
                           bool column_is_even, std::vector<std::uint8_t>& out) {
   check_count(coeffs.size());
-  out.assign(coeffs.begin(), coeffs.end());
-  const std::size_t half = coeffs.size() / 2;
-  for (std::size_t i = 0; i < out.size(); ++i) {
-    const bool is_ll = column_is_even && i < half;
-    if (is_ll && !config.threshold_ll) continue;
-    if (!is_significant(out[i], config.threshold)) out[i] = 0;
+  const std::size_t n = coeffs.size();
+  const std::size_t half = n / 2;
+  out.resize(n);
+  const auto& kernels = simd::batch();
+  if (column_is_even && !config.threshold_ll) {
+    // The LL sub-band (top half of even columns) is protected: copy it
+    // through untouched and threshold only the detail half.
+    std::copy_n(coeffs.data(), half, out.data());
+    kernels.threshold(coeffs.data() + half, out.data() + half, half, config.threshold);
+  } else {
+    kernels.threshold(coeffs.data(), out.data(), n, config.threshold);
   }
 }
 
@@ -52,11 +59,14 @@ void ColumnEncoder::encode(std::span<const std::uint8_t> coeffs, const ColumnCod
   for (std::size_t i = 0; i < n; ++i) out.bitmap[i] = kept_[i] != 0 ? 1 : 0;
 
   // Per-coefficient widths resolved up front so the payload loop is uniform.
+  // Group widths go through the batched Fig. 7 OR-bus kernel (bit-identical
+  // to group_nbits — proven by the nbits and simd fuzz tests).
+  const auto& kernels = simd::batch();
   width_.assign(n, 0);
   switch (config.granularity) {
     case NBitsGranularity::PerSubBandColumn: {
-      const int top = group_nbits(basis.subspan(0, half));
-      const int bot = group_nbits(basis.subspan(half, half));
+      const int top = nbits_from_or_bus(kernels.nbits_or_bus(basis.data(), half));
+      const int bot = nbits_from_or_bus(kernels.nbits_or_bus(basis.data() + half, half));
       out.nbits.push_back(static_cast<std::uint8_t>(top));
       out.nbits.push_back(static_cast<std::uint8_t>(bot));
       for (std::size_t i = 0; i < n; ++i) {
@@ -65,7 +75,7 @@ void ColumnEncoder::encode(std::span<const std::uint8_t> coeffs, const ColumnCod
       break;
     }
     case NBitsGranularity::PerColumn: {
-      const int all = group_nbits(basis);
+      const int all = nbits_from_or_bus(kernels.nbits_or_bus(basis.data(), n));
       out.nbits.push_back(static_cast<std::uint8_t>(all));
       for (std::size_t i = 0; i < n; ++i) width_[i] = static_cast<std::uint8_t>(all);
       break;

@@ -29,19 +29,26 @@ namespace swc::bitpack {
   return 8 - run;
 }
 
+// Priority encode of the Fig. 7 OR bus: the highest set position p gives
+// NBits = p + 2 (no set bit => 1 bit suffices for every value). The OR bus
+// itself comes from nbits_gate_tree below or from the batched
+// simd::BatchKernelTable::nbits_or_bus kernel.
+[[nodiscard]] constexpr int nbits_from_or_bus(std::uint8_t or_bus) noexcept {
+  for (int p = 6; p >= 0; --p) {
+    if ((or_bus >> p) & 1u) return p + 2;
+  }
+  return 1;
+}
+
 // Fig. 7 circuit: for each coefficient XOR the sign bit with bits 0..6, OR
-// the 7-bit vectors across all coefficients, then the highest set position p
-// gives NBits = p + 2 (no set bit => 1 bit suffices for every value).
+// the 7-bit vectors across all coefficients, then priority encode.
 [[nodiscard]] constexpr int nbits_gate_tree(std::span<const std::uint8_t> coeffs) noexcept {
   std::uint8_t or_bus = 0;
   for (const std::uint8_t c : coeffs) {
     const std::uint8_t sign_mask = (c & 0x80u) ? 0x7Fu : 0x00u;
     or_bus |= static_cast<std::uint8_t>((c ^ sign_mask) & 0x7Fu);
   }
-  for (int p = 6; p >= 0; --p) {
-    if ((or_bus >> p) & 1u) return p + 2;
-  }
-  return 1;
+  return nbits_from_or_bus(or_bus);
 }
 
 // NBits governing a group of coefficients = max of the per-value widths.

@@ -31,6 +31,7 @@
 #include "bitpack/column_codec.hpp"
 #include "core/config.hpp"
 #include "image/image.hpp"
+#include "wavelet/band_transform.hpp"
 #include "wavelet/column_decomposer.hpp"
 
 namespace swc::core {
@@ -45,6 +46,11 @@ class WindowView {
   // wx, wy in [0, window); wy = 0 is the top (oldest) row.
   [[nodiscard]] std::uint8_t at(std::size_t wx, std::size_t wy) const noexcept {
     return band_[wy * band_width_ + col_ + wx];
+  }
+  // Contiguous window-row span (the band is row-major), enabling the flat
+  // row-span fast path in kernels/kernels.hpp.
+  [[nodiscard]] const std::uint8_t* row(std::size_t wy) const noexcept {
+    return band_ + wy * band_width_ + col_;
   }
   [[nodiscard]] std::size_t size() const noexcept { return window_; }
 
@@ -214,9 +220,14 @@ class CompressedEngine {
     bitpack::ColumnDecoder decoder;
     bitpack::EncodedColumn enc_even, enc_odd;
     std::vector<std::uint8_t> dec_even, dec_odd;
-    std::vector<std::uint8_t> c0, c1;
     wavelet::CoeffColumnPair coeffs;
-    wavelet::PixelColumnPair pixels;
+    // Row-blocked transform state: the whole band is decomposed into
+    // sub-band planes in one batched pass, the codec walks the planes a
+    // column pair at a time, and the decoded planes are recomposed into the
+    // shifted band in a second batched pass.
+    wavelet::BandPlanes fwd_planes, dec_planes;
+    wavelet::BandScratch band_scratch;
+    std::vector<std::uint8_t> recon_band;
     std::vector<std::size_t> stream_bits;
     std::vector<std::uint8_t> next;
   };

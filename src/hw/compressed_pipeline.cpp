@@ -6,6 +6,7 @@
 
 #include "bitpack/column_codec.hpp"
 #include "bitpack/nbits.hpp"
+#include "simd/batch_kernels.hpp"
 #include "wavelet/column_decomposer.hpp"
 
 namespace swc::hw {
@@ -45,9 +46,14 @@ void CompressedPipeline::compress_entering_column(const std::vector<std::uint8_t
           ? std::span<const std::uint8_t>(coeffs)
           : std::span<const std::uint8_t>(kept);
 
+  // Fig. 7 NBits: batched sign-XOR/OR reduction over each sub-band, then one
+  // priority encode of the OR bus (identical to bitpack::group_nbits).
+  const auto& kernels = simd::batch();
   NBitsEntry nb;
-  nb.top = static_cast<std::uint8_t>(bitpack::group_nbits(basis.subspan(0, half)));
-  nb.bottom = static_cast<std::uint8_t>(bitpack::group_nbits(basis.subspan(half, half)));
+  nb.top = static_cast<std::uint8_t>(
+      bitpack::nbits_from_or_bus(kernels.nbits_or_bus(basis.data(), half)));
+  nb.bottom = static_cast<std::uint8_t>(
+      bitpack::nbits_from_or_bus(kernels.nbits_or_bus(basis.data() + half, half)));
 
   BitmapWord bm;
   for (std::size_t i = 0; i < n; ++i) {
@@ -105,7 +111,7 @@ void CompressedPipeline::decompress_for_cycle(std::size_t t) {
                                   [this, i] { return memory_.pop_byte(i); });
     }
   }
-  wavelet::recompose_column_pair_into(coeff_even_, coeff_odd_, pixels_);
+  wavelet::recompose_column_pair_into(coeff_even_, coeff_odd_, pixels_, pair_scratch_);
   recon_ = pixels_.col0;
   recon_next_ = pixels_.col1;
 }

@@ -84,6 +84,7 @@ class CompressedPipeline {
   std::vector<std::uint8_t> coeff_even_;   // unpack staging for the column pair
   std::vector<std::uint8_t> coeff_odd_;
   wavelet::PixelColumnPair pixels_;        // IIWT output scratch
+  wavelet::PairScratch pair_scratch_;      // batched-lifting scratch (IIWT)
 
   std::size_t cycles_ = 0;
   std::size_t windows_emitted_ = 0;

@@ -33,6 +33,12 @@ class ShiftWindow {
     return regs_[wy * n_ + wx];
   }
 
+  // Contiguous n-byte window row (the registers are row-major); lets kernels
+  // take the flat row-span fast path (kernels/kernels.hpp).
+  [[nodiscard]] const std::uint8_t* row(std::size_t wy) const noexcept {
+    return regs_.data() + wy * n_;
+  }
+
   // Copies the rightmost (newest) column, top row first.
   void read_rightmost(std::span<std::uint8_t> out) const {
     if (out.size() != n_) throw std::invalid_argument("ShiftWindow: bad output size");

@@ -7,11 +7,24 @@
 
 #include <algorithm>
 #include <cmath>
+#include <concepts>
 #include <cstdint>
+#include <cstring>
 #include <stdexcept>
 #include <vector>
 
 namespace swc::kernels {
+
+// Window types that expose a contiguous row (core::WindowView over the band
+// buffer, hw::ShiftWindow over its register file) get flat inner loops over
+// `row(wy)[x]` that the compiler can auto-vectorize; anything else falls back
+// to the generic at(wx, wy) element accessor. The two paths are arithmetic-
+// identical — same accumulation order, just without the per-element index
+// multiply.
+template <typename Win>
+concept RowSpanWindow = requires(const Win& w, std::size_t y) {
+  { w.row(y) } -> std::convertible_to<const std::uint8_t*>;
+};
 
 // Mean of the window, rounded to the nearest integer.
 struct BoxMeanKernel {
@@ -19,8 +32,17 @@ struct BoxMeanKernel {
   std::uint8_t operator()(std::size_t, std::size_t, const Win& win) const {
     const std::size_t n = win.size();
     std::uint64_t sum = 0;
-    for (std::size_t y = 0; y < n; ++y) {
-      for (std::size_t x = 0; x < n; ++x) sum += win.at(x, y);
+    if constexpr (RowSpanWindow<Win>) {
+      for (std::size_t y = 0; y < n; ++y) {
+        const std::uint8_t* r = win.row(y);
+        std::uint32_t row_sum = 0;  // flat accumulate: vectorizes to psadbw-class code
+        for (std::size_t x = 0; x < n; ++x) row_sum += r[x];
+        sum += row_sum;
+      }
+    } else {
+      for (std::size_t y = 0; y < n; ++y) {
+        for (std::size_t x = 0; x < n; ++x) sum += win.at(x, y);
+      }
     }
     return static_cast<std::uint8_t>((sum + n * n / 2) / (n * n));
   }
@@ -38,9 +60,17 @@ class GaussianKernel {
     const std::size_t n = win.size();
     if (n != n_) throw std::invalid_argument("GaussianKernel: window size mismatch");
     double acc = 0.0;
-    for (std::size_t y = 0; y < n; ++y) {
-      for (std::size_t x = 0; x < n; ++x) {
-        acc += weights_[y * n + x] * static_cast<double>(win.at(x, y));
+    if constexpr (RowSpanWindow<Win>) {
+      for (std::size_t y = 0; y < n; ++y) {
+        const std::uint8_t* r = win.row(y);
+        const double* w = weights_.data() + y * n;
+        for (std::size_t x = 0; x < n; ++x) acc += w[x] * static_cast<double>(r[x]);
+      }
+    } else {
+      for (std::size_t y = 0; y < n; ++y) {
+        for (std::size_t x = 0; x < n; ++x) {
+          acc += weights_[y * n + x] * static_cast<double>(win.at(x, y));
+        }
       }
     }
     return static_cast<float>(acc);
@@ -82,10 +112,13 @@ struct MedianKernel {
   template <typename Win>
   std::uint8_t operator()(std::size_t, std::size_t, const Win& win) const {
     const std::size_t n = win.size();
-    std::vector<std::uint8_t> vals;
-    vals.reserve(n * n);
-    for (std::size_t y = 0; y < n; ++y) {
-      for (std::size_t x = 0; x < n; ++x) vals.push_back(win.at(x, y));
+    std::vector<std::uint8_t> vals(n * n);
+    if constexpr (RowSpanWindow<Win>) {
+      for (std::size_t y = 0; y < n; ++y) std::memcpy(vals.data() + y * n, win.row(y), n);
+    } else {
+      for (std::size_t y = 0; y < n; ++y) {
+        for (std::size_t x = 0; x < n; ++x) vals[y * n + x] = win.at(x, y);
+      }
     }
     auto mid = vals.begin() + static_cast<std::ptrdiff_t>(vals.size() / 2);
     std::nth_element(vals.begin(), mid, vals.end());
@@ -129,12 +162,25 @@ class NccTemplateKernel {
     const std::size_t n = win.size();
     if (n != n_) throw std::invalid_argument("NccTemplateKernel: window size mismatch");
     double sum = 0.0, sum2 = 0.0, cross = 0.0;
-    for (std::size_t y = 0; y < n; ++y) {
-      for (std::size_t x = 0; x < n; ++x) {
-        const double v = win.at(x, y);
-        sum += v;
-        sum2 += v * v;
-        cross += v * tmpl_centered_[y * n + x];
+    if constexpr (RowSpanWindow<Win>) {
+      for (std::size_t y = 0; y < n; ++y) {
+        const std::uint8_t* r = win.row(y);
+        const double* t = tmpl_centered_.data() + y * n;
+        for (std::size_t x = 0; x < n; ++x) {
+          const double v = r[x];
+          sum += v;
+          sum2 += v * v;
+          cross += v * t[x];
+        }
+      }
+    } else {
+      for (std::size_t y = 0; y < n; ++y) {
+        for (std::size_t x = 0; x < n; ++x) {
+          const double v = win.at(x, y);
+          sum += v;
+          sum2 += v * v;
+          cross += v * tmpl_centered_[y * n + x];
+        }
       }
     }
     const double count = static_cast<double>(n * n);
@@ -156,8 +202,15 @@ struct ErodeKernel {
   std::uint8_t operator()(std::size_t, std::size_t, const Win& win) const {
     const std::size_t n = win.size();
     std::uint8_t best = 255;
-    for (std::size_t y = 0; y < n; ++y) {
-      for (std::size_t x = 0; x < n; ++x) best = std::min(best, win.at(x, y));
+    if constexpr (RowSpanWindow<Win>) {
+      for (std::size_t y = 0; y < n; ++y) {
+        const std::uint8_t* r = win.row(y);
+        for (std::size_t x = 0; x < n; ++x) best = std::min(best, r[x]);
+      }
+    } else {
+      for (std::size_t y = 0; y < n; ++y) {
+        for (std::size_t x = 0; x < n; ++x) best = std::min(best, win.at(x, y));
+      }
     }
     return best;
   }
@@ -169,8 +222,15 @@ struct DilateKernel {
   std::uint8_t operator()(std::size_t, std::size_t, const Win& win) const {
     const std::size_t n = win.size();
     std::uint8_t best = 0;
-    for (std::size_t y = 0; y < n; ++y) {
-      for (std::size_t x = 0; x < n; ++x) best = std::max(best, win.at(x, y));
+    if constexpr (RowSpanWindow<Win>) {
+      for (std::size_t y = 0; y < n; ++y) {
+        const std::uint8_t* r = win.row(y);
+        for (std::size_t x = 0; x < n; ++x) best = std::max(best, r[x]);
+      }
+    } else {
+      for (std::size_t y = 0; y < n; ++y) {
+        for (std::size_t x = 0; x < n; ++x) best = std::max(best, win.at(x, y));
+      }
     }
     return best;
   }

@@ -1,0 +1,187 @@
+// AVX2 batch kernels (32 uint8 lanes / 8 int32 lanes per step). Compiled
+// with -mavx2 only; dispatch.cpp selects this table solely after a runtime
+// CPU-feature check, so the portable build still runs on SSE2-only parts.
+// Pack/unpack instructions operate per 128-bit lane on AVX2, hence the
+// permute fixups in the (de)interleave kernels.
+
+#if defined(__x86_64__) || defined(__i386__) || defined(_M_X64) || defined(_M_IX86)
+
+#include <immintrin.h>
+
+#include "simd/batch_kernels.hpp"
+#include "simd/scalar_impl.hpp"
+
+namespace swc::simd {
+namespace {
+
+inline __m256i asr1_u8(__m256i v) {
+  const __m256i logical = _mm256_and_si256(_mm256_srli_epi16(v, 1), _mm256_set1_epi8(0x7F));
+  return _mm256_or_si256(logical, _mm256_and_si256(v, _mm256_set1_epi8(static_cast<char>(0x80))));
+}
+
+inline __m256i xor_map_u8(__m256i v) {
+  const __m256i neg = _mm256_cmpgt_epi8(_mm256_setzero_si256(), v);
+  const __m256i low7 = _mm256_set1_epi8(0x7F);
+  return _mm256_and_si256(_mm256_xor_si256(v, _mm256_and_si256(neg, low7)), low7);
+}
+
+void haar_forward_avx2(const std::uint8_t* x0, const std::uint8_t* x1, std::uint8_t* l,
+                       std::uint8_t* h, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i a = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(x0 + i));
+    const __m256i b = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(x1 + i));
+    const __m256i hv = _mm256_sub_epi8(a, b);
+    const __m256i lv = _mm256_add_epi8(b, asr1_u8(hv));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(h + i), hv);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(l + i), lv);
+  }
+  detail::haar_forward_scalar(x0 + i, x1 + i, l + i, h + i, n - i);
+}
+
+void haar_inverse_avx2(const std::uint8_t* l, const std::uint8_t* h, std::uint8_t* x0,
+                       std::uint8_t* x1, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i lv = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(l + i));
+    const __m256i hv = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(h + i));
+    const __m256i b = _mm256_sub_epi8(lv, asr1_u8(hv));
+    const __m256i a = _mm256_add_epi8(b, hv);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(x1 + i), b);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(x0 + i), a);
+  }
+  detail::haar_inverse_scalar(l + i, h + i, x0 + i, x1 + i, n - i);
+}
+
+void threshold_avx2(const std::uint8_t* in, std::uint8_t* out, std::size_t n, int threshold) {
+  if (threshold <= 0) {
+    detail::threshold_scalar(in, out, n, threshold);
+    return;
+  }
+  const int clamped = threshold > 255 ? 255 : threshold;
+  const __m256i t = _mm256_set1_epi8(static_cast<char>(clamped));
+  const __m256i zero = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i v = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(in + i));
+    const __m256i neg = _mm256_cmpgt_epi8(zero, v);
+    const __m256i mag = _mm256_sub_epi8(_mm256_xor_si256(v, neg), neg);
+    const __m256i keep = _mm256_cmpeq_epi8(_mm256_max_epu8(mag, t), mag);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), _mm256_and_si256(v, keep));
+  }
+  detail::threshold_scalar(in + i, out + i, n - i, threshold);
+}
+
+std::uint8_t nbits_or_bus_avx2(const std::uint8_t* c, std::size_t n) {
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    acc = _mm256_or_si256(
+        acc, xor_map_u8(_mm256_loadu_si256(reinterpret_cast<const __m256i*>(c + i))));
+  }
+  __m128i r = _mm_or_si128(_mm256_castsi256_si128(acc), _mm256_extracti128_si256(acc, 1));
+  r = _mm_or_si128(r, _mm_srli_si128(r, 8));
+  r = _mm_or_si128(r, _mm_srli_si128(r, 4));
+  r = _mm_or_si128(r, _mm_srli_si128(r, 2));
+  r = _mm_or_si128(r, _mm_srli_si128(r, 1));
+  auto bus = static_cast<std::uint8_t>(_mm_cvtsi128_si32(r) & 0xFF);
+  return static_cast<std::uint8_t>(bus | detail::nbits_or_bus_scalar(c + i, n - i));
+}
+
+void nbits_or_accumulate_avx2(const std::uint8_t* c, std::uint8_t* acc, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i a = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(acc + i));
+    const __m256i m = xor_map_u8(_mm256_loadu_si256(reinterpret_cast<const __m256i*>(c + i)));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + i), _mm256_or_si256(a, m));
+  }
+  detail::nbits_or_accumulate_scalar(c + i, acc + i, n - i);
+}
+
+void deinterleave_avx2(const std::uint8_t* in, std::uint8_t* even, std::uint8_t* odd,
+                       std::size_t n) {
+  const __m256i mask = _mm256_set1_epi16(0x00FF);
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i a = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(in + 2 * i));
+    const __m256i b = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(in + 2 * i + 32));
+    // packus works per 128-bit lane: reorder the qwords afterwards so the
+    // result is [a-evens | b-evens] in memory order.
+    const __m256i e = _mm256_permute4x64_epi64(
+        _mm256_packus_epi16(_mm256_and_si256(a, mask), _mm256_and_si256(b, mask)),
+        _MM_SHUFFLE(3, 1, 2, 0));
+    const __m256i o = _mm256_permute4x64_epi64(
+        _mm256_packus_epi16(_mm256_srli_epi16(a, 8), _mm256_srli_epi16(b, 8)),
+        _MM_SHUFFLE(3, 1, 2, 0));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(even + i), e);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(odd + i), o);
+  }
+  detail::deinterleave_scalar(in + 2 * i, even + i, odd + i, n - i);
+}
+
+void interleave_avx2(const std::uint8_t* even, const std::uint8_t* odd, std::uint8_t* out,
+                     std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i e = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(even + i));
+    const __m256i o = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(odd + i));
+    const __m256i lo = _mm256_unpacklo_epi8(e, o);  // lanes: [pairs 0..7 | pairs 16..23]
+    const __m256i hi = _mm256_unpackhi_epi8(e, o);  // lanes: [pairs 8..15 | pairs 24..31]
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + 2 * i),
+                        _mm256_permute2x128_si256(lo, hi, 0x20));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + 2 * i + 32),
+                        _mm256_permute2x128_si256(lo, hi, 0x31));
+  }
+  detail::interleave_scalar(even + i, odd + i, out + 2 * i, n - i);
+}
+
+void legall_predict_avx2(const std::int32_t* even, const std::int32_t* even_next,
+                         const std::int32_t* odd, std::int32_t* out, std::size_t n, int sign) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i e = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(even + i));
+    const __m256i e2 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(even_next + i));
+    const __m256i o = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(odd + i));
+    const __m256i avg = _mm256_srai_epi32(_mm256_add_epi32(e, e2), 1);
+    const __m256i r = sign >= 0 ? _mm256_add_epi32(o, avg) : _mm256_sub_epi32(o, avg);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), r);
+  }
+  detail::legall_predict_scalar(even + i, even_next + i, odd + i, out + i, n - i, sign);
+}
+
+void legall_update_avx2(const std::int32_t* base, const std::int32_t* d_prev,
+                        const std::int32_t* d, std::int32_t* out, std::size_t n, int sign) {
+  const __m256i two = _mm256_set1_epi32(2);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i b = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(base + i));
+    const __m256i dp = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(d_prev + i));
+    const __m256i dv = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(d + i));
+    const __m256i upd = _mm256_srai_epi32(_mm256_add_epi32(_mm256_add_epi32(dp, dv), two), 2);
+    const __m256i r = sign >= 0 ? _mm256_add_epi32(b, upd) : _mm256_sub_epi32(b, upd);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), r);
+  }
+  detail::legall_update_scalar(base + i, d_prev + i, d + i, out + i, n - i, sign);
+}
+
+}  // namespace
+
+const BatchKernelTable* avx2_table_impl() noexcept {
+  static constexpr BatchKernelTable table{
+      "avx2",
+      &haar_forward_avx2,
+      &haar_inverse_avx2,
+      &threshold_avx2,
+      &nbits_or_bus_avx2,
+      &nbits_or_accumulate_avx2,
+      &deinterleave_avx2,
+      &interleave_avx2,
+      &legall_predict_avx2,
+      &legall_update_avx2,
+  };
+  return &table;
+}
+
+}  // namespace swc::simd
+
+#endif  // x86

@@ -1,0 +1,79 @@
+#pragma once
+// Batch (array-at-a-time) kernels for the codec hot path: Haar lifting,
+// coefficient thresholding, the Fig. 7 sign-XOR/OR NBits reduction, LeGall
+// 5/3 lifting steps, and byte (de)interleaving. Every operation works on
+// uint8_t lanes that wrap mod 256 (or int32 lanes for LeGall) — exactly the
+// arithmetic the paper's 8-bit datapath performs, which is what makes the
+// lifting steps invertible and the architecture lossless at threshold 0.
+//
+// Implementations are grouped in BatchKernelTable function-pointer tables
+// (scalar reference, SSE2, AVX2, NEON where compiled). dispatch.cpp selects
+// the best table the running CPU supports, once, at first use; the scalar
+// table is the oracle every vector table is differentially fuzzed against
+// (tests/simd/batch_kernels_test.cpp, mirroring the bitstream_ref pattern).
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace swc::simd {
+
+struct BatchKernelTable {
+  const char* name;  // "scalar", "sse2", "avx2", "neon"
+
+  // Forward Haar lifting pair, elementwise over n lanes (mod 256):
+  //   h[i] = x0[i] - x1[i];  l[i] = x1[i] + asr1(h[i])
+  void (*haar_forward)(const std::uint8_t* x0, const std::uint8_t* x1, std::uint8_t* l,
+                       std::uint8_t* h, std::size_t n);
+  // Exact inverse: x1[i] = l[i] - asr1(h[i]);  x0[i] = x1[i] + h[i]
+  void (*haar_inverse)(const std::uint8_t* l, const std::uint8_t* h, std::uint8_t* x0,
+                       std::uint8_t* x1, std::size_t n);
+
+  // out[i] = bitpack::is_significant(in[i], threshold) ? in[i] : 0.
+  // threshold <= 0 degenerates to a copy (lossless mode). in == out is
+  // allowed (in-place); any other overlap is not.
+  void (*threshold)(const std::uint8_t* in, std::uint8_t* out, std::size_t n, int threshold);
+
+  // Fig. 7 OR bus: OR over i of ((c[i] ^ (sign(c[i]) ? 0x7F : 0)) & 0x7F).
+  // Feed the result to bitpack::nbits_from_or_bus for the group width.
+  std::uint8_t (*nbits_or_bus)(const std::uint8_t* c, std::size_t n);
+  // Row-accumulating variant for plane-wise reductions over many columns:
+  //   acc[i] |= xor_map(c[i])
+  void (*nbits_or_accumulate)(const std::uint8_t* c, std::uint8_t* acc, std::size_t n);
+
+  // in[0..2n) -> even[i] = in[2i], odd[i] = in[2i+1]; and the exact inverse.
+  void (*deinterleave)(const std::uint8_t* in, std::uint8_t* even, std::uint8_t* odd,
+                       std::size_t n);
+  void (*interleave)(const std::uint8_t* even, const std::uint8_t* odd, std::uint8_t* out,
+                     std::size_t n);
+
+  // LeGall 5/3 lifting steps on int32 lanes. sign is +1 (forward predict /
+  // inverse update direction handled by caller) or -1:
+  //   predict: out[i] = odd[i] + sign * ((even[i] + even_next[i]) >> 1)
+  //   update : out[i] = base[i] + sign * ((d_prev[i] + d[i] + 2) >> 2)
+  void (*legall_predict)(const std::int32_t* even, const std::int32_t* even_next,
+                         const std::int32_t* odd, std::int32_t* out, std::size_t n, int sign);
+  void (*legall_update)(const std::int32_t* base, const std::int32_t* d_prev,
+                        const std::int32_t* d, std::int32_t* out, std::size_t n, int sign);
+};
+
+// The portable reference table (always available; the fuzz oracle).
+[[nodiscard]] const BatchKernelTable& scalar_table() noexcept;
+
+// Tables compiled into this binary and runnable on this CPU, ordered from
+// the reference to the widest (best last). Always contains at least scalar.
+[[nodiscard]] std::span<const BatchKernelTable* const> available_tables() noexcept;
+
+// Table by name ("scalar" | "sse2" | "avx2" | "neon"); nullptr when that
+// implementation is not compiled in or not runnable on this CPU.
+[[nodiscard]] const BatchKernelTable* table_for(const char* name) noexcept;
+
+// The dispatched table: the widest available implementation, overridable
+// with SWC_SIMD=scalar|sse2|avx2|neon (falls back to the best available if
+// the requested one cannot run here). Resolved once and cached.
+[[nodiscard]] const BatchKernelTable& batch() noexcept;
+
+// Name of the table batch() resolved to (for logs/benches).
+[[nodiscard]] const char* active_name() noexcept;
+
+}  // namespace swc::simd

@@ -1,0 +1,157 @@
+// NEON batch kernels (16 uint8 lanes / 4 int32 lanes per step). Only
+// compiled on ARM targets with NEON available; AArch64 implies NEON, so no
+// runtime probe is needed there. NEON has native per-byte arithmetic shifts
+// and interleaving loads/stores, so these kernels are direct transcriptions
+// of the scalar bodies.
+
+#if defined(__ARM_NEON) || defined(__ARM_NEON__)
+
+#include <arm_neon.h>
+
+#include "simd/batch_kernels.hpp"
+#include "simd/scalar_impl.hpp"
+
+namespace swc::simd {
+namespace {
+
+inline uint8x16_t asr1_u8(uint8x16_t v) {
+  return vreinterpretq_u8_s8(vshrq_n_s8(vreinterpretq_s8_u8(v), 1));
+}
+
+inline uint8x16_t xor_map_u8(uint8x16_t v) {
+  const uint8x16_t neg = vcltq_s8(vreinterpretq_s8_u8(v), vdupq_n_s8(0));
+  const uint8x16_t low7 = vdupq_n_u8(0x7F);
+  return vandq_u8(veorq_u8(v, vandq_u8(neg, low7)), low7);
+}
+
+void haar_forward_neon(const std::uint8_t* x0, const std::uint8_t* x1, std::uint8_t* l,
+                       std::uint8_t* h, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const uint8x16_t a = vld1q_u8(x0 + i);
+    const uint8x16_t b = vld1q_u8(x1 + i);
+    const uint8x16_t hv = vsubq_u8(a, b);
+    vst1q_u8(h + i, hv);
+    vst1q_u8(l + i, vaddq_u8(b, asr1_u8(hv)));
+  }
+  detail::haar_forward_scalar(x0 + i, x1 + i, l + i, h + i, n - i);
+}
+
+void haar_inverse_neon(const std::uint8_t* l, const std::uint8_t* h, std::uint8_t* x0,
+                       std::uint8_t* x1, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const uint8x16_t lv = vld1q_u8(l + i);
+    const uint8x16_t hv = vld1q_u8(h + i);
+    const uint8x16_t b = vsubq_u8(lv, asr1_u8(hv));
+    vst1q_u8(x1 + i, b);
+    vst1q_u8(x0 + i, vaddq_u8(b, hv));
+  }
+  detail::haar_inverse_scalar(l + i, h + i, x0 + i, x1 + i, n - i);
+}
+
+void threshold_neon(const std::uint8_t* in, std::uint8_t* out, std::size_t n, int threshold) {
+  if (threshold <= 0) {
+    detail::threshold_scalar(in, out, n, threshold);
+    return;
+  }
+  const int clamped = threshold > 255 ? 255 : threshold;
+  const uint8x16_t t = vdupq_n_u8(static_cast<std::uint8_t>(clamped));
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const uint8x16_t v = vld1q_u8(in + i);
+    // |stored| with |-128| = 128 = 0x80: qabs would saturate, so use the
+    // xor/sub identity on the unsigned view.
+    const uint8x16_t neg = vcltq_s8(vreinterpretq_s8_u8(v), vdupq_n_s8(0));
+    const uint8x16_t mag = vsubq_u8(veorq_u8(v, neg), neg);
+    const uint8x16_t keep = vcgeq_u8(mag, t);
+    vst1q_u8(out + i, vandq_u8(v, keep));
+  }
+  detail::threshold_scalar(in + i, out + i, n - i, threshold);
+}
+
+std::uint8_t nbits_or_bus_neon(const std::uint8_t* c, std::size_t n) {
+  uint8x16_t acc = vdupq_n_u8(0);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) acc = vorrq_u8(acc, xor_map_u8(vld1q_u8(c + i)));
+  std::uint8_t bus = 0;
+  std::uint8_t lanes[16];
+  vst1q_u8(lanes, acc);
+  for (const std::uint8_t lane : lanes) bus = static_cast<std::uint8_t>(bus | lane);
+  return static_cast<std::uint8_t>(bus | detail::nbits_or_bus_scalar(c + i, n - i));
+}
+
+void nbits_or_accumulate_neon(const std::uint8_t* c, std::uint8_t* acc, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    vst1q_u8(acc + i, vorrq_u8(vld1q_u8(acc + i), xor_map_u8(vld1q_u8(c + i))));
+  }
+  detail::nbits_or_accumulate_scalar(c + i, acc + i, n - i);
+}
+
+void deinterleave_neon(const std::uint8_t* in, std::uint8_t* even, std::uint8_t* odd,
+                       std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const uint8x16x2_t pair = vld2q_u8(in + 2 * i);
+    vst1q_u8(even + i, pair.val[0]);
+    vst1q_u8(odd + i, pair.val[1]);
+  }
+  detail::deinterleave_scalar(in + 2 * i, even + i, odd + i, n - i);
+}
+
+void interleave_neon(const std::uint8_t* even, const std::uint8_t* odd, std::uint8_t* out,
+                     std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const uint8x16x2_t pair = {vld1q_u8(even + i), vld1q_u8(odd + i)};
+    vst2q_u8(out + 2 * i, pair);
+  }
+  detail::interleave_scalar(even + i, odd + i, out + 2 * i, n - i);
+}
+
+void legall_predict_neon(const std::int32_t* even, const std::int32_t* even_next,
+                         const std::int32_t* odd, std::int32_t* out, std::size_t n, int sign) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const int32x4_t avg = vshrq_n_s32(vaddq_s32(vld1q_s32(even + i), vld1q_s32(even_next + i)), 1);
+    const int32x4_t o = vld1q_s32(odd + i);
+    vst1q_s32(out + i, sign >= 0 ? vaddq_s32(o, avg) : vsubq_s32(o, avg));
+  }
+  detail::legall_predict_scalar(even + i, even_next + i, odd + i, out + i, n - i, sign);
+}
+
+void legall_update_neon(const std::int32_t* base, const std::int32_t* d_prev,
+                        const std::int32_t* d, std::int32_t* out, std::size_t n, int sign) {
+  const int32x4_t two = vdupq_n_s32(2);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const int32x4_t upd =
+        vshrq_n_s32(vaddq_s32(vaddq_s32(vld1q_s32(d_prev + i), vld1q_s32(d + i)), two), 2);
+    const int32x4_t b = vld1q_s32(base + i);
+    vst1q_s32(out + i, sign >= 0 ? vaddq_s32(b, upd) : vsubq_s32(b, upd));
+  }
+  detail::legall_update_scalar(base + i, d_prev + i, d + i, out + i, n - i, sign);
+}
+
+}  // namespace
+
+const BatchKernelTable* neon_table_impl() noexcept {
+  static constexpr BatchKernelTable table{
+      "neon",
+      &haar_forward_neon,
+      &haar_inverse_neon,
+      &threshold_neon,
+      &nbits_or_bus_neon,
+      &nbits_or_accumulate_neon,
+      &deinterleave_neon,
+      &interleave_neon,
+      &legall_predict_neon,
+      &legall_update_neon,
+  };
+  return &table;
+}
+
+}  // namespace swc::simd
+
+#endif  // __ARM_NEON

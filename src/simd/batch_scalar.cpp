@@ -1,0 +1,26 @@
+// The portable reference table: every entry is the shared scalar body. This
+// table is always available and serves as the differential-fuzz oracle for
+// the vector tables.
+
+#include "simd/batch_kernels.hpp"
+#include "simd/scalar_impl.hpp"
+
+namespace swc::simd {
+
+const BatchKernelTable& scalar_table() noexcept {
+  static constexpr BatchKernelTable table{
+      "scalar",
+      &detail::haar_forward_scalar,
+      &detail::haar_inverse_scalar,
+      &detail::threshold_scalar,
+      &detail::nbits_or_bus_scalar,
+      &detail::nbits_or_accumulate_scalar,
+      &detail::deinterleave_scalar,
+      &detail::interleave_scalar,
+      &detail::legall_predict_scalar,
+      &detail::legall_update_scalar,
+  };
+  return table;
+}
+
+}  // namespace swc::simd

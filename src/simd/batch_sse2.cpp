@@ -1,0 +1,179 @@
+// SSE2 batch kernels (16 uint8 lanes / 4 int32 lanes per step). Compiled
+// with -msse2 only; dispatch.cpp never selects this table unless the CPU
+// reports SSE2. Wrap-mod-256 semantics come directly from the 8-bit vector
+// ALU; the only emulated primitive is the per-byte arithmetic shift, which
+// x86 lacks: asr1(v) = ((v >> 1) & 0x7F) | (v & 0x80).
+
+#if defined(__x86_64__) || defined(__i386__) || defined(_M_X64) || defined(_M_IX86)
+
+#include <emmintrin.h>
+
+#include "simd/batch_kernels.hpp"
+#include "simd/scalar_impl.hpp"
+
+namespace swc::simd {
+namespace {
+
+inline __m128i asr1_u8(__m128i v) {
+  const __m128i logical = _mm_and_si128(_mm_srli_epi16(v, 1), _mm_set1_epi8(0x7F));
+  return _mm_or_si128(logical, _mm_and_si128(v, _mm_set1_epi8(static_cast<char>(0x80))));
+}
+
+// Fig. 7 sign-XOR map of 16 coefficients: (c ^ (c < 0 ? 0x7F : 0)) & 0x7F.
+inline __m128i xor_map_u8(__m128i v) {
+  const __m128i neg = _mm_cmpgt_epi8(_mm_setzero_si128(), v);
+  const __m128i low7 = _mm_set1_epi8(0x7F);
+  return _mm_and_si128(_mm_xor_si128(v, _mm_and_si128(neg, low7)), low7);
+}
+
+void haar_forward_sse2(const std::uint8_t* x0, const std::uint8_t* x1, std::uint8_t* l,
+                       std::uint8_t* h, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i a = _mm_loadu_si128(reinterpret_cast<const __m128i*>(x0 + i));
+    const __m128i b = _mm_loadu_si128(reinterpret_cast<const __m128i*>(x1 + i));
+    const __m128i hv = _mm_sub_epi8(a, b);
+    const __m128i lv = _mm_add_epi8(b, asr1_u8(hv));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(h + i), hv);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(l + i), lv);
+  }
+  detail::haar_forward_scalar(x0 + i, x1 + i, l + i, h + i, n - i);
+}
+
+void haar_inverse_sse2(const std::uint8_t* l, const std::uint8_t* h, std::uint8_t* x0,
+                       std::uint8_t* x1, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i lv = _mm_loadu_si128(reinterpret_cast<const __m128i*>(l + i));
+    const __m128i hv = _mm_loadu_si128(reinterpret_cast<const __m128i*>(h + i));
+    const __m128i b = _mm_sub_epi8(lv, asr1_u8(hv));
+    const __m128i a = _mm_add_epi8(b, hv);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(x1 + i), b);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(x0 + i), a);
+  }
+  detail::haar_inverse_scalar(l + i, h + i, x0 + i, x1 + i, n - i);
+}
+
+void threshold_sse2(const std::uint8_t* in, std::uint8_t* out, std::size_t n, int threshold) {
+  if (threshold <= 0) {
+    detail::threshold_scalar(in, out, n, threshold);
+    return;
+  }
+  // |stored| as an unsigned byte (|-128| = 128 = 0x80), then keep iff
+  // |stored| >= t via max_epu8. t > 128 correctly zeroes every lane.
+  const int clamped = threshold > 255 ? 255 : threshold;
+  const __m128i t = _mm_set1_epi8(static_cast<char>(clamped));
+  const __m128i zero = _mm_setzero_si128();
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i v = _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + i));
+    const __m128i neg = _mm_cmpgt_epi8(zero, v);
+    const __m128i mag = _mm_sub_epi8(_mm_xor_si128(v, neg), neg);
+    const __m128i keep = _mm_cmpeq_epi8(_mm_max_epu8(mag, t), mag);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i), _mm_and_si128(v, keep));
+  }
+  detail::threshold_scalar(in + i, out + i, n - i, threshold);
+}
+
+std::uint8_t nbits_or_bus_sse2(const std::uint8_t* c, std::size_t n) {
+  __m128i acc = _mm_setzero_si128();
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    acc = _mm_or_si128(acc,
+                       xor_map_u8(_mm_loadu_si128(reinterpret_cast<const __m128i*>(c + i))));
+  }
+  acc = _mm_or_si128(acc, _mm_srli_si128(acc, 8));
+  acc = _mm_or_si128(acc, _mm_srli_si128(acc, 4));
+  acc = _mm_or_si128(acc, _mm_srli_si128(acc, 2));
+  acc = _mm_or_si128(acc, _mm_srli_si128(acc, 1));
+  auto bus = static_cast<std::uint8_t>(_mm_cvtsi128_si32(acc) & 0xFF);
+  return static_cast<std::uint8_t>(bus | detail::nbits_or_bus_scalar(c + i, n - i));
+}
+
+void nbits_or_accumulate_sse2(const std::uint8_t* c, std::uint8_t* acc, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i a = _mm_loadu_si128(reinterpret_cast<const __m128i*>(acc + i));
+    const __m128i m = xor_map_u8(_mm_loadu_si128(reinterpret_cast<const __m128i*>(c + i)));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(acc + i), _mm_or_si128(a, m));
+  }
+  detail::nbits_or_accumulate_scalar(c + i, acc + i, n - i);
+}
+
+void deinterleave_sse2(const std::uint8_t* in, std::uint8_t* even, std::uint8_t* odd,
+                       std::size_t n) {
+  const __m128i mask = _mm_set1_epi16(0x00FF);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i a = _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + 2 * i));
+    const __m128i b = _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + 2 * i + 16));
+    const __m128i e = _mm_packus_epi16(_mm_and_si128(a, mask), _mm_and_si128(b, mask));
+    const __m128i o = _mm_packus_epi16(_mm_srli_epi16(a, 8), _mm_srli_epi16(b, 8));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(even + i), e);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(odd + i), o);
+  }
+  detail::deinterleave_scalar(in + 2 * i, even + i, odd + i, n - i);
+}
+
+void interleave_sse2(const std::uint8_t* even, const std::uint8_t* odd, std::uint8_t* out,
+                     std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i e = _mm_loadu_si128(reinterpret_cast<const __m128i*>(even + i));
+    const __m128i o = _mm_loadu_si128(reinterpret_cast<const __m128i*>(odd + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + 2 * i), _mm_unpacklo_epi8(e, o));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + 2 * i + 16), _mm_unpackhi_epi8(e, o));
+  }
+  detail::interleave_scalar(even + i, odd + i, out + 2 * i, n - i);
+}
+
+void legall_predict_sse2(const std::int32_t* even, const std::int32_t* even_next,
+                         const std::int32_t* odd, std::int32_t* out, std::size_t n, int sign) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128i e = _mm_loadu_si128(reinterpret_cast<const __m128i*>(even + i));
+    const __m128i e2 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(even_next + i));
+    const __m128i o = _mm_loadu_si128(reinterpret_cast<const __m128i*>(odd + i));
+    const __m128i avg = _mm_srai_epi32(_mm_add_epi32(e, e2), 1);
+    const __m128i r = sign >= 0 ? _mm_add_epi32(o, avg) : _mm_sub_epi32(o, avg);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i), r);
+  }
+  detail::legall_predict_scalar(even + i, even_next + i, odd + i, out + i, n - i, sign);
+}
+
+void legall_update_sse2(const std::int32_t* base, const std::int32_t* d_prev,
+                        const std::int32_t* d, std::int32_t* out, std::size_t n, int sign) {
+  const __m128i two = _mm_set1_epi32(2);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128i b = _mm_loadu_si128(reinterpret_cast<const __m128i*>(base + i));
+    const __m128i dp = _mm_loadu_si128(reinterpret_cast<const __m128i*>(d_prev + i));
+    const __m128i dv = _mm_loadu_si128(reinterpret_cast<const __m128i*>(d + i));
+    const __m128i upd = _mm_srai_epi32(_mm_add_epi32(_mm_add_epi32(dp, dv), two), 2);
+    const __m128i r = sign >= 0 ? _mm_add_epi32(b, upd) : _mm_sub_epi32(b, upd);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i), r);
+  }
+  detail::legall_update_scalar(base + i, d_prev + i, d + i, out + i, n - i, sign);
+}
+
+}  // namespace
+
+const BatchKernelTable* sse2_table_impl() noexcept {
+  static constexpr BatchKernelTable table{
+      "sse2",
+      &haar_forward_sse2,
+      &haar_inverse_sse2,
+      &threshold_sse2,
+      &nbits_or_bus_sse2,
+      &nbits_or_accumulate_sse2,
+      &deinterleave_sse2,
+      &interleave_sse2,
+      &legall_predict_sse2,
+      &legall_update_sse2,
+  };
+  return &table;
+}
+
+}  // namespace swc::simd
+
+#endif  // x86

@@ -1,0 +1,78 @@
+// One-time runtime CPU-feature dispatch for the batch kernel tables.
+//
+// Selection order (widest last): scalar -> sse2 -> avx2 (x86), or
+// scalar -> neon (ARM). The winner is cached in a function-local static on
+// first use, so steady-state callers pay one predicted-indirect-call, not a
+// cpuid. SWC_SIMD=scalar|sse2|avx2|neon overrides the choice for testing;
+// an override that is not compiled in or not runnable on this CPU falls
+// back to the widest available table with a one-line stderr notice (running
+// an unsupported vector path would be an illegal-instruction crash).
+
+#include "simd/batch_kernels.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+namespace swc::simd {
+
+#if defined(__x86_64__) || defined(__i386__) || defined(_M_X64) || defined(_M_IX86)
+const BatchKernelTable* sse2_table_impl() noexcept;
+const BatchKernelTable* avx2_table_impl() noexcept;
+#endif
+#if defined(__ARM_NEON) || defined(__ARM_NEON__)
+const BatchKernelTable* neon_table_impl() noexcept;
+#endif
+
+namespace {
+
+// Tables compiled in AND runnable on this CPU, reference first, widest last.
+std::vector<const BatchKernelTable*> detect_tables() {
+  std::vector<const BatchKernelTable*> tables{&scalar_table()};
+#if defined(__x86_64__) || defined(__i386__) || defined(_M_X64) || defined(_M_IX86)
+  if (__builtin_cpu_supports("sse2")) tables.push_back(sse2_table_impl());
+  if (__builtin_cpu_supports("avx2")) tables.push_back(avx2_table_impl());
+#endif
+#if defined(__ARM_NEON) || defined(__ARM_NEON__)
+  tables.push_back(neon_table_impl());
+#endif
+  return tables;
+}
+
+const std::vector<const BatchKernelTable*>& tables() {
+  static const std::vector<const BatchKernelTable*> t = detect_tables();
+  return t;
+}
+
+const BatchKernelTable* resolve() {
+  const auto& t = tables();
+  if (const char* want = std::getenv("SWC_SIMD"); want != nullptr && *want != '\0') {
+    for (const auto* table : t) {
+      if (std::strcmp(table->name, want) == 0) return table;
+    }
+    std::fprintf(stderr, "[swc-simd] SWC_SIMD=%s is not available on this build/CPU; using %s\n",
+                 want, t.back()->name);
+  }
+  return t.back();
+}
+
+}  // namespace
+
+std::span<const BatchKernelTable* const> available_tables() noexcept { return tables(); }
+
+const BatchKernelTable* table_for(const char* name) noexcept {
+  for (const auto* table : tables()) {
+    if (std::strcmp(table->name, name) == 0) return table;
+  }
+  return nullptr;
+}
+
+const BatchKernelTable& batch() noexcept {
+  static const BatchKernelTable* const selected = resolve();
+  return *selected;
+}
+
+const char* active_name() noexcept { return batch().name; }
+
+}  // namespace swc::simd

@@ -1,0 +1,100 @@
+#pragma once
+// Shared scalar bodies for the batch kernels. The scalar table points at
+// these directly; the vector tables reuse them for sub-vector tails so the
+// lane semantics of every path are defined in exactly one place.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace swc::simd::detail {
+
+// Arithmetic shift right by one of a stored two's-complement byte.
+[[nodiscard]] constexpr std::uint8_t asr1(std::uint8_t v) noexcept {
+  return static_cast<std::uint8_t>(static_cast<std::int8_t>(v) >> 1);
+}
+
+// Fig. 7 sign-XOR map: bits 0..6 of the coefficient XORed with its sign bit.
+[[nodiscard]] constexpr std::uint8_t xor_map(std::uint8_t c) noexcept {
+  const std::uint8_t sign_mask = (c & 0x80u) ? 0x7Fu : 0x00u;
+  return static_cast<std::uint8_t>((c ^ sign_mask) & 0x7Fu);
+}
+
+inline void haar_forward_scalar(const std::uint8_t* x0, const std::uint8_t* x1, std::uint8_t* l,
+                                std::uint8_t* h, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto hh = static_cast<std::uint8_t>(x0[i] - x1[i]);
+    l[i] = static_cast<std::uint8_t>(x1[i] + asr1(hh));
+    h[i] = hh;
+  }
+}
+
+inline void haar_inverse_scalar(const std::uint8_t* l, const std::uint8_t* h, std::uint8_t* x0,
+                                std::uint8_t* x1, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto b = static_cast<std::uint8_t>(l[i] - asr1(h[i]));
+    x1[i] = b;
+    x0[i] = static_cast<std::uint8_t>(b + h[i]);
+  }
+}
+
+inline void threshold_scalar(const std::uint8_t* in, std::uint8_t* out, std::size_t n,
+                             int threshold) {
+  if (threshold <= 0) {
+    if (out != in) std::memcpy(out, in, n);
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const int v = static_cast<std::int8_t>(in[i]);
+    const int mag = v < 0 ? -v : v;
+    out[i] = (mag >= threshold && in[i] != 0) ? in[i] : std::uint8_t{0};
+  }
+}
+
+inline std::uint8_t nbits_or_bus_scalar(const std::uint8_t* c, std::size_t n) {
+  std::uint8_t bus = 0;
+  for (std::size_t i = 0; i < n; ++i) bus |= xor_map(c[i]);
+  return bus;
+}
+
+inline void nbits_or_accumulate_scalar(const std::uint8_t* c, std::uint8_t* acc, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) acc[i] |= xor_map(c[i]);
+}
+
+inline void deinterleave_scalar(const std::uint8_t* in, std::uint8_t* even, std::uint8_t* odd,
+                                std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    even[i] = in[2 * i];
+    odd[i] = in[2 * i + 1];
+  }
+}
+
+inline void interleave_scalar(const std::uint8_t* even, const std::uint8_t* odd, std::uint8_t* out,
+                              std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    out[2 * i] = even[i];
+    out[2 * i + 1] = odd[i];
+  }
+}
+
+inline void legall_predict_scalar(const std::int32_t* even, const std::int32_t* even_next,
+                                  const std::int32_t* odd, std::int32_t* out, std::size_t n,
+                                  int sign) {
+  if (sign >= 0) {
+    for (std::size_t i = 0; i < n; ++i) out[i] = odd[i] + ((even[i] + even_next[i]) >> 1);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) out[i] = odd[i] - ((even[i] + even_next[i]) >> 1);
+  }
+}
+
+inline void legall_update_scalar(const std::int32_t* base, const std::int32_t* d_prev,
+                                 const std::int32_t* d, std::int32_t* out, std::size_t n,
+                                 int sign) {
+  if (sign >= 0) {
+    for (std::size_t i = 0; i < n; ++i) out[i] = base[i] + ((d_prev[i] + d[i] + 2) >> 2);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) out[i] = base[i] - ((d_prev[i] + d[i] + 2) >> 2);
+  }
+}
+
+}  // namespace swc::simd::detail

@@ -1,0 +1,99 @@
+#include "wavelet/band_transform.hpp"
+
+#include <stdexcept>
+
+namespace swc::wavelet {
+namespace {
+
+void check_band(std::size_t n, std::size_t w) {
+  if (n == 0 || n % 2 != 0 || w == 0 || w % 2 != 0) {
+    throw std::invalid_argument("band transform: dimensions must be even and non-zero");
+  }
+}
+
+}  // namespace
+
+void decompose_band_into(const std::uint8_t* band, std::size_t n, std::size_t w, BandPlanes& out,
+                         BandScratch& scratch, const simd::BatchKernelTable& kernels) {
+  check_band(n, w);
+  const std::size_t cols = w / 2;
+  const std::size_t half = n / 2;
+  out.resize(half, cols);
+  scratch.row_even.resize(cols);
+  scratch.row_odd.resize(cols);
+  scratch.row_l.resize(n * cols);
+  scratch.row_h.resize(n * cols);
+
+  // Horizontal stage: lift each band row across its column pairs.
+  for (std::size_t y = 0; y < n; ++y) {
+    kernels.deinterleave(band + y * w, scratch.row_even.data(), scratch.row_odd.data(), cols);
+    kernels.haar_forward(scratch.row_even.data(), scratch.row_odd.data(),
+                         scratch.row_l.data() + y * cols, scratch.row_h.data() + y * cols, cols);
+  }
+  // Vertical stage: lift adjacent horizontal-output rows (contiguous arrays).
+  for (std::size_t k = 0; k < half; ++k) {
+    const std::uint8_t* l0 = scratch.row_l.data() + (2 * k) * cols;
+    const std::uint8_t* l1 = scratch.row_l.data() + (2 * k + 1) * cols;
+    const std::uint8_t* h0 = scratch.row_h.data() + (2 * k) * cols;
+    const std::uint8_t* h1 = scratch.row_h.data() + (2 * k + 1) * cols;
+    kernels.haar_forward(l0, l1, out.ll.data() + k * cols, out.lh.data() + k * cols, cols);
+    kernels.haar_forward(h0, h1, out.hl.data() + k * cols, out.hh.data() + k * cols, cols);
+  }
+}
+
+void recompose_band_into(const BandPlanes& planes, std::size_t n, std::size_t w,
+                         std::uint8_t* band_out, BandScratch& scratch,
+                         const simd::BatchKernelTable& kernels) {
+  check_band(n, w);
+  const std::size_t cols = w / 2;
+  const std::size_t half = n / 2;
+  if (planes.rows != half || planes.cols != cols) {
+    throw std::invalid_argument("recompose_band_into: plane geometry mismatch");
+  }
+  scratch.row_even.resize(cols);
+  scratch.row_odd.resize(cols);
+  scratch.row_l.resize(n * cols);
+  scratch.row_h.resize(n * cols);
+
+  // Undo the vertical stage into the horizontal-output planes.
+  for (std::size_t k = 0; k < half; ++k) {
+    std::uint8_t* l0 = scratch.row_l.data() + (2 * k) * cols;
+    std::uint8_t* l1 = scratch.row_l.data() + (2 * k + 1) * cols;
+    std::uint8_t* h0 = scratch.row_h.data() + (2 * k) * cols;
+    std::uint8_t* h1 = scratch.row_h.data() + (2 * k + 1) * cols;
+    kernels.haar_inverse(planes.ll.data() + k * cols, planes.lh.data() + k * cols, l0, l1, cols);
+    kernels.haar_inverse(planes.hl.data() + k * cols, planes.hh.data() + k * cols, h0, h1, cols);
+  }
+  // Undo the horizontal stage and re-interleave each pixel row.
+  for (std::size_t y = 0; y < n; ++y) {
+    kernels.haar_inverse(scratch.row_l.data() + y * cols, scratch.row_h.data() + y * cols,
+                         scratch.row_even.data(), scratch.row_odd.data(), cols);
+    kernels.interleave(scratch.row_even.data(), scratch.row_odd.data(), band_out + y * w, cols);
+  }
+}
+
+void gather_column_pair(const BandPlanes& planes, std::size_t j, std::uint8_t* even,
+                        std::uint8_t* odd) {
+  const std::size_t half = planes.rows;
+  const std::size_t cols = planes.cols;
+  for (std::size_t k = 0; k < half; ++k) {
+    even[k] = planes.ll[k * cols + j];
+    even[half + k] = planes.lh[k * cols + j];
+    odd[k] = planes.hl[k * cols + j];
+    odd[half + k] = planes.hh[k * cols + j];
+  }
+}
+
+void scatter_column_pair(BandPlanes& planes, std::size_t j, const std::uint8_t* even,
+                         const std::uint8_t* odd) {
+  const std::size_t half = planes.rows;
+  const std::size_t cols = planes.cols;
+  for (std::size_t k = 0; k < half; ++k) {
+    planes.ll[k * cols + j] = even[k];
+    planes.lh[k * cols + j] = even[half + k];
+    planes.hl[k * cols + j] = odd[k];
+    planes.hh[k * cols + j] = odd[half + k];
+  }
+}
+
+}  // namespace swc::wavelet

@@ -1,0 +1,75 @@
+#pragma once
+// Row-blocked 2-D Haar transform of a whole N x W band buffer.
+//
+// The per-column-pair path (column_decomposer.hpp) gathers two strided
+// columns and lifts N/2 2x2 blocks at a time, which caps every SIMD step at
+// the window height. This layer instead runs the same lifting over whole
+// band rows: the horizontal stage deinterleaves each W-pixel row into
+// even/odd column arrays and lifts W/2 lanes per call, and the vertical
+// stage lifts adjacent row pairs of the horizontal output — contiguous
+// W/2-byte arrays again. The result is stored as four sub-band planes of
+// (N/2) x (W/2), from which a coefficient column (the codec's unit of work)
+// is a single strided gather:
+//   even column x=2j : LL[., j] on top, LH[., j] below
+//   odd  column x=2j+1: HL[., j] on top, HH[., j] below
+// matching column_decomposer's layout exactly — the two paths are
+// bit-identical (tests/wavelet/band_transform_test.cpp).
+//
+// All arithmetic is the Wrap8 (mod-256) lifting of wavelet/haar.hpp, so the
+// lossless-at-threshold-0 property is untouched.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "simd/batch_kernels.hpp"
+
+namespace swc::wavelet {
+
+// Four sub-band planes of a decomposed band, each rows() x cols() row-major
+// with rows() = N/2 and cols() = W/2.
+struct BandPlanes {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::vector<std::uint8_t> ll, lh, hl, hh;
+
+  void resize(std::size_t r, std::size_t c) {
+    rows = r;
+    cols = c;
+    ll.resize(r * c);
+    lh.resize(r * c);
+    hl.resize(r * c);
+    hh.resize(r * c);
+  }
+};
+
+// Reusable scratch for the horizontal-stage planes (caller-owned so the
+// steady-state engine loop stays allocation-free).
+struct BandScratch {
+  std::vector<std::uint8_t> row_even, row_odd;  // W/2 each
+  std::vector<std::uint8_t> row_l, row_h;       // N x W/2 horizontal planes
+};
+
+// Decomposes an n x w band (row-major, n and w even and non-zero) into four
+// sub-band planes. `kernels` defaults to the runtime-dispatched table.
+void decompose_band_into(const std::uint8_t* band, std::size_t n, std::size_t w, BandPlanes& out,
+                         BandScratch& scratch,
+                         const simd::BatchKernelTable& kernels = simd::batch());
+
+// Exact inverse: reconstructs the n x w band from the planes (threshold 0).
+void recompose_band_into(const BandPlanes& planes, std::size_t n, std::size_t w,
+                         std::uint8_t* band_out, BandScratch& scratch,
+                         const simd::BatchKernelTable& kernels = simd::batch());
+
+// Gathers the codec column pair j (image columns 2j and 2j+1) out of the
+// planes into the column_decomposer layout: even = [LL | LH], odd = [HL |
+// HH], each n bytes. `even`/`odd` must have room for n bytes.
+void gather_column_pair(const BandPlanes& planes, std::size_t j, std::uint8_t* even,
+                        std::uint8_t* odd);
+
+// Scatters a decoded codec column pair back into the planes (inverse of
+// gather_column_pair).
+void scatter_column_pair(BandPlanes& planes, std::size_t j, const std::uint8_t* even,
+                         const std::uint8_t* odd);
+
+}  // namespace swc::wavelet

@@ -13,20 +13,35 @@ void check_columns(std::size_t n0, std::size_t n1) {
 }  // namespace
 
 void decompose_column_pair_into(std::span<const std::uint8_t> col0,
-                                std::span<const std::uint8_t> col1, CoeffColumnPair& out) {
+                                std::span<const std::uint8_t> col1, CoeffColumnPair& out,
+                                PairScratch& scratch, const simd::BatchKernelTable& kernels) {
   check_columns(col0.size(), col1.size());
   const std::size_t n = col0.size();
   const std::size_t half = n / 2;
   out.even.resize(n);
   out.odd.resize(n);
-  for (std::size_t k = 0; k < half; ++k) {
-    const HaarBlockU8 c =
-        haar2d_forward_u8(col0[2 * k], col1[2 * k], col0[2 * k + 1], col1[2 * k + 1]);
-    out.even[k] = c.ll;
-    out.even[half + k] = c.lh;
-    out.odd[k] = c.hl;
-    out.odd[half + k] = c.hh;
-  }
+  scratch.l1.resize(n);
+  scratch.h1.resize(n);
+  scratch.a_even.resize(half);
+  scratch.a_odd.resize(half);
+
+  // Horizontal stage of every 2x2 block at once: one lifting pair across the
+  // two columns, elementwise down all n rows.
+  kernels.haar_forward(col0.data(), col1.data(), scratch.l1.data(), scratch.h1.data(), n);
+  // Vertical stage on the low-pass row values -> [LL | LH] (= even column).
+  kernels.deinterleave(scratch.l1.data(), scratch.a_even.data(), scratch.a_odd.data(), half);
+  kernels.haar_forward(scratch.a_even.data(), scratch.a_odd.data(), out.even.data(),
+                       out.even.data() + half, half);
+  // Vertical stage on the high-pass row values -> [HL | HH] (= odd column).
+  kernels.deinterleave(scratch.h1.data(), scratch.a_even.data(), scratch.a_odd.data(), half);
+  kernels.haar_forward(scratch.a_even.data(), scratch.a_odd.data(), out.odd.data(),
+                       out.odd.data() + half, half);
+}
+
+void decompose_column_pair_into(std::span<const std::uint8_t> col0,
+                                std::span<const std::uint8_t> col1, CoeffColumnPair& out) {
+  PairScratch scratch;
+  decompose_column_pair_into(col0, col1, out, scratch);
 }
 
 CoeffColumnPair decompose_column_pair(std::span<const std::uint8_t> col0,
@@ -37,20 +52,33 @@ CoeffColumnPair decompose_column_pair(std::span<const std::uint8_t> col0,
 }
 
 void recompose_column_pair_into(std::span<const std::uint8_t> even,
-                                std::span<const std::uint8_t> odd, PixelColumnPair& out) {
+                                std::span<const std::uint8_t> odd, PixelColumnPair& out,
+                                PairScratch& scratch, const simd::BatchKernelTable& kernels) {
   check_columns(even.size(), odd.size());
   const std::size_t n = even.size();
   const std::size_t half = n / 2;
   out.col0.resize(n);
   out.col1.resize(n);
-  for (std::size_t k = 0; k < half; ++k) {
-    const HaarBlockU8 c{even[k], even[half + k], odd[k], odd[half + k]};
-    const PixelBlockU8 p = haar2d_inverse_u8(c);
-    out.col0[2 * k] = p.x00;
-    out.col1[2 * k] = p.x01;
-    out.col0[2 * k + 1] = p.x10;
-    out.col1[2 * k + 1] = p.x11;
-  }
+  scratch.l1.resize(n);
+  scratch.h1.resize(n);
+  scratch.a_even.resize(half);
+  scratch.a_odd.resize(half);
+
+  // Undo the vertical stages: [LL | LH] -> low-pass rows, [HL | HH] -> high.
+  kernels.haar_inverse(even.data(), even.data() + half, scratch.a_even.data(),
+                       scratch.a_odd.data(), half);
+  kernels.interleave(scratch.a_even.data(), scratch.a_odd.data(), scratch.l1.data(), half);
+  kernels.haar_inverse(odd.data(), odd.data() + half, scratch.a_even.data(),
+                       scratch.a_odd.data(), half);
+  kernels.interleave(scratch.a_even.data(), scratch.a_odd.data(), scratch.h1.data(), half);
+  // Undo the horizontal stage into the two pixel columns.
+  kernels.haar_inverse(scratch.l1.data(), scratch.h1.data(), out.col0.data(), out.col1.data(), n);
+}
+
+void recompose_column_pair_into(std::span<const std::uint8_t> even,
+                                std::span<const std::uint8_t> odd, PixelColumnPair& out) {
+  PairScratch scratch;
+  recompose_column_pair_into(even, odd, out, scratch);
 }
 
 PixelColumnPair recompose_column_pair(std::span<const std::uint8_t> even,

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "image/image.hpp"
+#include "simd/batch_kernels.hpp"
 #include "wavelet/haar.hpp"
 
 namespace swc::wavelet {
@@ -35,9 +36,23 @@ struct CoeffColumnPair {
   std::vector<std::uint8_t> odd;   // HL then HH
 };
 
+// Reusable scratch for the two-stage batched lifting (horizontal pair stage
+// plus deinterleaved vertical stage). Caller-owned so per-cycle callers (hw
+// pipeline, streaming engine) stay allocation-free at steady state.
+struct PairScratch {
+  std::vector<std::uint8_t> l1, h1;          // horizontal-stage outputs, length n
+  std::vector<std::uint8_t> a_even, a_odd;   // deinterleaved halves, length n/2
+};
+
 // Forward transform of two adjacent pixel columns of equal, even length.
 // Throws std::invalid_argument on length mismatch or odd length. The _into
-// form reuses `out`'s buffers (allocation-free at steady state).
+// forms reuse `out`'s buffers (allocation-free at steady state); the
+// scratch-taking overload additionally reuses the lifting scratch and runs
+// the batch kernels of the dispatched (or explicitly given) SIMD table.
+void decompose_column_pair_into(std::span<const std::uint8_t> col0,
+                                std::span<const std::uint8_t> col1, CoeffColumnPair& out,
+                                PairScratch& scratch,
+                                const simd::BatchKernelTable& kernels = simd::batch());
 void decompose_column_pair_into(std::span<const std::uint8_t> col0,
                                 std::span<const std::uint8_t> col1, CoeffColumnPair& out);
 [[nodiscard]] CoeffColumnPair decompose_column_pair(std::span<const std::uint8_t> col0,
@@ -49,6 +64,10 @@ struct PixelColumnPair {
 };
 
 // Exact inverse of decompose_column_pair (threshold 0).
+void recompose_column_pair_into(std::span<const std::uint8_t> even,
+                                std::span<const std::uint8_t> odd, PixelColumnPair& out,
+                                PairScratch& scratch,
+                                const simd::BatchKernelTable& kernels = simd::batch());
 void recompose_column_pair_into(std::span<const std::uint8_t> even,
                                 std::span<const std::uint8_t> odd, PixelColumnPair& out);
 [[nodiscard]] PixelColumnPair recompose_column_pair(std::span<const std::uint8_t> even,

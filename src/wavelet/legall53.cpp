@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "simd/batch_kernels.hpp"
+
 namespace swc::wavelet {
 namespace {
 
@@ -12,55 +14,81 @@ void check_signal(std::size_t n_in, std::size_t n_out) {
   }
 }
 
-// Floor division by a power of two for possibly negative values.
-constexpr std::int32_t floor_div(std::int32_t v, int shift) noexcept { return v >> shift; }
+// Splits the interleaved signal into polyphase arrays plus the right-neighbour
+// even array with whole-sample symmetric extension (index n reflects to n-2,
+// i.e. the last even sample repeats).
+void load_polyphase(std::span<const std::int32_t> in, Legall53Scratch& s) {
+  const std::size_t half = in.size() / 2;
+  s.even.resize(half);
+  s.odd.resize(half);
+  s.even_next.resize(half);
+  for (std::size_t i = 0; i < half; ++i) {
+    s.even[i] = in[2 * i];
+    s.odd[i] = in[2 * i + 1];
+  }
+  for (std::size_t i = 0; i + 1 < half; ++i) s.even_next[i] = s.even[i + 1];
+  s.even_next[half - 1] = s.even[half - 1];
+}
 
-// Symmetric (whole-sample) extension: index -1 -> 1, n -> n-2.
-constexpr std::size_t reflect(std::ptrdiff_t i, std::size_t n) noexcept {
-  if (i < 0) return static_cast<std::size_t>(-i);
-  if (i >= static_cast<std::ptrdiff_t>(n)) return 2 * n - 2 - static_cast<std::size_t>(i);
-  return static_cast<std::size_t>(i);
+// d shifted one right with symmetric extension (d[-1] -> d[0]).
+void shift_details(std::span<const std::int32_t> d, std::vector<std::int32_t>& d_prev) {
+  const std::size_t half = d.size();
+  d_prev.resize(half);
+  d_prev[0] = d[0];
+  for (std::size_t i = 1; i < half; ++i) d_prev[i] = d[i - 1];
 }
 
 }  // namespace
 
-void legall53_forward_1d(std::span<const std::int32_t> in, std::span<std::int32_t> out) {
+void legall53_forward_1d_into(std::span<const std::int32_t> in, std::span<std::int32_t> out,
+                              Legall53Scratch& scratch) {
   check_signal(in.size(), out.size());
-  const std::size_t n = in.size();
-  const std::size_t half = n / 2;
-  // Predict: high-pass (detail) coefficients.
-  std::vector<std::int32_t> d(half);
+  const std::size_t half = in.size() / 2;
+  const auto& kernels = simd::batch();
+  load_polyphase(in, scratch);
+  scratch.d.resize(half);
+  // Predict: d[i] = x[2i+1] - floor((x[2i] + x[2i+2]) / 2).
+  kernels.legall_predict(scratch.even.data(), scratch.even_next.data(), scratch.odd.data(),
+                         scratch.d.data(), half, -1);
+  shift_details(scratch.d, scratch.d_prev);
+  // Update: s[i] = x[2i] + floor((d[i-1] + d[i] + 2) / 4).
+  kernels.legall_update(scratch.even.data(), scratch.d_prev.data(), scratch.d.data(), out.data(),
+                        half, +1);
+  std::copy(scratch.d.begin(), scratch.d.end(), out.begin() + static_cast<std::ptrdiff_t>(half));
+}
+
+void legall53_forward_1d(std::span<const std::int32_t> in, std::span<std::int32_t> out) {
+  Legall53Scratch scratch;
+  legall53_forward_1d_into(in, out, scratch);
+}
+
+void legall53_inverse_1d_into(std::span<const std::int32_t> in, std::span<std::int32_t> out,
+                              Legall53Scratch& scratch) {
+  check_signal(in.size(), out.size());
+  const std::size_t half = in.size() / 2;
+  const auto& kernels = simd::batch();
+  const auto s = in.subspan(0, half);
+  const auto d = in.subspan(half, half);
+  shift_details(d, scratch.d_prev);
+  scratch.even.resize(half);
+  scratch.even_next.resize(half);
+  scratch.odd.resize(half);
+  // Undo update: x[2i] = s[i] - floor((d[i-1] + d[i] + 2) / 4).
+  kernels.legall_update(s.data(), scratch.d_prev.data(), d.data(), scratch.even.data(), half, -1);
+  for (std::size_t i = 0; i + 1 < half; ++i) scratch.even_next[i] = scratch.even[i + 1];
+  scratch.even_next[half - 1] = scratch.even[half - 1];
+  // Undo predict: x[2i+1] = d[i] + floor((x[2i] + x[2i+2]) / 2).
+  kernels.legall_predict(scratch.even.data(), scratch.even_next.data(), d.data(),
+                         scratch.odd.data(), half, +1);
   for (std::size_t i = 0; i < half; ++i) {
-    const std::int32_t left = in[2 * i];
-    const std::int32_t right = in[reflect(static_cast<std::ptrdiff_t>(2 * i + 2), n)];
-    d[i] = in[2 * i + 1] - floor_div(left + right, 1);
+    out[2 * i] = scratch.even[i];
+    out[2 * i + 1] = scratch.odd[i];
   }
-  // Update: low-pass coefficients.
-  for (std::size_t i = 0; i < half; ++i) {
-    const std::int32_t d_prev = d[i == 0 ? 0 : i - 1];  // symmetric extension of d
-    out[i] = in[2 * i] + floor_div(d_prev + d[i] + 2, 2);
-  }
-  for (std::size_t i = 0; i < half; ++i) out[half + i] = d[i];
 }
 
 void legall53_inverse_1d(std::span<const std::int32_t> in, std::span<std::int32_t> out) {
-  check_signal(in.size(), out.size());
-  const std::size_t n = in.size();
-  const std::size_t half = n / 2;
-  const auto s = in.subspan(0, half);
-  const auto d = in.subspan(half, half);
-  // Undo update: even samples.
-  for (std::size_t i = 0; i < half; ++i) {
-    const std::int32_t d_prev = d[i == 0 ? 0 : i - 1];
-    out[2 * i] = s[i] - floor_div(d_prev + d[i] + 2, 2);
-  }
-  // Undo predict: odd samples.
-  for (std::size_t i = 0; i < half; ++i) {
-    const std::int32_t left = out[2 * i];
-    const std::int32_t right =
-        out[reflect(static_cast<std::ptrdiff_t>(2 * i + 2), n) / 2 * 2];  // even sample
-    out[2 * i + 1] = d[i] + floor_div(left + right, 1);
-  }
+  Legall53Scratch scratch;
+  legall53_inverse_1d_into(in, out, scratch);
 }
 
 ImageI32 legall53_forward_2d(const image::ImageU8& img) {
@@ -73,18 +101,19 @@ ImageI32 legall53_forward_2d(const image::ImageU8& img) {
   }
   std::vector<std::int32_t> line(std::max(img.width(), img.height()));
   std::vector<std::int32_t> coeff(line.size());
+  Legall53Scratch scratch;
   // Horizontal pass.
   for (std::size_t y = 0; y < plane.height(); ++y) {
     for (std::size_t x = 0; x < plane.width(); ++x) line[x] = plane.at(x, y);
-    legall53_forward_1d(std::span(line).subspan(0, plane.width()),
-                        std::span(coeff).subspan(0, plane.width()));
+    legall53_forward_1d_into(std::span(line).subspan(0, plane.width()),
+                             std::span(coeff).subspan(0, plane.width()), scratch);
     for (std::size_t x = 0; x < plane.width(); ++x) plane.at(x, y) = coeff[x];
   }
   // Vertical pass.
   for (std::size_t x = 0; x < plane.width(); ++x) {
     for (std::size_t y = 0; y < plane.height(); ++y) line[y] = plane.at(x, y);
-    legall53_forward_1d(std::span(line).subspan(0, plane.height()),
-                        std::span(coeff).subspan(0, plane.height()));
+    legall53_forward_1d_into(std::span(line).subspan(0, plane.height()),
+                             std::span(coeff).subspan(0, plane.height()), scratch);
     for (std::size_t y = 0; y < plane.height(); ++y) plane.at(x, y) = coeff[y];
   }
   return plane;
@@ -97,17 +126,18 @@ image::ImageU8 legall53_inverse_2d(const ImageI32& coeffs) {
   ImageI32 plane = coeffs;
   std::vector<std::int32_t> line(std::max(plane.width(), plane.height()));
   std::vector<std::int32_t> out(line.size());
+  Legall53Scratch scratch;
   // Undo vertical pass first (reverse of forward order).
   for (std::size_t x = 0; x < plane.width(); ++x) {
     for (std::size_t y = 0; y < plane.height(); ++y) line[y] = plane.at(x, y);
-    legall53_inverse_1d(std::span(line).subspan(0, plane.height()),
-                        std::span(out).subspan(0, plane.height()));
+    legall53_inverse_1d_into(std::span(line).subspan(0, plane.height()),
+                             std::span(out).subspan(0, plane.height()), scratch);
     for (std::size_t y = 0; y < plane.height(); ++y) plane.at(x, y) = out[y];
   }
   for (std::size_t y = 0; y < plane.height(); ++y) {
     for (std::size_t x = 0; x < plane.width(); ++x) line[x] = plane.at(x, y);
-    legall53_inverse_1d(std::span(line).subspan(0, plane.width()),
-                        std::span(out).subspan(0, plane.width()));
+    legall53_inverse_1d_into(std::span(line).subspan(0, plane.width()),
+                             std::span(out).subspan(0, plane.width()), scratch);
     for (std::size_t x = 0; x < plane.width(); ++x) plane.at(x, y) = out[x];
   }
   image::ImageU8 result(coeffs.width(), coeffs.height());

@@ -19,11 +19,24 @@ namespace swc::wavelet {
 
 using ImageI32 = image::Image<std::int32_t>;
 
+// Reusable lifting scratch (deinterleaved halves plus shifted neighbour
+// arrays) so the 2-D transforms run every line allocation-free through the
+// batched predict/update kernels.
+struct Legall53Scratch {
+  std::vector<std::int32_t> even, odd, even_next, d, d_prev;
+};
+
 // 1-D forward transform of an even-length signal: low-pass coefficients in
-// out[0 .. n/2), high-pass in out[n/2 .. n).
+// out[0 .. n/2), high-pass in out[n/2 .. n). The _into forms take the
+// caller-owned scratch and run the runtime-dispatched SIMD lifting kernels;
+// the plain forms wrap them with a local scratch.
+void legall53_forward_1d_into(std::span<const std::int32_t> in, std::span<std::int32_t> out,
+                              Legall53Scratch& scratch);
 void legall53_forward_1d(std::span<const std::int32_t> in, std::span<std::int32_t> out);
 
 // Exact inverse of legall53_forward_1d.
+void legall53_inverse_1d_into(std::span<const std::int32_t> in, std::span<std::int32_t> out,
+                              Legall53Scratch& scratch);
 void legall53_inverse_1d(std::span<const std::int32_t> in, std::span<std::int32_t> out);
 
 // Separable single-level 2-D transform (Mallat quadrant layout) and its

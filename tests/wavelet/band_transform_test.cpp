@@ -1,0 +1,99 @@
+// The row-blocked band transform must be bit-identical to the per-pair
+// column decomposer (they are two layouts of the same wrap-mod-256 lifting),
+// and must round-trip exactly — under every available SIMD table.
+
+#include "wavelet/band_transform.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "image/rng.hpp"
+#include "simd/batch_kernels.hpp"
+#include "wavelet/column_decomposer.hpp"
+
+namespace swc::wavelet {
+namespace {
+
+std::vector<std::uint8_t> random_band(std::size_t n, std::size_t w, std::uint64_t seed) {
+  image::SplitMix64 rng(seed);
+  std::vector<std::uint8_t> band(n * w);
+  for (auto& v : band) v = static_cast<std::uint8_t>(rng.next());
+  return band;
+}
+
+struct Geometry {
+  std::size_t n, w;
+};
+
+const Geometry kGeometries[] = {{2, 2}, {2, 64}, {8, 8}, {8, 34}, {16, 512}, {64, 66}};
+
+TEST(BandTransform, MatchesColumnDecomposerBitExactly) {
+  for (const auto* table : simd::available_tables()) {
+    for (const auto [n, w] : kGeometries) {
+      const auto band = random_band(n, w, 42 * n + w);
+      BandPlanes planes;
+      BandScratch scratch;
+      decompose_band_into(band.data(), n, w, planes, scratch, *table);
+
+      std::vector<std::uint8_t> c0(n), c1(n), even(n), odd(n);
+      CoeffColumnPair pair;
+      for (std::size_t j = 0; 2 * j + 1 < w; ++j) {
+        for (std::size_t y = 0; y < n; ++y) {
+          c0[y] = band[y * w + 2 * j];
+          c1[y] = band[y * w + 2 * j + 1];
+        }
+        decompose_column_pair_into(c0, c1, pair);
+        gather_column_pair(planes, j, even.data(), odd.data());
+        ASSERT_EQ(even, pair.even) << table->name << " n=" << n << " w=" << w << " j=" << j;
+        ASSERT_EQ(odd, pair.odd) << table->name << " n=" << n << " w=" << w << " j=" << j;
+      }
+    }
+  }
+}
+
+TEST(BandTransform, RoundTripsExactly) {
+  for (const auto* table : simd::available_tables()) {
+    for (const auto [n, w] : kGeometries) {
+      const auto band = random_band(n, w, 7 * n + 3 * w);
+      BandPlanes planes;
+      BandScratch scratch;
+      decompose_band_into(band.data(), n, w, planes, scratch, *table);
+      std::vector<std::uint8_t> back(n * w);
+      recompose_band_into(planes, n, w, back.data(), scratch, *table);
+      ASSERT_EQ(back, band) << table->name << " n=" << n << " w=" << w;
+    }
+  }
+}
+
+TEST(BandTransform, ScatterGatherRoundTrip) {
+  const std::size_t n = 8, w = 32;
+  const auto band = random_band(n, w, 99);
+  BandPlanes planes, rebuilt;
+  BandScratch scratch;
+  decompose_band_into(band.data(), n, w, planes, scratch);
+  rebuilt.resize(n / 2, w / 2);
+  std::vector<std::uint8_t> even(n), odd(n);
+  for (std::size_t j = 0; j < w / 2; ++j) {
+    gather_column_pair(planes, j, even.data(), odd.data());
+    scatter_column_pair(rebuilt, j, even.data(), odd.data());
+  }
+  EXPECT_EQ(rebuilt.ll, planes.ll);
+  EXPECT_EQ(rebuilt.lh, planes.lh);
+  EXPECT_EQ(rebuilt.hl, planes.hl);
+  EXPECT_EQ(rebuilt.hh, planes.hh);
+}
+
+TEST(BandTransform, RejectsBadGeometry) {
+  BandPlanes planes;
+  BandScratch scratch;
+  std::vector<std::uint8_t> band(8);
+  EXPECT_THROW(decompose_band_into(band.data(), 0, 8, planes, scratch), std::invalid_argument);
+  EXPECT_THROW(decompose_band_into(band.data(), 2, 3, planes, scratch), std::invalid_argument);
+  EXPECT_THROW(decompose_band_into(band.data(), 3, 2, planes, scratch), std::invalid_argument);
+  decompose_band_into(band.data(), 2, 4, planes, scratch);
+  EXPECT_THROW(recompose_band_into(planes, 4, 4, band.data(), scratch), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace swc::wavelet

@@ -85,6 +85,31 @@ TEST(Haar2dWide, VerticalEdgeActivatesHl) {
   EXPECT_EQ(c.hh, 0);
 }
 
+TEST(HaarWrap8, RoundTripExhaustiveAllBytePairs) {
+  // The wrap-mod-256 lifting is invertible for every (x0, x1) in Z/256Z —
+  // the fact that makes the paper's 8-bit datapath lossless. Exhaustive.
+  for (int a = 0; a < 256; ++a) {
+    for (int b = 0; b < 256; ++b) {
+      const auto x0 = static_cast<std::uint8_t>(a);
+      const auto x1 = static_cast<std::uint8_t>(b);
+      const HaarPairU8 p = haar_forward_u8(x0, x1);
+      const auto [r0, r1] = haar_inverse_u8(p.l, p.h);
+      ASSERT_EQ(r0, x0) << a << "," << b;
+      ASSERT_EQ(r1, x1) << a << "," << b;
+    }
+  }
+}
+
+TEST(HaarWrap8, DetailIsWrappedDifference) {
+  for (int a = 0; a < 256; a += 3) {
+    for (int b = 0; b < 256; b += 5) {
+      const HaarPairU8 p =
+          haar_forward_u8(static_cast<std::uint8_t>(a), static_cast<std::uint8_t>(b));
+      EXPECT_EQ(p.h, static_cast<std::uint8_t>(a - b));
+    }
+  }
+}
+
 TEST(HaarStoredInterpretation, SignHelpersRoundTrip) {
   for (int v = 0; v < 256; ++v) {
     const auto stored = static_cast<std::uint8_t>(v);

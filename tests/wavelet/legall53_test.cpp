@@ -32,6 +32,47 @@ TEST_P(Legall1d, RoundTripsRandomSignals) {
 
 INSTANTIATE_TEST_SUITE_P(Lengths, Legall1d, ::testing::Values(2, 4, 6, 8, 16, 64, 128));
 
+// Loop-form reference of the lifting equations, independent of the batched
+// kernel implementation behind legall53_forward_1d_into.
+void reference_forward(const std::vector<std::int32_t>& x, std::vector<std::int32_t>& out) {
+  const std::size_t n = x.size();
+  const std::size_t half = n / 2;
+  std::vector<std::int32_t> d(half);
+  for (std::size_t i = 0; i < half; ++i) {
+    const std::int32_t right = (2 * i + 2 < n) ? x[2 * i + 2] : x[n - 2];
+    d[i] = x[2 * i + 1] - ((x[2 * i] + right) >> 1);
+  }
+  for (std::size_t i = 0; i < half; ++i) {
+    const std::int32_t d_prev = d[i == 0 ? 0 : i - 1];
+    out[i] = x[2 * i] + ((d_prev + d[i] + 2) >> 2);
+  }
+  for (std::size_t i = 0; i < half; ++i) out[half + i] = d[i];
+}
+
+TEST(Legall53Into, MatchesLoopReferenceAtManyLengths) {
+  Legall53Scratch scratch;
+  for (const std::size_t n : {2u, 4u, 6u, 10u, 30u, 62u, 254u, 256u}) {
+    for (std::uint64_t seed = 0; seed < 10; ++seed) {
+      const auto x = random_signal(n, 400 + seed, -512, 512);
+      std::vector<std::int32_t> got(n), expected(n), back(n);
+      legall53_forward_1d_into(x, got, scratch);
+      reference_forward(x, expected);
+      ASSERT_EQ(got, expected) << "n=" << n << " seed=" << seed;
+      legall53_inverse_1d_into(got, back, scratch);
+      ASSERT_EQ(back, x) << "n=" << n << " seed=" << seed;
+    }
+  }
+}
+
+TEST(Legall53Into, PlainFormsDelegateToInto) {
+  Legall53Scratch scratch;
+  const auto x = random_signal(64, 1234, -300, 300);
+  std::vector<std::int32_t> a(64), b(64);
+  legall53_forward_1d(x, a);
+  legall53_forward_1d_into(x, b, scratch);
+  EXPECT_EQ(a, b);
+}
+
 TEST(Legall53, ConstantSignalHasZeroDetails) {
   const std::vector<std::int32_t> x(16, 77);
   std::vector<std::int32_t> coeffs(16);
