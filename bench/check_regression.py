@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Compare a freshly generated BENCH_*.json against the committed baseline.
+
+Usage:
+    check_regression.py --baseline BENCH_codec.json --fresh run_a/BENCH_codec.json \
+        [--fresh run_b/BENCH_codec.json ...] [--threshold-pct 15] [--metric throughput]
+
+Records are matched on (name, config, metric); only `--metric` records
+(default: throughput) are compared, because derived ratios (speedup) move
+whenever either side of the division moves and would double-report.
+
+Exit status is non-zero when any matched record's fresh value falls more than
+--threshold-pct below the baseline, or when a baseline record is missing from
+the fresh run (silent coverage loss must not pass). Improvements and new
+records are reported but never fail the check. The default 15% tolerance
+absorbs machine-to-machine noise on shared CI runners; tighten it for
+dedicated hardware.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load_records(path: str) -> dict[tuple[str, str, str], dict]:
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    out = {}
+    for rec in doc.get("records", []):
+        out[(rec["name"], rec["config"], rec["metric"])] = rec
+    return out
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True, help="committed BENCH_*.json")
+    parser.add_argument("--fresh", required=True, action="append",
+                        help="freshly generated BENCH_*.json; may be given several "
+                             "times, in which case each record's best (max) value is "
+                             "compared — a false regression then needs every run slow, "
+                             "which de-flakes the gate on shared machines")
+    parser.add_argument("--threshold-pct", type=float, default=15.0,
+                        help="allowed drop below baseline before failing (default 15)")
+    parser.add_argument("--metric", default="throughput",
+                        help="metric name to compare (default: throughput)")
+    args = parser.parse_args()
+
+    baseline = load_records(args.baseline)
+    fresh: dict[tuple[str, str, str], dict] = {}
+    for path in args.fresh:
+        for key, rec in load_records(path).items():
+            best = fresh.get(key)
+            if best is None or float(rec["value"]) > float(best["value"]):
+                fresh[key] = rec
+
+    compared = 0
+    regressions = []
+    missing = []
+    for key, base_rec in sorted(baseline.items()):
+        name, config, metric = key
+        if metric != args.metric:
+            continue
+        fresh_rec = fresh.get(key)
+        if fresh_rec is None:
+            missing.append(key)
+            continue
+        compared += 1
+        base_v = float(base_rec["value"])
+        fresh_v = float(fresh_rec["value"])
+        delta_pct = 100.0 * (fresh_v - base_v) / base_v if base_v else 0.0
+        marker = " "
+        if base_v > 0 and fresh_v < base_v * (1.0 - args.threshold_pct / 100.0):
+            regressions.append((key, base_v, fresh_v, delta_pct))
+            marker = "!"
+        print(f"{marker} {name:24s} {config:60s} "
+              f"{base_v:10.2f} -> {fresh_v:10.2f} {base_rec.get('unit', ''):6s} "
+              f"({delta_pct:+6.1f}%)")
+
+    for key in sorted(fresh.keys() - baseline.keys()):
+        if key[2] == args.metric:
+            print(f"+ {key[0]:24s} {key[1]:60s} (new record, not compared)")
+
+    if missing:
+        print(f"\nFAIL: {len(missing)} baseline record(s) missing from the fresh run:",
+              file=sys.stderr)
+        for name, config, metric in missing:
+            print(f"  {name} | {config} | {metric}", file=sys.stderr)
+        return 1
+    if regressions:
+        print(f"\nFAIL: {len(regressions)} record(s) regressed more than "
+              f"{args.threshold_pct:.0f}% vs {args.baseline}:", file=sys.stderr)
+        for (name, config, _), base_v, fresh_v, delta_pct in regressions:
+            print(f"  {name} | {config}: {base_v:.2f} -> {fresh_v:.2f} ({delta_pct:+.1f}%)",
+                  file=sys.stderr)
+        return 1
+    if compared == 0:
+        print(f"\nFAIL: no '{args.metric}' records in {args.baseline} to compare",
+              file=sys.stderr)
+        return 1
+    print(f"\nOK: {compared} record(s) within {args.threshold_pct:.0f}% of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,7 +19,7 @@ namespace swc::bitpack {
   const std::uint8_t sign = static_cast<std::uint8_t>(stored >> 7);
   int run = 0;  // leading bits equal to the sign bit, starting at bit 6
   for (int bit = 6; bit >= 0; --bit) {
-    if (((stored >> bit) & 1u) == sign) {
+    if (((static_cast<unsigned>(stored) >> bit) & 1u) == sign) {
       ++run;
     } else {
       break;
@@ -35,7 +35,7 @@ namespace swc::bitpack {
 // simd::BatchKernelTable::nbits_or_bus kernel.
 [[nodiscard]] constexpr int nbits_from_or_bus(std::uint8_t or_bus) noexcept {
   for (int p = 6; p >= 0; --p) {
-    if ((or_bus >> p) & 1u) return p + 2;
+    if ((static_cast<unsigned>(or_bus) >> p) & 1u) return p + 2;
   }
   return 1;
 }

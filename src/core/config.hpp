@@ -5,6 +5,10 @@
 #include <stdexcept>
 
 #include "bitpack/column_codec.hpp"
+// Header-only width table shared with the hardware model and the resource
+// estimator; the BRAM accounting below must use the same field widths the
+// datapath types prove (hw/widths.hpp).
+#include "hw/widths.hpp"
 
 namespace swc::core {
 
@@ -35,17 +39,18 @@ struct SlidingWindowSpec {
   // Table I counts N buffered rows (the compressed architecture stores full
   // N-pixel columns, and Table I matches that for comparability).
   [[nodiscard]] std::size_t traditional_bits() const noexcept {
-    return buffered_columns() * window * 8;
+    return buffered_columns() * window * static_cast<std::size_t>(hw::widths::kPixelBits);
   }
 
   // Management-bit totals from Section IV-C:
-  //   NBits : 2 fields x 4 bits per buffered column,
-  //   BitMap: 1 bit per buffered coefficient.
+  //   NBits : kNBitsFieldsPerColumn fields x kNBitsFieldBits per buffered column,
+  //   BitMap: kBitMapBits per buffered coefficient.
   [[nodiscard]] std::size_t nbits_management_bits() const noexcept {
-    return 2 * 4 * buffered_columns();
+    return static_cast<std::size_t>(hw::widths::kNBitsFieldsPerColumn) *
+           static_cast<std::size_t>(hw::widths::kNBitsFieldBits) * buffered_columns();
   }
   [[nodiscard]] std::size_t bitmap_management_bits() const noexcept {
-    return buffered_columns() * window;
+    return buffered_columns() * window * static_cast<std::size_t>(hw::widths::kBitMapBits);
   }
   [[nodiscard]] std::size_t management_bits() const noexcept {
     return nbits_management_bits() + bitmap_management_bits();

@@ -5,30 +5,43 @@
 // the column's NBits (from the Fig. 7 finder), and the significance decision
 // from the threshold comparator; it accumulates the coefficient's NBits
 // least-significant bits and emits a byte to the Memory Unit whenever
-// BitMax = 8 bits are ready. The accumulator pair (Yout_Current + carry into
-// Yout_Reg) is modelled as one 16-bit register: CBits <= 7 residual bits plus
-// at most 8 incoming bits never exceeds 15.
+// BitMax = 8 bits are ready.
+//
+// Every register carries its paper width in its type (hw/widths.hpp): the
+// accumulator pair (Yout_Current + Yout_Reg) is a 16-bit register, CBits a
+// 4-bit counter, and the static_assert below proves the worst-case insert
+// (CBits <= 7 residual bits plus at most BitMax incoming) spans exactly 15
+// live bits — the fact that sizes the accumulator.
 
 #include <cassert>
 #include <cstdint>
 #include <optional>
 
+#include "hw/bits.hpp"
+#include "hw/widths.hpp"
+
 namespace swc::hw {
 
 class BitPackUnit {
  public:
+  using Acc = widths::PackAccReg;    // Yout_Current + Yout_Reg datapath
+  using CBits = widths::CBitsReg;    // CBits residual counter
+
   // Clocks one coefficient. Returns the output byte when WEN fires.
   std::optional<std::uint8_t> step(std::uint8_t coeff, int nbits, bool significant) {
-    assert(nbits >= 1 && nbits <= 8);
+    assert(nbits >= 1 && nbits <= widths::kBitMax);
     if (significant) {
-      const std::uint16_t mask = static_cast<std::uint16_t>((1u << nbits) - 1u);
-      acc_ = static_cast<std::uint16_t>(acc_ | static_cast<std::uint16_t>((coeff & mask) << cbits_));
-      cbits_ += nbits;
+      const widths::CoeffReg field =
+          widths::CoeffReg(coeff) & bits::mask_lsb<widths::kCoeffBits>(nbits);
+      const auto insert = field.shl_bounded<widths::kBitMax - 1>(cbits_.to_int());
+      static_assert(decltype(insert)::width == widths::kPackInsertBits);
+      acc_ |= insert;
+      cbits_ = (cbits_ + CBits(static_cast<unsigned>(nbits))).trunc<widths::kCBitsBits>();
     }
-    if (cbits_ >= 8) {
-      const auto byte = static_cast<std::uint8_t>(acc_ & 0xFFu);
-      acc_ = static_cast<std::uint16_t>(acc_ >> 8);
-      cbits_ -= 8;
+    if (cbits_.to_int() >= widths::kBitMax) {
+      const std::uint8_t byte = acc_.wrap<widths::kPackedWordBits>().to_u8();
+      acc_ = acc_.shr(widths::kBitMax);
+      cbits_ = (cbits_ - CBits(widths::kBitMax)).trunc<widths::kCBitsBits>();
       return byte;
     }
     return std::nullopt;
@@ -38,18 +51,18 @@ class BitPackUnit {
   // image row's packed stream is byte-aligned and self-contained. Returns
   // the padded byte if any bits were pending.
   std::optional<std::uint8_t> flush() {
-    if (cbits_ == 0) return std::nullopt;
-    const auto byte = static_cast<std::uint8_t>(acc_ & 0xFFu);
-    acc_ = 0;
-    cbits_ = 0;
+    if (cbits_ == 0u) return std::nullopt;
+    const std::uint8_t byte = acc_.wrap<widths::kPackedWordBits>().to_u8();
+    acc_ = Acc(0u);
+    cbits_ = CBits(0u);
     return byte;
   }
 
-  [[nodiscard]] int pending_bits() const noexcept { return cbits_; }
+  [[nodiscard]] int pending_bits() const noexcept { return cbits_.to_int(); }
 
  private:
-  std::uint16_t acc_ = 0;  // Yout_Current + Yout_Reg datapath
-  int cbits_ = 0;          // CBits register
+  Acc acc_{0u};
+  CBits cbits_{0u};
 };
 
 }  // namespace swc::hw

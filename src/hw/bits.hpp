@@ -1,0 +1,333 @@
+#pragma once
+// Width-tracked integer register types for the hardware model, in the style
+// of HLS `ap_uint<N>` / `ap_int<N>`.
+//
+// The paper's BRAM arithmetic rests on exact datapath widths (8-bit wrapped
+// Haar coefficients, 9-bit lifting adders, 4-bit NBits fields, 16-bit packing
+// accumulators). These templates make those widths part of the type system:
+//
+//  * Arithmetic propagates widths at compile time exactly as synthesis
+//    would provision them: add/sub -> max(N, M) + 1, multiply -> N + M,
+//    bitwise ops -> max(N, M), static shift-left by K -> N + K.
+//  * Implicit narrowing does not compile: converting ap_uint<9> to
+//    ap_uint<8> requires an explicit trunc<8>() (value-preserving, checked)
+//    or wrap<8>() (modular reduction, the hardware register wrap).
+//  * In debug builds (!NDEBUG) every construction and trunc<>() asserts the
+//    value fits the declared width, so a width the model under-provisions
+//    trips immediately instead of silently wrapping.
+//
+// The widths themselves live in one table, hw/widths.hpp, shared with the
+// FPGA resource estimator so the cycle model and the BRAM/LUT arithmetic can
+// never diverge.
+
+#include <cassert>
+#include <compare>
+#include <concepts>
+#include <cstdint>
+#include <ostream>
+#include <type_traits>
+
+namespace swc::hw::bits {
+
+namespace detail {
+
+// Smallest unsigned storage that holds N bits.
+template <int N>
+using uint_storage_t =
+    std::conditional_t<(N <= 8), std::uint8_t,
+                       std::conditional_t<(N <= 16), std::uint16_t,
+                                          std::conditional_t<(N <= 32), std::uint32_t,
+                                                             std::uint64_t>>>;
+
+template <int N>
+using int_storage_t =
+    std::conditional_t<(N <= 8), std::int8_t,
+                       std::conditional_t<(N <= 16), std::int16_t,
+                                          std::conditional_t<(N <= 32), std::int32_t,
+                                                             std::int64_t>>>;
+
+template <int N>
+[[nodiscard]] constexpr std::uint64_t low_mask() noexcept {
+  if constexpr (N >= 64) {
+    return ~std::uint64_t{0};
+  } else {
+    return (std::uint64_t{1} << N) - 1u;
+  }
+}
+
+constexpr int max_int(int a, int b) noexcept { return a > b ? a : b; }
+
+}  // namespace detail
+
+template <int N>
+class ap_int;
+
+template <int N>
+class ap_uint {
+  static_assert(N >= 1 && N <= 64, "ap_uint width must be in [1, 64]");
+
+ public:
+  using storage_t = detail::uint_storage_t<N>;
+  static constexpr int width = N;
+  static constexpr std::uint64_t max_value = detail::low_mask<N>();
+
+  constexpr ap_uint() = default;
+
+  // Raw-integer construction is explicit and (in debug builds) range-checked:
+  // a value that does not fit the declared width is a provisioning bug.
+  template <std::integral I>
+  explicit constexpr ap_uint(I v) : v_(static_cast<storage_t>(v)) {
+    assert(v >= 0 && "ap_uint: negative value");
+    assert(static_cast<std::uint64_t>(v) <= max_value && "ap_uint: value exceeds width");
+  }
+
+  // Widening from a narrower register is implicit (always value-preserving).
+  template <int M>
+    requires(M < N)
+  constexpr ap_uint(ap_uint<M> o) noexcept : v_(static_cast<storage_t>(o.value())) {}
+
+  // Narrowing never happens implicitly: use trunc<M>() or wrap<M>().
+  template <int M>
+    requires(M > N)
+  ap_uint(ap_uint<M>) = delete;
+  template <int M>
+    requires(M > N)
+  ap_uint& operator=(ap_uint<M>) = delete;
+
+  [[nodiscard]] constexpr std::uint64_t value() const noexcept { return v_; }
+  [[nodiscard]] constexpr int to_int() const noexcept {
+    static_assert(N <= 31, "to_int requires the value to fit a signed int");
+    return static_cast<int>(v_);
+  }
+  [[nodiscard]] constexpr std::uint8_t to_u8() const noexcept {
+    static_assert(N <= 8, "to_u8 requires an 8-bit-or-narrower register");
+    return static_cast<std::uint8_t>(v_);
+  }
+
+  // Checked narrowing: the value must already fit M bits (debug-asserted).
+  template <int M>
+    requires(M <= N)
+  [[nodiscard]] constexpr ap_uint<M> trunc() const noexcept {
+    assert(v_ <= ap_uint<M>::max_value && "trunc: value does not fit the narrower width");
+    return ap_uint<M>(static_cast<std::uint64_t>(v_) & detail::low_mask<M>());
+  }
+
+  // Modular reduction to M bits: the explicit hardware register wrap.
+  template <int M>
+    requires(M <= N)
+  [[nodiscard]] constexpr ap_uint<M> wrap() const noexcept {
+    return ap_uint<M>(static_cast<std::uint64_t>(v_) & detail::low_mask<M>());
+  }
+
+  // Two's-complement reinterpretation at the same width.
+  [[nodiscard]] constexpr ap_int<N> as_signed() const noexcept;
+
+  // --- width-propagating arithmetic -----------------------------------------
+  template <int M>
+    requires(detail::max_int(N, M) + 1 <= 64)
+  [[nodiscard]] constexpr auto operator+(ap_uint<M> o) const noexcept {
+    return ap_uint<detail::max_int(N, M) + 1>(static_cast<std::uint64_t>(v_) + o.value());
+  }
+
+  // Subtraction of unsigned registers is signed at full precision, exactly
+  // like the lifting subtractor: max(N, M) + 1 two's-complement bits.
+  template <int M>
+    requires(detail::max_int(N, M) + 1 <= 64)
+  [[nodiscard]] constexpr auto operator-(ap_uint<M> o) const noexcept {
+    return ap_int<detail::max_int(N, M) + 1>(static_cast<std::int64_t>(v_) -
+                                             static_cast<std::int64_t>(o.value()));
+  }
+
+  template <int M>
+    requires(N + M <= 64)
+  [[nodiscard]] constexpr auto operator*(ap_uint<M> o) const noexcept {
+    return ap_uint<N + M>(static_cast<std::uint64_t>(v_) * o.value());
+  }
+
+  template <int M>
+  [[nodiscard]] constexpr auto operator&(ap_uint<M> o) const noexcept {
+    return ap_uint<detail::max_int(N, M)>(static_cast<std::uint64_t>(v_) & o.value());
+  }
+  template <int M>
+  [[nodiscard]] constexpr auto operator|(ap_uint<M> o) const noexcept {
+    return ap_uint<detail::max_int(N, M)>(static_cast<std::uint64_t>(v_) | o.value());
+  }
+  template <int M>
+  [[nodiscard]] constexpr auto operator^(ap_uint<M> o) const noexcept {
+    return ap_uint<detail::max_int(N, M)>(static_cast<std::uint64_t>(v_) ^ o.value());
+  }
+
+  template <int M>
+    requires(M <= N)
+  constexpr ap_uint& operator|=(ap_uint<M> o) noexcept {
+    v_ = static_cast<storage_t>(v_ | static_cast<storage_t>(o.value()));
+    return *this;
+  }
+  template <int M>
+    requires(M <= N)
+  constexpr ap_uint& operator&=(ap_uint<M> o) noexcept {
+    v_ = static_cast<storage_t>(static_cast<std::uint64_t>(v_) &
+                                (o.value() | ~detail::low_mask<M>()));
+    return *this;
+  }
+
+  // Static shift left widens by the shift amount (no bits can be lost).
+  template <int K>
+    requires(N + K <= 64)
+  [[nodiscard]] constexpr ap_uint<N + K> shl() const noexcept {
+    return ap_uint<N + K>(static_cast<std::uint64_t>(v_) << K);
+  }
+
+  // Dynamic shift left must declare its bound: the result is provisioned for
+  // the worst case N + MaxShift, and the actual shift is debug-asserted.
+  template <int MaxShift>
+    requires(N + MaxShift <= 64)
+  [[nodiscard]] constexpr ap_uint<N + MaxShift> shl_bounded(int s) const noexcept {
+    assert(s >= 0 && s <= MaxShift && "shl_bounded: shift exceeds declared bound");
+    return ap_uint<N + MaxShift>(static_cast<std::uint64_t>(v_) << s);
+  }
+
+  // Shift right never widens.
+  [[nodiscard]] constexpr ap_uint shr(int s) const noexcept {
+    assert(s >= 0 && s < 64 && "shr: bad shift");
+    return ap_uint(static_cast<std::uint64_t>(v_) >> s);
+  }
+
+  // --- comparisons ----------------------------------------------------------
+  template <int M>
+  [[nodiscard]] constexpr bool operator==(ap_uint<M> o) const noexcept {
+    return static_cast<std::uint64_t>(v_) == o.value();
+  }
+  template <int M>
+  [[nodiscard]] constexpr auto operator<=>(ap_uint<M> o) const noexcept {
+    return static_cast<std::uint64_t>(v_) <=> o.value();
+  }
+  template <std::integral I>
+  [[nodiscard]] constexpr bool operator==(I o) const noexcept {
+    if constexpr (std::signed_integral<I>) {
+      if (o < 0) return false;
+    }
+    return static_cast<std::uint64_t>(v_) == static_cast<std::uint64_t>(o);
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, ap_uint v) {
+    return os << v.value() << "u" << N;
+  }
+
+ private:
+  storage_t v_ = 0;
+};
+
+template <int N>
+class ap_int {
+  static_assert(N >= 2 && N <= 64, "ap_int width must be in [2, 64]");
+
+ public:
+  using storage_t = detail::int_storage_t<N>;
+  static constexpr int width = N;
+  static constexpr std::int64_t max_value =
+      static_cast<std::int64_t>(detail::low_mask<N - 1>());
+  static constexpr std::int64_t min_value = -max_value - 1;
+
+  constexpr ap_int() = default;
+
+  template <std::integral I>
+  explicit constexpr ap_int(I v) : v_(static_cast<storage_t>(v)) {
+    assert(static_cast<std::int64_t>(v) >= min_value &&
+           static_cast<std::int64_t>(v) <= max_value && "ap_int: value exceeds width");
+  }
+
+  template <int M>
+    requires(M < N)
+  constexpr ap_int(ap_int<M> o) noexcept : v_(static_cast<storage_t>(o.value())) {}
+
+  template <int M>
+    requires(M > N)
+  ap_int(ap_int<M>) = delete;
+  template <int M>
+    requires(M > N)
+  ap_int& operator=(ap_int<M>) = delete;
+
+  [[nodiscard]] constexpr std::int64_t value() const noexcept { return v_; }
+  [[nodiscard]] constexpr int to_int() const noexcept {
+    static_assert(N <= 32, "to_int requires the value to fit a signed int");
+    return static_cast<int>(v_);
+  }
+
+  // Modular reduction to an M-bit unsigned register (low M bits of the
+  // two's-complement pattern): the hardware wrap of a signed datapath value.
+  template <int M>
+    requires(M <= N)
+  [[nodiscard]] constexpr ap_uint<M> wrap() const noexcept {
+    return ap_uint<M>(static_cast<std::uint64_t>(v_) & detail::low_mask<M>());
+  }
+
+  // Checked conversion to an M-bit unsigned register: the value must already
+  // be in [0, 2^M) (debug-asserted) — used for counters that cannot go
+  // negative, e.g. the CBits residual update.
+  template <int M>
+    requires(M < N)
+  [[nodiscard]] constexpr ap_uint<M> trunc() const noexcept {
+    assert(v_ >= 0 && static_cast<std::uint64_t>(v_) <= ap_uint<M>::max_value &&
+           "trunc: signed value outside the unsigned target range");
+    return ap_uint<M>(static_cast<std::uint64_t>(v_) & detail::low_mask<M>());
+  }
+
+  template <int M>
+    requires(detail::max_int(N, M) + 1 <= 64)
+  [[nodiscard]] constexpr auto operator+(ap_int<M> o) const noexcept {
+    return ap_int<detail::max_int(N, M) + 1>(static_cast<std::int64_t>(v_) + o.value());
+  }
+  template <int M>
+    requires(detail::max_int(N, M) + 1 <= 64)
+  [[nodiscard]] constexpr auto operator-(ap_int<M> o) const noexcept {
+    return ap_int<detail::max_int(N, M) + 1>(static_cast<std::int64_t>(v_) - o.value());
+  }
+
+  // Arithmetic shift right (sign-preserving); never widens.
+  [[nodiscard]] constexpr ap_int asr(int s) const noexcept {
+    assert(s >= 0 && s < 64 && "asr: bad shift");
+    return ap_int(static_cast<std::int64_t>(v_) >> s);
+  }
+
+  template <int M>
+  [[nodiscard]] constexpr bool operator==(ap_int<M> o) const noexcept {
+    return static_cast<std::int64_t>(v_) == o.value();
+  }
+  template <int M>
+  [[nodiscard]] constexpr auto operator<=>(ap_int<M> o) const noexcept {
+    return static_cast<std::int64_t>(v_) <=> o.value();
+  }
+  template <std::integral I>
+  [[nodiscard]] constexpr bool operator==(I o) const noexcept {
+    return static_cast<std::int64_t>(v_) == static_cast<std::int64_t>(o);
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, ap_int v) {
+    return os << v.value() << "s" << N;
+  }
+
+ private:
+  storage_t v_ = 0;
+};
+
+template <int N>
+constexpr ap_int<N> ap_uint<N>::as_signed() const noexcept {
+  static_assert(N >= 2, "as_signed needs a sign bit plus at least one value bit");
+  const auto u = static_cast<std::uint64_t>(v_);
+  if (u > static_cast<std::uint64_t>(ap_int<N>::max_value)) {
+    return ap_int<N>(static_cast<std::int64_t>(u) -
+                     static_cast<std::int64_t>(detail::low_mask<N>()) - 1);
+  }
+  return ap_int<N>(static_cast<std::int64_t>(u));
+}
+
+// Mask with the low `n` bits set, provisioned at register width N.
+template <int N>
+[[nodiscard]] constexpr ap_uint<N> mask_lsb(int n) noexcept {
+  assert(n >= 0 && n <= N && "mask_lsb: mask wider than the register");
+  if (n >= 64) return ap_uint<N>(~std::uint64_t{0});
+  return ap_uint<N>(((std::uint64_t{1} << n) - 1u) & detail::low_mask<N>());
+}
+
+}  // namespace swc::hw::bits

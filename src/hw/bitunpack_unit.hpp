@@ -4,49 +4,61 @@
 // One unit serves one window row. Per clock it reconstructs one coefficient:
 // if the BitMap bit is 0 it outputs zero; otherwise it extracts NBits bits
 // from the residual register (Yout_rem), fetching at most one byte from the
-// Pixel FIFO per clock when fewer than NBits remain — exactly the paper's
-// worst case that sizes Yout_rem at 16 bits (7 residual + 8 fetched = 15).
+// Pixel FIFO per clock when fewer than NBits remain.
+//
+// Registers carry their paper widths in their types (hw/widths.hpp): the
+// static_assert on the fetched-word insert proves the paper's worst case —
+// 7 residual bits + 8 fetched = 15 live bits — which is what sizes Yout_rem
+// at 16 bits.
 
 #include <cassert>
 #include <cstdint>
 #include <functional>
 
 #include "bitpack/bitstream.hpp"
+#include "hw/bits.hpp"
+#include "hw/widths.hpp"
 
 namespace swc::hw {
 
 class BitUnpackUnit {
  public:
+  using Rem = widths::UnpackRemReg;  // Yout_rem register
+  using CBits = widths::CBitsReg;    // CBits residual counter
+
   // FetchByte pops one byte from this unit's Pixel FIFO.
   using FetchByte = std::function<std::uint8_t()>;
 
   // Clocks one coefficient out. `fetch` is invoked at most once.
   std::uint8_t step(int nbits, bool significant, const FetchByte& fetch) {
-    assert(nbits >= 1 && nbits <= 8);
+    assert(nbits >= 1 && nbits <= widths::kBitMax);
     if (!significant) return 0;
-    if (cbits_ < nbits) {
-      rem_ = static_cast<std::uint16_t>(rem_ | static_cast<std::uint16_t>(fetch()) << cbits_);
-      cbits_ += 8;
-      assert(cbits_ <= 15);
+    if (cbits_.to_int() < nbits) {
+      const auto fetched =
+          widths::PackedWord(fetch()).shl_bounded<widths::kBitMax - 1>(cbits_.to_int());
+      static_assert(decltype(fetched)::width == widths::kPackInsertBits);
+      rem_ |= fetched;
+      cbits_ = (cbits_ + CBits(widths::kBitMax)).trunc<widths::kCBitsBits>();
     }
-    const auto mask = static_cast<std::uint16_t>((1u << nbits) - 1u);
-    const std::uint8_t value = bitpack::sign_extend_u8(rem_ & mask, nbits);
-    rem_ = static_cast<std::uint16_t>(rem_ >> nbits);
-    cbits_ -= nbits;
+    const widths::PackedWord field =
+        rem_.wrap<widths::kPackedWordBits>() & bits::mask_lsb<widths::kPackedWordBits>(nbits);
+    const std::uint8_t value = bitpack::sign_extend_u8(field.to_u8(), nbits);
+    rem_ = rem_.shr(nbits);
+    cbits_ = (cbits_ - CBits(static_cast<unsigned>(nbits))).trunc<widths::kCBitsBits>();
     return value;
   }
 
   // Row boundary: discard padding bits left over from the flushed byte.
   void reset_row() {
-    rem_ = 0;
-    cbits_ = 0;
+    rem_ = Rem(0u);
+    cbits_ = CBits(0u);
   }
 
-  [[nodiscard]] int pending_bits() const noexcept { return cbits_; }
+  [[nodiscard]] int pending_bits() const noexcept { return cbits_.to_int(); }
 
  private:
-  std::uint16_t rem_ = 0;  // Yout_rem register
-  int cbits_ = 0;          // CBits register
+  Rem rem_{0u};
+  CBits cbits_{0u};
 };
 
 }  // namespace swc::hw

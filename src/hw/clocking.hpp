@@ -1,0 +1,116 @@
+#pragma once
+// Two-phase clocking hazard analyzer for the cycle-accurate models.
+//
+// A simulated clock cycle has two phases:
+//
+//   Phase::Emit    — registered state computed in earlier cycles propagates:
+//                    buffered IWT columns are packed, the memory unit is
+//                    read, the recycled column is reconstructed.
+//   Phase::Capture — new input is sampled: the window shifts, the IWT is fed,
+//                    next-cycle state is latched.
+//
+// Software simulation executes these sequentially, so a block can read a
+// value that another block wrote *in the same phase of the same cycle* —
+// something no register-transfer implementation can do (the reader would see
+// the previous value, or worse, race). Such same-phase read-after-write is a
+// simulation artifact that would be an RTL hazard; this wrapper makes it
+// detectable instead of latent.
+//
+// ClockedRegistry tracks the current (cycle, phase) and the last write to
+// each named signal; Signal<T> wraps a register so every access is reported.
+// Instrumentation is opt-in (attach a registry) and free when detached.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace swc::hw {
+
+enum class Phase : std::uint8_t { Emit = 0, Capture = 1 };
+
+[[nodiscard]] constexpr const char* phase_name(Phase p) noexcept {
+  return p == Phase::Emit ? "emit" : "capture";
+}
+
+struct HazardRecord {
+  std::string signal;
+  std::size_t cycle = 0;
+  Phase phase = Phase::Emit;
+};
+
+class ClockedRegistry {
+ public:
+  // Starts the next simulated cycle in Phase::Emit.
+  void begin_cycle() noexcept {
+    ++cycle_;
+    phase_ = Phase::Emit;
+  }
+  void set_phase(Phase p) noexcept { phase_ = p; }
+
+  [[nodiscard]] std::size_t cycle() const noexcept { return cycle_; }
+  [[nodiscard]] Phase phase() const noexcept { return phase_; }
+
+  void note_write(const char* signal) {
+    ++writes_;
+    last_write_[signal] = Stamp{cycle_, phase_};
+  }
+
+  void note_read(const char* signal) {
+    ++reads_;
+    const auto it = last_write_.find(signal);
+    if (it != last_write_.end() && it->second.cycle == cycle_ && it->second.phase == phase_) {
+      hazards_.push_back({signal, cycle_, phase_});
+    }
+  }
+
+  [[nodiscard]] const std::vector<HazardRecord>& hazards() const noexcept { return hazards_; }
+  [[nodiscard]] bool clean() const noexcept { return hazards_.empty(); }
+  // Traffic counters let tests prove the instrumentation was actually live.
+  [[nodiscard]] std::size_t reads() const noexcept { return reads_; }
+  [[nodiscard]] std::size_t writes() const noexcept { return writes_; }
+
+ private:
+  struct Stamp {
+    std::size_t cycle = 0;
+    Phase phase = Phase::Emit;
+  };
+  std::unordered_map<std::string, Stamp> last_write_;
+  std::vector<HazardRecord> hazards_;
+  std::size_t cycle_ = 0;
+  std::size_t reads_ = 0;
+  std::size_t writes_ = 0;
+  Phase phase_ = Phase::Emit;
+};
+
+// A named simulated register. read() and write() report to the attached
+// registry (if any); write() returns a mutable reference so vector-valued
+// registers can be updated in place.
+template <typename T>
+class Signal {
+ public:
+  explicit Signal(const char* name, T init = T{}) : name_(name), value_(std::move(init)) {}
+
+  void attach(ClockedRegistry* registry) noexcept { registry_ = registry; }
+
+  [[nodiscard]] const T& read() const {
+    if (registry_ != nullptr) registry_->note_read(name_);
+    return value_;
+  }
+
+  [[nodiscard]] T& write() {
+    if (registry_ != nullptr) registry_->note_write(name_);
+    return value_;
+  }
+
+  [[nodiscard]] const char* name() const noexcept { return name_; }
+
+ private:
+  const char* name_;
+  T value_;
+  ClockedRegistry* registry_ = nullptr;
+};
+
+}  // namespace swc::hw

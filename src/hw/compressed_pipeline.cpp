@@ -6,6 +6,7 @@
 
 #include "bitpack/column_codec.hpp"
 #include "bitpack/nbits.hpp"
+#include "hw/widths.hpp"
 #include "simd/batch_kernels.hpp"
 #include "wavelet/column_decomposer.hpp"
 
@@ -22,14 +23,21 @@ CompressedPipeline::CompressedPipeline(core::EngineConfig config,
       packers_(config.spec.window),
       unpackers_(config.spec.window),
       coeff_out_(config.spec.window),
-      recon_(config.spec.window, 0),
-      recon_next_(config.spec.window, 0),
+      recon_("pipeline.recon", std::vector<std::uint8_t>(config.spec.window, 0)),
+      recon_next_("pipeline.recon_next", std::vector<std::uint8_t>(config.spec.window, 0)),
       new_column_(config.spec.window) {
   config_.validate();
   if (config_.codec.granularity != bitpack::NBitsGranularity::PerSubBandColumn) {
     throw std::invalid_argument(
         "CompressedPipeline: hardware model implements PerSubBandColumn NBits only");
   }
+}
+
+void CompressedPipeline::attach_hazard_registry(ClockedRegistry* registry) noexcept {
+  hazards_ = registry;
+  recon_.attach(registry);
+  recon_next_.attach(registry);
+  iwt_.attach_hazards(registry);
 }
 
 void CompressedPipeline::compress_entering_column(const std::vector<std::uint8_t>& coeffs,
@@ -47,19 +55,20 @@ void CompressedPipeline::compress_entering_column(const std::vector<std::uint8_t
           : std::span<const std::uint8_t>(kept);
 
   // Fig. 7 NBits: batched sign-XOR/OR reduction over each sub-band, then one
-  // priority encode of the OR bus (identical to bitpack::group_nbits).
+  // priority encode of the OR bus (identical to bitpack::group_nbits). The
+  // 4-bit management fields range-check the encoded widths on assignment.
   const auto& kernels = simd::batch();
   NBitsEntry nb;
-  nb.top = static_cast<std::uint8_t>(
+  nb.top = widths::NBitsField(
       bitpack::nbits_from_or_bus(kernels.nbits_or_bus(basis.data(), half)));
-  nb.bottom = static_cast<std::uint8_t>(
+  nb.bottom = widths::NBitsField(
       bitpack::nbits_from_or_bus(kernels.nbits_or_bus(basis.data() + half, half)));
 
   BitmapWord bm;
   for (std::size_t i = 0; i < n; ++i) {
     const bool significant = kept[i] != 0;
     bm.set(i, significant);
-    const int width = i < half ? nb.top : nb.bottom;
+    const int width = (i < half ? nb.top : nb.bottom).to_int();
     if (const auto byte = packers_[i].step(kept[i], width, significant)) {
       memory_.push_byte(i, *byte);
     }
@@ -81,14 +90,15 @@ void CompressedPipeline::decompress_for_cycle(std::size_t t) {
   const std::size_t half = n / 2;
 
   if (t < w) {
-    std::fill(recon_.begin(), recon_.end(), std::uint8_t{0});
+    std::vector<std::uint8_t>& recon = recon_.write();
+    std::fill(recon.begin(), recon.end(), std::uint8_t{0});
     return;
   }
   const std::size_t g = t - w;
   if (g % 2 != 0) {
     // Odd pair member was reconstructed last cycle and held in the output
     // register.
-    recon_ = recon_next_;
+    recon_.write() = recon_next_.read();
     return;
   }
 
@@ -106,14 +116,14 @@ void CompressedPipeline::decompress_for_cycle(std::size_t t) {
     const BitmapWord bm = memory_.pop_bitmap();
     auto& out = odd_member ? coeff_odd_ : coeff_even_;
     for (std::size_t i = 0; i < n; ++i) {
-      const int width = i < half ? nb.top : nb.bottom;
+      const int width = (i < half ? nb.top : nb.bottom).to_int();
       out[i] = unpackers_[i].step(width, bm.get(i),
                                   [this, i] { return memory_.pop_byte(i); });
     }
   }
   wavelet::recompose_column_pair_into(coeff_even_, coeff_odd_, pixels_, pair_scratch_);
-  recon_ = pixels_.col0;
-  recon_next_ = pixels_.col1;
+  recon_.write() = pixels_.col0;
+  recon_next_.write() = pixels_.col1;
 }
 
 bool CompressedPipeline::step(std::uint8_t pixel) {
@@ -123,6 +133,9 @@ bool CompressedPipeline::step(std::uint8_t pixel) {
   const std::size_t row = t / w;
   const std::size_t col = t % w;
 
+  // Phase::Emit — registered state from earlier cycles propagates.
+  if (hazards_ != nullptr) hazards_->begin_cycle();
+
   // 1. If the IWT holds a buffered (odd) coefficient column, pack it first:
   //    this is what closes an image row (flush) before any same-cycle pop.
   if (iwt_.collect_buffered(coeff_out_)) compress_entering_column(coeff_out_, t - 1);
@@ -130,9 +143,13 @@ bool CompressedPipeline::step(std::uint8_t pixel) {
   // 2. Reconstruct the pixel column recycled from one image row ago.
   decompress_for_cycle(t);
 
+  // Phase::Capture — the new input pixel is sampled.
+  if (hazards_ != nullptr) hazards_->set_phase(Phase::Capture);
+
   // 3. Form and shift in the new window column: recycled rows (dropping the
   //    oldest) above the fresh input pixel.
-  for (std::size_t i = 0; i + 1 < n; ++i) new_column_[i] = recon_[i + 1];
+  const std::vector<std::uint8_t>& recon = recon_.read();
+  for (std::size_t i = 0; i + 1 < n; ++i) new_column_[i] = recon[i + 1];
   new_column_[n - 1] = pixel;
   window_.shift_in(new_column_);
 

@@ -32,6 +32,7 @@
 #include "wavelet/column_decomposer.hpp"
 #include "hw/bitpack_unit.hpp"
 #include "hw/bitunpack_unit.hpp"
+#include "hw/clocking.hpp"
 #include "hw/iwt_module.hpp"
 #include "hw/memory_unit.hpp"
 #include "hw/shift_window.hpp"
@@ -63,6 +64,13 @@ class CompressedPipeline {
   // BRAM provisioning must cover.
   [[nodiscard]] std::size_t peak_buffer_bits() const noexcept { return peak_buffer_bits_; }
 
+  // Optional two-phase hazard instrumentation (hw/clocking.hpp): the
+  // cross-cycle registers (recycled column, IWT column delays) report every
+  // access so same-phase read-after-write — an RTL race a sequential
+  // simulation would otherwise mask — is detected. Zero overhead when
+  // detached; attaching never changes pipeline outputs.
+  void attach_hazard_registry(ClockedRegistry* registry) noexcept;
+
  private:
   void compress_entering_column(const std::vector<std::uint8_t>& column, std::size_t t);
   // Produces the reconstructed pixel column for stream position g = t - W
@@ -77,8 +85,9 @@ class CompressedPipeline {
   std::vector<BitUnpackUnit> unpackers_;
 
   std::vector<std::uint8_t> coeff_out_;    // IWT output column staging
-  std::vector<std::uint8_t> recon_;        // reconstructed column for this cycle
-  std::vector<std::uint8_t> recon_next_;   // odd pair member for the next cycle
+  // Cross-cycle registers, wrapped for hazard instrumentation.
+  Signal<std::vector<std::uint8_t>> recon_{"pipeline.recon"};  // reconstructed column
+  Signal<std::vector<std::uint8_t>> recon_next_{"pipeline.recon_next"};  // odd pair member
   std::vector<std::uint8_t> new_column_;
   std::vector<std::uint8_t> kept_;         // threshold scratch (per entering column)
   std::vector<std::uint8_t> coeff_even_;   // unpack staging for the column pair
@@ -91,6 +100,7 @@ class CompressedPipeline {
   std::size_t out_row_ = 0;
   std::size_t out_col_ = 0;
   std::size_t peak_buffer_bits_ = 0;
+  ClockedRegistry* hazards_ = nullptr;
 };
 
 }  // namespace swc::hw

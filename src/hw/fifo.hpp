@@ -3,14 +3,16 @@
 //
 // The cycle-accurate pipelines use these for the line buffers (traditional
 // architecture) and the memory-unit buffers (compressed architecture). A
-// FIFO never throws on overflow: like provisioning errors in real hardware,
-// overflow is recorded (overflowed()) so experiments can detect when a
-// design-time capacity choice was violated (the paper's "bad frames" case).
+// FIFO never throws on provisioning errors: like real hardware, overflow
+// (overflowed()) and underflow (underflowed()) are recorded so experiments
+// can detect when a design-time capacity or scheduling choice was violated
+// (the paper's "bad frames" case). An underflowing pop returns a
+// default-constructed element — the model of reading an empty BRAM port.
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <limits>
-#include <stdexcept>
 
 namespace swc::hw {
 
@@ -30,7 +32,10 @@ class Fifo {
   }
 
   [[nodiscard]] T pop() {
-    if (data_.empty()) throw std::runtime_error("Fifo::pop on empty FIFO (underflow)");
+    if (data_.empty()) {
+      underflowed_ = true;  // recorded, not fatal; the run can finish
+      return T{};
+    }
     T v = std::move(data_.front());
     data_.pop_front();
     ++pops_;
@@ -42,7 +47,9 @@ class Fifo {
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
   [[nodiscard]] std::size_t high_water() const noexcept { return high_water_; }
   [[nodiscard]] bool overflowed() const noexcept { return overflowed_; }
+  [[nodiscard]] bool underflowed() const noexcept { return underflowed_; }
   [[nodiscard]] std::size_t pushes() const noexcept { return pushes_; }
+  // Successful pops only; an underflowing pop consumes nothing.
   [[nodiscard]] std::size_t pops() const noexcept { return pops_; }
 
  private:
@@ -52,6 +59,7 @@ class Fifo {
   std::size_t pushes_ = 0;
   std::size_t pops_ = 0;
   bool overflowed_ = false;
+  bool underflowed_ = false;
 };
 
 }  // namespace swc::hw

@@ -1,0 +1,83 @@
+#pragma once
+// Width-proven wrap-mod-256 Haar lifting datapath (Fig. 5 / Fig. 10).
+//
+// Functionally identical to wavelet/haar.hpp's Wrap8 lifting (tests assert
+// bit-for-bit agreement over the full 16-bit input space), but every
+// intermediate is carried in a width-tracked register: the subtract and add
+// run at the full kHaarAdderBits precision the estimator provisions, and the
+// reduction back to the stored kCoeffBits is an explicit wrap<>() — the
+// hardware register boundary, visible in the source.
+
+#include <utility>
+
+#include "hw/bits.hpp"
+#include "hw/widths.hpp"
+
+namespace swc::hw {
+
+struct HaarPairReg {
+  widths::CoeffReg l;  // low-pass (approximation)
+  widths::CoeffReg h;  // high-pass (detail), two's-complement bits
+};
+
+struct HaarBlockReg {
+  widths::CoeffReg ll, lh, hl, hh;
+};
+
+struct PixelBlockReg {
+  widths::PixelReg x00, x01, x10, x11;
+};
+
+// Arithmetic shift right by one of the stored two's-complement byte: the sign
+// bit is replicated into the vacated position. Pure rewiring in hardware.
+[[nodiscard]] constexpr widths::CoeffReg haar_asr1(widths::CoeffReg v) noexcept {
+  return v.shr(1) | (v & widths::CoeffReg(0x80u));
+}
+
+// Forward lifting pair: H = X0 - X1; L = X1 + (H >> 1), both mod 2^8.
+[[nodiscard]] constexpr HaarPairReg haar_forward(widths::PixelReg x0,
+                                                 widths::PixelReg x1) noexcept {
+  const auto diff = x0 - x1;  // full-precision lifting subtractor
+  static_assert(decltype(diff)::width == widths::kHaarAdderBits);
+  const widths::CoeffReg h = diff.wrap<widths::kCoeffBits>();
+  const auto sum = x1 + haar_asr1(h);  // full-precision lifting adder
+  static_assert(decltype(sum)::width == widths::kHaarAdderBits);
+  return {sum.wrap<widths::kCoeffBits>(), h};
+}
+
+// Exact lifting inverse: X1 = L - (H >> 1); X0 = X1 + H, both mod 2^8.
+[[nodiscard]] constexpr std::pair<widths::PixelReg, widths::PixelReg> haar_inverse(
+    widths::CoeffReg l, widths::CoeffReg h) noexcept {
+  const auto diff = l - haar_asr1(h);
+  static_assert(decltype(diff)::width == widths::kHaarAdderBits);
+  const widths::PixelReg x1 = diff.wrap<widths::kPixelBits>();
+  const auto sum = x1 + h;
+  static_assert(decltype(sum)::width == widths::kHaarAdderBits);
+  return {sum.wrap<widths::kPixelBits>(), x1};
+}
+
+// 2-D transform of one 2x2 block: four 1-D lifting blocks wired as Fig. 5
+// (horizontal stage per row, vertical stage on the L's and on the H's).
+[[nodiscard]] constexpr HaarBlockReg haar2d_forward(widths::PixelReg x00, widths::PixelReg x01,
+                                                    widths::PixelReg x10,
+                                                    widths::PixelReg x11) noexcept {
+  const HaarPairReg row0 = haar_forward(x00, x01);
+  const HaarPairReg row1 = haar_forward(x10, x11);
+  // Second-stage inputs are stored coefficient bytes; the mod-256 lifting
+  // arithmetic is identical on pixel and coefficient bit patterns.
+  const HaarPairReg low =
+      haar_forward(widths::PixelReg(row0.l.value()), widths::PixelReg(row1.l.value()));
+  const HaarPairReg high =
+      haar_forward(widths::PixelReg(row0.h.value()), widths::PixelReg(row1.h.value()));
+  return {low.l, low.h, high.l, high.h};
+}
+
+[[nodiscard]] constexpr PixelBlockReg haar2d_inverse(const HaarBlockReg& c) noexcept {
+  const auto [l0, l1] = haar_inverse(c.ll, c.lh);
+  const auto [h0, h1] = haar_inverse(c.hl, c.hh);
+  const auto [x00, x01] = haar_inverse(widths::CoeffReg(l0.value()), widths::CoeffReg(h0.value()));
+  const auto [x10, x11] = haar_inverse(widths::CoeffReg(l1.value()), widths::CoeffReg(h1.value()));
+  return {x00, x01, x10, x11};
+}
+
+}  // namespace swc::hw

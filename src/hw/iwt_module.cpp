@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "hw/haar_datapath.hpp"
 #include "wavelet/haar.hpp"
 
 namespace swc::hw {
@@ -13,6 +14,24 @@ namespace {
 void check_column(std::size_t have, std::size_t want, const char* who) {
   if (have != want) throw std::invalid_argument(std::string(who) + ": bad column size");
 }
+
+// Compile-time proof that the width-checked datapath (hw/haar_datapath.hpp)
+// computes the same wrap-mod-256 lifting as the golden wavelet model; the
+// exhaustive 16-bit sweep lives in tests/hw/bits_test.cpp.
+constexpr bool forward_matches(std::uint8_t a, std::uint8_t b) {
+  const HaarPairReg c = haar_forward(widths::PixelReg(a), widths::PixelReg(b));
+  const wavelet::HaarPairU8 r = wavelet::haar_forward_u8(a, b);
+  return c.l == r.l && c.h == r.h;
+}
+constexpr bool inverse_matches(std::uint8_t l, std::uint8_t h) {
+  const auto [x0, x1] = haar_inverse(widths::CoeffReg(l), widths::CoeffReg(h));
+  const auto [r0, r1] = wavelet::haar_inverse_u8(l, h);
+  return x0 == r0 && x1 == r1;
+}
+static_assert(forward_matches(0, 0) && forward_matches(255, 0) && forward_matches(0, 255) &&
+              forward_matches(128, 127) && forward_matches(201, 77));
+static_assert(inverse_matches(0, 0) && inverse_matches(255, 1) && inverse_matches(1, 255) &&
+              inverse_matches(128, 127) && inverse_matches(42, 199));
 
 }  // namespace
 
@@ -25,9 +44,12 @@ void IwtModule::reset() {
   emit_buffered_ = false;
 }
 
+void IwtModule::attach_hazards(ClockedRegistry* registry) noexcept { hazards_ = registry; }
+
 bool IwtModule::collect_buffered(std::span<std::uint8_t> out) {
   check_column(out.size(), n_, "IwtModule");
   if (!emit_buffered_) return false;
+  if (hazards_ != nullptr) hazards_->note_read("iwt.odd_out");
   std::copy(odd_out_.begin(), odd_out_.end(), out.begin());
   emit_buffered_ = false;
   return true;
@@ -40,21 +62,28 @@ bool IwtModule::feed(std::span<const std::uint8_t> column, std::span<std::uint8_
 
   if (!have_even_) {
     // Even column of the pair: latch it in the column delay registers.
+    if (hazards_ != nullptr) hazards_->note_write("iwt.even_col");
     std::copy(column.begin(), column.end(), even_col_.begin());
     have_even_ = true;
     return false;
   }
 
   // Odd column: the 2x2 blocks of the pair are complete; run the full 2-D
-  // transform (identical composition to wavelet::decompose_column_pair).
+  // transform on the width-checked datapath (identical composition to
+  // wavelet::decompose_column_pair).
   assert(!emit_buffered_ && "odd coefficient column was never collected");
+  if (hazards_ != nullptr) {
+    hazards_->note_read("iwt.even_col");
+    hazards_->note_write("iwt.odd_out");
+  }
   for (std::size_t k = 0; k < half; ++k) {
-    const wavelet::HaarBlockU8 c = wavelet::haar2d_forward_u8(
-        even_col_[2 * k], column[2 * k], even_col_[2 * k + 1], column[2 * k + 1]);
-    out[k] = c.ll;             // LL -> even coefficient column, top half
-    out[half + k] = c.lh;      // LH -> even coefficient column, bottom half
-    odd_out_[k] = c.hl;        // HL -> odd coefficient column, top half
-    odd_out_[half + k] = c.hh; // HH -> odd coefficient column, bottom half
+    const HaarBlockReg c = haar2d_forward(
+        widths::PixelReg(even_col_[2 * k]), widths::PixelReg(column[2 * k]),
+        widths::PixelReg(even_col_[2 * k + 1]), widths::PixelReg(column[2 * k + 1]));
+    out[k] = c.ll.to_u8();             // LL -> even coefficient column, top half
+    out[half + k] = c.lh.to_u8();      // LH -> even coefficient column, bottom half
+    odd_out_[k] = c.hl.to_u8();        // HL -> odd coefficient column, top half
+    odd_out_[half + k] = c.hh.to_u8(); // HH -> odd coefficient column, bottom half
   }
   have_even_ = false;
   emit_buffered_ = true;
@@ -95,15 +124,17 @@ bool IiwtModule::step(std::span<const std::uint8_t> coeff_column, std::span<std:
     return produced;
   }
 
-  // Odd coefficient column (HL+HH): full 2-D inverse of the pair.
+  // Odd coefficient column (HL+HH): full 2-D inverse of the pair on the
+  // width-checked datapath.
   for (std::size_t k = 0; k < half; ++k) {
-    const wavelet::HaarBlockU8 c{even_coeff_[k], even_coeff_[half + k], coeff_column[k],
-                                 coeff_column[half + k]};
-    const wavelet::PixelBlockU8 p = wavelet::haar2d_inverse_u8(c);
-    out[2 * k] = p.x00;            // even pixel column leaves now
-    out[2 * k + 1] = p.x10;
-    odd_pixels_[2 * k] = p.x01;    // odd pixel column leaves next cycle
-    odd_pixels_[2 * k + 1] = p.x11;
+    const HaarBlockReg c{widths::CoeffReg(even_coeff_[k]), widths::CoeffReg(even_coeff_[half + k]),
+                         widths::CoeffReg(coeff_column[k]),
+                         widths::CoeffReg(coeff_column[half + k])};
+    const PixelBlockReg p = haar2d_inverse(c);
+    out[2 * k] = p.x00.to_u8();            // even pixel column leaves now
+    out[2 * k + 1] = p.x10.to_u8();
+    odd_pixels_[2 * k] = p.x01.to_u8();    // odd pixel column leaves next cycle
+    odd_pixels_[2 * k + 1] = p.x11.to_u8();
   }
   have_even_ = false;
   emit_buffered_ = true;

@@ -27,11 +27,17 @@
 #include <span>
 #include <vector>
 
+#include "hw/clocking.hpp"
+
 namespace swc::hw {
 
 class IwtModule {
  public:
   explicit IwtModule(std::size_t n);
+
+  // Optional two-phase hazard instrumentation: the internal column delay
+  // registers report reads/writes to `registry` (hw/clocking.hpp).
+  void attach_hazards(ClockedRegistry* registry) noexcept;
 
   // True when the odd coefficient column computed last cycle is pending.
   [[nodiscard]] bool has_buffered_output() const noexcept { return emit_buffered_; }
@@ -58,6 +64,7 @@ class IwtModule {
   std::vector<std::uint8_t> even_col_;  // raw pixels of the buffered even column
   std::vector<std::uint8_t> odd_out_;   // HL+HH column awaiting emission
   std::vector<std::uint8_t> scratch_;
+  ClockedRegistry* hazards_ = nullptr;
 };
 
 class IiwtModule {

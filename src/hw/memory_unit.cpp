@@ -46,14 +46,20 @@ void MemoryUnit::begin_unpack_row() {
     // Drop the finished row's padding / never-needed bytes so the next row's
     // stream starts at a byte the packer actually produced for it.
     const std::vector<std::uint32_t> counts = row_byte_counts_.pop();
-    for (std::size_t s = 0; s < window_; ++s) {
-      if (counts[s] < consumed_this_row_[s]) {
-        throw std::logic_error("MemoryUnit: unpacker consumed past the row boundary");
+    if (counts.size() == window_) {
+      for (std::size_t s = 0; s < window_; ++s) {
+        if (counts[s] < consumed_this_row_[s] && !payload_[s].underflowed()) {
+          throw std::logic_error("MemoryUnit: unpacker consumed past the row boundary");
+        }
+        for (std::uint32_t k = consumed_this_row_[s]; k < counts[s]; ++k) {
+          (void)payload_[s].pop();
+        }
+        consumed_this_row_[s] = 0;
       }
-      for (std::uint32_t k = consumed_this_row_[s]; k < counts[s]; ++k) {
-        (void)payload_[s].pop();
-      }
-      consumed_this_row_[s] = 0;
+    } else {
+      // The row-count FIFO underflowed (recorded): the unpacker ran ahead of
+      // the packer. Skip the discard; the desync is visible via underflowed().
+      for (auto& c : consumed_this_row_) c = 0;
     }
   }
   unpack_row_open_ = true;
@@ -61,12 +67,18 @@ void MemoryUnit::begin_unpack_row() {
 
 std::size_t MemoryUnit::payload_bits_stored() const noexcept {
   std::size_t bits = 0;
-  for (const auto& fifo : payload_) bits += fifo.size() * 8;
+  for (const auto& fifo : payload_) {
+    bits += fifo.size() * static_cast<std::size_t>(widths::kPackedWordBits);
+  }
   return bits;
 }
 
 std::size_t MemoryUnit::management_bits_stored() const noexcept {
-  return nbits_.size() * 8 + bitmap_.size() * window_;
+  constexpr std::size_t nbits_entry_bits =
+      static_cast<std::size_t>(widths::kNBitsFieldsPerColumn) *
+      static_cast<std::size_t>(widths::kNBitsFieldBits);
+  return nbits_.size() * nbits_entry_bits +
+         bitmap_.size() * window_ * static_cast<std::size_t>(widths::kBitMapBits);
 }
 
 std::size_t MemoryUnit::total_bits_stored() const noexcept {
@@ -75,13 +87,17 @@ std::size_t MemoryUnit::total_bits_stored() const noexcept {
 
 std::size_t MemoryUnit::payload_high_water_bits() const noexcept {
   std::size_t bits = 0;
-  for (const auto& fifo : payload_) bits += fifo.high_water() * 8;
+  for (const auto& fifo : payload_) {
+    bits += fifo.high_water() * static_cast<std::size_t>(widths::kPackedWordBits);
+  }
   return bits;
 }
 
 std::size_t MemoryUnit::max_stream_high_water_bits() const noexcept {
   std::size_t worst = 0;
-  for (const auto& fifo : payload_) worst = std::max(worst, fifo.high_water() * 8);
+  for (const auto& fifo : payload_) {
+    worst = std::max(worst, fifo.high_water() * static_cast<std::size_t>(widths::kPackedWordBits));
+  }
   return worst;
 }
 
@@ -90,6 +106,13 @@ bool MemoryUnit::overflowed() const noexcept {
     if (fifo.overflowed()) return true;
   }
   return false;
+}
+
+bool MemoryUnit::underflowed() const noexcept {
+  for (const auto& fifo : payload_) {
+    if (fifo.underflowed()) return true;
+  }
+  return nbits_.underflowed() || bitmap_.underflowed() || row_byte_counts_.underflowed();
 }
 
 }  // namespace swc::hw

@@ -6,13 +6,19 @@
 // byte-aligned by a row-boundary flush on the packing side; the per-row byte
 // counts recorded here let the unpacking side discard padding bytes that it
 // never needed (all-zero tail columns). Occupancy statistics feed the BRAM
-// provisioning experiments and overflow detection models the paper's "bad
-// frame" failure case.
+// provisioning experiments; overflow and underflow are recorded (never
+// thrown) and model the paper's "bad frame" failure case.
+//
+// Management fields carry their Section IV-C widths in their types: an
+// NBitsEntry is two 4-bit registers, and the stored-bit accounting below is
+// derived from hw/widths.hpp rather than restated.
 
 #include <cstdint>
 #include <vector>
 
+#include "hw/bits.hpp"
 #include "hw/fifo.hpp"
+#include "hw/widths.hpp"
 
 namespace swc::hw {
 
@@ -32,10 +38,11 @@ struct BitmapWord {
   }
 };
 
-// NBits management record for one coefficient column: two 4-bit fields.
+// NBits management record for one coefficient column: two 4-bit fields
+// (top / bottom sub-band), each holding a width in [1, BitMax].
 struct NBitsEntry {
-  std::uint8_t top = 1;
-  std::uint8_t bottom = 1;
+  widths::NBitsField top{1u};
+  widths::NBitsField bottom{1u};
 };
 
 class MemoryUnit {
@@ -66,6 +73,9 @@ class MemoryUnit {
   [[nodiscard]] std::size_t payload_high_water_bits() const noexcept;
   [[nodiscard]] std::size_t max_stream_high_water_bits() const noexcept;
   [[nodiscard]] bool overflowed() const noexcept;
+  // Any FIFO (payload or management) was popped while empty — the scheduling
+  // counterpart of overflow, recorded the same way.
+  [[nodiscard]] bool underflowed() const noexcept;
 
  private:
   std::size_t window_;

@@ -9,10 +9,19 @@
 #include <stdexcept>
 #include <vector>
 
+#include "hw/widths.hpp"
+
 namespace swc::hw {
 
 class ShiftWindow {
  public:
+  // The window registers are one pixel wide; the flat std::uint8_t storage
+  // (kept raw for the kernels' row-span fast path) must match the datapath
+  // width table exactly.
+  using Pixel = std::uint8_t;
+  static_assert(sizeof(Pixel) * 8 == widths::kPixelBits,
+                "ShiftWindow storage width diverged from hw/widths.hpp");
+
   explicit ShiftWindow(std::size_t n) : n_(n), regs_(n * n, 0) {
     if (n == 0) throw std::invalid_argument("ShiftWindow: size must be non-zero");
   }

@@ -1,5 +1,7 @@
 #include "hw/traditional_pipeline.hpp"
 
+#include "hw/widths.hpp"
+
 namespace swc::hw {
 
 TraditionalPipeline::TraditionalPipeline(core::SlidingWindowSpec spec)
@@ -42,7 +44,9 @@ bool TraditionalPipeline::step(std::uint8_t pixel) {
 
 std::size_t TraditionalPipeline::buffer_bits() const noexcept {
   std::size_t bits = 0;
-  for (const auto& line : lines_) bits += line.size() * 8;
+  for (const auto& line : lines_) {
+    bits += line.size() * static_cast<std::size_t>(widths::kPixelBits);
+  }
   return bits;
 }
 

@@ -1,0 +1,76 @@
+#pragma once
+// The single table of paper-derived datapath bit widths.
+//
+// Every width the architecture's BRAM and LUT arithmetic depends on is
+// declared here exactly once, as both a constant and a width-tracked register
+// type (hw/bits.hpp). The cycle-accurate blocks use the register types, the
+// resource estimator (resources/estimator.cpp) and the BRAM accounting
+// (core/config.hpp, hw/memory_unit.cpp) use the constants, and the
+// static_asserts below tie the two together — the model cannot silently
+// disagree with itself about a field width.
+//
+// Paper sources: Section IV-C (NBits/BitMap management fields), Fig. 5
+// (lifting adder precision), Fig. 6 (BitMax, CBits, Yout accumulators),
+// Figs. 8-9 (Yout_rem), Section V-B..E (per-block register inventories).
+
+#include "hw/bits.hpp"
+
+namespace swc::hw::widths {
+
+// --- pixel / coefficient datapath -------------------------------------------
+inline constexpr int kPixelBits = 8;   // camera pixels (Section II)
+inline constexpr int kCoeffBits = 8;   // stored wrap-mod-256 Haar coefficients
+// Lifting adder/subtractor precision (Fig. 5): an 8-bit add or subtract needs
+// 9 two's-complement result bits before the register wrap.
+inline constexpr int kHaarAdderBits = kPixelBits + 1;
+
+// --- management fields (Section IV-C) ----------------------------------------
+inline constexpr int kNBitsFieldBits = 4;      // one NBits field, range [1, 8]
+inline constexpr int kNBitsFieldsPerColumn = 2;  // top / bottom sub-band pair
+inline constexpr int kBitMapBits = 1;          // significance bit per coefficient
+
+// --- bit packing / unpacking (Figs. 6-9) -------------------------------------
+inline constexpr int kBitMax = 8;                  // packed FIFO word width
+inline constexpr int kPackedWordBits = kBitMax;
+inline constexpr int kCBitsBits = 4;               // CBits residual counter
+// Worst-case live bits in the packing/unpacking datapath: up to kBitMax - 1
+// residual bits plus one full incoming word.
+inline constexpr int kPackInsertBits = (kBitMax - 1) + kBitMax;
+inline constexpr int kPackAccBits = 16;   // Yout_Current + Yout_Reg pair
+inline constexpr int kUnpackRemBits = 16; // Yout_rem register
+
+// --- register type aliases ----------------------------------------------------
+using PixelReg = bits::ap_uint<kPixelBits>;
+using CoeffReg = bits::ap_uint<kCoeffBits>;
+using NBitsField = bits::ap_uint<kNBitsFieldBits>;
+using CBitsReg = bits::ap_uint<kCBitsBits>;
+using PackedWord = bits::ap_uint<kPackedWordBits>;
+using PackAccReg = bits::ap_uint<kPackAccBits>;
+using UnpackRemReg = bits::ap_uint<kUnpackRemBits>;
+
+// --- compile-time consistency proofs -----------------------------------------
+// The lifting add and subtract really produce kHaarAdderBits-wide results:
+// the estimator's "9-bit adder" LUT costing is the width the type system
+// derives, not an independent claim.
+static_assert(decltype(PixelReg{} + PixelReg{})::width == kHaarAdderBits);
+static_assert(decltype(PixelReg{} - PixelReg{})::width == kHaarAdderBits);
+static_assert(decltype(PixelReg{} + CoeffReg{})::width == kHaarAdderBits);
+
+// An NBits field must be able to hold every legal width [1, kBitMax].
+static_assert(NBitsField::max_value >= static_cast<unsigned>(kBitMax));
+
+// The CBits counter must cover the worst-case residual-plus-word count.
+static_assert(CBitsReg::max_value >= static_cast<unsigned>(kPackInsertBits));
+
+// A coefficient word shifted into the residual position occupies at most
+// kPackInsertBits live bits (the paper's "never exceeds 15"), and both the
+// packing accumulator and Yout_rem are provisioned to hold it.
+static_assert(decltype(CoeffReg{}.shl_bounded<kBitMax - 1>(0))::width == kPackInsertBits);
+static_assert(kPackAccBits >= kPackInsertBits);
+static_assert(kUnpackRemBits >= kPackInsertBits);
+
+// Packed payload words are exactly the coefficient width: one FIFO word can
+// always absorb one maximal coefficient field.
+static_assert(kPackedWordBits == kCoeffBits);
+
+}  // namespace swc::hw::widths

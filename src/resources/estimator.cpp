@@ -3,8 +3,14 @@
 #include <array>
 #include <stdexcept>
 
+#include "hw/bitpack_unit.hpp"
+#include "hw/bitunpack_unit.hpp"
+#include "hw/widths.hpp"
+
 namespace swc::resources {
 namespace {
+
+namespace widths = swc::hw::widths;
 
 void check_window(std::size_t n) {
   if (n < 2 || n % 2 != 0) throw std::invalid_argument("estimator: window must be even and >= 2");
@@ -12,75 +18,146 @@ void check_window(std::size_t n) {
 
 // Calibrated block-level critical paths (Vivado 2015.3, XC7Z020, from the
 // paper's tables; constant in N because every block is fully pipelined).
-constexpr double kFmaxIwtMHz = 592.1;       // two 9-bit add/sub levels
-constexpr double kFmaxBitPackMHz = 538.6;   // compare + 4-bit add + insert mux
+constexpr double kFmaxIwtMHz = 592.1;       // two lifting add/sub levels
+constexpr double kFmaxBitPackMHz = 538.6;   // compare + CBits add + insert mux
 constexpr double kFmaxBitUnpackMHz = 343.1; // 24-source bit-selection mux cone
 constexpr double kFmaxOverallMHz = 230.3;   // cross-block routing at system level
+
+// ---------------------------------------------------------------------------
+// Every bit width below comes from hw/widths.hpp — the same table the
+// datapath register types are built from — so the LUT/FF arithmetic cannot
+// drift from the cycle model. Technology factors (LUT/bit, control terms)
+// are 7-series LUT6 figures calibrated against the paper's tables.
+// ---------------------------------------------------------------------------
+
+// The estimator's adder width is the width the type system derives for the
+// lifting add/sub, and the packing registers are the actual unit types.
+static_assert(widths::kHaarAdderBits ==
+              decltype(widths::PixelReg{} - widths::PixelReg{})::width);
+static_assert(hw::BitPackUnit::Acc::width == widths::kPackAccBits);
+static_assert(hw::BitPackUnit::CBits::width == widths::kCBitsBits);
+static_assert(hw::BitUnpackUnit::Rem::width == widths::kUnpackRemBits);
+static_assert(hw::BitUnpackUnit::CBits::width == widths::kCBitsBits);
+
+// --- IWT / IIWT (Figs. 5, 10) ----------------------------------------------
+// One 1-D lifting block: one adder + one subtractor at the lifting precision
+// (~1 LUT/bit) plus ~6 LUTs of valid/clock-enable fabric.
+constexpr std::size_t kLutsPerLiftingBlock = 2 * static_cast<std::size_t>(widths::kHaarAdderBits) + 6;
+constexpr std::size_t kLiftingBlocksPer2dBlock = 4;
+constexpr std::size_t kLutsPer2dBlock = kLiftingBlocksPer2dBlock * kLutsPerLiftingBlock;
+constexpr std::size_t kIwtControlLuts = 2;
+// Registers per 2-D block: four coefficient output registers at the full
+// adder precision plus 4 stage-valid bits; a 6-bit module FSM is shared.
+constexpr std::size_t kIwtRegsPer2dBlock =
+    kLiftingBlocksPer2dBlock * static_cast<std::size_t>(widths::kHaarAdderBits) + 4;
+constexpr std::size_t kIwtFsmRegs = 6;
+// IIWT output registers hold reconstructed pixels (kPixelBits), not
+// coefficients, plus one merged valid bit.
+constexpr std::size_t kIiwtRegsPer2dBlock =
+    kLiftingBlocksPer2dBlock * static_cast<std::size_t>(widths::kPixelBits) + 1;
+static_assert(kLutsPer2dBlock == 96, "IWT LUT structure diverged from the paper calibration");
+static_assert(kIwtRegsPer2dBlock == 40 && kIiwtRegsPer2dBlock == 33,
+              "IWT/IIWT register inventory diverged from the paper calibration");
+
+// --- Bit Packing (Figs. 6-7) -------------------------------------------------
+// Per unit: threshold magnitude comparator (abs + cmp over one coefficient),
+// CBits adder + CBits-vs-BitMax comparator, the insertion crossbar into the
+// accumulator (~5 LUT/bit of accumulator), and masking/WEN control.
+constexpr std::size_t kPackCompareLuts = static_cast<std::size_t>(widths::kCoeffBits) + 4;
+constexpr std::size_t kPackCBitsLuts = static_cast<std::size_t>(widths::kCBitsBits) + 2;
+constexpr std::size_t kPackInsertLuts = 5 * static_cast<std::size_t>(widths::kPackAccBits);
+constexpr std::size_t kPackControlLuts = 28;
+constexpr std::size_t kPackUnitLuts =
+    kPackCompareLuts + kPackCBitsLuts + kPackInsertLuts + kPackControlLuts;
+// Two NBits finder trees (Fig. 7) amortise to ~5 LUTs per window row; ~13
+// LUTs of shared control.
+constexpr std::size_t kNBitsFinderLutsPerRow = 5;
+constexpr std::size_t kPackSharedLuts = 13;
+// Registers per unit: CBits + the Yout_Current/Yout_Reg accumulator pair
+// (together kPackAccBits) + WEN/BitMap/valid flags.
+constexpr std::size_t kPackUnitRegs = static_cast<std::size_t>(widths::kCBitsBits) +
+                                      static_cast<std::size_t>(widths::kPackAccBits) + 5;
+static_assert(kPackUnitLuts == 126 && kPackUnitLuts + kNBitsFinderLutsPerRow == 131,
+              "Bit Packing LUT structure diverged from the paper calibration");
+static_assert(kPackUnitRegs == 25,
+              "Bit Packing register inventory diverged from the paper calibration");
+
+// --- Bit Unpacking (Figs. 8-9) -----------------------------------------------
+// Per unit, dominated by the bit-selection multiplexer the paper names as
+// the LUT hotspot: the 24-source Yout_Reg select (~8 LUTs per output-word
+// bit), the Yout_rem realignment (~5 LUT/bit), the sign-extension mux
+// (~2 LUTs per output-word bit), CBits adder/comparators + BitMap gate, and
+// byte-fetch/alignment control.
+constexpr std::size_t kUnpackSelectLuts = 8 * static_cast<std::size_t>(widths::kPackedWordBits);
+constexpr std::size_t kUnpackRealignLuts = 5 * static_cast<std::size_t>(widths::kUnpackRemBits);
+constexpr std::size_t kUnpackSignExtendLuts =
+    2 * static_cast<std::size_t>(widths::kPackedWordBits);
+constexpr std::size_t kUnpackCBitsLuts = static_cast<std::size_t>(widths::kCBitsBits) + 3;
+constexpr std::size_t kUnpackControlLuts = 79;
+constexpr std::size_t kUnpackUnitLuts = kUnpackSelectLuts + kUnpackRealignLuts +
+                                        kUnpackSignExtendLuts + kUnpackCBitsLuts +
+                                        kUnpackControlLuts;
+constexpr std::size_t kUnpackSharedLuts = 162;  // shared FIFO read arbitration
+// Registers per unit: CBits + Yout_rem + Yout_Reg, ~3 merged by SRL
+// extraction; 3 shared.
+constexpr std::size_t kUnpackUnitRegs = static_cast<std::size_t>(widths::kCBitsBits) +
+                                        static_cast<std::size_t>(widths::kUnpackRemBits) +
+                                        static_cast<std::size_t>(widths::kPackedWordBits) - 3;
+constexpr std::size_t kUnpackSharedRegs = 3;
+static_assert(kUnpackUnitLuts == 246,
+              "Bit Unpacking LUT structure diverged from the paper calibration");
+static_assert(kUnpackUnitRegs == 25,
+              "Bit Unpacking register inventory diverged from the paper calibration");
+
+// --- system glue (Table X) ---------------------------------------------------
+// Active-window column multiplexing, memory-unit address generation and the
+// fill/process/drain FSM (calibrated; <3% error on every published cell).
+constexpr std::size_t kGlueLutsPerRow = 70;
+constexpr std::size_t kGlueRegsPerRow = 52;
+constexpr std::size_t kGlueFixedLuts = 500;
+constexpr std::size_t kGlueFixedRegs = 560;
 
 }  // namespace
 
 ResourceEstimate estimate_iwt(std::size_t window) {
   check_window(window);
-  // N/2 two-dimensional blocks; each contains four 1-D lifting blocks of one
-  // 9-bit adder (9 LUTs) + one 9-bit subtractor (9 LUTs) + ~6 LUTs of
-  // valid/clock-enable fabric: 4 x 24 = 96 LUTs per 2-D block. Plus 2 LUTs
-  // of module control. Registers: four 9-bit coefficient output registers +
-  // 4 stage-valid bits per 2-D block (40 FF) + a 6-bit module FSM.
+  // N/2 two-dimensional blocks of four 1-D lifting blocks each, plus module
+  // control. (= 48N + 2 LUTs / 20N + 6 FFs; matches the paper exactly.)
   ResourceEstimate est;
-  est.luts = (window / 2) * 96 + 2;          // = 48N + 2 (matches paper exactly)
-  est.registers = (window / 2) * 40 + 6;     // = 20N + 6
+  est.luts = (window / 2) * kLutsPer2dBlock + kIwtControlLuts;
+  est.registers = (window / 2) * kIwtRegsPer2dBlock + kIwtFsmRegs;
   est.fmax_mhz = kFmaxIwtMHz;
   return est;
 }
 
 ResourceEstimate estimate_bitpack(std::size_t window) {
   check_window(window);
-  // One packing unit per window row. Per unit (Fig. 6):
-  //   threshold magnitude comparator (abs + cmp)        ~12 LUTs
-  //   CBits 4-bit adder + CBits-vs-BitMax comparator     ~6
-  //   8-bit-into-16-bit insertion crossbar (~5 LUT/bit)  ~80
-  //   accumulator update masking / WEN control           ~28
-  //                                              total  ~126 LUTs
-  // plus the two NBits finder trees (Fig. 7, ~5 LUT/row amortised) and
-  // ~13 LUTs of shared control => 131 N + 13.
-  // Registers per unit: CBits(4) + Yout_Current(8) + Yout_Reg(8) + WEN,
-  // BitMap and valid flags (5) => 25 N. (The paper's N >= 64 rows show ~16%
-  // more FFs from synthesis fanout replication; see EXPERIMENTS.md.)
+  // One packing unit per window row plus the shared NBits finders and
+  // control. (The paper's N >= 64 rows show ~16% more FFs from synthesis
+  // fanout replication; see EXPERIMENTS.md.)
   ResourceEstimate est;
-  est.luts = 131 * window + 13;
-  est.registers = 25 * window;
+  est.luts = (kPackUnitLuts + kNBitsFinderLutsPerRow) * window + kPackSharedLuts;
+  est.registers = kPackUnitRegs * window;
   est.fmax_mhz = kFmaxBitPackMHz;
   return est;
 }
 
 ResourceEstimate estimate_bitunpack(std::size_t window) {
   check_window(window);
-  // One unpacking unit per window row. Per unit (Figs. 8-9), dominated by
-  // the bit-selection multiplexer the paper names as the LUT hotspot:
-  //   Yout_reg 8 bits x 24-source select           ~64 LUTs
-  //   Yout_rem 16-bit realignment (16:1 per bit)    ~80
-  //   sign-extension mux + output stage             ~16
-  //   CBits adder/comparators + BitMap gate          ~7
-  //   byte-fetch + alignment control                ~79
-  //                                         total  ~246 LUTs
-  // plus ~162 LUTs of shared FIFO read arbitration.
-  // Registers per unit: CBits(4) + Yout_rem(16) + Yout_Reg(8), ~3 merged by
-  // SRL extraction => ~25 N + 3.
   ResourceEstimate est;
-  est.luts = 246 * window + 162;
-  est.registers = 25 * window + 3;
+  est.luts = kUnpackUnitLuts * window + kUnpackSharedLuts;
+  est.registers = kUnpackUnitRegs * window + kUnpackSharedRegs;
   est.fmax_mhz = kFmaxBitUnpackMHz;
   return est;
 }
 
 ResourceEstimate estimate_iiwt(std::size_t window) {
   check_window(window);
-  // Mirror of the forward block: identical arithmetic => identical LUTs.
-  // Output registers are 8-bit pixels (vs 9-bit coefficients), so 33 FF per
-  // 2-D block (4 x 8 + valid).
+  // Mirror of the forward block: identical arithmetic => identical LUTs;
+  // output registers hold pixels instead of coefficients.
   ResourceEstimate est;
-  est.luts = (window / 2) * 96 + 2;
-  est.registers = (window / 2) * 33;
+  est.luts = (window / 2) * kLutsPer2dBlock + kIwtControlLuts;
+  est.registers = (window / 2) * kIiwtRegsPer2dBlock;
   est.fmax_mhz = kFmaxIwtMHz;
   return est;
 }
@@ -91,14 +168,11 @@ ResourceEstimate estimate_overall(std::size_t window) {
   const ResourceEstimate pack = estimate_bitpack(window);
   const ResourceEstimate unpack = estimate_bitunpack(window);
   const ResourceEstimate iiwt = estimate_iiwt(window);
-  // Glue: active-window column multiplexing, memory-unit address generation
-  // and the fill/process/drain FSM: ~70 LUT + 52 FF per window row plus a
-  // fixed ~500 LUT / ~560 FF core (calibrated against Table X; <3% error on
-  // every published cell).
   ResourceEstimate est;
-  est.luts = iwt.luts + pack.luts + unpack.luts + iiwt.luts + 70 * window + 500;
-  est.registers =
-      iwt.registers + pack.registers + unpack.registers + iiwt.registers + 52 * window + 560;
+  est.luts = iwt.luts + pack.luts + unpack.luts + iiwt.luts + kGlueLutsPerRow * window +
+             kGlueFixedLuts;
+  est.registers = iwt.registers + pack.registers + unpack.registers + iiwt.registers +
+                  kGlueRegsPerRow * window + kGlueFixedRegs;
   est.fmax_mhz = kFmaxOverallMHz;
   return est;
 }

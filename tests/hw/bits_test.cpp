@@ -1,0 +1,188 @@
+#include "hw/bits.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <type_traits>
+
+#include "hw/haar_datapath.hpp"
+#include "hw/widths.hpp"
+#include "wavelet/haar.hpp"
+
+namespace swc::hw::bits {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Width propagation: the type system must provision exactly what synthesis
+// would.
+// ---------------------------------------------------------------------------
+
+TEST(ApUint, ArithmeticPropagatesWidths) {
+  static_assert(decltype(ap_uint<8>{} + ap_uint<8>{})::width == 9);
+  static_assert(decltype(ap_uint<8>{} + ap_uint<4>{})::width == 9);
+  static_assert(decltype(ap_uint<8>{} - ap_uint<8>{})::width == 9);
+  static_assert(decltype(ap_uint<8>{} * ap_uint<4>{})::width == 12);
+  static_assert(decltype(ap_uint<8>{} & ap_uint<15>{})::width == 15);
+  static_assert(decltype(ap_uint<8>{} | ap_uint<3>{})::width == 8);
+  static_assert(decltype(ap_uint<8>{}.shl<7>())::width == 15);
+  static_assert(decltype(ap_uint<8>{}.shl_bounded<7>(0))::width == 15);
+  static_assert(decltype(ap_uint<9>{}.shr(3))::width == 9);  // shr never narrows
+
+  EXPECT_EQ((ap_uint<8>(200u) + ap_uint<8>(200u)).value(), 400u);
+  EXPECT_EQ((ap_uint<4>(3u) * ap_uint<4>(15u)).value(), 45u);
+  EXPECT_EQ(ap_uint<8>(0x81u).shl_bounded<7>(7).value(), 0x81u << 7);
+}
+
+TEST(ApUint, SubtractionIsSignedAtFullPrecision) {
+  const auto d = ap_uint<8>(0u) - ap_uint<8>(255u);
+  static_assert(std::is_same_v<decltype(d), const ap_int<9>>);
+  EXPECT_EQ(d.value(), -255);
+  EXPECT_EQ(d.wrap<8>().value(), 1u);  // two's-complement register wrap
+}
+
+TEST(ApInt, ArithmeticPropagatesWidths) {
+  static_assert(decltype(ap_int<9>{} + ap_int<9>{})::width == 10);
+  static_assert(decltype(ap_int<9>{} - ap_int<4>{})::width == 10);
+  static_assert(ap_int<9>::max_value == 255 && ap_int<9>::min_value == -256);
+  EXPECT_EQ(ap_int<9>(-256).asr(1).value(), -128);
+  EXPECT_EQ(ap_int<9>(-1).asr(4).value(), -1);  // sign-preserving shift
+}
+
+TEST(ApUint, TruncKeepsValueWrapReduces) {
+  const ap_uint<9> v(0x1A5u);
+  EXPECT_EQ(v.wrap<8>().value(), 0xA5u);
+  EXPECT_EQ(ap_uint<9>(0x7Fu).trunc<8>().value(), 0x7Fu);
+  EXPECT_EQ(ap_int<9>(-3).wrap<8>().value(), 0xFDu);
+  EXPECT_EQ(ap_uint<8>(0xFFu).as_signed().value(), -1);
+  EXPECT_EQ(ap_uint<8>(0x7Fu).as_signed().value(), 127);
+}
+
+TEST(ApUint, MaskLsbMatchesWidth) {
+  EXPECT_EQ(mask_lsb<8>(0).value(), 0x00u);
+  EXPECT_EQ(mask_lsb<8>(3).value(), 0x07u);
+  EXPECT_EQ(mask_lsb<8>(8).value(), 0xFFu);
+  EXPECT_EQ(mask_lsb<16>(13).value(), 0x1FFFu);
+}
+
+TEST(ApUint, CompoundBitwiseRespectsWidths) {
+  ap_uint<16> acc(0u);
+  acc |= ap_uint<15>(0x7FFFu);
+  EXPECT_EQ(acc.value(), 0x7FFFu);
+  // &= with a narrower mask register touches only that register's bit span:
+  // bits above the mask's width are preserved, exactly like a partial-bus AND.
+  acc &= mask_lsb<8>(3);
+  EXPECT_EQ(acc.value(), 0x7F07u);
+}
+
+// ---------------------------------------------------------------------------
+// Negative compile tests: narrowing must not be expressible implicitly, and
+// trunc/wrap/shl bounds must be enforced by the type system. Each probe is a
+// static_assert, so a regression breaks the build rather than a runtime test.
+// ---------------------------------------------------------------------------
+
+static_assert(std::is_convertible_v<ap_uint<8>, ap_uint<9>>,
+              "widening must stay implicit");
+static_assert(!std::is_convertible_v<ap_uint<9>, ap_uint<8>>,
+              "implicit narrowing must not compile");
+static_assert(!std::is_constructible_v<ap_uint<8>, ap_uint<9>>,
+              "explicit narrowing construction must not compile either");
+static_assert(!std::is_assignable_v<ap_uint<8>&, ap_uint<9>>,
+              "narrowing assignment must not compile");
+static_assert(!std::is_convertible_v<ap_int<9>, ap_int<8>>);
+static_assert(!std::is_constructible_v<ap_int<8>, ap_int<9>>);
+static_assert(!std::is_convertible_v<int, ap_uint<8>>,
+              "raw integers must convert only explicitly");
+
+template <typename T>
+concept CanTruncTo4 = requires(T v) { v.template trunc<4>(); };
+template <typename T>
+concept CanWrapTo4 = requires(T v) { v.template wrap<4>(); };
+template <typename T>
+concept CanShlBounded60 = requires(T v) { v.template shl_bounded<60>(0); };
+
+static_assert(CanTruncTo4<ap_uint<8>> && CanWrapTo4<ap_uint<8>>);
+static_assert(!CanTruncTo4<ap_uint<3>>, "trunc must not widen");
+static_assert(!CanWrapTo4<ap_uint<3>>, "wrap must not widen");
+static_assert(!CanShlBounded60<ap_uint<8>>,
+              "a bounded shift past 64 result bits must not compile");
+
+// ---------------------------------------------------------------------------
+// The width-proven Haar datapath is bit-identical to the wavelet reference
+// over the entire 16-bit input space (the exhaustive ground truth behind the
+// static_assert spot checks in iwt_module.cpp).
+// ---------------------------------------------------------------------------
+
+TEST(HaarDatapath, ForwardMatchesReferenceExhaustively) {
+  for (int x0 = 0; x0 < 256; ++x0) {
+    for (int x1 = 0; x1 < 256; ++x1) {
+      const auto ref = wavelet::haar_forward_u8(static_cast<std::uint8_t>(x0),
+                                                static_cast<std::uint8_t>(x1));
+      const HaarPairReg got = haar_forward(widths::PixelReg(static_cast<unsigned>(x0)),
+                                           widths::PixelReg(static_cast<unsigned>(x1)));
+      ASSERT_EQ(got.l.to_u8(), ref.l) << "x0=" << x0 << " x1=" << x1;
+      ASSERT_EQ(got.h.to_u8(), ref.h) << "x0=" << x0 << " x1=" << x1;
+    }
+  }
+}
+
+TEST(HaarDatapath, InverseRoundTripsExhaustively) {
+  for (int l = 0; l < 256; ++l) {
+    for (int h = 0; h < 256; ++h) {
+      const auto ref = wavelet::haar_inverse_u8(static_cast<std::uint8_t>(l),
+                                                static_cast<std::uint8_t>(h));
+      const auto [x0, x1] = haar_inverse(widths::CoeffReg(static_cast<unsigned>(l)),
+                                         widths::CoeffReg(static_cast<unsigned>(h)));
+      ASSERT_EQ(x0.to_u8(), ref.first) << "l=" << l << " h=" << h;
+      ASSERT_EQ(x1.to_u8(), ref.second) << "l=" << l << " h=" << h;
+      // Forward(inverse) is the identity in Z/256Z.
+      const HaarPairReg fwd = haar_forward(x0, x1);
+      ASSERT_EQ(fwd.l.to_u8(), static_cast<std::uint8_t>(l));
+      ASSERT_EQ(fwd.h.to_u8(), static_cast<std::uint8_t>(h));
+    }
+  }
+}
+
+TEST(HaarDatapath, TwoDimensionalBlockMatchesReference) {
+  // Deterministic LCG sweep over 2x2 blocks (full 32-bit space is too big).
+  std::uint32_t s = 0x12345678u;
+  for (int i = 0; i < 20000; ++i) {
+    s = s * 1664525u + 1013904223u;
+    const auto x00 = static_cast<std::uint8_t>(s >> 24);
+    const auto x01 = static_cast<std::uint8_t>(s >> 16);
+    const auto x10 = static_cast<std::uint8_t>(s >> 8);
+    const auto x11 = static_cast<std::uint8_t>(s);
+    const auto ref = wavelet::haar2d_forward_u8(x00, x01, x10, x11);
+    const HaarBlockReg got =
+        haar2d_forward(widths::PixelReg(x00), widths::PixelReg(x01), widths::PixelReg(x10),
+                       widths::PixelReg(x11));
+    ASSERT_EQ(got.ll.to_u8(), ref.ll);
+    ASSERT_EQ(got.lh.to_u8(), ref.lh);
+    ASSERT_EQ(got.hl.to_u8(), ref.hl);
+    ASSERT_EQ(got.hh.to_u8(), ref.hh);
+    const PixelBlockReg back = haar2d_inverse(got);
+    ASSERT_EQ(back.x00.to_u8(), x00);
+    ASSERT_EQ(back.x01.to_u8(), x01);
+    ASSERT_EQ(back.x10.to_u8(), x10);
+    ASSERT_EQ(back.x11.to_u8(), x11);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The paper-width table is wired to the datapath types (tentpole invariants).
+// ---------------------------------------------------------------------------
+
+TEST(Widths, PaperTableMatchesDatapathTypes) {
+  static_assert(widths::PixelReg::width == widths::kPixelBits);
+  static_assert(widths::CoeffReg::width == widths::kCoeffBits);
+  static_assert(decltype(widths::PixelReg{} + widths::PixelReg{})::width ==
+                widths::kHaarAdderBits);
+  static_assert(widths::NBitsField::max_value >= widths::kBitMax);
+  static_assert(decltype(widths::CoeffReg{}.shl_bounded<widths::kBitMax - 1>(0))::width ==
+                widths::kPackInsertBits);
+  static_assert(widths::PackAccReg::width >= widths::kPackInsertBits);
+  static_assert(widths::UnpackRemReg::width >= widths::kPackInsertBits);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace swc::hw::bits

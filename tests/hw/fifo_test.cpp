@@ -12,12 +12,29 @@ TEST(Fifo, PreservesOrder) {
   EXPECT_TRUE(f.empty());
 }
 
-TEST(Fifo, UnderflowThrows) {
+TEST(Fifo, UnderflowIsRecordedNotThrown) {
   Fifo<int> f;
-  EXPECT_THROW((void)f.pop(), std::runtime_error);
+  EXPECT_FALSE(f.underflowed());
+  // Reading an empty BRAM port yields a default element, never an exception.
+  EXPECT_EQ(f.pop(), 0);
+  EXPECT_TRUE(f.underflowed());
+  // The flag is sticky: later legitimate traffic does not clear it.
+  f.push(7);
+  EXPECT_EQ(f.pop(), 7);
+  EXPECT_TRUE(f.underflowed());
+}
+
+TEST(Fifo, UnderflowingPopConsumesNothing) {
+  Fifo<int> f;
   f.push(1);
   (void)f.pop();
-  EXPECT_THROW((void)f.pop(), std::runtime_error);
+  (void)f.pop();  // underflow
+  (void)f.pop();  // underflow
+  EXPECT_EQ(f.pushes(), 1u);
+  EXPECT_EQ(f.pops(), 1u);  // only the successful pop counts
+  EXPECT_TRUE(f.empty());
+  EXPECT_TRUE(f.underflowed());
+  EXPECT_FALSE(f.overflowed());
 }
 
 TEST(Fifo, TracksHighWater) {

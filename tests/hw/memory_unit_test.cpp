@@ -41,8 +41,8 @@ TEST(MemoryUnit, ManagementFifosPreserveOrder) {
   MemoryUnit mem(4);
   BitmapWord bm1;
   bm1.set(2, true);
-  mem.push_management(NBitsEntry{3, 5}, bm1);
-  mem.push_management(NBitsEntry{1, 8}, BitmapWord{});
+  mem.push_management(NBitsEntry{widths::NBitsField(3u), widths::NBitsField(5u)}, bm1);
+  mem.push_management(NBitsEntry{widths::NBitsField(1u), widths::NBitsField(8u)}, BitmapWord{});
   const NBitsEntry n1 = mem.pop_nbits();
   EXPECT_EQ(n1.top, 3);
   EXPECT_EQ(n1.bottom, 5);
@@ -105,6 +105,24 @@ TEST(MemoryUnit, OverconsumptionAcrossRowIsDetected) {
   (void)mem.pop_byte(0);
   (void)mem.pop_byte(0);  // illegally eats into row 1
   EXPECT_THROW(mem.begin_unpack_row(), std::logic_error);
+}
+
+TEST(MemoryUnit, UnderflowIsRecordedNotThrown) {
+  MemoryUnit mem(2);
+  EXPECT_FALSE(mem.underflowed());
+  // Reading any empty FIFO — payload or management — records, never throws.
+  EXPECT_EQ(mem.pop_byte(0), 0);
+  EXPECT_TRUE(mem.underflowed());
+
+  MemoryUnit mgmt(2);
+  const NBitsEntry nb = mgmt.pop_nbits();
+  EXPECT_EQ(nb.top, 1);  // default-constructed entry (minimum legal width)
+  EXPECT_TRUE(mgmt.underflowed());
+
+  MemoryUnit ok(2);
+  ok.push_byte(1, 9);
+  EXPECT_EQ(ok.pop_byte(1), 9);
+  EXPECT_FALSE(ok.underflowed());
 }
 
 TEST(MemoryUnit, CapacityOverflowIsRecorded) {

@@ -44,6 +44,38 @@ TEST(ShiftWindow, RejectsBadColumnSizes) {
   EXPECT_THROW(ShiftWindow(0), std::invalid_argument);
 }
 
+TEST(ShiftWindow, SinglePixelWindowIsAPassThroughRegister) {
+  // N = 1 degenerates to one register: every shift replaces the whole window.
+  ShiftWindow win(1);
+  EXPECT_EQ(win.size(), 1u);
+  EXPECT_EQ(win.at(0, 0), 0);
+  win.shift_in(std::vector<std::uint8_t>{42});
+  EXPECT_EQ(win.at(0, 0), 42);
+  win.shift_in(std::vector<std::uint8_t>{7});
+  EXPECT_EQ(win.at(0, 0), 7);
+  std::vector<std::uint8_t> col(1);
+  win.read_rightmost(col);
+  EXPECT_EQ(col[0], 7);
+  EXPECT_EQ(win.row(0)[0], 7);
+}
+
+TEST(ShiftWindow, ReadRightmostBeforeWindowFillsSeesZerosThenData) {
+  // Fewer than N shifts: the newest column is real data, the rest of the
+  // window still holds the power-on zeros (columns drain left to right).
+  ShiftWindow win(3);
+  std::vector<std::uint8_t> col(3);
+  win.read_rightmost(col);  // zero shifts: the reset state
+  EXPECT_EQ(col, (std::vector<std::uint8_t>{0, 0, 0}));
+
+  win.shift_in(std::vector<std::uint8_t>{1, 2, 3});
+  win.read_rightmost(col);  // one shift out of three
+  EXPECT_EQ(col, (std::vector<std::uint8_t>{1, 2, 3}));
+  for (std::size_t y = 0; y < 3; ++y) {
+    EXPECT_EQ(win.at(0, y), 0);  // untouched columns stay zeroed
+    EXPECT_EQ(win.at(1, y), 0);
+  }
+}
+
 TEST(ShiftWindow, FullRotationReplacesAllContent) {
   ShiftWindow win(3);
   for (std::uint8_t k = 0; k < 3; ++k) {
