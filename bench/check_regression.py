@@ -7,7 +7,10 @@ Usage:
 
 Records are matched on (name, config, metric); only `--metric` records
 (default: throughput) are compared, because derived ratios (speedup) move
-whenever either side of the division moves and would double-report.
+whenever either side of the division moves and would double-report. Both
+--baseline and --fresh may be repeated; each side then contributes its
+per-record best (max) value, which de-flakes tight thresholds against
+shared-machine noise.
 
 Exit status is non-zero when any matched record's fresh value falls more than
 --threshold-pct below the baseline, or when a baseline record is missing from
@@ -15,6 +18,13 @@ the fresh run (silent coverage loss must not pass). Improvements and new
 records are reported but never fail the check. The default 15% tolerance
 absorbs machine-to-machine noise on shared CI runners; tighten it for
 dedicated hardware.
+
+Machine identity: every artifact carries a "meta" object (cpu_model, cores,
+simd, compiler) written by benchx::write_bench_json. When baseline and fresh
+meta disagree the comparison is apples-to-oranges and the check refuses with
+exit status 3 unless --allow-cross-machine is given (CI passes it together
+with the wide 15% gate; same-machine checks such as the telemetry overhead
+guard must not).
 """
 
 from __future__ import annotations
@@ -23,19 +33,60 @@ import argparse
 import json
 import sys
 
+# Meta keys that define comparability of throughput numbers.
+MACHINE_KEYS = ("cpu_model", "cores", "simd", "compiler")
 
-def load_records(path: str) -> dict[tuple[str, str, str], dict]:
+
+def load_doc(path: str) -> dict:
     with open(path, "r", encoding="utf-8") as fh:
-        doc = json.load(fh)
+        return json.load(fh)
+
+
+def records_of(doc: dict) -> dict[tuple[str, str, str], dict]:
     out = {}
     for rec in doc.get("records", []):
         out[(rec["name"], rec["config"], rec["metric"])] = rec
     return out
 
 
+def machine_identity(doc: dict) -> dict:
+    meta = doc.get("meta", {})
+    return {k: meta.get(k) for k in MACHINE_KEYS}
+
+
+def check_meta(baseline_doc: dict, fresh_docs: list[tuple[str, dict]],
+               allow_cross_machine: bool) -> int:
+    """Returns 0 when comparable, 3 when refusing a cross-machine comparison."""
+    base_id = machine_identity(baseline_doc)
+    mismatches = []
+    for path, doc in fresh_docs:
+        fresh_id = machine_identity(doc)
+        diff = {k: (base_id[k], fresh_id[k]) for k in MACHINE_KEYS
+                if base_id[k] != fresh_id[k]}
+        if diff:
+            mismatches.append((path, diff))
+    if not mismatches:
+        return 0
+    stream = sys.stdout if allow_cross_machine else sys.stderr
+    verdict = ("WARNING: cross-machine comparison (allowed by flag)"
+               if allow_cross_machine else
+               "REFUSED: baseline and fresh runs come from different machines/builds")
+    print(verdict, file=stream)
+    for path, diff in mismatches:
+        for key, (base_v, fresh_v) in sorted(diff.items()):
+            print(f"  {path}: {key}: baseline={base_v!r} fresh={fresh_v!r}", file=stream)
+    if allow_cross_machine:
+        return 0
+    print("pass --allow-cross-machine to compare anyway", file=sys.stderr)
+    return 3
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--baseline", required=True, help="committed BENCH_*.json")
+    parser.add_argument("--baseline", required=True, action="append",
+                        help="committed BENCH_*.json; may be given several times "
+                             "(e.g. repeated runs of a reference build), in which "
+                             "case each record's best value forms the baseline")
     parser.add_argument("--fresh", required=True, action="append",
                         help="freshly generated BENCH_*.json; may be given several "
                              "times, in which case each record's best (max) value is "
@@ -45,15 +96,32 @@ def main() -> int:
                         help="allowed drop below baseline before failing (default 15)")
     parser.add_argument("--metric", default="throughput",
                         help="metric name to compare (default: throughput)")
+    parser.add_argument("--name", default=None,
+                        help="restrict the comparison to records with this name "
+                             "(default: all). The telemetry overhead guard uses "
+                             "this to gate only the span-bearing engine scan.")
+    parser.add_argument("--allow-cross-machine", action="store_true",
+                        help="compare even when baseline/fresh meta (cpu_model, cores, "
+                             "simd, compiler) disagree — otherwise refuse with exit 3")
     args = parser.parse_args()
 
-    baseline = load_records(args.baseline)
-    fresh: dict[tuple[str, str, str], dict] = {}
-    for path in args.fresh:
-        for key, rec in load_records(path).items():
-            best = fresh.get(key)
-            if best is None or float(rec["value"]) > float(best["value"]):
-                fresh[key] = rec
+    baseline_docs = [load_doc(path) for path in args.baseline]
+    fresh_docs = [(path, load_doc(path)) for path in args.fresh]
+    meta_status = check_meta(baseline_docs[0], fresh_docs, args.allow_cross_machine)
+    if meta_status != 0:
+        return meta_status
+
+    def best_records(docs: list[dict]) -> dict[tuple[str, str, str], dict]:
+        best: dict[tuple[str, str, str], dict] = {}
+        for doc in docs:
+            for key, rec in records_of(doc).items():
+                cur = best.get(key)
+                if cur is None or float(rec["value"]) > float(cur["value"]):
+                    best[key] = rec
+        return best
+
+    baseline = best_records(baseline_docs)
+    fresh = best_records([doc for _, doc in fresh_docs])
 
     compared = 0
     regressions = []
@@ -61,6 +129,8 @@ def main() -> int:
     for key, base_rec in sorted(baseline.items()):
         name, config, metric = key
         if metric != args.metric:
+            continue
+        if args.name is not None and name != args.name:
             continue
         fresh_rec = fresh.get(key)
         if fresh_rec is None:
@@ -79,7 +149,7 @@ def main() -> int:
               f"({delta_pct:+6.1f}%)")
 
     for key in sorted(fresh.keys() - baseline.keys()):
-        if key[2] == args.metric:
+        if key[2] == args.metric and (args.name is None or key[0] == args.name):
             print(f"+ {key[0]:24s} {key[1]:60s} (new record, not compared)")
 
     if missing:
@@ -90,13 +160,13 @@ def main() -> int:
         return 1
     if regressions:
         print(f"\nFAIL: {len(regressions)} record(s) regressed more than "
-              f"{args.threshold_pct:.0f}% vs {args.baseline}:", file=sys.stderr)
+              f"{args.threshold_pct:.0f}% vs {', '.join(args.baseline)}:", file=sys.stderr)
         for (name, config, _), base_v, fresh_v, delta_pct in regressions:
             print(f"  {name} | {config}: {base_v:.2f} -> {fresh_v:.2f} ({delta_pct:+.1f}%)",
                   file=sys.stderr)
         return 1
     if compared == 0:
-        print(f"\nFAIL: no '{args.metric}' records in {args.baseline} to compare",
+        print(f"\nFAIL: no '{args.metric}' records in {', '.join(args.baseline)} to compare",
               file=sys.stderr)
         return 1
     print(f"\nOK: {compared} record(s) within {args.threshold_pct:.0f}% of baseline")

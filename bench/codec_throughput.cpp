@@ -16,6 +16,7 @@
 #include <cstdlib>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/bench_common.hpp"
@@ -23,6 +24,7 @@
 #include "bitpack/bitstream_ref.hpp"
 #include "bitpack/column_codec.hpp"
 #include "bitpack/nbits.hpp"
+#include "core/streaming_engine.hpp"
 #include "image/rng.hpp"
 #include "simd/batch_kernels.hpp"
 #include "wavelet/band_transform.hpp"
@@ -324,6 +326,39 @@ int main() {
   const double stage_best = stage_points.empty() ? 0.0 : stage_points.back().mb_s;
   const double stage_speedup = stage_best / stage_baseline;
 
+  // --- Whole-engine throughput + per-stage telemetry breakdown -------------
+  // A full compressed-engine scan is the one path where the per-row stage
+  // spans actually execute, so its throughput record is what the CI
+  // telemetry-overhead guard compares ON vs OFF (the synthetic loops above
+  // contain no spans — their ON/OFF deltas are binary-layout noise, not span
+  // cost). The run's snapshot is then reported stage by stage. Timer sums
+  // are zero when built with SWC_TELEMETRY=OFF; the counters are functional
+  // output and always present.
+  constexpr std::size_t kEngineSize = 256;
+  const auto engine_config = benchx::make_config(kEngineSize, 16, 2);
+  const auto& engine_img = benchx::eval_set(kEngineSize).front();
+  const core::CompressedEngine engine(engine_config);
+  auto engine_run = engine.run_reentrant(
+      engine_img, [](std::size_t, std::size_t, const core::WindowView&) {});
+  const double engine_mb_s = measure_mb_s(kEngineSize * kEngineSize, [&] {
+    (void)engine.run_reentrant(engine_img,
+                               [](std::size_t, std::size_t, const core::WindowView&) {});
+  });
+  const std::string engine_cfg = "size=" + std::to_string(kEngineSize) + " n=16 threshold=2";
+  std::printf("\ncompressed engine full scan (%s): %.1f MPixels/s, telemetry %s\n",
+              engine_cfg.c_str(), engine_mb_s, telemetry::kSpansEnabled ? "on" : "off");
+  if (telemetry::kSpansEnabled) {
+    const auto& ids = core::EngineMetricIds::get();
+    for (const auto [label, id] :
+         {std::pair{"decompose", ids.stage_decompose}, std::pair{"encode", ids.stage_encode},
+          std::pair{"decode", ids.stage_decode}, std::pair{"recompose", ids.stage_recompose}}) {
+      const telemetry::MetricCell* c = engine_run.stats.metrics.find(id);
+      if (c == nullptr || c->count == 0) continue;
+      std::printf("  %-12s %10.1f us total, %8.1f us/row\n", label,
+                  static_cast<double>(c->sum) / 1e3, c->mean() / 1e3);
+    }
+  }
+
   // --- Standardized JSON artifact -----------------------------------------
   std::vector<benchx::BenchRecord> records;
   const std::string bitstream_cfg =
@@ -359,6 +394,8 @@ int main() {
                      stage_cfg + " best=batch_" +
                          (stage_points.empty() ? "none" : std::string(stage_points.back().table)),
                      "speedup_vs_per_pair_scalar", stage_speedup, "x"});
+  records.push_back({"engine_frame", engine_cfg, "throughput", engine_mb_s, "MPixels/s"});
+  benchx::append_snapshot_records(records, engine_run.stats.metrics, "engine_stages", engine_cfg);
   benchx::write_bench_json("BENCH_codec.json", "codec_throughput", records);
 
   if (pack_speedup < 3.0 || unpack_speedup < 3.0) {

@@ -5,9 +5,11 @@
 #include <filesystem>
 #include <fstream>
 #include <map>
+#include <thread>
 
 #include "image/pgm_io.hpp"
 #include "image/synthetic.hpp"
+#include "simd/batch_kernels.hpp"
 
 namespace swc::benchx {
 namespace {
@@ -102,6 +104,42 @@ void print_header(const std::string& experiment, const std::string& description)
   std::printf("================================================================\n");
 }
 
+namespace {
+
+std::string read_cpu_model() {
+  std::ifstream cpuinfo("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(cpuinfo, line)) {
+    if (line.rfind("model name", 0) != 0) continue;
+    const auto colon = line.find(':');
+    if (colon == std::string::npos) break;
+    auto start = line.find_first_not_of(" \t", colon + 1);
+    return start == std::string::npos ? "unknown" : line.substr(start);
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+const BenchMeta& bench_meta() {
+  static const BenchMeta meta = [] {
+    BenchMeta m;
+    m.cpu_model = read_cpu_model();
+    m.cores = std::thread::hardware_concurrency();
+    m.simd = simd::active_name();
+#if defined(__clang__)
+    m.compiler = std::string("clang ") + __VERSION__;
+#elif defined(__GNUC__)
+    m.compiler = std::string("gcc ") + __VERSION__;
+#else
+    m.compiler = "unknown";
+#endif
+    m.telemetry = telemetry::kSpansEnabled;
+    return m;
+  }();
+  return meta;
+}
+
 std::string git_rev() {
   std::FILE* pipe = ::popen("git rev-parse --short HEAD 2>/dev/null", "r");
   if (pipe == nullptr) return "unknown";
@@ -129,11 +167,28 @@ std::string json_escape(const std::string& s) {
 
 }  // namespace
 
+void append_snapshot_records(std::vector<BenchRecord>& records,
+                             const telemetry::Snapshot& snap, const std::string& name,
+                             const std::string& config) {
+  for (telemetry::MetricId id = 0; id < snap.capacity(); ++id) {
+    const telemetry::MetricCell* c = snap.find(id);
+    if (c == nullptr || c->count == 0) continue;
+    const auto info = telemetry::Registry::info(id);
+    records.push_back(
+        {name, config, info.name, static_cast<double>(snap.value(id)), info.unit});
+  }
+}
+
 void write_bench_json(const std::string& path, const std::string& bench,
                       const std::vector<BenchRecord>& records) {
+  const BenchMeta& meta = bench_meta();
   std::ofstream json(path);
   json << "{\n  \"bench\": \"" << json_escape(bench) << "\",\n  \"git_rev\": \""
-       << json_escape(git_rev()) << "\",\n  \"records\": [\n";
+       << json_escape(git_rev()) << "\",\n  \"meta\": {\"cpu_model\": \""
+       << json_escape(meta.cpu_model) << "\", \"cores\": " << meta.cores << ", \"simd\": \""
+       << json_escape(meta.simd) << "\", \"compiler\": \"" << json_escape(meta.compiler)
+       << "\", \"telemetry\": " << (meta.telemetry ? "true" : "false")
+       << "},\n  \"records\": [\n";
   for (std::size_t i = 0; i < records.size(); ++i) {
     const auto& r = records[i];
     json << "    {\"name\": \"" << json_escape(r.name) << "\", \"config\": \""

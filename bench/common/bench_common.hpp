@@ -11,6 +11,7 @@
 #include "core/accounting.hpp"
 #include "core/config.hpp"
 #include "image/image.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace swc::benchx {
 
@@ -51,12 +52,34 @@ struct BenchRecord {
   std::string unit;
 };
 
+// Machine and build identity captured into every BENCH_*.json "meta" object.
+// Throughput numbers are only comparable on the same CPU / core count / SIMD
+// variant / compiler, so check_regression.py refuses cross-machine
+// comparisons unless explicitly overridden.
+struct BenchMeta {
+  std::string cpu_model;   // /proc/cpuinfo "model name" ("unknown" elsewhere)
+  unsigned cores = 0;      // hardware_concurrency at run time
+  std::string simd;        // resolved batch-kernel dispatch variant
+  std::string compiler;    // compiler id + version the bench was built with
+  bool telemetry = false;  // whether Span timers were compiled in
+};
+[[nodiscard]] const BenchMeta& bench_meta();
+
 // Short git revision of the working tree, or "unknown" outside a checkout.
 [[nodiscard]] std::string git_rev();
 
+// Appends one record per populated metric of `snap` under the given record
+// name (record.metric is the registry metric name, record.value its
+// kind-aware reading). This is how BENCH_*.json gains per-stage breakdowns:
+// run the workload, fold the run snapshots, and emit them next to the
+// throughput records.
+void append_snapshot_records(std::vector<BenchRecord>& records,
+                             const telemetry::Snapshot& snap, const std::string& name,
+                             const std::string& config);
+
 // Writes `records` to `path` as the standardized artifact:
-//   {"bench": <bench>, "git_rev": <rev>, "records": [{name, config, metric,
-//    value, unit}, ...]}
+//   {"bench": <bench>, "git_rev": <rev>, "meta": {...}, "records": [{name,
+//    config, metric, value, unit}, ...]}
 void write_bench_json(const std::string& path, const std::string& bench,
                       const std::vector<BenchRecord>& records);
 

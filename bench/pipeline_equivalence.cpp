@@ -20,8 +20,8 @@ int main() {
   const std::size_t w = 256, h = 96;
   const auto img = image::make_natural_image(w, h, {.seed = 2});
 
-  std::printf("%-8s %-4s %10s %10s %12s %14s %16s\n", "window", "T", "cycles", "windows",
-              "bit-exact", "peak buf (Kb)", "trad buf (Kb)");
+  std::printf("%-8s %-4s %10s %10s %12s %14s %16s %6s %6s\n", "window", "T", "cycles", "windows",
+              "bit-exact", "peak buf (Kb)", "trad buf (Kb)", "ovf", "uvf");
   for (const std::size_t n : {std::size_t{8}, std::size_t{16}, std::size_t{32}}) {
     for (const int t : {0, 4}) {
       hw::TraditionalPipeline trad({w, h, n});
@@ -53,11 +53,19 @@ int main() {
       }
       const double peak_kb = static_cast<double>(comp2.peak_buffer_bits()) / 1024.0;
       const double trad_kb = static_cast<double>(w * n * 8) / 1024.0;
-      std::printf("%-8zu %-4d %10zu %10zu %12s %14.1f %16.1f\n", n, t, comp2.cycles(),
+      // FIFO overflow/underflow event counts: a healthy run shows 0/0; any
+      // nonzero count means a provisioning bug the summary must not hide.
+      const std::size_t ovf = comp2.memory().overflow_events();
+      const std::size_t uvf = comp2.memory().underflow_events();
+      std::printf("%-8zu %-4d %10zu %10zu %12s %14.1f %16.1f %6zu %6zu\n", n, t, comp2.cycles(),
                   comp2.windows_emitted(), t == 0 ? (exact ? "yes" : "NO!") : "(lossy)", peak_kb,
-                  trad_kb);
+                  trad_kb, ovf, uvf);
       if (t == 0 && !exact) {
         std::printf("ERROR: lossless compressed pipeline diverged from traditional!\n");
+        return 1;
+      }
+      if (ovf != 0 || uvf != 0) {
+        std::printf("ERROR: FIFO overflow/underflow events in the compressed pipeline!\n");
         return 1;
       }
     }

@@ -75,6 +75,10 @@ int main() {
       static_cast<double>(total_frames * kSize * kSize) / 1e6;
 
   std::vector<MeasuredPoint> points;
+  // Aggregate per-stage telemetry from the 8-worker compressed run; folded
+  // into BENCH_runtime.json so the artifact carries the stage breakdown next
+  // to the throughput numbers.
+  telemetry::Snapshot stage_metrics;
   for (const char* engine_name : {"traditional", "compressed"}) {
     const bool compressed = std::string(engine_name) == "compressed";
     std::printf("engine=%s  streams=%zu  frames/stream=%zu  %zux%zu  window=%zu\n", engine_name,
@@ -102,6 +106,7 @@ int main() {
       server.wait_idle();
       const double sec = seconds_since(t0);
       const auto stats = server.stats();
+      if (compressed && workers == 8) stage_metrics = stats.metrics;
 
       double mean_lat = 0.0;
       for (const auto& s : stats.streams) mean_lat += s.latency.mean_ms();
@@ -169,6 +174,8 @@ int main() {
                            " stripes=" + std::to_string(sp.stripes),
                        "frame_latency", sp.ms_per_frame, "ms"});
   }
+  benchx::append_snapshot_records(records, stage_metrics, "frame_server_stages",
+                                  base_cfg + " engine=compressed workers=8");
   benchx::write_bench_json("BENCH_runtime.json", "runtime_throughput", records);
   return 0;
 }

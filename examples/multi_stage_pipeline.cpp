@@ -38,7 +38,7 @@ image::ImageU8 run_stage(const image::ImageU8& in, std::size_t window, Kernel ke
   engine.run(in, [&](std::size_t r, std::size_t c, const core::WindowView& win) {
     out.at(c, r) = kernel(r, c, win);
   });
-  reports.push_back({name, config.spec.traditional_bits(), engine.stats().max_row_bits});
+  reports.push_back({name, config.spec.traditional_bits(), engine.stats().max_row_bits()});
 
   const std::size_t even_w = out.width() - out.width() % 2;
   image::ImageU8 trimmed(even_w, out.height());

@@ -11,6 +11,7 @@
 
 #include "image/synthetic.hpp"
 #include "runtime/frame_server.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace {
 
@@ -86,8 +87,8 @@ int main() {
                 s.name.c_str(), static_cast<unsigned long long>(s.frames_submitted),
                 static_cast<unsigned long long>(s.frames_completed),
                 static_cast<unsigned long long>(s.frames_rejected),
-                static_cast<unsigned long long>(s.windows_emitted),
-                static_cast<double>(s.payload_bits) / 8.0 / 1024.0, s.latency.min_ms(),
+                static_cast<unsigned long long>(s.windows_emitted()),
+                static_cast<double>(s.payload_bits()) / 8.0 / 1024.0, s.latency.min_ms(),
                 s.latency.mean_ms(), s.latency.max_ms(), s.codec_ns_per_column());
   }
   std::printf("\nframes: submitted %llu, completed %llu, rejected %llu\n",
@@ -101,8 +102,17 @@ int main() {
   std::printf("aggregate: %.1f frames/s over %.2f s wall\n", stats.aggregate_fps(),
               stats.wall_seconds);
   std::printf("striped hires frame: %llu windows in %.2f ms\n",
-              static_cast<unsigned long long>(striped.stats.windows_emitted),
+              static_cast<unsigned long long>(striped.stats.windows_emitted()),
               static_cast<double>(striped.latency_ns) / 1e6);
+
+  // Per-stage telemetry JSON: the server folds every stream's run snapshots
+  // into stats.metrics, so one to_json call yields the full per-stage
+  // breakdown (decompose/encode/decode/recompose timers, bits counters,
+  // high-water gauges). Stage timers read zero when built with
+  // -DSWC_TELEMETRY=OFF; the counters and gauges are always live.
+  std::printf("\nper-stage telemetry (spans %s):\n%s",
+              telemetry::kSpansEnabled ? "on" : "compiled out",
+              telemetry::to_json(stats.metrics).c_str());
 
   const bool ok = stats.frames_completed == submitted && stats.frames_rejected == 0;
   std::printf("\n%s\n", ok ? "all frames served" : "FRAME ACCOUNTING MISMATCH");

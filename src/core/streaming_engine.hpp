@@ -31,6 +31,7 @@
 #include "bitpack/column_codec.hpp"
 #include "core/config.hpp"
 #include "image/image.hpp"
+#include "telemetry/telemetry.hpp"
 #include "wavelet/band_transform.hpp"
 #include "wavelet/column_decomposer.hpp"
 
@@ -67,48 +68,81 @@ struct RowTransitionStats {
   [[nodiscard]] std::size_t total_bits() const noexcept { return payload_bits + management_bits; }
 };
 
+// Dense telemetry ids for every engine metric, interned once per process.
+// Stage timers only record when the tree is built with SWC_TELEMETRY=ON;
+// the counters and gauges are functional output and are always live.
+struct EngineMetricIds {
+  telemetry::MetricId rows;             // counter: row transitions processed
+  telemetry::MetricId windows;          // counter: window positions emitted
+  telemetry::MetricId codec_columns;    // counter: columns through the codec
+  telemetry::MetricId payload_bits;     // counter: packed payload bits
+  telemetry::MetricId management_bits;  // counter: NBits/bitmap overhead bits
+  telemetry::MetricId row_bits;         // gauge: whole-buffer occupancy peak
+  telemetry::MetricId stream_bits;      // gauge: worst single window-row FIFO
+  telemetry::MetricId stage_decompose;  // timer: wavelet forward pass
+  telemetry::MetricId stage_encode;     // timer: column encode pass
+  telemetry::MetricId stage_decode;     // timer: column decode + occupancy pass
+  telemetry::MetricId stage_recompose;  // timer: inverse pass + band shift
+
+  [[nodiscard]] static const EngineMetricIds& get();
+};
+
+// Per-run accounting: the per-row time series plus a telemetry::Snapshot
+// holding every counter/gauge/timer exactly once. The named accessors are a
+// materialized view over the snapshot under the engine.* metric names, so
+// nothing here duplicates a counter that the telemetry layer already owns.
 struct RunStats {
   std::vector<RowTransitionStats> per_row;
-  std::size_t max_stream_bits = 0;   // worst single window-row FIFO stream
-  std::size_t max_row_bits = 0;      // worst whole-buffer occupancy
-  std::size_t windows_emitted = 0;
-  // Wall time spent in the column codec (encode + decode) and the number of
-  // columns it processed, for ns/column observability in the runtime layer.
-  std::uint64_t codec_ns = 0;
-  std::uint64_t codec_columns = 0;
+  telemetry::Snapshot metrics;
+
+  [[nodiscard]] std::size_t windows_emitted() const {
+    return static_cast<std::size_t>(metrics.sum(EngineMetricIds::get().windows));
+  }
+  // Worst single window-row FIFO stream occupancy across the run.
+  [[nodiscard]] std::size_t max_stream_bits() const {
+    return static_cast<std::size_t>(metrics.max(EngineMetricIds::get().stream_bits));
+  }
+  // Worst whole-buffer occupancy across the run.
+  [[nodiscard]] std::size_t max_row_bits() const {
+    return static_cast<std::size_t>(metrics.max(EngineMetricIds::get().row_bits));
+  }
+  // Wall time in the codec passes (zero when built with SWC_TELEMETRY=OFF)
+  // and the number of columns they processed.
+  [[nodiscard]] std::uint64_t codec_ns() const {
+    const auto& ids = EngineMetricIds::get();
+    return metrics.sum(ids.stage_encode) + metrics.sum(ids.stage_decode);
+  }
+  [[nodiscard]] std::uint64_t codec_columns() const {
+    return metrics.sum(EngineMetricIds::get().codec_columns);
+  }
+  [[nodiscard]] double codec_ns_per_column() const {
+    const std::uint64_t columns = codec_columns();
+    return columns == 0 ? 0.0
+                        : static_cast<double>(codec_ns()) / static_cast<double>(columns);
+  }
+
+  [[nodiscard]] std::size_t total_payload_bits() const {
+    return static_cast<std::size_t>(metrics.sum(EngineMetricIds::get().payload_bits));
+  }
+  [[nodiscard]] std::size_t total_management_bits() const {
+    return static_cast<std::size_t>(metrics.sum(EngineMetricIds::get().management_bits));
+  }
 
   void note_row(const RowTransitionStats& row) {
+    const auto& ids = EngineMetricIds::get();
     per_row.push_back(row);
-    max_row_bits = std::max(max_row_bits, row.total_bits());
-  }
-
-  [[nodiscard]] double codec_ns_per_column() const noexcept {
-    return codec_columns == 0
-               ? 0.0
-               : static_cast<double>(codec_ns) / static_cast<double>(codec_columns);
-  }
-
-  [[nodiscard]] std::size_t total_payload_bits() const noexcept {
-    std::size_t bits = 0;
-    for (const auto& row : per_row) bits += row.payload_bits;
-    return bits;
-  }
-  [[nodiscard]] std::size_t total_management_bits() const noexcept {
-    std::size_t bits = 0;
-    for (const auto& row : per_row) bits += row.management_bits;
-    return bits;
+    metrics.add(ids.rows, 1);
+    metrics.add(ids.payload_bits, row.payload_bits);
+    metrics.add(ids.management_bits, row.management_bits);
+    metrics.note_max(ids.row_bits, row.total_bits());
   }
 
   // Fold another run's stats into this one (stripe merging, multi-frame
-  // accumulation). Row records are concatenated in call order; the peaks are
-  // the max over both runs.
+  // accumulation). Row records are concatenated in call order; counters sum
+  // and gauges take the max over both runs (cell-kind aware merge).
   void merge(const RunStats& other) {
     per_row.insert(per_row.end(), other.per_row.begin(), other.per_row.end());
-    max_stream_bits = std::max(max_stream_bits, other.max_stream_bits);
-    max_row_bits = std::max(max_row_bits, other.max_row_bits);
-    windows_emitted += other.windows_emitted;
-    codec_ns += other.codec_ns;
-    codec_columns += other.codec_columns;
+    metrics.merge(other.metrics);
   }
 };
 
@@ -178,11 +212,12 @@ class CompressedEngine {
     begin_run(img, st);
     const std::size_t n = config_.spec.window;
     const std::size_t w = config_.spec.image_width;
+    const auto& ids = EngineMetricIds::get();
     for (std::size_t r = 0;; ++r) {
       for (std::size_t c = 0; c + n <= w; ++c) {
         sink(r, c, WindowView(st.band.data(), w, n, c));
-        ++st.stats.windows_emitted;
       }
+      st.stats.metrics.add(ids.windows, w - n + 1);
       // Row 0 of the band exits the architecture now; it is the final,
       // possibly drift-affected value of image row r.
       commit_exiting_row(r, st);
@@ -218,7 +253,9 @@ class CompressedEngine {
 
     bitpack::ColumnEncoder encoder;
     bitpack::ColumnDecoder decoder;
-    bitpack::EncodedColumn enc_even, enc_odd;
+    // Encoded columns for one whole row transition (even/odd interleaved),
+    // so the encode and decode passes can run as separate timed stages.
+    std::vector<bitpack::EncodedColumn> enc_cols;
     std::vector<std::uint8_t> dec_even, dec_odd;
     wavelet::CoeffColumnPair coeffs;
     // Row-blocked transform state: the whole band is decomposed into

@@ -6,6 +6,7 @@
 
 #include "bitpack/column_codec.hpp"
 #include "bitpack/nbits.hpp"
+#include "hw/hw_metrics.hpp"
 #include "hw/widths.hpp"
 #include "simd/batch_kernels.hpp"
 #include "wavelet/column_decomposer.hpp"
@@ -166,6 +167,16 @@ bool CompressedPipeline::step(std::uint8_t pixel) {
     ++windows_emitted_;
   }
   return valid;
+}
+
+telemetry::Snapshot CompressedPipeline::telemetry() const {
+  const auto& ids = HwMetricIds::get();
+  telemetry::Snapshot snap;
+  snap.add(ids.cycles, cycles_);
+  snap.add(ids.windows, windows_emitted_);
+  snap.note_max(ids.buffer_bits, peak_buffer_bits_);
+  memory_.fold_telemetry(snap);
+  return snap;
 }
 
 }  // namespace swc::hw

@@ -36,6 +36,7 @@
 #include "hw/iwt_module.hpp"
 #include "hw/memory_unit.hpp"
 #include "hw/shift_window.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace swc::hw {
 
@@ -63,6 +64,12 @@ class CompressedPipeline {
   // Peak total buffered bits observed (payload + management), the quantity
   // BRAM provisioning must cover.
   [[nodiscard]] std::size_t peak_buffer_bits() const noexcept { return peak_buffer_bits_; }
+
+  // Materializes the run's hw.* registry metrics (cycles, windows, peak
+  // occupancy, FIFO high-water and violation counts) as a snapshot that
+  // merges with engine/runtime telemetry. The scan counters themselves stay
+  // plain members — they drive the pipeline's scheduling.
+  [[nodiscard]] telemetry::Snapshot telemetry() const;
 
   // Optional two-phase hazard instrumentation (hw/clocking.hpp): the
   // cross-cycle registers (recycled column, IWT column delays) report every

@@ -24,7 +24,7 @@ class Fifo {
 
   void push(const T& value) {
     if (data_.size() >= capacity_) {
-      overflowed_ = true;  // element is still modelled so the run can finish
+      ++overflow_events_;  // element is still modelled so the run can finish
     }
     data_.push_back(value);
     high_water_ = std::max(high_water_, data_.size());
@@ -33,7 +33,7 @@ class Fifo {
 
   [[nodiscard]] T pop() {
     if (data_.empty()) {
-      underflowed_ = true;  // recorded, not fatal; the run can finish
+      ++underflow_events_;  // recorded, not fatal; the run can finish
       return T{};
     }
     T v = std::move(data_.front());
@@ -46,8 +46,13 @@ class Fifo {
   [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
   [[nodiscard]] std::size_t high_water() const noexcept { return high_water_; }
-  [[nodiscard]] bool overflowed() const noexcept { return overflowed_; }
-  [[nodiscard]] bool underflowed() const noexcept { return underflowed_; }
+  [[nodiscard]] bool overflowed() const noexcept { return overflow_events_ != 0; }
+  [[nodiscard]] bool underflowed() const noexcept { return underflow_events_ != 0; }
+  // Every push past capacity / pop from empty is one event, so run summaries
+  // can report how often a provisioning or scheduling violation fired, not
+  // just that it happened.
+  [[nodiscard]] std::size_t overflow_events() const noexcept { return overflow_events_; }
+  [[nodiscard]] std::size_t underflow_events() const noexcept { return underflow_events_; }
   [[nodiscard]] std::size_t pushes() const noexcept { return pushes_; }
   // Successful pops only; an underflowing pop consumes nothing.
   [[nodiscard]] std::size_t pops() const noexcept { return pops_; }
@@ -58,8 +63,8 @@ class Fifo {
   std::size_t high_water_ = 0;
   std::size_t pushes_ = 0;
   std::size_t pops_ = 0;
-  bool overflowed_ = false;
-  bool underflowed_ = false;
+  std::size_t overflow_events_ = 0;
+  std::size_t underflow_events_ = 0;
 };
 
 }  // namespace swc::hw

@@ -1,0 +1,20 @@
+#include "hw/hw_metrics.hpp"
+
+namespace swc::hw {
+
+const HwMetricIds& HwMetricIds::get() {
+  using telemetry::MetricKind;
+  using telemetry::Registry;
+  static const HwMetricIds ids = {
+      Registry::metric("hw.pipeline.cycles", MetricKind::Counter, "cycles"),
+      Registry::metric("hw.pipeline.windows", MetricKind::Counter, "windows"),
+      Registry::metric("hw.pipeline.buffer_bits", MetricKind::Gauge, "bits"),
+      Registry::metric("hw.mem.payload_high_water_bits", MetricKind::Gauge, "bits"),
+      Registry::metric("hw.mem.stream_high_water_bits", MetricKind::Gauge, "bits"),
+      Registry::metric("hw.fifo.overflow_events", MetricKind::Counter, "events"),
+      Registry::metric("hw.fifo.underflow_events", MetricKind::Counter, "events"),
+  };
+  return ids;
+}
+
+}  // namespace swc::hw

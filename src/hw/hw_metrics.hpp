@@ -1,0 +1,24 @@
+#pragma once
+// Telemetry metric ids for the cycle-accurate hw layer. The pipelines keep
+// their scan counters as plain control state (cycles drive scheduling) and
+// materialize a telemetry::Snapshot on demand, so each quantity has exactly
+// one accumulator and the bench/runtime layers fold hw runs with the same
+// registry the functional engines use.
+
+#include "telemetry/telemetry.hpp"
+
+namespace swc::hw {
+
+struct HwMetricIds {
+  telemetry::MetricId cycles;            // counter: clock cycles stepped
+  telemetry::MetricId windows;           // counter: valid window positions
+  telemetry::MetricId buffer_bits;       // gauge: peak buffered bits (payload+mgmt)
+  telemetry::MetricId payload_hw_bits;   // gauge: payload FIFO high-water, summed
+  telemetry::MetricId stream_hw_bits;    // gauge: worst single payload FIFO
+  telemetry::MetricId fifo_overflows;    // counter: pushes past capacity
+  telemetry::MetricId fifo_underflows;   // counter: pops from empty
+
+  [[nodiscard]] static const HwMetricIds& get();
+};
+
+}  // namespace swc::hw

@@ -3,6 +3,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "hw/hw_metrics.hpp"
+
 namespace swc::hw {
 
 MemoryUnit::MemoryUnit(std::size_t window, std::size_t payload_capacity_bytes)
@@ -101,18 +103,30 @@ std::size_t MemoryUnit::max_stream_high_water_bits() const noexcept {
   return worst;
 }
 
-bool MemoryUnit::overflowed() const noexcept {
-  for (const auto& fifo : payload_) {
-    if (fifo.overflowed()) return true;
-  }
-  return false;
+bool MemoryUnit::overflowed() const noexcept { return overflow_events() != 0; }
+
+bool MemoryUnit::underflowed() const noexcept { return underflow_events() != 0; }
+
+std::size_t MemoryUnit::overflow_events() const noexcept {
+  std::size_t events = 0;
+  for (const auto& fifo : payload_) events += fifo.overflow_events();
+  return events + nbits_.overflow_events() + bitmap_.overflow_events() +
+         row_byte_counts_.overflow_events();
 }
 
-bool MemoryUnit::underflowed() const noexcept {
-  for (const auto& fifo : payload_) {
-    if (fifo.underflowed()) return true;
-  }
-  return nbits_.underflowed() || bitmap_.underflowed() || row_byte_counts_.underflowed();
+std::size_t MemoryUnit::underflow_events() const noexcept {
+  std::size_t events = 0;
+  for (const auto& fifo : payload_) events += fifo.underflow_events();
+  return events + nbits_.underflow_events() + bitmap_.underflow_events() +
+         row_byte_counts_.underflow_events();
+}
+
+void MemoryUnit::fold_telemetry(telemetry::Snapshot& snap) const {
+  const auto& ids = HwMetricIds::get();
+  snap.note_max(ids.payload_hw_bits, payload_high_water_bits());
+  snap.note_max(ids.stream_hw_bits, max_stream_high_water_bits());
+  snap.add(ids.fifo_overflows, overflow_events());
+  snap.add(ids.fifo_underflows, underflow_events());
 }
 
 }  // namespace swc::hw

@@ -19,6 +19,7 @@
 #include "hw/bits.hpp"
 #include "hw/fifo.hpp"
 #include "hw/widths.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace swc::hw {
 
@@ -76,6 +77,14 @@ class MemoryUnit {
   // Any FIFO (payload or management) was popped while empty — the scheduling
   // counterpart of overflow, recorded the same way.
   [[nodiscard]] bool underflowed() const noexcept;
+  // Event totals across every FIFO (payload and management), so summaries
+  // can report how often a violation fired rather than a single sticky bit.
+  [[nodiscard]] std::size_t overflow_events() const noexcept;
+  [[nodiscard]] std::size_t underflow_events() const noexcept;
+
+  // Folds the unit's occupancy peaks and violation counts into `snap` under
+  // the hw.* registry metrics (see hw/hw_metrics.hpp).
+  void fold_telemetry(telemetry::Snapshot& snap) const;
 
  private:
   std::size_t window_;

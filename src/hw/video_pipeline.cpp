@@ -23,6 +23,9 @@ FrameReport VideoPipeline::process_frame(const image::ImageU8& frame) {
   report.threshold = config.codec.threshold;
   report.peak_buffer_bits = pipe.peak_buffer_bits();
   report.overflowed = pipe.memory().overflowed();
+  report.underflowed = pipe.memory().underflowed();
+  report.fifo_overflow_events = pipe.memory().overflow_events();
+  report.fifo_underflow_events = pipe.memory().underflow_events();
   report.windows = windows;
   report.cycles = pipe.cycles();
 

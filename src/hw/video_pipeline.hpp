@@ -24,6 +24,10 @@ struct FrameReport {
   int threshold = 0;            // threshold this frame ran with
   std::size_t peak_buffer_bits = 0;
   bool overflowed = false;      // exceeded the provisioned per-stream capacity
+  bool underflowed = false;     // some FIFO was popped empty (scheduling bug)
+  // How many individual FIFO events fired (0 on a clean frame).
+  std::size_t fifo_overflow_events = 0;
+  std::size_t fifo_underflow_events = 0;
   std::size_t windows = 0;
   std::size_t cycles = 0;
 };

@@ -119,6 +119,7 @@ RuntimeStatsSnapshot FrameServer::stats() const {
     snap.frames_submitted += s.frames_submitted;
     snap.frames_completed += s.frames_completed;
     snap.frames_rejected += s.frames_rejected;
+    snap.metrics.merge(s.metrics);
   }
   return snap;
 }

@@ -3,40 +3,46 @@
 // needs to be checkable: per-stream latency distribution summaries, frame
 // counters, queue pressure, and worker utilization — snapshotted atomically
 // so a monitoring thread can read while workers run.
+//
+// Codec-side counters are not stored here a second time: each snapshot
+// carries the telemetry::Snapshot folded from the engine runs it covers and
+// exposes the familiar names as accessors over the engine.* metrics.
 
 #include <cstddef>
 #include <cstdint>
-#include <limits>
 #include <string>
 #include <vector>
 
+#include "core/streaming_engine.hpp"
+#include "telemetry/telemetry.hpp"
+
 namespace swc::runtime {
 
-// Streaming min/mean/max accumulator (nanosecond samples). Not thread-safe
-// on its own; owners serialize access.
+// Streaming min/mean/max accumulator over nanosecond samples, backed by the
+// telemetry cell primitive. Not thread-safe on its own; owners serialize.
 struct LatencyAccumulator {
-  std::uint64_t count = 0;
-  std::uint64_t sum_ns = 0;
-  std::uint64_t min_ns = std::numeric_limits<std::uint64_t>::max();
-  std::uint64_t max_ns = 0;
+  telemetry::MetricCell cell;
 
   void note(std::uint64_t ns) noexcept {
-    ++count;
-    sum_ns += ns;
-    if (ns < min_ns) min_ns = ns;
-    if (ns > max_ns) max_ns = ns;
+    ++cell.count;
+    cell.sum += ns;
+    if (ns < cell.min) cell.min = ns;
+    if (ns > cell.max) cell.max = ns;
   }
 
+  [[nodiscard]] std::uint64_t count() const noexcept { return cell.count; }
   [[nodiscard]] double min_ms() const noexcept {
-    return count == 0 ? 0.0 : static_cast<double>(min_ns) / 1e6;
+    return cell.count == 0 ? 0.0 : static_cast<double>(cell.min) / 1e6;
   }
-  [[nodiscard]] double mean_ms() const noexcept {
-    return count == 0 ? 0.0 : static_cast<double>(sum_ns) / static_cast<double>(count) / 1e6;
-  }
-  [[nodiscard]] double max_ms() const noexcept { return static_cast<double>(max_ns) / 1e6; }
+  [[nodiscard]] double mean_ms() const noexcept { return cell.mean() / 1e6; }
+  [[nodiscard]] double max_ms() const noexcept { return static_cast<double>(cell.max) / 1e6; }
+
+  void merge(const LatencyAccumulator& other) noexcept { cell.merge(other.cell); }
 };
 
-// Point-in-time view of one stream's counters.
+// Point-in-time view of one stream's counters. Frame/pixel accounting is
+// runtime bookkeeping (flat fields); everything the engines measured lives
+// once in `metrics` and is read back through the accessors.
 struct StreamStatsSnapshot {
   std::uint32_t id = 0;
   std::string name;
@@ -44,21 +50,38 @@ struct StreamStatsSnapshot {
   std::uint64_t frames_completed = 0;
   std::uint64_t frames_rejected = 0;
   std::uint64_t pixels_processed = 0;
-  std::uint64_t windows_emitted = 0;
-  // Accumulated codec traffic (compressed engine only; zero for traditional).
-  std::uint64_t payload_bits = 0;
-  std::uint64_t management_bits = 0;
-  std::size_t max_row_bits = 0;  // worst buffer occupancy seen on any frame
-  // Time spent inside the column codec (encode + decode) and columns coded,
-  // so per-column codec cost is observable per stream.
-  std::uint64_t codec_ns = 0;
-  std::uint64_t codec_columns = 0;
+  // engine.* metrics folded across every completed frame of this stream
+  // (per-stage timers included when the tree is built with SWC_TELEMETRY=ON).
+  telemetry::Snapshot metrics;
   LatencyAccumulator latency;
 
-  [[nodiscard]] double codec_ns_per_column() const noexcept {
-    return codec_columns == 0
-               ? 0.0
-               : static_cast<double>(codec_ns) / static_cast<double>(codec_columns);
+  [[nodiscard]] std::uint64_t windows_emitted() const {
+    return metrics.sum(core::EngineMetricIds::get().windows);
+  }
+  // Accumulated codec traffic (compressed engine only; zero for traditional).
+  [[nodiscard]] std::uint64_t payload_bits() const {
+    return metrics.sum(core::EngineMetricIds::get().payload_bits);
+  }
+  [[nodiscard]] std::uint64_t management_bits() const {
+    return metrics.sum(core::EngineMetricIds::get().management_bits);
+  }
+  // Worst buffer occupancy seen on any frame.
+  [[nodiscard]] std::size_t max_row_bits() const {
+    return static_cast<std::size_t>(metrics.max(core::EngineMetricIds::get().row_bits));
+  }
+  // Time inside the column codec and columns coded (codec_ns is zero when
+  // the tree is built with SWC_TELEMETRY=OFF — spans compile out).
+  [[nodiscard]] std::uint64_t codec_ns() const {
+    const auto& ids = core::EngineMetricIds::get();
+    return metrics.sum(ids.stage_encode) + metrics.sum(ids.stage_decode);
+  }
+  [[nodiscard]] std::uint64_t codec_columns() const {
+    return metrics.sum(core::EngineMetricIds::get().codec_columns);
+  }
+  [[nodiscard]] double codec_ns_per_column() const {
+    const std::uint64_t columns = codec_columns();
+    return columns == 0 ? 0.0
+                        : static_cast<double>(codec_ns()) / static_cast<double>(columns);
   }
 };
 
@@ -75,6 +98,8 @@ struct RuntimeStatsSnapshot {
   // Fraction of wall time each worker spent executing jobs, in worker order.
   std::vector<double> worker_utilization;
   std::vector<StreamStatsSnapshot> streams;
+  // All streams' metrics folded together (per-stage breakdown server-wide).
+  telemetry::Snapshot metrics;
 
   [[nodiscard]] double aggregate_fps() const noexcept {
     return wall_seconds > 0.0 ? static_cast<double>(frames_completed) / wall_seconds : 0.0;

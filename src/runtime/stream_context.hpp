@@ -14,6 +14,7 @@
 #include "core/streaming_engine.hpp"
 #include "image/image.hpp"
 #include "runtime/stats.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace swc::runtime {
 
@@ -48,8 +49,9 @@ class StreamContext {
   [[nodiscard]] core::CompressedRunResult process(const image::ImageU8& frame) const {
     if (config_.kind == EngineKind::Traditional) {
       core::CompressedRunResult result;
-      result.stats.windows_emitted = traditional_.run_reentrant(
+      const std::size_t windows = traditional_.run_reentrant(
           frame, [](std::size_t, std::size_t, const core::WindowView&) {});
+      result.stats.metrics.add(core::EngineMetricIds::get().windows, windows);
       return result;
     }
     auto result = compressed_.run_reentrant(
@@ -77,17 +79,16 @@ class StreamContext {
     ++frames_rejected_;
   }
 
+  // Folds the frame's telemetry into the stream accumulator (under the
+  // stream mutex) and into the process-global registry aggregate (lock-free),
+  // so a monitor can watch Registry::global_snapshot() while workers run.
   void note_completed(const core::RunStats& stats, std::size_t pixels,
                       std::uint64_t latency_ns) {
+    telemetry::Registry::flush(stats.metrics);
     std::lock_guard lock(mutex_);
     ++frames_completed_;
     pixels_processed_ += pixels;
-    windows_emitted_ += stats.windows_emitted;
-    payload_bits_ += stats.total_payload_bits();
-    management_bits_ += stats.total_management_bits();
-    if (stats.max_row_bits > max_row_bits_) max_row_bits_ = stats.max_row_bits;
-    codec_ns_ += stats.codec_ns;
-    codec_columns_ += stats.codec_columns;
+    metrics_.merge(stats.metrics);
     latency_.note(latency_ns);
   }
 
@@ -100,12 +101,7 @@ class StreamContext {
     snap.frames_completed = frames_completed_;
     snap.frames_rejected = frames_rejected_;
     snap.pixels_processed = pixels_processed_;
-    snap.windows_emitted = windows_emitted_;
-    snap.payload_bits = payload_bits_;
-    snap.management_bits = management_bits_;
-    snap.max_row_bits = max_row_bits_;
-    snap.codec_ns = codec_ns_;
-    snap.codec_columns = codec_columns_;
+    snap.metrics = metrics_;
     snap.latency = latency_;
     return snap;
   }
@@ -117,16 +113,15 @@ class StreamContext {
   const core::CompressedEngine compressed_;
 
   mutable std::mutex mutex_;
+  // Submission bookkeeping (control state: frames_submitted_ doubles as the
+  // per-stream sequence allocator, so it stays a plain counter).
   std::uint64_t frames_submitted_ = 0;
   std::uint64_t frames_completed_ = 0;
   std::uint64_t frames_rejected_ = 0;
   std::uint64_t pixels_processed_ = 0;
-  std::uint64_t windows_emitted_ = 0;
-  std::uint64_t payload_bits_ = 0;
-  std::uint64_t management_bits_ = 0;
-  std::size_t max_row_bits_ = 0;
-  std::uint64_t codec_ns_ = 0;
-  std::uint64_t codec_columns_ = 0;
+  // All engine.* metrics folded across completed frames — the only copy of
+  // the codec-side counters at this layer.
+  telemetry::Snapshot metrics_;
   LatencyAccumulator latency_;
 };
 

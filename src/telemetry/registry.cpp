@@ -1,0 +1,308 @@
+#include "telemetry/telemetry.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <mutex>
+#include <unordered_map>
+
+namespace swc::telemetry {
+namespace {
+
+// Name table. Interning is mutex-guarded (cold path); the id -> info read
+// side copies under the same mutex so vector growth can never be observed
+// mid-rehash.
+struct NameTable {
+  std::mutex mutex;
+  std::vector<MetricInfo> infos;
+  std::unordered_map<std::string, MetricId> by_name;
+  std::atomic<std::size_t> count{0};
+
+  static NameTable& instance() {
+    static NameTable table;
+    return table;
+  }
+};
+
+// Global aggregate: chunked atomic cells so flush()/global_snapshot() never
+// take a lock and chunk growth never moves existing cells.
+struct AtomicCell {
+  std::atomic<std::uint64_t> count{0};
+  std::atomic<std::uint64_t> sum{0};
+  std::atomic<std::uint64_t> min{std::numeric_limits<std::uint64_t>::max()};
+  std::atomic<std::uint64_t> max{0};
+};
+
+constexpr std::size_t kChunkSize = 64;
+constexpr std::size_t kMaxChunks = 64;  // 4096 metrics; far above any real set
+
+struct GlobalTable {
+  std::array<std::atomic<AtomicCell*>, kMaxChunks> chunks{};
+  std::mutex grow_mutex;
+
+  static GlobalTable& instance() {
+    static GlobalTable table;
+    return table;
+  }
+
+  AtomicCell* cell(MetricId id, bool create) {
+    const std::size_t chunk = id / kChunkSize;
+    if (chunk >= kMaxChunks) return nullptr;
+    AtomicCell* base = chunks[chunk].load(std::memory_order_acquire);
+    if (base == nullptr) {
+      if (!create) return nullptr;
+      std::lock_guard lock(grow_mutex);
+      base = chunks[chunk].load(std::memory_order_acquire);
+      if (base == nullptr) {
+        base = new AtomicCell[kChunkSize];  // intentionally immortal
+        chunks[chunk].store(base, std::memory_order_release);
+      }
+    }
+    return base + (id % kChunkSize);
+  }
+};
+
+void atomic_note_min(std::atomic<std::uint64_t>& slot, std::uint64_t v) noexcept {
+  std::uint64_t cur = slot.load(std::memory_order_relaxed);
+  while (v < cur && !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_note_max(std::atomic<std::uint64_t>& slot, std::uint64_t v) noexcept {
+  std::uint64_t cur = slot.load(std::memory_order_relaxed);
+  while (v > cur && !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+const char* kind_name(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::Counter:
+      return "counter";
+    case MetricKind::Gauge:
+      return "gauge";
+    case MetricKind::Timer:
+      return "timer";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::uint64_t clock_ns() noexcept {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                        std::chrono::steady_clock::now().time_since_epoch())
+                                        .count());
+}
+
+MetricId Registry::metric(std::string_view name, MetricKind kind, std::string_view unit) {
+  NameTable& table = NameTable::instance();
+  std::lock_guard lock(table.mutex);
+  const std::string key(name);
+  if (const auto it = table.by_name.find(key); it != table.by_name.end()) return it->second;
+  const auto id = static_cast<MetricId>(table.infos.size());
+  table.infos.push_back({key, kind, std::string(unit)});
+  table.by_name.emplace(key, id);
+  table.count.store(table.infos.size(), std::memory_order_release);
+  return id;
+}
+
+MetricInfo Registry::info(MetricId id) {
+  NameTable& table = NameTable::instance();
+  std::lock_guard lock(table.mutex);
+  if (id >= table.infos.size()) return {"<unregistered>", MetricKind::Counter, ""};
+  return table.infos[id];
+}
+
+std::size_t Registry::metric_count() {
+  return NameTable::instance().count.load(std::memory_order_acquire);
+}
+
+void Registry::flush(const Snapshot& snapshot) noexcept {
+  GlobalTable& table = GlobalTable::instance();
+  for (MetricId id = 0; id < snapshot.capacity(); ++id) {
+    const MetricCell* c = snapshot.find(id);
+    if (c == nullptr || c->count == 0) continue;
+    AtomicCell* cell = table.cell(id, /*create=*/true);
+    if (cell == nullptr) continue;  // beyond the chunk table; drop silently
+    cell->count.fetch_add(c->count, std::memory_order_relaxed);
+    cell->sum.fetch_add(c->sum, std::memory_order_relaxed);
+    atomic_note_min(cell->min, c->min);
+    atomic_note_max(cell->max, c->max);
+  }
+}
+
+Snapshot Registry::global_snapshot() {
+  GlobalTable& table = GlobalTable::instance();
+  Snapshot snap;
+  const std::size_t known = metric_count();
+  for (MetricId id = 0; id < known; ++id) {
+    AtomicCell* cell = table.cell(id, /*create=*/false);
+    if (cell == nullptr) continue;
+    const std::uint64_t count = cell->count.load(std::memory_order_relaxed);
+    if (count == 0) continue;
+    MetricCell c;
+    c.count = count;
+    c.sum = cell->sum.load(std::memory_order_relaxed);
+    c.min = cell->min.load(std::memory_order_relaxed);
+    c.max = cell->max.load(std::memory_order_relaxed);
+    snap.merge_cell(id, c);
+  }
+  return snap;
+}
+
+void Registry::reset_global() noexcept {
+  GlobalTable& table = GlobalTable::instance();
+  for (std::size_t chunk = 0; chunk < kMaxChunks; ++chunk) {
+    AtomicCell* base = table.chunks[chunk].load(std::memory_order_acquire);
+    if (base == nullptr) continue;
+    for (std::size_t i = 0; i < kChunkSize; ++i) {
+      base[i].count.store(0, std::memory_order_relaxed);
+      base[i].sum.store(0, std::memory_order_relaxed);
+      base[i].min.store(std::numeric_limits<std::uint64_t>::max(), std::memory_order_relaxed);
+      base[i].max.store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+std::uint64_t Snapshot::value(MetricId id) const noexcept {
+  const MetricCell* c = find(id);
+  if (c == nullptr || c->count == 0) return 0;
+  return Registry::info(id).kind == MetricKind::Gauge ? c->max : c->sum;
+}
+
+void Snapshot::merge(const Snapshot& other) {
+  for (MetricId id = 0; id < other.cells_.size(); ++id) {
+    const MetricCell& c = other.cells_[id];
+    if (c.count == 0) continue;
+    cell(id).merge(c);
+  }
+}
+
+void Snapshot::merge_cell(MetricId id, const MetricCell& c) { cell(id).merge(c); }
+
+std::string to_json(const Snapshot& snapshot, int indent) {
+  const std::string pad(static_cast<std::size_t>(indent < 0 ? 0 : indent), ' ');
+  std::string out = "{\n" + pad + "\"metrics\": {\n";
+  bool first = true;
+  for (MetricId id = 0; id < snapshot.capacity(); ++id) {
+    const MetricCell* c = snapshot.find(id);
+    if (c == nullptr || c->count == 0) continue;
+    const MetricInfo info = Registry::info(id);
+    if (!first) out += ",\n";
+    first = false;
+    out += pad + pad + "\"" + json_escape(info.name) + "\": {\"kind\": \"" +
+           kind_name(info.kind) + "\", \"unit\": \"" + json_escape(info.unit) +
+           "\", \"count\": " + std::to_string(c->count) + ", \"sum\": " + std::to_string(c->sum) +
+           ", \"min\": " + std::to_string(c->min == std::numeric_limits<std::uint64_t>::max()
+                                              ? 0
+                                              : c->min) +
+           ", \"max\": " + std::to_string(c->max) + "}";
+  }
+  out += "\n" + pad + "}\n}\n";
+  return out;
+}
+
+#if !defined(SWC_TELEMETRY_OFF)
+
+namespace {
+
+// Per-thread trace ring. Slots are atomics so a concurrent recent_spans()
+// read is race-free (TSan-clean); a slot being rewritten mid-read surfaces
+// as a dropped event via the begin/duration plausibility check below, never
+// as UB.
+constexpr std::size_t kRingSize = 256;
+
+struct TraceRing {
+  std::array<std::atomic<std::uint64_t>, kRingSize> meta{};   // metric | thread<<32 | 1<<63
+  std::array<std::atomic<std::uint64_t>, kRingSize> begin{};
+  std::array<std::atomic<std::uint64_t>, kRingSize> duration{};
+  std::atomic<std::uint64_t> head{0};
+  std::uint32_t thread_ordinal = 0;
+};
+
+struct TraceDirectory {
+  std::mutex mutex;
+  std::vector<TraceRing*> rings;
+  std::uint32_t next_ordinal = 0;
+
+  static TraceDirectory& instance() {
+    static TraceDirectory dir;
+    return dir;
+  }
+};
+
+struct TraceRegistration {
+  TraceRing* ring;
+
+  TraceRegistration() : ring(new TraceRing) {
+    TraceDirectory& dir = TraceDirectory::instance();
+    std::lock_guard lock(dir.mutex);
+    ring->thread_ordinal = dir.next_ordinal++;
+    dir.rings.push_back(ring);
+  }
+  ~TraceRegistration() {
+    TraceDirectory& dir = TraceDirectory::instance();
+    std::lock_guard lock(dir.mutex);
+    std::erase(dir.rings, ring);
+    delete ring;
+  }
+};
+
+TraceRing& thread_ring() {
+  thread_local TraceRegistration reg;
+  return *reg.ring;
+}
+
+}  // namespace
+
+namespace detail {
+
+void trace_append(MetricId id, std::uint64_t begin_ns, std::uint64_t duration_ns) noexcept {
+  TraceRing& ring = thread_ring();
+  const std::uint64_t slot = ring.head.load(std::memory_order_relaxed) % kRingSize;
+  const std::uint64_t meta = (std::uint64_t{1} << 63) |
+                             (std::uint64_t{ring.thread_ordinal} << 32) | std::uint64_t{id};
+  ring.meta[slot].store(meta, std::memory_order_relaxed);
+  ring.begin[slot].store(begin_ns, std::memory_order_relaxed);
+  ring.duration[slot].store(duration_ns, std::memory_order_relaxed);
+  ring.head.fetch_add(1, std::memory_order_release);
+}
+
+}  // namespace detail
+
+std::vector<SpanEvent> recent_spans() {
+  TraceDirectory& dir = TraceDirectory::instance();
+  std::vector<SpanEvent> events;
+  std::lock_guard lock(dir.mutex);
+  for (const TraceRing* ring : dir.rings) {
+    const std::uint64_t head = ring->head.load(std::memory_order_acquire);
+    const std::uint64_t first = head > kRingSize ? head - kRingSize : 0;
+    for (std::uint64_t i = first; i < head; ++i) {
+      const std::uint64_t slot = i % kRingSize;
+      const std::uint64_t meta = ring->meta[slot].load(std::memory_order_relaxed);
+      if ((meta >> 63) == 0) continue;
+      SpanEvent ev;
+      ev.metric = static_cast<MetricId>(meta & 0xffffffffu);
+      ev.thread = static_cast<std::uint32_t>((meta >> 32) & 0x7fffffffu);
+      ev.begin_ns = ring->begin[slot].load(std::memory_order_relaxed);
+      ev.duration_ns = ring->duration[slot].load(std::memory_order_relaxed);
+      events.push_back(ev);
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const SpanEvent& a, const SpanEvent& b) { return a.begin_ns < b.begin_ns; });
+  return events;
+}
+
+#endif  // !SWC_TELEMETRY_OFF
+
+}  // namespace swc::telemetry

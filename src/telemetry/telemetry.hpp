@@ -1,0 +1,227 @@
+#pragma once
+// Unified per-stage instrumentation core shared by the engine, codec, hw
+// pipeline, runtime, and bench layers.
+//
+// Model. Metrics are process-global *names* interned once into small dense
+// MetricIds by the Registry (counters, max-gauges, and timers). Measured
+// *values* live in Snapshot objects: plain value types indexed by MetricId
+// that a run accumulates on its own stack, merges stripe-by-stripe or
+// frame-by-frame, and exports as JSON. Nothing in a Snapshot is shared, so
+// the hot path pays one vector index per update and no synchronization.
+//
+// Spans. telemetry::Span is a scoped timer that records its duration into a
+// Snapshot timer metric and appends a trace event to a thread-local ring
+// buffer (readable via recent_spans() for after-the-fact stage traces).
+// When the tree is configured with SWC_TELEMETRY=OFF the Span constructor
+// and destructor compile to nothing — no clock reads, no ring writes — so
+// the engine hot path keeps its uninstrumented throughput. Counters and
+// gauges stay live in both modes: bits/windows accounting is functional
+// output (BRAM provisioning depends on it), not optional observability.
+//
+// Global aggregate. Registry::flush(snapshot) folds a finished run into a
+// process-wide table of atomic cells; Registry::global_snapshot() reads it
+// back without taking any lock (relaxed atomics, monotonic counters), so a
+// monitoring thread can sample while workers run — TSan-clean by
+// construction. The per-slot trace rings are likewise single-writer atomic
+// arrays.
+//
+// The paper connection: Tables I–V and Fig. 13 are per-stage accounting
+// (bits per row, BRAMs per block, cycles per pixel). This layer is the
+// software form of that method — every stage reports into one registry and
+// every artifact is derived from a snapshot of it (see DESIGN.md
+// "Telemetry core").
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace swc::telemetry {
+
+using MetricId = std::uint32_t;
+inline constexpr MetricId kInvalidMetric = std::numeric_limits<MetricId>::max();
+
+#if defined(SWC_TELEMETRY_OFF)
+inline constexpr bool kSpansEnabled = false;
+#else
+inline constexpr bool kSpansEnabled = true;
+#endif
+
+enum class MetricKind : std::uint8_t {
+  Counter,  // monotonic event/quantity accumulator (sum is the value)
+  Gauge,    // high-water mark (max is the value)
+  Timer,    // duration distribution: count / sum / min / max nanoseconds
+};
+
+struct MetricInfo {
+  std::string name;
+  MetricKind kind = MetricKind::Counter;
+  std::string unit;  // "ns", "bits", "frames", ... (JSON annotation only)
+};
+
+// One metric's accumulated state. POD so snapshots copy and merge cheaply.
+struct MetricCell {
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t max = 0;
+
+  [[nodiscard]] bool empty() const noexcept { return count == 0 && sum == 0 && max == 0; }
+  [[nodiscard]] double mean() const noexcept {
+    return count == 0 ? 0.0 : static_cast<double>(sum) / static_cast<double>(count);
+  }
+  void merge(const MetricCell& other) noexcept {
+    count += other.count;
+    sum += other.sum;
+    if (other.min < min) min = other.min;
+    if (other.max > max) max = other.max;
+  }
+};
+
+// Value-type metric store indexed by MetricId. Grows on demand; never
+// shared between threads (merge into one from many for cross-thread folds).
+class Snapshot {
+ public:
+  // Counter: one event carrying `delta` units.
+  void add(MetricId id, std::uint64_t delta) noexcept {
+    MetricCell& c = cell(id);
+    ++c.count;
+    c.sum += delta;
+  }
+  // Gauge: record a level; max is the reported value (value() consults the
+  // registry kind, so gauges merge correctly — max of maxes, not a sum).
+  void note_max(MetricId id, std::uint64_t level) noexcept {
+    MetricCell& c = cell(id);
+    ++c.count;
+    if (level > c.max) c.max = level;
+    if (level < c.min) c.min = level;
+  }
+  // Timer/distribution sample.
+  void note(MetricId id, std::uint64_t value) noexcept {
+    MetricCell& c = cell(id);
+    ++c.count;
+    c.sum += value;
+    if (value < c.min) c.min = value;
+    if (value > c.max) c.max = value;
+  }
+
+  [[nodiscard]] const MetricCell* find(MetricId id) const noexcept {
+    return id < cells_.size() ? &cells_[id] : nullptr;
+  }
+  // Counter sum / gauge max / timer total, zero when never touched. Looks
+  // the metric kind up in the registry; for hot accessors prefer sum()/max().
+  [[nodiscard]] std::uint64_t value(MetricId id) const noexcept;
+  [[nodiscard]] std::uint64_t count(MetricId id) const noexcept {
+    const MetricCell* c = find(id);
+    return c == nullptr ? 0 : c->count;
+  }
+  [[nodiscard]] std::uint64_t sum(MetricId id) const noexcept {
+    const MetricCell* c = find(id);
+    return c == nullptr ? 0 : c->sum;
+  }
+  [[nodiscard]] std::uint64_t max(MetricId id) const noexcept {
+    const MetricCell* c = find(id);
+    return c == nullptr || c->count == 0 ? 0 : c->max;
+  }
+
+  void merge(const Snapshot& other);
+  // Fold one externally built cell (used by the global-aggregate reader).
+  void merge_cell(MetricId id, const MetricCell& c);
+  void clear() noexcept { cells_.clear(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return cells_.size(); }
+
+ private:
+  MetricCell& cell(MetricId id) {
+    if (id >= cells_.size()) cells_.resize(id + 1);
+    return cells_[id];
+  }
+
+  std::vector<MetricCell> cells_;
+};
+
+// One trace event from a Span, as read back out of the per-thread rings.
+struct SpanEvent {
+  MetricId metric = kInvalidMetric;
+  std::uint32_t thread = 0;   // small per-process thread ordinal
+  std::uint64_t begin_ns = 0; // steady-clock epoch
+  std::uint64_t duration_ns = 0;
+};
+
+// Process-global metric name table plus the lock-free aggregate.
+class Registry {
+ public:
+  // Interns (or finds) a metric; idempotent, thread-safe, cold-path.
+  static MetricId metric(std::string_view name, MetricKind kind, std::string_view unit = "");
+  // Name/kind/unit for an interned id (copies; safe against later interns).
+  [[nodiscard]] static MetricInfo info(MetricId id);
+  [[nodiscard]] static std::size_t metric_count();
+
+  // Folds a finished run's snapshot into the process-wide aggregate using
+  // relaxed atomics — callable from any worker without coordination.
+  static void flush(const Snapshot& snapshot) noexcept;
+  // Point-in-time copy of the aggregate; lock-free with respect to flush().
+  [[nodiscard]] static Snapshot global_snapshot();
+  // Test/bench hook: zero the aggregate (not the name table).
+  static void reset_global() noexcept;
+};
+
+// Monotonic nanosecond clock shared by every span/latency measurement.
+[[nodiscard]] std::uint64_t clock_ns() noexcept;
+
+namespace detail {
+void trace_append(MetricId id, std::uint64_t begin_ns, std::uint64_t duration_ns) noexcept;
+}  // namespace detail
+
+#if defined(SWC_TELEMETRY_OFF)
+
+// Kill switch active: spans vanish entirely (no clock reads, no stores).
+class Span {
+ public:
+  Span(Snapshot& /*snapshot*/, MetricId /*id*/) noexcept {}
+  void finish() noexcept {}
+};
+
+[[nodiscard]] inline std::vector<SpanEvent> recent_spans() { return {}; }
+
+#else
+
+// Scoped stage timer: duration lands in `snapshot` under the timer metric
+// and in the calling thread's trace ring. finish() ends the span early
+// (idempotent); destruction finishes it if still open.
+class Span {
+ public:
+  Span(Snapshot& snapshot, MetricId id) noexcept
+      : snapshot_(&snapshot), id_(id), begin_ns_(clock_ns()) {}
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span() { finish(); }
+
+  void finish() noexcept {
+    if (snapshot_ == nullptr) return;
+    const std::uint64_t duration = clock_ns() - begin_ns_;
+    snapshot_->note(id_, duration);
+    detail::trace_append(id_, begin_ns_, duration);
+    snapshot_ = nullptr;
+  }
+
+ private:
+  Snapshot* snapshot_;
+  MetricId id_;
+  std::uint64_t begin_ns_;
+};
+
+// Most recent span events across all threads (bounded per-thread rings),
+// oldest first. Concurrent spans keep running; a rare in-flight overwrite
+// yields a dropped (never torn-and-misattributed beyond its fields) event.
+[[nodiscard]] std::vector<SpanEvent> recent_spans();
+
+#endif  // SWC_TELEMETRY_OFF
+
+// JSON object for a snapshot: {"metrics": {name: {kind, unit, count, sum,
+// min, max}, ...}}. Only metrics with recorded data are emitted.
+[[nodiscard]] std::string to_json(const Snapshot& snapshot, int indent = 2);
+
+}  // namespace swc::telemetry

@@ -14,6 +14,7 @@
 #include "hw/compressed_pipeline.hpp"
 #include "hw/traditional_pipeline.hpp"
 #include "image/image.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace swc::window {
 
@@ -95,6 +96,10 @@ struct CycleCompressedApplyResult {
   std::size_t windows = 0;
   std::size_t peak_buffer_bits = 0;
   bool memory_overflowed = false;
+  bool memory_underflowed = false;
+  // Full hw.* registry metrics for the run (FIFO high-water and violation
+  // event counts included) — mergeable with engine/runtime snapshots.
+  telemetry::Snapshot metrics;
 };
 
 template <typename Kernel>
@@ -110,7 +115,7 @@ template <typename Kernel>
     }
   }
   return {std::move(out), pipe.cycles(), pipe.windows_emitted(), pipe.peak_buffer_bits(),
-          pipe.memory().overflowed()};
+          pipe.memory().overflowed(), pipe.memory().underflowed(), pipe.telemetry()};
 }
 
 }  // namespace swc::window

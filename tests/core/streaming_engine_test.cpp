@@ -104,9 +104,9 @@ TEST(StreamingEngine, StatsRecordOneTransitionPerInteriorRow) {
   CompressedEngine engine(make_config(32, 20, 4, 0));
   engine.run(img, [](std::size_t, std::size_t, const WindowView&) {});
   EXPECT_EQ(engine.stats().per_row.size(), 20u - 4u);
-  EXPECT_GT(engine.stats().max_stream_bits, 0u);
-  EXPECT_GT(engine.stats().max_row_bits, 0u);
-  EXPECT_EQ(engine.stats().windows_emitted, (32u - 4u + 1u) * (20u - 4u + 1u));
+  EXPECT_GT(engine.stats().max_stream_bits(), 0u);
+  EXPECT_GT(engine.stats().max_row_bits(), 0u);
+  EXPECT_EQ(engine.stats().windows_emitted(), (32u - 4u + 1u) * (20u - 4u + 1u));
 }
 
 TEST(StreamingEngine, HigherThresholdShrinksBufferOccupancy) {
@@ -115,8 +115,8 @@ TEST(StreamingEngine, HigherThresholdShrinksBufferOccupancy) {
   for (const int t : {0, 4, 10}) {
     CompressedEngine engine(make_config(64, 32, 8, t));
     engine.run(img, [](std::size_t, std::size_t, const WindowView&) {});
-    EXPECT_LE(engine.stats().max_row_bits, prev);
-    prev = engine.stats().max_row_bits;
+    EXPECT_LE(engine.stats().max_row_bits(), prev);
+    prev = engine.stats().max_row_bits();
   }
 }
 

@@ -88,7 +88,7 @@ TEST(EndToEnd, MultiStagePipelineSavesPerStage) {
   stage1.run(img, [&](std::size_t r, std::size_t c, const core::WindowView& win) {
     intermediate.at(c, r) = box(r, c, win);
   });
-  EXPECT_LT(stage1.stats().max_row_bits, config1.spec.traditional_bits() * (w) / (w - n));
+  EXPECT_LT(stage1.stats().max_row_bits(), config1.spec.traditional_bits() * (w) / (w - n));
 
   // Stage 2 consumes stage 1's stream; pad to even width for the codec.
   const std::size_t w2 = intermediate.width() - (intermediate.width() % 2);

@@ -49,7 +49,7 @@ TEST(FrameServer, CompressedStreamReproducesSingleThreadedOutput) {
     EXPECT_EQ(r.reconstructed, expected);
     EXPECT_EQ(r.reconstructed, frame);  // threshold 0: lossless
     EXPECT_GT(r.latency_ns, 0u);
-    EXPECT_EQ(r.stats.windows_emitted, (32u - 4 + 1) * (24u - 4 + 1));
+    EXPECT_EQ(r.stats.windows_emitted(), (32u - 4 + 1) * (24u - 4 + 1));
   }
 
   const auto stats = server.stats();
@@ -59,7 +59,7 @@ TEST(FrameServer, CompressedStreamReproducesSingleThreadedOutput) {
   ASSERT_EQ(stats.streams.size(), 1u);
   EXPECT_EQ(stats.streams[0].frames_completed, 6u);
   EXPECT_EQ(stats.streams[0].pixels_processed, 6u * 32 * 24);
-  EXPECT_GT(stats.streams[0].payload_bits, 0u);
+  EXPECT_GT(stats.streams[0].payload_bits(), 0u);
   EXPECT_GT(stats.streams[0].latency.mean_ms(), 0.0);
   EXPECT_LE(stats.streams[0].latency.min_ms(), stats.streams[0].latency.max_ms());
 }
@@ -89,9 +89,9 @@ TEST(FrameServer, StreamsAreIndependent) {
   EXPECT_EQ(stats.streams[b].frames_completed, 4u);
   EXPECT_EQ(stats.streams[t].frames_completed, 4u);
   // Traditional streams count windows but carry no codec traffic.
-  EXPECT_GT(stats.streams[t].windows_emitted, 0u);
-  EXPECT_EQ(stats.streams[t].payload_bits, 0u);
-  EXPECT_GT(stats.streams[b].payload_bits, 0u);
+  EXPECT_GT(stats.streams[t].windows_emitted(), 0u);
+  EXPECT_EQ(stats.streams[t].payload_bits(), 0u);
+  EXPECT_GT(stats.streams[b].payload_bits(), 0u);
 }
 
 TEST(FrameServer, TraditionalResultHasNoReconstructedImage) {
@@ -105,7 +105,7 @@ TEST(FrameServer, TraditionalResultHasNoReconstructedImage) {
                             [&](FrameResult r) { promise.set_value(std::move(r)); }));
   const auto result = future.get();
   EXPECT_TRUE(result.reconstructed.empty());
-  EXPECT_EQ(result.stats.windows_emitted, (16u - 4 + 1) * (16u - 4 + 1));
+  EXPECT_EQ(result.stats.windows_emitted(), (16u - 4 + 1) * (16u - 4 + 1));
 }
 
 TEST(FrameServer, KeepOutputFalseDropsReconstructedFrames) {
@@ -119,7 +119,7 @@ TEST(FrameServer, KeepOutputFalseDropsReconstructedFrames) {
                             [&](FrameResult r) { promise.set_value(std::move(r)); }));
   const auto result = future.get();
   EXPECT_TRUE(result.reconstructed.empty());
-  EXPECT_GT(result.stats.windows_emitted, 0u);
+  EXPECT_GT(result.stats.windows_emitted(), 0u);
 }
 
 TEST(FrameServer, RejectPolicyCountsDropsPerStream) {
@@ -162,7 +162,7 @@ TEST(FrameServer, StripedSubmissionMatchesWholeFrame) {
   const auto result = server.submit_striped(id, frame, 8);
   EXPECT_EQ(result.reconstructed, core::roundtrip_image(frame, config));
   EXPECT_EQ(result.reconstructed, frame);
-  EXPECT_EQ(result.stats.windows_emitted, (64u - 8 + 1) * (64u - 8 + 1));
+  EXPECT_EQ(result.stats.windows_emitted(), (64u - 8 + 1) * (64u - 8 + 1));
 
   const auto stats = server.stats();
   EXPECT_EQ(stats.streams[id].frames_completed, 1u);  // one frame, many stripes

@@ -11,8 +11,10 @@
 #include <thread>
 #include <vector>
 
+#include "core/streaming_engine.hpp"
 #include "image/synthetic.hpp"
 #include "runtime/frame_server.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace swc::runtime {
 namespace {
@@ -77,6 +79,56 @@ TEST(RuntimeStress, ManySmallFramesAcrossEightWorkers) {
   std::uint64_t per_stream_total = 0;
   for (const auto& s : stats.streams) per_stream_total += s.frames_completed;
   EXPECT_EQ(per_stream_total, expected);
+}
+
+TEST(RuntimeStress, ConcurrentReentrantScansWithLiveTelemetryReader) {
+  // N workers drive one const engine's run_reentrant concurrently, each
+  // flushing its run snapshot into the process-global telemetry aggregate,
+  // while a monitor thread samples Registry::global_snapshot() the whole
+  // time. TSan verifies the sampling is race-free; the final assertions
+  // verify nothing was lost or double-counted.
+  constexpr std::size_t kWorkers = 4;
+  constexpr std::size_t kRunsPerWorker = 8;
+  constexpr std::size_t kSize = 24;
+  constexpr std::size_t kWindow = 4;
+
+  const core::CompressedEngine engine(make_config(kSize, kSize, kWindow));
+  const auto frame = image::make_natural_image(kSize, kSize, {.seed = 5});
+  const auto& ids = core::EngineMetricIds::get();
+  telemetry::Registry::reset_global();
+
+  std::atomic<bool> stop_monitor{false};
+  std::thread monitor([&] {
+    std::uint64_t last = 0;
+    while (!stop_monitor.load()) {
+      const auto global = telemetry::Registry::global_snapshot();
+      const std::uint64_t windows = global.sum(ids.windows);
+      EXPECT_GE(windows, last);  // counters are monotonic under flushes
+      last = windows;
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::thread> workers;
+  for (std::size_t w = 0; w < kWorkers; ++w) {
+    workers.emplace_back([&] {
+      for (std::size_t r = 0; r < kRunsPerWorker; ++r) {
+        const auto result = engine.run_reentrant(
+            frame, [](std::size_t, std::size_t, const core::WindowView&) {});
+        EXPECT_EQ(result.reconstructed, frame);  // threshold 0 stays lossless
+        telemetry::Registry::flush(result.stats.metrics);
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+  stop_monitor = true;
+  monitor.join();
+
+  const auto global = telemetry::Registry::global_snapshot();
+  const std::uint64_t windows_per_run = (kSize - kWindow + 1) * (kSize - kWindow + 1);
+  EXPECT_EQ(global.sum(ids.windows), kWorkers * kRunsPerWorker * windows_per_run);
+  EXPECT_EQ(global.sum(ids.rows), kWorkers * kRunsPerWorker * (kSize - kWindow));
+  telemetry::Registry::reset_global();
 }
 
 TEST(RuntimeStress, StripedAndStreamedFramesCoexist) {

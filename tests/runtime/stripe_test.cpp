@@ -7,12 +7,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 
 #include "core/streaming_engine.hpp"
 #include "image/synthetic.hpp"
 #include "kernels/kernels.hpp"
 #include "runtime/thread_pool.hpp"
+#include "telemetry/telemetry.hpp"
 #include "window/apply.hpp"
 
 namespace swc::runtime {
@@ -59,7 +61,64 @@ TEST(StripeMerge, WindowCountMatchesWholeFrameExactly) {
   const auto img = image::make_natural_image(40, 36, {.seed = 11});
   const auto striped = run_compressed_striped(config, img, 5, nullptr);
   const std::size_t expected = (40 - 6 + 1) * (36 - 6 + 1);
-  EXPECT_EQ(striped.stats.windows_emitted, expected);
+  EXPECT_EQ(striped.stats.windows_emitted(), expected);
+}
+
+TEST(StripeMerge, TelemetryFoldMatchesWholeFrameForSingleStripe) {
+  // A 1-stripe striped run is the whole-frame scan routed through the merge
+  // path, so every counter and gauge must fold to identical values. Timer
+  // sums are wall-clock and legitimately differ run to run, so only their
+  // sample counts are compared.
+  const auto config = make_config(40, 32, 8);
+  const auto img = image::make_natural_image(40, 32, {.seed = 13});
+  const core::CompressedEngine whole(config);
+  const auto reference =
+      whole.run_reentrant(img, [](std::size_t, std::size_t, const core::WindowView&) {});
+  const auto striped = run_compressed_striped(config, img, 1, nullptr);
+
+  const auto& ids = core::EngineMetricIds::get();
+  for (const auto id : {ids.rows, ids.windows, ids.codec_columns, ids.payload_bits,
+                        ids.management_bits}) {
+    EXPECT_EQ(striped.stats.metrics.sum(id), reference.stats.metrics.sum(id))
+        << telemetry::Registry::info(id).name;
+  }
+  for (const auto id : {ids.row_bits, ids.stream_bits}) {
+    EXPECT_EQ(striped.stats.metrics.max(id), reference.stats.metrics.max(id))
+        << telemetry::Registry::info(id).name;
+  }
+  for (const auto id : {ids.stage_decompose, ids.stage_encode, ids.stage_decode,
+                        ids.stage_recompose}) {
+    EXPECT_EQ(striped.stats.metrics.count(id), reference.stats.metrics.count(id))
+        << telemetry::Registry::info(id).name;
+  }
+}
+
+TEST(StripeMerge, FoldedTelemetryStaysConsistentAcrossStripeCounts) {
+  // Multi-stripe runs perform fewer row transitions than the whole-frame
+  // scan (each stripe re-reads its halo from the source image), so payload
+  // counters legitimately shrink — but the merged snapshot must stay
+  // internally consistent with the concatenated per-row records, and the
+  // window cover is invariant.
+  const auto config = make_config(48, 40, 8);
+  const auto img = image::make_natural_image(48, 40, {.seed = 17});
+  const std::size_t expected_windows = (48 - 8 + 1) * (40 - 8 + 1);
+  const auto& ids = core::EngineMetricIds::get();
+
+  for (const std::size_t stripes : {std::size_t{2}, std::size_t{3}, std::size_t{5}}) {
+    const auto result = run_compressed_striped(config, img, stripes, nullptr);
+    const auto& m = result.stats.metrics;
+    EXPECT_EQ(m.sum(ids.windows), expected_windows) << stripes << " stripes";
+    EXPECT_EQ(m.sum(ids.rows), result.stats.per_row.size()) << stripes << " stripes";
+    std::uint64_t payload = 0, management = 0, row_hw = 0;
+    for (const auto& row : result.stats.per_row) {
+      payload += row.payload_bits;
+      management += row.management_bits;
+      row_hw = std::max<std::uint64_t>(row_hw, row.total_bits());
+    }
+    EXPECT_EQ(m.sum(ids.payload_bits), payload) << stripes << " stripes";
+    EXPECT_EQ(m.sum(ids.management_bits), management) << stripes << " stripes";
+    EXPECT_EQ(m.max(ids.row_bits), row_hw) << stripes << " stripes";
+  }
 }
 
 class StripeEquivalence : public ::testing::TestWithParam<std::size_t> {};
@@ -90,15 +149,15 @@ TEST_P(StripeEquivalence, BitIdenticalToWholeFrameAtThresholdZero) {
   EXPECT_EQ(striped_out, reference);
   EXPECT_EQ(striped.reconstructed, whole_result.reconstructed);
   EXPECT_EQ(striped.reconstructed, img);  // threshold 0 is lossless end to end
-  EXPECT_EQ(striped.stats.windows_emitted, whole_result.stats.windows_emitted);
+  EXPECT_EQ(striped.stats.windows_emitted(), whole_result.stats.windows_emitted());
   // Stripes owning >= 2 window rows perform row transitions and therefore
   // record codec traffic; single-row stripes legitimately never recompress.
   if (num_stripes < h - n + 1) {
-    EXPECT_GT(striped.stats.max_row_bits, 0u);
+    EXPECT_GT(striped.stats.max_row_bits(), 0u);
   } else {
     EXPECT_TRUE(striped.stats.per_row.empty());
   }
-  EXPECT_GT(whole_result.stats.max_row_bits, 0u);
+  EXPECT_GT(whole_result.stats.max_row_bits(), 0u);
 }
 
 INSTANTIATE_TEST_SUITE_P(StripeCounts, StripeEquivalence,
@@ -116,7 +175,7 @@ TEST(StripeEquivalencePooled, PooledRunMatchesSequentialRun) {
 
   EXPECT_EQ(pooled.reconstructed, sequential.reconstructed);
   EXPECT_EQ(pooled.reconstructed, img);
-  EXPECT_EQ(pooled.stats.windows_emitted, sequential.stats.windows_emitted);
+  EXPECT_EQ(pooled.stats.windows_emitted(), sequential.stats.windows_emitted());
   EXPECT_EQ(pooled.stats.per_row.size(), sequential.stats.per_row.size());
 }
 
@@ -138,7 +197,7 @@ TEST(Stripe, LossyStripedRunStillCoversEveryWindow) {
   const auto config = make_config(32, 24, 4, /*threshold=*/4);
   const auto img = image::make_natural_image(32, 24, {.seed = 3});
   const auto striped = run_compressed_striped(config, img, 4, nullptr);
-  EXPECT_EQ(striped.stats.windows_emitted, (32u - 4 + 1) * (24u - 4 + 1));
+  EXPECT_EQ(striped.stats.windows_emitted(), (32u - 4 + 1) * (24u - 4 + 1));
   EXPECT_EQ(striped.reconstructed.width(), 32u);
   EXPECT_EQ(striped.reconstructed.height(), 24u);
 }

@@ -1,0 +1,227 @@
+// Telemetry core: metric interning, snapshot accumulation/merge semantics
+// per metric kind, scoped Span timers and their trace ring, the lock-free
+// global aggregate under concurrent flushers and readers, and JSON export.
+// Metric names here use a "test." prefix so they never collide with the
+// engine/hw metric sets interned by other code in this process.
+
+#include "telemetry/telemetry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace swc::telemetry {
+namespace {
+
+TEST(TelemetryRegistry, InternIsIdempotentAndInfoRoundTrips) {
+  const MetricId a = Registry::metric("test.intern.counter", MetricKind::Counter, "items");
+  const MetricId b = Registry::metric("test.intern.counter", MetricKind::Counter, "items");
+  EXPECT_EQ(a, b);
+
+  const MetricInfo info = Registry::info(a);
+  EXPECT_EQ(info.name, "test.intern.counter");
+  EXPECT_EQ(info.kind, MetricKind::Counter);
+  EXPECT_EQ(info.unit, "items");
+}
+
+TEST(TelemetryRegistry, DistinctNamesGetDistinctIds) {
+  const MetricId a = Registry::metric("test.distinct.a", MetricKind::Counter);
+  const MetricId b = Registry::metric("test.distinct.b", MetricKind::Gauge);
+  EXPECT_NE(a, b);
+  EXPECT_LT(a, Registry::metric_count());
+  EXPECT_LT(b, Registry::metric_count());
+}
+
+TEST(TelemetryRegistry, UnregisteredIdReadsAsPlaceholder) {
+  EXPECT_EQ(Registry::info(kInvalidMetric).name, "<unregistered>");
+}
+
+TEST(TelemetrySnapshot, CounterGaugeTimerSemantics) {
+  const MetricId counter = Registry::metric("test.snap.counter", MetricKind::Counter, "bits");
+  const MetricId gauge = Registry::metric("test.snap.gauge", MetricKind::Gauge, "bits");
+  const MetricId timer = Registry::metric("test.snap.timer", MetricKind::Timer, "ns");
+
+  Snapshot snap;
+  snap.add(counter, 10);
+  snap.add(counter, 32);
+  snap.note_max(gauge, 7);
+  snap.note_max(gauge, 3);  // lower level must not reduce the high-water mark
+  snap.note(timer, 100);
+  snap.note(timer, 50);
+
+  EXPECT_EQ(snap.sum(counter), 42u);
+  EXPECT_EQ(snap.count(counter), 2u);
+  EXPECT_EQ(snap.max(gauge), 7u);
+  EXPECT_EQ(snap.sum(timer), 150u);
+  const MetricCell* t = snap.find(timer);
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->min, 50u);
+  EXPECT_EQ(t->max, 100u);
+  EXPECT_DOUBLE_EQ(t->mean(), 75.0);
+
+  // value() is kind-aware: gauges report max, everything else the sum.
+  EXPECT_EQ(snap.value(counter), 42u);
+  EXPECT_EQ(snap.value(gauge), 7u);
+  EXPECT_EQ(snap.value(timer), 150u);
+}
+
+TEST(TelemetrySnapshot, UntouchedMetricsReadAsZero) {
+  const MetricId id = Registry::metric("test.snap.untouched", MetricKind::Counter);
+  const Snapshot snap;
+  EXPECT_EQ(snap.sum(id), 0u);
+  EXPECT_EQ(snap.max(id), 0u);
+  EXPECT_EQ(snap.count(id), 0u);
+  EXPECT_EQ(snap.value(id), 0u);
+  EXPECT_EQ(snap.find(id), nullptr);
+}
+
+TEST(TelemetrySnapshot, MergeIsKindAwareViaValue) {
+  const MetricId counter = Registry::metric("test.merge.counter", MetricKind::Counter);
+  const MetricId gauge = Registry::metric("test.merge.gauge", MetricKind::Gauge);
+
+  Snapshot a, b;
+  a.add(counter, 5);
+  a.note_max(gauge, 100);
+  b.add(counter, 7);
+  b.note_max(gauge, 60);
+
+  a.merge(b);
+  EXPECT_EQ(a.value(counter), 12u);   // counters sum across runs
+  EXPECT_EQ(a.value(gauge), 100u);    // gauges take the max, never the sum
+  EXPECT_EQ(a.count(counter), 2u);
+
+  // Merging an empty snapshot is a no-op in both directions.
+  Snapshot empty;
+  a.merge(empty);
+  EXPECT_EQ(a.value(counter), 12u);
+  empty.merge(a);
+  EXPECT_EQ(empty.value(gauge), 100u);
+}
+
+TEST(TelemetrySpan, RecordsOneTimerSampleWithPlausibleDuration) {
+  const MetricId stage = Registry::metric("test.span.stage", MetricKind::Timer, "ns");
+  Snapshot snap;
+  {
+    Span span(snap, stage);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  if (kSpansEnabled) {
+    const MetricCell* c = snap.find(stage);
+    ASSERT_NE(c, nullptr);
+    EXPECT_EQ(c->count, 1u);
+    EXPECT_GE(c->sum, 1'000'000u);  // slept 2 ms; allow a sloppy clock half of it
+  } else {
+    // Kill switch active: the span must leave no trace at all.
+    EXPECT_EQ(snap.count(stage), 0u);
+  }
+}
+
+TEST(TelemetrySpan, FinishIsIdempotent) {
+  const MetricId stage = Registry::metric("test.span.finish", MetricKind::Timer, "ns");
+  Snapshot snap;
+  Span span(snap, stage);
+  span.finish();
+  span.finish();
+  EXPECT_EQ(snap.count(stage), kSpansEnabled ? 1u : 0u);
+}
+
+TEST(TelemetrySpan, TraceRingRetainsRecentEvents) {
+  const MetricId stage = Registry::metric("test.span.trace", MetricKind::Timer, "ns");
+  Snapshot snap;
+  constexpr int kSpans = 5;
+  for (int i = 0; i < kSpans; ++i) {
+    Span span(snap, stage);
+  }
+  const auto events = recent_spans();
+  if (!kSpansEnabled) {
+    EXPECT_TRUE(events.empty());
+    return;
+  }
+  int matched = 0;
+  std::uint64_t prev_begin = 0;
+  for (const SpanEvent& ev : events) {
+    EXPECT_GE(ev.begin_ns, prev_begin);  // recent_spans() sorts by begin time
+    prev_begin = ev.begin_ns;
+    if (ev.metric == stage) ++matched;
+  }
+  EXPECT_EQ(matched, kSpans);
+}
+
+TEST(TelemetryGlobal, FlushAccumulatesAndResetClears) {
+  const MetricId counter = Registry::metric("test.global.basic", MetricKind::Counter);
+  Registry::reset_global();
+
+  Snapshot run;
+  run.add(counter, 9);
+  Registry::flush(run);
+  Registry::flush(run);
+
+  const Snapshot global = Registry::global_snapshot();
+  EXPECT_EQ(global.sum(counter), 18u);
+  EXPECT_EQ(global.count(counter), 2u);
+
+  Registry::reset_global();
+  EXPECT_EQ(Registry::global_snapshot().sum(counter), 0u);
+}
+
+TEST(TelemetryGlobal, ConcurrentFlushersWithLiveReaderConserveTotals) {
+  const MetricId counter = Registry::metric("test.global.concurrent", MetricKind::Counter);
+  const MetricId gauge = Registry::metric("test.global.concurrent.hw", MetricKind::Gauge);
+  Registry::reset_global();
+
+  constexpr std::size_t kWorkers = 4;
+  constexpr std::size_t kFlushesPerWorker = 200;
+
+  std::atomic<bool> stop_reading{false};
+  std::thread reader([&] {
+    // Lock-free sampling while workers flush: sums must only ever grow.
+    std::uint64_t last = 0;
+    while (!stop_reading.load()) {
+      const std::uint64_t now = Registry::global_snapshot().sum(counter);
+      EXPECT_GE(now, last);
+      last = now;
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::thread> workers;
+  for (std::size_t w = 0; w < kWorkers; ++w) {
+    workers.emplace_back([&, w] {
+      for (std::size_t f = 0; f < kFlushesPerWorker; ++f) {
+        Snapshot run;
+        run.add(counter, 3);
+        run.note_max(gauge, w + 1);
+        Registry::flush(run);
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+  stop_reading = true;
+  reader.join();
+
+  const Snapshot global = Registry::global_snapshot();
+  EXPECT_EQ(global.sum(counter), 3u * kWorkers * kFlushesPerWorker);
+  EXPECT_EQ(global.max(gauge), kWorkers);  // max of per-worker high-water marks
+}
+
+TEST(TelemetryJson, EmitsOnlyPopulatedMetricsWithKindAndUnit) {
+  const MetricId used = Registry::metric("test.json.used", MetricKind::Gauge, "bits");
+  (void)Registry::metric("test.json.unused", MetricKind::Counter);
+
+  Snapshot snap;
+  snap.note_max(used, 1234);
+  const std::string json = to_json(snap);
+  EXPECT_NE(json.find("\"test.json.used\""), std::string::npos);
+  EXPECT_NE(json.find("\"kind\": \"gauge\""), std::string::npos);
+  EXPECT_NE(json.find("\"unit\": \"bits\""), std::string::npos);
+  EXPECT_NE(json.find("\"max\": 1234"), std::string::npos);
+  EXPECT_EQ(json.find("test.json.unused"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace swc::telemetry
