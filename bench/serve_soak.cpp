@@ -1,0 +1,149 @@
+// Serve-layer soak: an in-process Server on loopback vs the loadgen client
+// library — hundreds of concurrent streams, a bounded in-flight window per
+// stream, a realtime slice that must see wire-visible rejections rather
+// than silent drops. Reports aggregate throughput plus client-observed RTT
+// and server-side frame-latency percentiles (both from the telemetry
+// histogram kind) and writes the standardized BENCH_serve.json artifact.
+//
+// Scale knobs (env):
+//   SWC_SOAK_STREAMS  concurrent streams          (default 256)
+//   SWC_SOAK_FRAMES   frames per stream           (default 400)
+//   SWC_SOAK_WORKERS  engine worker threads       (default 4)
+//
+// The defaults are the acceptance-scale soak (256 streams, ~100k frames);
+// CI and the regression gate run it scaled down via the env knobs. The
+// config string in BENCH_serve.json deliberately excludes the frame count:
+// percentiles and throughput are rate-like, so runs of different lengths
+// remain comparable and the regression baseline does not pin a duration.
+//
+// Exits nonzero if any stream fails or any frame goes unaccounted — a soak
+// that loses work must fail loudly, not report reduced throughput.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/bench_common.hpp"
+#include "serve/client/loadgen.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+std::size_t env_size(const char* name, std::size_t fallback) {
+  if (const char* env = std::getenv(name)) {
+    const auto v = std::strtoul(env, nullptr, 10);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  return fallback;
+}
+
+}  // namespace
+
+int main() {
+  using namespace swc;
+  benchx::print_header("Serve-layer soak",
+                       "loadgen vs in-process server: throughput, RTT, rejections");
+
+  const std::size_t streams = env_size("SWC_SOAK_STREAMS", 256);
+  const std::size_t frames_per_stream = env_size("SWC_SOAK_FRAMES", 400);
+  const std::size_t workers = env_size("SWC_SOAK_WORKERS", 4);
+  constexpr std::uint32_t kSize = 64;
+  constexpr std::uint32_t kWindow = 8;
+  constexpr std::int32_t kThreshold = 2;
+  constexpr std::size_t kInflightWindow = 4;
+  constexpr double kRealtimeFraction = 0.125;
+
+  serve::ServerOptions server_options;
+  server_options.workers = workers;
+  server_options.queue_capacity = 64;
+  server_options.limits.max_sessions = streams + 16;
+  serve::Server server(server_options);
+  server.start();
+
+  serve::client::LoadgenOptions load;
+  load.port = server.port();
+  load.streams = streams;
+  load.frames_per_stream = frames_per_stream;
+  load.inflight_window = kInflightWindow;
+  load.width = kSize;
+  load.height = kSize;
+  load.window = kWindow;
+  load.threshold = kThreshold;
+  load.realtime_fraction = kRealtimeFraction;
+
+  std::printf("streams=%zu frames/stream=%zu workers=%zu frame=%ux%u window=%u realtime=%.3f\n\n",
+              streams, frames_per_stream, workers, kSize, kSize, kWindow, kRealtimeFraction);
+
+  const auto report = serve::client::run_loadgen(load);
+  const auto& ids = serve::ServeMetricIds::get();
+  const auto metrics = server.serve_metrics();
+  server.stop();
+
+  const double rtt_p50_ms = report.rtt_ns.percentile(0.50) / 1e6;
+  const double rtt_p95_ms = report.rtt_ns.percentile(0.95) / 1e6;
+  const double rtt_p99_ms = report.rtt_ns.percentile(0.99) / 1e6;
+  const double srv_p50_ms = metrics.percentile(ids.frame_latency, 0.50) / 1e6;
+  const double srv_p95_ms = metrics.percentile(ids.frame_latency, 0.95) / 1e6;
+  const double srv_p99_ms = metrics.percentile(ids.frame_latency, 0.99) / 1e6;
+
+  std::printf("streams completed/failed   %zu / %zu\n", report.streams_completed,
+              report.streams_failed);
+  std::printf("frames ok/rejected/bad     %llu / %llu / %llu   (sent %llu)\n",
+              static_cast<unsigned long long>(report.frames_ok),
+              static_cast<unsigned long long>(report.frames_rejected_busy +
+                                              report.frames_rejected_shutdown),
+              static_cast<unsigned long long>(report.frames_bad),
+              static_cast<unsigned long long>(report.frames_sent));
+  std::printf("throughput                 %.1f frames/s over %.2f s\n", report.frames_per_second(),
+              report.elapsed_s);
+  std::printf("client RTT p50/p95/p99     %.2f / %.2f / %.2f ms\n", rtt_p50_ms, rtt_p95_ms,
+              rtt_p99_ms);
+  std::printf("server latency p50/p95/p99 %.2f / %.2f / %.2f ms\n", srv_p50_ms, srv_p95_ms,
+              srv_p99_ms);
+  std::printf("read pauses (backpressure) %llu, worst parked depth %llu\n",
+              static_cast<unsigned long long>(metrics.value(ids.read_pauses)),
+              static_cast<unsigned long long>(metrics.value(ids.parked_frames)));
+
+  // Accounting invariants: nothing silently lost.
+  const std::uint64_t answered = report.frames_ok + report.frames_rejected_busy +
+                                 report.frames_rejected_shutdown + report.frames_bad;
+  bool failed = false;
+  if (report.streams_failed != 0) {
+    std::fprintf(stderr, "FAIL: %zu streams failed\n", report.streams_failed);
+    failed = true;
+  }
+  if (answered != report.frames_sent) {
+    std::fprintf(stderr, "FAIL: %llu frames unaccounted\n",
+                 static_cast<unsigned long long>(report.frames_sent - answered));
+    failed = true;
+  }
+  if (metrics.value(ids.frames_completed) != report.frames_ok) {
+    std::fprintf(stderr, "FAIL: server completions disagree with client OKs\n");
+    failed = true;
+  }
+
+  std::vector<benchx::BenchRecord> records;
+  const std::string cfg = "streams=" + std::to_string(streams) + " size=" +
+                          std::to_string(kSize) + " window=" + std::to_string(kWindow) +
+                          " threshold=" + std::to_string(kThreshold) + " workers=" +
+                          std::to_string(workers) + " inflight=" +
+                          std::to_string(kInflightWindow) + " realtime_fraction=0.125";
+  records.push_back({"serve_soak", cfg, "throughput", report.frames_per_second(), "frames/s"});
+  records.push_back({"serve_soak", cfg, "rtt_p50", rtt_p50_ms, "ms"});
+  records.push_back({"serve_soak", cfg, "rtt_p95", rtt_p95_ms, "ms"});
+  records.push_back({"serve_soak", cfg, "rtt_p99", rtt_p99_ms, "ms"});
+  records.push_back({"serve_soak", cfg, "server_latency_p50", srv_p50_ms, "ms"});
+  records.push_back({"serve_soak", cfg, "server_latency_p95", srv_p95_ms, "ms"});
+  records.push_back({"serve_soak", cfg, "server_latency_p99", srv_p99_ms, "ms"});
+  records.push_back({"serve_soak", cfg, "rejected_fraction",
+                     report.frames_sent > 0
+                         ? static_cast<double>(report.frames_rejected_busy) /
+                               static_cast<double>(report.frames_sent)
+                         : 0.0,
+                     "fraction"});
+  benchx::append_snapshot_records(records, metrics, "serve_soak_metrics", cfg);
+  benchx::write_bench_json("BENCH_serve.json", "serve_soak", records);
+
+  return failed ? 1 : 0;
+}

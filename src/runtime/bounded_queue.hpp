@@ -21,6 +21,14 @@
 
 namespace swc::runtime {
 
+// Why a non-blocking push failed — callers surfacing rejections to a remote
+// peer need to distinguish transient overload from terminal shutdown.
+enum class PushOutcome : std::uint8_t {
+  Ok,      // item enqueued
+  Full,    // at capacity; retry later or drop
+  Closed,  // queue shut down; no push will ever succeed again
+};
+
 template <typename T>
 class BoundedQueue {
  public:
@@ -43,14 +51,19 @@ class BoundedQueue {
 
   // Non-blocking: returns false when full or closed (item is left intact in
   // neither case — it is moved only on success).
-  bool try_push(T& item) {
+  bool try_push(T& item) { return try_push_outcome(item) == PushOutcome::Ok; }
+
+  // Non-blocking push that reports *why* it failed. The item is moved only
+  // on PushOutcome::Ok.
+  PushOutcome try_push_outcome(T& item) {
     {
       std::unique_lock lock(mutex_);
-      if (closed_ || items_.size() >= capacity_) return false;
+      if (closed_) return PushOutcome::Closed;
+      if (items_.size() >= capacity_) return PushOutcome::Full;
       enqueue_locked(std::move(item));
     }
     not_empty_.notify_one();
-    return true;
+    return PushOutcome::Ok;
   }
 
   // Blocks until an item is available; returns nullopt once the queue is

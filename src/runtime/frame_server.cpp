@@ -44,8 +44,8 @@ std::shared_ptr<StreamContext> FrameServer::find_stream(std::uint32_t id) const 
   return streams_[id];
 }
 
-bool FrameServer::submit(std::uint32_t stream_id, image::ImageU8 frame, SubmitPolicy policy,
-                         Callback on_done) {
+SubmitReceipt FrameServer::submit_frame(std::uint32_t stream_id, image::ImageU8 frame,
+                                        SubmitPolicy policy, Callback on_done) {
   auto ctx = find_stream(stream_id);
   check_frame(*ctx, frame);
 
@@ -68,11 +68,22 @@ bool FrameServer::submit(std::uint32_t stream_id, image::ImageU8 frame, SubmitPo
     }
   };
 
-  if (!pool_.submit(std::move(job), policy)) {
-    ctx->note_submit_failed();
-    return false;
+  SubmitReceipt receipt;
+  receipt.stream_id = stream_id;
+  receipt.frame_seq = seq;
+  switch (pool_.submit_outcome(std::move(job), policy)) {
+    case SubmitOutcome::Accepted:
+      break;
+    case SubmitOutcome::QueueFull:
+      ctx->note_submit_failed();
+      receipt.error = SubmitError::QueueFull;
+      break;
+    case SubmitOutcome::ShutDown:
+      ctx->note_submit_failed();
+      receipt.error = SubmitError::ShuttingDown;
+      break;
   }
-  return true;
+  return receipt;
 }
 
 FrameResult FrameServer::submit_striped(std::uint32_t stream_id, const image::ImageU8& frame,

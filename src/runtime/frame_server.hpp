@@ -46,6 +46,26 @@ struct FrameServerOptions {
   std::size_t queue_capacity = 64;
 };
 
+// Why a frame was not accepted. Distinguishing transient overload from
+// terminal shutdown lets a caller (the serve layer's session manager) map a
+// rejection onto the right wire-level response instead of a silent drop.
+enum class SubmitError : std::uint8_t {
+  None,          // accepted
+  QueueFull,     // Reject policy and the worker queue was at capacity
+  ShuttingDown,  // server is tearing down; no frame will be accepted again
+};
+
+// Identity + outcome of one submission attempt. On acceptance, frame_seq is
+// the per-stream sequence number the eventual FrameResult will carry, so
+// completions can be matched back to submissions without extra bookkeeping.
+struct SubmitReceipt {
+  std::uint32_t stream_id = 0;
+  std::uint64_t frame_seq = 0;  // valid only when accepted()
+  SubmitError error = SubmitError::None;
+
+  [[nodiscard]] bool accepted() const noexcept { return error == SubmitError::None; }
+};
+
 class FrameServer {
  public:
   // GCC rejects NSDMI defaults of a nested struct used as a default argument
@@ -68,7 +88,14 @@ class FrameServer {
   // the stream. Throws std::invalid_argument for unknown streams or frames
   // that do not match the stream's configured geometry.
   bool submit(std::uint32_t stream_id, image::ImageU8 frame,
-              SubmitPolicy policy = SubmitPolicy::Block, Callback on_done = {});
+              SubmitPolicy policy = SubmitPolicy::Block, Callback on_done = {}) {
+    return submit_frame(stream_id, std::move(frame), policy, std::move(on_done)).accepted();
+  }
+
+  // As submit(), but returns the submission's identity and, on rejection,
+  // its cause. Same exception contract for unknown streams / bad geometry.
+  SubmitReceipt submit_frame(std::uint32_t stream_id, image::ImageU8 frame,
+                             SubmitPolicy policy = SubmitPolicy::Block, Callback on_done = {});
 
   // Process one frame stripe-parallel across up to `max_stripes` stripes on
   // the server's pool, blocking the caller until the frame completes.
@@ -82,6 +109,10 @@ class FrameServer {
   [[nodiscard]] RuntimeStatsSnapshot stats() const;
 
   [[nodiscard]] std::size_t worker_count() const noexcept { return pool_.worker_count(); }
+  // Lightweight queue pressure probes (stats() builds a full snapshot and
+  // is too heavy to poll per frame).
+  [[nodiscard]] std::size_t queue_depth() const { return pool_.queue_depth(); }
+  [[nodiscard]] std::size_t queue_capacity() const noexcept { return pool_.queue_capacity(); }
 
  private:
   [[nodiscard]] std::shared_ptr<StreamContext> find_stream(std::uint32_t id) const;

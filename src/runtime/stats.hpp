@@ -18,26 +18,28 @@
 
 namespace swc::runtime {
 
-// Streaming min/mean/max accumulator over nanosecond samples, backed by the
-// telemetry cell primitive. Not thread-safe on its own; owners serialize.
+// Streaming latency accumulator over nanosecond samples, backed by the
+// telemetry histogram primitive: min/mean/max from the summary cell plus
+// p50/p95/p99 from the log-spaced buckets. Not thread-safe on its own;
+// owners serialize.
 struct LatencyAccumulator {
-  telemetry::MetricCell cell;
+  telemetry::HistogramCell hist;
 
-  void note(std::uint64_t ns) noexcept {
-    ++cell.count;
-    cell.sum += ns;
-    if (ns < cell.min) cell.min = ns;
-    if (ns > cell.max) cell.max = ns;
-  }
+  void note(std::uint64_t ns) noexcept { hist.note(ns); }
 
-  [[nodiscard]] std::uint64_t count() const noexcept { return cell.count; }
+  [[nodiscard]] std::uint64_t count() const noexcept { return hist.summary.count; }
   [[nodiscard]] double min_ms() const noexcept {
-    return cell.count == 0 ? 0.0 : static_cast<double>(cell.min) / 1e6;
+    return hist.summary.count == 0 ? 0.0 : static_cast<double>(hist.summary.min) / 1e6;
   }
-  [[nodiscard]] double mean_ms() const noexcept { return cell.mean() / 1e6; }
-  [[nodiscard]] double max_ms() const noexcept { return static_cast<double>(cell.max) / 1e6; }
+  [[nodiscard]] double mean_ms() const noexcept { return hist.summary.mean() / 1e6; }
+  [[nodiscard]] double max_ms() const noexcept {
+    return static_cast<double>(hist.summary.max) / 1e6;
+  }
+  [[nodiscard]] double p50_ms() const noexcept { return hist.percentile(0.50) / 1e6; }
+  [[nodiscard]] double p95_ms() const noexcept { return hist.percentile(0.95) / 1e6; }
+  [[nodiscard]] double p99_ms() const noexcept { return hist.percentile(0.99) / 1e6; }
 
-  void merge(const LatencyAccumulator& other) noexcept { cell.merge(other.cell); }
+  void merge(const LatencyAccumulator& other) noexcept { hist.merge(other.hist); }
 };
 
 // Point-in-time view of one stream's counters. Frame/pixel accounting is

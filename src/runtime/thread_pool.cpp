@@ -15,19 +15,33 @@ ThreadPool::ThreadPool(std::size_t workers, std::size_t queue_capacity)
 
 ThreadPool::~ThreadPool() { shutdown(); }
 
-bool ThreadPool::submit(Job job, SubmitPolicy policy) {
+SubmitOutcome ThreadPool::submit_outcome(Job job, SubmitPolicy policy) {
   {
     std::unique_lock lock(idle_mutex_);
-    if (shut_down_) return false;
+    if (shut_down_) return SubmitOutcome::ShutDown;
     ++in_flight_;
   }
-  const bool accepted =
-      policy == SubmitPolicy::Block ? queue_.push(std::move(job)) : queue_.try_push(job);
-  if (!accepted) {
+  SubmitOutcome outcome = SubmitOutcome::Accepted;
+  if (policy == SubmitPolicy::Block) {
+    // push() fails only once the queue is closed, i.e. shutdown raced us.
+    if (!queue_.push(std::move(job))) outcome = SubmitOutcome::ShutDown;
+  } else {
+    switch (queue_.try_push_outcome(job)) {
+      case PushOutcome::Ok:
+        break;
+      case PushOutcome::Full:
+        outcome = SubmitOutcome::QueueFull;
+        break;
+      case PushOutcome::Closed:
+        outcome = SubmitOutcome::ShutDown;
+        break;
+    }
+  }
+  if (outcome != SubmitOutcome::Accepted) {
     std::unique_lock lock(idle_mutex_);
     if (--in_flight_ == 0) idle_cv_.notify_all();
   }
-  return accepted;
+  return outcome;
 }
 
 void ThreadPool::wait_idle() {

@@ -26,6 +26,14 @@ enum class SubmitPolicy : std::uint8_t {
   Reject,  // fail fast when the queue is full
 };
 
+// Why a submission was (not) accepted, for callers that must report the
+// cause upstream (the serve layer maps these onto wire-level responses).
+enum class SubmitOutcome : std::uint8_t {
+  Accepted,   // job enqueued
+  QueueFull,  // Reject policy and the queue was at capacity
+  ShutDown,   // pool is shutting down; nothing will be accepted again
+};
+
 class ThreadPool {
  public:
   using Job = std::function<void()>;
@@ -38,7 +46,13 @@ class ThreadPool {
 
   // Returns false when the job was not accepted (queue full under Reject, or
   // the pool is shutting down).
-  bool submit(Job job, SubmitPolicy policy = SubmitPolicy::Block);
+  bool submit(Job job, SubmitPolicy policy = SubmitPolicy::Block) {
+    return submit_outcome(std::move(job), policy) == SubmitOutcome::Accepted;
+  }
+
+  // As submit(), but reports why a rejection happened. Under Block the only
+  // failure is ShutDown; under Reject a full queue yields QueueFull.
+  SubmitOutcome submit_outcome(Job job, SubmitPolicy policy = SubmitPolicy::Block);
 
   // Blocks until every accepted job has finished executing.
   void wait_idle();

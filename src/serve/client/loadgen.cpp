@@ -1,0 +1,168 @@
+#include "serve/client/loadgen.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/client/sync_client.hpp"
+#include "serve/protocol.hpp"
+
+namespace swc::serve::client {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// Per-stream tally, merged into the report under one lock after the join.
+struct StreamTally {
+  std::uint64_t sent = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t rejected_busy = 0;
+  std::uint64_t rejected_shutdown = 0;
+  std::uint64_t bad = 0;
+  std::uint64_t bits = 0;
+  telemetry::HistogramCell rtt;
+  std::string stats_json;
+  bool completed = false;
+};
+
+std::vector<std::uint8_t> make_pixels(const LoadgenOptions& options, std::size_t index) {
+  std::vector<std::uint8_t> pixels(static_cast<std::size_t>(options.width) * options.height);
+  // splitmix-style fill: cheap, deterministic, different per stream.
+  std::uint64_t state = options.seed + 0x9E3779B97F4A7C15ull * (index + 1);
+  for (auto& px : pixels) {
+    state += 0x9E3779B97F4A7C15ull;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    px = static_cast<std::uint8_t>((z ^ (z >> 31)) & 0xFF);
+  }
+  return pixels;
+}
+
+void run_stream(const LoadgenOptions& options, std::size_t index, std::size_t realtime_count,
+                StreamTally& tally) {
+  SyncClient conn({options.host, options.port, kDefaultMaxPayload});
+
+  HelloPayload hello;
+  hello.qos = index < realtime_count ? QosTier::Realtime : QosTier::Bulk;
+  hello.width = options.width;
+  hello.height = options.height;
+  hello.window = options.window;
+  hello.threshold = options.threshold;
+  hello.name = "loadgen-" + std::to_string(index);
+  conn.hello(hello);
+
+  const auto pixels = make_pixels(options, index);
+  std::vector<std::uint8_t> wire =
+      encode_message(MsgType::SubmitFrame, conn.stream_id(), 0, pixels);
+
+  std::unordered_map<std::uint64_t, Clock::time_point> inflight;
+  const std::uint64_t total = options.frames_per_stream;
+  std::uint64_t next_seq = 1;
+
+  const auto on_done = [&](const Message& msg) {
+    const auto done = decode_frame_done(msg.payload);
+    if (!done) throw std::runtime_error("malformed FRAME_DONE payload");
+    const auto it = inflight.find(msg.header.seq);
+    if (it != inflight.end()) {
+      const auto rtt = Clock::now() - it->second;
+      tally.rtt.note(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(rtt).count()));
+      inflight.erase(it);
+    }
+    switch (done->status) {
+      case FrameStatus::Ok:
+        ++tally.ok;
+        tally.bits += done->payload_bits;
+        break;
+      case FrameStatus::RejectedBusy:
+        ++tally.rejected_busy;
+        break;
+      case FrameStatus::RejectedShutdown:
+        ++tally.rejected_shutdown;
+        break;
+      case FrameStatus::BadFrame:
+        ++tally.bad;
+        break;
+    }
+  };
+
+  while (next_seq <= total || !inflight.empty()) {
+    if (next_seq <= total && inflight.size() < options.inflight_window) {
+      patch_seq(wire, next_seq);
+      inflight.emplace(next_seq, Clock::now());
+      conn.send_bytes(wire);
+      ++tally.sent;
+      ++next_seq;
+      continue;
+    }
+    auto msg = conn.read_message();
+    if (!msg) throw std::runtime_error("connection closed with frames in flight");
+    if (msg->header.type == MsgType::FrameDone) on_done(*msg);
+    // ERROR here means the session is dying; the next read hits EOF and throws.
+  }
+
+  if (options.collect_server_stats && index == 0) {
+    conn.send_stats(1);
+    for (;;) {
+      auto msg = conn.read_message();
+      if (!msg) throw std::runtime_error("connection closed awaiting STATS_REPLY");
+      if (msg->header.type == MsgType::StatsReply) {
+        tally.stats_json.assign(msg->payload.begin(), msg->payload.end());
+        break;
+      }
+    }
+  }
+
+  conn.send_goodbye();
+  // The server flushes pending responses and closes; drain to EOF.
+  while (conn.read_message()) {
+  }
+  tally.completed = true;
+}
+
+}  // namespace
+
+LoadgenReport run_loadgen(const LoadgenOptions& options) {
+  const std::size_t realtime_count = static_cast<std::size_t>(
+      std::ceil(options.realtime_fraction * static_cast<double>(options.streams)));
+
+  std::vector<StreamTally> tallies(options.streams);
+  std::vector<std::thread> threads;
+  threads.reserve(options.streams);
+
+  const auto t0 = Clock::now();
+  for (std::size_t i = 0; i < options.streams; ++i) {
+    threads.emplace_back([&options, i, realtime_count, &tally = tallies[i]] {
+      try {
+        run_stream(options, i, realtime_count, tally);
+      } catch (const std::exception&) {
+        // Counted via tally.completed staying false.
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const auto elapsed = Clock::now() - t0;
+
+  LoadgenReport report;
+  report.elapsed_s =
+      std::chrono::duration_cast<std::chrono::duration<double>>(elapsed).count();
+  for (auto& tally : tallies) {
+    (tally.completed ? report.streams_completed : report.streams_failed) += 1;
+    report.frames_sent += tally.sent;
+    report.frames_ok += tally.ok;
+    report.frames_rejected_busy += tally.rejected_busy;
+    report.frames_rejected_shutdown += tally.rejected_shutdown;
+    report.frames_bad += tally.bad;
+    report.payload_bits += tally.bits;
+    report.rtt_ns.merge(tally.rtt);
+    if (!tally.stats_json.empty()) report.server_stats_json = std::move(tally.stats_json);
+  }
+  return report;
+}
+
+}  // namespace swc::serve::client

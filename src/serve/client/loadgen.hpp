@@ -1,0 +1,59 @@
+#pragma once
+// Load generator for the serve layer: N concurrent streams (one thread +
+// one SyncClient each), every stream pushing frames with a bounded
+// in-flight window and accounting each FRAME_DONE by status. The soak
+// bench and the quickstart example both drive this; it is a library so
+// tests can run scaled-down soaks in-process.
+//
+// Hot path: each stream encodes its SUBMIT_FRAME once and re-sends the
+// same buffer with patch_seq(), so the loadgen costs a memcpy-free send
+// per frame and cannot itself become the bottleneck being measured.
+
+#include <cstdint>
+#include <string>
+
+#include "telemetry/telemetry.hpp"
+
+namespace swc::serve::client {
+
+struct LoadgenOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::size_t streams = 8;
+  std::size_t frames_per_stream = 100;
+  std::size_t inflight_window = 4;  // unacked frames per stream
+  std::uint32_t width = 64;
+  std::uint32_t height = 64;
+  std::uint32_t window = 8;
+  std::int32_t threshold = 2;
+  // First ceil(realtime_fraction * streams) streams use the realtime tier
+  // (their overload responses are rejections, counted below).
+  double realtime_fraction = 0.0;
+  std::uint64_t seed = 1;  // frame content PRNG seed
+  bool collect_server_stats = false;  // stream 0 runs a STATS round trip
+};
+
+struct LoadgenReport {
+  std::size_t streams_completed = 0;
+  std::size_t streams_failed = 0;  // connect/handshake/socket errors
+  std::uint64_t frames_sent = 0;
+  std::uint64_t frames_ok = 0;
+  std::uint64_t frames_rejected_busy = 0;
+  std::uint64_t frames_rejected_shutdown = 0;
+  std::uint64_t frames_bad = 0;
+  std::uint64_t payload_bits = 0;  // compressed bits reported by the server
+  double elapsed_s = 0.0;
+  telemetry::HistogramCell rtt_ns;  // client-observed submit -> FRAME_DONE
+  std::string server_stats_json;    // when collect_server_stats
+
+  [[nodiscard]] double frames_per_second() const noexcept {
+    return elapsed_s > 0.0 ? static_cast<double>(frames_ok) / elapsed_s : 0.0;
+  }
+};
+
+// Runs to completion (every stream sent its frames and drained its window,
+// or failed) and returns the aggregate. Throws only on setup errors;
+// per-stream failures are counted, not thrown.
+LoadgenReport run_loadgen(const LoadgenOptions& options);
+
+}  // namespace swc::serve::client

@@ -1,0 +1,116 @@
+#include "serve/client/sync_client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace swc::serve::client {
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::runtime_error(std::string(what) + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+SyncClient::SyncClient(Options options)
+    : parser_(FrameParser::Limits{options.max_payload}) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) throw_errno("socket");
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options.port);
+  if (::inet_pton(AF_INET, options.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("bad host address: " + options.host);
+  }
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const int err = errno;
+    ::close(fd_);
+    fd_ = -1;
+    errno = err;
+    throw_errno("connect");
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+SyncClient::~SyncClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void SyncClient::send_bytes(std::span<const std::uint8_t> bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::send(fd_, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("send");
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+void SyncClient::send_frame(std::uint64_t seq, std::span<const std::uint8_t> pixels) {
+  send_bytes(encode_message(MsgType::SubmitFrame, stream_id_, seq, pixels));
+}
+
+void SyncClient::send_stats(std::uint64_t seq) {
+  send_bytes(encode_message(MsgType::Stats, stream_id_, seq, {}));
+}
+
+void SyncClient::send_goodbye() {
+  send_bytes(encode_message(MsgType::Goodbye, stream_id_, 0, {}));
+}
+
+std::optional<Message> SyncClient::read_message() {
+  std::uint8_t chunk[16 * 1024];
+  while (pending_.empty()) {
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n == 0) return std::nullopt;  // orderly close
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      // The server tears connections down abruptly at shutdown; surface
+      // that like EOF rather than as an exception.
+      if (errno == ECONNRESET) return std::nullopt;
+      throw_errno("recv");
+    }
+    const bool ok = parser_.feed({chunk, static_cast<std::size_t>(n)},
+                                 [this](Message&& msg) { pending_.push_back(std::move(msg)); });
+    if (!ok && pending_.empty()) {
+      throw std::runtime_error(std::string("protocol error from server: ") +
+                               to_string(parser_.error()));
+    }
+  }
+  Message msg = std::move(pending_.front());
+  pending_.pop_front();
+  return msg;
+}
+
+std::uint32_t SyncClient::hello(const HelloPayload& payload) {
+  send_bytes(encode_message(MsgType::Hello, 0, 0, encode_payload(payload)));
+  auto reply = read_message();
+  if (!reply) throw std::runtime_error("connection closed during HELLO");
+  if (reply->header.type == MsgType::Error) {
+    const auto err = decode_error(reply->payload);
+    throw std::runtime_error("server refused stream: " +
+                             (err ? err->message : std::string("malformed ERROR")));
+  }
+  if (reply->header.type != MsgType::HelloAck) {
+    throw std::runtime_error(std::string("expected HELLO_ACK, got ") +
+                             to_string(reply->header.type));
+  }
+  stream_id_ = reply->header.stream_id;
+  return stream_id_;
+}
+
+}  // namespace swc::serve::client

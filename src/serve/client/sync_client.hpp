@@ -1,0 +1,64 @@
+#pragma once
+// Blocking client for the serve wire protocol. One SyncClient is one TCP
+// connection is one compression stream; it is the client-side mirror of a
+// server Session and deliberately simple: synchronous connect, a HELLO
+// handshake that blocks until HELLO_ACK (or throws the server's ERROR
+// text), raw send primitives, and a pull-based read_message().
+//
+// The loadgen drives one SyncClient per thread; anything concurrent
+// (in-flight windows, RTT accounting) lives a layer up in loadgen.cpp.
+// Not thread-safe; socket errors and protocol violations throw
+// std::runtime_error.
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.hpp"
+
+namespace swc::serve::client {
+
+class SyncClient {
+ public:
+  struct Options {
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0;
+    std::size_t max_payload = kDefaultMaxPayload;
+  };
+
+  // Connects (blocking). Throws std::runtime_error on failure.
+  explicit SyncClient(Options options);
+  ~SyncClient();
+
+  SyncClient(const SyncClient&) = delete;
+  SyncClient& operator=(const SyncClient&) = delete;
+
+  // HELLO -> HELLO_ACK round trip. Returns the server-assigned stream id.
+  // Throws std::runtime_error with the server's ERROR message on refusal
+  // (admission control, bad geometry).
+  std::uint32_t hello(const HelloPayload& payload);
+
+  // Encode + send one SUBMIT_FRAME. Does not wait for FRAME_DONE.
+  void send_frame(std::uint64_t seq, std::span<const std::uint8_t> pixels);
+  // Send pre-encoded wire bytes (the patch_seq hot path).
+  void send_bytes(std::span<const std::uint8_t> bytes);
+  void send_stats(std::uint64_t seq);
+  void send_goodbye();
+
+  // Next complete message, blocking. nullopt on orderly peer close; throws
+  // on socket errors or unparseable input.
+  std::optional<Message> read_message();
+
+  [[nodiscard]] std::uint32_t stream_id() const noexcept { return stream_id_; }
+
+ private:
+  int fd_ = -1;
+  std::uint32_t stream_id_ = 0;
+  FrameParser parser_;
+  std::deque<Message> pending_;  // parsed but not yet handed to the caller
+};
+
+}  // namespace swc::serve::client

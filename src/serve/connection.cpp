@@ -1,0 +1,163 @@
+#include "serve/connection.hpp"
+
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <utility>
+
+namespace swc::serve {
+
+Connection::Connection(EventLoop& loop, int fd, std::uint64_t id, Handler& handler,
+                       Options options)
+    : loop_(loop),
+      fd_(fd),
+      id_(id),
+      handler_(handler),
+      options_(options),
+      parser_(FrameParser::Limits{options.max_payload}) {
+  interest_ = EPOLLIN;
+  loop_.add_fd(fd_, interest_, [this](std::uint32_t events) { on_io(events); });
+}
+
+Connection::~Connection() {
+  if (!closed_ && fd_ >= 0) {
+    loop_.remove_fd(fd_);
+    ::close(fd_);
+  }
+}
+
+void Connection::send(std::vector<std::uint8_t> bytes) {
+  if (closing_ || closed_ || bytes.empty()) return;
+  if (out_bytes_ + bytes.size() > options_.write_buffer_cap) {
+    // The peer is not draining responses; cutting it off is the bounded
+    // alternative to buffering its backlog in server memory.
+    close("write-buffer-overflow", /*immediately=*/true);
+    return;
+  }
+  out_bytes_ += bytes.size();
+  out_.push_back(std::move(bytes));
+  // Try an eager flush: most responses fit the socket buffer and never need
+  // an EPOLLOUT round trip.
+  handle_writable();
+}
+
+void Connection::pause_reads() {
+  ++pause_count_;
+  if (pause_count_ == 1) update_interest();
+}
+
+void Connection::resume_reads() {
+  if (pause_count_ == 0) return;
+  --pause_count_;
+  if (pause_count_ == 0) update_interest();
+}
+
+void Connection::update_interest() {
+  if (closed_) return;
+  std::uint32_t want = 0;
+  if (pause_count_ == 0 && !closing_) want |= EPOLLIN;
+  if (!out_.empty()) want |= EPOLLOUT;
+  if (want != interest_) {
+    interest_ = want;
+    loop_.set_events(fd_, want);
+  }
+}
+
+void Connection::close(const char* reason, bool immediately) {
+  if (closed_) return;
+  if (closing_ && !immediately) return;
+  closing_ = true;
+  close_reason_ = reason;
+  if (immediately || out_.empty()) {
+    finish_close();
+  } else {
+    update_interest();  // stop reading, keep EPOLLOUT until the queue drains
+  }
+}
+
+void Connection::finish_close() {
+  if (closed_) return;
+  closed_ = true;
+  loop_.remove_fd(fd_);
+  ::close(fd_);
+  fd_ = -1;
+  // Deliver the destruction notice outside any Connection stack frame so the
+  // owner can delete us safely.
+  loop_.post([&handler = handler_, id = id_, reason = close_reason_] {
+    handler.on_connection_closed(id, reason);
+  });
+}
+
+void Connection::on_io(std::uint32_t events) {
+  if (closed_) return;
+  if ((events & (EPOLLERR | EPOLLHUP)) != 0) {
+    // Flush nothing further; the socket is gone.
+    close("peer-hangup", /*immediately=*/true);
+    return;
+  }
+  if ((events & EPOLLOUT) != 0) handle_writable();
+  if (closed_) return;
+  if ((events & EPOLLIN) != 0) handle_readable();
+}
+
+void Connection::handle_readable() {
+  std::vector<std::uint8_t> chunk(options_.read_chunk);
+  // Keep reading until EAGAIN, the peer pauses us, or the connection dies.
+  while (!closed_ && !closing_ && pause_count_ == 0) {
+    const ssize_t n = ::recv(fd_, chunk.data(), chunk.size(), 0);
+    if (n > 0) {
+      bytes_received_ += static_cast<std::uint64_t>(n);
+      const bool ok = parser_.feed({chunk.data(), static_cast<std::size_t>(n)},
+                                   [this](Message&& msg) {
+                                     if (!closing_ && !closed_) {
+                                       handler_.on_message(*this, std::move(msg));
+                                     }
+                                   });
+      if (!ok) {
+        close("protocol-error", /*immediately=*/true);
+        return;
+      }
+      continue;
+    }
+    if (n == 0) {
+      close("peer-closed", /*immediately=*/true);
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+    if (errno == EINTR) continue;
+    close("read-error", /*immediately=*/true);
+    return;
+  }
+}
+
+void Connection::handle_writable() {
+  while (!out_.empty()) {
+    const std::vector<std::uint8_t>& head = out_.front();
+    const std::size_t remaining = head.size() - out_head_offset_;
+    const ssize_t n =
+        ::send(fd_, head.data() + out_head_offset_, remaining, MSG_NOSIGNAL);
+    if (n > 0) {
+      bytes_sent_ += static_cast<std::uint64_t>(n);
+      out_bytes_ -= static_cast<std::size_t>(n);
+      out_head_offset_ += static_cast<std::size_t>(n);
+      if (out_head_offset_ == head.size()) {
+        out_.pop_front();
+        out_head_offset_ = 0;
+      }
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    close("write-error", /*immediately=*/true);
+    return;
+  }
+  if (out_.empty() && closing_) {
+    finish_close();
+    return;
+  }
+  update_interest();
+}
+
+}  // namespace swc::serve

@@ -1,0 +1,105 @@
+#pragma once
+// One accepted TCP peer: nonblocking socket + incremental FrameParser +
+// bounded write queue + read-interest control.
+//
+// Buffering is bounded at every point, which is the serve layer's core
+// guarantee (a slow engine throttles the TCP peer; it never buffers
+// unboundedly):
+//  * inbound: FrameParser holds at most one partial message
+//    (kHeaderSize + max_payload) plus one read chunk;
+//  * outbound: the write queue is capped at write_buffer_cap bytes — a peer
+//    that stops reading its responses is disconnected, not buffered for;
+//  * paused reads: pause_reads() drops EPOLLIN so the kernel receive buffer
+//    fills and TCP flow control pushes back on the sender.
+//
+// All methods run on the EventLoop thread. Lifetime: the owner (the session
+// manager) destroys the Connection from on_closed(), which is always
+// delivered via loop.post() — never reentrantly from inside a Connection
+// member function.
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "serve/event_loop.hpp"
+#include "serve/protocol.hpp"
+
+namespace swc::serve {
+
+class Connection {
+ public:
+  struct Handler {
+    virtual void on_message(Connection& conn, Message&& msg) = 0;
+    // Delivered exactly once (posted to the loop) after the fd is closed,
+    // whether by peer hangup, protocol error, overflow, or close().
+    virtual void on_connection_closed(std::uint64_t conn_id, const char* reason) = 0;
+
+   protected:
+    ~Handler() = default;
+  };
+
+  struct Options {
+    std::size_t max_payload = kDefaultMaxPayload;
+    std::size_t write_buffer_cap = std::size_t{4} << 20;
+    std::size_t read_chunk = 64 * 1024;
+  };
+
+  Connection(EventLoop& loop, int fd, std::uint64_t id, Handler& handler, Options options);
+  ~Connection();
+
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  [[nodiscard]] std::uint64_t id() const noexcept { return id_; }
+
+  // Queue bytes for transmission. Exceeding write_buffer_cap closes the
+  // connection (peer not reading responses).
+  void send(std::vector<std::uint8_t> bytes);
+
+  // Backpressure: stop consuming from the socket. Idempotent, counted —
+  // resume_reads() must balance every pause (sessions pause for their own
+  // reasons while the write path pauses for overflow protection).
+  void pause_reads();
+  void resume_reads();
+  [[nodiscard]] bool reads_paused() const noexcept { return pause_count_ > 0; }
+
+  // Stop reading, flush what is already queued, then close and report.
+  // `immediately` abandons queued writes (protocol-error path).
+  void close(const char* reason, bool immediately = false);
+  [[nodiscard]] bool closing() const noexcept { return closing_; }
+
+  [[nodiscard]] std::size_t buffered_out() const noexcept { return out_bytes_; }
+  [[nodiscard]] std::size_t buffered_in() const noexcept { return parser_.buffered_bytes(); }
+  [[nodiscard]] std::uint64_t bytes_received() const noexcept { return bytes_received_; }
+  [[nodiscard]] std::uint64_t bytes_sent() const noexcept { return bytes_sent_; }
+  [[nodiscard]] FrameParser::Error parse_error() const noexcept { return parser_.error(); }
+
+ private:
+  void on_io(std::uint32_t events);
+  void handle_readable();
+  void handle_writable();
+  void update_interest();
+  void finish_close();
+
+  EventLoop& loop_;
+  int fd_;
+  const std::uint64_t id_;
+  Handler& handler_;
+  Options options_;
+  FrameParser parser_;
+
+  std::deque<std::vector<std::uint8_t>> out_;  // head partially sent
+  std::size_t out_head_offset_ = 0;
+  std::size_t out_bytes_ = 0;
+
+  int pause_count_ = 0;
+  std::uint32_t interest_ = 0;  // currently registered epoll mask
+  bool closing_ = false;
+  bool closed_ = false;
+  const char* close_reason_ = "";
+  std::uint64_t bytes_received_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+};
+
+}  // namespace swc::serve

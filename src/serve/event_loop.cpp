@@ -1,0 +1,191 @@
+#include "serve/event_loop.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace swc::serve {
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::runtime_error(std::string(what) + ": " + std::strerror(errno));
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    throw_errno("fcntl(O_NONBLOCK)");
+  }
+}
+
+}  // namespace
+
+EventLoop::EventLoop() {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) throw_errno("epoll_create1");
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (wake_fd_ < 0) {
+    ::close(epoll_fd_);
+    throw_errno("eventfd");
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = wake_fd_;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) < 0) {
+    ::close(wake_fd_);
+    ::close(epoll_fd_);
+    throw_errno("epoll_ctl(wake)");
+  }
+}
+
+EventLoop::~EventLoop() {
+  ::close(wake_fd_);
+  ::close(epoll_fd_);
+}
+
+void EventLoop::add_fd(int fd, std::uint32_t events, IoCallback callback) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) throw_errno("epoll_ctl(ADD)");
+  handlers_[fd] = std::make_shared<IoCallback>(std::move(callback));
+}
+
+void EventLoop::set_events(int fd, std::uint32_t events) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) < 0) throw_errno("epoll_ctl(MOD)");
+}
+
+void EventLoop::remove_fd(int fd) {
+  // The fd may already be gone (closed elsewhere); tolerate ENOENT/EBADF.
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  handlers_.erase(fd);
+}
+
+void EventLoop::wake() {
+  const std::uint64_t one = 1;
+  // A full eventfd counter still wakes the reader; ignore short/failed writes.
+  [[maybe_unused]] const auto n = ::write(wake_fd_, &one, sizeof(one));
+}
+
+void EventLoop::stop() {
+  stop_requested_.store(true, std::memory_order_release);
+  wake();
+}
+
+void EventLoop::post(std::function<void()> fn) {
+  {
+    std::lock_guard lock(post_mutex_);
+    posted_.push_back(std::move(fn));
+  }
+  wake();
+}
+
+void EventLoop::drain_posted() {
+  std::vector<std::function<void()>> batch;
+  {
+    std::lock_guard lock(post_mutex_);
+    batch.swap(posted_);
+  }
+  for (auto& fn : batch) fn();
+}
+
+void EventLoop::run() {
+  loop_thread_.store(std::this_thread::get_id(), std::memory_order_release);
+  std::array<epoll_event, 64> events{};
+  while (!stop_requested_.load(std::memory_order_acquire)) {
+    const int n = ::epoll_wait(epoll_fd_, events.data(), static_cast<int>(events.size()), -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("epoll_wait");
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[static_cast<std::size_t>(i)].data.fd;
+      if (fd == wake_fd_) {
+        std::uint64_t drained = 0;
+        [[maybe_unused]] const auto r = ::read(wake_fd_, &drained, sizeof(drained));
+        continue;
+      }
+      // Look the handler up per event: an earlier callback in this batch may
+      // have removed this fd, and the shared_ptr keeps a self-removing
+      // callback alive through its own invocation.
+      const auto it = handlers_.find(fd);
+      if (it == handlers_.end()) continue;
+      const std::shared_ptr<IoCallback> handler = it->second;
+      (*handler)(events[static_cast<std::size_t>(i)].events);
+    }
+    drain_posted();
+  }
+  drain_posted();
+  loop_thread_.store(std::thread::id{}, std::memory_order_release);
+}
+
+Listener::Listener(EventLoop& loop, std::uint16_t port, AcceptFn on_accept)
+    : loop_(loop), on_accept_(std::move(on_accept)) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) throw_errno("socket");
+  const int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd_);
+    fd_ = -1;
+    throw_errno("bind");
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    ::close(fd_);
+    fd_ = -1;
+    throw_errno("getsockname");
+  }
+  port_ = ntohs(addr.sin_port);
+  if (::listen(fd_, SOMAXCONN) < 0) {
+    ::close(fd_);
+    fd_ = -1;
+    throw_errno("listen");
+  }
+  set_nonblocking(fd_);
+  loop_.add_fd(fd_, EPOLLIN, [this](std::uint32_t) { on_readable(); });
+}
+
+Listener::~Listener() {
+  if (fd_ >= 0) {
+    loop_.remove_fd(fd_);
+    ::close(fd_);
+  }
+}
+
+void Listener::on_readable() {
+  // Accept everything ready; level-triggered epoll would re-fire anyway, but
+  // draining here halves wakeups under connection bursts.
+  for (;;) {
+    const int client = ::accept4(fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (client < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
+      return;  // transient accept errors (ECONNABORTED, EMFILE) — drop and carry on
+    }
+    const int one = 1;
+    ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    on_accept_(client);
+  }
+}
+
+}  // namespace swc::serve

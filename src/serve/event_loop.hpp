@@ -1,0 +1,102 @@
+#pragma once
+// Nonblocking I/O core of the serve layer: a single-threaded epoll reactor
+// plus a TCP listener.
+//
+// Threading model. One thread calls run(); every fd callback, Connection
+// method, and SessionManager mutation happens on that thread, so none of
+// them needs locking. The only thread-safe entry points are stop() and
+// post(): engine worker threads hand frame completions back to the loop via
+// post(fn), which enqueues the closure and wakes the reactor through an
+// eventfd. Posted closures run between epoll dispatch batches — never
+// reentrantly inside another callback — which makes "destroy this
+// connection" safe to post from within that connection's own handler.
+//
+// Read-interest control is the backpressure primitive: set_events(fd, 0)
+// removes EPOLLIN, the kernel socket buffer fills, and the TCP window
+// closes against the peer. Level-triggered epoll keeps the resume path
+// trivial (re-adding EPOLLIN re-fires immediately while data is pending).
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace swc::serve {
+
+class EventLoop {
+ public:
+  // Receives the ready epoll event mask (EPOLLIN/EPOLLOUT/EPOLLHUP/...).
+  using IoCallback = std::function<void(std::uint32_t events)>;
+
+  EventLoop();
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  // fd registration — loop thread only (or before run() starts).
+  void add_fd(int fd, std::uint32_t events, IoCallback callback);
+  void set_events(int fd, std::uint32_t events);
+  void remove_fd(int fd);
+
+  // Dispatches until stop(). Runs posted closures between epoll batches.
+  void run();
+
+  // Thread-safe: request run() to return after the current batch.
+  void stop();
+
+  // Thread-safe: run `fn` on the loop thread between dispatch batches. If
+  // the loop never runs again the closure is dropped at destruction (the
+  // teardown path relies on exactly that: late engine completions enqueue
+  // harmlessly into a stopped loop).
+  void post(std::function<void()> fn);
+
+  [[nodiscard]] bool in_loop_thread() const noexcept {
+    return std::this_thread::get_id() == loop_thread_.load(std::memory_order_acquire);
+  }
+
+ private:
+  void drain_posted();
+  void wake();
+
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;  // eventfd: post()/stop() -> epoll_wait wakeup
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<std::thread::id> loop_thread_{};
+  // shared_ptr so a callback that removes its own fd (or another's) mid-batch
+  // cannot free the std::function currently executing.
+  std::unordered_map<int, std::shared_ptr<IoCallback>> handlers_;
+
+  std::mutex post_mutex_;
+  std::vector<std::function<void()>> posted_;
+};
+
+// Listening TCP socket on 127.0.0.1 (the serve layer is loopback/LAN
+// infrastructure behind a fronting proxy, mirroring the beng-proxy split).
+// Port 0 binds an ephemeral port; port() reports the actual one.
+class Listener {
+ public:
+  using AcceptFn = std::function<void(int fd)>;  // receives a nonblocking socket
+
+  Listener(EventLoop& loop, std::uint16_t port, AcceptFn on_accept);
+  ~Listener();
+
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+ private:
+  void on_readable();
+
+  EventLoop& loop_;
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+  AcceptFn on_accept_;
+};
+
+}  // namespace swc::serve

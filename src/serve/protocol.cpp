@@ -1,0 +1,299 @@
+#include "serve/protocol.hpp"
+
+#include <array>
+#include <cstring>
+
+namespace swc::serve {
+namespace {
+
+// Little-endian field helpers. memcpy keeps them alignment- and
+// strict-aliasing-safe; the byte order is fixed by shifting, not by the
+// host's layout.
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xff));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xff));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xff));
+}
+
+std::uint16_t get_u16(const std::uint8_t* p) noexcept {
+  return static_cast<std::uint16_t>(std::uint16_t{p[0]} | (std::uint16_t{p[1]} << 8));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) noexcept {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) noexcept {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+// Reflected CRC-32 (IEEE 802.3) lookup table, generated once.
+const std::array<std::uint32_t, 256>& crc_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc & 1u) != 0 ? (crc >> 1) ^ 0xEDB88320u : crc >> 1;
+      }
+      t[i] = crc;
+    }
+    return t;
+  }();
+  return table;
+}
+
+// Bounded little-endian reader over a payload span.
+struct Reader {
+  std::span<const std::uint8_t> data;
+  std::size_t pos = 0;
+
+  [[nodiscard]] bool has(std::size_t n) const noexcept { return data.size() - pos >= n; }
+  [[nodiscard]] std::uint8_t u8() noexcept { return data[pos++]; }
+  [[nodiscard]] std::uint16_t u16() noexcept {
+    const std::uint16_t v = get_u16(data.data() + pos);
+    pos += 2;
+    return v;
+  }
+  [[nodiscard]] std::uint32_t u32() noexcept {
+    const std::uint32_t v = get_u32(data.data() + pos);
+    pos += 4;
+    return v;
+  }
+  [[nodiscard]] std::uint64_t u64() noexcept {
+    const std::uint64_t v = get_u64(data.data() + pos);
+    pos += 8;
+    return v;
+  }
+};
+
+FrameHeader decode_header(const std::uint8_t* p) noexcept {
+  FrameHeader h;
+  h.version = p[4];
+  h.type = static_cast<MsgType>(p[5]);
+  h.flags = get_u16(p + 6);
+  h.stream_id = get_u32(p + 8);
+  h.seq = get_u64(p + 12);
+  h.payload_len = get_u32(p + 20);
+  h.payload_crc = get_u32(p + 24);
+  return h;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::uint8_t> data) noexcept {
+  const auto& table = crc_table();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (const std::uint8_t byte : data) crc = (crc >> 8) ^ table[(crc ^ byte) & 0xffu];
+  return crc ^ 0xFFFFFFFFu;
+}
+
+std::vector<std::uint8_t> encode_payload(const HelloPayload& p) {
+  std::vector<std::uint8_t> out;
+  out.reserve(1 + 4 * 4 + 2 + p.name.size());
+  out.push_back(static_cast<std::uint8_t>(p.qos));
+  put_u32(out, p.width);
+  put_u32(out, p.height);
+  put_u32(out, p.window);
+  put_u32(out, static_cast<std::uint32_t>(p.threshold));
+  put_u16(out, static_cast<std::uint16_t>(p.name.size()));
+  out.insert(out.end(), p.name.begin(), p.name.end());
+  return out;
+}
+
+std::vector<std::uint8_t> encode_payload(const FrameDonePayload& p) {
+  std::vector<std::uint8_t> out;
+  out.reserve(1 + 8 + 8);
+  out.push_back(static_cast<std::uint8_t>(p.status));
+  put_u64(out, p.latency_ns);
+  put_u64(out, p.payload_bits);
+  return out;
+}
+
+std::vector<std::uint8_t> encode_payload(const ErrorPayload& p) {
+  std::vector<std::uint8_t> out;
+  out.reserve(2 + 2 + p.message.size());
+  put_u16(out, static_cast<std::uint16_t>(p.code));
+  put_u16(out, static_cast<std::uint16_t>(p.message.size()));
+  out.insert(out.end(), p.message.begin(), p.message.end());
+  return out;
+}
+
+std::optional<HelloPayload> decode_hello(std::span<const std::uint8_t> payload) {
+  Reader r{payload};
+  if (!r.has(1 + 4 * 4 + 2)) return std::nullopt;
+  HelloPayload p;
+  const std::uint8_t qos = r.u8();
+  if (qos > static_cast<std::uint8_t>(QosTier::Bulk)) return std::nullopt;
+  p.qos = static_cast<QosTier>(qos);
+  p.width = r.u32();
+  p.height = r.u32();
+  p.window = r.u32();
+  p.threshold = static_cast<std::int32_t>(r.u32());
+  const std::uint16_t name_len = r.u16();
+  if (!r.has(name_len)) return std::nullopt;
+  p.name.assign(reinterpret_cast<const char*>(payload.data()) + r.pos, name_len);
+  return p;
+}
+
+std::optional<FrameDonePayload> decode_frame_done(std::span<const std::uint8_t> payload) {
+  Reader r{payload};
+  if (!r.has(1 + 8 + 8)) return std::nullopt;
+  FrameDonePayload p;
+  const std::uint8_t status = r.u8();
+  if (status > static_cast<std::uint8_t>(FrameStatus::BadFrame)) return std::nullopt;
+  p.status = static_cast<FrameStatus>(status);
+  p.latency_ns = r.u64();
+  p.payload_bits = r.u64();
+  return p;
+}
+
+std::optional<ErrorPayload> decode_error(std::span<const std::uint8_t> payload) {
+  Reader r{payload};
+  if (!r.has(2 + 2)) return std::nullopt;
+  ErrorPayload p;
+  p.code = static_cast<ErrorCode>(r.u16());
+  const std::uint16_t msg_len = r.u16();
+  if (!r.has(msg_len)) return std::nullopt;
+  p.message.assign(reinterpret_cast<const char*>(payload.data()) + r.pos, msg_len);
+  return p;
+}
+
+std::vector<std::uint8_t> encode_message(MsgType type, std::uint32_t stream_id, std::uint64_t seq,
+                                         std::span<const std::uint8_t> payload) {
+  std::vector<std::uint8_t> out;
+  out.reserve(kHeaderSize + payload.size());
+  put_u32(out, kMagic);
+  out.push_back(kProtocolVersion);
+  out.push_back(static_cast<std::uint8_t>(type));
+  put_u16(out, 0);  // flags
+  put_u32(out, stream_id);
+  put_u64(out, seq);
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  put_u32(out, crc32(payload));
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+void patch_seq(std::span<std::uint8_t> wire_frame, std::uint64_t seq) noexcept {
+  if (wire_frame.size() < kHeaderSize) return;
+  for (int i = 0; i < 8; ++i) {
+    wire_frame[12 + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>((seq >> (8 * i)) & 0xff);
+  }
+}
+
+FrameParser::Error FrameParser::validate_header(const FrameHeader& header) const noexcept {
+  if (header.version != kProtocolVersion) return Error::BadVersion;
+  if (header.type < MsgType::Hello || header.type > MsgType::Error) return Error::BadType;
+  if (header.flags != 0) return Error::BadFlags;
+  if (header.payload_len > limits_.max_payload) return Error::Oversized;
+  return Error::None;
+}
+
+void FrameParser::compact() {
+  // Reclaim the consumed prefix once it dominates the buffer, keeping feed()
+  // amortized O(bytes) instead of O(bytes²) for dribbled input.
+  if (consumed_ > 0 && (consumed_ >= buffer_.size() || consumed_ > 4096)) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+}
+
+bool FrameParser::feed(std::span<const std::uint8_t> data, const Sink& sink) {
+  if (error_ != Error::None) return false;
+  buffer_.insert(buffer_.end(), data.begin(), data.end());
+
+  while (buffer_.size() - consumed_ >= kHeaderSize) {
+    const std::uint8_t* base = buffer_.data() + consumed_;
+    if (get_u32(base) != kMagic) {
+      error_ = Error::BadMagic;
+      break;
+    }
+    const FrameHeader header = decode_header(base);
+    if (const Error err = validate_header(header); err != Error::None) {
+      error_ = err;
+      break;
+    }
+    const std::size_t total = kHeaderSize + header.payload_len;
+    if (buffer_.size() - consumed_ < total) break;  // wait for the payload
+    const std::span<const std::uint8_t> payload{base + kHeaderSize, header.payload_len};
+    if (crc32(payload) != header.payload_crc) {
+      error_ = Error::BadCrc;
+      break;
+    }
+    Message msg;
+    msg.header = header;
+    msg.payload.assign(payload.begin(), payload.end());
+    consumed_ += total;
+    ++messages_parsed_;
+    sink(std::move(msg));
+  }
+
+  if (error_ != Error::None) {
+    buffer_.clear();
+    consumed_ = 0;
+    return false;
+  }
+  compact();
+  return true;
+}
+
+const char* to_string(FrameParser::Error error) noexcept {
+  switch (error) {
+    case FrameParser::Error::None: return "none";
+    case FrameParser::Error::BadMagic: return "bad-magic";
+    case FrameParser::Error::BadVersion: return "bad-version";
+    case FrameParser::Error::BadType: return "bad-type";
+    case FrameParser::Error::BadFlags: return "bad-flags";
+    case FrameParser::Error::Oversized: return "oversized";
+    case FrameParser::Error::BadCrc: return "bad-crc";
+  }
+  return "?";
+}
+
+const char* to_string(MsgType type) noexcept {
+  switch (type) {
+    case MsgType::Hello: return "HELLO";
+    case MsgType::HelloAck: return "HELLO_ACK";
+    case MsgType::SubmitFrame: return "SUBMIT_FRAME";
+    case MsgType::FrameDone: return "FRAME_DONE";
+    case MsgType::Stats: return "STATS";
+    case MsgType::StatsReply: return "STATS_REPLY";
+    case MsgType::Goodbye: return "GOODBYE";
+    case MsgType::Error: return "ERROR";
+  }
+  return "?";
+}
+
+const char* to_string(FrameStatus status) noexcept {
+  switch (status) {
+    case FrameStatus::Ok: return "ok";
+    case FrameStatus::RejectedBusy: return "rejected-busy";
+    case FrameStatus::RejectedShutdown: return "rejected-shutdown";
+    case FrameStatus::BadFrame: return "bad-frame";
+  }
+  return "?";
+}
+
+const char* to_string(QosTier tier) noexcept {
+  switch (tier) {
+    case QosTier::Realtime: return "realtime";
+    case QosTier::Bulk: return "bulk";
+  }
+  return "?";
+}
+
+}  // namespace swc::serve

@@ -1,0 +1,38 @@
+#include "serve/server.hpp"
+
+namespace swc::serve {
+
+Server::Server(ServerOptions options)
+    : engine_(runtime::FrameServerOptions{options.workers, options.queue_capacity}),
+      sessions_(loop_, engine_, options.limits),
+      options_(options) {}
+
+Server::~Server() { stop(); }
+
+void Server::start() {
+  listener_ = std::make_unique<Listener>(
+      loop_, options_.port, [this](int fd) { sessions_.adopt_socket(fd); });
+  port_ = listener_->port();
+  thread_ = std::thread([this] { loop_.run(); });
+}
+
+void Server::stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  if (thread_.joinable()) {
+    // close_all runs in the loop's final drain; the loop then exits and the
+    // on_connection_closed notices it posted are dropped (sessions are torn
+    // down wholesale by ~SessionManager instead).
+    loop_.post([this] { sessions_.close_all("server-shutdown"); });
+    loop_.stop();
+    thread_.join();
+  }
+  listener_.reset();  // single-threaded now; removing the fd is safe
+  // Drain in-flight engine work while sessions_ and loop_ are still alive:
+  // completion callbacks dereference the session manager to post into the
+  // loop, and those posts must land in memory that still exists (they are
+  // then dropped by the stopped loop, never run).
+  engine_.wait_idle();
+}
+
+}  // namespace swc::serve

@@ -1,0 +1,149 @@
+#pragma once
+// Session layer: per-connection stream state, admission control, and the
+// end-to-end backpressure wiring between the socket and the engine.
+//
+// One connection is one session is one FrameServer stream. Admission is
+// enforced at HELLO (max_sessions), then per-frame by QoS tier:
+//
+//   tier      engine submit policy      overload behavior
+//   --------  ------------------------  ---------------------------------
+//   realtime  SubmitPolicy::Reject      FRAME_DONE{rejected-busy} on the
+//                                       wire — fail fast, never queue
+//   bulk      blocking backpressure     frame parked (bounded by what one
+//             realized as a connection  read chunk can carry), EPOLLIN
+//             read pause                dropped -> TCP throttles the peer
+//
+// The bulk path is SubmitPolicy::Block semantics moved off-thread: instead
+// of blocking the reactor on the engine's bounded queue, the session parks
+// the frame, pauses the socket, and retries on the next engine completion
+// (a full queue guarantees completions are coming). Every buffer on the
+// path — parser, parked frames, write queue, engine queue — is bounded, so
+// a slow engine surfaces as a closed TCP window at the client, never as
+// server memory growth.
+//
+// Everything here runs on the EventLoop thread; engine completions arrive
+// via loop.post() from worker threads. The metrics snapshot is mutex-
+// guarded only because Server::stats() reads it from outside the loop.
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/frame_server.hpp"
+#include "serve/connection.hpp"
+#include "serve/event_loop.hpp"
+#include "serve/protocol.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace swc::serve {
+
+// Admission-control and buffering limits of one server instance.
+struct ServeLimits {
+  std::size_t max_sessions = 512;
+  std::size_t realtime_max_inflight = 4;  // per-session in-flight cap (Reject tier)
+  std::size_t bulk_max_inflight = 8;      // per-session in-flight cap (Block tier)
+  std::size_t max_payload = kDefaultMaxPayload;
+  std::size_t write_buffer_cap = std::size_t{4} << 20;  // per-connection outbound bound
+};
+
+// Process-global serve.* metric names (same idiom as core::EngineMetricIds).
+struct ServeMetricIds {
+  telemetry::MetricId sessions_opened;            // counter
+  telemetry::MetricId sessions_closed;            // counter
+  telemetry::MetricId sessions_rejected;          // counter: admission refusals
+  telemetry::MetricId frames_accepted;            // counter
+  telemetry::MetricId frames_completed;           // counter
+  telemetry::MetricId frames_rejected_busy;       // counter: realtime wire rejections
+  telemetry::MetricId frames_rejected_shutdown;   // counter
+  telemetry::MetricId frames_bad;                 // counter: geometry-mismatched payloads
+  telemetry::MetricId frames_orphaned;            // counter: completion after disconnect
+  telemetry::MetricId read_pauses;                // counter: pause transitions
+  telemetry::MetricId parked_frames;              // gauge: worst per-session parked depth
+  telemetry::MetricId frame_latency;              // histogram: submit->complete ns
+
+  [[nodiscard]] static const ServeMetricIds& get();
+};
+
+class SessionManager : public Connection::Handler {
+ public:
+  SessionManager(EventLoop& loop, runtime::FrameServer& engine, ServeLimits limits);
+
+  // Takes ownership of a freshly accepted nonblocking socket (loop thread).
+  void adopt_socket(int fd);
+
+  // Abruptly close every connection (loop thread; used at server shutdown).
+  void close_all(const char* reason);
+
+  // Connection::Handler
+  void on_message(Connection& conn, Message&& msg) override;
+  void on_connection_closed(std::uint64_t conn_id, const char* reason) override;
+
+  // Sessions past HELLO admission. Thread-safe (atomic).
+  [[nodiscard]] std::size_t active_sessions() const noexcept {
+    return active_sessions_.load(std::memory_order_acquire);
+  }
+
+  // Copy of the serve.* metrics. Thread-safe.
+  [[nodiscard]] telemetry::Snapshot metrics() const;
+
+ private:
+  enum class State : std::uint8_t { AwaitingHello, Active };
+
+  struct ParkedFrame {
+    std::uint64_t seq = 0;
+    image::ImageU8 frame;
+  };
+
+  struct Session {
+    std::unique_ptr<Connection> conn;
+    State state = State::AwaitingHello;
+    QosTier qos = QosTier::Bulk;
+    std::uint32_t stream_id = 0;
+    std::uint32_t width = 0;
+    std::uint32_t height = 0;
+    std::size_t max_inflight = 0;
+    std::size_t inflight = 0;  // accepted into the engine, completion pending
+    // Bulk frames awaiting queue space. Bounded in bytes by construction:
+    // reads pause the moment one frame parks, so the deque never holds more
+    // than the already-consumed read chunk's worth of frames.
+    std::deque<ParkedFrame> parked;
+    bool paused_by_backpressure = false;
+    bool goodbye = false;  // drain in-flight + parked, then close
+  };
+
+  void handle_hello(Session& session, const Message& msg);
+  void handle_submit(Session& session, Message&& msg);
+  void handle_stats(Session& session, const Message& msg);
+  void handle_goodbye(Session& session);
+  void protocol_error(Session& session, ErrorCode code, const std::string& text);
+
+  // Submit one frame into the engine; sends the wire-level rejection itself
+  // when the engine refuses and the tier fails fast. Returns false when the
+  // frame must be parked (bulk tier, queue full).
+  bool dispatch_frame(Session& session, std::uint64_t seq, image::ImageU8 frame);
+  void drain_parked();
+  void update_backpressure(Session& session);
+  void maybe_finish_goodbye(Session& session);
+  void on_engine_done(std::uint64_t conn_id, runtime::FrameResult result);
+  void send_message(Session& session, MsgType type, std::uint64_t seq,
+                    std::span<const std::uint8_t> payload);
+  void count(telemetry::MetricId id, std::uint64_t delta = 1);
+
+  EventLoop& loop_;
+  runtime::FrameServer& engine_;
+  const ServeLimits limits_;
+
+  std::uint64_t next_conn_id_ = 1;
+  std::unordered_map<std::uint64_t, Session> sessions_;
+  std::vector<std::uint64_t> parked_sessions_;  // retry order for bulk frames
+  std::atomic<std::size_t> active_sessions_{0};
+
+  mutable std::mutex metrics_mutex_;
+  telemetry::Snapshot metrics_;
+};
+
+}  // namespace swc::serve

@@ -1,0 +1,51 @@
+// Standalone parser harness (beng-proxy run_* idiom): feed bytes from stdin
+// (or a file argument) through FrameParser in small chunks and dump every
+// message it emits plus the final parser verdict. Doubles as a manual fuzz
+// driver:
+//
+//   $ head -c 64k /dev/urandom | run_frame_protocol
+//   $ run_serve --record wire.bin ... && run_frame_protocol wire.bin
+//
+// Exit code 0 whenever the parser terminates without crashing — garbage in
+// is the expected diet here; only I/O failures are errors.
+
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "serve/protocol.hpp"
+
+int main(int argc, char** argv) {
+  using swc::serve::FrameParser;
+  using swc::serve::Message;
+
+  std::FILE* in = stdin;
+  if (argc > 1) {
+    in = std::fopen(argv[1], "rb");
+    if (in == nullptr) {
+      std::fprintf(stderr, "run_frame_protocol: cannot open %s\n", argv[1]);
+      return 1;
+    }
+  }
+
+  FrameParser parser;
+  std::vector<std::uint8_t> chunk(4096);
+  std::size_t total_bytes = 0;
+  bool poisoned = false;
+
+  while (!poisoned) {
+    const std::size_t n = std::fread(chunk.data(), 1, chunk.size(), in);
+    if (n == 0) break;
+    total_bytes += n;
+    poisoned = !parser.feed({chunk.data(), n}, [](Message&& msg) {
+      std::printf("msg type=%-12s stream=%u seq=%llu payload=%zu bytes\n",
+                  to_string(msg.header.type), msg.header.stream_id,
+                  static_cast<unsigned long long>(msg.header.seq), msg.payload.size());
+    });
+  }
+  if (in != stdin) std::fclose(in);
+
+  std::printf("-- %zu bytes in, %zu messages, %zu buffered, parser=%s\n", total_bytes,
+              parser.messages_parsed(), parser.buffered_bytes(), to_string(parser.error()));
+  return 0;
+}

@@ -1,0 +1,80 @@
+// The serve daemon harness: bind, print the port, compress frames for
+// anyone who connects until SIGINT/SIGTERM, then print the serve-layer
+// telemetry on the way out.
+//
+//   $ run_serve --port 7033 --workers 8 &
+//   $ serve_soak    # or any SyncClient / loadgen
+//
+// Loopback-only by design (the fronting proxy owns the public edge).
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "serve/server.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace {
+
+long arg_value(int argc, char** argv, const char* name, long fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return std::atol(argv[i + 1]);
+  }
+  return fallback;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using swc::serve::Server;
+  using swc::serve::ServerOptions;
+
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0) {
+      std::printf(
+          "usage: run_serve [--port N] [--workers N] [--queue N] [--max-sessions N]\n"
+          "                 [--realtime-inflight N] [--bulk-inflight N]\n");
+      return 0;
+    }
+  }
+
+  ServerOptions options;
+  options.port = static_cast<std::uint16_t>(arg_value(argc, argv, "--port", 0));
+  options.workers = static_cast<std::size_t>(arg_value(argc, argv, "--workers", 4));
+  options.queue_capacity = static_cast<std::size_t>(arg_value(argc, argv, "--queue", 64));
+  options.limits.max_sessions =
+      static_cast<std::size_t>(arg_value(argc, argv, "--max-sessions", 512));
+  options.limits.realtime_max_inflight =
+      static_cast<std::size_t>(arg_value(argc, argv, "--realtime-inflight", 4));
+  options.limits.bulk_max_inflight =
+      static_cast<std::size_t>(arg_value(argc, argv, "--bulk-inflight", 8));
+
+  // Block the shutdown signals before any thread spawns so they are only
+  // ever delivered to the sigwait below.
+  sigset_t set;
+  sigemptyset(&set);
+  sigaddset(&set, SIGINT);
+  sigaddset(&set, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &set, nullptr);
+
+  Server server(options);
+  try {
+    server.start();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "run_serve: %s\n", e.what());
+    return 1;
+  }
+  std::printf("run_serve: listening on 127.0.0.1:%u (%zu workers, queue %zu)\n", server.port(),
+              options.workers, options.queue_capacity);
+  std::fflush(stdout);
+
+  int sig = 0;
+  sigwait(&set, &sig);
+  std::printf("run_serve: caught %s, shutting down\n", sig == SIGINT ? "SIGINT" : "SIGTERM");
+
+  server.stop();
+  std::printf("%s\n", swc::telemetry::to_json(server.serve_metrics()).c_str());
+  return 0;
+}

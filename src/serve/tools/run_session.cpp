@@ -1,0 +1,71 @@
+// In-process walkthrough of one serve session: starts a Server on an
+// ephemeral port, connects a SyncClient over loopback, and narrates the
+// whole conversation — HELLO/HELLO_ACK, a handful of frames with their
+// FRAME_DONE latencies, a STATS round trip, GOODBYE. The printable, single-
+// screen version of what the e2e tests assert; exits nonzero on any
+// deviation.
+
+#include <cstdio>
+#include <stdexcept>
+#include <vector>
+
+#include "serve/client/sync_client.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+
+int main() {
+  using namespace swc::serve;
+
+  try {
+    Server server({.port = 0, .workers = 2, .queue_capacity = 16, .limits = {}});
+    server.start();
+    std::printf("server on 127.0.0.1:%u\n", server.port());
+
+    client::SyncClient conn({.host = "127.0.0.1", .port = server.port()});
+    HelloPayload hello;
+    hello.qos = QosTier::Bulk;
+    hello.width = 64;
+    hello.height = 64;
+    hello.window = 8;
+    hello.threshold = 2;
+    hello.name = "run_session";
+    const std::uint32_t stream = conn.hello(hello);
+    std::printf("HELLO        -> HELLO_ACK stream=%u (qos=%s)\n", stream, to_string(hello.qos));
+
+    std::vector<std::uint8_t> pixels(64 * 64);
+    for (std::size_t i = 0; i < pixels.size(); ++i) {
+      pixels[i] = static_cast<std::uint8_t>((i * 7 + i / 64) & 0xFF);
+    }
+    for (std::uint64_t seq = 1; seq <= 4; ++seq) {
+      conn.send_frame(seq, pixels);
+      const auto reply = conn.read_message();
+      if (!reply || reply->header.type != MsgType::FrameDone) {
+        throw std::runtime_error("expected FRAME_DONE");
+      }
+      const auto done = decode_frame_done(reply->payload);
+      if (!done) throw std::runtime_error("malformed FRAME_DONE");
+      std::printf("SUBMIT seq=%llu -> FRAME_DONE %s latency=%.2fms bits=%llu\n",
+                  static_cast<unsigned long long>(seq), to_string(done->status),
+                  static_cast<double>(done->latency_ns) / 1e6,
+                  static_cast<unsigned long long>(done->payload_bits));
+    }
+
+    conn.send_stats(99);
+    const auto stats = conn.read_message();
+    if (!stats || stats->header.type != MsgType::StatsReply) {
+      throw std::runtime_error("expected STATS_REPLY");
+    }
+    std::printf("STATS        -> STATS_REPLY (%zu bytes of telemetry JSON)\n",
+                stats->payload.size());
+
+    conn.send_goodbye();
+    while (conn.read_message()) {
+    }
+    std::printf("GOODBYE      -> connection drained and closed by server\n");
+    server.stop();
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "run_session: %s\n", e.what());
+    return 1;
+  }
+}

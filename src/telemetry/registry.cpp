@@ -91,9 +91,44 @@ const char* kind_name(MetricKind kind) {
       return "gauge";
     case MetricKind::Timer:
       return "timer";
+    case MetricKind::Histogram:
+      return "histogram";
   }
   return "?";
 }
+
+// Global histogram aggregate: one on-demand atomic bucket array per metric,
+// flat-indexed by MetricId. Histogram metrics are few (latency metrics), so
+// a modest flat table suffices; ids beyond it fold only their summary cell.
+constexpr std::size_t kMaxGlobalHistograms = 512;
+
+struct AtomicHistogram {
+  std::array<std::atomic<std::uint64_t>, kHistogramSlots> buckets{};
+};
+
+struct GlobalHistTable {
+  std::array<std::atomic<AtomicHistogram*>, kMaxGlobalHistograms> slots{};
+  std::mutex grow_mutex;
+
+  static GlobalHistTable& instance() {
+    static GlobalHistTable table;
+    return table;
+  }
+
+  AtomicHistogram* cell(MetricId id, bool create) {
+    if (id >= kMaxGlobalHistograms) return nullptr;
+    AtomicHistogram* hist = slots[id].load(std::memory_order_acquire);
+    if (hist == nullptr && create) {
+      std::lock_guard lock(grow_mutex);
+      hist = slots[id].load(std::memory_order_acquire);
+      if (hist == nullptr) {
+        hist = new AtomicHistogram;  // intentionally immortal
+        slots[id].store(hist, std::memory_order_release);
+      }
+    }
+    return hist;
+  }
+};
 
 }  // namespace
 
@@ -137,6 +172,15 @@ void Registry::flush(const Snapshot& snapshot) noexcept {
     cell->sum.fetch_add(c->sum, std::memory_order_relaxed);
     atomic_note_min(cell->min, c->min);
     atomic_note_max(cell->max, c->max);
+    // Bucketed histogram state folds beside the summary (lock-free after the
+    // one-time slot allocation).
+    const HistogramCell* h = snapshot.histogram(id);
+    if (h == nullptr || h->count() == 0) continue;
+    AtomicHistogram* hist = GlobalHistTable::instance().cell(id, /*create=*/true);
+    if (hist == nullptr) continue;  // beyond the flat table; summary-only
+    for (std::size_t i = 0; i < kHistogramSlots; ++i) {
+      if (h->buckets[i] != 0) hist->buckets[i].fetch_add(h->buckets[i], std::memory_order_relaxed);
+    }
   }
 }
 
@@ -155,6 +199,15 @@ Snapshot Registry::global_snapshot() {
     c.min = cell->min.load(std::memory_order_relaxed);
     c.max = cell->max.load(std::memory_order_relaxed);
     snap.merge_cell(id, c);
+    AtomicHistogram* hist = GlobalHistTable::instance().cell(id, /*create=*/false);
+    if (hist != nullptr) {
+      HistogramCell h;
+      h.summary = c;
+      for (std::size_t i = 0; i < kHistogramSlots; ++i) {
+        h.buckets[i] = hist->buckets[i].load(std::memory_order_relaxed);
+      }
+      if (h.count() != 0) snap.merge_histogram(id, h);
+    }
   }
   return snap;
 }
@@ -171,6 +224,12 @@ void Registry::reset_global() noexcept {
       base[i].max.store(0, std::memory_order_relaxed);
     }
   }
+  GlobalHistTable& hists = GlobalHistTable::instance();
+  for (std::size_t id = 0; id < kMaxGlobalHistograms; ++id) {
+    AtomicHistogram* hist = hists.slots[id].load(std::memory_order_acquire);
+    if (hist == nullptr) continue;
+    for (auto& bucket : hist->buckets) bucket.store(0, std::memory_order_relaxed);
+  }
 }
 
 std::uint64_t Snapshot::value(MetricId id) const noexcept {
@@ -185,9 +244,52 @@ void Snapshot::merge(const Snapshot& other) {
     if (c.count == 0) continue;
     cell(id).merge(c);
   }
+  for (const auto& [id, h] : other.hists_) {
+    if (h.count() != 0) hist_cell(id).merge(h);
+  }
 }
 
 void Snapshot::merge_cell(MetricId id, const MetricCell& c) { cell(id).merge(c); }
+
+void Snapshot::merge_histogram(MetricId id, const HistogramCell& c) { hist_cell(id).merge(c); }
+
+HistogramCell& Snapshot::hist_cell(MetricId id) {
+  for (auto& [hid, cell] : hists_) {
+    if (hid == id) return cell;
+  }
+  hists_.emplace_back(id, HistogramCell{});
+  return hists_.back().second;
+}
+
+double HistogramCell::percentile(double q) const noexcept {
+  if (summary.count == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double target = q * static_cast<double>(summary.count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t slot = 0; slot < kHistogramSlots; ++slot) {
+    if (buckets[slot] == 0) continue;
+    const std::uint64_t next = cumulative + buckets[slot];
+    if (static_cast<double>(next) >= target) {
+      const auto lower = static_cast<double>(histogram_slot_lower(slot));
+      const double upper = slot + 1 < kHistogramSlots
+                               ? static_cast<double>(histogram_slot_lower(slot + 1))
+                               : static_cast<double>(summary.max);
+      const double inside =
+          (target - static_cast<double>(cumulative)) / static_cast<double>(buckets[slot]);
+      double value = lower + inside * (upper - lower);
+      // Clamp to the observed range: bucket bounds are coarser than the data.
+      if (summary.min != std::numeric_limits<std::uint64_t>::max() &&
+          value < static_cast<double>(summary.min)) {
+        value = static_cast<double>(summary.min);
+      }
+      if (value > static_cast<double>(summary.max)) value = static_cast<double>(summary.max);
+      return value;
+    }
+    cumulative = next;
+  }
+  return static_cast<double>(summary.max);
+}
 
 std::string to_json(const Snapshot& snapshot, int indent) {
   const std::string pad(static_cast<std::size_t>(indent < 0 ? 0 : indent), ' ');
@@ -205,7 +307,13 @@ std::string to_json(const Snapshot& snapshot, int indent) {
            ", \"min\": " + std::to_string(c->min == std::numeric_limits<std::uint64_t>::max()
                                               ? 0
                                               : c->min) +
-           ", \"max\": " + std::to_string(c->max) + "}";
+           ", \"max\": " + std::to_string(c->max);
+    if (const HistogramCell* h = snapshot.histogram(id); h != nullptr && h->count() != 0) {
+      out += ", \"p50\": " + std::to_string(h->percentile(0.50)) +
+             ", \"p95\": " + std::to_string(h->percentile(0.95)) +
+             ", \"p99\": " + std::to_string(h->percentile(0.99));
+    }
+    out += "}";
   }
   out += "\n" + pad + "}\n}\n";
   return out;

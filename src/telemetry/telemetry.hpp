@@ -33,6 +33,7 @@
 
 #include <array>
 #include <atomic>
+#include <bit>
 #include <cstdint>
 #include <limits>
 #include <string>
@@ -51,9 +52,10 @@ inline constexpr bool kSpansEnabled = true;
 #endif
 
 enum class MetricKind : std::uint8_t {
-  Counter,  // monotonic event/quantity accumulator (sum is the value)
-  Gauge,    // high-water mark (max is the value)
-  Timer,    // duration distribution: count / sum / min / max nanoseconds
+  Counter,    // monotonic event/quantity accumulator (sum is the value)
+  Gauge,      // high-water mark (max is the value)
+  Timer,      // duration distribution: count / sum / min / max nanoseconds
+  Histogram,  // Timer plus fixed log-spaced buckets for percentile extraction
 };
 
 struct MetricInfo {
@@ -79,6 +81,66 @@ struct MetricCell {
     if (other.min < min) min = other.min;
     if (other.max > max) max = other.max;
   }
+};
+
+// ---------------------------------------------------------------------------
+// Fixed-bucket latency histogram. Buckets are HDR-style: values below
+// 2^kHistogramSubBits land in exact unit buckets, larger values share one
+// bucket per (octave, top-kHistogramSubBits-mantissa-bits) pair, so relative
+// resolution is bounded by 2^-kHistogramSubBits (~12.5%) across the whole
+// uint64 range while the bucket array stays a fixed ~4 KB. That bound is the
+// percentile error: p50/p95/p99 extraction interpolates inside one bucket.
+
+inline constexpr unsigned kHistogramSubBits = 3;  // 8 sub-buckets per octave
+inline constexpr std::size_t kHistogramSlots =
+    ((64 - kHistogramSubBits) << kHistogramSubBits) + (1u << kHistogramSubBits);
+
+// Bucket index for a sample; monotonic in v.
+[[nodiscard]] constexpr std::size_t histogram_slot(std::uint64_t v) noexcept {
+  constexpr std::uint64_t sub = std::uint64_t{1} << kHistogramSubBits;
+  if (v < sub) return static_cast<std::size_t>(v);
+  const unsigned octave = 63u - static_cast<unsigned>(std::countl_zero(v));
+  const unsigned shift = octave - kHistogramSubBits;
+  const auto mantissa = static_cast<std::size_t>((v >> shift) & (sub - 1));
+  return ((static_cast<std::size_t>(octave) - kHistogramSubBits + 1) << kHistogramSubBits) +
+         mantissa;
+}
+
+// Smallest sample value mapping to `slot` (inverse of histogram_slot).
+[[nodiscard]] constexpr std::uint64_t histogram_slot_lower(std::size_t slot) noexcept {
+  constexpr std::size_t sub = std::size_t{1} << kHistogramSubBits;
+  if (slot < sub) return slot;
+  const std::size_t octave = (slot >> kHistogramSubBits) + kHistogramSubBits - 1;
+  const std::uint64_t base = std::uint64_t{1} << octave;
+  const std::uint64_t step = base >> kHistogramSubBits;
+  return base + static_cast<std::uint64_t>(slot & (sub - 1)) * step;
+}
+
+// One histogram's accumulated state: the usual summary cell plus the bucket
+// counts. POD-ish so snapshots copy and merge with memcpy-grade cost.
+struct HistogramCell {
+  MetricCell summary;
+  std::array<std::uint64_t, kHistogramSlots> buckets{};
+
+  void note(std::uint64_t v) noexcept {
+    ++summary.count;
+    summary.sum += v;
+    if (v < summary.min) summary.min = v;
+    if (v > summary.max) summary.max = v;
+    ++buckets[histogram_slot(v)];
+  }
+
+  void merge(const HistogramCell& other) noexcept {
+    summary.merge(other.summary);
+    for (std::size_t i = 0; i < kHistogramSlots; ++i) buckets[i] += other.buckets[i];
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return summary.count; }
+
+  // Value at quantile q in [0, 1], linearly interpolated inside the bucket
+  // holding the target rank and clamped to the observed [min, max]. Returns
+  // 0 for an empty histogram.
+  [[nodiscard]] double percentile(double q) const noexcept;
 };
 
 // Value-type metric store indexed by MetricId. Grows on demand; never
@@ -107,6 +169,13 @@ class Snapshot {
     if (value < c.min) c.min = value;
     if (value > c.max) c.max = value;
   }
+  // Histogram sample: records into the plain cell (so sum/min/max/value()
+  // behave exactly like a timer) and into the bucketed histogram for
+  // percentile extraction.
+  void note_hist(MetricId id, std::uint64_t value) {
+    note(id, value);
+    hist_cell(id).note(value);
+  }
 
   [[nodiscard]] const MetricCell* find(MetricId id) const noexcept {
     return id < cells_.size() ? &cells_[id] : nullptr;
@@ -127,10 +196,28 @@ class Snapshot {
     return c == nullptr || c->count == 0 ? 0 : c->max;
   }
 
+  // Bucketed histogram for a metric recorded via note_hist; nullptr when the
+  // metric never saw a histogram sample in this snapshot.
+  [[nodiscard]] const HistogramCell* histogram(MetricId id) const noexcept {
+    for (const auto& [hid, cell] : hists_) {
+      if (hid == id) return &cell;
+    }
+    return nullptr;
+  }
+  // Quantile of a histogram metric (0 when absent/empty). q in [0, 1].
+  [[nodiscard]] double percentile(MetricId id, double q) const noexcept {
+    const HistogramCell* h = histogram(id);
+    return h == nullptr ? 0.0 : h->percentile(q);
+  }
+
   void merge(const Snapshot& other);
   // Fold one externally built cell (used by the global-aggregate reader).
   void merge_cell(MetricId id, const MetricCell& c);
-  void clear() noexcept { cells_.clear(); }
+  void merge_histogram(MetricId id, const HistogramCell& c);
+  void clear() noexcept {
+    cells_.clear();
+    hists_.clear();
+  }
   [[nodiscard]] std::size_t capacity() const noexcept { return cells_.size(); }
 
  private:
@@ -138,8 +225,12 @@ class Snapshot {
     if (id >= cells_.size()) cells_.resize(id + 1);
     return cells_[id];
   }
+  HistogramCell& hist_cell(MetricId id);
 
   std::vector<MetricCell> cells_;
+  // Sparse: histograms are few (latency metrics) but large (~4 KB each), so
+  // they live beside the dense cell vector keyed explicitly.
+  std::vector<std::pair<MetricId, HistogramCell>> hists_;
 };
 
 // One trace event from a Span, as read back out of the per-thread rings.
@@ -221,7 +312,8 @@ class Span {
 #endif  // SWC_TELEMETRY_OFF
 
 // JSON object for a snapshot: {"metrics": {name: {kind, unit, count, sum,
-// min, max}, ...}}. Only metrics with recorded data are emitted.
+// min, max}, ...}}. Only metrics with recorded data are emitted; histogram
+// metrics additionally carry "p50"/"p95"/"p99" extracted from their buckets.
 [[nodiscard]] std::string to_json(const Snapshot& snapshot, int indent = 2);
 
 }  // namespace swc::telemetry

@@ -61,6 +61,52 @@ TEST(BoundedQueue, CloseDrainsThenReturnsNullopt) {
   EXPECT_FALSE(q.pop().has_value());
 }
 
+TEST(BoundedQueue, CloseWithBlockedProducerFailsThePush) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.push(1));
+  std::atomic<bool> push_result{true};
+  std::thread producer([&] {
+    int item = 2;
+    push_result = q.push(std::move(item));  // blocks on the full queue
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.close();  // wakes the parked producer, which must observe failure
+  producer.join();
+  EXPECT_FALSE(push_result.load());
+  // The item from before close still drains; the blocked one never entered.
+  EXPECT_EQ(q.pop().value(), 1);
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(BoundedQueue, PopAfterShutdownDrainsBacklogThenReportsClosed) {
+  BoundedQueue<int> q(4);
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(q.push(i));
+  q.close();
+  for (int i = 0; i < 3; ++i) {
+    const auto item = q.pop();
+    ASSERT_TRUE(item.has_value());
+    EXPECT_EQ(*item, i);  // FIFO preserved across close
+  }
+  // Every further pop — including repeated ones — reports closed-and-empty.
+  EXPECT_FALSE(q.pop().has_value());
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(BoundedQueue, TryPushOutcomeDistinguishesFullFromClosed) {
+  BoundedQueue<int> q(1);
+  int item = 1;
+  EXPECT_EQ(q.try_push_outcome(item), PushOutcome::Ok);
+  int rejected = 2;
+  EXPECT_EQ(q.try_push_outcome(rejected), PushOutcome::Full);
+  EXPECT_EQ(rejected, 2);  // rejected item left intact for the caller
+  q.close();
+  int after_close = 3;
+  EXPECT_EQ(q.try_push_outcome(after_close), PushOutcome::Closed);
+  // A full-but-closed queue reports Closed, not Full: retrying is hopeless
+  // and the caller must not wait for space that will never come.
+  EXPECT_EQ(q.pop().value(), 1);
+}
+
 TEST(BoundedQueue, RecordsHighWaterMark) {
   BoundedQueue<int> q(8);
   for (int i = 0; i < 5; ++i) ASSERT_TRUE(q.push(i));

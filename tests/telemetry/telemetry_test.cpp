@@ -223,5 +223,122 @@ TEST(TelemetryJson, EmitsOnlyPopulatedMetricsWithKindAndUnit) {
   EXPECT_EQ(json.find("test.json.unused"), std::string::npos);
 }
 
+TEST(TelemetryHistogram, SlotMappingIsMonotoneAndInvertible) {
+  // Exact unit buckets below 2^kHistogramSubBits, then log-spaced.
+  for (std::uint64_t v = 0; v < (1u << kHistogramSubBits); ++v) {
+    EXPECT_EQ(histogram_slot(v), v);
+  }
+  std::size_t prev = 0;
+  for (std::uint64_t v = 1; v < (std::uint64_t{1} << 40); v = v * 3 + 1) {
+    const std::size_t slot = histogram_slot(v);
+    EXPECT_GE(slot, prev) << "slot mapping must be monotone at v=" << v;
+    EXPECT_LT(slot, kHistogramSlots);
+    // The slot's lower bound is the smallest value mapping to it.
+    EXPECT_LE(histogram_slot_lower(slot), v);
+    EXPECT_EQ(histogram_slot(histogram_slot_lower(slot)), slot);
+    prev = slot;
+  }
+  // Relative bucket width stays within 2^-kHistogramSubBits.
+  const std::size_t slot = histogram_slot(1'000'000);
+  const auto lower = histogram_slot_lower(slot);
+  const auto upper = histogram_slot_lower(slot + 1);
+  EXPECT_LE(static_cast<double>(upper - lower) / static_cast<double>(lower), 0.1251);
+}
+
+TEST(TelemetryHistogram, PercentilesTrackAUniformDistribution) {
+  HistogramCell cell;
+  for (std::uint64_t v = 1; v <= 10'000; ++v) cell.note(v);
+  EXPECT_EQ(cell.count(), 10'000u);
+  // ~12.5% bucket resolution: allow a generous envelope around the truth.
+  EXPECT_NEAR(cell.percentile(0.50), 5'000.0, 5'000.0 * 0.15);
+  EXPECT_NEAR(cell.percentile(0.95), 9'500.0, 9'500.0 * 0.15);
+  EXPECT_NEAR(cell.percentile(0.99), 9'900.0, 9'900.0 * 0.15);
+  // Percentiles are clamped to the observed range.
+  EXPECT_GE(cell.percentile(0.0), 1.0);
+  EXPECT_LE(cell.percentile(1.0), 10'000.0);
+  EXPECT_EQ(HistogramCell{}.percentile(0.5), 0.0);  // empty: defined zero
+}
+
+TEST(TelemetryHistogram, MergeMatchesCombinedRecording) {
+  HistogramCell a;
+  HistogramCell b;
+  HistogramCell combined;
+  std::uint64_t rng = 12345;
+  for (int i = 0; i < 4'000; ++i) {
+    rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+    const std::uint64_t v = (rng >> 33) % 1'000'000;
+    ((i % 2 == 0) ? a : b).note(v);
+    combined.note(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_EQ(a.summary.min, combined.summary.min);
+  EXPECT_EQ(a.summary.max, combined.summary.max);
+  EXPECT_EQ(a.percentile(0.95), combined.percentile(0.95));
+}
+
+TEST(TelemetryHistogram, SnapshotNoteHistFeedsSummaryAndPercentiles) {
+  const MetricId lat = Registry::metric("test.hist.latency", MetricKind::Histogram, "ns");
+  Snapshot snap;
+  for (std::uint64_t v = 100; v <= 100'000; v += 100) snap.note_hist(lat, v);
+  // The plain cell sees every sample (timer semantics)...
+  EXPECT_EQ(snap.count(lat), 1'000u);
+  EXPECT_EQ(snap.max(lat), 100'000u);
+  // ...and the bucketed histogram supports percentile extraction.
+  ASSERT_NE(snap.histogram(lat), nullptr);
+  EXPECT_EQ(snap.histogram(lat)->summary.min, 100u);
+  EXPECT_NEAR(snap.percentile(lat, 0.5), 50'000.0, 50'000.0 * 0.15);
+  EXPECT_EQ(snap.percentile(lat, 0.5), snap.histogram(lat)->percentile(0.5));
+  // Metrics without histogram samples report 0, not garbage.
+  const MetricId plain = Registry::metric("test.hist.none", MetricKind::Counter);
+  snap.add(plain, 5);
+  EXPECT_EQ(snap.histogram(plain), nullptr);
+  EXPECT_EQ(snap.percentile(plain, 0.5), 0.0);
+}
+
+TEST(TelemetryHistogram, SnapshotMergeCombinesHistograms) {
+  const MetricId lat = Registry::metric("test.hist.merge", MetricKind::Histogram, "ns");
+  Snapshot a;
+  Snapshot b;
+  for (std::uint64_t v = 1; v <= 100; ++v) a.note_hist(lat, v);
+  for (std::uint64_t v = 10'001; v <= 10'100; ++v) b.note_hist(lat, v);
+  a.merge(b);
+  ASSERT_NE(a.histogram(lat), nullptr);
+  EXPECT_EQ(a.histogram(lat)->count(), 200u);
+  EXPECT_LE(a.percentile(lat, 0.25), 200.0);
+  EXPECT_GE(a.percentile(lat, 0.75), 9'000.0);
+}
+
+TEST(TelemetryHistogram, GlobalFlushRoundTripsBuckets) {
+  const MetricId lat = Registry::metric("test.hist.global", MetricKind::Histogram, "ns");
+  Registry::reset_global();
+
+  Snapshot run;
+  for (std::uint64_t v = 1; v <= 1'000; ++v) run.note_hist(lat, v * 10);
+  Registry::flush(run);
+  Registry::flush(run);  // second run doubles every bucket
+
+  const Snapshot global = Registry::global_snapshot();
+  ASSERT_NE(global.histogram(lat), nullptr);
+  EXPECT_EQ(global.histogram(lat)->count(), 2'000u);
+  EXPECT_NEAR(global.percentile(lat, 0.5), run.percentile(lat, 0.5),
+              global.percentile(lat, 0.5) * 0.13);
+
+  Registry::reset_global();
+  EXPECT_EQ(Registry::global_snapshot().histogram(lat), nullptr);
+}
+
+TEST(TelemetryHistogram, JsonCarriesPercentilesForHistogramMetrics) {
+  const MetricId lat = Registry::metric("test.hist.json", MetricKind::Histogram, "ns");
+  Snapshot snap;
+  for (std::uint64_t v = 1; v <= 1'000; ++v) snap.note_hist(lat, v);
+  const std::string json = to_json(snap);
+  const auto pos = json.find("test.hist.json");
+  ASSERT_NE(pos, std::string::npos);
+  EXPECT_NE(json.find("\"p50\"", pos), std::string::npos);
+  EXPECT_NE(json.find("\"p95\"", pos), std::string::npos);
+  EXPECT_NE(json.find("\"p99\"", pos), std::string::npos);
+}
+
 }  // namespace
 }  // namespace swc::telemetry
