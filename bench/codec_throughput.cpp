@@ -24,6 +24,7 @@
 #include "bitpack/bitstream_ref.hpp"
 #include "bitpack/column_codec.hpp"
 #include "bitpack/nbits.hpp"
+#include "codec/backend.hpp"
 #include "core/streaming_engine.hpp"
 #include "image/rng.hpp"
 #include "simd/batch_kernels.hpp"
@@ -359,6 +360,41 @@ int main() {
     }
   }
 
+  // --- Per-backend engine scans -------------------------------------------
+  // One full compressed-engine scan per registered codec backend at the same
+  // geometry, so the BENCH_codec.json regression gate covers every backend's
+  // hot path. "haar" runs the same loop as engine_frame above (the records
+  // stay close); legall53 and microshift carry their own transform cost and
+  // bit rate. Recorded under a separate name so the telemetry-overhead
+  // guard, which gates --name engine_frame at 3%, keeps its single record.
+  struct BackendPoint {
+    std::string name;
+    double mpixels_s = 0.0;
+    double bpp = 0.0;
+  };
+  std::vector<BackendPoint> backend_points;
+  std::printf("\nper-backend engine scan (%s)\n", engine_cfg.c_str());
+  std::printf("  %-12s %14s %10s\n", "backend", "MPixels/s", "bpp");
+  for (const auto& backend_name : codec::BackendRegistry::names()) {
+    auto backend_config = engine_config;
+    backend_config.backend = backend_name;
+    const core::CompressedEngine backend_engine(backend_config);
+    const auto run = backend_engine.run_reentrant(
+        engine_img, [](std::size_t, std::size_t, const core::WindowView&) {});
+    BackendPoint point;
+    point.name = backend_name;
+    point.mpixels_s = measure_mb_s(kEngineSize * kEngineSize, [&] {
+      (void)backend_engine.run_reentrant(engine_img,
+                                         [](std::size_t, std::size_t, const core::WindowView&) {});
+    });
+    const auto& ids = core::EngineMetricIds::get();
+    const auto bits =
+        run.stats.metrics.sum(ids.payload_bits) + run.stats.metrics.sum(ids.management_bits);
+    point.bpp = static_cast<double>(bits) / static_cast<double>(kEngineSize * kEngineSize);
+    std::printf("  %-12s %14.1f %10.3f\n", point.name.c_str(), point.mpixels_s, point.bpp);
+    backend_points.push_back(std::move(point));
+  }
+
   // --- Standardized JSON artifact -----------------------------------------
   std::vector<benchx::BenchRecord> records;
   const std::string bitstream_cfg =
@@ -395,6 +431,12 @@ int main() {
                          (stage_points.empty() ? "none" : std::string(stage_points.back().table)),
                      "speedup_vs_per_pair_scalar", stage_speedup, "x"});
   records.push_back({"engine_frame", engine_cfg, "throughput", engine_mb_s, "MPixels/s"});
+  for (const auto& p : backend_points) {
+    records.push_back({"engine_backend", engine_cfg + " backend=" + p.name, "throughput",
+                       p.mpixels_s, "MPixels/s"});
+    records.push_back(
+        {"engine_backend", engine_cfg + " backend=" + p.name, "bits_per_pixel", p.bpp, "bpp"});
+  }
   benchx::append_snapshot_records(records, engine_run.stats.metrics, "engine_stages", engine_cfg);
   benchx::write_bench_json("BENCH_codec.json", "codec_throughput", records);
 

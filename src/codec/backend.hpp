@@ -1,0 +1,126 @@
+#pragma once
+// Pluggable codec backends for the compressed sliding-window engine.
+//
+// The engine's steady-state loop is architecture-fixed: a band of N rows
+// shifts up one row per window row, and everything *behind* the window is
+// recompressed on the way. What fills the compressed buffer — which
+// transform, which predictor, which quantizer, which entropy layout — is
+// the codec backend. This interface factors exactly that seam out of
+// core::CompressedEngine: a backend consumes one N x W band, round-trips it
+// through its own decompose/encode/decode/recompose stages, and reports the
+// bit accounting the engine turns into RunStats and BRAM provisioning.
+//
+// Contract for transcode_band():
+//  * `band` and `out` are N x W row-major byte planes and must not alias.
+//  * The result in `out` is the band as the hardware would reconstruct it
+//    from the compressed buffer: bit-exact with `band` when the codec config
+//    is lossless (threshold 0), drift-affected otherwise.
+//  * All per-run mutable state lives in the BackendScratch the caller
+//    obtained from make_scratch(), so one backend instance is const and
+//    reentrant (the runtime processes many frames concurrently on one
+//    engine and therefore one backend).
+//  * Stage timings are recorded into `metrics` under the shared
+//    engine.stage.* ids plus the backend's own codec.<name>.transcode total,
+//    so RunStats::codec_ns() and the per-stage bench breakdowns keep working
+//    for every backend.
+//
+// Backends register by name in the process-global BackendRegistry;
+// core::EngineConfig::backend selects one per engine (and therefore per
+// runtime stream / serve session).
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bitpack/column_codec.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace swc::codec {
+
+// Per-band-transition accounting a backend reports back to the engine. The
+// stream_bits vector is the per-window-row FIFO occupancy (the paper's
+// per-stream provisioning metric), sized N by the backend.
+struct BandTranscodeStats {
+  std::size_t payload_bits = 0;
+  std::size_t management_bits = 0;
+  std::size_t columns = 0;  // columns pushed through the column codec
+  std::vector<std::size_t> stream_bits;
+
+  void reset(std::size_t n) {
+    payload_bits = 0;
+    management_bits = 0;
+    columns = 0;
+    stream_bits.assign(n, 0);
+  }
+};
+
+// Opaque per-run scratch. Each engine run owns one, so the backend instance
+// itself stays immutable and the steady-state loop stays allocation-free.
+class BackendScratch {
+ public:
+  virtual ~BackendScratch() = default;
+};
+
+// The dense engine.stage.* timer ids, interned here (idempotently, by name)
+// so the codec layer does not depend on core:: — the registry hands back the
+// same MetricId core::EngineMetricIds resolves, which is what keeps
+// RunStats::codec_ns() backend-agnostic.
+struct StageIds {
+  telemetry::MetricId decompose;
+  telemetry::MetricId encode;
+  telemetry::MetricId decode;
+  telemetry::MetricId recompose;
+
+  [[nodiscard]] static const StageIds& get();
+};
+
+class CodecBackend {
+ public:
+  virtual ~CodecBackend() = default;
+
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+  [[nodiscard]] virtual std::unique_ptr<BackendScratch> make_scratch() const = 0;
+
+  // Round-trip one n x w band through the backend's compressed
+  // representation (see the file comment for the full contract).
+  virtual void transcode_band(const std::uint8_t* band, std::size_t n, std::size_t w,
+                              const bitpack::ColumnCodecConfig& config, BackendScratch& scratch,
+                              std::uint8_t* out, telemetry::Snapshot& metrics,
+                              BandTranscodeStats& stats) const = 0;
+};
+
+// Process-global name -> factory table. Registration is cold-path and
+// thread-safe; the built-in backends ("haar", "legall53", "microshift") are
+// registered on first use of any lookup.
+class BackendRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<CodecBackend>()>;
+
+  // Throws std::invalid_argument when the name is already taken.
+  static void register_backend(std::string name, Factory factory);
+
+  // Throws std::invalid_argument for an unknown name.
+  [[nodiscard]] static std::shared_ptr<const CodecBackend> make(std::string_view name);
+
+  [[nodiscard]] static bool contains(std::string_view name);
+
+  // Registered names, sorted.
+  [[nodiscard]] static std::vector<std::string> names();
+};
+
+namespace detail {
+// Shared column-codec plumbing: encode a coefficient column, decode it back,
+// and fold its bit accounting (payload, management, per-stream widths) into
+// `stats`. `half` is n/2; `column_is_even` selects the sub-band pair for the
+// threshold_ll knob and the PerSubBandColumn field split.
+void account_column(const bitpack::EncodedColumn& enc, const std::vector<std::uint8_t>& decoded,
+                    const bitpack::ColumnCodecConfig& config, std::size_t half,
+                    BandTranscodeStats& stats);
+}  // namespace detail
+
+}  // namespace swc::codec

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <stdexcept>
+#include <string>
 
 #include "bitpack/column_codec.hpp"
 // Header-only width table shared with the hardware model and the resource
@@ -60,6 +61,10 @@ struct SlidingWindowSpec {
 struct EngineConfig {
   SlidingWindowSpec spec;
   bitpack::ColumnCodecConfig codec;
+  // Codec backend name resolved through codec::BackendRegistry ("haar",
+  // "legall53", "microshift", or anything registered at runtime). The
+  // CompressedEngine constructor resolves and validates it.
+  std::string backend = "haar";
 
   void validate() const { spec.validate(); }
 };

@@ -4,8 +4,6 @@
 #include <stdexcept>
 #include <string>
 
-#include "bitpack/nbits.hpp"
-
 namespace swc::core {
 namespace {
 
@@ -51,6 +49,7 @@ void CompressedEngine::begin_run(const image::ImageU8& img, RunState& st) const 
   }
   st.reconstructed = image::ImageU8(img.width(), img.height());
   st.stats = RunStats{};
+  st.scratch = backend_->make_scratch();
 }
 
 void CompressedEngine::commit_exiting_row(std::size_t r, RunState& st) const {
@@ -70,102 +69,32 @@ void CompressedEngine::flush_tail(std::size_t last_r, RunState& st) const {
 }
 
 void CompressedEngine::recompress_and_shift(const image::ImageU8& img, std::size_t r,
+                                            const bitpack::ColumnCodecConfig& codec,
                                             RunState& st) const {
   const std::size_t n = config_.spec.window;
   const std::size_t w = config_.spec.image_width;
-  const auto& codec = config_.codec;
   const auto& ids = EngineMetricIds::get();
 
-  RowTransitionStats row_stats;
-  st.stream_bits.assign(n, 0);
   st.next.resize(n * w);
   st.recon_band.resize(n * w);
-  st.coeffs.even.resize(n);
-  st.coeffs.odd.resize(n);
-  const std::size_t pairs = w / 2;
-  st.enc_cols.resize(2 * pairs);
 
-  // Stage 1: transform the whole band in one row-blocked batched pass (W/2
-  // SIMD lanes per lifting step instead of N/2 on the old per-pair path).
-  {
-    telemetry::Span span(st.stats.metrics, ids.stage_decompose);
-    wavelet::decompose_band_into(st.band.data(), n, w, st.fwd_planes, st.band_scratch);
-  }
-  st.dec_planes.resize(n / 2, w / 2);
+  // The backend round-trips the band through its compressed representation
+  // (decompose -> encode -> decode -> recompose, each stage span-timed under
+  // the shared engine.stage.* ids) and reports the bit accounting.
+  backend_->transcode_band(st.band.data(), n, w, codec, *st.scratch, st.recon_band.data(),
+                           st.stats.metrics, st.tstats);
 
-  // Stage 2: encode every column of the row transition. Keeping the whole
-  // row's encoded columns lets encode and decode run as separately timed
-  // passes (two clock reads per row each, instead of two per column pair).
-  {
-    telemetry::Span span(st.stats.metrics, ids.stage_encode);
-    for (std::size_t j = 0; j < pairs; ++j) {
-      wavelet::gather_column_pair(st.fwd_planes, j, st.coeffs.even.data(), st.coeffs.odd.data());
-      st.encoder.encode(st.coeffs.even, codec, /*column_is_even=*/true, st.enc_cols[2 * j]);
-      st.encoder.encode(st.coeffs.odd, codec, /*column_is_even=*/false, st.enc_cols[2 * j + 1]);
-    }
-  }
+  // Shift the reconstructed band up one row and append input row (r + n).
+  std::copy(st.recon_band.begin() + static_cast<std::ptrdiff_t>(w), st.recon_band.end(),
+            st.next.begin());
+  const auto input = img.row(r + n);
+  std::copy(input.begin(), input.end(),
+            st.next.begin() + static_cast<std::ptrdiff_t>((n - 1) * w));
+  std::swap(st.band, st.next);
 
-  // Stage 3: decode every column back, scatter into the decoded planes, and
-  // account bits / per-stream occupancy from the encoded representation.
-  {
-    telemetry::Span span(st.stats.metrics, ids.stage_decode);
-    const std::size_t half = n / 2;
-    for (std::size_t j = 0; j < pairs; ++j) {
-      const bitpack::EncodedColumn& enc_even = st.enc_cols[2 * j];
-      const bitpack::EncodedColumn& enc_odd = st.enc_cols[2 * j + 1];
-      st.decoder.decode(enc_even, n, codec, st.dec_even);
-      st.decoder.decode(enc_odd, n, codec, st.dec_odd);
-
-      row_stats.payload_bits += enc_even.payload_bit_count + enc_odd.payload_bit_count;
-      row_stats.management_bits += enc_even.management_bits() + enc_odd.management_bits();
-
-      wavelet::scatter_column_pair(st.dec_planes, j, st.dec_even.data(), st.dec_odd.data());
-
-      // Per-stream (window row) occupancy for the FIFO-provisioning metric.
-      auto add_stream = [&](const bitpack::EncodedColumn& enc,
-                            const std::vector<std::uint8_t>& decoded) {
-        for (std::size_t i = 0; i < n; ++i) {
-          if (!enc.bitmap[i]) continue;
-          std::size_t width = 0;
-          switch (codec.granularity) {
-            case bitpack::NBitsGranularity::PerSubBandColumn:
-              width = enc.nbits.at(i < half ? 0 : 1);
-              break;
-            case bitpack::NBitsGranularity::PerColumn:
-              width = enc.nbits.at(0);
-              break;
-            case bitpack::NBitsGranularity::PerCoefficient:
-              // Per-coefficient mode sizes each value by its own width; the
-              // decoded value reproduces that width exactly (under either
-              // NBits policy the payload field of a significant coefficient
-              // is its own minimal width).
-              width = static_cast<std::size_t>(bitpack::min_bits_u8(decoded[i]));
-              break;
-          }
-          st.stream_bits[i] += width;
-        }
-      };
-      add_stream(enc_even, st.dec_even);
-      add_stream(enc_odd, st.dec_odd);
-    }
-  }
-  st.stats.metrics.add(ids.codec_columns, 2 * pairs);
-
-  // Stage 4: inverse-transform the decoded planes in one batched pass, then
-  // shift the reconstructed band up one row and append input row (r + n).
-  {
-    telemetry::Span span(st.stats.metrics, ids.stage_recompose);
-    wavelet::recompose_band_into(st.dec_planes, n, w, st.recon_band.data(), st.band_scratch);
-    std::copy(st.recon_band.begin() + static_cast<std::ptrdiff_t>(w), st.recon_band.end(),
-              st.next.begin());
-    const auto input = img.row(r + n);
-    std::copy(input.begin(), input.end(),
-              st.next.begin() + static_cast<std::ptrdiff_t>((n - 1) * w));
-    std::swap(st.band, st.next);
-  }
-
-  st.stats.note_row(row_stats);
-  for (const auto bits : st.stream_bits) {
+  st.stats.note_row({st.tstats.payload_bits, st.tstats.management_bits});
+  st.stats.metrics.add(ids.codec_columns, st.tstats.columns);
+  for (const auto bits : st.tstats.stream_bits) {
     st.stats.metrics.note_max(ids.stream_bits, bits);
   }
 }

@@ -26,14 +26,15 @@
 // single-threaded callers.
 
 #include <cstdint>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "bitpack/column_codec.hpp"
+#include "codec/backend.hpp"
 #include "core/config.hpp"
 #include "image/image.hpp"
 #include "telemetry/telemetry.hpp"
-#include "wavelet/band_transform.hpp"
-#include "wavelet/column_decomposer.hpp"
 
 namespace swc::core {
 
@@ -202,12 +203,26 @@ struct CompressedRunResult {
 
 class CompressedEngine {
  public:
-  explicit CompressedEngine(EngineConfig config) : config_(config) { config_.validate(); }
+  // Resolves the configured codec backend through the registry; throws
+  // std::invalid_argument for an unknown backend name.
+  explicit CompressedEngine(EngineConfig config)
+      : config_(std::move(config)), backend_(codec::BackendRegistry::make(config_.backend)) {
+    config_.validate();
+  }
 
   // Const, reentrant pass: all per-run state lives in a local RunState, so
   // one engine instance can serve concurrent frames from a thread pool.
   template <typename Sink>
   CompressedRunResult run_reentrant(const image::ImageU8& img, Sink&& sink) const {
+    return run_with_codec(img, config_.codec, std::forward<Sink>(sink));
+  }
+
+  // As run_reentrant(), but with a per-run codec-config override (same
+  // geometry/backend). This is the rate controller's actuator: a stream can
+  // steer the threshold frame to frame without reconstructing the engine.
+  template <typename Sink>
+  CompressedRunResult run_with_codec(const image::ImageU8& img,
+                                     const bitpack::ColumnCodecConfig& codec, Sink&& sink) const {
     RunState st;
     begin_run(img, st);
     const std::size_t n = config_.spec.window;
@@ -225,7 +240,7 @@ class CompressedEngine {
         flush_tail(r, st);
         break;
       }
-      recompress_and_shift(img, r, st);
+      recompress_and_shift(img, r, codec, st);
     }
     return {std::move(st.reconstructed), std::move(st.stats)};
   }
@@ -241,42 +256,35 @@ class CompressedEngine {
   // Rows as they exited the buffer after their full recompression lifetime.
   [[nodiscard]] const image::ImageU8& reconstructed() const { return reconstructed_; }
   [[nodiscard]] const EngineConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const codec::CodecBackend& backend() const noexcept { return *backend_; }
 
  private:
   // Per-run state; every pass owns one on its own stack. Besides the band
-  // buffer it carries the codec/wavelet scratch reused across every column
-  // of every row transition, so the steady-state hot loop is allocation-free.
+  // buffer it carries the backend's opaque scratch (all transform/codec
+  // working memory), so the steady-state hot loop is allocation-free.
   struct RunState {
     std::vector<std::uint8_t> band;
     image::ImageU8 reconstructed;
     RunStats stats;
 
-    bitpack::ColumnEncoder encoder;
-    bitpack::ColumnDecoder decoder;
-    // Encoded columns for one whole row transition (even/odd interleaved),
-    // so the encode and decode passes can run as separate timed stages.
-    std::vector<bitpack::EncodedColumn> enc_cols;
-    std::vector<std::uint8_t> dec_even, dec_odd;
-    wavelet::CoeffColumnPair coeffs;
-    // Row-blocked transform state: the whole band is decomposed into
-    // sub-band planes in one batched pass, the codec walks the planes a
-    // column pair at a time, and the decoded planes are recomposed into the
-    // shifted band in a second batched pass.
-    wavelet::BandPlanes fwd_planes, dec_planes;
-    wavelet::BandScratch band_scratch;
+    std::unique_ptr<codec::BackendScratch> scratch;
+    codec::BandTranscodeStats tstats;
     std::vector<std::uint8_t> recon_band;
-    std::vector<std::size_t> stream_bits;
     std::vector<std::uint8_t> next;
   };
 
   void begin_run(const image::ImageU8& img, RunState& st) const;
   void commit_exiting_row(std::size_t r, RunState& st) const;
   void flush_tail(std::size_t last_r, RunState& st) const;
-  // Compress/decompress every band column with the configured codec, shift
-  // the band up one row, and append input row (r + window).
-  void recompress_and_shift(const image::ImageU8& img, std::size_t r, RunState& st) const;
+  // Round-trip the band through the codec backend, shift the reconstructed
+  // band up one row, and append input row (r + window).
+  void recompress_and_shift(const image::ImageU8& img, std::size_t r,
+                            const bitpack::ColumnCodecConfig& codec, RunState& st) const;
 
   EngineConfig config_;
+  // Shared immutable backend instance (engines copy freely; the registry
+  // memoizes one object per name).
+  std::shared_ptr<const codec::CodecBackend> backend_;
   image::ImageU8 reconstructed_;
   RunStats stats_;
 };

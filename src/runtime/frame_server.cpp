@@ -1,5 +1,7 @@
 #include "runtime/frame_server.hpp"
 
+#include <algorithm>
+#include <functional>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -30,23 +32,61 @@ FrameServer::~FrameServer() { pool_.shutdown(); }
 
 std::uint32_t FrameServer::open_stream(StreamConfig config) {
   config.engine.validate();
+  if (config.rate.has_value()) config.rate->validate();
   std::lock_guard lock(streams_mutex_);
-  const auto id = static_cast<std::uint32_t>(streams_.size());
-  streams_.push_back(std::make_shared<StreamContext>(id, std::move(config)));
+  std::uint32_t id;
+  if (!free_ids_.empty()) {
+    // Reuse the smallest retired id so the slot table stays dense.
+    id = free_ids_.back();
+    free_ids_.pop_back();
+    streams_[id] = std::make_shared<StreamContext>(id, std::move(config));
+  } else {
+    id = static_cast<std::uint32_t>(streams_.size());
+    streams_.push_back(std::make_shared<StreamContext>(id, std::move(config)));
+  }
   return id;
+}
+
+bool FrameServer::close_stream(std::uint32_t stream_id) {
+  std::lock_guard lock(streams_mutex_);
+  if (stream_id >= streams_.size() || streams_[stream_id] == nullptr) return false;
+  // Dropping the slot's reference is the release: workers still processing
+  // this stream's frames share ownership of the context and flush its
+  // telemetry on completion, so closing never races frame execution.
+  streams_[stream_id].reset();
+  // Keep the free list sorted descending so pop_back() hands out the
+  // smallest retired id first.
+  const auto pos = std::lower_bound(free_ids_.begin(), free_ids_.end(), stream_id,
+                                    std::greater<std::uint32_t>());
+  free_ids_.insert(pos, stream_id);
+  return true;
 }
 
 std::shared_ptr<StreamContext> FrameServer::find_stream(std::uint32_t id) const {
   std::lock_guard lock(streams_mutex_);
-  if (id >= streams_.size()) {
-    throw std::invalid_argument("FrameServer: unknown stream id " + std::to_string(id));
-  }
+  if (id >= streams_.size()) return nullptr;
   return streams_[id];
+}
+
+std::size_t FrameServer::active_streams() const {
+  std::lock_guard lock(streams_mutex_);
+  return streams_.size() - free_ids_.size();
+}
+
+std::size_t FrameServer::stream_slots() const {
+  std::lock_guard lock(streams_mutex_);
+  return streams_.size();
 }
 
 SubmitReceipt FrameServer::submit_frame(std::uint32_t stream_id, image::ImageU8 frame,
                                         SubmitPolicy policy, Callback on_done) {
   auto ctx = find_stream(stream_id);
+  if (ctx == nullptr) {
+    SubmitReceipt receipt;
+    receipt.stream_id = stream_id;
+    receipt.error = SubmitError::UnknownStream;
+    return receipt;
+  }
   check_frame(*ctx, frame);
 
   const auto submitted_at = std::chrono::steady_clock::now();
@@ -89,6 +129,9 @@ SubmitReceipt FrameServer::submit_frame(std::uint32_t stream_id, image::ImageU8 
 FrameResult FrameServer::submit_striped(std::uint32_t stream_id, const image::ImageU8& frame,
                                         std::size_t max_stripes) {
   auto ctx = find_stream(stream_id);
+  if (ctx == nullptr) {
+    throw std::invalid_argument("FrameServer: unknown stream id " + std::to_string(stream_id));
+  }
   check_frame(*ctx, frame);
   if (ctx->config().kind != EngineKind::Compressed) {
     throw std::invalid_argument("FrameServer: striped submission requires a compressed stream");
@@ -124,7 +167,9 @@ RuntimeStatsSnapshot FrameServer::stats() const {
   {
     std::lock_guard lock(streams_mutex_);
     snap.streams.reserve(streams_.size());
-    for (const auto& stream : streams_) snap.streams.push_back(stream->snapshot());
+    for (const auto& stream : streams_) {
+      if (stream != nullptr) snap.streams.push_back(stream->snapshot());
+    }
   }
   for (const auto& s : snap.streams) {
     snap.frames_submitted += s.frames_submitted;

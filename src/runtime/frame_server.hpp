@@ -50,9 +50,10 @@ struct FrameServerOptions {
 // terminal shutdown lets a caller (the serve layer's session manager) map a
 // rejection onto the right wire-level response instead of a silent drop.
 enum class SubmitError : std::uint8_t {
-  None,          // accepted
-  QueueFull,     // Reject policy and the worker queue was at capacity
-  ShuttingDown,  // server is tearing down; no frame will be accepted again
+  None,           // accepted
+  QueueFull,      // Reject policy and the worker queue was at capacity
+  ShuttingDown,   // server is tearing down; no frame will be accepted again
+  UnknownStream,  // stream id was never opened, or was closed
 };
 
 // Identity + outcome of one submission attempt. On acceptance, frame_seq is
@@ -80,26 +81,43 @@ class FrameServer {
   FrameServer(const FrameServer&) = delete;
   FrameServer& operator=(const FrameServer&) = delete;
 
-  // Registers a stream and returns its id. Thread-safe.
+  // Registers a stream and returns its id. Closed ids are recycled
+  // (smallest retired id first), so long-running servers with stream churn
+  // keep a bounded slot table instead of growing one entry per stream ever
+  // opened. Thread-safe.
   std::uint32_t open_stream(StreamConfig config);
 
+  // Retires a stream: its slot is freed for reuse and subsequent submissions
+  // to the id fail with SubmitError::UnknownStream. Frames already in flight
+  // finish normally (workers hold their own reference to the context) and
+  // their stats are flushed into the process-global telemetry registry as
+  // usual — but the per-stream snapshot disappears from stats() once the
+  // last in-flight frame's worker drops the context. Returns false when the
+  // id is unknown or already closed. Thread-safe.
+  bool close_stream(std::uint32_t stream_id);
+
   // Enqueue one frame. Returns false when rejected (Reject policy with a
-  // full queue, or server shutting down); the rejection is counted against
-  // the stream. Throws std::invalid_argument for unknown streams or frames
-  // that do not match the stream's configured geometry.
+  // full queue, server shutting down, or unknown/closed stream); the
+  // rejection is counted against the stream when one exists. Throws
+  // std::invalid_argument only for frames that do not match an open
+  // stream's configured geometry (a caller bug, not a race-able condition).
   bool submit(std::uint32_t stream_id, image::ImageU8 frame,
               SubmitPolicy policy = SubmitPolicy::Block, Callback on_done = {}) {
     return submit_frame(stream_id, std::move(frame), policy, std::move(on_done)).accepted();
   }
 
   // As submit(), but returns the submission's identity and, on rejection,
-  // its cause. Same exception contract for unknown streams / bad geometry.
+  // its cause (UnknownStream for closed/never-opened ids — never a throw,
+  // because with concurrent close_stream() an unknown id is a normal race,
+  // not a caller bug). Still throws on geometry mismatch.
   SubmitReceipt submit_frame(std::uint32_t stream_id, image::ImageU8 frame,
                              SubmitPolicy policy = SubmitPolicy::Block, Callback on_done = {});
 
   // Process one frame stripe-parallel across up to `max_stripes` stripes on
   // the server's pool, blocking the caller until the frame completes.
   // Compressed streams only. Counts as one frame in the stream's stats.
+  // Throws std::invalid_argument for unknown/closed streams (the blocking
+  // call has no receipt to carry the error).
   FrameResult submit_striped(std::uint32_t stream_id, const image::ImageU8& frame,
                              std::size_t max_stripes);
 
@@ -114,14 +132,25 @@ class FrameServer {
   [[nodiscard]] std::size_t queue_depth() const { return pool_.queue_depth(); }
   [[nodiscard]] std::size_t queue_capacity() const noexcept { return pool_.queue_capacity(); }
 
+  // Streams currently open (slots minus the free list).
+  [[nodiscard]] std::size_t active_streams() const;
+  // Size of the slot table — bounded by the peak number of *simultaneously*
+  // open streams, not by the total ever opened (asserted by the lifecycle
+  // stress test).
+  [[nodiscard]] std::size_t stream_slots() const;
+
  private:
+  // nullptr when the id is out of range or the slot has been closed.
   [[nodiscard]] std::shared_ptr<StreamContext> find_stream(std::uint32_t id) const;
 
   ThreadPool pool_;
   std::chrono::steady_clock::time_point start_;
 
   mutable std::mutex streams_mutex_;
-  std::vector<std::shared_ptr<StreamContext>> streams_;  // index == id
+  // index == id; a closed stream leaves a null slot until open_stream()
+  // recycles the id from free_ids_.
+  std::vector<std::shared_ptr<StreamContext>> streams_;
+  std::vector<std::uint32_t> free_ids_;
 };
 
 }  // namespace swc::runtime

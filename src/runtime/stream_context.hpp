@@ -5,14 +5,18 @@
 // frames of one stream may be in flight on several workers at once, which
 // is safe because the engines' run_reentrant() keeps all scan state local.
 
+#include <atomic>
 #include <cstdint>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <utility>
 
 #include "core/config.hpp"
+#include "core/rate_control.hpp"
 #include "core/streaming_engine.hpp"
 #include "image/image.hpp"
+#include "image/metrics.hpp"
 #include "runtime/stats.hpp"
 #include "telemetry/telemetry.hpp"
 
@@ -30,6 +34,10 @@ struct StreamConfig {
   // When false, the reconstructed frame is dropped after stats are taken
   // (saves a copy per frame in pure-throughput serving).
   bool keep_output = true;
+  // Optional closed-loop rate control (compressed streams only): the stream
+  // adapts the codec threshold frame to frame toward the configured
+  // bits-per-pixel or MSE target instead of using engine.codec.threshold.
+  std::optional<core::RateControlConfig> rate;
 };
 
 class StreamContext {
@@ -38,7 +46,12 @@ class StreamContext {
       : id_(id),
         config_(std::move(config)),
         traditional_(config_.engine.spec),
-        compressed_(config_.engine) {}
+        compressed_(config_.engine) {
+    if (config_.rate.has_value()) {
+      controller_.emplace(*config_.rate);
+      rate_threshold_.store(controller_->threshold(), std::memory_order_relaxed);
+    }
+  }
 
   [[nodiscard]] std::uint32_t id() const noexcept { return id_; }
   [[nodiscard]] const StreamConfig& config() const noexcept { return config_; }
@@ -54,10 +67,36 @@ class StreamContext {
       result.stats.metrics.add(core::EngineMetricIds::get().windows, windows);
       return result;
     }
-    auto result = compressed_.run_reentrant(
-        frame, [](std::size_t, std::size_t, const core::WindowView&) {});
+    core::CompressedRunResult result;
+    if (controller_.has_value()) {
+      // Closed loop: run this frame at the controller's current threshold,
+      // then feed the achieved rate/error back. Frames of one stream may be
+      // in flight on several workers; each reads the actuation atomically
+      // and observations are serialized under rate_mutex_, so concurrent
+      // frames only ever see a slightly stale threshold, never a torn one.
+      bitpack::ColumnCodecConfig codec = config_.engine.codec;
+      codec.threshold = rate_threshold_.load(std::memory_order_relaxed);
+      result = compressed_.run_with_codec(
+          frame, codec, [](std::size_t, std::size_t, const core::WindowView&) {});
+      observe_rate(frame, result);
+    } else {
+      result = compressed_.run_reentrant(
+          frame, [](std::size_t, std::size_t, const core::WindowView&) {});
+    }
     if (!config_.keep_output) result.reconstructed = image::ImageU8();
     return result;
+  }
+
+  // Threshold the next rate-controlled frame will run at (engine.codec
+  // threshold when the stream has no controller).
+  [[nodiscard]] int rate_threshold() const noexcept {
+    return controller_.has_value() ? rate_threshold_.load(std::memory_order_relaxed)
+                                   : config_.engine.codec.threshold;
+  }
+  [[nodiscard]] bool rate_converged() const {
+    if (!controller_.has_value()) return false;
+    std::lock_guard lock(rate_mutex_);
+    return controller_->converged();
   }
 
   // Returns this frame's per-stream sequence number.
@@ -107,10 +146,32 @@ class StreamContext {
   }
 
  private:
+  void observe_rate(const image::ImageU8& frame, const core::CompressedRunResult& result) const {
+    const auto& ids = core::EngineMetricIds::get();
+    double achieved = 0.0;
+    if (config_.rate->mode == core::RateControlMode::BitsPerPixel) {
+      const auto bits = result.stats.metrics.sum(ids.payload_bits) +
+                        result.stats.metrics.sum(ids.management_bits);
+      achieved = static_cast<double>(bits) / static_cast<double>(frame.size());
+    } else {
+      achieved = image::mse(frame, result.reconstructed);
+    }
+    std::lock_guard lock(rate_mutex_);
+    rate_threshold_.store(controller_->observe(achieved), std::memory_order_relaxed);
+  }
+
   const std::uint32_t id_;
   const StreamConfig config_;
   const core::TraditionalEngine traditional_;
   const core::CompressedEngine compressed_;
+
+  // Rate-control loop state. Mutable because process() is const/reentrant:
+  // the controller is logically an observer bolted onto the stream, not part
+  // of the frame computation. rate_threshold_ mirrors controller_->threshold()
+  // so hot-path reads skip the mutex.
+  mutable std::mutex rate_mutex_;
+  mutable std::optional<core::RateController> controller_;
+  mutable std::atomic<int> rate_threshold_{0};
 
   mutable std::mutex mutex_;
   // Submission bookkeeping (control state: frames_submitted_ doubles as the

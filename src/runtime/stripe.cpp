@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "image/metrics.hpp"
+
 namespace swc::runtime {
 
 std::vector<Stripe> plan_stripes(const core::SlidingWindowSpec& spec, std::size_t max_stripes) {
@@ -71,6 +73,39 @@ core::CompressedRunResult run_compressed_striped(const core::EngineConfig& confi
                                                  std::size_t max_stripes, ThreadPool* pool) {
   return run_compressed_striped(config, img, max_stripes, pool,
                                 [](std::size_t, std::size_t, const core::WindowView&) {});
+}
+
+core::CompressedRunResult run_compressed_rate_controlled(const core::EngineConfig& config,
+                                                         const image::ImageU8& img,
+                                                         std::size_t max_stripes,
+                                                         core::RateController& controller) {
+  config.validate();
+  const auto stripes = plan_stripes(config.spec, max_stripes);
+  std::vector<core::CompressedRunResult> parts(stripes.size());
+  const auto& ids = core::EngineMetricIds::get();
+  for (std::size_t i = 0; i < stripes.size(); ++i) {
+    const Stripe& s = stripes[i];
+    core::EngineConfig local = config;
+    local.spec.image_height = s.input_rows;
+    const core::CompressedEngine engine(local);
+    const image::ImageU8 piece = extract_stripe(img, s);
+
+    bitpack::ColumnCodecConfig codec = config.codec;
+    codec.threshold = controller.threshold();
+    parts[i] = engine.run_with_codec(piece, codec,
+                                     [](std::size_t, std::size_t, const core::WindowView&) {});
+
+    double achieved = 0.0;
+    if (controller.config().mode == core::RateControlMode::BitsPerPixel) {
+      const auto bits = parts[i].stats.metrics.sum(ids.payload_bits) +
+                        parts[i].stats.metrics.sum(ids.management_bits);
+      achieved = static_cast<double>(bits) / static_cast<double>(piece.size());
+    } else {
+      achieved = image::mse(piece, parts[i].reconstructed);
+    }
+    (void)controller.observe(achieved);
+  }
+  return merge_stripes(config.spec, stripes, std::move(parts));
 }
 
 }  // namespace swc::runtime

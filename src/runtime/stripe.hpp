@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "core/config.hpp"
+#include "core/rate_control.hpp"
 #include "core/streaming_engine.hpp"
 #include "image/image.hpp"
 #include "runtime/thread_pool.hpp"
@@ -147,5 +148,17 @@ template <typename Sink>
                                                                const image::ImageU8& img,
                                                                std::size_t max_stripes,
                                                                ThreadPool* pool);
+
+// Closed-loop striped run: stripes are processed sequentially (top to
+// bottom) and after each one the controller observes the stripe's achieved
+// bits-per-pixel (or reconstruction MSE) and re-actuates the codec
+// threshold, so the rate adapts *within* a single frame. Sequential by
+// construction — the loop's feedback edge is the stripe order — so this is
+// the rate-accuracy counterpart to the throughput-oriented parallel
+// overload above. The controller keeps its state across calls; feed it
+// successive frames to track a scene.
+[[nodiscard]] core::CompressedRunResult run_compressed_rate_controlled(
+    const core::EngineConfig& config, const image::ImageU8& img, std::size_t max_stripes,
+    core::RateController& controller);
 
 }  // namespace swc::runtime

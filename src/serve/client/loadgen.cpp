@@ -53,6 +53,7 @@ void run_stream(const LoadgenOptions& options, std::size_t index, std::size_t re
   hello.height = options.height;
   hello.window = options.window;
   hello.threshold = options.threshold;
+  hello.backend = options.backend;
   hello.name = "loadgen-" + std::to_string(index);
   conn.hello(hello);
 

@@ -26,6 +26,7 @@ struct LoadgenOptions {
   std::uint32_t height = 64;
   std::uint32_t window = 8;
   std::int32_t threshold = 2;
+  std::string backend;  // codec backend requested at HELLO ("" = server default)
   // First ceil(realtime_fraction * streams) streams use the realtime tier
   // (their overload responses are rejections, counted below).
   double realtime_fraction = 0.0;

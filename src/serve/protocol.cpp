@@ -101,7 +101,7 @@ std::uint32_t crc32(std::span<const std::uint8_t> data) noexcept {
 
 std::vector<std::uint8_t> encode_payload(const HelloPayload& p) {
   std::vector<std::uint8_t> out;
-  out.reserve(1 + 4 * 4 + 2 + p.name.size());
+  out.reserve(1 + 4 * 4 + 2 + p.name.size() + 2 + p.backend.size() + 1 + 4);
   out.push_back(static_cast<std::uint8_t>(p.qos));
   put_u32(out, p.width);
   put_u32(out, p.height);
@@ -109,6 +109,11 @@ std::vector<std::uint8_t> encode_payload(const HelloPayload& p) {
   put_u32(out, static_cast<std::uint32_t>(p.threshold));
   put_u16(out, static_cast<std::uint16_t>(p.name.size()));
   out.insert(out.end(), p.name.begin(), p.name.end());
+  // v2 tail: backend selection + rate-control request.
+  put_u16(out, static_cast<std::uint16_t>(p.backend.size()));
+  out.insert(out.end(), p.backend.begin(), p.backend.end());
+  out.push_back(static_cast<std::uint8_t>(p.rate_mode));
+  put_u32(out, p.rate_target_milli);
   return out;
 }
 
@@ -144,6 +149,18 @@ std::optional<HelloPayload> decode_hello(std::span<const std::uint8_t> payload) 
   const std::uint16_t name_len = r.u16();
   if (!r.has(name_len)) return std::nullopt;
   p.name.assign(reinterpret_cast<const char*>(payload.data()) + r.pos, name_len);
+  r.pos += name_len;
+  // v2 tail — required now that the parser only admits version-2 headers.
+  if (!r.has(2)) return std::nullopt;
+  const std::uint16_t backend_len = r.u16();
+  if (!r.has(backend_len)) return std::nullopt;
+  p.backend.assign(reinterpret_cast<const char*>(payload.data()) + r.pos, backend_len);
+  r.pos += backend_len;
+  if (!r.has(1 + 4)) return std::nullopt;
+  const std::uint8_t mode = r.u8();
+  if (mode > static_cast<std::uint8_t>(RateMode::Mse)) return std::nullopt;
+  p.rate_mode = static_cast<RateMode>(mode);
+  p.rate_target_milli = r.u32();
   return p;
 }
 

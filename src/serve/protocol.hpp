@@ -16,7 +16,8 @@
 //
 // Conversation shape (one compression stream per connection):
 //   client                          server
-//   HELLO {qos, geometry, name} ->
+//   HELLO {qos, geometry, name,
+//          backend, rate target}->
 //                                <- HELLO_ACK {stream id in header}   | ERROR
 //   SUBMIT_FRAME {pixels}       ->
 //                                <- FRAME_DONE {status, latency, bits}
@@ -41,7 +42,10 @@
 namespace swc::serve {
 
 inline constexpr std::uint32_t kMagic = 0x31435753u;  // "SWC1" on the wire
-inline constexpr std::uint8_t kProtocolVersion = 1;
+// v2 extends HELLO with codec-backend selection and an optional closed-loop
+// rate target. The parser rejects other versions outright, so v1 clients get
+// a clean BadVersion instead of a misdecoded HELLO.
+inline constexpr std::uint8_t kProtocolVersion = 2;
 inline constexpr std::size_t kHeaderSize = 28;
 // Default ceiling on one message's payload; a 3840x3840 frame is ~14.1 MiB.
 inline constexpr std::size_t kDefaultMaxPayload = std::size_t{16} << 20;
@@ -78,8 +82,10 @@ enum class QosTier : std::uint8_t {
 enum class ErrorCode : std::uint16_t {
   ProtocolViolation = 1,  // malformed/unexpected message
   ServerFull = 2,         // admission control: max sessions reached
-  BadGeometry = 3,        // HELLO geometry failed validation
+  BadGeometry = 3,        // HELLO geometry or rate target failed validation
   StreamMismatch = 4,     // header stream id does not match the session's
+  UnknownStream = 5,      // engine stream retired underneath the session
+  BadBackend = 6,         // HELLO requested a codec backend that is not registered
 };
 
 struct FrameHeader {
@@ -103,13 +109,25 @@ struct Message {
 
 // --- payload codecs ---------------------------------------------------------
 
+// Rate-control request carried in HELLO (v2). None runs the stream open-loop
+// at the fixed threshold; the other modes make the server adapt the codec
+// threshold toward `rate_target_milli / 1000.0` frame to frame.
+enum class RateMode : std::uint8_t {
+  None = 0,
+  BitsPerPixel = 1,
+  Mse = 2,
+};
+
 struct HelloPayload {
   QosTier qos = QosTier::Bulk;
   std::uint32_t width = 0;
   std::uint32_t height = 0;
   std::uint32_t window = 0;
   std::int32_t threshold = 0;
-  std::string name;  // diagnostic stream name, length-prefixed (u16)
+  std::string name;     // diagnostic stream name, length-prefixed (u16)
+  std::string backend;  // codec backend name, length-prefixed (u16); "" = server default
+  RateMode rate_mode = RateMode::None;
+  std::uint32_t rate_target_milli = 0;  // target * 1000 (bpp or MSE per rate_mode)
 };
 
 struct FrameDonePayload {

@@ -1,8 +1,11 @@
 #include "serve/session.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <utility>
 
+#include "codec/backend.hpp"
+#include "core/rate_control.hpp"
 #include "core/streaming_engine.hpp"
 
 namespace swc::serve {
@@ -113,8 +116,32 @@ void SessionManager::handle_hello(Session& session, const Message& msg) {
   core::EngineConfig config;
   config.spec = {hello->width, hello->height, hello->window};
   config.codec.threshold = hello->threshold;
+  // Backend selection: empty keeps the engine default; anything else must be
+  // a registered codec backend, refused loudly so a typo does not silently
+  // fall back to Haar.
+  if (!hello->backend.empty()) {
+    if (!codec::BackendRegistry::contains(hello->backend)) {
+      count(ServeMetricIds::get().sessions_rejected);
+      const auto payload = encode_payload(
+          ErrorPayload{ErrorCode::BadBackend, "unknown codec backend: " + hello->backend});
+      send_message(session, MsgType::Error, 0, payload);
+      session.conn->close("bad-backend");
+      return;
+    }
+    config.backend = hello->backend;
+  }
+  std::optional<core::RateControlConfig> rate;
+  if (hello->rate_mode != RateMode::None) {
+    core::RateControlConfig rc;
+    rc.mode = hello->rate_mode == RateMode::BitsPerPixel ? core::RateControlMode::BitsPerPixel
+                                                         : core::RateControlMode::Mse;
+    rc.target = static_cast<double>(hello->rate_target_milli) / 1000.0;
+    rc.initial_threshold = hello->threshold;
+    rate = rc;
+  }
   try {
     config.validate();
+    if (rate.has_value()) rate->validate();
   } catch (const std::exception& e) {
     count(ServeMetricIds::get().sessions_rejected);
     const auto payload = encode_payload(ErrorPayload{ErrorCode::BadGeometry, e.what()});
@@ -128,7 +155,8 @@ void SessionManager::handle_hello(Session& session, const Message& msg) {
                                                : hello->name,
                                            .kind = runtime::EngineKind::Compressed,
                                            .engine = config,
-                                           .keep_output = false});
+                                           .keep_output = false,
+                                           .rate = rate});
   session.state = State::Active;
   session.qos = hello->qos;
   session.width = hello->width;
@@ -218,6 +246,15 @@ bool SessionManager::dispatch_frame(Session& session, std::uint64_t seq, image::
     const auto payload = encode_payload(FrameDonePayload{FrameStatus::RejectedShutdown, 0, 0});
     send_message(session, MsgType::FrameDone, seq, payload);
     return true;  // handled; nothing to park
+  }
+  if (receipt.error == runtime::SubmitError::UnknownStream) {
+    // The engine stream was retired underneath this session (only possible
+    // when something else drives FrameServer::close_stream on a shared
+    // engine). Surface it on the wire and end the session — every later
+    // frame would fail the same way.
+    protocol_error(session, ErrorCode::UnknownStream,
+                   "stream " + std::to_string(session.stream_id) + " is closed");
+    return true;
   }
   // Queue full. For realtime this is the expected fail-fast path; for bulk
   // it can only happen if some other thread shares the engine's pool (e.g.
@@ -341,9 +378,14 @@ void SessionManager::on_connection_closed(std::uint64_t conn_id, const char* /*r
   if (it->second.state == State::Active) {
     active_sessions_.fetch_sub(1, std::memory_order_release);
     count(ServeMetricIds::get().sessions_closed);
+    // Retire the engine stream with the session — one connection is one
+    // stream, so an unclosed stream here is a leak (the slot table would
+    // grow one entry per connection for the life of the server). In-flight
+    // frames still complete: their workers hold the StreamContext and flush
+    // its telemetry; they just report as orphans on this side.
+    engine_.close_stream(it->second.stream_id);
   }
-  // In-flight engine frames for this session complete later as orphans;
-  // parked frames die with the deque (peer is gone, nobody to respond to).
+  // Parked frames die with the deque (peer is gone, nobody to respond to).
   sessions_.erase(it);
 }
 

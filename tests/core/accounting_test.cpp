@@ -173,6 +173,57 @@ TEST(Accounting, FastPathMatchesGenericCodecReference) {
   }
 }
 
+TEST(Accounting, AccountedBitsMatchPackedBitsAcrossFullMatrix) {
+  // Rate-controller input audit: the analytic accounting and the bits the
+  // packer actually emits must agree bit-for-bit, or a closed-loop
+  // controller fed by accounting would steer toward a phantom budget. The
+  // sweep covers every granularity x policy x threshold_ll x threshold cell,
+  // comparing compute_band_cost against the real ColumnEncoder's output
+  // sizes for the same band.
+  const auto img = image::make_natural_image(64, 40, {.seed = 123});
+  for (const auto granularity :
+       {bitpack::NBitsGranularity::PerSubBandColumn, bitpack::NBitsGranularity::PerColumn,
+        bitpack::NBitsGranularity::PerCoefficient}) {
+    for (const auto policy :
+         {bitpack::NBitsPolicy::PostThreshold, bitpack::NBitsPolicy::PreThreshold}) {
+      for (const bool threshold_ll : {true, false}) {
+        for (const int t : {0, 2, 5}) {
+          auto config = make_config(64, 40, 8, t);
+          config.codec.granularity = granularity;
+          config.codec.nbits_policy = policy;
+          config.codec.threshold_ll = threshold_ll;
+          const BandCost cost = compute_band_cost(img, 3, config);
+
+          std::size_t packed_payload = 0;
+          std::size_t packed_mgmt = 0;
+          std::size_t packed_total = 0;
+          std::vector<std::uint8_t> c0(8), c1(8);
+          for (std::size_t x = 0; x + 1 < config.spec.buffered_columns(); x += 2) {
+            for (std::size_t y = 0; y < 8; ++y) {
+              c0[y] = img.at(x, 3 + y);
+              c1[y] = img.at(x + 1, 3 + y);
+            }
+            const auto pair = wavelet::decompose_column_pair(c0, c1);
+            const auto enc_even = bitpack::encode_column(pair.even, config.codec, true);
+            const auto enc_odd = bitpack::encode_column(pair.odd, config.codec, false);
+            packed_payload += enc_even.payload_bit_count + enc_odd.payload_bit_count;
+            packed_mgmt += enc_even.management_bits() + enc_odd.management_bits();
+            packed_total += enc_even.total_bits() + enc_odd.total_bits();
+          }
+          const auto label = [&] {
+            return "granularity=" + std::to_string(static_cast<int>(granularity)) +
+                   " policy=" + std::to_string(static_cast<int>(policy)) +
+                   " threshold_ll=" + std::to_string(threshold_ll) + " t=" + std::to_string(t);
+          }();
+          EXPECT_EQ(cost.payload_total(), packed_payload) << label;
+          EXPECT_EQ(cost.management_total(), packed_mgmt) << label;
+          EXPECT_EQ(cost.total_bits(), packed_total) << label;
+        }
+      }
+    }
+  }
+}
+
 TEST(Accounting, SpecValidationRejectsBadGeometry) {
   SlidingWindowSpec spec{100, 100, 7};  // odd window
   EXPECT_THROW(spec.validate(), std::invalid_argument);

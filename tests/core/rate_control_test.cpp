@@ -1,0 +1,180 @@
+#include "core/rate_control.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "core/streaming_engine.hpp"
+#include "image/synthetic.hpp"
+#include "runtime/stripe.hpp"
+
+namespace swc::core {
+namespace {
+
+double achieved_bpp(const RunStats& stats, std::size_t pixels) {
+  const auto& ids = EngineMetricIds::get();
+  const auto bits = stats.metrics.sum(ids.payload_bits) + stats.metrics.sum(ids.management_bits);
+  return static_cast<double>(bits) / static_cast<double>(pixels);
+}
+
+// One engine frame at a fixed threshold; the plant the controller steers.
+double frame_bpp(const image::ImageU8& img, const EngineConfig& config, int threshold) {
+  const CompressedEngine engine(config);
+  bitpack::ColumnCodecConfig codec = config.codec;
+  codec.threshold = threshold;
+  const auto result = engine.run_with_codec(
+      img, codec, [](std::size_t, std::size_t, const WindowView&) {});
+  return achieved_bpp(result.stats, img.size());
+}
+
+TEST(RateControl, ConfigValidation) {
+  RateControlConfig config;
+  EXPECT_NO_THROW(config.validate());
+  config.target = 0.0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config.target = 2.0;
+  config.tolerance = 1.0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config.tolerance = 0.05;
+  config.min_threshold = 10;
+  config.max_threshold = 5;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config.max_threshold = 20;
+  config.initial_threshold = 4;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config.initial_threshold = 12;
+  EXPECT_NO_THROW(config.validate());
+  EXPECT_THROW(RateController(RateControlConfig{.target = -1.0}), std::invalid_argument);
+}
+
+TEST(RateControl, StepResponseConvergesOnMonotonicPlant) {
+  // Synthetic monotone plant: bpp(T) = 16 / (1 + T). Target the exact value
+  // at T = 10 and require convergence from T = 0 within K observations,
+  // with the threshold pinned once converged (no oscillation).
+  const auto plant = [](int t) { return 16.0 / (1.0 + t); };
+  RateControlConfig config;
+  config.target = plant(10);
+  config.max_threshold = 64;
+  RateController ctrl(config);
+
+  constexpr int kMaxObservations = 16;
+  int settled_at = -1;
+  for (int i = 0; i < kMaxObservations; ++i) {
+    ctrl.observe(plant(ctrl.threshold()));
+    if (ctrl.converged()) {
+      settled_at = i;
+      break;
+    }
+  }
+  ASSERT_GE(settled_at, 0) << "did not converge in " << kMaxObservations << " observations";
+  EXPECT_EQ(ctrl.threshold(), 10);
+
+  // Post-settle: the same plant must never move the actuation again.
+  for (int i = 0; i < 8; ++i) {
+    const int before = ctrl.threshold();
+    ctrl.observe(plant(before));
+    EXPECT_TRUE(ctrl.converged());
+    EXPECT_EQ(ctrl.threshold(), before);
+  }
+}
+
+TEST(RateControl, StepResponseConvergesDownward) {
+  // Start above the target threshold: the controller must walk T down.
+  const auto plant = [](int t) { return 16.0 / (1.0 + t); };
+  RateControlConfig config;
+  config.target = plant(3);
+  config.initial_threshold = 40;
+  RateController ctrl(config);
+  bool settled = false;
+  for (int i = 0; i < 16 && !settled; ++i) {
+    ctrl.observe(plant(ctrl.threshold()));
+    settled = ctrl.converged();
+  }
+  ASSERT_TRUE(settled);
+  EXPECT_EQ(ctrl.threshold(), 3);
+}
+
+TEST(RateControl, MseModeMovesThresholdTheOppositeWay) {
+  // MSE grows with T, so "achieved above target" must lower T and
+  // vice versa — the inverse of the bpp plant.
+  RateControlConfig config;
+  config.mode = RateControlMode::Mse;
+  config.target = 4.0;
+  config.initial_threshold = 8;
+  // Error above budget at T=8: next threshold must be lower.
+  RateController down(config);
+  EXPECT_LT(down.observe(10.0), 8);
+  // Error far below budget: spend it on more compression (raise T).
+  RateController up(config);
+  EXPECT_GT(up.observe(0.5), 8);
+}
+
+TEST(RateControl, ClampsToConfiguredRange) {
+  RateControlConfig config;
+  config.target = 1.0;
+  config.min_threshold = 2;
+  config.max_threshold = 6;
+  config.initial_threshold = 4;
+  RateController ctrl(config);
+  for (int i = 0; i < 10; ++i) ctrl.observe(100.0);  // way over budget -> push up
+  EXPECT_EQ(ctrl.threshold(), 6);
+  for (int i = 0; i < 10; ++i) ctrl.observe(0.001);  // way under -> push down
+  EXPECT_EQ(ctrl.threshold(), 2);
+}
+
+TEST(RateControl, EngineLoopHitsBppTargetWithinTolerance) {
+  // Acceptance gate: against the real engine plant, target the bpp measured
+  // at T = 4 and require the closed loop (frame-to-frame actuation) to land
+  // within the 5% dead band within K frames, starting lossless.
+  const auto img = image::make_natural_image(64, 48, {.seed = 21});
+  EngineConfig config;
+  config.spec = {64, 48, 8};
+
+  RateControlConfig rc;
+  rc.target = frame_bpp(img, config, 4);
+  rc.tolerance = 0.05;
+  RateController ctrl(rc);
+
+  const CompressedEngine engine(config);
+  constexpr int kMaxFrames = 20;
+  double achieved = 0.0;
+  bool settled = false;
+  for (int frame = 0; frame < kMaxFrames && !settled; ++frame) {
+    bitpack::ColumnCodecConfig codec = config.codec;
+    codec.threshold = ctrl.threshold();
+    const auto result = engine.run_with_codec(
+        img, codec, [](std::size_t, std::size_t, const WindowView&) {});
+    achieved = achieved_bpp(result.stats, img.size());
+    ctrl.observe(achieved);
+    settled = ctrl.converged();
+  }
+  ASSERT_TRUE(settled) << "no convergence in " << kMaxFrames << " frames";
+  EXPECT_LE(std::abs(achieved / rc.target - 1.0), rc.tolerance);
+}
+
+TEST(RateControl, StripedRunAdaptsWithinOneFrame) {
+  // run_compressed_rate_controlled feeds the controller per stripe: by the
+  // end of one tall frame the actuation must have moved off the initial
+  // threshold toward the (tight) budget, and the controller keeps its state
+  // for the next frame.
+  const auto img = image::make_natural_image(64, 96, {.seed = 5});
+  EngineConfig config;
+  config.spec = {64, 96, 8};
+
+  RateControlConfig rc;
+  // Budget far below any achievable stripe rate (management bits alone
+  // exceed it): the controller must raise T.
+  rc.target = 0.05;
+  RateController ctrl(rc);
+  const auto result = runtime::run_compressed_rate_controlled(config, img, 8, ctrl);
+  EXPECT_GT(ctrl.threshold(), 0);
+  EXPECT_GE(ctrl.observations(), 8u);
+  // The merged result is still a full-frame reconstruction.
+  EXPECT_EQ(result.reconstructed.width(), 64u);
+  EXPECT_EQ(result.reconstructed.height(), 96u);
+}
+
+}  // namespace
+}  // namespace swc::core

@@ -174,13 +174,52 @@ TEST(FrameServer, ValidatesStreamIdAndGeometry) {
   const auto config = make_config(16, 16, 4);
   const auto id =
       server.open_stream({.name = "v", .kind = EngineKind::Compressed, .engine = config});
-  EXPECT_THROW((void)server.submit(id + 1, image::make_gradient_image(16, 16)),
-               std::invalid_argument);
+  // Unknown ids are a reportable outcome, not an exception: with concurrent
+  // close_stream() a stale id is a race, and races must not throw.
+  const auto receipt = server.submit_frame(id + 1, image::make_gradient_image(16, 16));
+  EXPECT_FALSE(receipt.accepted());
+  EXPECT_EQ(receipt.error, SubmitError::UnknownStream);
+  // Geometry mismatch against an open stream is still a caller bug.
   EXPECT_THROW((void)server.submit(id, image::make_gradient_image(16, 8)), std::invalid_argument);
   const auto trad =
       server.open_stream({.name = "t", .kind = EngineKind::Traditional, .engine = config});
   EXPECT_THROW((void)server.submit_striped(trad, image::make_gradient_image(16, 16), 2),
                std::invalid_argument);
+  EXPECT_THROW((void)server.submit_striped(trad + 7, image::make_gradient_image(16, 16), 2),
+               std::invalid_argument);
+}
+
+TEST(FrameServer, CloseStreamRetiresSlotAndReusesId) {
+  FrameServer server({.workers = 1, .queue_capacity = 4});
+  const auto config = make_config(16, 16, 4);
+  const auto a =
+      server.open_stream({.name = "a", .kind = EngineKind::Compressed, .engine = config});
+  const auto b =
+      server.open_stream({.name = "b", .kind = EngineKind::Compressed, .engine = config});
+  EXPECT_EQ(server.active_streams(), 2u);
+
+  EXPECT_TRUE(server.close_stream(a));
+  EXPECT_FALSE(server.close_stream(a));  // already closed
+  EXPECT_FALSE(server.close_stream(b + 100));
+  EXPECT_EQ(server.active_streams(), 1u);
+
+  // Submissions to the retired id fail loudly, the live stream still works.
+  EXPECT_EQ(server.submit_frame(a, image::make_gradient_image(16, 16)).error,
+            SubmitError::UnknownStream);
+  EXPECT_TRUE(server.submit(b, image::make_gradient_image(16, 16)));
+  server.wait_idle();
+
+  // Closed stats disappear from the snapshot; the slot table stays bounded.
+  const auto snap = server.stats();
+  ASSERT_EQ(snap.streams.size(), 1u);
+  EXPECT_EQ(snap.streams[0].name, "b");
+
+  const auto reused =
+      server.open_stream({.name = "a2", .kind = EngineKind::Compressed, .engine = config});
+  EXPECT_EQ(reused, a);
+  EXPECT_EQ(server.stream_slots(), 2u);
+  EXPECT_TRUE(server.submit(reused, image::make_gradient_image(16, 16)));
+  server.wait_idle();
 }
 
 TEST(FrameServer, ReentrantEngineProducesIdenticalResultsAcrossThreads) {

@@ -31,6 +31,9 @@ TEST(ServeProtocol, HelloPayloadRoundTrips) {
   hello.window = 16;
   hello.threshold = -3;
   hello.name = "camera-7";
+  hello.backend = "legall53";
+  hello.rate_mode = RateMode::BitsPerPixel;
+  hello.rate_target_milli = 2500;  // 2.5 bpp
 
   const auto decoded = decode_hello(encode_payload(hello));
   ASSERT_TRUE(decoded.has_value());
@@ -40,6 +43,15 @@ TEST(ServeProtocol, HelloPayloadRoundTrips) {
   EXPECT_EQ(decoded->window, 16u);
   EXPECT_EQ(decoded->threshold, -3);
   EXPECT_EQ(decoded->name, "camera-7");
+  EXPECT_EQ(decoded->backend, "legall53");
+  EXPECT_EQ(decoded->rate_mode, RateMode::BitsPerPixel);
+  EXPECT_EQ(decoded->rate_target_milli, 2500u);
+
+  // Defaults stay on the wire too: no backend, no rate control.
+  const auto plain = decode_hello(encode_payload(HelloPayload{}));
+  ASSERT_TRUE(plain.has_value());
+  EXPECT_TRUE(plain->backend.empty());
+  EXPECT_EQ(plain->rate_mode, RateMode::None);
 }
 
 TEST(ServeProtocol, FrameDoneAndErrorPayloadsRoundTrip) {

@@ -202,6 +202,68 @@ TEST(ServeE2E, BadGeometryIsRefusedAtHello) {
   server.stop();
 }
 
+TEST(ServeE2E, UnknownBackendIsRefusedAtHello) {
+  Server server;
+  server.start();
+  SyncClient conn({.host = "127.0.0.1", .port = server.port()});
+  auto hello = bulk_hello();
+  hello.backend = "vaporware";
+  try {
+    conn.hello(hello);
+    FAIL() << "HELLO with an unregistered backend must be refused";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("backend"), std::string::npos) << e.what();
+  }
+  server.stop();
+}
+
+TEST(ServeE2E, BackendAndRateTargetNegotiateAtHello) {
+  // A legall53 stream with a closed-loop bpp target: frames must complete
+  // Ok and report compressed bits, proving the backend + controller ran.
+  Server server({.port = 0, .workers = 2, .queue_capacity = 16, .limits = {}});
+  server.start();
+  SyncClient conn({.host = "127.0.0.1", .port = server.port()});
+  auto hello = bulk_hello();
+  hello.threshold = 0;
+  hello.backend = "legall53";
+  hello.rate_mode = RateMode::BitsPerPixel;
+  hello.rate_target_milli = 500;  // 0.5 bpp — far below lossless, forces adaptation
+  conn.hello(hello);
+
+  const auto pixels = test_pixels(64, 64);
+  for (std::uint64_t seq = 1; seq <= 4; ++seq) {
+    conn.send_frame(seq, pixels);
+    const auto reply = conn.read_message();
+    ASSERT_TRUE(reply.has_value());
+    ASSERT_EQ(reply->header.type, MsgType::FrameDone);
+    const auto done = decode_frame_done(reply->payload);
+    ASSERT_TRUE(done.has_value());
+    EXPECT_EQ(done->status, FrameStatus::Ok);
+    EXPECT_GT(done->payload_bits, 0u);
+  }
+  server.stop();
+}
+
+TEST(ServeE2E, SessionTeardownRetiresEngineStream) {
+  // The leak fix: each connection's engine stream must be closed with the
+  // session, so repeated connect/hello/disconnect cycles keep the engine's
+  // slot table bounded (ids recycle) instead of growing monotonically.
+  Server server({.port = 0, .workers = 1, .queue_capacity = 8, .limits = {}});
+  server.start();
+  for (int cycle = 0; cycle < 12; ++cycle) {
+    SyncClient conn({.host = "127.0.0.1", .port = server.port()});
+    conn.hello(bulk_hello());
+    conn.send_frame(1, test_pixels(64, 64));
+    const auto reply = conn.read_message();
+    ASSERT_TRUE(reply.has_value());
+    conn.send_goodbye();
+    EXPECT_FALSE(conn.read_message().has_value());  // server closes after draining
+  }
+  EXPECT_TRUE(eventually([&] { return server.engine().active_streams() == 0; }));
+  EXPECT_LE(server.engine().stream_slots(), 2u);  // closing cycle may overlap the next open
+  server.stop();
+}
+
 TEST(ServeE2E, WrongSizedFrameGetsBadFrameNotDisconnect) {
   Server server;
   server.start();
