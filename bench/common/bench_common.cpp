@@ -140,15 +140,40 @@ const BenchMeta& bench_meta() {
   return meta;
 }
 
-std::string git_rev() {
-  std::FILE* pipe = ::popen("git rev-parse --short HEAD 2>/dev/null", "r");
-  if (pipe == nullptr) return "unknown";
+namespace {
+
+std::string git_rev_from(const std::string& command) {
+  std::FILE* pipe = ::popen(command.c_str(), "r");
+  if (pipe == nullptr) return {};
   char buf[64] = {};
   std::string rev;
   if (std::fgets(buf, sizeof(buf), pipe) != nullptr) rev = buf;
   ::pclose(pipe);
   while (!rev.empty() && (rev.back() == '\n' || rev.back() == '\r')) rev.pop_back();
-  return rev.empty() ? "unknown" : rev;
+  return rev;
+}
+
+}  // namespace
+
+std::string git_rev() {
+  // Benches run from scratch working directories (the regression fixtures,
+  // CI artifact dirs), so a cwd-relative `git rev-parse` quietly yields
+  // nothing and the committed artifact says "unknown". Anchor the lookup at
+  // the source tree first, then fall back to the cwd (running a copied
+  // binary inside some other checkout), then to the revision baked in at
+  // configure time.
+#if defined(SWC_SOURCE_DIR)
+  std::string rev =
+      git_rev_from("git -C '" SWC_SOURCE_DIR "' rev-parse --short HEAD 2>/dev/null");
+  if (!rev.empty()) return rev;
+#endif
+  std::string cwd_rev = git_rev_from("git rev-parse --short HEAD 2>/dev/null");
+  if (!cwd_rev.empty()) return cwd_rev;
+#if defined(SWC_GIT_REV)
+  return SWC_GIT_REV;
+#else
+  return "unknown";
+#endif
 }
 
 namespace {

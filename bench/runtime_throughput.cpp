@@ -1,16 +1,26 @@
-// Multi-stream runtime throughput: aggregate frames/sec and MPixels/sec of
-// the FrameServer at 1/2/4/8 workers, for both engine kinds, on a synthetic
-// multi-stream workload (8 independent streams), plus the stripe-parallel
-// latency of a single large frame. Results are printed as a table and also
-// written as the standardized BENCH_runtime.json artifact so the scaling
-// claim is machine-checkable.
+// Multi-stream runtime throughput on the sharded pool: aggregate frames/sec
+// and MPixels/sec of the FrameServer across a worker sweep ({1,2,4,8} plus
+// the machine's full core count), for both engine kinds, on a synthetic
+// multi-stream workload. Frames are sourced from the per-shard arena
+// (acquire_frame), so the steady state exercises the recycle loop the server
+// runs in production. Alongside the sweep: a 100:1 skew point with forced
+// shards=2 that reports the steal rate, and the stripe-parallel latency of a
+// single large frame.
+//
+// The scaling verdict is gated to min(workers, hardware cores): a sweep
+// point that oversubscribes the machine cannot be expected to scale, so it
+// is reported but never judged. Results are printed as a table and written
+// as the standardized BENCH_runtime.json artifact so the scaling claim is
+// machine-checkable (gated by bench/check_regression.py).
 //
 // SWC_BENCH_FRAMES scales the per-stream frame count (default 3).
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/bench_common.hpp"
@@ -25,6 +35,7 @@ using Clock = std::chrono::steady_clock;
 struct MeasuredPoint {
   std::string engine;
   std::size_t workers = 0;
+  std::size_t shards = 0;
   double seconds = 0.0;
   double fps = 0.0;
   double mpixels_per_sec = 0.0;
@@ -33,6 +44,8 @@ struct MeasuredPoint {
   double p95_ms = 0.0;
   double p99_ms = 0.0;
   double utilization = 0.0;
+  double steals_per_frame = 0.0;
+  std::vector<double> shard_utilization;  // mean utilization per shard
 };
 
 struct StripePoint {
@@ -44,12 +57,39 @@ double seconds_since(Clock::time_point t0) {
   return std::chrono::duration<double>(Clock::now() - t0).count();
 }
 
+// Worker counts worth sweeping: the canonical {1,2,4,8} plus the machine's
+// actual concurrency, deduplicated and sorted.
+std::vector<std::size_t> sweep_workers() {
+  std::vector<std::size_t> counts = {1, 2, 4, 8};
+  const std::size_t hw = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  counts.push_back(hw);
+  std::sort(counts.begin(), counts.end());
+  counts.erase(std::unique(counts.begin(), counts.end()), counts.end());
+  return counts;
+}
+
+// Fill an arena-acquired frame with the template's pixels and submit it.
+void submit_arena_frame(swc::runtime::FrameServer& server, std::uint32_t id,
+                        const swc::image::ImageU8& content) {
+  auto payload = server.acquire_frame(id);
+  std::copy(content.pixels().begin(), content.pixels().end(), payload.pixels().begin());
+  (void)server.submit(id, std::move(payload), swc::runtime::SubmitPolicy::Block);
+}
+
+double mean_of(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double sum = 0.0;
+  for (const double x : v) sum += x;
+  return sum / static_cast<double>(v.size());
+}
+
 }  // namespace
 
 int main() {
   using namespace swc;
-  benchx::print_header("Multi-stream runtime throughput",
-                       "FrameServer aggregate rate vs worker count; stripe-parallel latency");
+  benchx::print_header("Multi-stream runtime throughput (sharded pool)",
+                       "FrameServer aggregate rate vs worker count; skewed-shard steal rate; "
+                       "stripe-parallel latency");
 
   constexpr std::size_t kStreams = 8;
   constexpr std::size_t kSize = 256;
@@ -59,6 +99,7 @@ int main() {
     frames_per_stream = static_cast<std::size_t>(std::strtoul(env, nullptr, 10));
     if (frames_per_stream == 0) frames_per_stream = 3;
   }
+  const std::size_t hw_cores = std::max<std::size_t>(1, std::thread::hardware_concurrency());
 
   core::EngineConfig config;
   config.spec = {kSize, kSize, kWindow};
@@ -72,25 +113,26 @@ int main() {
     frames.push_back(image::make_natural_image(kSize, kSize, {.seed = 1000 + i}));
   }
 
-  const std::size_t worker_counts[] = {1, 2, 4, 8};
+  const auto worker_counts = sweep_workers();
   const std::size_t total_frames = kStreams * frames_per_stream;
-  const double total_mpixels =
-      static_cast<double>(total_frames * kSize * kSize) / 1e6;
+  const double total_mpixels = static_cast<double>(total_frames * kSize * kSize) / 1e6;
 
   std::vector<MeasuredPoint> points;
-  // Aggregate per-stage telemetry from the 8-worker compressed run; folded
+  // Aggregate per-stage telemetry from the widest compressed run; folded
   // into BENCH_runtime.json so the artifact carries the stage breakdown next
   // to the throughput numbers.
   telemetry::Snapshot stage_metrics;
+  const std::size_t widest = worker_counts.back();
   for (const char* engine_name : {"traditional", "compressed"}) {
     const bool compressed = std::string(engine_name) == "compressed";
     std::printf("engine=%s  streams=%zu  frames/stream=%zu  %zux%zu  window=%zu\n", engine_name,
                 kStreams, frames_per_stream, kSize, kSize, kWindow);
-    std::printf("  %-8s %10s %12s %14s %16s %12s\n", "workers", "sec", "frames/s", "MPixels/s",
-                "mean lat (ms)", "util");
+    std::printf("  %-8s %7s %10s %12s %14s %16s %12s %12s\n", "workers", "shards", "sec",
+                "frames/s", "MPixels/s", "mean lat (ms)", "util", "steals/frame");
     double base_fps = 0.0;
     for (const std::size_t workers : worker_counts) {
-      runtime::FrameServer server({.workers = workers, .queue_capacity = 2 * total_frames});
+      runtime::FrameServer server(
+          {.workers = workers, .queue_capacity = 2 * total_frames, .shards = 0});
       std::vector<std::uint32_t> ids;
       for (std::size_t i = 0; i < kStreams; ++i) {
         ids.push_back(server.open_stream(
@@ -100,16 +142,23 @@ int main() {
              .engine = config,
              .keep_output = false}));
       }
+      // Warm the arenas outside the timed region: first touch allocates,
+      // every later acquire recycles.
+      for (std::size_t i = 0; i < kStreams; ++i) {
+        submit_arena_frame(server, ids[i], frames[i]);
+      }
+      server.wait_idle();
+
       const auto t0 = Clock::now();
       for (std::size_t f = 0; f < frames_per_stream; ++f) {
         for (std::size_t i = 0; i < kStreams; ++i) {
-          (void)server.submit(ids[i], frames[i], runtime::SubmitPolicy::Block);
+          submit_arena_frame(server, ids[i], frames[i]);
         }
       }
       server.wait_idle();
       const double sec = seconds_since(t0);
       const auto stats = server.stats();
-      if (compressed && workers == 8) stage_metrics = stats.metrics;
+      if (compressed && workers == widest) stage_metrics = stats.metrics;
 
       double mean_lat = 0.0;
       runtime::LatencyAccumulator pool_latency;  // tail across every stream
@@ -122,6 +171,7 @@ int main() {
       MeasuredPoint p;
       p.engine = engine_name;
       p.workers = workers;
+      p.shards = stats.shards.size();
       p.seconds = sec;
       p.fps = static_cast<double>(total_frames) / sec;
       p.mpixels_per_sec = total_mpixels / sec;
@@ -130,14 +180,90 @@ int main() {
       p.p95_ms = pool_latency.p95_ms();
       p.p99_ms = pool_latency.p99_ms();
       p.utilization = stats.mean_worker_utilization();
+      p.steals_per_frame = static_cast<double>(stats.total_steals()) /
+                           static_cast<double>(total_frames);
+      for (const auto& shard : stats.shards) {
+        p.shard_utilization.push_back(mean_of(shard.worker_utilization));
+      }
       points.push_back(p);
       if (workers == 1) base_fps = p.fps;
 
-      std::printf("  %-8zu %10.3f %12.1f %14.2f %16.2f %11.0f%%   (%.2fx vs 1 worker)\n",
-                  workers, sec, p.fps, p.mpixels_per_sec, mean_lat, 100.0 * p.utilization,
+      std::printf("  %-8zu %7zu %10.3f %12.1f %14.2f %16.2f %11.0f%% %12.2f   (%.2fx vs 1)\n",
+                  workers, p.shards, sec, p.fps, p.mpixels_per_sec, mean_lat,
+                  100.0 * p.utilization, p.steals_per_frame,
                   base_fps > 0.0 ? p.fps / base_fps : 1.0);
     }
     std::printf("\n");
+  }
+
+  // Scaling verdict, gated to the points the machine can actually parallelize:
+  // oversubscribed sweep points (workers > hardware cores) are reported above
+  // but never judged.
+  bool verdict_ok = true;
+  {
+    double last = 0.0;
+    std::size_t judged = 0;
+    for (const auto& p : points) {
+      if (p.engine != "traditional" || p.workers > hw_cores) continue;
+      // 10% tolerance: the claim is "more cores, more throughput", not that
+      // two adjacent sweep points never swap within run-to-run noise.
+      if (p.workers > 1 && p.mpixels_per_sec < 0.9 * last) {
+        std::printf("VERDICT: traditional throughput not monotonic at %zu workers "
+                    "(%.2f < %.2f MPixels/s)\n",
+                    p.workers, p.mpixels_per_sec, last);
+        verdict_ok = false;
+      }
+      last = p.mpixels_per_sec;
+      ++judged;
+    }
+    std::printf("scaling verdict: %s (judged %zu/%zu traditional points; %zu hardware cores)\n",
+                verdict_ok ? "PASS" : "FAIL", judged,
+                static_cast<std::size_t>(std::count_if(
+                    points.begin(), points.end(),
+                    [](const MeasuredPoint& p) { return p.engine == "traditional"; })),
+                hw_cores);
+  }
+
+  // 100:1 skew on forced shards=2: one hot stream pinned to shard 0, one
+  // cold stream pinned to shard 1. Work only balances if shard 1's workers
+  // steal the hot strand's token between frames — the steal rate is the
+  // telemetry claim under test.
+  std::size_t skew_shards = 0;
+  double skew_fps = 0.0;
+  double skew_steals_per_frame = 0.0;
+  {
+    const std::size_t hot_frames = 100 * frames_per_stream;
+    const std::size_t cold_frames = frames_per_stream;
+    runtime::FrameServer server({.workers = std::max<std::size_t>(4, hw_cores),
+                                 .queue_capacity = 2 * (hot_frames + cold_frames),
+                                 .shards = 2,
+                                 .pin_threads = false});
+    skew_shards = server.shard_count();
+    const auto hot_id = server.open_stream({.name = "hot",
+                                            .kind = runtime::EngineKind::Compressed,
+                                            .engine = config,
+                                            .keep_output = false,
+                                            .shard_hint = 0});
+    const auto cold_id = server.open_stream({.name = "cold",
+                                             .kind = runtime::EngineKind::Compressed,
+                                             .engine = config,
+                                             .keep_output = false,
+                                             .shard_hint = 1});
+    const auto t0 = Clock::now();
+    for (std::size_t f = 0; f < hot_frames; ++f) {
+      submit_arena_frame(server, hot_id, frames[0]);
+      if (f < cold_frames) submit_arena_frame(server, cold_id, frames[1]);
+    }
+    server.wait_idle();
+    const double sec = seconds_since(t0);
+    const auto stats = server.stats();
+    skew_fps = static_cast<double>(hot_frames + cold_frames) / sec;
+    skew_steals_per_frame = static_cast<double>(stats.total_steals()) /
+                            static_cast<double>(hot_frames + cold_frames);
+    std::printf("\nskew 100:1 (shards=2 forced, %zu workers): %.1f frames/s, "
+                "%.2f steals/frame, %llu parks\n",
+                server.worker_count(), skew_fps, skew_steals_per_frame,
+                static_cast<unsigned long long>(stats.total_parks()));
   }
 
   // Stripe-parallel latency of one large frame on an 8-worker pool.
@@ -145,13 +271,14 @@ int main() {
   core::EngineConfig big = config;
   big.spec = {kBigSize, kBigSize, kWindow};
   const auto big_frame = image::make_natural_image(kBigSize, kBigSize, {.seed = 9});
-  std::printf("stripe-parallel single frame  %zux%zu  window=%zu  (8-worker pool)\n", kBigSize,
+  std::printf("\nstripe-parallel single frame  %zux%zu  window=%zu  (8-worker pool)\n", kBigSize,
               kBigSize, kWindow);
   std::printf("  %-8s %14s\n", "stripes", "ms/frame");
   std::vector<StripePoint> stripe_points;
   {
     runtime::ThreadPool pool(8, 16);
-    for (const std::size_t stripes : worker_counts) {
+    for (const std::size_t stripes : {std::size_t{1}, std::size_t{2}, std::size_t{4},
+                                      std::size_t{8}}) {
       const auto t0 = Clock::now();
       const auto result = runtime::run_compressed_striped(big, big_frame, stripes, &pool);
       const double ms = 1e3 * seconds_since(t0);
@@ -171,8 +298,9 @@ int main() {
                                " size=" + std::to_string(kSize) +
                                " window=" + std::to_string(kWindow);
   for (const auto& p : points) {
-    const std::string cfg =
-        base_cfg + " engine=" + p.engine + " workers=" + std::to_string(p.workers);
+    const std::string cfg = base_cfg + " engine=" + p.engine +
+                            " workers=" + std::to_string(p.workers) +
+                            " shards=" + std::to_string(p.shards);
     records.push_back({"frame_server", cfg, "frames_per_sec", p.fps, "frames/s"});
     records.push_back({"frame_server", cfg, "throughput", p.mpixels_per_sec, "MPixels/s"});
     records.push_back({"frame_server", cfg, "mean_latency", p.mean_latency_ms, "ms"});
@@ -180,6 +308,18 @@ int main() {
     records.push_back({"frame_server", cfg, "latency_p95", p.p95_ms, "ms"});
     records.push_back({"frame_server", cfg, "latency_p99", p.p99_ms, "ms"});
     records.push_back({"frame_server", cfg, "worker_utilization", p.utilization, "fraction"});
+    records.push_back({"frame_server", cfg, "steal_rate", p.steals_per_frame, "steals/frame"});
+    for (std::size_t s = 0; s < p.shard_utilization.size(); ++s) {
+      records.push_back({"frame_server", cfg + " shard=" + std::to_string(s),
+                         "shard_utilization", p.shard_utilization[s], "fraction"});
+    }
+  }
+  {
+    const std::string cfg = base_cfg + " engine=compressed skew=100:1 shards=" +
+                            std::to_string(skew_shards);
+    records.push_back({"frame_server_skew", cfg, "frames_per_sec", skew_fps, "frames/s"});
+    records.push_back(
+        {"frame_server_skew", cfg, "steal_rate", skew_steals_per_frame, "steals/frame"});
   }
   for (const auto& sp : stripe_points) {
     records.push_back({"stripe_single_frame",
@@ -188,7 +328,8 @@ int main() {
                        "frame_latency", sp.ms_per_frame, "ms"});
   }
   benchx::append_snapshot_records(records, stage_metrics, "frame_server_stages",
-                                  base_cfg + " engine=compressed workers=8");
+                                  base_cfg + " engine=compressed workers=" +
+                                      std::to_string(widest));
   benchx::write_bench_json("BENCH_runtime.json", "runtime_throughput", records);
-  return 0;
+  return verdict_ok ? 0 : 1;
 }

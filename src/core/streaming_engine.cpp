@@ -38,7 +38,7 @@ void TraditionalEngine::check_image(const image::ImageU8& img) const {
   check_dims(img, spec_, "TraditionalEngine");
 }
 
-void CompressedEngine::begin_run(const image::ImageU8& img, RunState& st) const {
+void CompressedEngine::begin_run(const image::ImageU8& img, Scratch& st) const {
   check_dims(img, config_.spec, "CompressedEngine");
   const std::size_t n = config_.spec.window;
   const std::size_t w = config_.spec.image_width;
@@ -47,18 +47,30 @@ void CompressedEngine::begin_run(const image::ImageU8& img, RunState& st) const 
     const auto row = img.row(y);
     std::copy(row.begin(), row.end(), st.band.begin() + static_cast<std::ptrdiff_t>(y * w));
   }
-  st.reconstructed = image::ImageU8(img.width(), img.height());
+  // Rebuild the output image on recycled storage when the scratch has any
+  // (spare was banked by Scratch::recycle, or the previous run's result was
+  // never moved out); a fresh scratch allocates once and reuses thereafter.
+  std::vector<std::uint8_t> recon = std::move(st.reconstructed).release();
+  if (st.spare.capacity() > recon.capacity()) recon = std::move(st.spare);
+  recon.assign(img.size(), 0);
+  st.reconstructed = image::ImageU8(img.width(), img.height(), std::move(recon));
   st.stats = RunStats{};
-  st.scratch = backend_->make_scratch();
+  // The codec scratch's concrete type belongs to the backend that made it;
+  // re-make it when the scratch migrates to an engine with a different
+  // backend (registry memoization makes pointer identity sufficient).
+  if (st.scratch == nullptr || st.scratch_backend != backend_.get()) {
+    st.scratch = backend_->make_scratch();
+    st.scratch_backend = backend_.get();
+  }
 }
 
-void CompressedEngine::commit_exiting_row(std::size_t r, RunState& st) const {
+void CompressedEngine::commit_exiting_row(std::size_t r, Scratch& st) const {
   const std::size_t w = config_.spec.image_width;
   std::copy(st.band.begin(), st.band.begin() + static_cast<std::ptrdiff_t>(w),
             st.reconstructed.row(r).begin());
 }
 
-void CompressedEngine::flush_tail(std::size_t last_r, RunState& st) const {
+void CompressedEngine::flush_tail(std::size_t last_r, Scratch& st) const {
   const std::size_t n = config_.spec.window;
   const std::size_t w = config_.spec.image_width;
   for (std::size_t y = 1; y < n; ++y) {
@@ -70,7 +82,7 @@ void CompressedEngine::flush_tail(std::size_t last_r, RunState& st) const {
 
 void CompressedEngine::recompress_and_shift(const image::ImageU8& img, std::size_t r,
                                             const bitpack::ColumnCodecConfig& codec,
-                                            RunState& st) const {
+                                            Scratch& st) const {
   const std::size_t n = config_.spec.window;
   const std::size_t w = config_.spec.image_width;
   const auto& ids = EngineMetricIds::get();

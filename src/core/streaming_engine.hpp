@@ -203,6 +203,36 @@ struct CompressedRunResult {
 
 class CompressedEngine {
  public:
+  // All per-run working memory: the band double buffers, the backend's
+  // opaque codec scratch, and the reconstructed-image storage. Every pass
+  // owns one — either a stack-local the engine creates per call, or a
+  // caller-held instance reused across frames so the steady state allocates
+  // nothing at all (the runtime keeps one per stream; streams are
+  // strand-serialized, so a single Scratch never sees two frames at once).
+  // A Scratch may move between engines/codec configs freely: begin_run()
+  // re-sizes everything and the backend resets its scratch per band.
+  struct Scratch {
+    std::vector<std::uint8_t> band;
+    image::ImageU8 reconstructed;
+    RunStats stats;
+
+    std::unique_ptr<codec::BackendScratch> scratch;
+    const codec::CodecBackend* scratch_backend = nullptr;  // who made `scratch`
+    codec::BandTranscodeStats tstats;
+    std::vector<std::uint8_t> recon_band;
+    std::vector<std::uint8_t> next;
+    // Storage bank for the next run's reconstructed image (filled by
+    // recycle() when a caller discards a result).
+    std::vector<std::uint8_t> spare;
+
+    // Hand a no-longer-needed reconstructed image's buffer back so the
+    // next begin_run() can build on its capacity instead of allocating.
+    void recycle(image::ImageU8&& img) {
+      std::vector<std::uint8_t> buf = std::move(img).release();
+      if (buf.capacity() > spare.capacity()) spare = std::move(buf);
+    }
+  };
+
   // Resolves the configured codec backend through the registry; throws
   // std::invalid_argument for an unknown backend name.
   explicit CompressedEngine(EngineConfig config)
@@ -210,7 +240,7 @@ class CompressedEngine {
     config_.validate();
   }
 
-  // Const, reentrant pass: all per-run state lives in a local RunState, so
+  // Const, reentrant pass: all per-run state lives in a local Scratch, so
   // one engine instance can serve concurrent frames from a thread pool.
   template <typename Sink>
   CompressedRunResult run_reentrant(const image::ImageU8& img, Sink&& sink) const {
@@ -223,7 +253,17 @@ class CompressedEngine {
   template <typename Sink>
   CompressedRunResult run_with_codec(const image::ImageU8& img,
                                      const bitpack::ColumnCodecConfig& codec, Sink&& sink) const {
-    RunState st;
+    Scratch st;
+    return run_with_codec(img, codec, std::forward<Sink>(sink), st);
+  }
+
+  // Scratch-reusing form: all working memory comes from (and returns to)
+  // the caller's Scratch. One Scratch must not be shared by concurrent
+  // runs; distinct Scratches keep this const method fully reentrant.
+  template <typename Sink>
+  CompressedRunResult run_with_codec(const image::ImageU8& img,
+                                     const bitpack::ColumnCodecConfig& codec, Sink&& sink,
+                                     Scratch& st) const {
     begin_run(img, st);
     const std::size_t n = config_.spec.window;
     const std::size_t w = config_.spec.image_width;
@@ -259,27 +299,13 @@ class CompressedEngine {
   [[nodiscard]] const codec::CodecBackend& backend() const noexcept { return *backend_; }
 
  private:
-  // Per-run state; every pass owns one on its own stack. Besides the band
-  // buffer it carries the backend's opaque scratch (all transform/codec
-  // working memory), so the steady-state hot loop is allocation-free.
-  struct RunState {
-    std::vector<std::uint8_t> band;
-    image::ImageU8 reconstructed;
-    RunStats stats;
-
-    std::unique_ptr<codec::BackendScratch> scratch;
-    codec::BandTranscodeStats tstats;
-    std::vector<std::uint8_t> recon_band;
-    std::vector<std::uint8_t> next;
-  };
-
-  void begin_run(const image::ImageU8& img, RunState& st) const;
-  void commit_exiting_row(std::size_t r, RunState& st) const;
-  void flush_tail(std::size_t last_r, RunState& st) const;
+  void begin_run(const image::ImageU8& img, Scratch& st) const;
+  void commit_exiting_row(std::size_t r, Scratch& st) const;
+  void flush_tail(std::size_t last_r, Scratch& st) const;
   // Round-trip the band through the codec backend, shift the reconstructed
   // band up one row, and append input row (r + window).
   void recompress_and_shift(const image::ImageU8& img, std::size_t r,
-                            const bitpack::ColumnCodecConfig& codec, RunState& st) const;
+                            const bitpack::ColumnCodecConfig& codec, Scratch& st) const;
 
   EngineConfig config_;
   // Shared immutable backend instance (engines copy freely; the registry

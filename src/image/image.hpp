@@ -75,6 +75,15 @@ class Image {
   [[nodiscard]] std::span<T> pixels() noexcept { return data_; }
   [[nodiscard]] std::span<const T> pixels() const noexcept { return data_; }
 
+  // Extract the underlying storage, leaving the image empty. This is how
+  // the runtime recycles pixel buffers through its arena: the vector (and
+  // its capacity) outlives the image and can back the next frame.
+  [[nodiscard]] std::vector<T> release() && {
+    width_ = 0;
+    height_ = 0;
+    return std::move(data_);
+  }
+
   friend bool operator==(const Image& a, const Image& b) {
     return a.width_ == b.width_ && a.height_ == b.height_ && a.data_ == b.data_;
   }

@@ -1,0 +1,119 @@
+#include "runtime/frame_arena.hpp"
+
+#include <utility>
+
+#if defined(__linux__)
+#include <sys/mman.h>
+#include <unistd.h>
+#endif
+
+namespace swc::runtime {
+namespace {
+
+constexpr std::size_t kMinClass = 4096;           // below this, pooling is noise
+constexpr std::size_t kHugeThreshold = 2u << 20;  // THP granularity
+
+// Largest power of two <= n (n >= 1).
+std::size_t floor_pow2(std::size_t n) noexcept {
+  std::size_t p = 1;
+  while ((p << 1) != 0 && (p << 1) <= n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+std::size_t FrameArena::size_class(std::size_t bytes) noexcept {
+  std::size_t cls = kMinClass;
+  while (cls < bytes) cls <<= 1;
+  return cls;
+}
+
+FrameArena::FrameArena(FrameArenaOptions options) : options_(options) {}
+
+void FrameArena::advise_huge(std::vector<std::uint8_t>& buf) const {
+#if defined(__linux__) && defined(MADV_HUGEPAGE)
+  if (!options_.huge_pages || buf.capacity() < kHugeThreshold) return;
+  const auto page = static_cast<std::uintptr_t>(sysconf(_SC_PAGESIZE));
+  if (page == 0) return;
+  // vector storage is not page-aligned; advise the aligned interior range.
+  const auto addr = reinterpret_cast<std::uintptr_t>(buf.data());
+  const std::uintptr_t aligned = (addr + page - 1) & ~(page - 1);
+  const std::size_t skipped = static_cast<std::size_t>(aligned - addr);
+  if (skipped >= buf.capacity()) return;
+  const std::size_t len = buf.capacity() - skipped;
+  if (len < kHugeThreshold) return;
+  (void)madvise(reinterpret_cast<void*>(aligned), len, MADV_HUGEPAGE);  // best-effort
+#else
+  (void)buf;
+#endif
+}
+
+std::vector<std::uint8_t> FrameArena::acquire(std::size_t bytes) {
+  if (options_.enabled && bytes > 0) {
+    std::unique_lock lock(mutex_);
+    // First class whose capacity covers the request; every parked buffer in
+    // it (and above) fits by construction.
+    auto it = classes_.lower_bound(size_class(bytes));
+    if (it != classes_.end() && !it->second.empty()) {
+      std::vector<std::uint8_t> buf = std::move(it->second.back());
+      it->second.pop_back();
+      stats_.retained_bytes -= buf.capacity();
+      ++stats_.reuses;
+      ++stats_.outstanding;
+      lock.unlock();
+      buf.resize(bytes);
+      return buf;
+    }
+    ++stats_.allocs;
+    ++stats_.outstanding;
+    lock.unlock();
+    std::vector<std::uint8_t> buf;
+    buf.reserve(size_class(bytes));
+    buf.resize(bytes);
+    advise_huge(buf);
+    return buf;
+  }
+  {
+    std::lock_guard lock(mutex_);
+    ++stats_.allocs;
+    ++stats_.outstanding;
+  }
+  return std::vector<std::uint8_t>(bytes);
+}
+
+void FrameArena::recycle(std::vector<std::uint8_t> buf) {
+  std::lock_guard lock(mutex_);
+  --stats_.outstanding;
+  if (!options_.enabled || buf.capacity() < kMinClass) {
+    ++stats_.dropped;
+    return;
+  }
+  const std::size_t cls = floor_pow2(buf.capacity());
+  auto& list = classes_[cls];
+  if (list.size() >= options_.max_buffers_per_class ||
+      stats_.retained_bytes + buf.capacity() > options_.max_retained_bytes) {
+    ++stats_.dropped;
+    return;
+  }
+  buf.clear();  // keep capacity, forget contents
+  stats_.retained_bytes += buf.capacity();
+  ++stats_.recycled;
+  list.push_back(std::move(buf));
+}
+
+void FrameArena::trim() {
+  std::lock_guard lock(mutex_);
+  for (auto& [cls, list] : classes_) {
+    stats_.dropped += list.size();
+    list.clear();
+  }
+  classes_.clear();
+  stats_.retained_bytes = 0;
+}
+
+FrameArenaStats FrameArena::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+}  // namespace swc::runtime

@@ -1,0 +1,82 @@
+#pragma once
+// FrameArena: pooled byte buffers for frame payloads and codec scratch.
+//
+// The per-frame hot path used to allocate (and fault in) a fresh pixel
+// buffer per submission; at hundreds of thousands of frames per second the
+// allocator and the TLB become the wall before the codec does. The arena
+// recycles buffers through power-of-two size classes instead:
+//
+//  * acquire(bytes) returns a vector sized exactly `bytes` whose capacity
+//    comes from the smallest retained class that fits, or a fresh
+//    allocation when the freelist is dry;
+//  * recycle(buf) files the buffer back under the largest class its
+//    capacity covers, subject to per-class and total retention caps
+//    (excess buffers are released to the allocator, not hoarded).
+//
+// Each runtime shard owns one arena, so in the sharded FrameServer a
+// buffer is recycled on the shard whose workers touched it last —
+// first-touch page placement then keeps its pages node-local across
+// reuses without any explicit NUMA API. Large classes are advised
+// MADV_HUGEPAGE (best-effort; silently a no-op where unsupported).
+//
+// Thread-safe; all operations are short critical sections on one mutex
+// (contention is bounded by design: one arena per shard, not per process).
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <vector>
+
+namespace swc::runtime {
+
+struct FrameArenaOptions {
+  bool enabled = true;  // disabled: acquire() allocates, recycle() frees
+  std::size_t max_buffers_per_class = 16;
+  std::size_t max_retained_bytes = 64ull << 20;  // total across classes
+  bool huge_pages = true;  // advise MADV_HUGEPAGE on classes >= 2 MiB
+};
+
+struct FrameArenaStats {
+  std::uint64_t allocs = 0;    // acquires served by a fresh allocation
+  std::uint64_t reuses = 0;    // acquires served from the freelist
+  std::uint64_t recycled = 0;  // buffers returned and retained
+  std::uint64_t dropped = 0;   // buffers returned but released (caps/size)
+  std::size_t retained_bytes = 0;  // capacity currently parked in freelists
+  std::int64_t outstanding = 0;    // acquired and not yet returned
+};
+
+class FrameArena {
+ public:
+  explicit FrameArena(FrameArenaOptions options = {});
+
+  FrameArena(const FrameArena&) = delete;
+  FrameArena& operator=(const FrameArena&) = delete;
+
+  // Buffer with size() == bytes (capacity may be larger — a size class).
+  [[nodiscard]] std::vector<std::uint8_t> acquire(std::size_t bytes);
+
+  // Return a buffer for reuse. Accepts any vector (including ones the
+  // arena never produced); undersized or over-cap buffers are dropped.
+  void recycle(std::vector<std::uint8_t> buf);
+
+  // Release every retained buffer (counts them as dropped).
+  void trim();
+
+  [[nodiscard]] FrameArenaStats stats() const;
+  [[nodiscard]] const FrameArenaOptions& options() const noexcept { return options_; }
+
+  // Smallest size class covering `bytes` (power of two, >= 4 KiB).
+  [[nodiscard]] static std::size_t size_class(std::size_t bytes) noexcept;
+
+ private:
+  void advise_huge(std::vector<std::uint8_t>& buf) const;
+
+  const FrameArenaOptions options_;
+  mutable std::mutex mutex_;
+  // class capacity -> parked buffers of at least that capacity
+  std::map<std::size_t, std::vector<std::vector<std::uint8_t>>> classes_;
+  FrameArenaStats stats_;
+};
+
+}  // namespace swc::runtime

@@ -26,7 +26,16 @@ void check_frame(const StreamContext& ctx, const image::ImageU8& frame) {
 }  // namespace
 
 FrameServer::FrameServer(Options options)
-    : pool_(options.workers, options.queue_capacity), start_(std::chrono::steady_clock::now()) {}
+    : pool_([&] {
+        ShardPoolOptions pool_options;
+        pool_options.workers = options.workers;
+        pool_options.queue_capacity = options.queue_capacity;
+        pool_options.shards = options.shards;
+        pool_options.pin_threads = options.pin_threads;
+        pool_options.arena = options.arena;
+        return pool_options;
+      }()),
+      start_(std::chrono::steady_clock::now()) {}
 
 FrameServer::~FrameServer() { pool_.shutdown(); }
 
@@ -39,21 +48,28 @@ std::uint32_t FrameServer::open_stream(StreamConfig config) {
     // Reuse the smallest retired id so the slot table stays dense.
     id = free_ids_.back();
     free_ids_.pop_back();
-    streams_[id] = std::make_shared<StreamContext>(id, std::move(config));
   } else {
     id = static_cast<std::uint32_t>(streams_.size());
-    streams_.push_back(std::make_shared<StreamContext>(id, std::move(config)));
+    streams_.emplace_back();
   }
+  // Sticky placement: the explicit hint wins (the serve layer passes the
+  // connection id so one session's streams share a shard); otherwise ids
+  // round-robin across shards.
+  const std::size_t hint = config.shard_hint.value_or(id);
+  auto strand = pool_.make_strand(hint);
+  const std::size_t shard = strand->home_shard();
+  streams_[id] = Slot{std::make_shared<StreamContext>(id, std::move(config), shard),
+                      std::move(strand)};
   return id;
 }
 
 bool FrameServer::close_stream(std::uint32_t stream_id) {
   std::lock_guard lock(streams_mutex_);
-  if (stream_id >= streams_.size() || streams_[stream_id] == nullptr) return false;
-  // Dropping the slot's reference is the release: workers still processing
-  // this stream's frames share ownership of the context and flush its
+  if (stream_id >= streams_.size() || streams_[stream_id].ctx == nullptr) return false;
+  // Dropping the slot's references is the release: strand tokens still in
+  // flight share ownership of the context and strand, and flush their
   // telemetry on completion, so closing never races frame execution.
-  streams_[stream_id].reset();
+  streams_[stream_id] = Slot{};
   // Keep the free list sorted descending so pop_back() hands out the
   // smallest retired id first.
   const auto pos = std::lower_bound(free_ids_.begin(), free_ids_.end(), stream_id,
@@ -62,9 +78,9 @@ bool FrameServer::close_stream(std::uint32_t stream_id) {
   return true;
 }
 
-std::shared_ptr<StreamContext> FrameServer::find_stream(std::uint32_t id) const {
+FrameServer::Slot FrameServer::find_stream(std::uint32_t id) const {
   std::lock_guard lock(streams_mutex_);
-  if (id >= streams_.size()) return nullptr;
+  if (id >= streams_.size()) return Slot{};
   return streams_[id];
 }
 
@@ -78,25 +94,48 @@ std::size_t FrameServer::stream_slots() const {
   return streams_.size();
 }
 
+std::size_t FrameServer::queue_depth_for(std::uint32_t stream_id) const {
+  auto slot = find_stream(stream_id);
+  if (slot.ctx == nullptr) return 0;
+  return pool_.queue_depth(slot.ctx->shard());
+}
+
+image::ImageU8 FrameServer::acquire_frame(std::uint32_t stream_id) {
+  auto slot = find_stream(stream_id);
+  if (slot.ctx == nullptr) {
+    throw std::invalid_argument("FrameServer: unknown stream id " + std::to_string(stream_id));
+  }
+  const auto& spec = slot.ctx->config().engine.spec;
+  auto buf = pool_.arena(slot.ctx->shard()).acquire(spec.image_width * spec.image_height);
+  return image::ImageU8(spec.image_width, spec.image_height, std::move(buf));
+}
+
 SubmitReceipt FrameServer::submit_frame(std::uint32_t stream_id, image::ImageU8 frame,
                                         SubmitPolicy policy, Callback on_done) {
-  auto ctx = find_stream(stream_id);
-  if (ctx == nullptr) {
+  auto slot = find_stream(stream_id);
+  if (slot.ctx == nullptr) {
     SubmitReceipt receipt;
     receipt.stream_id = stream_id;
     receipt.error = SubmitError::UnknownStream;
     return receipt;
   }
+  auto& ctx = slot.ctx;
   check_frame(*ctx, frame);
 
   const auto submitted_at = std::chrono::steady_clock::now();
   const std::uint64_t seq = ctx->note_submitted();
 
   auto payload = std::make_shared<image::ImageU8>(std::move(frame));
-  auto job = [ctx, payload, submitted_at, seq, on_done = std::move(on_done)] {
-    auto run = ctx->process(*payload);
+  auto job = [this, ctx, payload, submitted_at, seq, on_done = std::move(on_done)] {
+    // Strand-serialized: never two frames of one stream at once, so the
+    // stream's reusable engine scratch is safe here.
+    auto run = ctx->process(*payload, ctx->strand_scratch());
     const std::uint64_t latency = elapsed_ns(submitted_at);
-    ctx->note_completed(run.stats, payload->size(), latency);
+    const std::size_t pixels = payload->size();
+    // The payload buffer returns to the arena of the shard whose workers
+    // just touched it (first-touch pages stay node-local across reuses).
+    pool_.arena(ctx->shard()).recycle(std::move(*payload).release());
+    ctx->note_completed(run.stats, pixels, latency);
     if (on_done) {
       FrameResult result;
       result.stream_id = ctx->id();
@@ -111,7 +150,7 @@ SubmitReceipt FrameServer::submit_frame(std::uint32_t stream_id, image::ImageU8 
   SubmitReceipt receipt;
   receipt.stream_id = stream_id;
   receipt.frame_seq = seq;
-  switch (pool_.submit_outcome(std::move(job), policy)) {
+  switch (pool_.submit_outcome(slot.strand, std::move(job), policy)) {
     case SubmitOutcome::Accepted:
       break;
     case SubmitOutcome::QueueFull:
@@ -128,10 +167,11 @@ SubmitReceipt FrameServer::submit_frame(std::uint32_t stream_id, image::ImageU8 
 
 FrameResult FrameServer::submit_striped(std::uint32_t stream_id, const image::ImageU8& frame,
                                         std::size_t max_stripes) {
-  auto ctx = find_stream(stream_id);
-  if (ctx == nullptr) {
+  auto slot = find_stream(stream_id);
+  if (slot.ctx == nullptr) {
     throw std::invalid_argument("FrameServer: unknown stream id " + std::to_string(stream_id));
   }
+  auto& ctx = slot.ctx;
   check_frame(*ctx, frame);
   if (ctx->config().kind != EngineKind::Compressed) {
     throw std::invalid_argument("FrameServer: striped submission requires a compressed stream");
@@ -162,13 +202,14 @@ RuntimeStatsSnapshot FrameServer::stats() const {
   snap.queue_depth = pool_.queue_depth();
   snap.queue_high_water = pool_.queue_high_water();
   snap.worker_utilization = pool_.worker_utilization();
+  snap.shards = pool_.shard_stats();
   snap.wall_seconds =
       static_cast<double>(elapsed_ns(start_)) / 1e9;
   {
     std::lock_guard lock(streams_mutex_);
     snap.streams.reserve(streams_.size());
-    for (const auto& stream : streams_) {
-      if (stream != nullptr) snap.streams.push_back(stream->snapshot());
+    for (const auto& slot : streams_) {
+      if (slot.ctx != nullptr) snap.streams.push_back(slot.ctx->snapshot());
     }
   }
   for (const auto& s : snap.streams) {
@@ -176,6 +217,19 @@ RuntimeStatsSnapshot FrameServer::stats() const {
     snap.frames_completed += s.frames_completed;
     snap.frames_rejected += s.frames_rejected;
     snap.metrics.merge(s.metrics);
+  }
+  // Fold the dispatch layer's own counters in so runtime.* metrics travel
+  // with every snapshot (and through benchx's snapshot emitter).
+  const auto& rids = RuntimeMetricIds::get();
+  for (const auto& sh : snap.shards) {
+    snap.metrics.add(rids.steals, sh.steals);
+    snap.metrics.add(rids.parks, sh.parks);
+    snap.metrics.note_max(rids.queue_depth, sh.queue_depth);
+    snap.metrics.add(rids.arena_allocs, sh.arena.allocs);
+    snap.metrics.add(rids.arena_reuses, sh.arena.reuses);
+    snap.metrics.add(rids.arena_recycled, sh.arena.recycled);
+    snap.metrics.add(rids.arena_dropped, sh.arena.dropped);
+    snap.metrics.note_max(rids.arena_retained, sh.arena.retained_bytes);
   }
   return snap;
 }

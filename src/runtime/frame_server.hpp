@@ -9,10 +9,16 @@
 // callback (from the worker thread) with the reconstructed image, codec run
 // stats, and measured latency.
 //
+// Dispatch is sharded (see runtime/shard_pool.hpp): every stream gets a
+// sticky home shard at open_stream (id-hashed, or StreamConfig::shard_hint
+// for explicit co-location) and a strand that serializes its frames, so a
+// stream's completions happen in submission order while different streams
+// run fully parallel. Idle shards steal queued work from busy ones, and
+// each shard's arena recycles frame payloads and codec scratch node-locally.
+//
 // Two parallelism axes compose:
-//  * stream-parallel — independent streams' frames run concurrently on the
-//    pool (the engines are const/reentrant, so one stream may even have
-//    several frames in flight);
+//  * stream-parallel — independent streams' frames run concurrently across
+//    the shards (the engines are const/reentrant);
 //  * stripe-parallel — submit_striped() splits one large frame into
 //    horizontal halo-overlapped stripes (see runtime/stripe.hpp) so a single
 //    frame can occupy every worker; exact at threshold 0.
@@ -26,6 +32,7 @@
 
 #include "core/streaming_engine.hpp"
 #include "image/image.hpp"
+#include "runtime/shard_pool.hpp"
 #include "runtime/stats.hpp"
 #include "runtime/stream_context.hpp"
 #include "runtime/stripe.hpp"
@@ -43,7 +50,13 @@ struct FrameResult {
 
 struct FrameServerOptions {
   std::size_t workers = 4;
-  std::size_t queue_capacity = 64;
+  std::size_t queue_capacity = 64;  // per-shard pending-frame budget
+  // Sharded-runtime knobs (defaults preserve existing positional
+  // initializers: shards=0 auto-sizes to min(NUMA nodes, workers), which is
+  // 1 shard — the pre-shard behavior — on single-node machines).
+  std::size_t shards = 0;
+  bool pin_threads = true;
+  FrameArenaOptions arena;
 };
 
 // Why a frame was not accepted. Distinguishing transient overload from
@@ -127,10 +140,26 @@ class FrameServer {
   [[nodiscard]] RuntimeStatsSnapshot stats() const;
 
   [[nodiscard]] std::size_t worker_count() const noexcept { return pool_.worker_count(); }
+  [[nodiscard]] std::size_t shard_count() const noexcept { return pool_.shard_count(); }
   // Lightweight queue pressure probes (stats() builds a full snapshot and
-  // is too heavy to poll per frame).
+  // is too heavy to poll per frame). The unqualified forms aggregate over
+  // shards; admission decisions about ONE stream must use the per-stream
+  // forms, which look at that stream's home shard only.
   [[nodiscard]] std::size_t queue_depth() const { return pool_.queue_depth(); }
   [[nodiscard]] std::size_t queue_capacity() const noexcept { return pool_.queue_capacity(); }
+  // Pending frames on / budget of the stream's home shard. Unknown or
+  // closed streams read as depth 0 (a subsequent submit reports
+  // UnknownStream; the probe itself never throws).
+  [[nodiscard]] std::size_t queue_depth_for(std::uint32_t stream_id) const;
+  [[nodiscard]] std::size_t queue_capacity_for(std::uint32_t /*stream_id*/) const noexcept {
+    return pool_.queue_capacity_per_shard();
+  }
+
+  // A frame-sized buffer recycled from the stream's shard arena (falls back
+  // to a fresh allocation when the freelist is dry). Producers that source
+  // their frames here close the recycle loop: payload buffers return to the
+  // same shard's arena after processing. Throws for unknown streams.
+  [[nodiscard]] image::ImageU8 acquire_frame(std::uint32_t stream_id);
 
   // Streams currently open (slots minus the free list).
   [[nodiscard]] std::size_t active_streams() const;
@@ -140,16 +169,21 @@ class FrameServer {
   [[nodiscard]] std::size_t stream_slots() const;
 
  private:
-  // nullptr when the id is out of range or the slot has been closed.
-  [[nodiscard]] std::shared_ptr<StreamContext> find_stream(std::uint32_t id) const;
+  struct Slot {
+    std::shared_ptr<StreamContext> ctx;
+    std::shared_ptr<ShardPool::Strand> strand;
+  };
 
-  ThreadPool pool_;
+  // Empty slot when the id is out of range or has been closed.
+  [[nodiscard]] Slot find_stream(std::uint32_t id) const;
+
+  ShardPool pool_;
   std::chrono::steady_clock::time_point start_;
 
   mutable std::mutex streams_mutex_;
   // index == id; a closed stream leaves a null slot until open_stream()
   // recycles the id from free_ids_.
-  std::vector<std::shared_ptr<StreamContext>> streams_;
+  std::vector<Slot> streams_;
   std::vector<std::uint32_t> free_ids_;
 };
 

@@ -14,9 +14,41 @@
 #include <vector>
 
 #include "core/streaming_engine.hpp"
+#include "runtime/shard_pool.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace swc::runtime {
+
+// Dense telemetry ids for the runtime's own behavior (queueing, stealing,
+// arena traffic) — the dispatch-layer counterpart to core::EngineMetricIds.
+// Counters/gauges are functional output and always live; FrameServer::stats()
+// folds current values into every snapshot's metrics.
+struct RuntimeMetricIds {
+  telemetry::MetricId steals;       // counter: tokens taken from another shard
+  telemetry::MetricId parks;        // counter: worker naps with nothing to do
+  telemetry::MetricId queue_depth;  // gauge: worst per-shard pending frames
+  telemetry::MetricId arena_allocs;    // counter: fresh payload/scratch allocs
+  telemetry::MetricId arena_reuses;    // counter: acquires served from freelist
+  telemetry::MetricId arena_recycled;  // counter: buffers retained on return
+  telemetry::MetricId arena_dropped;   // counter: buffers released on return
+  telemetry::MetricId arena_retained;  // gauge: bytes parked in arena freelists
+
+  [[nodiscard]] static const RuntimeMetricIds& get() {
+    using telemetry::MetricKind;
+    using telemetry::Registry;
+    static const RuntimeMetricIds ids = {
+        Registry::metric("runtime.steals", MetricKind::Counter, "tokens"),
+        Registry::metric("runtime.parks", MetricKind::Counter, "naps"),
+        Registry::metric("runtime.shard_queue_depth", MetricKind::Gauge, "frames"),
+        Registry::metric("runtime.arena.allocs", MetricKind::Counter, "buffers"),
+        Registry::metric("runtime.arena.reuses", MetricKind::Counter, "buffers"),
+        Registry::metric("runtime.arena.recycled", MetricKind::Counter, "buffers"),
+        Registry::metric("runtime.arena.dropped", MetricKind::Counter, "buffers"),
+        Registry::metric("runtime.arena.retained_bytes", MetricKind::Gauge, "bytes"),
+    };
+    return ids;
+  }
+};
 
 // Streaming latency accumulator over nanosecond samples, backed by the
 // telemetry histogram primitive: min/mean/max from the summary cell plus
@@ -48,6 +80,7 @@ struct LatencyAccumulator {
 struct StreamStatsSnapshot {
   std::uint32_t id = 0;
   std::string name;
+  std::size_t shard = 0;  // the stream's sticky home shard
   std::uint64_t frames_submitted = 0;
   std::uint64_t frames_completed = 0;
   std::uint64_t frames_rejected = 0;
@@ -87,7 +120,9 @@ struct StreamStatsSnapshot {
   }
 };
 
-// Point-in-time view of the whole server.
+// Point-in-time view of the whole server. Queue figures aggregate over
+// shards (depth/capacity sum, high water is the worst single shard);
+// per-shard detail lives in `shards`.
 struct RuntimeStatsSnapshot {
   std::size_t workers = 0;
   std::uint64_t frames_submitted = 0;
@@ -97,10 +132,13 @@ struct RuntimeStatsSnapshot {
   std::size_t queue_depth = 0;
   std::size_t queue_high_water = 0;
   double wall_seconds = 0.0;  // since server start
-  // Fraction of wall time each worker spent executing jobs, in worker order.
+  // Busy fraction per worker over that worker's own loop lifetime (see
+  // DESIGN.md "Sharded runtime" for the metric definition), shard-major.
   std::vector<double> worker_utilization;
+  std::vector<ShardStatsSnapshot> shards;
   std::vector<StreamStatsSnapshot> streams;
-  // All streams' metrics folded together (per-stage breakdown server-wide).
+  // All streams' metrics folded together (per-stage breakdown server-wide)
+  // plus the runtime.* dispatch metrics.
   telemetry::Snapshot metrics;
 
   [[nodiscard]] double aggregate_fps() const noexcept {
@@ -111,6 +149,16 @@ struct RuntimeStatsSnapshot {
     double sum = 0.0;
     for (const double u : worker_utilization) sum += u;
     return sum / static_cast<double>(worker_utilization.size());
+  }
+  [[nodiscard]] std::uint64_t total_steals() const noexcept {
+    std::uint64_t n = 0;
+    for (const auto& s : shards) n += s.steals;
+    return n;
+  }
+  [[nodiscard]] std::uint64_t total_parks() const noexcept {
+    std::uint64_t n = 0;
+    for (const auto& s : shards) n += s.parks;
+    return n;
   }
 };
 

@@ -38,12 +38,17 @@ struct StreamConfig {
   // adapts the codec threshold frame to frame toward the configured
   // bits-per-pixel or MSE target instead of using engine.codec.threshold.
   std::optional<core::RateControlConfig> rate;
+  // Sticky shard placement override. Streams hash onto a shard by id when
+  // unset; the serve layer sets this from the connection id so one
+  // session's streams land on one shard (shared arena, shared cache).
+  std::optional<std::size_t> shard_hint;
 };
 
 class StreamContext {
  public:
-  StreamContext(std::uint32_t id, StreamConfig config)
+  StreamContext(std::uint32_t id, StreamConfig config, std::size_t shard = 0)
       : id_(id),
+        shard_(shard),
         config_(std::move(config)),
         traditional_(config_.engine.spec),
         compressed_(config_.engine) {
@@ -54,12 +59,23 @@ class StreamContext {
   }
 
   [[nodiscard]] std::uint32_t id() const noexcept { return id_; }
+  [[nodiscard]] std::size_t shard() const noexcept { return shard_; }
   [[nodiscard]] const StreamConfig& config() const noexcept { return config_; }
 
   // Process one frame; returns the reconstructed image (empty for the
   // traditional engine or keep_output = false) and the run stats. Const and
-  // reentrant: any number of frames may run concurrently.
+  // reentrant: any number of frames may run concurrently (each gets its own
+  // stack-local engine scratch).
   [[nodiscard]] core::CompressedRunResult process(const image::ImageU8& frame) const {
+    core::CompressedEngine::Scratch scratch;
+    return process(frame, scratch);
+  }
+
+  // Scratch-reusing form for serialized callers: the sharded FrameServer
+  // runs a stream's frames strand-ordered (never two at once), so one
+  // caller-held Scratch per stream makes the steady state allocation-free.
+  [[nodiscard]] core::CompressedRunResult process(const image::ImageU8& frame,
+                                                  core::CompressedEngine::Scratch& scratch) const {
     if (config_.kind == EngineKind::Traditional) {
       core::CompressedRunResult result;
       const std::size_t windows = traditional_.run_reentrant(
@@ -77,14 +93,26 @@ class StreamContext {
       bitpack::ColumnCodecConfig codec = config_.engine.codec;
       codec.threshold = rate_threshold_.load(std::memory_order_relaxed);
       result = compressed_.run_with_codec(
-          frame, codec, [](std::size_t, std::size_t, const core::WindowView&) {});
+          frame, codec, [](std::size_t, std::size_t, const core::WindowView&) {}, scratch);
       observe_rate(frame, result);
     } else {
-      result = compressed_.run_reentrant(
-          frame, [](std::size_t, std::size_t, const core::WindowView&) {});
+      result = compressed_.run_with_codec(
+          frame, config_.engine.codec, [](std::size_t, std::size_t, const core::WindowView&) {},
+          scratch);
     }
-    if (!config_.keep_output) result.reconstructed = image::ImageU8();
+    if (!config_.keep_output) {
+      // Bank the buffer for the next frame instead of freeing it.
+      scratch.recycle(std::move(result.reconstructed));
+      result.reconstructed = image::ImageU8();
+    }
     return result;
+  }
+
+  // The stream's reusable engine scratch. Only valid for callers that
+  // serialize the stream's frames (the strand does); concurrent direct
+  // callers must use the stack-local process() overload instead.
+  [[nodiscard]] core::CompressedEngine::Scratch& strand_scratch() const noexcept {
+    return scratch_;
   }
 
   // Threshold the next rate-controlled frame will run at (engine.codec
@@ -136,6 +164,7 @@ class StreamContext {
     StreamStatsSnapshot snap;
     snap.id = id_;
     snap.name = config_.name;
+    snap.shard = shard_;
     snap.frames_submitted = frames_submitted_;
     snap.frames_completed = frames_completed_;
     snap.frames_rejected = frames_rejected_;
@@ -161,9 +190,14 @@ class StreamContext {
   }
 
   const std::uint32_t id_;
+  const std::size_t shard_;
   const StreamConfig config_;
   const core::TraditionalEngine traditional_;
   const core::CompressedEngine compressed_;
+
+  // Reused across this stream's frames by strand-serialized callers only
+  // (mutable: working memory, not logical state — see strand_scratch()).
+  mutable core::CompressedEngine::Scratch scratch_;
 
   // Rate-control loop state. Mutable because process() is const/reentrant:
   // the controller is logically an observer bolted onto the stream, not part

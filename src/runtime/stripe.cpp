@@ -68,13 +68,6 @@ core::CompressedRunResult merge_stripes(const core::SlidingWindowSpec& spec,
   return merged;
 }
 
-core::CompressedRunResult run_compressed_striped(const core::EngineConfig& config,
-                                                 const image::ImageU8& img,
-                                                 std::size_t max_stripes, ThreadPool* pool) {
-  return run_compressed_striped(config, img, max_stripes, pool,
-                                [](std::size_t, std::size_t, const core::WindowView&) {});
-}
-
 core::CompressedRunResult run_compressed_rate_controlled(const core::EngineConfig& config,
                                                          const image::ImageU8& img,
                                                          std::size_t max_stripes,

@@ -76,8 +76,10 @@ namespace detail {
 // The claim/progress state is heap-shared because a queued helper may only
 // start after the caller has already drained everything and returned; it
 // still dereferences the state to discover there is no work left.
-template <typename Fn>
-void for_each_stripe(std::size_t count, ThreadPool* pool, Fn&& fn) {
+// Generic over the pool type: anything with submit(Job, SubmitPolicy) and
+// worker_count() — ThreadPool and ShardPool both qualify.
+template <typename Pool, typename Fn>
+void for_each_stripe(std::size_t count, Pool* pool, Fn&& fn) {
   struct Progress {
     std::atomic<std::size_t> next{0};
     std::mutex mutex;
@@ -121,11 +123,11 @@ void for_each_stripe(std::size_t count, ThreadPool* pool, Fn&& fn) {
 // must tolerate concurrent calls for distinct output rows (writes to
 // disjoint rows of an output plane are safe). Pass pool = nullptr for a
 // sequential striped run (same numerics, no threads).
-template <typename Sink>
+template <typename Pool, typename Sink>
 [[nodiscard]] core::CompressedRunResult run_compressed_striped(const core::EngineConfig& config,
                                                                const image::ImageU8& img,
                                                                std::size_t max_stripes,
-                                                               ThreadPool* pool, Sink&& sink) {
+                                                               Pool* pool, Sink&& sink) {
   config.validate();
   const auto stripes = plan_stripes(config.spec, max_stripes);
   std::vector<core::CompressedRunResult> parts(stripes.size());
@@ -144,10 +146,30 @@ template <typename Sink>
 }
 
 // No-sink convenience: the codec roundtrip view of a striped run.
+template <typename Pool>
+[[nodiscard]] core::CompressedRunResult run_compressed_striped(const core::EngineConfig& config,
+                                                               const image::ImageU8& img,
+                                                               std::size_t max_stripes, Pool* pool) {
+  return run_compressed_striped(config, img, max_stripes, pool,
+                                [](std::size_t, std::size_t, const core::WindowView&) {});
+}
+
+// Literal-nullptr overloads (a bare `nullptr` cannot deduce Pool): run the
+// striped plan sequentially on the caller.
+template <typename Sink>
 [[nodiscard]] core::CompressedRunResult run_compressed_striped(const core::EngineConfig& config,
                                                                const image::ImageU8& img,
                                                                std::size_t max_stripes,
-                                                               ThreadPool* pool);
+                                                               std::nullptr_t, Sink&& sink) {
+  return run_compressed_striped(config, img, max_stripes, static_cast<ThreadPool*>(nullptr),
+                                std::forward<Sink>(sink));
+}
+
+[[nodiscard]] inline core::CompressedRunResult run_compressed_striped(
+    const core::EngineConfig& config, const image::ImageU8& img, std::size_t max_stripes,
+    std::nullptr_t) {
+  return run_compressed_striped(config, img, max_stripes, static_cast<ThreadPool*>(nullptr));
+}
 
 // Closed-loop striped run: stripes are processed sequentially (top to
 // bottom) and after each one the controller observes the stripe's achieved

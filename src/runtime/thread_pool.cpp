@@ -1,12 +1,24 @@
 #include "runtime/thread_pool.hpp"
 
 namespace swc::runtime {
+namespace {
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t workers, std::size_t queue_capacity)
     : queue_(queue_capacity),
       busy_ns_(workers == 0 ? 1 : workers),
-      start_(std::chrono::steady_clock::now()) {
+      start_ns_(workers == 0 ? 1 : workers) {
   const std::size_t count = workers == 0 ? 1 : workers;
+  const std::uint64_t born = now_ns();
+  for (auto& s : start_ns_) s.store(born, std::memory_order_relaxed);
   threads_.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
     threads_.emplace_back([this, i] { worker_loop(i); });
@@ -62,19 +74,23 @@ void ThreadPool::shutdown() {
 }
 
 std::vector<double> ThreadPool::worker_utilization() const {
-  const auto wall = std::chrono::duration_cast<std::chrono::nanoseconds>(
-                        std::chrono::steady_clock::now() - start_)
-                        .count();
+  const std::uint64_t now = now_ns();
   std::vector<double> utilization(threads_.size(), 0.0);
-  if (wall <= 0) return utilization;
   for (std::size_t i = 0; i < threads_.size(); ++i) {
+    // Busy time over *this worker's* elapsed loop lifetime, so a worker
+    // that started late (or a pool snapshotted right after construction)
+    // is not under-reported against the whole pool's wall clock.
+    const std::uint64_t start = start_ns_[i].load(std::memory_order_relaxed);
+    if (now <= start) continue;
     utilization[i] = static_cast<double>(busy_ns_[i].load(std::memory_order_relaxed)) /
-                     static_cast<double>(wall);
+                     static_cast<double>(now - start);
+    if (utilization[i] > 1.0) utilization[i] = 1.0;
   }
   return utilization;
 }
 
 void ThreadPool::worker_loop(std::size_t index) {
+  start_ns_[index].store(now_ns(), std::memory_order_relaxed);
   while (auto job = queue_.pop()) {
     const auto t0 = std::chrono::steady_clock::now();
     (*job)();

@@ -65,7 +65,9 @@ class ThreadPool {
   [[nodiscard]] std::size_t queue_depth() const { return queue_.size(); }
   [[nodiscard]] std::size_t queue_high_water() const { return queue_.high_water(); }
 
-  // Busy-fraction per worker since construction, in [0, 1].
+  // Busy fraction per worker over that worker's own elapsed loop lifetime
+  // (not the pool's construction time), in [0, 1]. See DESIGN.md "Sharded
+  // runtime" for the metric definition shared with ShardPool.
   [[nodiscard]] std::vector<double> worker_utilization() const;
 
  private:
@@ -73,8 +75,8 @@ class ThreadPool {
 
   BoundedQueue<Job> queue_;
   std::vector<std::thread> threads_;
-  std::vector<std::atomic<std::uint64_t>> busy_ns_;  // one slot per worker
-  std::chrono::steady_clock::time_point start_;
+  std::vector<std::atomic<std::uint64_t>> busy_ns_;   // one slot per worker
+  std::vector<std::atomic<std::uint64_t>> start_ns_;  // per-worker loop entry
 
   mutable std::mutex idle_mutex_;
   std::condition_variable idle_cv_;

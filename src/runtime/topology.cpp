@@ -1,0 +1,112 @@
+#include "runtime/topology.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace swc::runtime {
+namespace {
+
+Topology fallback_topology() {
+  Topology topo;
+  NumaNode node;
+  node.id = 0;
+  const unsigned n = std::max(1u, std::thread::hardware_concurrency());
+  node.cpus.reserve(n);
+  for (unsigned cpu = 0; cpu < n; ++cpu) node.cpus.push_back(cpu);
+  topo.nodes.push_back(std::move(node));
+  return topo;
+}
+
+}  // namespace
+
+std::vector<unsigned> parse_cpulist(std::string_view text) {
+  std::vector<unsigned> cpus;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t comma = text.find(',', pos);
+    if (comma == std::string_view::npos) comma = text.size();
+    std::string_view chunk = text.substr(pos, comma - pos);
+    pos = comma + 1;
+    // Trim whitespace/newlines around the chunk.
+    while (!chunk.empty() && (chunk.front() == ' ' || chunk.front() == '\n')) {
+      chunk.remove_prefix(1);
+    }
+    while (!chunk.empty() && (chunk.back() == ' ' || chunk.back() == '\n')) {
+      chunk.remove_suffix(1);
+    }
+    if (chunk.empty()) continue;
+    unsigned lo = 0;
+    unsigned hi = 0;
+    const std::size_t dash = chunk.find('-');
+    const char* end = chunk.data() + chunk.size();
+    if (dash == std::string_view::npos) {
+      if (std::from_chars(chunk.data(), end, lo).ec != std::errc{}) continue;
+      hi = lo;
+    } else {
+      const char* mid = chunk.data() + dash;
+      if (std::from_chars(chunk.data(), mid, lo).ec != std::errc{}) continue;
+      if (std::from_chars(mid + 1, end, hi).ec != std::errc{}) continue;
+      if (hi < lo) continue;
+    }
+    for (unsigned cpu = lo; cpu <= hi; ++cpu) cpus.push_back(cpu);
+  }
+  std::sort(cpus.begin(), cpus.end());
+  cpus.erase(std::unique(cpus.begin(), cpus.end()), cpus.end());
+  return cpus;
+}
+
+Topology read_topology(const std::string& sys_node_dir) {
+  Topology topo;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(sys_node_dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("node", 0) != 0) continue;
+    unsigned id = 0;
+    const char* begin = name.data() + 4;
+    if (std::from_chars(begin, name.data() + name.size(), id).ec != std::errc{}) continue;
+    std::ifstream cpulist(entry.path() / "cpulist");
+    if (!cpulist) continue;
+    std::string text((std::istreambuf_iterator<char>(cpulist)),
+                     std::istreambuf_iterator<char>());
+    NumaNode node;
+    node.id = id;
+    node.cpus = parse_cpulist(text);
+    if (!node.cpus.empty()) topo.nodes.push_back(std::move(node));
+  }
+  if (topo.nodes.empty()) return fallback_topology();
+  std::sort(topo.nodes.begin(), topo.nodes.end(),
+            [](const NumaNode& a, const NumaNode& b) { return a.id < b.id; });
+  return topo;
+}
+
+const Topology& Topology::system() {
+  static const Topology topo = read_topology("/sys/devices/system/node");
+  return topo;
+}
+
+bool pin_thread_to(std::thread::native_handle_type handle,
+                   const std::vector<unsigned>& cpus) {
+#if defined(__linux__)
+  if (cpus.empty()) return false;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  for (const unsigned cpu : cpus) {
+    if (cpu < CPU_SETSIZE) CPU_SET(cpu, &set);
+  }
+  return pthread_setaffinity_np(handle, sizeof(set), &set) == 0;
+#else
+  (void)handle;
+  (void)cpus;
+  return false;
+#endif
+}
+
+}  // namespace swc::runtime

@@ -1,0 +1,58 @@
+#pragma once
+// CPU/NUMA topology for the sharded runtime. The shard pool uses this to
+// decide how many shards to run by default (one per NUMA node) and which
+// CPUs each shard's workers may be pinned to.
+//
+// Sources, in order of preference:
+//  * /sys/devices/system/node/node<N>/cpulist — the kernel's NUMA map;
+//  * portable fallback — a single node owning every CPU the process can see
+//    (std::thread::hardware_concurrency), used on non-Linux systems, inside
+//    stripped-down containers, and whenever /sys is unreadable.
+//
+// Everything here is best-effort by design: a topology read or an affinity
+// call that fails degrades to the unpinned single-node behavior the runtime
+// had before sharding, never to an error.
+
+#include <cstddef>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+namespace swc::runtime {
+
+struct NumaNode {
+  unsigned id = 0;
+  std::vector<unsigned> cpus;  // logical CPU ids local to this node
+};
+
+struct Topology {
+  std::vector<NumaNode> nodes;  // never empty (fallback: one node, all CPUs)
+
+  [[nodiscard]] std::size_t node_count() const noexcept { return nodes.size(); }
+  [[nodiscard]] std::size_t cpu_count() const noexcept {
+    std::size_t n = 0;
+    for (const auto& node : nodes) n += node.cpus.size();
+    return n;
+  }
+
+  // Cached system topology (read once per process).
+  [[nodiscard]] static const Topology& system();
+};
+
+// Parse the kernel's cpulist format ("0-3,8,10-11") into CPU ids.
+// Malformed chunks are skipped; an unparsable string yields an empty list.
+[[nodiscard]] std::vector<unsigned> parse_cpulist(std::string_view text);
+
+// Read the topology from a /sys-style directory (exposed so tests can point
+// it at a fixture tree). Falls back to one node with hardware_concurrency
+// CPUs when the directory has no readable node entries.
+[[nodiscard]] Topology read_topology(const std::string& sys_node_dir);
+
+// Pin a thread to the given CPUs. Returns false when pinning is unsupported
+// on this platform, the list is empty, or the kernel refuses (e.g. a cgroup
+// cpuset that excludes the requested CPUs) — the caller keeps running
+// unpinned in that case.
+bool pin_thread_to(std::thread::native_handle_type handle,
+                   const std::vector<unsigned>& cpus);
+
+}  // namespace swc::runtime

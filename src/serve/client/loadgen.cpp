@@ -54,6 +54,8 @@ void run_stream(const LoadgenOptions& options, std::size_t index, std::size_t re
   hello.window = options.window;
   hello.threshold = options.threshold;
   hello.backend = options.backend;
+  hello.rate_mode = options.rate_mode;
+  hello.rate_target_milli = static_cast<std::uint32_t>(options.rate_target * 1000.0 + 0.5);
   hello.name = "loadgen-" + std::to_string(index);
   conn.hello(hello);
 

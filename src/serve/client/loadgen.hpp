@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <string>
 
+#include "serve/protocol.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace swc::serve::client {
@@ -27,6 +28,11 @@ struct LoadgenOptions {
   std::uint32_t window = 8;
   std::int32_t threshold = 2;
   std::string backend;  // codec backend requested at HELLO ("" = server default)
+  // Rate-control request carried in the HELLO (--rate=bpp:<t>|mse:<t> on the
+  // CLI). None runs open-loop at `threshold`; otherwise the server adapts
+  // the threshold toward rate_target frame to frame.
+  RateMode rate_mode = RateMode::None;
+  double rate_target = 0.0;  // bpp or MSE, per rate_mode
   // First ceil(realtime_fraction * streams) streams use the realtime tier
   // (their overload responses are rejections, counted below).
   double realtime_fraction = 0.0;

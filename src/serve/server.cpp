@@ -3,7 +3,15 @@
 namespace swc::serve {
 
 Server::Server(ServerOptions options)
-    : engine_(runtime::FrameServerOptions{options.workers, options.queue_capacity}),
+    : engine_([&] {
+        runtime::FrameServerOptions engine_options;
+        engine_options.workers = options.workers;
+        engine_options.queue_capacity = options.queue_capacity;
+        engine_options.shards = options.shards;
+        engine_options.pin_threads = options.pin_threads;
+        engine_options.arena.enabled = options.arena;
+        return engine_options;
+      }()),
       sessions_(loop_, engine_, options.limits),
       options_(options) {}
 

@@ -24,8 +24,12 @@ namespace swc::serve {
 struct ServerOptions {
   std::uint16_t port = 0;  // 0 = ephemeral; read back via port()
   std::size_t workers = 4;
-  std::size_t queue_capacity = 64;
+  std::size_t queue_capacity = 64;  // per runtime shard
   ServeLimits limits;
+  // Sharded-runtime knobs, passed through to FrameServerOptions.
+  std::size_t shards = 0;  // 0 = auto (one per NUMA node)
+  bool pin_threads = true;
+  bool arena = true;  // pooled frame/scratch buffers
 };
 
 class Server {

@@ -138,6 +138,9 @@ void SessionManager::handle_hello(Session& session, const Message& msg) {
     rc.target = static_cast<double>(hello->rate_target_milli) / 1000.0;
     rc.initial_threshold = hello->threshold;
     rate = rc;
+  } else if (limits_.default_rate.has_value()) {
+    // Server-side preset for clients that did not negotiate a rate target.
+    rate = limits_.default_rate;
   }
   try {
     config.validate();
@@ -150,13 +153,17 @@ void SessionManager::handle_hello(Session& session, const Message& msg) {
     return;
   }
 
+  // shard_hint = connection id: all streams of one session (and, with id
+  // reuse, successive sessions of a reconnecting client) co-locate on one
+  // runtime shard, sharing its arena and cache warmth.
   session.stream_id = engine_.open_stream({.name = hello->name.empty()
                                                ? "conn-" + std::to_string(session.conn->id())
                                                : hello->name,
                                            .kind = runtime::EngineKind::Compressed,
                                            .engine = config,
                                            .keep_output = false,
-                                           .rate = rate});
+                                           .rate = rate,
+                                           .shard_hint = session.conn->id()});
   session.state = State::Active;
   session.qos = hello->qos;
   session.width = hello->width;
@@ -214,12 +221,15 @@ void SessionManager::handle_submit(Session& session, Message&& msg) {
 bool SessionManager::dispatch_frame(Session& session, std::uint64_t seq, image::ImageU8 frame) {
   // Non-destructive queue-full check for the bulk tier: submit_frame consumes
   // the image even when it rejects, so a frame that must survive to be parked
-  // can never be offered to a full queue. The probe cannot race another
-  // producer — every engine submission happens on this loop thread (workers
-  // only pop, so the depth can only shrink underneath us, which at worst
-  // parks a frame one completion early).
+  // can never be offered to a full queue. The probe is per stream — it looks
+  // at the home shard this session's stream is pinned to, not the whole
+  // pool, because only that shard's budget gates the submit. It cannot race
+  // another producer — every engine submission happens on this loop thread
+  // (workers only pop, so the depth can only shrink underneath us, which at
+  // worst parks a frame one completion early).
   if (session.qos == QosTier::Bulk &&
-      engine_.queue_depth() >= engine_.queue_capacity()) {
+      engine_.queue_depth_for(session.stream_id) >=
+          engine_.queue_capacity_for(session.stream_id)) {
     session.parked.push_front({seq, std::move(frame)});
     return false;
   }

@@ -29,10 +29,12 @@
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "core/rate_control.hpp"
 #include "runtime/frame_server.hpp"
 #include "serve/connection.hpp"
 #include "serve/event_loop.hpp"
@@ -48,6 +50,10 @@ struct ServeLimits {
   std::size_t bulk_max_inflight = 8;      // per-session in-flight cap (Block tier)
   std::size_t max_payload = kDefaultMaxPayload;
   std::size_t write_buffer_cap = std::size_t{4} << 20;  // per-connection outbound bound
+  // Server-side rate-control preset (run_serve --rate=bpp:<t>|mse:<t>).
+  // Applied to sessions whose HELLO carries RateMode::None; a client that
+  // negotiates its own rate target always wins over the preset.
+  std::optional<core::RateControlConfig> default_rate;
 };
 
 // Process-global serve.* metric names (same idiom as core::EngineMetricIds).

@@ -1,0 +1,117 @@
+// Loadgen CLI: drive a running run_serve from another terminal. Thin flag
+// parser over the serve::client::run_loadgen library, same knobs the soak
+// bench uses plus the HELLO-negotiated rate preset:
+//
+//   $ run_serve --port 7033 &
+//   $ run_loadgen --port 7033 --streams 64 --frames 500 --rate bpp:0.8
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "serve/client/loadgen.hpp"
+
+namespace {
+
+long arg_value(int argc, char** argv, const char* name, long fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return std::atol(argv[i + 1]);
+  }
+  return fallback;
+}
+
+const char* arg_string(int argc, char** argv, const char* name, const char* fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
+  }
+  return fallback;
+}
+
+// "bpp:0.8" / "mse:4.0" -> the rate request carried in every stream's HELLO.
+bool parse_rate(const char* text, swc::serve::RateMode& mode, double& target) {
+  const char* colon = std::strchr(text, ':');
+  if (colon == nullptr || colon == text) return false;
+  const std::string kind(text, static_cast<std::size_t>(colon - text));
+  if (kind == "bpp") {
+    mode = swc::serve::RateMode::BitsPerPixel;
+  } else if (kind == "mse") {
+    mode = swc::serve::RateMode::Mse;
+  } else {
+    return false;
+  }
+  char* end = nullptr;
+  target = std::strtod(colon + 1, &end);
+  return end != colon + 1 && *end == '\0' && target > 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using swc::serve::client::LoadgenOptions;
+
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0) {
+      std::printf(
+          "usage: run_loadgen --port N [--host H] [--streams N] [--frames N]\n"
+          "                   [--inflight N] [--size N] [--window N] [--threshold N]\n"
+          "                   [--backend NAME] [--rate bpp:<t>|mse:<t>]\n"
+          "                   [--realtime-permille N] [--seed N] [--server-stats 0|1]\n"
+          "  --rate asks the server to adapt the codec threshold toward the\n"
+          "         target (bits/pixel or reconstruction MSE) on every stream\n");
+      return 0;
+    }
+  }
+
+  LoadgenOptions options;
+  options.host = arg_string(argc, argv, "--host", "127.0.0.1");
+  options.port = static_cast<std::uint16_t>(arg_value(argc, argv, "--port", 0));
+  options.streams = static_cast<std::size_t>(arg_value(argc, argv, "--streams", 8));
+  options.frames_per_stream = static_cast<std::size_t>(arg_value(argc, argv, "--frames", 100));
+  options.inflight_window = static_cast<std::size_t>(arg_value(argc, argv, "--inflight", 4));
+  options.width = static_cast<std::uint32_t>(arg_value(argc, argv, "--size", 64));
+  options.height = options.width;
+  options.window = static_cast<std::uint32_t>(arg_value(argc, argv, "--window", 8));
+  options.threshold = static_cast<std::int32_t>(arg_value(argc, argv, "--threshold", 2));
+  options.backend = arg_string(argc, argv, "--backend", "");
+  options.realtime_fraction =
+      static_cast<double>(arg_value(argc, argv, "--realtime-permille", 0)) / 1000.0;
+  options.seed = static_cast<std::uint64_t>(arg_value(argc, argv, "--seed", 1));
+  options.collect_server_stats = arg_value(argc, argv, "--server-stats", 0) != 0;
+
+  if (const char* rate = arg_string(argc, argv, "--rate", nullptr)) {
+    if (!parse_rate(rate, options.rate_mode, options.rate_target)) {
+      std::fprintf(stderr, "run_loadgen: bad --rate %s (want bpp:<t> or mse:<t>)\n", rate);
+      return 2;
+    }
+  }
+  if (options.port == 0) {
+    std::fprintf(stderr, "run_loadgen: --port is required (see --help)\n");
+    return 2;
+  }
+
+  const auto report = swc::serve::client::run_loadgen(options);
+
+  std::printf("streams completed/failed  %zu / %zu\n", report.streams_completed,
+              report.streams_failed);
+  std::printf("frames ok/busy/shutdown/bad  %llu / %llu / %llu / %llu  (sent %llu)\n",
+              static_cast<unsigned long long>(report.frames_ok),
+              static_cast<unsigned long long>(report.frames_rejected_busy),
+              static_cast<unsigned long long>(report.frames_rejected_shutdown),
+              static_cast<unsigned long long>(report.frames_bad),
+              static_cast<unsigned long long>(report.frames_sent));
+  std::printf("throughput  %.1f frames/s over %.2f s\n", report.frames_per_second(),
+              report.elapsed_s);
+  std::printf("rtt p50/p95/p99  %.2f / %.2f / %.2f ms\n", report.rtt_ns.percentile(0.50) / 1e6,
+              report.rtt_ns.percentile(0.95) / 1e6, report.rtt_ns.percentile(0.99) / 1e6);
+  if (report.frames_ok > 0) {
+    const double pixels = static_cast<double>(report.frames_ok) *
+                          static_cast<double>(options.width) * options.height;
+    std::printf("achieved rate  %.3f bits/pixel\n",
+                static_cast<double>(report.payload_bits) / pixels);
+  }
+  if (!report.server_stats_json.empty()) {
+    std::printf("%s\n", report.server_stats_json.c_str());
+  }
+  return report.streams_failed == 0 ? 0 : 1;
+}

@@ -25,6 +25,31 @@ long arg_value(int argc, char** argv, const char* name, long fallback) {
   return fallback;
 }
 
+const char* arg_string(int argc, char** argv, const char* name, const char* fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
+  }
+  return fallback;
+}
+
+// "--rate bpp:0.8" / "--rate mse:4.0" -> server-side rate-control preset for
+// sessions that do not negotiate their own target at HELLO.
+bool parse_rate_preset(const char* text, swc::core::RateControlConfig& out) {
+  const char* colon = std::strchr(text, ':');
+  if (colon == nullptr || colon == text) return false;
+  const std::string mode(text, static_cast<std::size_t>(colon - text));
+  if (mode == "bpp") {
+    out.mode = swc::core::RateControlMode::BitsPerPixel;
+  } else if (mode == "mse") {
+    out.mode = swc::core::RateControlMode::Mse;
+  } else {
+    return false;
+  }
+  char* end = nullptr;
+  out.target = std::strtod(colon + 1, &end);
+  return end != colon + 1 && *end == '\0' && out.target > 0.0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -35,7 +60,12 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--help") == 0) {
       std::printf(
           "usage: run_serve [--port N] [--workers N] [--queue N] [--max-sessions N]\n"
-          "                 [--realtime-inflight N] [--bulk-inflight N]\n");
+          "                 [--realtime-inflight N] [--bulk-inflight N]\n"
+          "                 [--shards N] [--pin-threads 0|1] [--arena 0|1]\n"
+          "                 [--rate bpp:<t>|mse:<t>]\n"
+          "  --shards 0 picks one shard per NUMA node (default)\n"
+          "  --rate sets the default rate-control preset for sessions whose\n"
+          "         HELLO does not negotiate a rate target of its own\n");
       return 0;
     }
   }
@@ -44,12 +74,24 @@ int main(int argc, char** argv) {
   options.port = static_cast<std::uint16_t>(arg_value(argc, argv, "--port", 0));
   options.workers = static_cast<std::size_t>(arg_value(argc, argv, "--workers", 4));
   options.queue_capacity = static_cast<std::size_t>(arg_value(argc, argv, "--queue", 64));
+  options.shards = static_cast<std::size_t>(arg_value(argc, argv, "--shards", 0));
+  options.pin_threads = arg_value(argc, argv, "--pin-threads", 1) != 0;
+  options.arena = arg_value(argc, argv, "--arena", 1) != 0;
   options.limits.max_sessions =
       static_cast<std::size_t>(arg_value(argc, argv, "--max-sessions", 512));
   options.limits.realtime_max_inflight =
       static_cast<std::size_t>(arg_value(argc, argv, "--realtime-inflight", 4));
   options.limits.bulk_max_inflight =
       static_cast<std::size_t>(arg_value(argc, argv, "--bulk-inflight", 8));
+
+  if (const char* rate = arg_string(argc, argv, "--rate", nullptr)) {
+    swc::core::RateControlConfig preset;
+    if (!parse_rate_preset(rate, preset)) {
+      std::fprintf(stderr, "run_serve: bad --rate %s (want bpp:<t> or mse:<t>)\n", rate);
+      return 2;
+    }
+    options.limits.default_rate = preset;
+  }
 
   // Block the shutdown signals before any thread spawns so they are only
   // ever delivered to the sigwait below.
@@ -66,8 +108,9 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "run_serve: %s\n", e.what());
     return 1;
   }
-  std::printf("run_serve: listening on 127.0.0.1:%u (%zu workers, queue %zu)\n", server.port(),
-              options.workers, options.queue_capacity);
+  std::printf("run_serve: listening on 127.0.0.1:%u (%zu workers, %zu shards, queue %zu)\n",
+              server.port(), options.workers, server.engine().shard_count(),
+              options.queue_capacity);
   std::fflush(stdout);
 
   int sig = 0;
