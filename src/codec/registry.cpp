@@ -2,21 +2,23 @@
 
 #include <algorithm>
 #include <map>
-#include <mutex>
 #include <stdexcept>
 
 #include "bitpack/nbits.hpp"
 #include "codec/builtin.hpp"
+#include "core/sync.hpp"
+#include "core/thread_annotations.hpp"
 
 namespace swc::codec {
 namespace {
 
 struct RegistryState {
-  std::mutex mutex;
+  swc::Mutex mutex;
   // Factories plus a memoized instance per name: backends are immutable, so
   // every engine selecting "haar" can share one object.
-  std::map<std::string, BackendRegistry::Factory, std::less<>> factories;
-  std::map<std::string, std::shared_ptr<const CodecBackend>, std::less<>> instances;
+  std::map<std::string, BackendRegistry::Factory, std::less<>> factories SWC_GUARDED_BY(mutex);
+  std::map<std::string, std::shared_ptr<const CodecBackend>, std::less<>> instances
+      SWC_GUARDED_BY(mutex);
 };
 
 RegistryState& state() {
@@ -24,7 +26,8 @@ RegistryState& state() {
   return s;
 }
 
-void register_locked(RegistryState& s, std::string name, BackendRegistry::Factory factory) {
+void register_locked(RegistryState& s, std::string name, BackendRegistry::Factory factory)
+    SWC_REQUIRES(s.mutex) {
   if (name.empty()) throw std::invalid_argument("BackendRegistry: empty backend name");
   if (!s.factories.emplace(std::move(name), std::move(factory)).second) {
     throw std::invalid_argument("BackendRegistry: backend already registered");
@@ -33,7 +36,7 @@ void register_locked(RegistryState& s, std::string name, BackendRegistry::Factor
 
 // Built-ins are registered explicitly (not via static initializers in their
 // own translation units, which a static-library link is free to drop).
-void ensure_builtins(RegistryState& s) {
+void ensure_builtins(RegistryState& s) SWC_REQUIRES(s.mutex) {
   if (!s.factories.empty()) return;
   register_locked(s, "haar", [] { return make_haar_backend(); });
   register_locked(s, "legall53", [] { return make_legall53_backend(); });
@@ -58,14 +61,14 @@ const StageIds& StageIds::get() {
 
 void BackendRegistry::register_backend(std::string name, Factory factory) {
   RegistryState& s = state();
-  std::lock_guard lock(s.mutex);
+  swc::MutexLock lock(s.mutex);
   ensure_builtins(s);
   register_locked(s, std::move(name), std::move(factory));
 }
 
 std::shared_ptr<const CodecBackend> BackendRegistry::make(std::string_view name) {
   RegistryState& s = state();
-  std::lock_guard lock(s.mutex);
+  swc::MutexLock lock(s.mutex);
   ensure_builtins(s);
   if (auto cached = s.instances.find(name); cached != s.instances.end()) {
     return cached->second;
@@ -83,14 +86,14 @@ std::shared_ptr<const CodecBackend> BackendRegistry::make(std::string_view name)
 
 bool BackendRegistry::contains(std::string_view name) {
   RegistryState& s = state();
-  std::lock_guard lock(s.mutex);
+  swc::MutexLock lock(s.mutex);
   ensure_builtins(s);
   return s.factories.find(name) != s.factories.end();
 }
 
 std::vector<std::string> BackendRegistry::names() {
   RegistryState& s = state();
-  std::lock_guard lock(s.mutex);
+  swc::MutexLock lock(s.mutex);
   ensure_builtins(s);
   std::vector<std::string> out;
   out.reserve(s.factories.size());

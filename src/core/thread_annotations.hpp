@@ -1,0 +1,65 @@
+#pragma once
+// Clang Thread Safety Analysis attribute macros.
+//
+// Every lock-discipline rule in the concurrent layers (runtime/, serve/,
+// telemetry/, codec/) is written down with these macros and checked at
+// compile time by clang's -Wthread-safety analysis (CI job `thread-safety`
+// builds with -Werror=thread-safety). Under GCC — which has no thread-safety
+// analysis — all macros expand to nothing, so the annotations cost nothing
+// in portable builds.
+//
+// Vocabulary (see https://clang.llvm.org/docs/ThreadSafetyAnalysis.html):
+//   SWC_CAPABILITY(name)     class is a capability (a mutex, or a role such
+//                            as "runs on the event-loop thread")
+//   SWC_GUARDED_BY(cap)      data member may only be touched while holding cap
+//   SWC_REQUIRES(cap)        function may only be called while holding cap
+//   SWC_ACQUIRE / RELEASE    function acquires / releases cap
+//   SWC_EXCLUDES(cap)        function must NOT be called while holding cap
+//   SWC_ASSERT_CAPABILITY    function checks at runtime and tells the
+//                            analysis the capability is held on return
+//   SWC_ACQUIRED_BEFORE/AFTER  document lock ordering between capabilities
+//                            (checked under -Wthread-safety-beta)
+//
+// The macros deliberately cover only what the codebase uses; add to the set
+// rather than reaching for raw __attribute__ spellings.
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define SWC_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef SWC_THREAD_ANNOTATION
+#define SWC_THREAD_ANNOTATION(x)  // no-op: compiler lacks thread-safety attributes
+#endif
+
+#define SWC_CAPABILITY(x) SWC_THREAD_ANNOTATION(capability(x))
+#define SWC_SCOPED_CAPABILITY SWC_THREAD_ANNOTATION(scoped_lockable)
+
+#define SWC_GUARDED_BY(x) SWC_THREAD_ANNOTATION(guarded_by(x))
+#define SWC_PT_GUARDED_BY(x) SWC_THREAD_ANNOTATION(pt_guarded_by(x))
+
+#define SWC_ACQUIRED_BEFORE(...) SWC_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define SWC_ACQUIRED_AFTER(...) SWC_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+#define SWC_REQUIRES(...) SWC_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define SWC_REQUIRES_SHARED(...) SWC_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+#define SWC_ACQUIRE(...) SWC_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define SWC_ACQUIRE_SHARED(...) SWC_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define SWC_RELEASE(...) SWC_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define SWC_RELEASE_SHARED(...) SWC_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+#define SWC_TRY_ACQUIRE(...) SWC_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define SWC_TRY_ACQUIRE_SHARED(...) SWC_THREAD_ANNOTATION(try_acquire_shared_capability(__VA_ARGS__))
+
+#define SWC_EXCLUDES(...) SWC_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+#define SWC_ASSERT_CAPABILITY(x) SWC_THREAD_ANNOTATION(assert_capability(x))
+#define SWC_ASSERT_SHARED_CAPABILITY(x) SWC_THREAD_ANNOTATION(assert_shared_capability(x))
+
+#define SWC_RETURN_CAPABILITY(x) SWC_THREAD_ANNOTATION(lock_returned(x))
+
+// Escape hatch. Forbidden in runtime/ and serve/ (enforced by review and the
+// acceptance gate); a use anywhere else must carry a comment justifying why
+// the analysis cannot see the invariant.
+#define SWC_NO_THREAD_SAFETY_ANALYSIS SWC_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -12,12 +12,13 @@
 // close the system came to its provisioned capacity — the software analogue
 // of the paper's worst-case BRAM occupancy metric.
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <utility>
+
+#include "core/sync.hpp"
+#include "core/thread_annotations.hpp"
 
 namespace swc::runtime {
 
@@ -39,9 +40,9 @@ class BoundedQueue {
 
   // Blocks until the item is enqueued or the queue is closed.
   // Returns false only if the queue was closed before space appeared.
-  bool push(T item) {
-    std::unique_lock lock(mutex_);
-    not_full_.wait(lock, [&] { return closed_ || items_.size() < capacity_; });
+  bool push(T item) SWC_EXCLUDES(mutex_) {
+    swc::UniqueLock lock(mutex_);
+    while (!closed_ && items_.size() >= capacity_) not_full_.wait(lock);
     if (closed_) return false;
     enqueue_locked(std::move(item));
     lock.unlock();
@@ -51,13 +52,13 @@ class BoundedQueue {
 
   // Non-blocking: returns false when full or closed (item is left intact in
   // neither case — it is moved only on success).
-  bool try_push(T& item) { return try_push_outcome(item) == PushOutcome::Ok; }
+  bool try_push(T& item) SWC_EXCLUDES(mutex_) { return try_push_outcome(item) == PushOutcome::Ok; }
 
   // Non-blocking push that reports *why* it failed. The item is moved only
   // on PushOutcome::Ok.
-  PushOutcome try_push_outcome(T& item) {
+  PushOutcome try_push_outcome(T& item) SWC_EXCLUDES(mutex_) {
     {
-      std::unique_lock lock(mutex_);
+      swc::MutexLock lock(mutex_);
       if (closed_) return PushOutcome::Closed;
       if (items_.size() >= capacity_) return PushOutcome::Full;
       enqueue_locked(std::move(item));
@@ -68,9 +69,9 @@ class BoundedQueue {
 
   // Blocks until an item is available; returns nullopt once the queue is
   // closed and drained.
-  std::optional<T> pop() {
-    std::unique_lock lock(mutex_);
-    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+  std::optional<T> pop() SWC_EXCLUDES(mutex_) {
+    swc::UniqueLock lock(mutex_);
+    while (!closed_ && items_.empty()) not_empty_.wait(lock);
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
@@ -79,9 +80,9 @@ class BoundedQueue {
     return item;
   }
 
-  void close() {
+  void close() SWC_EXCLUDES(mutex_) {
     {
-      std::unique_lock lock(mutex_);
+      swc::MutexLock lock(mutex_);
       closed_ = true;
     }
     not_empty_.notify_all();
@@ -90,34 +91,34 @@ class BoundedQueue {
 
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
 
-  [[nodiscard]] std::size_t size() const {
-    std::unique_lock lock(mutex_);
+  [[nodiscard]] std::size_t size() const SWC_EXCLUDES(mutex_) {
+    swc::MutexLock lock(mutex_);
     return items_.size();
   }
 
-  [[nodiscard]] std::size_t high_water() const {
-    std::unique_lock lock(mutex_);
+  [[nodiscard]] std::size_t high_water() const SWC_EXCLUDES(mutex_) {
+    swc::MutexLock lock(mutex_);
     return high_water_;
   }
 
-  [[nodiscard]] bool closed() const {
-    std::unique_lock lock(mutex_);
+  [[nodiscard]] bool closed() const SWC_EXCLUDES(mutex_) {
+    swc::MutexLock lock(mutex_);
     return closed_;
   }
 
  private:
-  void enqueue_locked(T&& item) {
+  void enqueue_locked(T&& item) SWC_REQUIRES(mutex_) {
     items_.push_back(std::move(item));
     if (items_.size() > high_water_) high_water_ = items_.size();
   }
 
   const std::size_t capacity_;
-  mutable std::mutex mutex_;
-  std::condition_variable not_empty_;
-  std::condition_variable not_full_;
-  std::deque<T> items_;
-  std::size_t high_water_ = 0;
-  bool closed_ = false;
+  mutable swc::Mutex mutex_;
+  swc::CondVar not_empty_;
+  swc::CondVar not_full_;
+  std::deque<T> items_ SWC_GUARDED_BY(mutex_);
+  std::size_t high_water_ SWC_GUARDED_BY(mutex_) = 0;
+  bool closed_ SWC_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace swc::runtime

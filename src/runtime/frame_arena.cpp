@@ -50,7 +50,7 @@ void FrameArena::advise_huge(std::vector<std::uint8_t>& buf) const {
 
 std::vector<std::uint8_t> FrameArena::acquire(std::size_t bytes) {
   if (options_.enabled && bytes > 0) {
-    std::unique_lock lock(mutex_);
+    swc::UniqueLock lock(mutex_);
     // First class whose capacity covers the request; every parked buffer in
     // it (and above) fits by construction.
     auto it = classes_.lower_bound(size_class(bytes));
@@ -74,7 +74,7 @@ std::vector<std::uint8_t> FrameArena::acquire(std::size_t bytes) {
     return buf;
   }
   {
-    std::lock_guard lock(mutex_);
+    swc::MutexLock lock(mutex_);
     ++stats_.allocs;
     ++stats_.outstanding;
   }
@@ -82,7 +82,7 @@ std::vector<std::uint8_t> FrameArena::acquire(std::size_t bytes) {
 }
 
 void FrameArena::recycle(std::vector<std::uint8_t> buf) {
-  std::lock_guard lock(mutex_);
+  swc::MutexLock lock(mutex_);
   --stats_.outstanding;
   if (!options_.enabled || buf.capacity() < kMinClass) {
     ++stats_.dropped;
@@ -102,7 +102,7 @@ void FrameArena::recycle(std::vector<std::uint8_t> buf) {
 }
 
 void FrameArena::trim() {
-  std::lock_guard lock(mutex_);
+  swc::MutexLock lock(mutex_);
   for (auto& [cls, list] : classes_) {
     stats_.dropped += list.size();
     list.clear();
@@ -112,7 +112,7 @@ void FrameArena::trim() {
 }
 
 FrameArenaStats FrameArena::stats() const {
-  std::lock_guard lock(mutex_);
+  swc::MutexLock lock(mutex_);
   return stats_;
 }
 

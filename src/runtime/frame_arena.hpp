@@ -25,8 +25,10 @@
 #include <cstddef>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <vector>
+
+#include "core/sync.hpp"
+#include "core/thread_annotations.hpp"
 
 namespace swc::runtime {
 
@@ -54,29 +56,34 @@ class FrameArena {
   FrameArena& operator=(const FrameArena&) = delete;
 
   // Buffer with size() == bytes (capacity may be larger — a size class).
-  [[nodiscard]] std::vector<std::uint8_t> acquire(std::size_t bytes);
+  [[nodiscard]] std::vector<std::uint8_t> acquire(std::size_t bytes) SWC_EXCLUDES(mutex_);
 
   // Return a buffer for reuse. Accepts any vector (including ones the
   // arena never produced); undersized or over-cap buffers are dropped.
-  void recycle(std::vector<std::uint8_t> buf);
+  void recycle(std::vector<std::uint8_t> buf) SWC_EXCLUDES(mutex_);
 
   // Release every retained buffer (counts them as dropped).
-  void trim();
+  void trim() SWC_EXCLUDES(mutex_);
 
-  [[nodiscard]] FrameArenaStats stats() const;
+  [[nodiscard]] FrameArenaStats stats() const SWC_EXCLUDES(mutex_);
   [[nodiscard]] const FrameArenaOptions& options() const noexcept { return options_; }
 
   // Smallest size class covering `bytes` (power of two, >= 4 KiB).
   [[nodiscard]] static std::size_t size_class(std::size_t bytes) noexcept;
 
+  // Annotation hook: lets other capabilities name this arena's lock in
+  // ordering attributes (Shard::mutex is SWC_ACQUIRED_AFTER(arena.mu()) —
+  // the freelist lock is always innermost). Not for direct locking.
+  [[nodiscard]] swc::Mutex& mu() const SWC_RETURN_CAPABILITY(mutex_) { return mutex_; }
+
  private:
   void advise_huge(std::vector<std::uint8_t>& buf) const;
 
   const FrameArenaOptions options_;
-  mutable std::mutex mutex_;
+  mutable swc::Mutex mutex_;
   // class capacity -> parked buffers of at least that capacity
-  std::map<std::size_t, std::vector<std::vector<std::uint8_t>>> classes_;
-  FrameArenaStats stats_;
+  std::map<std::size_t, std::vector<std::vector<std::uint8_t>>> classes_ SWC_GUARDED_BY(mutex_);
+  FrameArenaStats stats_ SWC_GUARDED_BY(mutex_);
 };
 
 }  // namespace swc::runtime

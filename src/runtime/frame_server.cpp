@@ -42,7 +42,7 @@ FrameServer::~FrameServer() { pool_.shutdown(); }
 std::uint32_t FrameServer::open_stream(StreamConfig config) {
   config.engine.validate();
   if (config.rate.has_value()) config.rate->validate();
-  std::lock_guard lock(streams_mutex_);
+  swc::MutexLock lock(streams_mutex_);
   std::uint32_t id;
   if (!free_ids_.empty()) {
     // Reuse the smallest retired id so the slot table stays dense.
@@ -64,7 +64,7 @@ std::uint32_t FrameServer::open_stream(StreamConfig config) {
 }
 
 bool FrameServer::close_stream(std::uint32_t stream_id) {
-  std::lock_guard lock(streams_mutex_);
+  swc::MutexLock lock(streams_mutex_);
   if (stream_id >= streams_.size() || streams_[stream_id].ctx == nullptr) return false;
   // Dropping the slot's references is the release: strand tokens still in
   // flight share ownership of the context and strand, and flush their
@@ -79,18 +79,18 @@ bool FrameServer::close_stream(std::uint32_t stream_id) {
 }
 
 FrameServer::Slot FrameServer::find_stream(std::uint32_t id) const {
-  std::lock_guard lock(streams_mutex_);
+  swc::MutexLock lock(streams_mutex_);
   if (id >= streams_.size()) return Slot{};
   return streams_[id];
 }
 
 std::size_t FrameServer::active_streams() const {
-  std::lock_guard lock(streams_mutex_);
+  swc::MutexLock lock(streams_mutex_);
   return streams_.size() - free_ids_.size();
 }
 
 std::size_t FrameServer::stream_slots() const {
-  std::lock_guard lock(streams_mutex_);
+  swc::MutexLock lock(streams_mutex_);
   return streams_.size();
 }
 
@@ -206,7 +206,7 @@ RuntimeStatsSnapshot FrameServer::stats() const {
   snap.wall_seconds =
       static_cast<double>(elapsed_ns(start_)) / 1e9;
   {
-    std::lock_guard lock(streams_mutex_);
+    swc::MutexLock lock(streams_mutex_);
     snap.streams.reserve(streams_.size());
     for (const auto& slot : streams_) {
       if (slot.ctx != nullptr) snap.streams.push_back(slot.ctx->snapshot());

@@ -27,10 +27,11 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "core/streaming_engine.hpp"
+#include "core/sync.hpp"
+#include "core/thread_annotations.hpp"
 #include "image/image.hpp"
 #include "runtime/shard_pool.hpp"
 #include "runtime/stats.hpp"
@@ -175,16 +176,16 @@ class FrameServer {
   };
 
   // Empty slot when the id is out of range or has been closed.
-  [[nodiscard]] Slot find_stream(std::uint32_t id) const;
+  [[nodiscard]] Slot find_stream(std::uint32_t id) const SWC_EXCLUDES(streams_mutex_);
 
   ShardPool pool_;
   std::chrono::steady_clock::time_point start_;
 
-  mutable std::mutex streams_mutex_;
+  mutable swc::Mutex streams_mutex_;
   // index == id; a closed stream leaves a null slot until open_stream()
   // recycles the id from free_ids_.
-  std::vector<Slot> streams_;
-  std::vector<std::uint32_t> free_ids_;
+  std::vector<Slot> streams_ SWC_GUARDED_BY(streams_mutex_);
+  std::vector<std::uint32_t> free_ids_ SWC_GUARDED_BY(streams_mutex_);
 };
 
 }  // namespace swc::runtime

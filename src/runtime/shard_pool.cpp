@@ -74,10 +74,11 @@ std::shared_ptr<ShardPool::Strand> ShardPool::make_strand(std::optional<std::siz
 }
 
 SubmitOutcome ShardPool::admit(Shard& shard, SubmitPolicy policy) {
-  std::unique_lock lock(shard.mutex);
+  swc::UniqueLock lock(shard.mutex);
   if (policy == SubmitPolicy::Block) {
-    shard.budget_cv.wait(
-        lock, [&] { return shard.closed || shard.pending < options_.queue_capacity; });
+    while (!shard.closed && shard.pending >= options_.queue_capacity) {
+      shard.budget_cv.wait(lock);
+    }
   }
   if (shard.closed) return SubmitOutcome::ShutDown;
   if (shard.pending >= options_.queue_capacity) return SubmitOutcome::QueueFull;
@@ -89,14 +90,14 @@ SubmitOutcome ShardPool::admit(Shard& shard, SubmitPolicy policy) {
 
 void ShardPool::release_budget(Shard& shard) {
   {
-    std::lock_guard lock(shard.mutex);
+    swc::MutexLock lock(shard.mutex);
     --shard.pending;
   }
   shard.budget_cv.notify_one();
 }
 
 void ShardPool::rollback_in_flight() {
-  std::unique_lock lock(idle_mutex_);
+  swc::MutexLock lock(idle_mutex_);
   if (--in_flight_ == 0) idle_cv_.notify_all();
 }
 
@@ -106,7 +107,7 @@ SubmitOutcome ShardPool::submit_outcome(const std::shared_ptr<Strand>& strand, J
                                         SubmitPolicy policy) {
   Shard& shard = *shards_[strand->home_];
   {
-    std::unique_lock lock(idle_mutex_);
+    swc::MutexLock lock(idle_mutex_);
     if (shut_down_) return SubmitOutcome::ShutDown;
     ++in_flight_;
   }
@@ -117,7 +118,7 @@ SubmitOutcome ShardPool::submit_outcome(const std::shared_ptr<Strand>& strand, J
   }
   bool need_token = false;
   {
-    std::lock_guard lock(strand->mutex_);
+    swc::MutexLock lock(strand->mutex_);
     strand->inbox_.push_back(std::move(job));
     if (!strand->active_) {
       strand->active_ = true;
@@ -125,7 +126,7 @@ SubmitOutcome ShardPool::submit_outcome(const std::shared_ptr<Strand>& strand, J
     }
   }
   {
-    std::lock_guard lock(shard.mutex);
+    swc::MutexLock lock(shard.mutex);
     if (need_token) {
       Token token;
       token.strand = strand;
@@ -145,7 +146,7 @@ SubmitOutcome ShardPool::submit_outcome(Job job, SubmitPolicy policy) {
   const std::size_t s = next_shard_.fetch_add(1, std::memory_order_relaxed) % shards_.size();
   Shard& shard = *shards_[s];
   {
-    std::unique_lock lock(idle_mutex_);
+    swc::MutexLock lock(idle_mutex_);
     if (shut_down_) return SubmitOutcome::ShutDown;
     ++in_flight_;
   }
@@ -155,7 +156,7 @@ SubmitOutcome ShardPool::submit_outcome(Job job, SubmitPolicy policy) {
     return admitted;
   }
   {
-    std::lock_guard lock(shard.mutex);
+    swc::MutexLock lock(shard.mutex);
     Token token;
     token.job = std::move(job);
     token.budget_shard = static_cast<std::uint32_t>(s);
@@ -167,19 +168,19 @@ SubmitOutcome ShardPool::submit_outcome(Job job, SubmitPolicy policy) {
 }
 
 void ShardPool::wait_idle() {
-  std::unique_lock lock(idle_mutex_);
-  idle_cv_.wait(lock, [&] { return in_flight_ == 0; });
+  swc::UniqueLock lock(idle_mutex_);
+  while (in_flight_ != 0) idle_cv_.wait(lock);
 }
 
 void ShardPool::shutdown() {
   {
-    std::unique_lock lock(idle_mutex_);
+    swc::MutexLock lock(idle_mutex_);
     if (shut_down_) return;
     shut_down_ = true;
   }
   for (auto& shard : shards_) {
     {
-      std::lock_guard lock(shard->mutex);
+      swc::MutexLock lock(shard->mutex);
       shard->closed = true;
     }
     shard->work_cv.notify_all();
@@ -213,7 +214,7 @@ void ShardPool::run_token(Token token, std::size_t worker_slot) {
   Shard& home = *shards_[strand.home_];
   Job job;
   {
-    std::lock_guard lock(strand.mutex_);
+    swc::MutexLock lock(strand.mutex_);
     job = std::move(strand.inbox_.front());
     strand.inbox_.pop_front();
   }
@@ -224,14 +225,14 @@ void ShardPool::run_token(Token token, std::size_t worker_slot) {
   // Retire the token, repost it for the next inbox job, or — under a closed
   // pool, where a repost might never be picked up — drain the inbox here.
   {
-    std::lock_guard lock(strand.mutex_);
+    swc::MutexLock lock(strand.mutex_);
     if (strand.inbox_.empty()) {
       strand.active_ = false;
       return;
     }
   }
   {
-    std::unique_lock lock(home.mutex);
+    swc::UniqueLock lock(home.mutex);
     if (!home.closed) {
       home.runq.push_back(std::move(token));
       lock.unlock();
@@ -241,7 +242,7 @@ void ShardPool::run_token(Token token, std::size_t worker_slot) {
   }
   for (;;) {
     {
-      std::lock_guard lock(strand.mutex_);
+      swc::MutexLock lock(strand.mutex_);
       if (strand.inbox_.empty()) {
         strand.active_ = false;
         return;
@@ -262,7 +263,7 @@ void ShardPool::worker_loop(std::size_t shard_index, std::size_t worker_slot) {
     Token token;
     bool have = false;
     {
-      std::unique_lock lock(home.mutex);
+      swc::MutexLock lock(home.mutex);
       if (!home.runq.empty()) {
         token = std::move(home.runq.front());
         home.runq.pop_front();
@@ -277,14 +278,14 @@ void ShardPool::worker_loop(std::size_t shard_index, std::size_t worker_slot) {
       std::size_t best = 0;
       for (std::size_t s = 0; s < shards_.size(); ++s) {
         if (s == shard_index) continue;
-        std::lock_guard lock(shards_[s]->mutex);
+        swc::MutexLock lock(shards_[s]->mutex);
         if (shards_[s]->runq.size() > best) {
           best = shards_[s]->runq.size();
           victim = s;
         }
       }
       if (victim < shards_.size()) {
-        std::lock_guard lock(shards_[victim]->mutex);
+        swc::MutexLock lock(shards_[victim]->mutex);
         if (!shards_[victim]->runq.empty()) {
           token = std::move(shards_[victim]->runq.back());
           shards_[victim]->runq.pop_back();
@@ -292,12 +293,12 @@ void ShardPool::worker_loop(std::size_t shard_index, std::size_t worker_slot) {
         }
       }
       if (have) {
-        std::lock_guard lock(home.mutex);
+        swc::MutexLock lock(home.mutex);
         ++home.steals;
       }
     }
     if (!have) {
-      std::unique_lock lock(home.mutex);
+      swc::UniqueLock lock(home.mutex);
       if (!home.runq.empty()) continue;  // raced a producer; retry the pop
       if (home.closed && home.submitting == 0) return;
       ++home.parks;
@@ -307,7 +308,7 @@ void ShardPool::worker_loop(std::size_t shard_index, std::size_t worker_slot) {
       continue;
     }
     {
-      std::lock_guard lock(home.mutex);
+      swc::MutexLock lock(home.mutex);
       ++home.executed;
     }
     run_token(std::move(token), worker_slot);
@@ -317,7 +318,7 @@ void ShardPool::worker_loop(std::size_t shard_index, std::size_t worker_slot) {
 std::size_t ShardPool::queue_depth() const {
   std::size_t depth = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard lock(shard->mutex);
+    swc::MutexLock lock(shard->mutex);
     depth += shard->pending;
   }
   return depth;
@@ -330,14 +331,14 @@ std::size_t ShardPool::queue_capacity() const noexcept {
 std::size_t ShardPool::queue_high_water() const {
   std::size_t high = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard lock(shard->mutex);
+    swc::MutexLock lock(shard->mutex);
     high = std::max(high, shard->pending_high_water);
   }
   return high;
 }
 
 std::size_t ShardPool::queue_depth(std::size_t shard) const {
-  std::lock_guard lock(shards_[shard]->mutex);
+  swc::MutexLock lock(shards_[shard]->mutex);
   return shards_[shard]->pending;
 }
 
@@ -366,10 +367,10 @@ std::vector<ShardStatsSnapshot> ShardPool::shard_stats() const {
     snap.shard = s;
     snap.cpus = shard.cpus;
     snap.queue_capacity = options_.queue_capacity;
+    snap.workers = shard.worker_count;  // ctor-set, unguarded by design
+    snap.pinned = shard.pinned;
     {
-      std::lock_guard lock(shard.mutex);
-      snap.workers = shard.worker_count;
-      snap.pinned = shard.pinned;
+      swc::MutexLock lock(shard.mutex);
       snap.queue_depth = shard.pending;
       snap.queue_high_water = shard.pending_high_water;
       snap.executed = shard.executed;

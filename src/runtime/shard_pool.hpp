@@ -34,17 +34,17 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <vector>
 
+#include "core/sync.hpp"
+#include "core/thread_annotations.hpp"
 #include "runtime/frame_arena.hpp"
 #include "runtime/thread_pool.hpp"  // SubmitPolicy / SubmitOutcome contract
 #include "runtime/topology.hpp"
@@ -91,9 +91,9 @@ class ShardPool {
     explicit Strand(std::size_t home) : home_(home) {}
 
     const std::size_t home_;
-    std::mutex mutex_;
-    std::deque<Job> inbox_;
-    bool active_ = false;  // a token for this strand is queued or running
+    swc::Mutex mutex_;
+    std::deque<Job> inbox_ SWC_GUARDED_BY(mutex_);
+    bool active_ SWC_GUARDED_BY(mutex_) = false;  // a token is queued or running
   };
 
   explicit ShardPool(ShardPoolOptions options);
@@ -123,11 +123,11 @@ class ShardPool {
   }
 
   // Blocks until every accepted job has finished executing.
-  void wait_idle();
+  void wait_idle() SWC_EXCLUDES(idle_mutex_);
 
   // Stops accepting work, drains every queue and strand, joins workers.
   // Idempotent.
-  void shutdown();
+  void shutdown() SWC_EXCLUDES(idle_mutex_);
 
   [[nodiscard]] std::size_t worker_count() const noexcept { return threads_.size(); }
   [[nodiscard]] std::size_t shard_count() const noexcept { return shards_.size(); }
@@ -165,17 +165,22 @@ class ShardPool {
   struct Shard {
     explicit Shard(const FrameArenaOptions& arena_options) : arena(arena_options) {}
 
-    mutable std::mutex mutex;
-    std::condition_variable work_cv;    // workers wait for tokens here
-    std::condition_variable budget_cv;  // Block submitters wait for budget
-    std::deque<Token> runq;
-    bool closed = false;
-    std::size_t pending = 0;  // admitted, not yet started (the budget)
-    std::size_t pending_high_water = 0;
-    std::size_t submitting = 0;  // producers between budget and enqueue
-    std::uint64_t executed = 0;
-    std::uint64_t steals = 0;
-    std::uint64_t parks = 0;
+    // Lock order: the arena's freelist mutex is always innermost — never
+    // held while taking the shard mutex, and never locked from inside a
+    // budget_cv wait (admit() holds only `mutex`).
+    mutable swc::Mutex mutex SWC_ACQUIRED_AFTER(arena.mu());
+    swc::CondVar work_cv;    // workers wait for tokens here
+    swc::CondVar budget_cv;  // Block submitters wait for budget
+    std::deque<Token> runq SWC_GUARDED_BY(mutex);
+    bool closed SWC_GUARDED_BY(mutex) = false;
+    std::size_t pending SWC_GUARDED_BY(mutex) = 0;  // admitted, not started
+    std::size_t pending_high_water SWC_GUARDED_BY(mutex) = 0;
+    std::size_t submitting SWC_GUARDED_BY(mutex) = 0;  // budget..enqueue window
+    std::uint64_t executed SWC_GUARDED_BY(mutex) = 0;
+    std::uint64_t steals SWC_GUARDED_BY(mutex) = 0;
+    std::uint64_t parks SWC_GUARDED_BY(mutex) = 0;
+    // Immutable after the pool constructor (set before workers can observe
+    // the shard through stats), so deliberately unguarded.
     std::vector<unsigned> cpus;
     bool pinned = false;
     std::size_t worker_begin = 0;  // global index of first worker
@@ -183,10 +188,10 @@ class ShardPool {
     FrameArena arena;
   };
 
-  SubmitOutcome admit(Shard& shard, SubmitPolicy policy);
-  void release_budget(Shard& shard);
-  void rollback_in_flight();
-  void finish_one();
+  SubmitOutcome admit(Shard& shard, SubmitPolicy policy) SWC_EXCLUDES(shard.mutex);
+  void release_budget(Shard& shard) SWC_EXCLUDES(shard.mutex);
+  void rollback_in_flight() SWC_EXCLUDES(idle_mutex_);
+  void finish_one() SWC_EXCLUDES(idle_mutex_);
   void run_job(Job& job, std::size_t worker_slot);
   void run_token(Token token, std::size_t worker_slot);
   void worker_loop(std::size_t shard_index, std::size_t worker_slot);
@@ -198,10 +203,10 @@ class ShardPool {
   std::vector<std::atomic<std::uint64_t>> start_ns_;  // per worker loop entry
   std::atomic<std::size_t> next_shard_{0};  // round-robin for plain/unhinted
 
-  mutable std::mutex idle_mutex_;
-  std::condition_variable idle_cv_;
-  std::size_t in_flight_ = 0;
-  bool shut_down_ = false;
+  mutable swc::Mutex idle_mutex_;
+  swc::CondVar idle_cv_;
+  std::size_t in_flight_ SWC_GUARDED_BY(idle_mutex_) = 0;
+  bool shut_down_ SWC_GUARDED_BY(idle_mutex_) = false;
 };
 
 }  // namespace swc::runtime

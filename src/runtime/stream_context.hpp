@@ -7,13 +7,14 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <utility>
 
 #include "core/config.hpp"
 #include "core/rate_control.hpp"
+#include "core/sync.hpp"
+#include "core/thread_annotations.hpp"
 #include "core/streaming_engine.hpp"
 #include "image/image.hpp"
 #include "image/metrics.hpp"
@@ -51,8 +52,10 @@ class StreamContext {
         shard_(shard),
         config_(std::move(config)),
         traditional_(config_.engine.spec),
-        compressed_(config_.engine) {
-    if (config_.rate.has_value()) {
+        compressed_(config_.engine),
+        rate_enabled_(config_.rate.has_value()) {
+    if (rate_enabled_) {
+      swc::MutexLock lock(rate_mutex_);
       controller_.emplace(*config_.rate);
       rate_threshold_.store(controller_->threshold(), std::memory_order_relaxed);
     }
@@ -84,7 +87,7 @@ class StreamContext {
       return result;
     }
     core::CompressedRunResult result;
-    if (controller_.has_value()) {
+    if (rate_enabled_) {
       // Closed loop: run this frame at the controller's current threshold,
       // then feed the achieved rate/error back. Frames of one stream may be
       // in flight on several workers; each reads the actuation atomically
@@ -116,32 +119,33 @@ class StreamContext {
   }
 
   // Threshold the next rate-controlled frame will run at (engine.codec
-  // threshold when the stream has no controller).
+  // threshold when the stream has no controller). rate_enabled_ is const, so
+  // this hot-path probe needs neither lock nor optional inspection.
   [[nodiscard]] int rate_threshold() const noexcept {
-    return controller_.has_value() ? rate_threshold_.load(std::memory_order_relaxed)
-                                   : config_.engine.codec.threshold;
+    return rate_enabled_ ? rate_threshold_.load(std::memory_order_relaxed)
+                         : config_.engine.codec.threshold;
   }
-  [[nodiscard]] bool rate_converged() const {
-    if (!controller_.has_value()) return false;
-    std::lock_guard lock(rate_mutex_);
+  [[nodiscard]] bool rate_converged() const SWC_EXCLUDES(rate_mutex_) {
+    if (!rate_enabled_) return false;
+    swc::MutexLock lock(rate_mutex_);
     return controller_->converged();
   }
 
   // Returns this frame's per-stream sequence number.
-  std::uint64_t note_submitted() {
-    std::lock_guard lock(mutex_);
+  std::uint64_t note_submitted() SWC_EXCLUDES(mutex_) {
+    swc::MutexLock lock(mutex_);
     return frames_submitted_++;
   }
 
-  void note_rejected() {
-    std::lock_guard lock(mutex_);
+  void note_rejected() SWC_EXCLUDES(mutex_) {
+    swc::MutexLock lock(mutex_);
     ++frames_rejected_;
   }
 
   // Converts an optimistic note_submitted() into a rejection when the queue
   // refused the frame.
-  void note_submit_failed() {
-    std::lock_guard lock(mutex_);
+  void note_submit_failed() SWC_EXCLUDES(mutex_) {
+    swc::MutexLock lock(mutex_);
     --frames_submitted_;
     ++frames_rejected_;
   }
@@ -150,17 +154,17 @@ class StreamContext {
   // stream mutex) and into the process-global registry aggregate (lock-free),
   // so a monitor can watch Registry::global_snapshot() while workers run.
   void note_completed(const core::RunStats& stats, std::size_t pixels,
-                      std::uint64_t latency_ns) {
+                      std::uint64_t latency_ns) SWC_EXCLUDES(mutex_) {
     telemetry::Registry::flush(stats.metrics);
-    std::lock_guard lock(mutex_);
+    swc::MutexLock lock(mutex_);
     ++frames_completed_;
     pixels_processed_ += pixels;
     metrics_.merge(stats.metrics);
     latency_.note(latency_ns);
   }
 
-  [[nodiscard]] StreamStatsSnapshot snapshot() const {
-    std::lock_guard lock(mutex_);
+  [[nodiscard]] StreamStatsSnapshot snapshot() const SWC_EXCLUDES(mutex_) {
+    swc::MutexLock lock(mutex_);
     StreamStatsSnapshot snap;
     snap.id = id_;
     snap.name = config_.name;
@@ -175,7 +179,8 @@ class StreamContext {
   }
 
  private:
-  void observe_rate(const image::ImageU8& frame, const core::CompressedRunResult& result) const {
+  void observe_rate(const image::ImageU8& frame, const core::CompressedRunResult& result) const
+      SWC_EXCLUDES(rate_mutex_) {
     const auto& ids = core::EngineMetricIds::get();
     double achieved = 0.0;
     if (config_.rate->mode == core::RateControlMode::BitsPerPixel) {
@@ -185,7 +190,7 @@ class StreamContext {
     } else {
       achieved = image::mse(frame, result.reconstructed);
     }
-    std::lock_guard lock(rate_mutex_);
+    swc::MutexLock lock(rate_mutex_);
     rate_threshold_.store(controller_->observe(achieved), std::memory_order_relaxed);
   }
 
@@ -201,23 +206,26 @@ class StreamContext {
 
   // Rate-control loop state. Mutable because process() is const/reentrant:
   // the controller is logically an observer bolted onto the stream, not part
-  // of the frame computation. rate_threshold_ mirrors controller_->threshold()
-  // so hot-path reads skip the mutex.
-  mutable std::mutex rate_mutex_;
-  mutable std::optional<core::RateController> controller_;
+  // of the frame computation. The hot path keys off the const rate_enabled_
+  // flag (never the optional's engagement, which is guarded state) and reads
+  // the actuation through the rate_threshold_ atomic mirror, so it skips the
+  // mutex entirely; the controller itself is only touched under rate_mutex_.
+  const bool rate_enabled_;
+  mutable swc::Mutex rate_mutex_;
+  mutable std::optional<core::RateController> controller_ SWC_GUARDED_BY(rate_mutex_);
   mutable std::atomic<int> rate_threshold_{0};
 
-  mutable std::mutex mutex_;
+  mutable swc::Mutex mutex_;
   // Submission bookkeeping (control state: frames_submitted_ doubles as the
   // per-stream sequence allocator, so it stays a plain counter).
-  std::uint64_t frames_submitted_ = 0;
-  std::uint64_t frames_completed_ = 0;
-  std::uint64_t frames_rejected_ = 0;
-  std::uint64_t pixels_processed_ = 0;
+  std::uint64_t frames_submitted_ SWC_GUARDED_BY(mutex_) = 0;
+  std::uint64_t frames_completed_ SWC_GUARDED_BY(mutex_) = 0;
+  std::uint64_t frames_rejected_ SWC_GUARDED_BY(mutex_) = 0;
+  std::uint64_t pixels_processed_ SWC_GUARDED_BY(mutex_) = 0;
   // All engine.* metrics folded across completed frames — the only copy of
   // the codec-side counters at this layer.
-  telemetry::Snapshot metrics_;
-  LatencyAccumulator latency_;
+  telemetry::Snapshot metrics_ SWC_GUARDED_BY(mutex_);
+  LatencyAccumulator latency_ SWC_GUARDED_BY(mutex_);
 };
 
 }  // namespace swc::runtime

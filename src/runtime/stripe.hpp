@@ -27,15 +27,15 @@
 // exactly the whole-frame count.
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "core/config.hpp"
 #include "core/rate_control.hpp"
 #include "core/streaming_engine.hpp"
+#include "core/sync.hpp"
+#include "core/thread_annotations.hpp"
 #include "image/image.hpp"
 #include "runtime/thread_pool.hpp"
 
@@ -82,9 +82,9 @@ template <typename Pool, typename Fn>
 void for_each_stripe(std::size_t count, Pool* pool, Fn&& fn) {
   struct Progress {
     std::atomic<std::size_t> next{0};
-    std::mutex mutex;
-    std::condition_variable cv;
-    std::size_t done = 0;
+    swc::Mutex mutex;
+    swc::CondVar cv;
+    std::size_t done SWC_GUARDED_BY(mutex) = 0;
   };
   auto st = std::make_shared<Progress>();
   // fn is captured by reference: a late helper never calls it once next has
@@ -96,7 +96,7 @@ void for_each_stripe(std::size_t count, Pool* pool, Fn&& fn) {
       ++finished;
     }
     if (finished > 0) {
-      std::unique_lock lock(st->mutex);
+      swc::MutexLock lock(st->mutex);
       st->done += finished;
       if (st->done == count) st->cv.notify_all();
     }
@@ -110,8 +110,8 @@ void for_each_stripe(std::size_t count, Pool* pool, Fn&& fn) {
   }
   drain();
   if (helpers > 0) {
-    std::unique_lock lock(st->mutex);
-    st->cv.wait(lock, [&] { return st->done == count; });
+    swc::UniqueLock lock(st->mutex);
+    while (st->done != count) st->cv.wait(lock);
   }
 }
 

@@ -29,7 +29,7 @@ ThreadPool::~ThreadPool() { shutdown(); }
 
 SubmitOutcome ThreadPool::submit_outcome(Job job, SubmitPolicy policy) {
   {
-    std::unique_lock lock(idle_mutex_);
+    swc::MutexLock lock(idle_mutex_);
     if (shut_down_) return SubmitOutcome::ShutDown;
     ++in_flight_;
   }
@@ -50,20 +50,20 @@ SubmitOutcome ThreadPool::submit_outcome(Job job, SubmitPolicy policy) {
     }
   }
   if (outcome != SubmitOutcome::Accepted) {
-    std::unique_lock lock(idle_mutex_);
+    swc::MutexLock lock(idle_mutex_);
     if (--in_flight_ == 0) idle_cv_.notify_all();
   }
   return outcome;
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock lock(idle_mutex_);
-  idle_cv_.wait(lock, [&] { return in_flight_ == 0; });
+  swc::UniqueLock lock(idle_mutex_);
+  while (in_flight_ != 0) idle_cv_.wait(lock);
 }
 
 void ThreadPool::shutdown() {
   {
-    std::unique_lock lock(idle_mutex_);
+    swc::MutexLock lock(idle_mutex_);
     if (shut_down_) return;
     shut_down_ = true;
   }
@@ -99,7 +99,7 @@ void ThreadPool::worker_loop(std::size_t index) {
         static_cast<std::uint64_t>(
             std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count()),
         std::memory_order_relaxed);
-    std::unique_lock lock(idle_mutex_);
+    swc::MutexLock lock(idle_mutex_);
     if (--in_flight_ == 0) idle_cv_.notify_all();
   }
 }

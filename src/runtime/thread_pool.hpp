@@ -9,14 +9,14 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "core/sync.hpp"
+#include "core/thread_annotations.hpp"
 #include "runtime/bounded_queue.hpp"
 
 namespace swc::runtime {
@@ -55,10 +55,10 @@ class ThreadPool {
   SubmitOutcome submit_outcome(Job job, SubmitPolicy policy = SubmitPolicy::Block);
 
   // Blocks until every accepted job has finished executing.
-  void wait_idle();
+  void wait_idle() SWC_EXCLUDES(idle_mutex_);
 
   // Stops accepting jobs, drains the queue, joins all workers. Idempotent.
-  void shutdown();
+  void shutdown() SWC_EXCLUDES(idle_mutex_);
 
   [[nodiscard]] std::size_t worker_count() const noexcept { return threads_.size(); }
   [[nodiscard]] std::size_t queue_capacity() const noexcept { return queue_.capacity(); }
@@ -78,10 +78,10 @@ class ThreadPool {
   std::vector<std::atomic<std::uint64_t>> busy_ns_;   // one slot per worker
   std::vector<std::atomic<std::uint64_t>> start_ns_;  // per-worker loop entry
 
-  mutable std::mutex idle_mutex_;
-  std::condition_variable idle_cv_;
-  std::size_t in_flight_ = 0;  // accepted but not yet finished
-  bool shut_down_ = false;
+  mutable swc::Mutex idle_mutex_;
+  swc::CondVar idle_cv_;
+  std::size_t in_flight_ SWC_GUARDED_BY(idle_mutex_) = 0;  // accepted but not yet finished
+  bool shut_down_ SWC_GUARDED_BY(idle_mutex_) = false;
 };
 
 }  // namespace swc::runtime

@@ -2,7 +2,6 @@
 
 #include <chrono>
 #include <cmath>
-#include <mutex>
 #include <stdexcept>
 #include <thread>
 #include <unordered_map>

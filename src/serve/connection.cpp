@@ -17,11 +17,16 @@ Connection::Connection(EventLoop& loop, int fd, std::uint64_t id, Handler& handl
       handler_(handler),
       options_(options),
       parser_(FrameParser::Limits{options.max_payload}) {
+  loop_.assert_on_loop_thread();  // adopt_socket runs on the loop thread
   interest_ = EPOLLIN;
-  loop_.add_fd(fd_, interest_, [this](std::uint32_t events) { on_io(events); });
+  loop_.add_fd(fd_, interest_, [this](std::uint32_t events) {
+    loop_.assert_on_loop_thread();
+    on_io(events);
+  });
 }
 
 Connection::~Connection() {
+  loop_.assert_on_loop_thread();
   if (!closed_ && fd_ >= 0) {
     loop_.remove_fd(fd_);
     ::close(fd_);
@@ -111,6 +116,7 @@ void Connection::handle_readable() {
       bytes_received_ += static_cast<std::uint64_t>(n);
       const bool ok = parser_.feed({chunk.data(), static_cast<std::size_t>(n)},
                                    [this](Message&& msg) {
+                                     loop_.assert_on_loop_thread();
                                      if (!closing_ && !closed_) {
                                        handler_.on_message(*this, std::move(msg));
                                      }

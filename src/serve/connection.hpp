@@ -12,16 +12,19 @@
 //  * paused reads: pause_reads() drops EPOLLIN so the kernel receive buffer
 //    fills and TCP flow control pushes back on the sender.
 //
-// All methods run on the EventLoop thread. Lifetime: the owner (the session
-// manager) destroys the Connection from on_closed(), which is always
-// delivered via loop.post() — never reentrantly from inside a Connection
-// member function.
+// All methods run on the EventLoop thread — statically enforced: they are
+// SWC_REQUIRES(loop_role) and all mutable state is SWC_GUARDED_BY(loop_role),
+// so calling into a Connection from a worker thread is a compile error under
+// clang -Wthread-safety. Lifetime: the owner (the session manager) destroys
+// the Connection from on_closed(), which is always delivered via loop.post()
+// — never reentrantly from inside a Connection member function.
 
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <vector>
 
+#include "core/thread_annotations.hpp"
 #include "serve/event_loop.hpp"
 #include "serve/protocol.hpp"
 
@@ -30,6 +33,10 @@ namespace swc::serve {
 class Connection {
  public:
   struct Handler {
+    // Both callbacks are delivered on the loop thread. The interface stays
+    // unannotated so it can be invoked from contexts (posted closures) that
+    // re-establish the capability at runtime; implementations open with
+    // EventLoop::assert_on_loop_thread() before touching loop-only state.
     virtual void on_message(Connection& conn, Message&& msg) = 0;
     // Delivered exactly once (posted to the loop) after the fd is closed,
     // whether by peer hangup, protocol error, overflow, or close().
@@ -55,51 +62,64 @@ class Connection {
 
   // Queue bytes for transmission. Exceeding write_buffer_cap closes the
   // connection (peer not reading responses).
-  void send(std::vector<std::uint8_t> bytes);
+  void send(std::vector<std::uint8_t> bytes) SWC_REQUIRES(loop_role);
 
   // Backpressure: stop consuming from the socket. Idempotent, counted —
   // resume_reads() must balance every pause (sessions pause for their own
   // reasons while the write path pauses for overflow protection).
-  void pause_reads();
-  void resume_reads();
-  [[nodiscard]] bool reads_paused() const noexcept { return pause_count_ > 0; }
+  void pause_reads() SWC_REQUIRES(loop_role);
+  void resume_reads() SWC_REQUIRES(loop_role);
+  [[nodiscard]] bool reads_paused() const noexcept SWC_REQUIRES(loop_role) {
+    return pause_count_ > 0;
+  }
 
   // Stop reading, flush what is already queued, then close and report.
   // `immediately` abandons queued writes (protocol-error path).
-  void close(const char* reason, bool immediately = false);
-  [[nodiscard]] bool closing() const noexcept { return closing_; }
+  void close(const char* reason, bool immediately = false) SWC_REQUIRES(loop_role);
+  [[nodiscard]] bool closing() const noexcept SWC_REQUIRES(loop_role) { return closing_; }
 
-  [[nodiscard]] std::size_t buffered_out() const noexcept { return out_bytes_; }
-  [[nodiscard]] std::size_t buffered_in() const noexcept { return parser_.buffered_bytes(); }
-  [[nodiscard]] std::uint64_t bytes_received() const noexcept { return bytes_received_; }
-  [[nodiscard]] std::uint64_t bytes_sent() const noexcept { return bytes_sent_; }
-  [[nodiscard]] FrameParser::Error parse_error() const noexcept { return parser_.error(); }
+  [[nodiscard]] std::size_t buffered_out() const noexcept SWC_REQUIRES(loop_role) {
+    return out_bytes_;
+  }
+  [[nodiscard]] std::size_t buffered_in() const noexcept SWC_REQUIRES(loop_role) {
+    return parser_.buffered_bytes();
+  }
+  [[nodiscard]] std::uint64_t bytes_received() const noexcept SWC_REQUIRES(loop_role) {
+    return bytes_received_;
+  }
+  [[nodiscard]] std::uint64_t bytes_sent() const noexcept SWC_REQUIRES(loop_role) {
+    return bytes_sent_;
+  }
+  [[nodiscard]] FrameParser::Error parse_error() const noexcept SWC_REQUIRES(loop_role) {
+    return parser_.error();
+  }
 
  private:
-  void on_io(std::uint32_t events);
-  void handle_readable();
-  void handle_writable();
-  void update_interest();
-  void finish_close();
+  void on_io(std::uint32_t events) SWC_REQUIRES(loop_role);
+  void handle_readable() SWC_REQUIRES(loop_role);
+  void handle_writable() SWC_REQUIRES(loop_role);
+  void update_interest() SWC_REQUIRES(loop_role);
+  void finish_close() SWC_REQUIRES(loop_role);
 
   EventLoop& loop_;
-  int fd_;
+  int fd_ SWC_GUARDED_BY(loop_role);
   const std::uint64_t id_;
   Handler& handler_;
   Options options_;
-  FrameParser parser_;
+  FrameParser parser_ SWC_GUARDED_BY(loop_role);
 
-  std::deque<std::vector<std::uint8_t>> out_;  // head partially sent
-  std::size_t out_head_offset_ = 0;
-  std::size_t out_bytes_ = 0;
+  // head partially sent
+  std::deque<std::vector<std::uint8_t>> out_ SWC_GUARDED_BY(loop_role);
+  std::size_t out_head_offset_ SWC_GUARDED_BY(loop_role) = 0;
+  std::size_t out_bytes_ SWC_GUARDED_BY(loop_role) = 0;
 
-  int pause_count_ = 0;
-  std::uint32_t interest_ = 0;  // currently registered epoll mask
-  bool closing_ = false;
-  bool closed_ = false;
-  const char* close_reason_ = "";
-  std::uint64_t bytes_received_ = 0;
-  std::uint64_t bytes_sent_ = 0;
+  int pause_count_ SWC_GUARDED_BY(loop_role) = 0;
+  std::uint32_t interest_ SWC_GUARDED_BY(loop_role) = 0;  // registered epoll mask
+  bool closing_ SWC_GUARDED_BY(loop_role) = false;
+  bool closed_ SWC_GUARDED_BY(loop_role) = false;
+  const char* close_reason_ SWC_GUARDED_BY(loop_role) = "";
+  std::uint64_t bytes_received_ SWC_GUARDED_BY(loop_role) = 0;
+  std::uint64_t bytes_sent_ SWC_GUARDED_BY(loop_role) = 0;
 };
 
 }  // namespace swc::serve

@@ -11,6 +11,8 @@
 
 #include <array>
 #include <cerrno>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <stdexcept>
 #include <string>
@@ -55,7 +57,18 @@ EventLoop::~EventLoop() {
   ::close(epoll_fd_);
 }
 
+void EventLoop::assert_on_loop_thread() const {
+  // Legal on the loop thread, and in the single-threaded windows before
+  // run() starts / after it returns (listener registration, teardown).
+  if (in_loop_thread() || !running()) return;
+  std::fprintf(stderr,
+               "swc::serve: loop-thread invariant violated — loop-only state "
+               "touched from another thread while the loop is running\n");
+  std::abort();
+}
+
 void EventLoop::add_fd(int fd, std::uint32_t events, IoCallback callback) {
+  assert_on_loop_thread();
   epoll_event ev{};
   ev.events = events;
   ev.data.fd = fd;
@@ -64,6 +77,7 @@ void EventLoop::add_fd(int fd, std::uint32_t events, IoCallback callback) {
 }
 
 void EventLoop::set_events(int fd, std::uint32_t events) {
+  assert_on_loop_thread();
   epoll_event ev{};
   ev.events = events;
   ev.data.fd = fd;
@@ -71,6 +85,7 @@ void EventLoop::set_events(int fd, std::uint32_t events) {
 }
 
 void EventLoop::remove_fd(int fd) {
+  assert_on_loop_thread();
   // The fd may already be gone (closed elsewhere); tolerate ENOENT/EBADF.
   ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
   handlers_.erase(fd);
@@ -89,7 +104,7 @@ void EventLoop::stop() {
 
 void EventLoop::post(std::function<void()> fn) {
   {
-    std::lock_guard lock(post_mutex_);
+    swc::MutexLock lock(post_mutex_);
     posted_.push_back(std::move(fn));
   }
   wake();
@@ -98,7 +113,7 @@ void EventLoop::post(std::function<void()> fn) {
 void EventLoop::drain_posted() {
   std::vector<std::function<void()>> batch;
   {
-    std::lock_guard lock(post_mutex_);
+    swc::MutexLock lock(post_mutex_);
     batch.swap(posted_);
   }
   for (auto& fn : batch) fn();
@@ -106,6 +121,7 @@ void EventLoop::drain_posted() {
 
 void EventLoop::run() {
   loop_thread_.store(std::this_thread::get_id(), std::memory_order_release);
+  begin_loop();
   std::array<epoll_event, 64> events{};
   while (!stop_requested_.load(std::memory_order_acquire)) {
     const int n = ::epoll_wait(epoll_fd_, events.data(), static_cast<int>(events.size()), -1);
@@ -131,6 +147,7 @@ void EventLoop::run() {
     drain_posted();
   }
   drain_posted();
+  end_loop();
   loop_thread_.store(std::thread::id{}, std::memory_order_release);
 }
 
@@ -163,11 +180,16 @@ Listener::Listener(EventLoop& loop, std::uint16_t port, AcceptFn on_accept)
     throw_errno("listen");
   }
   set_nonblocking(fd_);
-  loop_.add_fd(fd_, EPOLLIN, [this](std::uint32_t) { on_readable(); });
+  loop_.assert_on_loop_thread();  // registration happens before run() starts
+  loop_.add_fd(fd_, EPOLLIN, [this](std::uint32_t) {
+    loop_.assert_on_loop_thread();
+    on_readable();
+  });
 }
 
 Listener::~Listener() {
   if (fd_ >= 0) {
+    loop_.assert_on_loop_thread();  // teardown happens after the loop stopped
     loop_.remove_fd(fd_);
     ::close(fd_);
   }

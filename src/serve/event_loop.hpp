@@ -15,17 +15,42 @@
 // removes EPOLLIN, the kernel socket buffer fills, and the TCP window
 // closes against the peer. Level-triggered epoll keeps the resume path
 // trivial (re-adding EPOLLIN re-fires immediately while data is pending).
+//
+// The threading model above is a *static capability*: loop-only methods
+// across EventLoop/Connection/SessionManager are SWC_REQUIRES(loop_role),
+// so clang's thread-safety analysis turns "worker touched loop state" into
+// a compile error. run() holds the capability for the whole dispatch loop;
+// every other entry onto the loop thread (fd callbacks, posted closures,
+// the accept path) re-establishes it through assert_on_loop_thread(), which
+// also aborts at runtime if called off-thread. post()/stop() remain the only
+// blessed crossings from other threads.
 
 #include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "core/sync.hpp"
+#include "core/thread_annotations.hpp"
+
 namespace swc::serve {
+
+// The "runs on the event-loop thread" role, modeled as a capability class so
+// GUARDED_BY/REQUIRES can name it. The token below is deliberately a single
+// process-global: Server, SessionManager, and Connection each hold their own
+// reference to the same loop, and per-instance capability expressions
+// (`this->loop_`) would be unrelatable aliases to the analysis. The runtime
+// side stays per-instance — EventLoop::assert_on_loop_thread() checks
+// *that loop's* thread id. Never held by two threads at once in practice
+// because only run() acquires it for real; processes with several loops
+// (e.g. tests running two servers) simply have one capability standing in
+// for "some loop's thread", which is exactly as strong as the per-object
+// discipline every call site follows.
+class SWC_CAPABILITY("loop-thread") LoopRole {};
+inline LoopRole loop_role;
 
 class EventLoop {
  public:
@@ -38,10 +63,11 @@ class EventLoop {
   EventLoop(const EventLoop&) = delete;
   EventLoop& operator=(const EventLoop&) = delete;
 
-  // fd registration — loop thread only (or before run() starts).
-  void add_fd(int fd, std::uint32_t events, IoCallback callback);
-  void set_events(int fd, std::uint32_t events);
-  void remove_fd(int fd);
+  // fd registration — loop thread only (or before run() starts / after it
+  // returns; assert_on_loop_thread() blesses those single-threaded phases).
+  void add_fd(int fd, std::uint32_t events, IoCallback callback) SWC_REQUIRES(loop_role);
+  void set_events(int fd, std::uint32_t events) SWC_REQUIRES(loop_role);
+  void remove_fd(int fd) SWC_REQUIRES(loop_role);
 
   // Dispatches until stop(). Runs posted closures between epoll batches.
   void run();
@@ -53,14 +79,32 @@ class EventLoop {
   // the loop never runs again the closure is dropped at destruction (the
   // teardown path relies on exactly that: late engine completions enqueue
   // harmlessly into a stopped loop).
-  void post(std::function<void()> fn);
+  void post(std::function<void()> fn) SWC_EXCLUDES(post_mutex_);
 
   [[nodiscard]] bool in_loop_thread() const noexcept {
     return std::this_thread::get_id() == loop_thread_.load(std::memory_order_acquire);
   }
 
+  // True between run() storing its thread id and run() returning.
+  [[nodiscard]] bool running() const noexcept {
+    return loop_thread_.load(std::memory_order_acquire) != std::thread::id{};
+  }
+
+  // The runtime check backing the static loop_role capability: aborts unless
+  // called on the loop thread or while the loop is not running (the
+  // single-threaded setup/teardown windows in which loop state is legal to
+  // touch from the owning thread). Callbacks and posted closures open with
+  // this, so the analysis's assumption is re-validated at every entry.
+  void assert_on_loop_thread() const SWC_ASSERT_CAPABILITY(loop_role);
+
  private:
-  void drain_posted();
+  // Empty-body scope markers for run(): the dispatch loop holds loop_role
+  // for its whole lifetime (the standard facade idiom for capabilities that
+  // are roles rather than locks).
+  void begin_loop() SWC_ACQUIRE(loop_role) {}
+  void end_loop() SWC_RELEASE(loop_role) {}
+
+  void drain_posted() SWC_REQUIRES(loop_role) SWC_EXCLUDES(post_mutex_);
   void wake();
 
   int epoll_fd_ = -1;
@@ -69,10 +113,10 @@ class EventLoop {
   std::atomic<std::thread::id> loop_thread_{};
   // shared_ptr so a callback that removes its own fd (or another's) mid-batch
   // cannot free the std::function currently executing.
-  std::unordered_map<int, std::shared_ptr<IoCallback>> handlers_;
+  std::unordered_map<int, std::shared_ptr<IoCallback>> handlers_ SWC_GUARDED_BY(loop_role);
 
-  std::mutex post_mutex_;
-  std::vector<std::function<void()>> posted_;
+  swc::Mutex post_mutex_;
+  std::vector<std::function<void()>> posted_ SWC_GUARDED_BY(post_mutex_);
 };
 
 // Listening TCP socket on 127.0.0.1 (the serve layer is loopback/LAN
@@ -91,7 +135,7 @@ class Listener {
   [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
 
  private:
-  void on_readable();
+  void on_readable() SWC_REQUIRES(loop_role);
 
   EventLoop& loop_;
   int fd_ = -1;

@@ -18,8 +18,10 @@ Server::Server(ServerOptions options)
 Server::~Server() { stop(); }
 
 void Server::start() {
-  listener_ = std::make_unique<Listener>(
-      loop_, options_.port, [this](int fd) { sessions_.adopt_socket(fd); });
+  listener_ = std::make_unique<Listener>(loop_, options_.port, [this](int fd) {
+    loop_.assert_on_loop_thread();  // accept path: re-establish loop_role
+    sessions_.adopt_socket(fd);
+  });
   port_ = listener_->port();
   thread_ = std::thread([this] { loop_.run(); });
 }
@@ -31,7 +33,10 @@ void Server::stop() {
     // close_all runs in the loop's final drain; the loop then exits and the
     // on_connection_closed notices it posted are dropped (sessions are torn
     // down wholesale by ~SessionManager instead).
-    loop_.post([this] { sessions_.close_all("server-shutdown"); });
+    loop_.post([this] {
+      loop_.assert_on_loop_thread();  // posted closure: re-establish loop_role
+      sessions_.close_all("server-shutdown");
+    });
     loop_.stop();
     thread_.join();
   }

@@ -34,12 +34,12 @@ SessionManager::SessionManager(EventLoop& loop, runtime::FrameServer& engine, Se
     : loop_(loop), engine_(engine), limits_(limits) {}
 
 void SessionManager::count(telemetry::MetricId id, std::uint64_t delta) {
-  std::lock_guard lock(metrics_mutex_);
+  swc::MutexLock lock(metrics_mutex_);
   metrics_.add(id, delta);
 }
 
 telemetry::Snapshot SessionManager::metrics() const {
-  std::lock_guard lock(metrics_mutex_);
+  swc::MutexLock lock(metrics_mutex_);
   return metrics_;
 }
 
@@ -68,6 +68,7 @@ void SessionManager::protocol_error(Session& session, ErrorCode code, const std:
 }
 
 void SessionManager::on_message(Connection& conn, Message&& msg) {
+  loop_.assert_on_loop_thread();  // Handler override: re-establish loop_role
   const auto it = sessions_.find(conn.id());
   if (it == sessions_.end()) return;  // racing a close; drop
   Session& session = it->second;
@@ -243,6 +244,7 @@ bool SessionManager::dispatch_frame(Session& session, std::uint64_t seq, image::
         // then; on_engine_done handles the orphan case.
         result.frame_seq = seq;  // wire seq, not the engine's internal one
         loop_.post([this, conn_id, result = std::move(result)]() mutable {
+          loop_.assert_on_loop_thread();  // posted closure: re-establish loop_role
           on_engine_done(conn_id, std::move(result));
         });
       });
@@ -282,7 +284,7 @@ void SessionManager::update_backpressure(Session& session) {
   const auto& ids = ServeMetricIds::get();
   if (!session.parked.empty()) {
     {
-      std::lock_guard lock(metrics_mutex_);
+      swc::MutexLock lock(metrics_mutex_);
       metrics_.note_max(ids.parked_frames, session.parked.size());
     }
     // Register for retry regardless of pause state: a session already paused
@@ -347,7 +349,7 @@ void SessionManager::on_engine_done(std::uint64_t conn_id, runtime::FrameResult 
   Session& session = it->second;
   --session.inflight;
   {
-    std::lock_guard lock(metrics_mutex_);
+    swc::MutexLock lock(metrics_mutex_);
     metrics_.add(ids.frames_completed, 1);
     metrics_.note_hist(ids.frame_latency, result.latency_ns);
   }
@@ -383,6 +385,7 @@ void SessionManager::maybe_finish_goodbye(Session& session) {
 }
 
 void SessionManager::on_connection_closed(std::uint64_t conn_id, const char* /*reason*/) {
+  loop_.assert_on_loop_thread();  // Handler override: re-establish loop_role
   const auto it = sessions_.find(conn_id);
   if (it == sessions_.end()) return;
   if (it->second.state == State::Active) {

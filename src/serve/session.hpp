@@ -21,18 +21,24 @@
 // a slow engine surfaces as a closed TCP window at the client, never as
 // server memory growth.
 //
-// Everything here runs on the EventLoop thread; engine completions arrive
-// via loop.post() from worker threads. The metrics snapshot is mutex-
-// guarded only because Server::stats() reads it from outside the loop.
+// Everything here runs on the EventLoop thread — statically enforced: the
+// session table and every handler are SWC_REQUIRES(loop_role) /
+// SWC_GUARDED_BY(loop_role). Engine completions arrive via loop.post() from
+// worker threads; the posted closure re-establishes the capability with
+// EventLoop::assert_on_loop_thread() before touching session state. The
+// metrics snapshot is the one mutex-guarded piece, only because
+// Server::stats() reads it from outside the loop.
 
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
+
+#include "core/sync.hpp"
+#include "core/thread_annotations.hpp"
 
 #include "core/rate_control.hpp"
 #include "runtime/frame_server.hpp"
@@ -79,12 +85,14 @@ class SessionManager : public Connection::Handler {
   SessionManager(EventLoop& loop, runtime::FrameServer& engine, ServeLimits limits);
 
   // Takes ownership of a freshly accepted nonblocking socket (loop thread).
-  void adopt_socket(int fd);
+  void adopt_socket(int fd) SWC_REQUIRES(loop_role);
 
   // Abruptly close every connection (loop thread; used at server shutdown).
-  void close_all(const char* reason);
+  void close_all(const char* reason) SWC_REQUIRES(loop_role);
 
-  // Connection::Handler
+  // Connection::Handler. The overrides stay unannotated to match the
+  // interface; their bodies re-establish loop_role at runtime via
+  // loop_.assert_on_loop_thread() before entering the REQUIRES'd internals.
   void on_message(Connection& conn, Message&& msg) override;
   void on_connection_closed(std::uint64_t conn_id, const char* reason) override;
 
@@ -94,7 +102,7 @@ class SessionManager : public Connection::Handler {
   }
 
   // Copy of the serve.* metrics. Thread-safe.
-  [[nodiscard]] telemetry::Snapshot metrics() const;
+  [[nodiscard]] telemetry::Snapshot metrics() const SWC_EXCLUDES(metrics_mutex_);
 
  private:
   enum class State : std::uint8_t { AwaitingHello, Active };
@@ -121,35 +129,39 @@ class SessionManager : public Connection::Handler {
     bool goodbye = false;  // drain in-flight + parked, then close
   };
 
-  void handle_hello(Session& session, const Message& msg);
-  void handle_submit(Session& session, Message&& msg);
-  void handle_stats(Session& session, const Message& msg);
-  void handle_goodbye(Session& session);
-  void protocol_error(Session& session, ErrorCode code, const std::string& text);
+  void handle_hello(Session& session, const Message& msg) SWC_REQUIRES(loop_role);
+  void handle_submit(Session& session, Message&& msg) SWC_REQUIRES(loop_role);
+  void handle_stats(Session& session, const Message& msg) SWC_REQUIRES(loop_role);
+  void handle_goodbye(Session& session) SWC_REQUIRES(loop_role);
+  void protocol_error(Session& session, ErrorCode code, const std::string& text)
+      SWC_REQUIRES(loop_role);
 
   // Submit one frame into the engine; sends the wire-level rejection itself
   // when the engine refuses and the tier fails fast. Returns false when the
   // frame must be parked (bulk tier, queue full).
-  bool dispatch_frame(Session& session, std::uint64_t seq, image::ImageU8 frame);
-  void drain_parked();
-  void update_backpressure(Session& session);
-  void maybe_finish_goodbye(Session& session);
-  void on_engine_done(std::uint64_t conn_id, runtime::FrameResult result);
+  bool dispatch_frame(Session& session, std::uint64_t seq, image::ImageU8 frame)
+      SWC_REQUIRES(loop_role);
+  void drain_parked() SWC_REQUIRES(loop_role);
+  void update_backpressure(Session& session) SWC_REQUIRES(loop_role);
+  void maybe_finish_goodbye(Session& session) SWC_REQUIRES(loop_role);
+  void on_engine_done(std::uint64_t conn_id, runtime::FrameResult result)
+      SWC_REQUIRES(loop_role);
   void send_message(Session& session, MsgType type, std::uint64_t seq,
-                    std::span<const std::uint8_t> payload);
-  void count(telemetry::MetricId id, std::uint64_t delta = 1);
+                    std::span<const std::uint8_t> payload) SWC_REQUIRES(loop_role);
+  void count(telemetry::MetricId id, std::uint64_t delta = 1) SWC_EXCLUDES(metrics_mutex_);
 
   EventLoop& loop_;
   runtime::FrameServer& engine_;
   const ServeLimits limits_;
 
-  std::uint64_t next_conn_id_ = 1;
-  std::unordered_map<std::uint64_t, Session> sessions_;
-  std::vector<std::uint64_t> parked_sessions_;  // retry order for bulk frames
+  std::uint64_t next_conn_id_ SWC_GUARDED_BY(loop_role) = 1;
+  std::unordered_map<std::uint64_t, Session> sessions_ SWC_GUARDED_BY(loop_role);
+  // retry order for bulk frames
+  std::vector<std::uint64_t> parked_sessions_ SWC_GUARDED_BY(loop_role);
   std::atomic<std::size_t> active_sessions_{0};
 
-  mutable std::mutex metrics_mutex_;
-  telemetry::Snapshot metrics_;
+  mutable swc::Mutex metrics_mutex_;
+  telemetry::Snapshot metrics_ SWC_GUARDED_BY(metrics_mutex_);
 };
 
 }  // namespace swc::serve

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
-#include <mutex>
 #include <unordered_map>
+
+#include "core/sync.hpp"
+#include "core/thread_annotations.hpp"
 
 namespace swc::telemetry {
 namespace {
@@ -12,9 +14,9 @@ namespace {
 // side copies under the same mutex so vector growth can never be observed
 // mid-rehash.
 struct NameTable {
-  std::mutex mutex;
-  std::vector<MetricInfo> infos;
-  std::unordered_map<std::string, MetricId> by_name;
+  swc::Mutex mutex;
+  std::vector<MetricInfo> infos SWC_GUARDED_BY(mutex);
+  std::unordered_map<std::string, MetricId> by_name SWC_GUARDED_BY(mutex);
   std::atomic<std::size_t> count{0};
 
   static NameTable& instance() {
@@ -36,8 +38,10 @@ constexpr std::size_t kChunkSize = 64;
 constexpr std::size_t kMaxChunks = 64;  // 4096 metrics; far above any real set
 
 struct GlobalTable {
+  // The chunk pointers are atomics (lock-free read side); grow_mutex only
+  // serializes the one-time chunk allocation, so nothing is GUARDED_BY it.
   std::array<std::atomic<AtomicCell*>, kMaxChunks> chunks{};
-  std::mutex grow_mutex;
+  swc::Mutex grow_mutex;
 
   static GlobalTable& instance() {
     static GlobalTable table;
@@ -50,7 +54,7 @@ struct GlobalTable {
     AtomicCell* base = chunks[chunk].load(std::memory_order_acquire);
     if (base == nullptr) {
       if (!create) return nullptr;
-      std::lock_guard lock(grow_mutex);
+      swc::MutexLock lock(grow_mutex);
       base = chunks[chunk].load(std::memory_order_acquire);
       if (base == nullptr) {
         base = new AtomicCell[kChunkSize];  // intentionally immortal
@@ -108,7 +112,7 @@ struct AtomicHistogram {
 
 struct GlobalHistTable {
   std::array<std::atomic<AtomicHistogram*>, kMaxGlobalHistograms> slots{};
-  std::mutex grow_mutex;
+  swc::Mutex grow_mutex;
 
   static GlobalHistTable& instance() {
     static GlobalHistTable table;
@@ -119,7 +123,7 @@ struct GlobalHistTable {
     if (id >= kMaxGlobalHistograms) return nullptr;
     AtomicHistogram* hist = slots[id].load(std::memory_order_acquire);
     if (hist == nullptr && create) {
-      std::lock_guard lock(grow_mutex);
+      swc::MutexLock lock(grow_mutex);
       hist = slots[id].load(std::memory_order_acquire);
       if (hist == nullptr) {
         hist = new AtomicHistogram;  // intentionally immortal
@@ -140,7 +144,7 @@ std::uint64_t clock_ns() noexcept {
 
 MetricId Registry::metric(std::string_view name, MetricKind kind, std::string_view unit) {
   NameTable& table = NameTable::instance();
-  std::lock_guard lock(table.mutex);
+  swc::MutexLock lock(table.mutex);
   const std::string key(name);
   if (const auto it = table.by_name.find(key); it != table.by_name.end()) return it->second;
   const auto id = static_cast<MetricId>(table.infos.size());
@@ -152,7 +156,7 @@ MetricId Registry::metric(std::string_view name, MetricKind kind, std::string_vi
 
 MetricInfo Registry::info(MetricId id) {
   NameTable& table = NameTable::instance();
-  std::lock_guard lock(table.mutex);
+  swc::MutexLock lock(table.mutex);
   if (id >= table.infos.size()) return {"<unregistered>", MetricKind::Counter, ""};
   return table.infos[id];
 }
@@ -338,9 +342,9 @@ struct TraceRing {
 };
 
 struct TraceDirectory {
-  std::mutex mutex;
-  std::vector<TraceRing*> rings;
-  std::uint32_t next_ordinal = 0;
+  swc::Mutex mutex;
+  std::vector<TraceRing*> rings SWC_GUARDED_BY(mutex);
+  std::uint32_t next_ordinal SWC_GUARDED_BY(mutex) = 0;
 
   static TraceDirectory& instance() {
     static TraceDirectory dir;
@@ -353,13 +357,13 @@ struct TraceRegistration {
 
   TraceRegistration() : ring(new TraceRing) {
     TraceDirectory& dir = TraceDirectory::instance();
-    std::lock_guard lock(dir.mutex);
+    swc::MutexLock lock(dir.mutex);
     ring->thread_ordinal = dir.next_ordinal++;
     dir.rings.push_back(ring);
   }
   ~TraceRegistration() {
     TraceDirectory& dir = TraceDirectory::instance();
-    std::lock_guard lock(dir.mutex);
+    swc::MutexLock lock(dir.mutex);
     std::erase(dir.rings, ring);
     delete ring;
   }
@@ -390,7 +394,7 @@ void trace_append(MetricId id, std::uint64_t begin_ns, std::uint64_t duration_ns
 std::vector<SpanEvent> recent_spans() {
   TraceDirectory& dir = TraceDirectory::instance();
   std::vector<SpanEvent> events;
-  std::lock_guard lock(dir.mutex);
+  swc::MutexLock lock(dir.mutex);
   for (const TraceRing* ring : dir.rings) {
     const std::uint64_t head = ring->head.load(std::memory_order_acquire);
     const std::uint64_t first = head > kRingSize ? head - kRingSize : 0;

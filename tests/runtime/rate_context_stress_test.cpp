@@ -1,0 +1,115 @@
+// TSan regression gate for the StreamContext rate-control path. The
+// concurrency contract (see DESIGN.md "Concurrency contracts") is:
+// rate_enabled_ is immutable after construction, the actuation threshold is
+// a relaxed atomic, and the controller itself is touched only under
+// rate_mutex_. The original code instead probed controller_.has_value()
+// unlocked on the hot path and read controller_->converged() without the
+// mutex — a race against observe_rate()'s controller mutation that TSan
+// flags the moment pollers overlap in-flight frames. These tests hammer
+// exactly that overlap; they run under the runtime_stress_tsan CTest entry
+// (gtest_filter=RuntimeStress.*) with halt_on_error.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "core/rate_control.hpp"
+#include "core/streaming_engine.hpp"
+#include "image/synthetic.hpp"
+#include "runtime/stream_context.hpp"
+
+namespace swc::runtime {
+namespace {
+
+StreamConfig make_rate_config() {
+  core::EngineConfig engine;
+  engine.spec = {32, 32, 4};
+  engine.codec.threshold = 8;
+  core::RateControlConfig rate;
+  rate.mode = core::RateControlMode::BitsPerPixel;
+  rate.target = 1.5;
+  rate.initial_threshold = 8;
+  return {.name = "rate-stress",
+          .kind = EngineKind::Compressed,
+          .engine = engine,
+          .keep_output = false,
+          .rate = rate};
+}
+
+TEST(RuntimeStress, RateControlledContextConcurrentPollers) {
+  constexpr std::size_t kWorkers = 4;
+  constexpr std::size_t kPollers = 2;
+  constexpr std::size_t kFramesPerWorker = 24;
+
+  const StreamContext ctx(1, make_rate_config());
+  const auto frame = image::make_natural_image(32, 32, {.seed = 7});
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> pollers;
+  for (std::size_t p = 0; p < kPollers; ++p) {
+    pollers.emplace_back([&] {
+      // Race the controller's observe/actuate cycle with the read-side API.
+      while (!stop.load(std::memory_order_acquire)) {
+        (void)ctx.rate_converged();
+        EXPECT_GE(ctx.rate_threshold(), 0);
+        std::this_thread::yield();
+      }
+    });
+  }
+
+  std::vector<std::thread> workers;
+  std::atomic<std::uint64_t> processed{0};
+  for (std::size_t w = 0; w < kWorkers; ++w) {
+    workers.emplace_back([&] {
+      for (std::size_t i = 0; i < kFramesPerWorker; ++i) {
+        // Stack-local scratch overload: documented safe for concurrent
+        // direct callers, each frame feeds observe_rate() under the mutex.
+        const auto result = ctx.process(frame);
+        processed.fetch_add(1, std::memory_order_relaxed);
+        (void)result;
+      }
+    });
+  }
+
+  for (auto& t : workers) t.join();
+  stop.store(true, std::memory_order_release);
+  for (auto& t : pollers) t.join();
+
+  EXPECT_EQ(processed.load(), kWorkers * kFramesPerWorker);
+  // The controller observed every frame; its threshold is a sane actuation.
+  EXPECT_GE(ctx.rate_threshold(), 0);
+  EXPECT_LE(ctx.rate_threshold(), 255);
+}
+
+TEST(RuntimeStress, RateDisabledContextConcurrentPollers) {
+  // Control: without a rate config the same API surface must stay race-free
+  // (rate_threshold() falls back to the static codec threshold).
+  StreamConfig config = make_rate_config();
+  config.rate.reset();
+  const StreamContext ctx(2, config);
+  const auto frame = image::make_natural_image(32, 32, {.seed = 9});
+
+  std::atomic<bool> stop{false};
+  std::thread poller([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      EXPECT_FALSE(ctx.rate_converged());
+      EXPECT_EQ(ctx.rate_threshold(), 8);
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::thread> workers;
+  for (std::size_t w = 0; w < 2; ++w) {
+    workers.emplace_back([&] {
+      for (std::size_t i = 0; i < 8; ++i) (void)ctx.process(frame);
+    });
+  }
+  for (auto& t : workers) t.join();
+  stop.store(true, std::memory_order_release);
+  poller.join();
+}
+
+}  // namespace
+}  // namespace swc::runtime

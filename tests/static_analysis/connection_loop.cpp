@@ -1,0 +1,19 @@
+// Negative-compile probe: every mutating Connection method is loop-thread-
+// only. A worker thread pausing a socket it does not own the capability for
+// must be rejected at compile time.
+
+#include "serve/connection.hpp"
+#include "serve/event_loop.hpp"
+
+int probe_connection_loop(swc::serve::EventLoop& loop, swc::serve::Connection& conn);
+int probe_connection_loop(swc::serve::EventLoop& loop, swc::serve::Connection& conn) {
+#if defined(SWC_NEGCOMP)
+  (void)loop;
+  conn.pause_reads();  // VIOLATION: Connection state touched without loop_role
+#else
+  loop.assert_on_loop_thread();
+  conn.pause_reads();
+  conn.resume_reads();
+#endif
+  return 0;
+}

@@ -1,0 +1,16 @@
+// Negative-compile probe: acquiring a capability that is already held
+// (self-deadlock on a non-recursive mutex) must be rejected.
+
+#include "core/sync.hpp"
+#include "core/thread_annotations.hpp"
+
+int probe_double_acquire();
+int probe_double_acquire() {
+  swc::Mutex m;
+  m.lock();
+#if defined(SWC_NEGCOMP)
+  m.lock();  // VIOLATION: second acquire of a held capability
+#endif
+  m.unlock();
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Negative-compile probe: calling an SWC_EXCLUDES(mutex) function while
+// holding that mutex (self-deadlock through a public re-entry, the classic
+// "stats() called from a locked scope" bug) must be rejected.
+
+#include "core/sync.hpp"
+#include "core/thread_annotations.hpp"
+
+namespace {
+
+swc::Mutex probe_mutex;
+long probe_value SWC_GUARDED_BY(probe_mutex) = 0;
+
+void touch() SWC_EXCLUDES(probe_mutex) {
+  swc::MutexLock lock(probe_mutex);
+  ++probe_value;
+}
+
+}  // namespace
+
+int probe_excludes();
+int probe_excludes() {
+#if defined(SWC_NEGCOMP)
+  probe_mutex.lock();
+  touch();  // VIOLATION: EXCLUDES(probe_mutex) entered with it held
+  probe_mutex.unlock();
+#else
+  touch();
+#endif
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Negative-compile probe: writing an SWC_GUARDED_BY member without holding
+// its mutex must be rejected by clang -Werror=thread-safety. The clean
+// branch doubles as a control: it must compile warning-free, and it keeps
+// the probe building under every toolchain (the violation branch only
+// exists behind SWC_NEGCOMP).
+
+#include "core/sync.hpp"
+#include "core/thread_annotations.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void bump_locked() SWC_EXCLUDES(mutex_) {
+    swc::MutexLock lock(mutex_);
+    ++value_;
+  }
+#if defined(SWC_NEGCOMP)
+  // VIOLATION: mutates a guarded member with no lock held.
+  void bump_racy() { ++value_; }
+#endif
+
+ private:
+  swc::Mutex mutex_;
+  long value_ SWC_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int probe_guarded_member();
+int probe_guarded_member() {
+  Counter c;
+  c.bump_locked();
+#if defined(SWC_NEGCOMP)
+  c.bump_racy();
+#endif
+  return 0;
+}

@@ -1,0 +1,20 @@
+// Negative-compile probe: EventLoop fd registration is loop-thread-only
+// (SWC_REQUIRES(loop_role)). Touching it without the capability must be
+// rejected; the control branch re-establishes the capability the way every
+// real call site does — via assert_on_loop_thread().
+
+#include <cstdint>
+
+#include "serve/event_loop.hpp"
+
+int probe_loop_capability(swc::serve::EventLoop& loop, int fd);
+int probe_loop_capability(swc::serve::EventLoop& loop, int fd) {
+#if defined(SWC_NEGCOMP)
+  // VIOLATION: worker-thread code mutating the reactor's fd table.
+  loop.add_fd(fd, 0, [](std::uint32_t) {});
+#else
+  loop.assert_on_loop_thread();
+  loop.add_fd(fd, 0, [](std::uint32_t) {});
+#endif
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Negative-compile probe: calling an SWC_REQUIRES(mutex) function without
+// the mutex held must be rejected. This is the lock-transfer contract the
+// runtime uses for Strand::enqueue_locked / codec register_locked.
+
+#include "core/sync.hpp"
+#include "core/thread_annotations.hpp"
+
+namespace {
+
+class Table {
+ public:
+  void insert() SWC_EXCLUDES(mutex_) {
+    swc::MutexLock lock(mutex_);
+    insert_locked();
+  }
+#if defined(SWC_NEGCOMP)
+  // VIOLATION: forwards into the REQUIRES'd internals with no lock held.
+  void insert_unlocked() SWC_EXCLUDES(mutex_) { insert_locked(); }
+#endif
+
+ private:
+  void insert_locked() SWC_REQUIRES(mutex_) { ++entries_; }
+
+  swc::Mutex mutex_;
+  long entries_ SWC_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int probe_requires_transfer();
+int probe_requires_transfer() {
+  Table t;
+  t.insert();
+#if defined(SWC_NEGCOMP)
+  t.insert_unlocked();
+#endif
+  return 0;
+}

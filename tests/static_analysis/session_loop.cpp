@@ -1,0 +1,18 @@
+// Negative-compile probe: SessionManager's session table is loop-thread-
+// only; handing it a socket from off-loop (the bug the accept-lambda assert
+// guards at runtime) must be rejected at compile time.
+
+#include "serve/event_loop.hpp"
+#include "serve/session.hpp"
+
+int probe_session_loop(swc::serve::EventLoop& loop, swc::serve::SessionManager& sessions, int fd);
+int probe_session_loop(swc::serve::EventLoop& loop, swc::serve::SessionManager& sessions, int fd) {
+#if defined(SWC_NEGCOMP)
+  (void)loop;
+  sessions.adopt_socket(fd);  // VIOLATION: session table mutated without loop_role
+#else
+  loop.assert_on_loop_thread();
+  sessions.adopt_socket(fd);
+#endif
+  return 0;
+}
