@@ -36,6 +36,20 @@ import sys
 # Meta keys that define comparability of throughput numbers.
 MACHINE_KEYS = ("cpu_model", "cores", "simd", "compiler")
 
+# Benches whose primary record metric is not throughput. When --metric is not
+# given, the comparison metric is resolved from the artifact's "bench" field
+# through this table (so the CMake regression loop can treat every artifact
+# uniformly). rate_characterization gates on its deterministic MSE operating
+# points: synthetic fixed-seed images make them machine-independent.
+DEFAULT_METRIC_BY_BENCH = {
+    "rate_characterization": "mse",
+}
+
+# Metrics where smaller values are better (mse, overflow counts): the
+# per-side "best" is the min, and a regression is the fresh value rising
+# above baseline by more than the threshold.
+LOWER_IS_BETTER = {"mse", "overflows"}
+
 
 def load_doc(path: str) -> dict:
     with open(path, "r", encoding="utf-8") as fh:
@@ -94,8 +108,9 @@ def main() -> int:
                              "which de-flakes the gate on shared machines")
     parser.add_argument("--threshold-pct", type=float, default=15.0,
                         help="allowed drop below baseline before failing (default 15)")
-    parser.add_argument("--metric", default="throughput",
-                        help="metric name to compare (default: throughput)")
+    parser.add_argument("--metric", default=None,
+                        help="metric name to compare (default: resolved from the "
+                             "baseline's bench name, usually throughput)")
     parser.add_argument("--name", default=None,
                         help="restrict the comparison to records with this name "
                              "(default: all). The telemetry overhead guard uses "
@@ -111,12 +126,19 @@ def main() -> int:
     if meta_status != 0:
         return meta_status
 
+    if args.metric is None:
+        args.metric = DEFAULT_METRIC_BY_BENCH.get(
+            baseline_docs[0].get("bench", ""), "throughput")
+    lower_better = args.metric in LOWER_IS_BETTER
+
     def best_records(docs: list[dict]) -> dict[tuple[str, str, str], dict]:
         best: dict[tuple[str, str, str], dict] = {}
         for doc in docs:
             for key, rec in records_of(doc).items():
                 cur = best.get(key)
-                if cur is None or float(rec["value"]) > float(cur["value"]):
+                better = (float(rec["value"]) < float(cur["value"]) if lower_better
+                          else float(rec["value"]) > float(cur["value"])) if cur else True
+                if better:
                     best[key] = rec
         return best
 
@@ -141,7 +163,14 @@ def main() -> int:
         fresh_v = float(fresh_rec["value"])
         delta_pct = 100.0 * (fresh_v - base_v) / base_v if base_v else 0.0
         marker = " "
-        if base_v > 0 and fresh_v < base_v * (1.0 - args.threshold_pct / 100.0):
+        if lower_better:
+            # A zero baseline (exact-lossless MSE, zero overflows) must stay
+            # zero: any nonzero fresh value is a real quality regression.
+            regressed = (fresh_v > base_v * (1.0 + args.threshold_pct / 100.0)
+                         if base_v > 0 else fresh_v > 0)
+        else:
+            regressed = base_v > 0 and fresh_v < base_v * (1.0 - args.threshold_pct / 100.0)
+        if regressed:
             regressions.append((key, base_v, fresh_v, delta_pct))
             marker = "!"
         print(f"{marker} {name:24s} {config:60s} "

@@ -1,0 +1,127 @@
+// Rate characterization: the codec's quality/rate operating points and the
+// closed-loop rate controller against a fixed BRAM budget, in one bench.
+//
+// Folds the former mse_vs_threshold (paper Section VI-A: thresholds 2/4/6
+// give MSEs of 0.59/3.2/4.8 on the 10-image set) and adaptive_threshold
+// (Sections V-E / VII future work: runtime threshold adaptation under a
+// fixed budget) binaries. Emits one BENCH_rate_characterization.json in the
+// standard schema; the MSE and overflow records are deterministic (synthetic
+// images, fixed seeds), so check_regression.py can gate on them across
+// machines.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/bench_common.hpp"
+#include "core/adaptive_threshold.hpp"
+#include "core/quality.hpp"
+#include "core/streaming_engine.hpp"
+#include "image/metrics.hpp"
+#include "image/synthetic.hpp"
+
+namespace {
+
+// --- Section VI-A operating points: MSE vs threshold ------------------------
+void run_mse_sweep(std::vector<swc::benchx::BenchRecord>& records) {
+  using namespace swc;
+  const std::size_t size = 512;
+  const std::size_t window = 8;
+  const auto& images = benchx::eval_set(size);
+
+  std::printf("%-10s %16s %18s %12s\n", "threshold", "single-pass MSE", "streaming MSE",
+              "paper MSE");
+  const double paper_mse[] = {0.0, 0.59, 3.2, 4.8};
+  std::size_t idx = 0;
+  for (const int t : benchx::kThresholds) {
+    double single = 0.0;
+    double streaming = 0.0;
+    for (const auto& img : images) {
+      bitpack::ColumnCodecConfig codec;
+      codec.threshold = t;
+      single += core::single_pass_mse(img, codec);
+      const auto out = core::roundtrip_image(img, benchx::make_config(size, window, t));
+      streaming += image::mse(img, out);
+    }
+    single /= static_cast<double>(images.size());
+    streaming /= static_cast<double>(images.size());
+    std::printf("%-10d %16.3f %18.3f %12.2f\n", t, single, streaming, paper_mse[idx]);
+    ++idx;
+
+    const std::string config = "size=512 window=8 threshold=" + std::to_string(t);
+    records.push_back({"mse_vs_threshold", config + " path=single_pass", "mse", single, "mse"});
+    records.push_back({"mse_vs_threshold", config + " path=streaming", "mse", streaming, "mse"});
+  }
+  std::printf("\nPaper reference: T = 2/4/6 -> MSE 0.59 / 3.2 / 4.8 (single pass).\n\n");
+}
+
+// --- Closed-loop rate control vs fixed BRAM budget ---------------------------
+void run_control_loop(std::vector<swc::benchx::BenchRecord>& records) {
+  using namespace swc;
+  const std::size_t size = 256, window = 16;
+  core::EngineConfig config = benchx::make_config(size, window, 0);
+
+  // Budget: 15% headroom over the worst smooth frame, far below bad frames.
+  std::size_t smooth_worst = 0;
+  for (int i = 0; i < 4; ++i) {
+    const auto frame =
+        image::make_natural_image(size, size, {.seed = static_cast<std::uint64_t>(100 + i)});
+    smooth_worst =
+        std::max(smooth_worst, core::compute_frame_cost(frame, config).worst_band.total_bits());
+  }
+  core::AdaptiveThresholdConfig ac;
+  ac.budget_bits = smooth_worst + 15 * smooth_worst / 100;
+  core::AdaptiveThresholdController ctrl(ac);
+
+  std::printf("budget = %zu bits (smooth worst %zu)\n\n", ac.budget_bits, smooth_worst);
+  std::printf("%-7s %-8s %-10s %-14s %-12s %-12s\n", "frame", "scene", "threshold", "bits",
+              "adaptive", "static T=0");
+
+  std::size_t static_overflows = 0;
+  for (int frame = 0; frame < 64; ++frame) {
+    // 64-frame synthetic video with two random-noise bursts.
+    const bool bad = (frame >= 16 && frame < 24) || (frame >= 44 && frame < 48);
+    const auto img =
+        bad ? image::make_random_image(size, size, static_cast<std::uint64_t>(frame))
+            : image::make_natural_image(size, size, {.seed = static_cast<std::uint64_t>(frame)});
+
+    config.codec.threshold = ctrl.threshold();
+    const std::size_t bits = core::compute_frame_cost(img, config).worst_band.total_bits();
+    const int used_threshold = ctrl.threshold();
+    (void)ctrl.observe(bits);
+
+    config.codec.threshold = 0;
+    const std::size_t static_bits = core::compute_frame_cost(img, config).worst_band.total_bits();
+    const bool static_overflow = static_bits > ac.budget_bits;
+    static_overflows += static_overflow;
+
+    if (frame < 4 || (frame >= 14 && frame < 28) || (frame >= 42 && frame < 52)) {
+      std::printf("%-7d %-8s T=%-8d %-14zu %-12s %-12s\n", frame, bad ? "random" : "smooth",
+                  used_threshold, bits, bits > ac.budget_bits ? "OVERFLOW" : "ok",
+                  static_overflow ? "OVERFLOW" : "ok");
+    }
+  }
+  std::printf("\nadaptive overflows: %zu / %zu frames;  static lossless overflows: %zu / 64\n",
+              ctrl.overflow_count(), ctrl.observations(), static_overflows);
+  std::printf("The controller pays a few overflow frames at each scene change, then tracks\n");
+  std::printf("the budget; the paper's static design would overflow on every bad frame.\n");
+
+  const std::string config_str = "size=256 window=16 frames=64 headroom=15pct";
+  records.push_back({"adaptive_control", config_str + " policy=adaptive", "overflows",
+                     static_cast<double>(ctrl.overflow_count()), "frames"});
+  records.push_back({"adaptive_control", config_str + " policy=static_lossless", "overflows",
+                     static_cast<double>(static_overflows), "frames"});
+}
+
+}  // namespace
+
+int main() {
+  using namespace swc;
+  benchx::print_header("Rate characterization — MSE operating points + closed-loop control",
+                       "Section VI-A threshold sweep and adaptive threshold vs BRAM budget");
+
+  std::vector<benchx::BenchRecord> records;
+  run_mse_sweep(records);
+  run_control_loop(records);
+  benchx::write_bench_json("BENCH_rate_characterization.json", "rate_characterization", records);
+  return 0;
+}

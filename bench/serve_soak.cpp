@@ -58,6 +58,9 @@ int main() {
   server_options.workers = workers;
   server_options.queue_capacity = 64;
   server_options.limits.max_sessions = streams + 16;
+  // Soak scale (64+ concurrent streams) is a software-throughput experiment,
+  // not a hardware deployment; capacity admission would cap it at one part.
+  server_options.limits.device = std::nullopt;
   serve::Server server(server_options);
   server.start();
 

@@ -43,26 +43,50 @@ struct HazardRecord {
 
 class ClockedRegistry {
  public:
-  // Starts the next simulated cycle in Phase::Emit.
+  // Starts the next simulated cycle in Phase::Emit. Under an external clock
+  // (composed designs, see set_external_clock) the cycle counter is owned by
+  // the composer's advance_cycle(); a pipeline's begin_cycle() then only
+  // resets the phase for its own sequential Emit -> Capture execution.
   void begin_cycle() noexcept {
-    ++cycle_;
+    if (!external_clock_) ++cycle_;
     phase_ = Phase::Emit;
   }
   void set_phase(Phase p) noexcept { phase_ = p; }
+
+  // Composed-design clocking: K pipelines share one registry and one clock.
+  // The composer calls advance_cycle() once per composed cycle; each member
+  // pipeline still calls begin_cycle()/set_phase() as it steps, which must
+  // not advance the shared cycle counter (all members execute in the SAME
+  // composed cycle — that is what makes cross-pipeline same-cycle hazards
+  // on shared signals detectable).
+  void set_external_clock(bool external) noexcept { external_clock_ = external; }
+  void advance_cycle() noexcept {
+    ++cycle_;
+    phase_ = Phase::Emit;
+  }
+
+  // Namespace prefix applied to every signal name reported while it is set.
+  // A composed design switches the scope ("p0.", "p1.", ...) before stepping
+  // each member so identically named per-instance registers ("pipeline.recon"
+  // in every CompressedPipeline) do not collide; shared signals are reported
+  // under an empty or common scope.
+  void set_scope(std::string scope) { scope_ = std::move(scope); }
+  [[nodiscard]] const std::string& scope() const noexcept { return scope_; }
 
   [[nodiscard]] std::size_t cycle() const noexcept { return cycle_; }
   [[nodiscard]] Phase phase() const noexcept { return phase_; }
 
   void note_write(const char* signal) {
     ++writes_;
-    last_write_[signal] = Stamp{cycle_, phase_};
+    last_write_[scope_ + signal] = Stamp{cycle_, phase_};
   }
 
   void note_read(const char* signal) {
     ++reads_;
-    const auto it = last_write_.find(signal);
+    std::string key = scope_ + signal;
+    const auto it = last_write_.find(key);
     if (it != last_write_.end() && it->second.cycle == cycle_ && it->second.phase == phase_) {
-      hazards_.push_back({signal, cycle_, phase_});
+      hazards_.push_back({std::move(key), cycle_, phase_});
     }
   }
 
@@ -79,10 +103,12 @@ class ClockedRegistry {
   };
   std::unordered_map<std::string, Stamp> last_write_;
   std::vector<HazardRecord> hazards_;
+  std::string scope_;
   std::size_t cycle_ = 0;
   std::size_t reads_ = 0;
   std::size_t writes_ = 0;
   Phase phase_ = Phase::Emit;
+  bool external_clock_ = false;
 };
 
 // A named simulated register. read() and write() report to the attached

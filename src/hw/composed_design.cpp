@@ -1,0 +1,45 @@
+#include "hw/composed_design.hpp"
+
+#include <stdexcept>
+
+namespace swc::hw {
+
+ComposedDesign::ComposedDesign(const std::vector<PipelineSpec>& specs) {
+  registry_.set_external_clock(true);
+  pipelines_.reserve(specs.size());
+  scopes_.reserve(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    specs[i].validate();
+    pipelines_.push_back(std::make_unique<CompressedPipeline>(specs[i].to_engine()));
+    scopes_.push_back("p" + std::to_string(i) + ".");
+    pipelines_.back()->attach_hazard_registry(&registry_);
+  }
+}
+
+std::size_t ComposedDesign::step(const std::vector<std::uint8_t>& pixels) {
+  if (pixels.size() != pipelines_.size()) {
+    throw std::invalid_argument("ComposedDesign::step: one pixel per member required");
+  }
+  registry_.advance_cycle();
+  std::size_t valid = 0;
+  for (std::size_t i = 0; i < pipelines_.size(); ++i) {
+    registry_.set_scope(scopes_[i]);
+    if (pipelines_[i]->step(pixels[i])) ++valid;
+  }
+  registry_.set_scope("");
+  return valid;
+}
+
+std::size_t ComposedDesign::total_port_writes() const noexcept {
+  std::size_t total = 0;
+  for (const auto& p : pipelines_) total += p->memory().port_writes();
+  return total;
+}
+
+std::size_t ComposedDesign::total_port_reads() const noexcept {
+  std::size_t total = 0;
+  for (const auto& p : pipelines_) total += p->memory().port_reads();
+  return total;
+}
+
+}  // namespace swc::hw

@@ -1,0 +1,58 @@
+#pragma once
+// K compressed pipelines stepped on one shared clock — the cycle-model
+// counterpart of resources::Composition. Every member attaches to one
+// ClockedRegistry under a per-instance scope ("p0.", "p1.", ...) so the
+// two-phase hazard analyzer runs across the whole composed design: the
+// per-instance registers that share names in every CompressedPipeline
+// ("pipeline.recon", IWT delays) stay distinct, while anything reported
+// under a common scope is checked for cross-pipeline same-cycle races.
+// Aggregated MemoryUnit port transactions give the observed shared-
+// interconnect traffic the planner's demand model is checked against.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hw/clocking.hpp"
+#include "hw/compressed_pipeline.hpp"
+#include "hw/pipeline_spec.hpp"
+
+namespace swc::hw {
+
+class ComposedDesign {
+ public:
+  // Builds one CompressedPipeline per spec (payload FIFOs unbounded; the
+  // planner, not the cycle model, enforces capacity) and attaches all of
+  // them to the shared hazard registry.
+  explicit ComposedDesign(const std::vector<PipelineSpec>& specs);
+
+  // One composed clock: advances the shared cycle once, then steps every
+  // member with its pixel (pixels.size() must equal size()). Returns the
+  // number of members whose window was valid this cycle.
+  std::size_t step(const std::vector<std::uint8_t>& pixels);
+
+  [[nodiscard]] std::size_t size() const noexcept { return pipelines_.size(); }
+  [[nodiscard]] CompressedPipeline& pipeline(std::size_t i) { return *pipelines_.at(i); }
+  [[nodiscard]] const CompressedPipeline& pipeline(std::size_t i) const {
+    return *pipelines_.at(i);
+  }
+
+  [[nodiscard]] const ClockedRegistry& hazards() const noexcept { return registry_; }
+  [[nodiscard]] bool clean() const noexcept { return registry_.clean(); }
+  [[nodiscard]] std::size_t cycles() const noexcept { return registry_.cycle(); }
+
+  // Observed shared-interconnect traffic: MemoryUnit port transactions
+  // summed across every member.
+  [[nodiscard]] std::size_t total_port_writes() const noexcept;
+  [[nodiscard]] std::size_t total_port_reads() const noexcept;
+
+ private:
+  ClockedRegistry registry_;
+  // unique_ptr: CompressedPipeline holds Signals self-registered by address,
+  // so members must never relocate.
+  std::vector<std::unique_ptr<CompressedPipeline>> pipelines_;
+  std::vector<std::string> scopes_;
+};
+
+}  // namespace swc::hw

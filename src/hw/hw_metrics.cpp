@@ -13,6 +13,8 @@ const HwMetricIds& HwMetricIds::get() {
       Registry::metric("hw.mem.stream_high_water_bits", MetricKind::Gauge, "bits"),
       Registry::metric("hw.fifo.overflow_events", MetricKind::Counter, "events"),
       Registry::metric("hw.fifo.underflow_events", MetricKind::Counter, "events"),
+      Registry::metric("hw.mem.port_writes", MetricKind::Counter, "transactions"),
+      Registry::metric("hw.mem.port_reads", MetricKind::Counter, "transactions"),
   };
   return ids;
 }

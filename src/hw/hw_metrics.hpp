@@ -17,6 +17,8 @@ struct HwMetricIds {
   telemetry::MetricId stream_hw_bits;    // gauge: worst single payload FIFO
   telemetry::MetricId fifo_overflows;    // counter: pushes past capacity
   telemetry::MetricId fifo_underflows;   // counter: pops from empty
+  telemetry::MetricId port_writes;       // counter: physical BRAM port writes
+  telemetry::MetricId port_reads;        // counter: physical BRAM port reads
 
   [[nodiscard]] static const HwMetricIds& get();
 };

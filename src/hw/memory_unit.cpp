@@ -22,11 +22,13 @@ MemoryUnit::MemoryUnit(std::size_t window, std::size_t payload_capacity_bytes)
 void MemoryUnit::push_byte(std::size_t stream, std::uint8_t byte) {
   payload_.at(stream).push(byte);
   ++pushed_this_row_.at(stream);
+  ++port_writes_;
 }
 
 void MemoryUnit::push_management(const NBitsEntry& nbits, const BitmapWord& bitmap) {
   nbits_.push(nbits);
   bitmap_.push(bitmap);
+  port_writes_ += 2;  // NBits and BitMap FIFOs each occupy a physical port
 }
 
 void MemoryUnit::end_pack_row() {
@@ -36,12 +38,19 @@ void MemoryUnit::end_pack_row() {
 
 std::uint8_t MemoryUnit::pop_byte(std::size_t stream) {
   ++consumed_this_row_.at(stream);
+  ++port_reads_;
   return payload_.at(stream).pop();
 }
 
-NBitsEntry MemoryUnit::pop_nbits() { return nbits_.pop(); }
+NBitsEntry MemoryUnit::pop_nbits() {
+  ++port_reads_;
+  return nbits_.pop();
+}
 
-BitmapWord MemoryUnit::pop_bitmap() { return bitmap_.pop(); }
+BitmapWord MemoryUnit::pop_bitmap() {
+  ++port_reads_;
+  return bitmap_.pop();
+}
 
 void MemoryUnit::begin_unpack_row() {
   if (unpack_row_open_) {
@@ -127,6 +136,8 @@ void MemoryUnit::fold_telemetry(telemetry::Snapshot& snap) const {
   snap.note_max(ids.stream_hw_bits, max_stream_high_water_bits());
   snap.add(ids.fifo_overflows, overflow_events());
   snap.add(ids.fifo_underflows, underflow_events());
+  snap.add(ids.port_writes, port_writes_);
+  snap.add(ids.port_reads, port_reads_);
 }
 
 }  // namespace swc::hw

@@ -81,6 +81,11 @@ class MemoryUnit {
   // can report how often a violation fired rather than a single sticky bit.
   [[nodiscard]] std::size_t overflow_events() const noexcept;
   [[nodiscard]] std::size_t underflow_events() const noexcept;
+  // Physical BRAM port transactions (one per payload byte or management word
+  // moved). The composition layer aggregates these across pipelines to check
+  // the shared-interconnect demand model against observed traffic.
+  [[nodiscard]] std::size_t port_writes() const noexcept { return port_writes_; }
+  [[nodiscard]] std::size_t port_reads() const noexcept { return port_reads_; }
 
   // Folds the unit's occupancy peaks and violation counts into `snap` under
   // the hw.* registry metrics (see hw/hw_metrics.hpp).
@@ -94,6 +99,8 @@ class MemoryUnit {
   Fifo<std::vector<std::uint32_t>> row_byte_counts_;  // per stream, per image row
   std::vector<std::uint32_t> pushed_this_row_;
   std::vector<std::uint32_t> consumed_this_row_;
+  std::size_t port_writes_ = 0;
+  std::size_t port_reads_ = 0;
   bool unpack_row_open_ = false;
 };
 

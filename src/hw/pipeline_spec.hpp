@@ -1,0 +1,59 @@
+#pragma once
+// Structural description of ONE compressed pipeline, extracted from
+// CompressedPipeline so the planning layers (resources::Composition, serve
+// admission) can cost a design without instantiating the cycle model. A
+// PipelineSpec is pure data: geometry, codec backend, threshold, and the
+// worst-case packed stream size the BRAM allocator provisions for.
+
+#include <cstdint>
+#include <string>
+
+#include "core/config.hpp"
+#include "hw/widths.hpp"
+
+namespace swc::hw {
+
+struct PipelineSpec {
+  core::SlidingWindowSpec geometry;
+  std::string backend = "haar";
+  int threshold = 0;
+  // Measured worst-case packed bits of one window-row stream (from
+  // core::compute_frame_cost over the design's image class). 0 selects the
+  // design-time lossless bound of provisioned_stream_bits().
+  std::size_t worst_stream_bits = 0;
+
+  // Stream provisioning bound used for BRAM allocation when no measured
+  // worst case is supplied: every buffered coefficient of a window-row
+  // stream at full width (8 bits per buffered column). This is the safe
+  // default under the paper's "compression ratio known at design time"
+  // limitation.
+  [[nodiscard]] std::size_t provisioned_stream_bits() const noexcept {
+    if (worst_stream_bits != 0) return worst_stream_bits;
+    // window == image_width leaves zero buffered columns; provision one
+    // packed word so the allocator still maps a (degenerate) stream.
+    const std::size_t columns = geometry.buffered_columns() != 0 ? geometry.buffered_columns() : 1;
+    return columns * static_cast<std::size_t>(widths::kPackedWordBits);
+  }
+
+  void validate() const { geometry.validate(); }
+
+  [[nodiscard]] static PipelineSpec from_engine(const core::EngineConfig& config) {
+    PipelineSpec spec;
+    spec.geometry = config.spec;
+    spec.backend = config.backend;
+    spec.threshold = config.codec.threshold;
+    return spec;
+  }
+
+  // Inverse of from_engine (codec fields other than threshold take their
+  // defaults, matching how serve builds EngineConfig from a HELLO).
+  [[nodiscard]] core::EngineConfig to_engine() const {
+    core::EngineConfig config;
+    config.spec = geometry;
+    config.codec.threshold = threshold;
+    config.backend = backend;
+    return config;
+  }
+};
+
+}  // namespace swc::hw

@@ -1,0 +1,115 @@
+#include "resources/composition.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "bram/allocator.hpp"
+
+namespace swc::resources {
+
+const char* constraint_name(Constraint c) noexcept {
+  switch (c) {
+    case Constraint::None: return "none";
+    case Constraint::Luts: return "luts";
+    case Constraint::Registers: return "registers";
+    case Constraint::Bram: return "bram18k";
+    case Constraint::Interconnect: return "interconnect";
+  }
+  return "none";
+}
+
+ResourceEstimate estimate_overall_for(const hw::PipelineSpec& spec) {
+  spec.validate();
+  ResourceEstimate overall = estimate_overall(spec.geometry.window);
+  overall.bram18k =
+      bram::allocate_proposed(spec.geometry, spec.provisioned_stream_bits()).total_brams();
+  return overall;
+}
+
+Composition::MemberId Composition::add(const hw::PipelineSpec& spec) {
+  spec.validate();
+  MemberCost member;
+  member.spec = spec;
+  member.logic = estimate_overall(spec.geometry.window);
+  member.bram18k =
+      bram::allocate_proposed(spec.geometry, spec.provisioned_stream_bits()).total_brams();
+  const MemberId id = next_id_++;
+  members_.emplace_back(id, std::move(member));
+  return id;
+}
+
+void Composition::remove(MemberId id) {
+  members_.erase(std::remove_if(members_.begin(), members_.end(),
+                                [id](const auto& entry) { return entry.first == id; }),
+                 members_.end());
+}
+
+DesignCost Composition::cost() const {
+  DesignCost total;
+  total.members.reserve(members_.size());
+  for (const auto& [id, member] : members_) {
+    (void)id;
+    total.luts += member.logic.luts;
+    total.registers += member.logic.registers;
+    total.bram18k += member.bram18k;
+    total.fmax_mhz = total.members.empty()
+                         ? member.logic.fmax_mhz
+                         : std::min(total.fmax_mhz, member.logic.fmax_mhz);
+    total.members.push_back(member);
+  }
+  total.interconnect_bytes_per_cycle =
+      kPipelineBytesPerCycle * static_cast<double>(members_.size());
+  // A lone pipeline streams point-to-point; the shared arbiter only exists
+  // once two or more masters contend (keeps K=1 equal to estimate_overall).
+  if (members_.size() > 1) {
+    total.luts += model_.luts_per_pipeline * members_.size();
+    total.registers += model_.registers_per_pipeline * members_.size();
+  }
+  return total;
+}
+
+FitReport Composition::fit(const Device& device) const {
+  const DesignCost total = cost();
+  FitReport report;
+  if (members_.empty()) {
+    return report;  // empty design fits everything with full headroom
+  }
+  const double utilizations[4] = {
+      static_cast<double>(total.luts) / static_cast<double>(device.luts),
+      static_cast<double>(total.registers) / static_cast<double>(device.registers),
+      static_cast<double>(total.bram18k) / static_cast<double>(device.bram18k),
+      total.interconnect_bytes_per_cycle / model_.effective_bytes_per_cycle(),
+  };
+  const Constraint classes[4] = {Constraint::Luts, Constraint::Registers,
+                                 Constraint::Bram, Constraint::Interconnect};
+  report.lut_utilization = utilizations[0];
+  report.register_utilization = utilizations[1];
+  report.bram_utilization = utilizations[2];
+  report.interconnect_utilization = utilizations[3];
+  double worst = -std::numeric_limits<double>::infinity();
+  for (int i = 0; i < 4; ++i) {
+    if (utilizations[i] > worst) {
+      worst = utilizations[i];
+      report.binding_constraint = classes[i];
+    }
+  }
+  report.headroom = 1.0 - worst;
+  report.fits = worst <= 1.0;
+  return report;
+}
+
+std::size_t Composition::capacity(const hw::PipelineSpec& spec, const Device& device,
+                                  InterconnectModel model) {
+  Composition design(model);
+  std::size_t count = 0;
+  for (;;) {
+    const MemberId id = design.add(spec);
+    if (!design.fit(device).fits) {
+      design.remove(id);
+      return count;
+    }
+    ++count;
+  }
+}
+
+}  // namespace swc::resources

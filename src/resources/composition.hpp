@@ -1,0 +1,139 @@
+#pragma once
+// SoC composition: sums K heterogeneous compressed-pipeline configurations
+// (window size, geometry, backend) against one Device budget and reports
+// which resource class binds first. This is the capacity-planner core: the
+// serve layer admits sessions by trial-fitting a Composition, and
+// tools/run_capacity answers the fleet question ("how many 1080p streams on
+// part X?") offline with the same arithmetic.
+//
+// Cost model per member pipeline:
+//  * LUT/FF/fmax  : calibrated estimator (Table X overall, estimator.hpp);
+//  * BRAM18K      : bram::allocate_proposed at the spec's provisioned
+//                   worst-case stream size (design-time lossless bound
+//                   unless a measured worst case is supplied);
+//  * frame timing : resources/timing.hpp at the composed clock.
+// The composition adds a shared AXI-like interconnect term for the frame
+// traffic (pixel ingress + stream egress) all pipelines move on and off
+// chip; see InterconnectModel.
+
+#include <cstdint>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "hw/pipeline_spec.hpp"
+#include "resources/device.hpp"
+#include "resources/estimator.hpp"
+#include "resources/timing.hpp"
+
+namespace swc::resources {
+
+// Shared frame-traffic interconnect (AXI-like). Each pipeline sustains one
+// pixel in and one stream byte out per clock (kPipelineBytesPerCycle). The
+// fabric offers `ports` masters of `port_bytes_per_cycle` each; round-robin
+// arbitration wastes `arbitration_overhead` of the raw bandwidth. The
+// arbiter slice costs LUTs/FFs per attached pipeline — but only once more
+// than one pipeline shares the fabric: a single pipeline streams
+// point-to-point and pays nothing, which keeps a 1-pipeline composition
+// bit-equal to estimate_overall (the paper's single-pipeline Table X).
+struct InterconnectModel {
+  std::size_t ports = 4;
+  std::size_t port_bytes_per_cycle = 8;  // 64-bit data beats
+  double arbitration_overhead = 0.10;    // fraction of raw bandwidth lost
+  std::size_t luts_per_pipeline = 180;   // address decode + mux slice per master
+  std::size_t registers_per_pipeline = 220;
+
+  [[nodiscard]] double effective_bytes_per_cycle() const noexcept {
+    return static_cast<double>(ports * port_bytes_per_cycle) *
+           (1.0 - arbitration_overhead);
+  }
+};
+
+// Sustained interconnect demand of one pipeline: pixel ingress + stream
+// egress, one byte each per clock at full rate.
+inline constexpr double kPipelineBytesPerCycle = 2.0;
+
+enum class Constraint : std::uint8_t { None, Luts, Registers, Bram, Interconnect };
+
+[[nodiscard]] const char* constraint_name(Constraint c) noexcept;
+
+// estimate_overall plus the BRAM18K allocation the bram/ model provisions
+// for this spec — the single-pipeline design cost with every hard resource
+// class filled in (callers previously summed these two by hand).
+[[nodiscard]] ResourceEstimate estimate_overall_for(const hw::PipelineSpec& spec);
+
+struct MemberCost {
+  hw::PipelineSpec spec;
+  ResourceEstimate logic;   // LUT/FF/fmax (Table X overall; bram18k field 0)
+  std::size_t bram18k = 0;  // bram::allocate_proposed total for this member
+};
+
+struct DesignCost {
+  std::size_t luts = 0;
+  std::size_t registers = 0;
+  std::size_t bram18k = 0;
+  double fmax_mhz = 0.0;  // min across members (shared fabric clock)
+  double interconnect_bytes_per_cycle = 0.0;  // sustained demand
+  std::vector<MemberCost> members;
+
+  [[nodiscard]] ResourceEstimate as_estimate() const noexcept {
+    ResourceEstimate e;
+    e.luts = luts;
+    e.registers = registers;
+    e.bram18k = bram18k;
+    e.fmax_mhz = fmax_mhz;
+    return e;
+  }
+
+  // Frame timing of member `index` at the composed clock.
+  [[nodiscard]] FrameTiming member_timing(std::size_t index) const {
+    return frame_timing(members.at(index).spec.geometry, fmax_mhz);
+  }
+};
+
+struct FitReport {
+  bool fits = true;
+  // Tightest resource class (highest utilisation); None for an empty
+  // composition. When !fits this is the class that must shrink first.
+  Constraint binding_constraint = Constraint::None;
+  // Free fraction of the binding resource; negative when over budget.
+  double headroom = 1.0;
+  double lut_utilization = 0.0;  // fraction of device capacity (may exceed 1)
+  double register_utilization = 0.0;
+  double bram_utilization = 0.0;
+  double interconnect_utilization = 0.0;
+};
+
+class Composition {
+ public:
+  using MemberId = std::uint64_t;
+
+  explicit Composition(InterconnectModel model = {}) : model_(model) {}
+
+  // Validates the spec and computes its member cost. Throws
+  // std::invalid_argument on bad geometry (odd window, image < window, ...).
+  MemberId add(const hw::PipelineSpec& spec);
+  // Unknown ids are ignored (close paths race with failed admissions).
+  void remove(MemberId id);
+  void clear() noexcept { members_.clear(); }
+
+  [[nodiscard]] std::size_t size() const noexcept { return members_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return members_.empty(); }
+  [[nodiscard]] const InterconnectModel& model() const noexcept { return model_; }
+
+  [[nodiscard]] DesignCost cost() const;
+  [[nodiscard]] FitReport fit(const Device& device) const;
+
+  // Largest K such that K copies of `spec` fit `device`; 0 when even one
+  // pipeline exceeds the part.
+  [[nodiscard]] static std::size_t capacity(const hw::PipelineSpec& spec,
+                                            const Device& device,
+                                            InterconnectModel model = {});
+
+ private:
+  InterconnectModel model_;
+  MemberId next_id_ = 1;
+  std::vector<std::pair<MemberId, MemberCost>> members_;
+};
+
+}  // namespace swc::resources

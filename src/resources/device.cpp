@@ -1,0 +1,19 @@
+#include "resources/device.hpp"
+
+#include <cstring>
+
+namespace swc::resources {
+
+const Device* device_by_name(const char* name) noexcept {
+  if (name == nullptr) {
+    return nullptr;
+  }
+  for (const Device& dev : kDeviceTable) {
+    if (std::strcmp(dev.name, name) == 0) {
+      return &dev;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace swc::resources

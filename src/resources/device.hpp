@@ -1,5 +1,7 @@
 #pragma once
-// Target device capacities: Xilinx Zynq-7020 (XC7Z020), the paper's part.
+// Target device capacities. kXC7Z020 is the paper's part (Zynq-7020); the
+// larger and smaller Zynq-7000 family members let the capacity planner answer
+// "how many pipelines fit on part X" across a realistic fleet of parts.
 
 #include <cstdint>
 
@@ -9,10 +11,19 @@ struct Device {
   const char* name;
   std::size_t luts;
   std::size_t registers;
-  std::size_t bram18k;  // 18 Kb blocks (140 x 36 Kb = 280 x 18 Kb)
+  std::size_t bram18k;  // 18 Kb blocks (Z020: 140 x 36 Kb = 280 x 18 Kb)
 };
 
+inline constexpr Device kXC7Z010{"XC7Z010", 17'600, 35'200, 120};
 inline constexpr Device kXC7Z020{"XC7Z020", 53'200, 106'400, 280};
+inline constexpr Device kXC7Z030{"XC7Z030", 78'600, 157'200, 530};
+inline constexpr Device kXC7Z045{"XC7Z045", 218'600, 437'200, 1090};
+
+// The planner's known-part table, smallest first.
+inline constexpr Device kDeviceTable[] = {kXC7Z010, kXC7Z020, kXC7Z030, kXC7Z045};
+
+// Case-sensitive lookup into kDeviceTable; nullptr when the name is unknown.
+[[nodiscard]] const Device* device_by_name(const char* name) noexcept;
 
 // Utilisation in percent of device capacity.
 [[nodiscard]] constexpr double lut_percent(const Device& dev, std::size_t luts) noexcept {
@@ -20,6 +31,9 @@ inline constexpr Device kXC7Z020{"XC7Z020", 53'200, 106'400, 280};
 }
 [[nodiscard]] constexpr double register_percent(const Device& dev, std::size_t regs) noexcept {
   return 100.0 * static_cast<double>(regs) / static_cast<double>(dev.registers);
+}
+[[nodiscard]] constexpr double bram_percent(const Device& dev, std::size_t brams) noexcept {
+  return 100.0 * static_cast<double>(brams) / static_cast<double>(dev.bram18k);
 }
 
 }  // namespace swc::resources

@@ -24,10 +24,15 @@ namespace swc::resources {
 struct ResourceEstimate {
   std::size_t luts = 0;
   std::size_t registers = 0;
+  // 18 Kb block RAMs (paper Tables II-V). The per-block logic estimators
+  // below leave this 0 (the blocks own no BRAM — the Memory Unit does);
+  // estimate_overall_for() and resources::Composition fill it from the
+  // bram/ allocation model so fits() covers every hard resource class.
+  std::size_t bram18k = 0;
   double fmax_mhz = 0.0;
 
   [[nodiscard]] bool fits(const Device& dev) const noexcept {
-    return luts <= dev.luts && registers <= dev.registers;
+    return luts <= dev.luts && registers <= dev.registers && bram18k <= dev.bram18k;
   }
 };
 

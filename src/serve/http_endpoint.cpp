@@ -1,0 +1,139 @@
+#include "serve/http_endpoint.hpp"
+
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <utility>
+
+namespace swc::serve {
+
+namespace {
+
+constexpr std::size_t kMaxRequestBytes = 4096;
+
+std::string render(int status, const char* reason, const std::string& body) {
+  std::string out = "HTTP/1.0 " + std::to_string(status) + " " + reason +
+                    "\r\nContent-Type: text/plain; charset=utf-8\r\nContent-Length: " +
+                    std::to_string(body.size()) + "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+}  // namespace
+
+HttpEndpoint::HttpEndpoint(EventLoop& loop, std::uint16_t port, Handlers handlers)
+    : loop_(loop),
+      handlers_(std::move(handlers)),
+      listener_(loop, port, [this](int fd) {
+        loop_.assert_on_loop_thread();  // accept path: re-establish loop_role
+        on_accept(fd);
+      }) {}
+
+HttpEndpoint::~HttpEndpoint() {
+  loop_.assert_on_loop_thread();  // stopped-loop teardown window (or loop thread)
+  for (auto& [fd, conn] : conns_) {
+    loop_.remove_fd(fd);
+    ::close(fd);
+  }
+  conns_.clear();
+}
+
+void HttpEndpoint::on_accept(int fd) {
+  conns_.emplace(fd, Conn{});
+  loop_.add_fd(fd, EPOLLIN, [this, fd](std::uint32_t events) {
+    loop_.assert_on_loop_thread();  // fd callback: re-establish loop_role
+    on_event(fd, events);
+  });
+}
+
+void HttpEndpoint::on_event(int fd, std::uint32_t events) {
+  const auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  Conn& conn = it->second;
+  if ((events & (EPOLLHUP | EPOLLERR)) != 0) {
+    close_conn(fd);
+    return;
+  }
+  if (!conn.responding && (events & EPOLLIN) != 0) {
+    on_readable(fd, conn);
+    return;  // conn may be gone
+  }
+  if (conn.responding && (events & EPOLLOUT) != 0) on_writable(fd, conn);
+}
+
+void HttpEndpoint::on_readable(int fd, Conn& conn) {
+  char chunk[1024];
+  for (;;) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      conn.request.append(chunk, static_cast<std::size_t>(n));
+      if (conn.request.size() > kMaxRequestBytes) {
+        close_conn(fd);
+        return;
+      }
+      if (conn.request.find("\r\n\r\n") != std::string::npos ||
+          conn.request.find("\n\n") != std::string::npos) {
+        respond(fd, conn);
+        return;
+      }
+      continue;
+    }
+    if (n == 0) {  // peer closed before completing a request
+      close_conn(fd);
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;  // wait for more
+    close_conn(fd);
+    return;
+  }
+}
+
+void HttpEndpoint::respond(int fd, Conn& conn) {
+  // Request line: METHOD SP target SP version. Only GET is served.
+  const std::size_t line_end = conn.request.find_first_of("\r\n");
+  const std::string line = conn.request.substr(0, line_end);
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 = line.find(' ', sp1 == std::string::npos ? sp1 : sp1 + 1);
+  const std::string method = sp1 == std::string::npos ? line : line.substr(0, sp1);
+  const std::string target =
+      sp1 == std::string::npos || sp2 == std::string::npos
+          ? std::string()
+          : line.substr(sp1 + 1, sp2 - sp1 - 1);
+
+  if (method != "GET") {
+    conn.response = render(405, "Method Not Allowed", "only GET is served\n");
+  } else if (target == "/healthz" && handlers_.healthz) {
+    conn.response = render(200, "OK", handlers_.healthz());
+  } else if (target == "/metrics" && handlers_.metrics) {
+    conn.response = render(200, "OK", handlers_.metrics());
+  } else {
+    conn.response = render(404, "Not Found", "known paths: /healthz /metrics\n");
+  }
+  conn.responding = true;
+  loop_.set_events(fd, EPOLLOUT);
+  on_writable(fd, conn);
+}
+
+void HttpEndpoint::on_writable(int fd, Conn& conn) {
+  while (conn.sent < conn.response.size()) {
+    const ssize_t n = ::send(fd, conn.response.data() + conn.sent,
+                             conn.response.size() - conn.sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn.sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;  // EPOLLOUT re-fires
+    break;  // error: drop the connection
+  }
+  close_conn(fd);
+}
+
+void HttpEndpoint::close_conn(int fd) {
+  loop_.remove_fd(fd);
+  ::close(fd);
+  conns_.erase(fd);
+}
+
+}  // namespace swc::serve

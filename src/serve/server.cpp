@@ -23,6 +23,15 @@ void Server::start() {
     sessions_.adopt_socket(fd);
   });
   port_ = listener_->port();
+  if (options_.http_port.has_value()) {
+    http_ = std::make_unique<HttpEndpoint>(
+        loop_, *options_.http_port,
+        HttpEndpoint::Handlers{
+            .healthz = [] { return std::string("ok\n"); },
+            .metrics = [this] { return telemetry::to_json(sessions_.metrics()); },
+        });
+    http_port_ = http_->port();
+  }
   thread_ = std::thread([this] { loop_.run(); });
 }
 
@@ -41,6 +50,7 @@ void Server::stop() {
     thread_.join();
   }
   listener_.reset();  // single-threaded now; removing the fd is safe
+  http_.reset();      // likewise: drops any half-served scrape connections
   // Drain in-flight engine work while sessions_ and loop_ are still alive:
   // completion callbacks dereference the session manager to post into the
   // loop, and those posts must land in memory that still exists (they are

@@ -13,10 +13,12 @@
 // active_sessions(), serve_metrics(), engine().
 
 #include <cstdint>
+#include <optional>
 #include <thread>
 
 #include "runtime/frame_server.hpp"
 #include "serve/event_loop.hpp"
+#include "serve/http_endpoint.hpp"
 #include "serve/session.hpp"
 
 namespace swc::serve {
@@ -30,6 +32,9 @@ struct ServerOptions {
   std::size_t shards = 0;  // 0 = auto (one per NUMA node)
   bool pin_threads = true;
   bool arena = true;  // pooled frame/scratch buffers
+  // Plain-text scrape listener (GET /healthz, GET /metrics) on the same
+  // event loop. nullopt = disabled; 0 = ephemeral, read back via http_port().
+  std::optional<std::uint16_t> http_port;
 };
 
 class Server {
@@ -48,6 +53,8 @@ class Server {
   void stop();
 
   [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+  // Bound scrape-listener port; 0 when options.http_port was nullopt.
+  [[nodiscard]] std::uint16_t http_port() const noexcept { return http_port_; }
   [[nodiscard]] std::size_t active_sessions() const noexcept {
     return sessions_.active_sessions();
   }
@@ -69,8 +76,10 @@ class Server {
   SessionManager sessions_;
   ServerOptions options_;
   std::unique_ptr<Listener> listener_;
+  std::unique_ptr<HttpEndpoint> http_;
   std::thread thread_;
   std::uint16_t port_ = 0;
+  std::uint16_t http_port_ = 0;
   bool stopped_ = false;
 };
 

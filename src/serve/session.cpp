@@ -7,6 +7,7 @@
 #include "codec/backend.hpp"
 #include "core/rate_control.hpp"
 #include "core/streaming_engine.hpp"
+#include "hw/pipeline_spec.hpp"
 
 namespace swc::serve {
 
@@ -17,6 +18,7 @@ const ServeMetricIds& ServeMetricIds::get() {
       Registry::metric("serve.sessions_opened", MetricKind::Counter, "sessions"),
       Registry::metric("serve.sessions_closed", MetricKind::Counter, "sessions"),
       Registry::metric("serve.sessions_rejected", MetricKind::Counter, "sessions"),
+      Registry::metric("serve.sessions_rejected_capacity", MetricKind::Counter, "sessions"),
       Registry::metric("serve.frames_accepted", MetricKind::Counter, "frames"),
       Registry::metric("serve.frames_completed", MetricKind::Counter, "frames"),
       Registry::metric("serve.frames_rejected_busy", MetricKind::Counter, "frames"),
@@ -152,6 +154,33 @@ void SessionManager::handle_hello(Session& session, const Message& msg) {
     send_message(session, MsgType::Error, 0, payload);
     session.conn->close("bad-geometry");
     return;
+  }
+
+  // Cost-based admission: trial-add this pipeline to the composed design and
+  // keep it only if the whole design still fits the configured part. The
+  // rejection is wire-visible with the binding constraint named, so a client
+  // can tell "the part is out of BRAM" from "too many sessions".
+  if (limits_.device.has_value()) {
+    const auto member = planner_.add(hw::PipelineSpec::from_engine(config));
+    const auto fit = planner_.fit(*limits_.device);
+    if (!fit.fits) {
+      planner_.remove(member);
+      count(ServeMetricIds::get().sessions_rejected);
+      count(ServeMetricIds::get().sessions_rejected_capacity);
+      const auto cost = planner_.cost();
+      std::string detail = "capacity: " +
+                           std::string(resources::constraint_name(fit.binding_constraint)) +
+                           " over budget on " + limits_.device->name + " (" +
+                           std::to_string(planner_.size()) + " admitted, " +
+                           std::to_string(cost.luts) + "/" + std::to_string(limits_.device->luts) +
+                           " luts, " + std::to_string(cost.bram18k) + "/" +
+                           std::to_string(limits_.device->bram18k) + " bram18k)";
+      const auto payload = encode_payload(ErrorPayload{ErrorCode::ServerFull, detail});
+      send_message(session, MsgType::Error, 0, payload);
+      session.conn->close("capacity-rejected");
+      return;
+    }
+    session.planner_member = member;
   }
 
   // shard_hint = connection id: all streams of one session (and, with id
@@ -397,6 +426,9 @@ void SessionManager::on_connection_closed(std::uint64_t conn_id, const char* /*r
     // frames still complete: their workers hold the StreamContext and flush
     // its telemetry; they just report as orphans on this side.
     engine_.close_stream(it->second.stream_id);
+    // Release the session's pipeline from the composed design so its
+    // LUT/BRAM/interconnect share is available to the next HELLO.
+    if (it->second.planner_member != 0) planner_.remove(it->second.planner_member);
   }
   // Parked frames die with the deque (peer is gone, nobody to respond to).
   sessions_.erase(it);

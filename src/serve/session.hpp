@@ -41,6 +41,8 @@
 #include "core/thread_annotations.hpp"
 
 #include "core/rate_control.hpp"
+#include "resources/composition.hpp"
+#include "resources/device.hpp"
 #include "runtime/frame_server.hpp"
 #include "serve/connection.hpp"
 #include "serve/event_loop.hpp"
@@ -51,6 +53,13 @@ namespace swc::serve {
 
 // Admission-control and buffering limits of one server instance.
 struct ServeLimits {
+  // Device profile for cost-based admission: every HELLO's geometry/backend
+  // maps through hw::PipelineSpec to a planner cost, and the session is
+  // admitted only while the composed design still fits this part (the
+  // rejection ERROR names the binding constraint). nullopt disables the
+  // planner and falls back to counting alone; max_sessions below remains a
+  // hard cap either way.
+  std::optional<resources::Device> device = resources::kXC7Z020;
   std::size_t max_sessions = 512;
   std::size_t realtime_max_inflight = 4;  // per-session in-flight cap (Reject tier)
   std::size_t bulk_max_inflight = 8;      // per-session in-flight cap (Block tier)
@@ -67,6 +76,7 @@ struct ServeMetricIds {
   telemetry::MetricId sessions_opened;            // counter
   telemetry::MetricId sessions_closed;            // counter
   telemetry::MetricId sessions_rejected;          // counter: admission refusals
+  telemetry::MetricId sessions_rejected_capacity; // counter: planner does-not-fit refusals
   telemetry::MetricId frames_accepted;            // counter
   telemetry::MetricId frames_completed;           // counter
   telemetry::MetricId frames_rejected_busy;       // counter: realtime wire rejections
@@ -125,6 +135,9 @@ class SessionManager : public Connection::Handler {
     // reads pause the moment one frame parks, so the deque never holds more
     // than the already-consumed read chunk's worth of frames.
     std::deque<ParkedFrame> parked;
+    // Planner membership of this session's pipeline (0 = not planner-admitted,
+    // either AwaitingHello or the planner is disabled).
+    resources::Composition::MemberId planner_member = 0;
     bool paused_by_backpressure = false;
     bool goodbye = false;  // drain in-flight + parked, then close
   };
@@ -156,6 +169,9 @@ class SessionManager : public Connection::Handler {
 
   std::uint64_t next_conn_id_ SWC_GUARDED_BY(loop_role) = 1;
   std::unordered_map<std::uint64_t, Session> sessions_ SWC_GUARDED_BY(loop_role);
+  // Composed design of every admitted session's pipeline, trial-fitted
+  // against limits_.device at HELLO and released on close.
+  resources::Composition planner_ SWC_GUARDED_BY(loop_role);
   // retry order for bulk frames
   std::vector<std::uint64_t> parked_sessions_ SWC_GUARDED_BY(loop_role);
   std::atomic<std::size_t> active_sessions_{0};

@@ -13,6 +13,7 @@
 #include <cstring>
 #include <string>
 
+#include "resources/device.hpp"
 #include "serve/server.hpp"
 #include "telemetry/telemetry.hpp"
 
@@ -62,10 +63,15 @@ int main(int argc, char** argv) {
           "usage: run_serve [--port N] [--workers N] [--queue N] [--max-sessions N]\n"
           "                 [--realtime-inflight N] [--bulk-inflight N]\n"
           "                 [--shards N] [--pin-threads 0|1] [--arena 0|1]\n"
-          "                 [--rate bpp:<t>|mse:<t>]\n"
+          "                 [--rate bpp:<t>|mse:<t>] [--device NAME|none]\n"
+          "                 [--http-port N]\n"
           "  --shards 0 picks one shard per NUMA node (default)\n"
           "  --rate sets the default rate-control preset for sessions whose\n"
-          "         HELLO does not negotiate a rate target of its own\n");
+          "         HELLO does not negotiate a rate target of its own\n"
+          "  --device sets the capacity-planner part profile for admission\n"
+          "         (default XC7Z020; 'none' disables cost-based admission)\n"
+          "  --http-port enables the plain-text scrape listener\n"
+          "         (GET /healthz, GET /metrics); 0 picks an ephemeral port\n");
       return 0;
     }
   }
@@ -83,6 +89,25 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(arg_value(argc, argv, "--realtime-inflight", 4));
   options.limits.bulk_max_inflight =
       static_cast<std::size_t>(arg_value(argc, argv, "--bulk-inflight", 8));
+
+  if (const char* http = arg_string(argc, argv, "--http-port", nullptr)) {
+    options.http_port = static_cast<std::uint16_t>(std::atol(http));
+  }
+
+  if (const char* device = arg_string(argc, argv, "--device", nullptr)) {
+    if (std::strcmp(device, "none") == 0) {
+      options.limits.device = std::nullopt;
+    } else if (const auto* dev = swc::resources::device_by_name(device)) {
+      options.limits.device = *dev;
+    } else {
+      std::fprintf(stderr, "run_serve: unknown --device %s (known:", device);
+      for (const auto& known : swc::resources::kDeviceTable) {
+        std::fprintf(stderr, " %s", known.name);
+      }
+      std::fprintf(stderr, " none)\n");
+      return 2;
+    }
+  }
 
   if (const char* rate = arg_string(argc, argv, "--rate", nullptr)) {
     swc::core::RateControlConfig preset;
@@ -108,9 +133,15 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "run_serve: %s\n", e.what());
     return 1;
   }
-  std::printf("run_serve: listening on 127.0.0.1:%u (%zu workers, %zu shards, queue %zu)\n",
+  std::printf("run_serve: listening on 127.0.0.1:%u (%zu workers, %zu shards, queue %zu, "
+              "device %s)\n",
               server.port(), options.workers, server.engine().shard_count(),
-              options.queue_capacity);
+              options.queue_capacity,
+              options.limits.device.has_value() ? options.limits.device->name : "none");
+  if (server.http_port() != 0) {
+    std::printf("run_serve: scrape endpoint on 127.0.0.1:%u (/healthz, /metrics)\n",
+                server.http_port());
+  }
   std::fflush(stdout);
 
   int sig = 0;

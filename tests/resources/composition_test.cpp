@@ -1,0 +1,210 @@
+// Capacity-planner core: resources::Composition sums K heterogeneous
+// pipeline specs against a Device budget. The anchor property is bit-equality
+// of a 1-pipeline composition with the calibrated single-pipeline estimate
+// (the paper's Table X plus the BRAM allocation) — the composition must add
+// nothing until a second pipeline makes the interconnect real.
+
+#include "resources/composition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "bram/allocator.hpp"
+#include "resources/device.hpp"
+#include "resources/estimator.hpp"
+
+namespace swc::resources {
+namespace {
+
+hw::PipelineSpec spec_of(std::size_t width, std::size_t height, std::size_t window,
+                         int threshold = 0) {
+  hw::PipelineSpec spec;
+  spec.geometry = {width, height, window};
+  spec.threshold = threshold;
+  return spec;
+}
+
+TEST(Composition, EmptyCompositionFitsAnyDevice) {
+  const Composition design;
+  EXPECT_TRUE(design.empty());
+  const FitReport fit = design.fit(kXC7Z010);
+  EXPECT_TRUE(fit.fits);
+  EXPECT_EQ(fit.binding_constraint, Constraint::None);
+  EXPECT_DOUBLE_EQ(fit.headroom, 1.0);
+  EXPECT_DOUBLE_EQ(fit.lut_utilization, 0.0);
+}
+
+TEST(Composition, SinglePipelineIsBitEqualToOverallEstimate) {
+  // Acceptance criterion: K=1 pays zero interconnect logic, so the composed
+  // cost collapses to estimate_overall + the bram/ allocation — exactly.
+  const auto spec = spec_of(512, 512, 8);
+  Composition design;
+  design.add(spec);
+
+  const DesignCost cost = design.cost();
+  const ResourceEstimate single = estimate_overall(8);
+  EXPECT_EQ(cost.luts, single.luts);
+  EXPECT_EQ(cost.registers, single.registers);
+  EXPECT_DOUBLE_EQ(cost.fmax_mhz, single.fmax_mhz);
+
+  const ResourceEstimate full = estimate_overall_for(spec);
+  EXPECT_EQ(cost.bram18k, full.bram18k);
+  EXPECT_GT(cost.bram18k, 0u);
+  EXPECT_EQ(cost.bram18k,
+            bram::allocate_proposed(spec.geometry, spec.provisioned_stream_bits()).total_brams());
+}
+
+TEST(Composition, InterconnectLogicChargedOnlyBeyondOnePipeline) {
+  const auto spec = spec_of(512, 512, 8);
+  Composition design;
+  design.add(spec);
+  design.add(spec);
+
+  const DesignCost cost = design.cost();
+  const ResourceEstimate single = estimate_overall(8);
+  const InterconnectModel& model = design.model();
+  EXPECT_EQ(cost.luts, 2 * single.luts + 2 * model.luts_per_pipeline);
+  EXPECT_EQ(cost.registers, 2 * single.registers + 2 * model.registers_per_pipeline);
+  EXPECT_DOUBLE_EQ(cost.interconnect_bytes_per_cycle, 2 * kPipelineBytesPerCycle);
+}
+
+TEST(Composition, ComposedClockIsTheSlowestMember) {
+  Composition design;
+  design.add(spec_of(512, 512, 8));
+  design.add(spec_of(512, 512, 32));
+  const DesignCost cost = design.cost();
+  const double f8 = estimate_overall(8).fmax_mhz;
+  const double f32 = estimate_overall(32).fmax_mhz;
+  EXPECT_DOUBLE_EQ(cost.fmax_mhz, std::min(f8, f32));
+  ASSERT_EQ(cost.members.size(), 2u);
+  // Member timing is evaluated at the composed (slowest) clock, so the fast
+  // member's fps reflects the shared fabric, not its standalone fmax.
+  EXPECT_GT(cost.member_timing(0).fps, 0.0);
+}
+
+TEST(Composition, LutBoundDesignNamesLutsAsBinding) {
+  const Device tiny_luts{"tiny-luts", 4'000, 1'000'000, 10'000};
+  Composition design;
+  design.add(spec_of(512, 512, 8));  // ~5k LUTs > 4k budget
+  const FitReport fit = design.fit(tiny_luts);
+  EXPECT_FALSE(fit.fits);
+  EXPECT_EQ(fit.binding_constraint, Constraint::Luts);
+  EXPECT_LT(fit.headroom, 0.0);
+  EXPECT_GT(fit.lut_utilization, 1.0);
+}
+
+TEST(Composition, BramBoundDesignNamesBramAsBinding) {
+  const Device tiny_bram{"tiny-bram", 1'000'000, 1'000'000, 1};
+  Composition design;
+  design.add(spec_of(512, 512, 8));
+  const FitReport fit = design.fit(tiny_bram);
+  EXPECT_FALSE(fit.fits);
+  EXPECT_EQ(fit.binding_constraint, Constraint::Bram);
+}
+
+TEST(Composition, InterconnectBindsWhenLogicIsAbundant) {
+  // A hypothetical huge part: the shared fabric (28.8 effective bytes/cycle
+  // at the default model) saturates at 14 pipelines x 2 B/cyc before any
+  // logic class does.
+  const Device huge{"huge", 10'000'000, 20'000'000, 100'000};
+  const auto spec = spec_of(64, 64, 8);
+  Composition design;
+  const auto demand_cap = design.model().effective_bytes_per_cycle() / kPipelineBytesPerCycle;
+  const auto saturating = static_cast<std::size_t>(demand_cap) + 1;
+  for (std::size_t i = 0; i < saturating; ++i) design.add(spec);
+  const FitReport fit = design.fit(huge);
+  EXPECT_FALSE(fit.fits);
+  EXPECT_EQ(fit.binding_constraint, Constraint::Interconnect);
+  EXPECT_EQ(Composition::capacity(spec, huge), static_cast<std::size_t>(demand_cap));
+}
+
+TEST(Composition, RemoveReleasesTheMemberShare) {
+  const auto spec = spec_of(64, 64, 8);
+  const std::size_t cap = Composition::capacity(spec, kXC7Z020);
+  ASSERT_GT(cap, 0u);
+
+  Composition design;
+  std::vector<Composition::MemberId> ids;
+  for (std::size_t i = 0; i < cap; ++i) ids.push_back(design.add(spec));
+  EXPECT_TRUE(design.fit(kXC7Z020).fits);
+
+  const auto over = design.add(spec);
+  EXPECT_FALSE(design.fit(kXC7Z020).fits);
+  design.remove(over);
+  EXPECT_TRUE(design.fit(kXC7Z020).fits);
+  EXPECT_EQ(design.size(), cap);
+
+  design.remove(987'654'321);  // unknown ids are ignored (close/reject races)
+  EXPECT_EQ(design.size(), cap);
+
+  design.remove(ids.front());
+  EXPECT_EQ(design.size(), cap - 1);
+  EXPECT_TRUE(design.fit(kXC7Z020).fits);
+}
+
+TEST(Composition, CapacityIsTheLargestFittingCount) {
+  const auto spec = spec_of(64, 64, 8);
+  const std::size_t cap = Composition::capacity(spec, kXC7Z020);
+  ASSERT_GT(cap, 0u);
+
+  Composition at_cap;
+  for (std::size_t i = 0; i < cap; ++i) at_cap.add(spec);
+  EXPECT_TRUE(at_cap.fit(kXC7Z020).fits);
+  at_cap.add(spec);
+  EXPECT_FALSE(at_cap.fit(kXC7Z020).fits);
+}
+
+TEST(Composition, CapacityIsZeroWhenOnePipelineExceedsThePart) {
+  // w128 overall logic exceeds the XC7Z020 (the "-" rows of the paper's
+  // resource tables): even a single pipeline must not fit.
+  const auto spec = spec_of(512, 512, 128);
+  Composition design;
+  design.add(spec);
+  ASSERT_FALSE(design.fit(kXC7Z020).fits);
+  EXPECT_EQ(Composition::capacity(spec, kXC7Z020), 0u);
+}
+
+TEST(Composition, AddRejectsInvalidGeometry) {
+  Composition design;
+  EXPECT_THROW(design.add(spec_of(512, 512, 7)), std::invalid_argument);   // odd window
+  EXPECT_THROW(design.add(spec_of(32, 32, 64)), std::invalid_argument);    // image < window
+  EXPECT_EQ(design.size(), 0u);
+}
+
+TEST(Composition, HeadroomIsTheFreeFractionOfTheBindingResource) {
+  Composition design;
+  design.add(spec_of(512, 512, 8));
+  const FitReport fit = design.fit(kXC7Z020);
+  ASSERT_TRUE(fit.fits);
+  const double worst = std::max({fit.lut_utilization, fit.register_utilization,
+                                 fit.bram_utilization, fit.interconnect_utilization});
+  EXPECT_DOUBLE_EQ(fit.headroom, 1.0 - worst);
+  EXPECT_EQ(fit.binding_constraint, Constraint::Luts);  // logic binds for w8
+}
+
+TEST(ResourceEstimateFits, ChecksEveryHardResourceClass) {
+  // Regression: fits() used to ignore bram18k entirely.
+  ResourceEstimate e;
+  e.luts = 100;
+  e.registers = 100;
+  e.bram18k = kXC7Z020.bram18k + 1;
+  EXPECT_FALSE(e.fits(kXC7Z020));
+  e.bram18k = kXC7Z020.bram18k;
+  EXPECT_TRUE(e.fits(kXC7Z020));
+  e.luts = kXC7Z020.luts + 1;
+  EXPECT_FALSE(e.fits(kXC7Z020));
+}
+
+TEST(Device, LookupByName) {
+  const Device* dev = device_by_name("XC7Z020");
+  ASSERT_NE(dev, nullptr);
+  EXPECT_EQ(dev->luts, kXC7Z020.luts);
+  EXPECT_EQ(device_by_name("XC7Z999"), nullptr);
+  EXPECT_EQ(device_by_name(nullptr), nullptr);
+}
+
+}  // namespace
+}  // namespace swc::resources

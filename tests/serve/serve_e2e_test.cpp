@@ -6,11 +6,20 @@
 
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <chrono>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "hw/pipeline_spec.hpp"
+#include "resources/composition.hpp"
+#include "resources/device.hpp"
 #include "serve/client/loadgen.hpp"
 #include "serve/client/sync_client.hpp"
 #include "serve/protocol.hpp"
@@ -192,6 +201,97 @@ TEST(ServeE2E, AdmissionControlRefusesBeyondMaxSessions) {
   server.stop();
 }
 
+TEST(ServeE2E, CapacityAdmissionRejectsWithBindingConstraintOnTheWire) {
+  // Cost-based admission: the default device profile (XC7Z020) fits a known
+  // number of w8 64x64 pipelines before the LUT budget binds; the next HELLO
+  // must be refused with the binding constraint named on the wire, even
+  // though max_sessions alone would have admitted it.
+  hw::PipelineSpec spec;
+  spec.geometry = {64, 64, 8};
+  spec.threshold = 2;
+  const std::size_t planner_capacity =
+      resources::Composition::capacity(spec, resources::kXC7Z020);
+  ASSERT_GT(planner_capacity, 0u);
+
+  ServerOptions options;
+  options.limits.max_sessions = planner_capacity + 8;  // counting would admit all
+  Server server(options);
+  server.start();
+
+  std::vector<std::unique_ptr<SyncClient>> admitted;
+  std::string rejection;
+  for (std::size_t i = 0; i < planner_capacity + 1; ++i) {
+    auto conn = std::make_unique<SyncClient>(
+        SyncClient::Options{.host = "127.0.0.1", .port = server.port()});
+    try {
+      conn->hello(bulk_hello());
+      admitted.push_back(std::move(conn));
+    } catch (const std::runtime_error& e) {
+      rejection = e.what();
+      break;
+    }
+  }
+  EXPECT_EQ(admitted.size(), planner_capacity);
+  EXPECT_NE(rejection.find("capacity: luts"), std::string::npos) << rejection;
+  EXPECT_NE(rejection.find("XC7Z020"), std::string::npos) << rejection;
+  EXPECT_EQ(server.serve_metrics().value(ServeMetricIds::get().sessions_rejected_capacity), 1u);
+
+  // Closing an admitted session releases its pipeline's share of the design;
+  // the next HELLO fits again.
+  admitted.back()->send_goodbye();
+  while (admitted.back()->read_message()) {
+  }
+  admitted.pop_back();
+  ASSERT_TRUE(eventually([&] { return server.active_sessions() == planner_capacity - 1; }));
+  SyncClient readmitted({.host = "127.0.0.1", .port = server.port()});
+  EXPECT_NO_THROW(readmitted.hello(bulk_hello()));
+  server.stop();
+}
+
+TEST(ServeE2E, HttpEndpointServesHealthzAndMetrics) {
+  ServerOptions options;
+  options.http_port = 0;  // ephemeral
+  Server server(options);
+  server.start();
+  ASSERT_NE(server.http_port(), 0);
+
+  // Plain blocking socket: the scrape endpoint speaks HTTP/1.0, one request
+  // per connection, response terminated by server close.
+  const auto http_get = [&](const std::string& target) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(server.http_port());
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    EXPECT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)), 0);
+    const std::string request = "GET " + target + " HTTP/1.0\r\n\r\n";
+    EXPECT_EQ(::send(fd, request.data(), request.size(), 0),
+              static_cast<ssize_t>(request.size()));
+    std::string response;
+    char buf[1024];
+    for (;;) {
+      const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+      if (n <= 0) break;
+      response.append(buf, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+    return response;
+  };
+
+  const std::string health = http_get("/healthz");
+  EXPECT_NE(health.find("200 OK"), std::string::npos) << health;
+  EXPECT_NE(health.find("ok"), std::string::npos);
+
+  const std::string metrics = http_get("/metrics");
+  EXPECT_NE(metrics.find("200 OK"), std::string::npos) << metrics;
+  EXPECT_NE(metrics.find("metrics"), std::string::npos);
+
+  const std::string missing = http_get("/nope");
+  EXPECT_NE(missing.find("404"), std::string::npos) << missing;
+  server.stop();
+}
+
 TEST(ServeE2E, BadGeometryIsRefusedAtHello) {
   Server server;
   server.start();
@@ -344,7 +444,12 @@ TEST(ServeE2E, StopWithConnectedClientsTearsDownCleanly) {
 }
 
 TEST(ServeE2E, LoadgenSoakScaledDown) {
-  Server server({.port = 0, .workers = 4, .queue_capacity = 32, .limits = {}});
+  // Planner off: 12 concurrent pipelines deliberately exceed the default
+  // XC7Z020 budget, and this test exercises QoS/backpressure, not admission.
+  Server server({.port = 0,
+                 .workers = 4,
+                 .queue_capacity = 32,
+                 .limits = {.device = std::nullopt}});
   server.start();
 
   client::LoadgenOptions options;

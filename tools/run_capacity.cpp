@@ -1,0 +1,144 @@
+// Offline capacity planner: how many compressed sliding-window pipelines of
+// a given geometry fit one FPGA part, and which resource class binds first.
+// Runs the exact arithmetic the serve layer uses for cost-based admission
+// (resources::Composition), so its answer IS the server's admission limit
+// for homogeneous sessions.
+//
+//   $ run_capacity --device XC7Z020 --window 31 --frame 1920x1080
+//   $ run_capacity --device XC7Z045 --window 64 --frame 3840x2160 --threshold 2
+//
+// Odd window sizes are rounded up to the next even value (the architecture
+// processes 2x2 Haar blocks, paper Section III).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "hw/pipeline_spec.hpp"
+#include "resources/composition.hpp"
+#include "resources/device.hpp"
+
+namespace {
+
+const char* arg_string(int argc, char** argv, const char* name, const char* fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
+  }
+  return fallback;
+}
+
+long arg_value(int argc, char** argv, const char* name, long fallback) {
+  const char* text = arg_string(argc, argv, name, nullptr);
+  return text != nullptr ? std::atol(text) : fallback;
+}
+
+bool parse_frame(const char* text, std::size_t& width, std::size_t& height) {
+  char* end = nullptr;
+  const long w = std::strtol(text, &end, 10);
+  if (end == text || *end != 'x') return false;
+  const char* rest = end + 1;
+  const long h = std::strtol(rest, &end, 10);
+  if (end == rest || *end != '\0') return false;
+  if (w <= 0 || h <= 0) return false;
+  width = static_cast<std::size_t>(w);
+  height = static_cast<std::size_t>(h);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace swc;
+
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0) {
+      std::printf(
+          "usage: run_capacity [--device NAME] [--window N] [--frame WxH]\n"
+          "                    [--threshold T] [--backend NAME] [--all-devices]\n"
+          "  --device   target part (default XC7Z020; see --all-devices)\n"
+          "  --window   sliding-window size N (odd values round up to even)\n"
+          "  --frame    image geometry, e.g. 1920x1080 (default 512x512)\n"
+          "  --all-devices  print the capacity row for every known part\n");
+      return 0;
+    }
+  }
+
+  hw::PipelineSpec spec;
+  spec.geometry.image_width = 512;
+  spec.geometry.image_height = 512;
+  if (const char* frame = arg_string(argc, argv, "--frame", nullptr)) {
+    if (!parse_frame(frame, spec.geometry.image_width, spec.geometry.image_height)) {
+      std::fprintf(stderr, "run_capacity: bad --frame %s (want WxH)\n", frame);
+      return 2;
+    }
+  }
+  // Frame widths must be even for column-pair streaming; like odd windows,
+  // round up rather than refuse (planning wants an answer, not an error).
+  if (spec.geometry.image_width % 2 != 0) ++spec.geometry.image_width;
+
+  long window = arg_value(argc, argv, "--window", 8);
+  if (window < 2) window = 2;
+  if (window % 2 != 0) {
+    std::printf("note: window %ld rounded up to %ld (2x2 Haar blocks need even N)\n", window,
+                window + 1);
+    ++window;
+  }
+  spec.geometry.window = static_cast<std::size_t>(window);
+  spec.threshold = static_cast<int>(arg_value(argc, argv, "--threshold", 0));
+  spec.backend = arg_string(argc, argv, "--backend", "haar");
+
+  const resources::Device* device = &resources::kXC7Z020;
+  if (const char* name = arg_string(argc, argv, "--device", nullptr)) {
+    device = resources::device_by_name(name);
+    if (device == nullptr) {
+      std::fprintf(stderr, "run_capacity: unknown --device %s (known:", name);
+      for (const auto& known : resources::kDeviceTable) std::fprintf(stderr, " %s", known.name);
+      std::fprintf(stderr, ")\n");
+      return 2;
+    }
+  }
+
+  try {
+    spec.validate();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "run_capacity: %s\n", e.what());
+    return 2;
+  }
+
+  const resources::ResourceEstimate one = resources::estimate_overall_for(spec);
+  std::printf("pipeline: window %zu, frame %zux%zu, backend %s, threshold %d\n",
+              spec.geometry.window, spec.geometry.image_width, spec.geometry.image_height,
+              spec.backend.c_str(), spec.threshold);
+  std::printf("  per-pipeline cost: %zu luts, %zu registers, %zu bram18k, fmax %.1f MHz\n",
+              one.luts, one.registers, one.bram18k, one.fmax_mhz);
+
+  bool all_devices = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--all-devices") == 0) all_devices = true;
+  }
+
+  const auto report = [&](const resources::Device& dev) {
+    const std::size_t streams = resources::Composition::capacity(spec, dev);
+    std::printf("%-8s: %zu stream%s", dev.name, streams, streams == 1 ? "" : "s");
+    if (streams == 0) {
+      std::printf("  (a single pipeline exceeds the part)\n");
+      return;
+    }
+    resources::Composition design;
+    for (std::size_t k = 0; k < streams; ++k) (void)design.add(spec);
+    const auto fit = design.fit(dev);
+    const auto cost = design.cost();
+    const auto timing = cost.member_timing(0);
+    std::printf("  binding %s, headroom %.1f%%  (%zu/%zu luts, %zu/%zu bram18k, "
+                "%.1f fps/stream)\n",
+                resources::constraint_name(fit.binding_constraint), 100.0 * fit.headroom,
+                cost.luts, dev.luts, cost.bram18k, dev.bram18k, timing.fps);
+  };
+
+  if (all_devices) {
+    for (const auto& dev : resources::kDeviceTable) report(dev);
+  } else {
+    report(*device);
+  }
+  return 0;
+}
